@@ -1,0 +1,98 @@
+//! Figure 3: ratio error of the `once` join estimator vs the fraction of
+//! the probe input seen, for (a) small and (b) large nationkey domains and
+//! Zipf skews z ∈ {0, 1, 2}.
+//!
+//! Each join is between two customer tables with the same skew and domain
+//! but different peak-frequency values (the paper's worst case, §5.1.1).
+
+use qprog_bench::{banner, paper_note, print_table, write_csv, Scale};
+use qprog_core::join_est::OnceJoinEstimator;
+use qprog_datagen::customer_table;
+use qprog_types::Key;
+
+const CHECKPOINTS: [f64; 8] = [0.005, 0.01, 0.02, 0.05, 0.10, 0.25, 0.50, 1.0];
+
+fn nationkeys(rows: usize, z: f64, domain: usize, variant: u64) -> Vec<Key> {
+    customer_table("c", rows, z, domain, variant)
+        .iter()
+        .map(|r| r.key(1).expect("int column"))
+        .collect()
+}
+
+/// Ratio-error trajectory for one (z, domain) configuration.
+fn trajectory(rows: usize, z: f64, domain: usize) -> Vec<(f64, f64)> {
+    let build = nationkeys(rows, z, domain, 1);
+    let probe = nationkeys(rows, z, domain, 2);
+    let truth: u64 = {
+        let mut est = OnceJoinEstimator::from_build_keys(build.iter(), probe.len() as u64);
+        for k in &probe {
+            est.observe_probe(k);
+        }
+        est.matched_so_far() as u64
+    };
+    let mut est = OnceJoinEstimator::from_build_keys(build.iter(), probe.len() as u64);
+    let mut out = Vec::new();
+    let mut next_cp = 0;
+    for (i, k) in probe.iter().enumerate() {
+        est.observe_probe(k);
+        let frac = (i + 1) as f64 / probe.len() as f64;
+        while next_cp < CHECKPOINTS.len() && frac >= CHECKPOINTS[next_cp] {
+            let ratio = if truth == 0 {
+                f64::NAN
+            } else {
+                est.estimate() / truth as f64
+            };
+            out.push((CHECKPOINTS[next_cp], ratio));
+            next_cp += 1;
+        }
+    }
+    out
+}
+
+fn run_panel(label: &str, csv: &str, rows: usize, domain: usize) {
+    println!("\nFigure 3({label}): domain = {domain}, rows = {rows}");
+    let zs = [0.0, 1.0, 2.0];
+    let series: Vec<Vec<(f64, f64)>> = zs.iter().map(|&z| trajectory(rows, z, domain)).collect();
+    let mut table_rows = Vec::new();
+    for (cp_idx, &cp) in CHECKPOINTS.iter().enumerate() {
+        let mut row = vec![format!("{:.1}%", cp * 100.0)];
+        for s in &series {
+            row.push(format!("{:.3}", s[cp_idx].1));
+        }
+        table_rows.push(row);
+    }
+    print_table(
+        &["probe seen", "ratio z=0", "ratio z=1", "ratio z=2"],
+        &table_rows,
+    );
+    write_csv(
+        csv,
+        &["probe_fraction", "ratio_z0", "ratio_z1", "ratio_z2"],
+        &table_rows
+            .iter()
+            .map(|r| {
+                let mut c = r.clone();
+                c[0] = c[0].trim_end_matches('%').to_string();
+                c
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+fn main() {
+    let scale = Scale::detect();
+    banner(
+        "fig3",
+        "ratio error of once vs fraction of probe input (paper Fig. 3)",
+        scale,
+    );
+    let rows = scale.accuracy_rows();
+    let (small, large) = scale.domains();
+    run_panel("a: small domain", "fig3a_small_domain", rows, small);
+    run_panel("b: large domain", "fig3b_large_domain", rows, large);
+    paper_note(&[
+        "paper: estimators converge to ratio error ~1 having seen only a small \
+         fraction of the probe input, for all skews and both domains",
+        "expect: every column ≈1.000 by the 5-10% checkpoints, exactly 1.000 at 100%",
+    ]);
+}

@@ -1,0 +1,157 @@
+//! Figure 4: `once` vs the `dne` and `byte` baselines, run through the real
+//! engine (grace hash join), estimates sampled as the probe input is
+//! *joined* (x-axis of the paper's figure).
+//!
+//! (a) join of two Zipf-1 customer tables with different peak values —
+//!     the optimizer estimate is off by an order of magnitude;
+//! (b) PK-FK join customer ⋈ σ(nationkey < domain/2)(nation).
+//!
+//! The paper's claims: once has already converged when only a small
+//! percentage of the probe input has been joined; dne fluctuates with the
+//! partition-clustered output; byte converges slowly because it stays
+//! anchored to the optimizer estimate.
+
+use qprog::plan::physical::{compile, PhysicalOptions};
+use qprog::plan::{LogicalPlan, PlanBuilder};
+use qprog_bench::{banner, paper_note, print_table, write_csv, Scale};
+use qprog_core::EstimationMode;
+use qprog_datagen::{customer_table, nation_table};
+use qprog_exec::expr::{BinOp, Expr};
+use qprog_storage::Catalog;
+
+const CHECKPOINTS: [f64; 9] = [0.02, 0.05, 0.10, 0.20, 0.35, 0.50, 0.70, 0.90, 1.0];
+
+/// Run the plan in `mode` and sample the join's estimate at checkpoints of
+/// "fraction of probe input joined" (the join's driver counter). Returns
+/// the samples and the exact output cardinality.
+fn sample_estimates(plan: &LogicalPlan, mode: EstimationMode, probe_rows: u64) -> (Vec<f64>, u64) {
+    let mut q = compile(plan, &PhysicalOptions::with_mode(mode)).expect("compile");
+    let join_metrics = q
+        .registry()
+        .iter()
+        .find(|(n, _)| *n == "hash_join")
+        .map(|(_, m)| std::sync::Arc::clone(m))
+        .expect("plan contains a hash join");
+    let mut samples: Vec<f64> = Vec::new();
+    let mut next_cp = 0usize;
+    let mut emitted: u64 = 0;
+    while let Some(_row) = q.step().expect("execution") {
+        emitted += 1;
+        let joined_frac = join_metrics.driver_consumed() as f64 / probe_rows as f64;
+        while next_cp < CHECKPOINTS.len() && joined_frac >= CHECKPOINTS[next_cp] {
+            samples.push(join_metrics.estimated_total());
+            next_cp += 1;
+        }
+    }
+    // trailing checkpoints (driver drained between last outputs): final value
+    while samples.len() < CHECKPOINTS.len() {
+        samples.push(join_metrics.estimated_total());
+    }
+    (samples, emitted)
+}
+
+fn run_panel(label: &str, csv: &str, plan: &LogicalPlan, probe_rows: u64) {
+    println!("\nFigure 4({label})");
+    println!("optimizer estimate: {:.0}", plan.estimate);
+    let mut per_mode = Vec::new();
+    let mut truth = 0u64;
+    for mode in [EstimationMode::Once, EstimationMode::Dne, EstimationMode::Byte] {
+        let (samples, emitted) = sample_estimates(plan, mode, probe_rows);
+        truth = emitted;
+        per_mode.push(samples);
+    }
+    println!(
+        "true join cardinality: {truth}  (optimizer off by {:.1}x)",
+        truth as f64 / plan.estimate.max(1.0)
+    );
+    let rows: Vec<Vec<String>> = CHECKPOINTS
+        .iter()
+        .enumerate()
+        .map(|(i, cp)| {
+            vec![
+                format!("{:.0}%", cp * 100.0),
+                format!("{:.3}", per_mode[0][i] / truth as f64),
+                format!("{:.3}", per_mode[1][i] / truth as f64),
+                format!("{:.3}", per_mode[2][i] / truth as f64),
+            ]
+        })
+        .collect();
+    print_table(&["probe joined", "once", "dne", "byte"], &rows);
+    write_csv(
+        csv,
+        &["probe_joined_fraction", "once_ratio", "dne_ratio", "byte_ratio"],
+        &rows
+            .iter()
+            .map(|r| {
+                let mut c = r.clone();
+                c[0] = c[0].trim_end_matches('%').to_string();
+                c
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+fn main() {
+    let scale = Scale::detect();
+    banner(
+        "fig4",
+        "once vs dne vs byte through the engine (paper Fig. 4)",
+        scale,
+    );
+    let rows = scale.accuracy_rows();
+    let (_, large) = scale.domains();
+
+    // (a) skewed-skewed join, mismatched peaks
+    let mut catalog = Catalog::new();
+    catalog
+        .register(customer_table("c0", rows, 1.0, large, 1))
+        .expect("register");
+    catalog
+        .register(customer_table("c1", rows, 1.0, large, 2))
+        .expect("register");
+    let builder = PlanBuilder::new(catalog);
+    let plan = builder
+        .scan("c1")
+        .expect("scan")
+        .hash_join(builder.scan("c0").expect("scan"), "c0.nationkey", "c1.nationkey")
+        .expect("join");
+    run_panel("a: C ⋈ C¹, z=1, large domain", "fig4a_skew_join", &plan, rows as u64);
+
+    // (b) PK-FK join with a selection on the build side
+    let mut catalog = Catalog::new();
+    catalog
+        .register(customer_table("customer", rows, 1.0, large, 1))
+        .expect("register");
+    catalog
+        .register(nation_table("nation", large))
+        .expect("register");
+    let builder = PlanBuilder::new(catalog);
+    let nation = builder.scan("nation").expect("scan");
+    let cutoff = (large / 2) as i64;
+    let pred = Expr::binary(
+        BinOp::Lt,
+        nation.col_expr("nationkey").expect("column"),
+        Expr::Literal(cutoff.into()),
+    );
+    let nation = nation.filter(pred).expect("filter");
+    let plan = builder
+        .scan("customer")
+        .expect("scan")
+        .hash_join(nation, "nation.nationkey", "customer.nationkey")
+        .expect("join");
+    run_panel(
+        "b: customer ⋈ σ(nationkey < half)(nation)",
+        "fig4b_pkfk_selection",
+        &plan,
+        rows as u64,
+    );
+
+    paper_note(&[
+        "paper: once is already exact at the leftmost checkpoints (it converged \
+         during the probe partitioning pass, before any joining)",
+        "paper: dne ignores the optimizer estimate but swings with the \
+         partition-clustered output before converging at 100%",
+        "paper: byte starts at the (badly wrong) optimizer estimate and blends \
+         toward the truth only as the input is consumed",
+    ]);
+}

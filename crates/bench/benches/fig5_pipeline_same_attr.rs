@@ -1,0 +1,109 @@
+//! Figure 5: pipeline of joins **on the same attribute** —
+//! `C_{z,small} ⋈ C¹ ⋈ C²` — estimates for (a) the upper join and (b) the
+//! lower join as the lower probe input streams, for z ∈ {0, 1, 2}.
+
+use qprog_bench::{banner, paper_note, print_table, write_csv, Scale};
+use qprog_core::pipeline_est::PipelineEstimator;
+use qprog_datagen::customer_table;
+use qprog_storage::Table;
+
+const CHECKPOINTS: [f64; 8] = [0.01, 0.02, 0.05, 0.10, 0.25, 0.50, 0.75, 1.0];
+
+struct Run {
+    /// ratio error per checkpoint: [lower, upper]
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+fn run_pipeline(probe: &Table, b0: &Table, b1: &Table) -> Run {
+    let n = probe.num_rows() as u64;
+    let exact = |est: &mut PipelineEstimator| {
+        for row in probe.iter() {
+            est.observe_probe(row).expect("probe");
+        }
+        (est.estimate(0), est.estimate(1))
+    };
+    // truth pass
+    let mut est = PipelineEstimator::same_attribute(2, 1, 1, n).expect("spec");
+    est.feed_build(1, b1.iter()).expect("build");
+    est.feed_build(0, b0.iter()).expect("build");
+    let (truth_lower, truth_upper) = exact(&mut est);
+
+    // measured pass with checkpoints
+    let mut est = PipelineEstimator::same_attribute(2, 1, 1, n).expect("spec");
+    est.feed_build(1, b1.iter()).expect("build");
+    est.feed_build(0, b0.iter()).expect("build");
+    let mut lower = Vec::new();
+    let mut upper = Vec::new();
+    let mut next_cp = 0;
+    for (i, row) in probe.iter().enumerate() {
+        est.observe_probe(row).expect("probe");
+        let frac = (i + 1) as f64 / n as f64;
+        while next_cp < CHECKPOINTS.len() && frac >= CHECKPOINTS[next_cp] {
+            lower.push(ratio(est.estimate(0), truth_lower));
+            upper.push(ratio(est.estimate(1), truth_upper));
+            next_cp += 1;
+        }
+    }
+    Run { lower, upper }
+}
+
+fn ratio(est: f64, truth: f64) -> f64 {
+    if truth == 0.0 {
+        f64::NAN
+    } else {
+        est / truth
+    }
+}
+
+fn print_panel(label: &str, csv: &str, series: &[(f64, Vec<f64>)]) {
+    println!("\nFigure 5({label})");
+    let rows: Vec<Vec<String>> = CHECKPOINTS
+        .iter()
+        .enumerate()
+        .map(|(i, cp)| {
+            let mut row = vec![format!("{:.0}%", cp * 100.0)];
+            for (_, s) in series {
+                row.push(format!("{:.3}", s[i]));
+            }
+            row
+        })
+        .collect();
+    let headers: Vec<String> = std::iter::once("lower probe seen".to_string())
+        .chain(series.iter().map(|(z, _)| format!("ratio z={z}")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table(&header_refs, &rows);
+    write_csv(csv, &header_refs, &rows);
+}
+
+fn main() {
+    let scale = Scale::detect();
+    banner(
+        "fig5",
+        "join pipeline on the same attribute (paper Fig. 5)",
+        scale,
+    );
+    let rows = scale.accuracy_rows();
+    let (small, _) = scale.domains();
+    let zs = [0.0, 1.0, 2.0];
+    let mut upper_series = Vec::new();
+    let mut lower_series = Vec::new();
+    for &z in &zs {
+        let b0 = customer_table("b0", rows, z, small, 1);
+        let b1 = customer_table("b1", rows, z, small, 2);
+        let probe = customer_table("c", rows, z, small, 3);
+        let run = run_pipeline(&probe, &b0, &b1);
+        upper_series.push((z, run.upper));
+        lower_series.push((z, run.lower));
+    }
+    print_panel("a: upper join", "fig5a_upper_join", &upper_series);
+    print_panel("b: lower join", "fig5b_lower_join", &lower_series);
+    paper_note(&[
+        "paper: both joins converge to exact cardinalities while only a fraction \
+         of the lower probe input has been seen (push-down estimation)",
+        "paper: the z=2 upper-join curve may jump mid-way when a hot lower value \
+         meets a hot upper value — only a few values contribute to the join",
+        "expect: all ratios ≈1 from the 5-25% checkpoints, exactly 1.000 at 100%",
+    ]);
+}

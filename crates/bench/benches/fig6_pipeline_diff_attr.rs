@@ -1,0 +1,150 @@
+//! Figure 6: pipeline of two hash joins **on different attributes**
+//! (§4.1.4.2). The lower join is on `nationkey`; the upper join is on
+//! `custkey`, whose value reaches the pipeline either
+//!
+//! - **Case 1 (6a)**: from the *probe* relation of the lower join (the
+//!   lowest probe tuple carries it directly), or
+//! - **Case 2 (6b)**: from the *build* relation of the lower join (a derived
+//!   histogram folds the lower join's multiplicity during its build pass).
+//!
+//! Following §5.1.3: custkey is replaced by a skewed distribution over a
+//! 25K-element domain; the lower join's skew is fixed (z=2 for Case 1, z=1
+//! for Case 2) and the upper join's skew varies.
+
+use qprog_bench::{banner, paper_note, print_table, write_csv, Scale};
+use qprog_core::pipeline_est::{AttrSource, JoinSpec, PipelineEstimator};
+use qprog_datagen::{skewed_key_table, two_key_table};
+use qprog_storage::Table;
+
+const CHECKPOINTS: [f64; 8] = [0.01, 0.02, 0.05, 0.10, 0.25, 0.50, 0.75, 1.0];
+
+/// Build the estimator, replay (truth pass + measured pass), return the
+/// upper-join ratio-error per checkpoint plus the exact cardinalities.
+fn run_case(
+    specs: Vec<JoinSpec>,
+    probe: &Table,
+    b0: &Table,
+    b1: &Table,
+) -> (Vec<f64>, f64, f64) {
+    let n = probe.num_rows() as u64;
+    let full = |est: &mut PipelineEstimator| {
+        for row in probe.iter() {
+            est.observe_probe(row).expect("probe");
+        }
+        (est.estimate(0), est.estimate(1))
+    };
+    let fresh = || {
+        let mut est = PipelineEstimator::new(specs.clone(), n).expect("specs");
+        est.feed_build(1, b1.iter()).expect("build upper");
+        est.feed_build(0, b0.iter()).expect("build lower");
+        est
+    };
+    let mut est = fresh();
+    let (truth_lower, truth_upper) = full(&mut est);
+
+    let mut est = fresh();
+    let mut ratios = Vec::new();
+    let mut next_cp = 0;
+    for (i, row) in probe.iter().enumerate() {
+        est.observe_probe(row).expect("probe");
+        let frac = (i + 1) as f64 / n as f64;
+        while next_cp < CHECKPOINTS.len() && frac >= CHECKPOINTS[next_cp] {
+            ratios.push(if truth_upper == 0.0 {
+                f64::NAN
+            } else {
+                est.estimate(1) / truth_upper
+            });
+            next_cp += 1;
+        }
+    }
+    (ratios, truth_lower, truth_upper)
+}
+
+fn print_panel(label: &str, csv: &str, series: &[(f64, Vec<f64>)]) {
+    println!("\nFigure 6({label})");
+    let rows: Vec<Vec<String>> = CHECKPOINTS
+        .iter()
+        .enumerate()
+        .map(|(i, cp)| {
+            let mut row = vec![format!("{:.0}%", cp * 100.0)];
+            for (_, s) in series {
+                row.push(format!("{:.3}", s[i]));
+            }
+            row
+        })
+        .collect();
+    let headers: Vec<String> = std::iter::once("lower probe seen".to_string())
+        .chain(series.iter().map(|(z, _)| format!("upper ratio z={z}")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table(&header_refs, &rows);
+    write_csv(csv, &header_refs, &rows);
+}
+
+fn main() {
+    let scale = Scale::detect();
+    banner(
+        "fig6",
+        "join pipeline on different attributes, Cases 1 and 2 (paper Fig. 6)",
+        scale,
+    );
+    let rows = scale.accuracy_rows();
+    let domain = if scale.full { 25_000 } else { 5_000 };
+
+    // ---- Case 1: upper key comes from the lowest probe relation ----
+    // probe C(custkey, nationkey); lower build on nationkey (z=2 both
+    // sides); upper build on custkey (z varies). z=2 upper produces no
+    // tuples in the paper; we report z ∈ {0, 1}.
+    let mut case1 = Vec::new();
+    for &z_up in &[0.0, 1.0] {
+        let probe = two_key_table("c", rows, z_up, domain, 1, 2.0, domain, 2);
+        let b0 = skewed_key_table("b0", "nationkey", rows, 2.0, domain, 3);
+        let b1 = skewed_key_table("b1", "custkey", rows, z_up, domain, 4);
+        let specs = vec![
+            JoinSpec {
+                build_attr_col: 0,
+                probe_attr: AttrSource::Probe { col: 1 }, // C.nationkey
+            },
+            JoinSpec {
+                build_attr_col: 0,
+                probe_attr: AttrSource::Probe { col: 0 }, // C.custkey
+            },
+        ];
+        let (ratios, tl, tu) = run_case(specs, &probe, &b0, &b1);
+        println!("case 1, upper z={z_up}: lower truth {tl:.0}, upper truth {tu:.0}");
+        case1.push((z_up, ratios));
+    }
+    print_panel("a: Case 1 — key from the probe relation", "fig6a_case1", &case1);
+
+    // ---- Case 2: upper key comes from the lower build relation ----
+    // lower build B0(custkey, nationkey) joins C on nationkey (z=1 fixed);
+    // upper build B1(custkey) joins B0.custkey (z varies).
+    let mut case2 = Vec::new();
+    for &z_up in &[0.0, 1.0, 2.0] {
+        let probe = skewed_key_table("c", "nationkey", rows, 1.0, domain, 1);
+        let b0 = two_key_table("b0", rows, z_up, domain, 2, 1.0, domain, 3);
+        let b1 = skewed_key_table("b1", "custkey", rows, z_up, domain, 4);
+        let specs = vec![
+            JoinSpec {
+                build_attr_col: 1, // B0.nationkey
+                probe_attr: AttrSource::Probe { col: 0 },
+            },
+            JoinSpec {
+                build_attr_col: 0,                                 // B1.custkey
+                probe_attr: AttrSource::Build { join: 0, col: 0 }, // B0.custkey
+            },
+        ];
+        let (ratios, tl, tu) = run_case(specs, &probe, &b0, &b1);
+        println!("case 2, upper z={z_up}: lower truth {tl:.0}, upper truth {tu:.0}");
+        case2.push((z_up, ratios));
+    }
+    print_panel("b: Case 2 — key from the build relation", "fig6b_case2", &case2);
+
+    paper_note(&[
+        "paper: fast convergence of the upper-join estimate as the lower probe \
+         input is read, in both cases (Case 2 via derived histograms)",
+        "paper: at z=2 for Case 1 the upper join is empty (hot values miss), \
+         hence no curve",
+        "expect: ratios ≈1 well before 100%, exactly 1.000 at 100%",
+    ]);
+}

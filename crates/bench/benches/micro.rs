@@ -1,0 +1,100 @@
+//! Criterion microbenchmarks for the per-tuple costs the paper's
+//! "lightweight" claim rests on: histogram maintenance, incremental join
+//! estimation, the GEE update, MLE recomputation, and the γ² read.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use qprog_core::confidence::z_alpha;
+use qprog_core::freq_hist::FreqHist;
+use qprog_core::gee::Gee;
+use qprog_core::join_est::OnceJoinEstimator;
+use qprog_core::mle::mle_estimate;
+use qprog_datagen::customer_table;
+use qprog_storage::ScanOrder;
+use qprog_types::Key;
+
+fn nationkeys(rows: usize, z: f64, domain: usize, variant: u64) -> Vec<Key> {
+    customer_table("c", rows, z, domain, variant)
+        .iter()
+        .map(|r| r.key(1).expect("int column"))
+        .collect()
+}
+
+fn bench_freq_hist(c: &mut Criterion) {
+    let keys = nationkeys(10_000, 1.0, 1_000, 1);
+    c.bench_function("freq_hist_observe_10k", |b| {
+        b.iter_batched(
+            FreqHist::new,
+            |mut h| {
+                for k in &keys {
+                    h.observe(k);
+                }
+                h
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut full = FreqHist::new();
+    for k in &keys {
+        full.observe(k);
+    }
+    c.bench_function("freq_hist_gamma_squared", |b| {
+        b.iter(|| std::hint::black_box(full.gamma_squared()))
+    });
+    c.bench_function("freq_hist_probe", |b| {
+        b.iter(|| std::hint::black_box(full.count(&Key::Int(500))))
+    });
+}
+
+fn bench_join_estimator(c: &mut Criterion) {
+    let build = nationkeys(10_000, 1.0, 1_000, 1);
+    let probe = nationkeys(10_000, 1.0, 1_000, 2);
+    c.bench_function("once_join_probe_10k", |b| {
+        b.iter_batched(
+            || OnceJoinEstimator::from_build_keys(build.iter(), probe.len() as u64),
+            |mut est| {
+                for k in &probe {
+                    est.observe_probe(k);
+                }
+                est.estimate()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_distinct(c: &mut Criterion) {
+    let keys = nationkeys(10_000, 0.5, 2_000, 1);
+    c.bench_function("gee_update_10k", |b| {
+        b.iter_batched(
+            || (FreqHist::new(), Gee::new(10_000)),
+            |(mut h, mut g)| {
+                for k in &keys {
+                    g.observe_transition(h.observe(k));
+                }
+                g.estimate()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut hist = FreqHist::new();
+    for k in &keys {
+        hist.observe(k);
+    }
+    c.bench_function("mle_recompute", |b| {
+        b.iter(|| std::hint::black_box(mle_estimate(&hist, 100_000)))
+    });
+}
+
+fn bench_misc(c: &mut Criterion) {
+    c.bench_function("z_alpha", |b| b.iter(|| std::hint::black_box(z_alpha(0.99))));
+    c.bench_function("scan_order_sample_1k_blocks", |b| {
+        b.iter(|| std::hint::black_box(ScanOrder::sample_first(1_000, 0.10, 7)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_freq_hist, bench_join_estimator, bench_distinct, bench_misc
+}
+criterion_main!(benches);

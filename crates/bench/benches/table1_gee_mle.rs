@@ -1,0 +1,119 @@
+//! Table 1: GEE vs MLE accuracy on the customer grouping column for
+//! varying distinct-value budgets and skews.
+//!
+//! Columns (as in the paper): the number of *possible* distinct values, the
+//! skew z, γ² when 10% of the input has been seen, the number of input rows
+//! each estimator needs before first reaching within 10% of the true group
+//! count, and the rows needed before *all* groups have been seen.
+
+use qprog_bench::{banner, paper_note, print_table, write_csv, Scale};
+use qprog_core::chooser::{choose_estimator, EstimatorChoice, DEFAULT_TAU};
+use qprog_core::freq_hist::FreqHist;
+use qprog_core::gee::Gee;
+use qprog_core::mle::mle_estimate;
+use qprog_datagen::customer_table;
+use qprog_types::Key;
+
+struct Row1 {
+    values: usize,
+    gamma_at_10pct: f64,
+    gee_rows: Option<u64>,
+    mle_rows: Option<u64>,
+    all_seen: u64,
+    chosen: &'static str,
+}
+
+fn run_config(rows: usize, values: usize, z: f64, mle_every: u64) -> Row1 {
+    let keys: Vec<Key> = customer_table("c", rows, z, values, 1)
+        .iter()
+        .map(|r| r.key(1).expect("int column"))
+        .collect();
+    let truth = {
+        let mut h = FreqHist::new();
+        for k in &keys {
+            h.observe(k);
+        }
+        h.distinct() as f64
+    };
+    let within = |e: f64| (e - truth).abs() / truth <= 0.10;
+
+    let mut hist = FreqHist::new();
+    let mut gee = Gee::new(rows as u64);
+    let mut gee_rows = None;
+    let mut mle_rows = None;
+    let mut all_seen = 0u64;
+    let mut gamma_at_10pct = 0.0;
+    for (i, k) in keys.iter().enumerate() {
+        let t = (i + 1) as u64;
+        let prior = hist.observe(k);
+        gee.observe_transition(prior);
+        if hist.distinct() as f64 >= truth && all_seen == 0 {
+            all_seen = t;
+        }
+        if gee_rows.is_none() && within(gee.estimate()) {
+            gee_rows = Some(t);
+        }
+        if mle_rows.is_none() && t.is_multiple_of(mle_every) && within(mle_estimate(&hist, rows as u64)) {
+            mle_rows = Some(t);
+        }
+        if t == (rows as u64) / 10 {
+            gamma_at_10pct = hist.gamma_squared();
+        }
+    }
+    Row1 {
+        values,
+        gamma_at_10pct,
+        gee_rows,
+        mle_rows,
+        all_seen,
+        chosen: match choose_estimator(gamma_at_10pct, DEFAULT_TAU) {
+            EstimatorChoice::Gee => "GEE",
+            EstimatorChoice::Mle => "MLE",
+        },
+    }
+}
+
+fn main() {
+    let scale = Scale::detect();
+    banner("table1", "GEE vs MLE rows-to-±10% (paper Table 1)", scale);
+    let rows = scale.accuracy_rows();
+    let value_budgets: Vec<usize> = if scale.full {
+        vec![100, 1_000, 10_000, 100_000]
+    } else {
+        vec![100, 1_000, 5_000, 20_000]
+    };
+    let mle_every = (rows as u64 / 500).max(1);
+
+    let mut table = Vec::new();
+    for &values in &value_budgets {
+        for &z in &[0.0, 1.0, 2.0] {
+            let r = run_config(rows, values, z, mle_every);
+            let fmt_rows =
+                |o: Option<u64>| o.map(|v| v.to_string()).unwrap_or_else(|| "never".into());
+            table.push(vec![
+                r.values.to_string(),
+                format!("{z}"),
+                format!("{:.2}", r.gamma_at_10pct),
+                fmt_rows(r.gee_rows),
+                fmt_rows(r.mle_rows),
+                r.all_seen.to_string(),
+                r.chosen.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        &["#values", "z", "γ²@10%", "GEE", "MLE", "all seen", "chosen (τ=10)"],
+        &table,
+    );
+    write_csv(
+        "table1_gee_mle",
+        &["values", "z", "gamma2_at_10pct", "gee_rows", "mle_rows", "all_seen", "chosen"],
+        &table,
+    );
+    paper_note(&[
+        "paper: GEE reaches ±10% earlier on high-skew data and when many \
+         low-frequency values exist; MLE wins on low-skew data",
+        "paper: a wide γ² gap separates low- and high-skew configurations, and \
+         γ² < τ=10 selects the better estimator",
+    ]);
+}

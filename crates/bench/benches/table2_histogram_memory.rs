@@ -1,0 +1,58 @@
+//! Table 2: memory overhead of the exact frequency histograms, per number
+//! of distinct entries. The paper reports PostgreSQL's generic hashtable at
+//! ~20 B/entry ("Mem. Used") plus allocation slack ("Mem. Alloc."); we
+//! report the same two columns for our structure.
+
+use qprog_bench::{banner, paper_note, print_table, write_csv, Scale};
+use qprog_core::freq_hist::FreqHist;
+use qprog_types::Key;
+
+fn human(bytes: usize) -> String {
+    if bytes >= 1 << 20 {
+        format!("{:.2} MB", bytes as f64 / (1 << 20) as f64)
+    } else {
+        format!("{:.1} KB", bytes as f64 / 1024.0)
+    }
+}
+
+fn main() {
+    let scale = Scale::detect();
+    banner("table2", "histogram memory overheads (paper Table 2)", scale);
+    let sizes: Vec<usize> = if scale.full {
+        vec![1_000, 10_000, 100_000, 1_000_000]
+    } else {
+        vec![1_000, 10_000, 100_000]
+    };
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let mut h = FreqHist::new(); // grows organically, like a join build would
+        for i in 0..n {
+            h.observe(&Key::Int(i as i64));
+        }
+        let used = h.memory_used();
+        let alloc = h.memory_allocated();
+        rows.push(vec![
+            n.to_string(),
+            human(used),
+            human(alloc),
+            format!("{:.1}", used as f64 / n as f64),
+            format!("{:.1}", alloc as f64 / n as f64),
+        ]);
+    }
+    print_table(
+        &["#values", "mem used", "mem alloc", "used B/entry", "alloc B/entry"],
+        &rows,
+    );
+    write_csv(
+        "table2_histogram_memory",
+        &["values", "mem_used", "mem_alloc", "used_bytes_per_entry", "alloc_bytes_per_entry"],
+        &rows,
+    );
+    paper_note(&[
+        "paper: ~20 B/entry used (8 B payload + pointer overhead of the \
+         PostgreSQL generic hashtable), allocation slightly above that; \
+         1M entries ≈ 20.3 MB used / 25.2 MB allocated",
+        "here: the per-entry footprint is the (Key, u64) pair plus the std \
+         HashMap's capacity slack — same order, no pointer chains",
+    ]);
+}

@@ -1,0 +1,127 @@
+//! Table 4(a): estimation overhead on two-join pipelines over copies of
+//! the orders relation, joins on *different attributes* — Case 1 (the upper
+//! key carried by the probe relation) and Case 2 (carried by the lower
+//! build relation). 10% samples, per the paper.
+//!
+//! Per §5.2.2 we duplicate the orderkey column so both joins are key-equal
+//! in data but count as different attributes for estimation.
+
+use std::sync::Arc;
+
+use qprog::plan::physical::{compile, PhysicalOptions};
+use qprog::plan::PlanBuilder;
+use qprog_bench::{banner, interleaved_min_times, ms, overhead_pct, paper_note, print_table, write_csv, Scale};
+use qprog_core::EstimationMode;
+use qprog_datagen::{TpchConfig, TpchGenerator};
+use qprog_storage::{Catalog, Table};
+use qprog_types::{DataType, Field, Row, Schema};
+
+/// Simulated page-read cost per block for the paper's disk-resident
+/// context (see table3).
+const BLOCK_IO_US: u64 = 150;
+
+/// orders with the orderkey column duplicated: (okey1, okey2, custkey).
+fn orders_dup(name: &str, sf: f64, seed: u64) -> Table {
+    let orders = TpchGenerator::new(TpchConfig {
+        scale: sf,
+        skew: 0.0,
+        seed,
+    })
+    .orders();
+    let mut t = Table::new(
+        name,
+        Schema::new(vec![
+            Field::new("okey1", DataType::Int64),
+            Field::new("okey2", DataType::Int64),
+            Field::new("custkey", DataType::Int64),
+        ]),
+    );
+    for r in orders.iter() {
+        let ok = r.get(0).expect("col").clone();
+        let ck = r.get(1).expect("col").clone();
+        t.push(Row::new(vec![ok.clone(), ok, ck])).expect("push");
+    }
+    t
+}
+
+fn main() {
+    let scale = Scale::detect();
+    banner(
+        "table4a",
+        "estimation overhead on join pipelines (paper Table 4a)",
+        scale,
+    );
+    let runs = if scale.full { 3 } else { 7 };
+    let mut rows = Vec::new();
+    for sf in scale.tpch_sfs() {
+        let mut catalog = Catalog::new();
+        for (i, name) in ["o1", "o2", "o3"].iter().enumerate() {
+            catalog
+                .register(orders_dup(name, sf, 30 + i as u64))
+                .expect("register");
+        }
+        let catalog = Arc::new(catalog);
+        let builder = PlanBuilder::new((*catalog).clone());
+
+        // Case 1: lower join o2.okey1 = o1.okey1, upper join o3.okey2 =
+        // o1.okey2 (upper key from the probe relation o1).
+        let case1 = builder
+            .scan("o1")
+            .expect("scan")
+            .hash_join(builder.scan("o2").expect("scan"), "o2.okey1", "o1.okey1")
+            .expect("join")
+            .hash_join(builder.scan("o3").expect("scan"), "o3.okey2", "o1.okey2")
+            .expect("join");
+        // Case 2: upper join o3.okey2 = o2.okey2 (upper key from the lower
+        // build relation o2 → derived histogram).
+        let case2 = builder
+            .scan("o1")
+            .expect("scan")
+            .hash_join(builder.scan("o2").expect("scan"), "o2.okey1", "o1.okey1")
+            .expect("join")
+            .hash_join(builder.scan("o3").expect("scan"), "o3.okey2", "o2.okey2")
+            .expect("join");
+
+        for (label, plan) in [("case 1", &case1), ("case 2", &case2)] {
+            for (ctx, io_us) in [("mem", 0u64), ("io", BLOCK_IO_US)] {
+                let exec = |mode: EstimationMode| {
+                    let opts = PhysicalOptions {
+                        mode,
+                        sample_fraction: 0.10,
+                        block_io_us: io_us,
+                        ..PhysicalOptions::default()
+                    };
+                    let mut q = compile(plan, &opts).expect("compile");
+                    q.collect().expect("run");
+                };
+                let times = interleaved_min_times(
+                    runs,
+                    vec![
+                        Box::new(|| exec(EstimationMode::Off)),
+                        Box::new(|| exec(EstimationMode::Once)),
+                    ],
+                );
+                let (off, once) = (times[0], times[1]);
+                rows.push(vec![
+                    format!("{sf}"),
+                    label.to_string(),
+                    ctx.to_string(),
+                    ms(off),
+                    ms(once),
+                    overhead_pct(off, once),
+                ]);
+            }
+        }
+    }
+    print_table(&["SF", "pipeline", "ctx", "off ms", "once ms", "overhead"], &rows);
+    write_csv(
+        "table4a_pipeline_overhead",
+        &["sf", "case", "ctx", "off_ms", "once_ms", "overhead"],
+        &rows,
+    );
+    paper_note(&[
+        "paper: pipeline push-down estimation (including Case 2's derived \
+         histograms) increases query times imperceptibly at 10% samples",
+        "expect: low-single-digit-percent overheads in both cases",
+    ]);
+}

@@ -1,0 +1,159 @@
+//! Table 4(b): estimation overhead on GROUP BY orders.custkey, per TPC-H
+//! scale factor, for the GEE and MLE estimators separately and for the full
+//! framework (GEE + adaptively recomputed MLE + γ² chooser).
+//!
+//! Algorithm 3 parameters follow the paper: l = 0.1% of the input,
+//! u = 3.2%, k = 1%. 10% block samples.
+
+use std::sync::Arc;
+
+use qprog_bench::{banner, interleaved_min_times, ms, overhead_pct, paper_note, print_table, write_csv, Scale};
+use qprog_core::distinct::DistinctTracker;
+use qprog_core::interval::AdaptiveInterval;
+use qprog_datagen::{TpchConfig, TpchGenerator};
+use qprog_exec::metrics::OpMetrics;
+use qprog_exec::ops::agg::{AggEstimation, AggFunc, AggSpec, HashAggregate};
+use qprog_exec::ops::{Operator, TableScan};
+use qprog_storage::Table;
+use qprog_types::{DataType, Field, Schema};
+
+/// Simulated page-read cost per block for the paper's disk-resident
+/// context (see table3).
+const BLOCK_IO_US: u64 = 150;
+
+fn run_group_by(orders: &Arc<Table>, tracker: Option<DistinctTracker>, io_us: u64) -> usize {
+    let scan = Box::new(
+        TableScan::sampled(
+            Arc::clone(orders),
+            0.10,
+            99,
+            OpMetrics::with_initial_estimate(orders.num_rows() as f64),
+        )
+        .with_io_cost(std::time::Duration::from_micros(io_us)),
+    );
+    let schema = Schema::new(vec![
+        Field::new("custkey", DataType::Int64),
+        Field::new("cnt", DataType::Int64).with_nullable(true),
+    ])
+    .into_ref();
+    let estimation = match &tracker {
+        Some(_) => AggEstimation::Track {
+            input_size_hint: orders.num_rows() as u64,
+        },
+        None => AggEstimation::Off,
+    };
+    let mut agg = HashAggregate::new(
+        scan,
+        vec![1], // orders.custkey
+        vec![AggSpec {
+            func: AggFunc::CountStar,
+            col: None,
+        }],
+        schema,
+        estimation,
+        OpMetrics::with_initial_estimate(0.0),
+    );
+    if let Some(t) = tracker {
+        agg = agg.with_tracker(t);
+    }
+    let mut n = 0;
+    while agg.next().expect("agg").is_some() {
+        n += 1;
+    }
+    n
+}
+
+fn main() {
+    let scale = Scale::detect();
+    banner(
+        "table4b",
+        "estimation overhead on GROUP BY orders.custkey (paper Table 4b)",
+        scale,
+    );
+    let runs = if scale.full { 3 } else { 7 };
+    let mut rows = Vec::new();
+    for sf in scale.tpch_sfs() {
+        let orders = TpchGenerator::new(TpchConfig {
+            scale: sf,
+            skew: 0.0,
+            seed: 77,
+        })
+        .orders()
+        .into_shared();
+        let n = orders.num_rows() as u64;
+        // MLE disabled: interval so large it never fires; τ = -1 keeps the
+        // chooser on GEE.
+        let gee_only = || {
+            DistinctTracker::new(n)
+                .with_tau(-1.0)
+                .with_interval(AdaptiveInterval::new(u64::MAX / 2, u64::MAX / 2, 0.01))
+        };
+        // MLE at the paper's Algorithm-3 parameters; τ = ∞ keeps the
+        // chooser on MLE.
+        let mle_adaptive = || {
+            DistinctTracker::new(n)
+                .with_tau(f64::INFINITY)
+                .with_interval(AdaptiveInterval::paper_default(n))
+        };
+        let full = || DistinctTracker::new(n); // paper defaults: chooser active
+
+        for (ctx, io_us) in [("mem", 0u64), ("io", BLOCK_IO_US)] {
+            let times = interleaved_min_times(
+                runs,
+                vec![
+                    Box::new(|| {
+                        run_group_by(&orders, None, io_us);
+                    }),
+                    Box::new(|| {
+                        run_group_by(&orders, Some(gee_only()), io_us);
+                    }),
+                    Box::new(|| {
+                        run_group_by(&orders, Some(mle_adaptive()), io_us);
+                    }),
+                    Box::new(|| {
+                        run_group_by(&orders, Some(full()), io_us);
+                    }),
+                ],
+            );
+            let (off, gee, mle, both) = (times[0], times[1], times[2], times[3]);
+            rows.push(vec![
+                format!("{sf}"),
+                ctx.to_string(),
+                ms(off),
+                ms(gee),
+                overhead_pct(off, gee),
+                ms(mle),
+                overhead_pct(off, mle),
+                ms(both),
+                overhead_pct(off, both),
+            ]);
+        }
+    }
+    print_table(
+        &[
+            "SF", "ctx", "off ms", "GEE ms", "ovh", "MLE ms", "ovh", "chooser ms", "ovh",
+        ],
+        &rows,
+    );
+    write_csv(
+        "table4b_agg_overhead",
+        &[
+            "sf",
+            "ctx",
+            "off_ms",
+            "gee_ms",
+            "gee_overhead",
+            "mle_ms",
+            "mle_overhead",
+            "chooser_ms",
+            "chooser_overhead",
+        ],
+        &rows,
+    );
+    paper_note(&[
+        "paper: neither GEE nor MLE slows aggregation appreciably; the MLE \
+         recomputation cost is bounded by the adaptive interval (l=0.1%, \
+         u=3.2%, k=1%)",
+        "expect: single-digit-percent overheads for all three variants",
+    ]);
+}

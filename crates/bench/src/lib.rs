@@ -1,0 +1,219 @@
+//! Shared harness for the experiment benches.
+//!
+//! Every bench target reproduces one table or figure of the paper's §5.
+//! By default each runs a scaled-down configuration so that
+//! `cargo bench --workspace` finishes in minutes; set `QPROG_FULL=1` for
+//! paper-scale runs (150K-row accuracy tables, TPC-H SF 0.5–2). Each bench
+//! prints the same rows/series the paper reports and additionally writes a
+//! CSV under `results/`.
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Experiment scale selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Paper-scale when true (`QPROG_FULL=1`).
+    pub full: bool,
+}
+
+impl Scale {
+    /// Read from the environment.
+    pub fn detect() -> Self {
+        Scale {
+            full: std::env::var("QPROG_FULL").map(|v| v == "1").unwrap_or(false),
+        }
+    }
+
+    /// Rows for the §5.1 accuracy tables (paper: TPC-H SF 1 customer =
+    /// 150K rows).
+    pub fn accuracy_rows(self) -> usize {
+        if self.full {
+            150_000
+        } else {
+            30_000
+        }
+    }
+
+    /// Small / large nationkey domains (paper: 5K / 125K).
+    pub fn domains(self) -> (usize, usize) {
+        if self.full {
+            (5_000, 125_000)
+        } else {
+            (1_000, 25_000)
+        }
+    }
+
+    /// TPC-H scale factors for the overhead tables (paper: 0.5 / 1 / 2).
+    pub fn tpch_sfs(self) -> Vec<f64> {
+        if self.full {
+            vec![0.5, 1.0, 2.0]
+        } else {
+            vec![0.01, 0.02, 0.04]
+        }
+    }
+
+    /// TPC-H scale factor for the Fig. 8 progress run (paper: 1).
+    pub fn q8_sf(self) -> f64 {
+        if self.full {
+            1.0
+        } else {
+            0.02
+        }
+    }
+}
+
+/// Print the experiment banner.
+pub fn banner(id: &str, title: &str, scale: Scale) {
+    println!("==================================================================");
+    println!("{id}: {title}");
+    println!(
+        "scale: {} (set QPROG_FULL=1 for paper scale)",
+        if scale.full { "FULL (paper)" } else { "quick" }
+    );
+    println!("==================================================================");
+}
+
+/// Print an aligned text table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        println!("  {}", padded.join("  "));
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Write a CSV into `results/` (relative to the workspace root when run via
+/// cargo, else the current directory).
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let dir = results_dir();
+    if fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    let Ok(mut f) = fs::File::create(&path) else {
+        return;
+    };
+    let _ = writeln!(f, "{}", headers.join(","));
+    for row in rows {
+        let _ = writeln!(f, "{}", row.join(","));
+    }
+    println!("(csv written to {})", path.display());
+}
+
+fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR of the bench crate is crates/bench; hop up twice.
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => PathBuf::from(dir).join("../../results"),
+        Err(_) => PathBuf::from("results"),
+    }
+}
+
+/// Time a closure.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Best (minimum) wall time of `runs` executions of `f` — the standard
+/// low-noise statistic for CPU-bound measurements.
+pub fn median_time<T>(runs: usize, mut f: impl FnMut() -> T) -> Duration {
+    (0..runs.max(1))
+        .map(|_| time_it(&mut f).1)
+        .min()
+        .expect("at least one run")
+}
+
+/// Minimum wall time per configuration with the configurations
+/// *interleaved* across repetitions, so slow machine drift (frequency
+/// scaling, allocator state) hits every configuration equally.
+pub fn interleaved_min_times(runs: usize, mut fs: Vec<Box<dyn FnMut() + '_>>) -> Vec<Duration> {
+    let mut best = vec![Duration::MAX; fs.len()];
+    for _ in 0..runs.max(1) {
+        for (i, f) in fs.iter_mut().enumerate() {
+            let (_, d) = time_it(f);
+            best[i] = best[i].min(d);
+        }
+    }
+    best
+}
+
+/// Format a duration as milliseconds with 1 decimal.
+pub fn ms(d: Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1000.0)
+}
+
+/// Format an overhead percentage of `with` relative to `without`.
+pub fn overhead_pct(without: Duration, with: Duration) -> String {
+    if without.is_zero() {
+        return "n/a".into();
+    }
+    format!(
+        "{:+.1}%",
+        (with.as_secs_f64() / without.as_secs_f64() - 1.0) * 100.0
+    )
+}
+
+/// Format any displayable value into a cell.
+pub fn cell(v: impl Display) -> String {
+    v.to_string()
+}
+
+/// A compact "paper vs measured" note printed at the end of every bench.
+pub fn paper_note(lines: &[&str]) {
+    println!("\npaper comparison:");
+    for l in lines {
+        println!("  - {l}");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults_quick() {
+        let s = Scale { full: false };
+        assert_eq!(s.accuracy_rows(), 30_000);
+        assert!(s.tpch_sfs().iter().all(|&sf| sf < 0.1));
+        let f = Scale { full: true };
+        assert_eq!(f.accuracy_rows(), 150_000);
+        assert_eq!(f.domains(), (5_000, 125_000));
+    }
+
+    #[test]
+    fn overhead_formatting() {
+        let a = Duration::from_millis(100);
+        let b = Duration::from_millis(103);
+        assert_eq!(overhead_pct(a, b), "+3.0%");
+        assert_eq!(ms(a), "100.0");
+        assert_eq!(overhead_pct(Duration::ZERO, b), "n/a");
+    }
+
+    #[test]
+    fn median_time_positive() {
+        let d = median_time(3, || std::hint::black_box((0..1000).sum::<u64>()));
+        assert!(d.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,301 @@
+//! Confidence machinery for online estimates (§4.1 of the paper).
+//!
+//! The paper derives per-value confidence from the normal approximation to
+//! the binomial: after `t` observations, `p̂ ± Z_α √(p̂(1−p̂)/t)`, and bounds
+//! the half-width by `β = Z_α / (2√t)` using `p(1−p) ≤ 1/4`. For the
+//! composite join estimates we additionally provide the standard
+//! empirical-variance CLT interval (via [`RunningMoments`]) — the paper's
+//! footnote 1 notes such strengthened limit-theorem techniques "can be
+//! easily adapted".
+
+/// `Z_α` for a two-sided confidence level `alpha ∈ (0, 1)`, i.e. the
+/// `(1+α)/2` quantile of the standard normal.
+///
+/// Uses Acklam's rational approximation of the inverse normal CDF
+/// (relative error < 1.15e-9), so no tables are needed.
+pub fn z_alpha(alpha: f64) -> f64 {
+    assert!(
+        (0.0..1.0).contains(&alpha),
+        "confidence level must be in [0, 1), got {alpha}"
+    );
+    inverse_normal_cdf(0.5 + alpha / 2.0)
+}
+
+/// Inverse standard normal CDF (probit), Acklam's approximation.
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    assert!((0.0..1.0).contains(&p) && p > 0.0, "p must be in (0,1)");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -inverse_normal_cdf(1.0 - p)
+    }
+}
+
+/// The distribution-free half-width bound `β = Z_α / (2√t)` on a fraction
+/// estimate after `t` observations (§4.1). Returns `∞` for `t == 0`.
+pub fn beta(t: u64, z: f64) -> f64 {
+    if t == 0 {
+        f64::INFINITY
+    } else {
+        z / (2.0 * (t as f64).sqrt())
+    }
+}
+
+/// A symmetric confidence interval around a point estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    pub estimate: f64,
+    pub lo: f64,
+    pub hi: f64,
+}
+
+impl ConfidenceInterval {
+    /// Interval from a point estimate and half-width, clamping the lower
+    /// bound at zero (cardinalities are non-negative).
+    pub fn around(estimate: f64, half_width: f64) -> Self {
+        ConfidenceInterval {
+            estimate,
+            lo: (estimate - half_width).max(0.0),
+            hi: estimate + half_width,
+        }
+    }
+
+    /// Width of the interval.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether a value lies inside the interval.
+    pub fn contains(&self, v: f64) -> bool {
+        (self.lo..=self.hi).contains(&v)
+    }
+
+    /// Binomial-proportion interval `p̂ ± z √(p̂(1−p̂)/t)` (§4.1).
+    pub fn binomial_proportion(successes: u64, t: u64, z: f64) -> Self {
+        if t == 0 {
+            return ConfidenceInterval {
+                estimate: 0.0,
+                lo: 0.0,
+                hi: 1.0,
+            };
+        }
+        let p = successes as f64 / t as f64;
+        let hw = z * (p * (1.0 - p) / t as f64).sqrt();
+        ConfidenceInterval {
+            estimate: p,
+            lo: (p - hw).max(0.0),
+            hi: (p + hw).min(1.0),
+        }
+    }
+}
+
+/// Online mean/variance accumulator (Welford's algorithm).
+///
+/// Join estimates of the form `|S|/t · Σ X_i` are scaled sample means; the
+/// CLT interval for the mean uses the running variance maintained here in
+/// `O(1)` per observation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunningMoments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningMoments {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        RunningMoments::default()
+    }
+
+    /// Fold in one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 when fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Standard error of the mean, `√(var/n)`.
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            f64::INFINITY
+        } else {
+            (self.variance() / self.n as f64).sqrt()
+        }
+    }
+
+    /// CLT confidence interval for the mean at `z`.
+    pub fn mean_ci(&self, z: f64) -> ConfidenceInterval {
+        if self.n == 0 {
+            return ConfidenceInterval {
+                estimate: 0.0,
+                lo: 0.0,
+                hi: f64::INFINITY,
+            };
+        }
+        ConfidenceInterval::around(self.mean, z * self.std_error())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_alpha_matches_standard_table() {
+        // classic two-sided z values
+        assert!((z_alpha(0.90) - 1.6449).abs() < 1e-3);
+        assert!((z_alpha(0.95) - 1.9600).abs() < 1e-3);
+        assert!((z_alpha(0.99) - 2.5758).abs() < 1e-3);
+        // paper: "for α = 99.99%, Z_α = 4" (rounded)
+        assert!((z_alpha(0.9999) - 3.8906).abs() < 1e-3);
+    }
+
+    #[test]
+    fn inverse_normal_cdf_symmetry_and_median() {
+        assert!(inverse_normal_cdf(0.5).abs() < 1e-9);
+        for p in [0.001, 0.01, 0.1, 0.3] {
+            let lo = inverse_normal_cdf(p);
+            let hi = inverse_normal_cdf(1.0 - p);
+            assert!((lo + hi).abs() < 1e-7, "p={p}: {lo} vs {hi}");
+            assert!(lo < 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence level")]
+    fn z_alpha_rejects_out_of_range() {
+        z_alpha(1.5);
+    }
+
+    #[test]
+    fn beta_shrinks_with_t() {
+        let z = z_alpha(0.95);
+        assert_eq!(beta(0, z), f64::INFINITY);
+        assert!(beta(100, z) > beta(10_000, z));
+        // β = z / (2√t): quadrupling t halves β
+        assert!((beta(100, z) / beta(400, z) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binomial_proportion_interval_covers_truth() {
+        // p = 0.3, t = 1000: interval should cover truth comfortably
+        let ci = ConfidenceInterval::binomial_proportion(300, 1000, z_alpha(0.99));
+        assert!(ci.contains(0.3));
+        assert!(ci.width() < 0.1);
+        // clamped to [0,1]
+        let ci = ConfidenceInterval::binomial_proportion(0, 10, 4.0);
+        assert_eq!(ci.lo, 0.0);
+        let ci = ConfidenceInterval::binomial_proportion(10, 10, 4.0);
+        assert_eq!(ci.hi, 1.0);
+        // empty
+        let ci = ConfidenceInterval::binomial_proportion(0, 0, 4.0);
+        assert_eq!((ci.lo, ci.hi), (0.0, 1.0));
+    }
+
+    #[test]
+    fn interval_around_clamps_at_zero() {
+        let ci = ConfidenceInterval::around(5.0, 10.0);
+        assert_eq!(ci.lo, 0.0);
+        assert_eq!(ci.hi, 15.0);
+        assert!(ci.contains(0.0));
+        assert!(!ci.contains(16.0));
+    }
+
+    #[test]
+    fn running_moments_match_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut m = RunningMoments::new();
+        for &x in &xs {
+            m.push(x);
+        }
+        assert_eq!(m.count(), 8);
+        assert!((m.mean() - 5.0).abs() < 1e-12);
+        assert!((m.variance() - 4.0).abs() < 1e-12);
+        assert!((m.std_error() - (4.0f64 / 8.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_moments_edge_cases() {
+        let m = RunningMoments::new();
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.variance(), 0.0);
+        assert_eq!(m.std_error(), f64::INFINITY);
+        assert_eq!(m.mean_ci(2.0).hi, f64::INFINITY);
+        let mut m = RunningMoments::new();
+        m.push(3.0);
+        assert_eq!(m.variance(), 0.0);
+    }
+
+    #[test]
+    fn mean_ci_narrows_with_samples() {
+        let mut small = RunningMoments::new();
+        let mut large = RunningMoments::new();
+        for i in 0..10 {
+            small.push((i % 5) as f64);
+        }
+        for i in 0..10_000 {
+            large.push((i % 5) as f64);
+        }
+        let z = z_alpha(0.95);
+        assert!(large.mean_ci(z).width() < small.mean_ci(z).width());
+        assert!(large.mean_ci(z).contains(2.0));
+    }
+}

@@ -1,0 +1,364 @@
+//! Exact frequency histograms — the `N_i` counts of §4.1.
+//!
+//! A [`FreqHist`] maintains, for every attribute value seen so far, the exact
+//! number of occurrences. On top of the raw counts it *incrementally*
+//! maintains the aggregates every estimator in the paper needs:
+//!
+//! - `t` — total observations,
+//! - `d` — number of distinct values,
+//! - the **count-of-counts** profile `f_j` (how many values occur exactly
+//!   `j` times) used by GEE and MLE,
+//! - `Σ N_i²` used by the `γ²` skew measure,
+//!
+//! all in `O(1)` per observation, which is what makes the framework
+//! *lightweight*. Memory accounting (`memory_used` / `memory_allocated`)
+//! reproduces the bookkeeping of the paper's Table 2.
+
+use qprog_types::Key;
+
+use crate::fx::FxHashMap;
+
+/// An exact frequency histogram over [`Key`]s with incrementally maintained
+/// summary aggregates.
+///
+/// # Example
+///
+/// ```
+/// use qprog_core::freq_hist::FreqHist;
+/// use qprog_types::Key;
+///
+/// let mut h = FreqHist::new();
+/// for v in [1i64, 1, 2, 3, 3, 3] {
+///     h.observe(&Key::Int(v));
+/// }
+/// assert_eq!(h.total(), 6);
+/// assert_eq!(h.distinct(), 3);
+/// assert_eq!(h.count(&Key::Int(3)), 3);
+/// assert_eq!(h.singletons(), 1); // only the value 2
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FreqHist {
+    counts: FxHashMap<Key, u64>,
+    total: u64,
+    /// `f_j`: number of distinct values with frequency exactly `j`.
+    /// The number of *distinct frequencies* is `O(√t)`, so this stays tiny.
+    count_of_counts: FxHashMap<u64, u64>,
+    /// Largest frequency ever reached (monotone: when a value moves from
+    /// count `M` to `M+1`, the maximum becomes `M+1`).
+    max_freq: u64,
+    /// `Σ N_i²`, for the squared coefficient of variation.
+    sum_sq: u128,
+    /// Payload bytes of stored string keys (for memory accounting).
+    key_payload_bytes: usize,
+}
+
+impl FreqHist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        FreqHist::default()
+    }
+
+    /// An empty histogram with capacity preallocated for `n` distinct keys.
+    pub fn with_capacity(n: usize) -> Self {
+        FreqHist {
+            counts: FxHashMap::with_capacity_and_hasher(n, Default::default()),
+            ..FreqHist::default()
+        }
+    }
+
+    /// Record one occurrence of `key`; returns the count *before* this
+    /// observation (0 for a first occurrence) — exactly the `N_i` transition
+    /// the GEE update (Algorithm 2) needs.
+    pub fn observe(&mut self, key: &Key) -> u64 {
+        let entry = self.counts.entry(key.clone());
+        let slot = match entry {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                if let Key::Str(s) = key {
+                    self.key_payload_bytes += s.len();
+                }
+                v.insert(0)
+            }
+        };
+        let before = *slot;
+        *slot += 1;
+        self.total += 1;
+        self.sum_sq += 2 * before as u128 + 1; // (c+1)² − c² = 2c+1
+        if before > 0 {
+            let f = self
+                .count_of_counts
+                .get_mut(&before)
+                .expect("count-of-counts must contain the old frequency");
+            *f -= 1;
+            if *f == 0 {
+                self.count_of_counts.remove(&before);
+            }
+        }
+        *self.count_of_counts.entry(before + 1).or_insert(0) += 1;
+        self.max_freq = self.max_freq.max(before + 1);
+        before
+    }
+
+    /// Record `n` occurrences of `key` at once (used when folding derived
+    /// histograms in pipeline estimation). A no-op when `n == 0`.
+    /// Returns the count before the observation.
+    pub fn observe_n(&mut self, key: &Key, n: u64) -> u64 {
+        if n == 0 {
+            return self.count(key);
+        }
+        let entry = self.counts.entry(key.clone());
+        let slot = match entry {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                if let Key::Str(s) = key {
+                    self.key_payload_bytes += s.len();
+                }
+                v.insert(0)
+            }
+        };
+        let before = *slot;
+        let after = before + n;
+        *slot = after;
+        self.total += n;
+        self.sum_sq += (after as u128) * (after as u128) - (before as u128) * (before as u128);
+        if before > 0 {
+            let f = self
+                .count_of_counts
+                .get_mut(&before)
+                .expect("count-of-counts must contain the old frequency");
+            *f -= 1;
+            if *f == 0 {
+                self.count_of_counts.remove(&before);
+            }
+        }
+        *self.count_of_counts.entry(after).or_insert(0) += 1;
+        self.max_freq = self.max_freq.max(after);
+        before
+    }
+
+    /// Current count `N_i` for `key` (0 if never seen).
+    pub fn count(&self, key: &Key) -> u64 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Total observations `t`.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct values `d`.
+    pub fn distinct(&self) -> u64 {
+        self.counts.len() as u64
+    }
+
+    /// `f_1`: the number of singleton values.
+    pub fn singletons(&self) -> u64 {
+        self.count_of_counts.get(&1).copied().unwrap_or(0)
+    }
+
+    /// The count-of-counts profile `(j, f_j)`, in unspecified order.
+    pub fn frequency_classes(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.count_of_counts.iter().map(|(&j, &f)| (j, f))
+    }
+
+    /// The largest observed frequency `M` (0 when empty).
+    pub fn max_frequency(&self) -> u64 {
+        self.max_freq
+    }
+
+    /// `Σ N_i²` over all values.
+    pub fn sum_squared_counts(&self) -> u128 {
+        self.sum_sq
+    }
+
+    /// Squared coefficient of variation `γ²` of the group frequencies:
+    /// `Var(N) / Mean(N)²`. Returns 0 when fewer than one distinct value.
+    ///
+    /// Maintained from `t`, `d` and `Σ N_i²`, i.e. O(1) to read — §4.2's
+    /// requirement for the online estimator chooser.
+    pub fn gamma_squared(&self) -> f64 {
+        let d = self.counts.len() as f64;
+        if d == 0.0 || self.total == 0 {
+            return 0.0;
+        }
+        let mean = self.total as f64 / d;
+        let var = (self.sum_sq as f64 / d) - mean * mean;
+        (var / (mean * mean)).max(0.0)
+    }
+
+    /// Iterate over `(key, count)` pairs (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = (&Key, u64)> + '_ {
+        self.counts.iter().map(|(k, &c)| (k, c))
+    }
+
+    /// Bytes of live data: one `(Key, u64)` entry per distinct value plus
+    /// string payloads — the "Mem. Used" column of the paper's Table 2.
+    pub fn memory_used(&self) -> usize {
+        let entry = std::mem::size_of::<Key>() + std::mem::size_of::<u64>();
+        std::mem::size_of::<Self>() + self.counts.len() * entry + self.key_payload_bytes
+    }
+
+    /// Bytes reserved by the backing hash table (capacity, not length) —
+    /// the "Mem. Alloc." column of the paper's Table 2.
+    pub fn memory_allocated(&self) -> usize {
+        // std HashMap stores (Key, u64) pairs plus one control byte per slot,
+        // sized to capacity.
+        let slot = std::mem::size_of::<(Key, u64)>() + 1;
+        std::mem::size_of::<Self>() + self.counts.capacity() * slot + self.key_payload_bytes
+    }
+}
+
+impl<'a> FromIterator<&'a Key> for FreqHist {
+    fn from_iter<I: IntoIterator<Item = &'a Key>>(iter: I) -> Self {
+        let mut h = FreqHist::new();
+        for k in iter {
+            h.observe(k);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist_of(keys: &[i64]) -> FreqHist {
+        let mut h = FreqHist::new();
+        for &k in keys {
+            h.observe(&Key::Int(k));
+        }
+        h
+    }
+
+    #[test]
+    fn observe_returns_prior_count() {
+        let mut h = FreqHist::new();
+        assert_eq!(h.observe(&Key::Int(1)), 0);
+        assert_eq!(h.observe(&Key::Int(1)), 1);
+        assert_eq!(h.observe(&Key::Int(2)), 0);
+        assert_eq!(h.count(&Key::Int(1)), 2);
+        assert_eq!(h.count(&Key::Int(3)), 0);
+    }
+
+    #[test]
+    fn totals_and_distinct() {
+        let h = hist_of(&[1, 1, 1, 2, 2, 3]);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.distinct(), 3);
+        assert_eq!(h.max_frequency(), 3);
+    }
+
+    #[test]
+    fn count_of_counts_profile() {
+        let h = hist_of(&[1, 1, 1, 2, 2, 3, 4]);
+        // frequencies: {1:3, 2:2, 3:1, 4:1} → f_1 = 2, f_2 = 1, f_3 = 1
+        let mut classes: Vec<(u64, u64)> = h.frequency_classes().collect();
+        classes.sort_unstable();
+        assert_eq!(classes, vec![(1, 2), (2, 1), (3, 1)]);
+        assert_eq!(h.singletons(), 2);
+    }
+
+    #[test]
+    fn count_of_counts_sums_match() {
+        let h = hist_of(&[5, 5, 5, 5, 7, 7, 9, 11, 11, 11]);
+        let d: u64 = h.frequency_classes().map(|(_, f)| f).sum();
+        let t: u64 = h.frequency_classes().map(|(j, f)| j * f).sum();
+        assert_eq!(d, h.distinct());
+        assert_eq!(t, h.total());
+    }
+
+    #[test]
+    fn sum_sq_incremental_matches_direct() {
+        let h = hist_of(&[1, 1, 2, 2, 2, 3, 4, 4, 4, 4]);
+        let direct: u128 = h.iter().map(|(_, c)| (c as u128) * (c as u128)).sum();
+        assert_eq!(h.sum_squared_counts(), direct);
+    }
+
+    #[test]
+    fn gamma_squared_zero_for_uniform() {
+        // all frequencies equal → variance 0 → γ² = 0
+        let h = hist_of(&[1, 2, 3, 4, 1, 2, 3, 4]);
+        assert!(h.gamma_squared().abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_squared_grows_with_skew() {
+        let uniform = hist_of(&(0..100).map(|i| i % 10).collect::<Vec<_>>());
+        let mut skewed_keys = vec![0i64; 91];
+        skewed_keys.extend(1..10);
+        let skewed = hist_of(&skewed_keys);
+        assert!(skewed.gamma_squared() > uniform.gamma_squared() + 1.0);
+    }
+
+    #[test]
+    fn gamma_squared_matches_definition() {
+        let h = hist_of(&[1, 1, 1, 2, 3]); // freqs 3,1,1
+        let freqs = [3.0f64, 1.0, 1.0];
+        let mean = freqs.iter().sum::<f64>() / 3.0;
+        let var = freqs.iter().map(|f| (f - mean) * (f - mean)).sum::<f64>() / 3.0;
+        let expect = var / (mean * mean);
+        assert!((h.gamma_squared() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observe_n_equivalent_to_repeated_observe() {
+        let mut a = FreqHist::new();
+        let mut b = FreqHist::new();
+        for _ in 0..5 {
+            a.observe(&Key::Int(9));
+        }
+        a.observe(&Key::Int(2));
+        b.observe_n(&Key::Int(9), 5);
+        b.observe_n(&Key::Int(2), 1);
+        b.observe_n(&Key::Int(3), 0); // no-op
+        assert_eq!(a.total(), b.total());
+        assert_eq!(a.distinct(), b.distinct());
+        assert_eq!(a.sum_squared_counts(), b.sum_squared_counts());
+        let sorted = |h: &FreqHist| {
+            let mut v: Vec<_> = h.frequency_classes().collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sorted(&a), sorted(&b));
+        assert_eq!(b.count(&Key::Int(3)), 0);
+    }
+
+    #[test]
+    fn string_keys_and_memory_accounting() {
+        let mut h = FreqHist::new();
+        let used0 = h.memory_used();
+        h.observe(&Key::from("abcdefgh"));
+        h.observe(&Key::from("abcdefgh"));
+        h.observe(&Key::Int(1));
+        assert!(h.memory_used() > used0);
+        assert!(h.memory_allocated() >= h.memory_used() - std::mem::size_of::<FreqHist>());
+        // duplicate string key payload counted once
+        let one_str = h.memory_used();
+        let mut h2 = FreqHist::new();
+        h2.observe(&Key::from("abcdefgh"));
+        h2.observe(&Key::Int(1));
+        assert_eq!(
+            one_str - 2 * (std::mem::size_of::<Key>() + 8) - 8,
+            h2.memory_used() - 2 * (std::mem::size_of::<Key>() + 8) - 8
+        );
+    }
+
+    #[test]
+    fn empty_histogram_edge_cases() {
+        let h = FreqHist::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.distinct(), 0);
+        assert_eq!(h.singletons(), 0);
+        assert_eq!(h.max_frequency(), 0);
+        assert_eq!(h.gamma_squared(), 0.0);
+        assert_eq!(h.frequency_classes().count(), 0);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let keys: Vec<Key> = [1i64, 1, 2].iter().map(|&i| Key::Int(i)).collect();
+        let h: FreqHist = keys.iter().collect();
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.distinct(), 2);
+    }
+}

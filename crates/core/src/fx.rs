@@ -1,0 +1,115 @@
+//! A minimal Fx-style hasher (the rustc/Firefox multiply-rotate hash).
+//!
+//! The estimation framework touches a hash table for *every* tuple of every
+//! build input; SipHash's per-byte cost is measurable there. The hashed
+//! data are our own join keys (not adversarial input), so the classic
+//! `FxHasher` construction is appropriate and keeps the framework
+//! lightweight without external dependencies.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` alias using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-rotate hasher; state mixes each written word.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf) ^ rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qprog_types::Key;
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        let h = |k: &Key| {
+            let mut hasher = FxHasher::default();
+            std::hash::Hash::hash(k, &mut hasher);
+            hasher.finish()
+        };
+        assert_eq!(h(&Key::Int(1)), h(&Key::Int(1)));
+        assert_ne!(h(&Key::Int(1)), h(&Key::Int(2)));
+        assert_ne!(h(&Key::from("a")), h(&Key::from("b")));
+        assert_ne!(h(&Key::Int(1)), h(&Key::from("1")));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<Key, u64> = FxHashMap::default();
+        for i in 0..10_000i64 {
+            *m.entry(Key::Int(i % 997)).or_default() += 1;
+        }
+        assert_eq!(m.len(), 997);
+        assert_eq!(m[&Key::Int(0)], 11);
+    }
+
+    #[test]
+    fn string_tail_handling() {
+        let h = |s: &str| {
+            let mut hasher = FxHasher::default();
+            hasher.write(s.as_bytes());
+            hasher.finish()
+        };
+        // strings sharing an 8-byte prefix must still differ
+        assert_ne!(h("abcdefgh1"), h("abcdefgh2"));
+        assert_ne!(h("abcdefgh"), h("abcdefgh\0"));
+        assert_ne!(h(""), h("\0"));
+    }
+}

@@ -1,0 +1,214 @@
+//! The `getnext()` model (gnm) of query progress (§3, §4.4).
+//!
+//! A query's progress is `C(Q)/T(Q)` where `C(Q) = Σ K_i` counts the
+//! `getnext()` calls made so far over all operators and `T(Q) = Σ N_i` the
+//! calls over the query's lifetime. `C(Q)` is observable; `T(Q)` is the sum
+//! of per-pipeline totals `T(p)`:
+//!
+//! - **finished** pipelines: `T(p)` known exactly,
+//! - the **running** pipeline: `T(p)` from the online estimators of this
+//!   crate,
+//! - **pending** pipelines: `T(p)` from refined optimizer estimates,
+//!   clamped to `[lower, upper]` bounds as in Chaudhuri et al.
+//!
+//! The executor summarizes each pipeline into a [`PipelineProgress`] and
+//! hands the set to [`ProgressSnapshot`], which does the gnm arithmetic.
+
+/// Execution state of a pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipelineState {
+    /// All operators in the pipeline have completed.
+    Finished,
+    /// Currently executing.
+    Running,
+    /// Not yet started.
+    Pending,
+}
+
+/// Progress summary for one pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineProgress {
+    /// Pipeline identifier (assigned by the planner's decomposition).
+    pub id: usize,
+    /// Execution state.
+    pub state: PipelineState,
+    /// `C(p)`: `getnext()` calls made so far over the pipeline's operators.
+    pub done: u64,
+    /// `T(p)`: estimated total `getnext()` calls over the pipeline's
+    /// lifetime (exact when finished).
+    pub total_estimate: f64,
+    /// Hard lower bound on `T(p)` (at least the calls already made).
+    pub lower: f64,
+    /// Upper bound on `T(p)` (`∞` when nothing better is known).
+    pub upper: f64,
+}
+
+impl PipelineProgress {
+    /// A finished pipeline with exact totals.
+    pub fn finished(id: usize, total: u64) -> Self {
+        PipelineProgress {
+            id,
+            state: PipelineState::Finished,
+            done: total,
+            total_estimate: total as f64,
+            lower: total as f64,
+            upper: total as f64,
+        }
+    }
+
+    /// A running pipeline with an online total estimate.
+    pub fn running(id: usize, done: u64, total_estimate: f64) -> Self {
+        PipelineProgress {
+            id,
+            state: PipelineState::Running,
+            done,
+            total_estimate,
+            lower: done as f64,
+            upper: f64::INFINITY,
+        }
+    }
+
+    /// A pending pipeline with an optimizer estimate.
+    pub fn pending(id: usize, total_estimate: f64) -> Self {
+        PipelineProgress {
+            id,
+            state: PipelineState::Pending,
+            done: 0,
+            total_estimate,
+            lower: 0.0,
+            upper: f64::INFINITY,
+        }
+    }
+
+    /// Attach refinement bounds.
+    pub fn with_bounds(mut self, lower: f64, upper: f64) -> Self {
+        self.lower = lower;
+        self.upper = upper;
+        self
+    }
+
+    /// `T(p)` after clamping the estimate to the bounds and to the work
+    /// already observed.
+    pub fn total(&self) -> f64 {
+        self.total_estimate
+            .clamp(self.lower, self.upper.max(self.lower))
+            .max(self.done as f64)
+    }
+}
+
+/// A point-in-time gnm progress snapshot over all pipelines of a query.
+#[derive(Debug, Clone)]
+pub struct ProgressSnapshot {
+    pipelines: Vec<PipelineProgress>,
+}
+
+impl ProgressSnapshot {
+    /// Assemble a snapshot from per-pipeline summaries.
+    pub fn new(pipelines: Vec<PipelineProgress>) -> Self {
+        ProgressSnapshot { pipelines }
+    }
+
+    /// The per-pipeline summaries.
+    pub fn pipelines(&self) -> &[PipelineProgress] {
+        &self.pipelines
+    }
+
+    /// `C(Q)`: total `getnext()` calls made so far.
+    pub fn current(&self) -> u64 {
+        self.pipelines.iter().map(|p| p.done).sum()
+    }
+
+    /// `T(Q)`: estimated total `getnext()` calls over the query.
+    pub fn total(&self) -> f64 {
+        self.pipelines.iter().map(|p| p.total()).sum()
+    }
+
+    /// gnm progress `C(Q)/T(Q)`, clamped to `[0, 1]`. An empty snapshot
+    /// reports 0.
+    pub fn fraction(&self) -> f64 {
+        let total = self.total();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        (self.current() as f64 / total).clamp(0.0, 1.0)
+    }
+
+    /// Whether every pipeline has finished.
+    pub fn is_complete(&self) -> bool {
+        !self.pipelines.is_empty()
+            && self
+                .pipelines
+                .iter()
+                .all(|p| p.state == PipelineState::Finished)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_combines_pipeline_states() {
+        let snap = ProgressSnapshot::new(vec![
+            PipelineProgress::finished(0, 100),
+            PipelineProgress::running(1, 50, 100.0),
+            PipelineProgress::pending(2, 200.0),
+        ]);
+        assert_eq!(snap.current(), 150);
+        assert!((snap.total() - 400.0).abs() < 1e-9);
+        assert!((snap.fraction() - 0.375).abs() < 1e-9);
+        assert!(!snap.is_complete());
+    }
+
+    #[test]
+    fn complete_query_reports_one() {
+        let snap = ProgressSnapshot::new(vec![
+            PipelineProgress::finished(0, 10),
+            PipelineProgress::finished(1, 20),
+        ]);
+        assert_eq!(snap.fraction(), 1.0);
+        assert!(snap.is_complete());
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let snap = ProgressSnapshot::new(vec![]);
+        assert_eq!(snap.fraction(), 0.0);
+        assert!(!snap.is_complete());
+    }
+
+    #[test]
+    fn running_total_never_below_done() {
+        // Underestimating estimator must not push progress past 1.
+        let p = PipelineProgress::running(0, 100, 10.0);
+        assert_eq!(p.total(), 100.0);
+        let snap = ProgressSnapshot::new(vec![p]);
+        assert!(snap.fraction() <= 1.0);
+    }
+
+    #[test]
+    fn bounds_clamp_estimates() {
+        let p = PipelineProgress::pending(0, 1_000_000.0).with_bounds(10.0, 500.0);
+        assert_eq!(p.total(), 500.0);
+        let p = PipelineProgress::pending(0, 1.0).with_bounds(10.0, 500.0);
+        assert_eq!(p.total(), 10.0);
+        // degenerate bounds (upper < lower) resolve to lower
+        let p = PipelineProgress::pending(0, 5.0).with_bounds(10.0, 2.0);
+        assert_eq!(p.total(), 10.0);
+    }
+
+    #[test]
+    fn fraction_is_monotone_under_progress() {
+        let mut fractions = Vec::new();
+        for done in [0u64, 25, 50, 75, 100] {
+            let snap = ProgressSnapshot::new(vec![
+                PipelineProgress::finished(0, 40),
+                PipelineProgress::running(1, done, 100.0),
+            ]);
+            fractions.push(snap.fraction());
+        }
+        for w in fractions.windows(2) {
+            assert!(w[1] >= w[0], "{fractions:?}");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Adaptive recomputation interval for the MLE estimator
+//! (§4.2, Algorithm 3 of the paper).
+//!
+//! The MLE estimate must be recomputed rather than incrementally updated.
+//! Algorithm 3 recomputes every `I` tuples, starting at a lower threshold
+//! `l`; when consecutive estimates agree within `k`, the interval doubles
+//! (capped at `u`), and when they diverge it resets to `l` — so estimates
+//! refresh often exactly when they are moving.
+
+/// Algorithm 3's interval controller.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveInterval {
+    /// Lower bound `l` on the interval (initial and reset value), in tuples.
+    lower: u64,
+    /// Upper bound `u` on the interval, in tuples.
+    upper: u64,
+    /// Relative agreement threshold `k` (e.g. 0.01 for 1%).
+    k: f64,
+    /// Current interval `I`.
+    interval: u64,
+    /// Tuples observed.
+    t: u64,
+}
+
+impl AdaptiveInterval {
+    /// New controller with bounds `l ≤ u` (both clamped to ≥ 1) and
+    /// agreement threshold `k`.
+    pub fn new(lower: u64, upper: u64, k: f64) -> Self {
+        let lower = lower.max(1);
+        let upper = upper.max(lower);
+        AdaptiveInterval {
+            lower,
+            upper,
+            k,
+            interval: lower,
+            t: 0,
+        }
+    }
+
+    /// The paper's Table 4(b) configuration: `l` = 0.1% and `u` = 3.2% of
+    /// the input size, `k` = 1%.
+    pub fn paper_default(input_size: u64) -> Self {
+        AdaptiveInterval::new(input_size / 1000, input_size * 32 / 1000, 0.01)
+    }
+
+    /// Advance by one tuple; returns `true` when the estimate is due for
+    /// recomputation (`t mod I == 0`).
+    pub fn tick(&mut self) -> bool {
+        self.t += 1;
+        self.t.is_multiple_of(self.interval)
+    }
+
+    /// Report the old and freshly recomputed estimates; adjusts `I`
+    /// (double on agreement within `k`, reset to `l` otherwise).
+    pub fn feedback(&mut self, old_estimate: f64, new_estimate: f64) {
+        let agree = if new_estimate == 0.0 {
+            old_estimate == 0.0
+        } else {
+            let ratio = old_estimate / new_estimate;
+            (1.0 - self.k..1.0 + self.k).contains(&ratio)
+        };
+        self.interval = if agree {
+            (self.interval * 2).min(self.upper)
+        } else {
+            self.lower
+        };
+    }
+
+    /// Current interval `I`.
+    pub fn current_interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Tuples observed so far.
+    pub fn ticks(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_every_interval() {
+        let mut ai = AdaptiveInterval::new(3, 100, 0.01);
+        let fired: Vec<bool> = (0..9).map(|_| ai.tick()).collect();
+        assert_eq!(
+            fired,
+            vec![false, false, true, false, false, true, false, false, true]
+        );
+    }
+
+    #[test]
+    fn doubles_on_agreement_and_caps_at_upper() {
+        let mut ai = AdaptiveInterval::new(4, 10, 0.01);
+        ai.feedback(100.0, 100.0);
+        assert_eq!(ai.current_interval(), 8);
+        ai.feedback(100.0, 100.05);
+        assert_eq!(ai.current_interval(), 10); // capped
+        ai.feedback(100.0, 100.0);
+        assert_eq!(ai.current_interval(), 10);
+    }
+
+    #[test]
+    fn resets_on_disagreement() {
+        let mut ai = AdaptiveInterval::new(4, 100, 0.01);
+        ai.feedback(100.0, 100.0);
+        ai.feedback(100.0, 100.0);
+        assert_eq!(ai.current_interval(), 16);
+        ai.feedback(100.0, 150.0);
+        assert_eq!(ai.current_interval(), 4);
+    }
+
+    #[test]
+    fn agreement_threshold_is_relative() {
+        let mut ai = AdaptiveInterval::new(4, 100, 0.10);
+        ai.feedback(95.0, 100.0); // ratio 0.95, within 10%
+        assert_eq!(ai.current_interval(), 8);
+        ai.feedback(80.0, 100.0); // ratio 0.8, outside
+        assert_eq!(ai.current_interval(), 4);
+    }
+
+    #[test]
+    fn zero_estimates_handled() {
+        let mut ai = AdaptiveInterval::new(4, 100, 0.01);
+        ai.feedback(0.0, 0.0); // both zero → agree
+        assert_eq!(ai.current_interval(), 8);
+        ai.feedback(5.0, 0.0); // old nonzero, new zero → disagree
+        assert_eq!(ai.current_interval(), 4);
+    }
+
+    #[test]
+    fn bounds_are_clamped() {
+        let ai = AdaptiveInterval::new(0, 0, 0.01);
+        assert_eq!(ai.current_interval(), 1);
+        let ai = AdaptiveInterval::new(10, 5, 0.01);
+        assert_eq!(ai.current_interval(), 10); // upper raised to lower
+    }
+
+    #[test]
+    fn paper_default_scales_with_input() {
+        let ai = AdaptiveInterval::paper_default(1_500_000);
+        assert_eq!(ai.current_interval(), 1500);
+        // tiny inputs still get a sane interval
+        let ai = AdaptiveInterval::paper_default(100);
+        assert_eq!(ai.current_interval(), 1);
+    }
+}

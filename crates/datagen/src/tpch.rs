@@ -1,0 +1,306 @@
+//! TPC-H-lite: the subset of the TPC-H schema the paper's evaluation uses,
+//! at any scale factor, with optional Zipfian skew on foreign keys.
+//!
+//! Row counts follow the specification (SF 1: 150K customer, 1.5M orders,
+//! 6M lineitem, ...). With `skew > 0`, foreign-key columns are drawn from
+//! Zipf(`skew`) with per-column value permutations, reproducing the skewed
+//! databases of §5 (e.g. the Zipf-2 database behind Fig. 8).
+
+use qprog_storage::{Catalog, Table};
+use qprog_types::{row, DataType, Field, QResult, Schema};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::permute::RankMapper;
+use crate::zipf::ZipfSampler;
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TpchConfig {
+    /// TPC-H scale factor (1.0 = 6M-row lineitem).
+    pub scale: f64,
+    /// Zipf skew applied to foreign-key columns (0 = uniform, per spec).
+    pub skew: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig {
+            scale: 0.01,
+            skew: 0.0,
+            seed: 7,
+        }
+    }
+}
+
+/// Generates TPC-H-lite tables.
+#[derive(Debug, Clone)]
+pub struct TpchGenerator {
+    cfg: TpchConfig,
+}
+
+const REGIONS: usize = 5;
+const NATIONS: usize = 25;
+const SUPPLIER_BASE: usize = 10_000;
+const CUSTOMER_BASE: usize = 150_000;
+const PART_BASE: usize = 200_000;
+const ORDERS_BASE: usize = 1_500_000;
+const LINES_PER_ORDER: usize = 4; // 6M lineitem rows at SF 1
+
+impl TpchGenerator {
+    /// New generator.
+    pub fn new(cfg: TpchConfig) -> Self {
+        TpchGenerator { cfg }
+    }
+
+    fn scaled(&self, base: usize) -> usize {
+        ((base as f64 * self.cfg.scale).round() as usize).max(1)
+    }
+
+    /// A foreign-key drawing closure over `[0, domain)`: Zipfian with a
+    /// per-column permutation when `skew > 0`, uniform otherwise.
+    fn fk_sampler(&self, domain: usize, column_tag: u64) -> impl FnMut(&mut StdRng) -> i64 {
+        let skew = self.cfg.skew;
+        let sampler = (skew > 0.0).then(|| ZipfSampler::new(domain, skew));
+        let mapper = RankMapper::new(domain, column_tag);
+        move |rng: &mut StdRng| match &sampler {
+            Some(s) => mapper.value_of(s.sample_rank(rng)) as i64,
+            None => rng.random_range(0..domain as i64),
+        }
+    }
+
+    /// region(regionkey, name) — 5 rows.
+    pub fn region(&self) -> Table {
+        let mut t = Table::new(
+            "region",
+            Schema::new(vec![
+                Field::new("regionkey", DataType::Int64),
+                Field::new("name", DataType::Utf8),
+            ]),
+        );
+        const NAMES: [&str; REGIONS] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+        for (i, name) in NAMES.iter().enumerate() {
+            t.push(row![i as i64, *name]).expect("valid row");
+        }
+        t
+    }
+
+    /// nation(nationkey, regionkey, name) — 25 rows.
+    pub fn nation(&self) -> Table {
+        let mut t = Table::new(
+            "nation",
+            Schema::new(vec![
+                Field::new("nationkey", DataType::Int64),
+                Field::new("regionkey", DataType::Int64),
+                Field::new("name", DataType::Utf8),
+            ]),
+        );
+        for i in 0..NATIONS {
+            t.push(row![i as i64, (i % REGIONS) as i64, format!("nation{i}")])
+                .expect("valid row");
+        }
+        t
+    }
+
+    /// supplier(suppkey, nationkey).
+    pub fn supplier(&self) -> Table {
+        let n = self.scaled(SUPPLIER_BASE);
+        let mut t = Table::new(
+            "supplier",
+            Schema::new(vec![
+                Field::new("suppkey", DataType::Int64),
+                Field::new("nationkey", DataType::Int64),
+            ]),
+        );
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x51);
+        let mut nation_fk = self.fk_sampler(NATIONS, 11);
+        for i in 0..n {
+            t.push(row![i as i64, nation_fk(&mut rng)]).expect("valid row");
+        }
+        t
+    }
+
+    /// customer(custkey, nationkey).
+    pub fn customer(&self) -> Table {
+        let n = self.scaled(CUSTOMER_BASE);
+        let mut t = Table::new(
+            "customer",
+            Schema::new(vec![
+                Field::new("custkey", DataType::Int64),
+                Field::new("nationkey", DataType::Int64),
+            ]),
+        );
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xC5);
+        let mut nation_fk = self.fk_sampler(NATIONS, 12);
+        for i in 0..n {
+            t.push(row![i as i64, nation_fk(&mut rng)]).expect("valid row");
+        }
+        t
+    }
+
+    /// part(partkey, type).
+    pub fn part(&self) -> Table {
+        let n = self.scaled(PART_BASE);
+        let mut t = Table::new(
+            "part",
+            Schema::new(vec![
+                Field::new("partkey", DataType::Int64),
+                Field::new("type", DataType::Utf8),
+            ]),
+        );
+        const TYPES: [&str; 5] = ["ECONOMY", "STANDARD", "MEDIUM", "LARGE", "PROMO"];
+        for i in 0..n {
+            t.push(row![i as i64, TYPES[i % TYPES.len()]]).expect("valid row");
+        }
+        t
+    }
+
+    /// orders(orderkey, custkey, orderyear).
+    pub fn orders(&self) -> Table {
+        let n = self.scaled(ORDERS_BASE);
+        let customers = self.scaled(CUSTOMER_BASE);
+        let mut t = Table::new(
+            "orders",
+            Schema::new(vec![
+                Field::new("orderkey", DataType::Int64),
+                Field::new("custkey", DataType::Int64),
+                Field::new("orderyear", DataType::Int64),
+            ]),
+        );
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x0D);
+        let mut cust_fk = self.fk_sampler(customers, 13);
+        for i in 0..n {
+            let year = 1992 + rng.random_range(0..7i64);
+            t.push(row![i as i64, cust_fk(&mut rng), year]).expect("valid row");
+        }
+        t
+    }
+
+    /// lineitem(orderkey, partkey, suppkey, quantity, extendedprice).
+    pub fn lineitem(&self) -> Table {
+        let orders = self.scaled(ORDERS_BASE);
+        let parts = self.scaled(PART_BASE);
+        let suppliers = self.scaled(SUPPLIER_BASE);
+        let mut t = Table::new(
+            "lineitem",
+            Schema::new(vec![
+                Field::new("orderkey", DataType::Int64),
+                Field::new("partkey", DataType::Int64),
+                Field::new("suppkey", DataType::Int64),
+                Field::new("quantity", DataType::Int64),
+                Field::new("extendedprice", DataType::Float64),
+            ]),
+        );
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x11);
+        let mut part_fk = self.fk_sampler(parts, 14);
+        let mut supp_fk = self.fk_sampler(suppliers, 15);
+        for o in 0..orders {
+            for _ in 0..LINES_PER_ORDER {
+                let qty = rng.random_range(1..=50i64);
+                let price = qty as f64 * rng.random_range(900.0..=1100.0);
+                t.push(row![
+                    o as i64,
+                    part_fk(&mut rng),
+                    supp_fk(&mut rng),
+                    qty,
+                    price
+                ])
+                .expect("valid row");
+            }
+        }
+        t
+    }
+
+    /// Generate and register all seven tables.
+    pub fn catalog(&self) -> QResult<Catalog> {
+        let mut c = Catalog::new();
+        c.register(self.region())?;
+        c.register(self.nation())?;
+        c.register(self.supplier())?;
+        c.register(self.customer())?;
+        c.register(self.part())?;
+        c.register(self.orders())?;
+        c.register(self.lineitem())?;
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn tiny() -> TpchGenerator {
+        TpchGenerator::new(TpchConfig {
+            scale: 0.001,
+            skew: 0.0,
+            seed: 1,
+        })
+    }
+
+    #[test]
+    fn row_counts_scale() {
+        let g = tiny();
+        assert_eq!(g.region().num_rows(), 5);
+        assert_eq!(g.nation().num_rows(), 25);
+        assert_eq!(g.customer().num_rows(), 150);
+        assert_eq!(g.orders().num_rows(), 1500);
+        assert_eq!(g.lineitem().num_rows(), 6000);
+    }
+
+    #[test]
+    fn referential_domains_hold() {
+        let g = tiny();
+        let customers = g.customer().num_rows() as i64;
+        for r in g.orders().iter() {
+            let ck = r.get(1).unwrap().as_i64().unwrap();
+            assert!((0..customers).contains(&ck));
+        }
+        for r in g.nation().iter() {
+            let rk = r.get(1).unwrap().as_i64().unwrap();
+            assert!((0..5).contains(&rk));
+        }
+    }
+
+    #[test]
+    fn catalog_registers_all_tables() {
+        let c = tiny().catalog().unwrap();
+        assert_eq!(c.len(), 7);
+        for t in ["region", "nation", "supplier", "customer", "part", "orders", "lineitem"] {
+            assert!(c.table(t).is_ok(), "{t}");
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_foreign_keys() {
+        let uniform = TpchGenerator::new(TpchConfig {
+            scale: 0.002,
+            skew: 0.0,
+            seed: 1,
+        });
+        let skewed = TpchGenerator::new(TpchConfig {
+            scale: 0.002,
+            skew: 2.0,
+            seed: 1,
+        });
+        let top_share = |t: &Table| {
+            let mut counts: HashMap<i64, usize> = HashMap::new();
+            for r in t.iter() {
+                *counts.entry(r.get(1).unwrap().as_i64().unwrap()).or_default() += 1;
+            }
+            *counts.values().max().unwrap() as f64 / t.num_rows() as f64
+        };
+        assert!(top_share(&skewed.orders()) > 3.0 * top_share(&uniform.orders()));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = tiny().orders();
+        let b = tiny().orders();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x, y);
+        }
+    }
+}

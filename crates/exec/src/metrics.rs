@@ -1,0 +1,275 @@
+//! Lock-free per-operator execution counters.
+//!
+//! The gnm progress model needs, for every operator `i`, the `getnext()`
+//! calls made so far (`K_i`) and the current estimate of the lifetime total
+//! (`N_i`). Operators own an [`OpMetrics`] handle and update it with relaxed
+//! atomics — the cost per tuple is a couple of uncontended atomic
+//! increments, which is what keeps the framework lightweight. A progress
+//! monitor holds the same handles through a [`MetricsRegistry`] and reads
+//! them at any time, from any thread.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counters for a single operator.
+#[derive(Debug, Default)]
+pub struct OpMetrics {
+    /// `K_i`: tuples emitted so far.
+    emitted: AtomicU64,
+    /// Current estimate of `N_i` (f64 bit pattern).
+    estimated_total: AtomicU64,
+    /// Lower confidence bound on `N_i` (f64 bits; NaN = unset).
+    estimated_lo: AtomicU64,
+    /// Upper confidence bound on `N_i` (f64 bits; NaN = unset).
+    estimated_hi: AtomicU64,
+    /// Tuples consumed from the operator's driver input (for estimators and
+    /// diagnostics).
+    driver_consumed: AtomicU64,
+    /// Set once the operator has returned `None`.
+    finished: AtomicBool,
+}
+
+impl OpMetrics {
+    /// Fresh counters with an initial (optimizer) total estimate.
+    pub fn with_initial_estimate(estimate: f64) -> Arc<Self> {
+        let m = OpMetrics::default();
+        m.set_estimated_total(estimate);
+        m.estimated_lo.store(f64::NAN.to_bits(), Ordering::Relaxed);
+        m.estimated_hi.store(f64::NAN.to_bits(), Ordering::Relaxed);
+        Arc::new(m)
+    }
+
+    /// Publish a confidence interval around the current `N_i` estimate
+    /// (§4.1's `β`-style guarantees, surfaced to progress monitors).
+    pub fn set_estimated_bounds(&self, lo: f64, hi: f64) {
+        self.estimated_lo.store(lo.max(0.0).to_bits(), Ordering::Relaxed);
+        self.estimated_hi.store(hi.max(0.0).to_bits(), Ordering::Relaxed);
+    }
+
+    /// The published confidence bounds on `N_i`, if any; both are clamped
+    /// below by `K_i` (work already done is certain).
+    pub fn estimated_bounds(&self) -> Option<(f64, f64)> {
+        let lo = f64::from_bits(self.estimated_lo.load(Ordering::Relaxed));
+        let hi = f64::from_bits(self.estimated_hi.load(Ordering::Relaxed));
+        if lo.is_nan() || hi.is_nan() {
+            return None;
+        }
+        if self.is_finished() {
+            let k = self.emitted() as f64;
+            return Some((k, k));
+        }
+        let k = self.emitted() as f64;
+        Some((lo.max(k), hi.max(k)))
+    }
+
+    /// Record one emitted tuple.
+    #[inline]
+    pub fn record_emitted(&self) {
+        self.emitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` driver tuples consumed.
+    #[inline]
+    pub fn record_driver(&self, n: u64) {
+        self.driver_consumed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Publish a new estimate of the lifetime total `N_i`.
+    #[inline]
+    pub fn set_estimated_total(&self, estimate: f64) {
+        self.estimated_total
+            .store(estimate.max(0.0).to_bits(), Ordering::Relaxed);
+    }
+
+    /// Mark the operator finished (its `N_i` is now exactly `K_i`).
+    pub fn mark_finished(&self) {
+        self.finished.store(true, Ordering::Relaxed);
+        let k = self.emitted();
+        self.set_estimated_total(k as f64);
+    }
+
+    /// `K_i`: tuples emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted.load(Ordering::Relaxed)
+    }
+
+    /// Driver tuples consumed so far.
+    pub fn driver_consumed(&self) -> u64 {
+        self.driver_consumed.load(Ordering::Relaxed)
+    }
+
+    /// Current `N_i` estimate (never below `K_i`).
+    pub fn estimated_total(&self) -> f64 {
+        let raw = f64::from_bits(self.estimated_total.load(Ordering::Relaxed));
+        raw.max(self.emitted() as f64)
+    }
+
+    /// Whether the operator has finished.
+    pub fn is_finished(&self) -> bool {
+        self.finished.load(Ordering::Relaxed)
+    }
+}
+
+/// All operators' metrics for one physical plan, in plan order.
+#[derive(Debug, Default, Clone)]
+pub struct MetricsRegistry {
+    entries: Vec<(String, Arc<OpMetrics>)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Register an operator; returns its metrics handle.
+    pub fn register(&mut self, name: impl Into<String>, initial_estimate: f64) -> Arc<OpMetrics> {
+        let m = OpMetrics::with_initial_estimate(initial_estimate);
+        self.entries.push((name.into(), Arc::clone(&m)));
+        m
+    }
+
+    /// Iterate `(name, metrics)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Arc<OpMetrics>)> + '_ {
+        self.entries.iter().map(|(n, m)| (n.as_str(), m))
+    }
+
+    /// Number of registered operators.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff no operators are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Metrics handle by registration index.
+    pub fn get(&self, idx: usize) -> Option<&Arc<OpMetrics>> {
+        self.entries.get(idx).map(|(_, m)| m)
+    }
+
+    /// Mark every operator finished, pinning each `N_i` to its `K_i`.
+    ///
+    /// Called when the plan root is exhausted: operators abandoned mid-way
+    /// (e.g. below an early-terminating LIMIT) will never emit again, so
+    /// their remaining estimated work must not keep progress below 1.
+    pub fn finish_all(&self) {
+        for (_, m) in self.iter() {
+            m.mark_finished();
+        }
+    }
+
+    /// Total `getnext()` calls so far across all operators (`C` over the
+    /// registered set).
+    pub fn total_emitted(&self) -> u64 {
+        self.entries.iter().map(|(_, m)| m.emitted()).sum()
+    }
+
+    /// Sum of the current `N_i` estimates across all operators.
+    pub fn total_estimated(&self) -> f64 {
+        self.entries.iter().map(|(_, m)| m.estimated_total()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = OpMetrics::with_initial_estimate(100.0);
+        assert_eq!(m.emitted(), 0);
+        assert_eq!(m.estimated_total(), 100.0);
+        for _ in 0..5 {
+            m.record_emitted();
+        }
+        m.record_driver(3);
+        assert_eq!(m.emitted(), 5);
+        assert_eq!(m.driver_consumed(), 3);
+    }
+
+    #[test]
+    fn estimate_never_below_emitted() {
+        let m = OpMetrics::with_initial_estimate(2.0);
+        for _ in 0..10 {
+            m.record_emitted();
+        }
+        assert_eq!(m.estimated_total(), 10.0);
+        m.set_estimated_total(50.0);
+        assert_eq!(m.estimated_total(), 50.0);
+    }
+
+    #[test]
+    fn finish_pins_estimate_to_emitted() {
+        let m = OpMetrics::with_initial_estimate(1000.0);
+        for _ in 0..7 {
+            m.record_emitted();
+        }
+        m.mark_finished();
+        assert!(m.is_finished());
+        assert_eq!(m.estimated_total(), 7.0);
+    }
+
+    #[test]
+    fn bounds_lifecycle() {
+        let m = OpMetrics::with_initial_estimate(100.0);
+        assert!(m.estimated_bounds().is_none());
+        m.set_estimated_bounds(80.0, 120.0);
+        assert_eq!(m.estimated_bounds(), Some((80.0, 120.0)));
+        // clamped below by emitted work
+        for _ in 0..90 {
+            m.record_emitted();
+        }
+        assert_eq!(m.estimated_bounds(), Some((90.0, 120.0)));
+        m.mark_finished();
+        assert_eq!(m.estimated_bounds(), Some((90.0, 90.0)));
+    }
+
+    #[test]
+    fn negative_estimates_clamped() {
+        let m = OpMetrics::with_initial_estimate(-5.0);
+        assert_eq!(m.estimated_total(), 0.0);
+    }
+
+    #[test]
+    fn registry_aggregates() {
+        let mut reg = MetricsRegistry::new();
+        let a = reg.register("scan", 10.0);
+        let b = reg.register("join", 20.0);
+        a.record_emitted();
+        b.record_emitted();
+        b.record_emitted();
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.total_emitted(), 3);
+        assert_eq!(reg.total_estimated(), 30.0);
+        let names: Vec<&str> = reg.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["scan", "join"]);
+        assert!(reg.get(1).is_some());
+        assert!(reg.get(2).is_none());
+    }
+
+    #[test]
+    fn metrics_are_cross_thread_observable() {
+        let m = OpMetrics::with_initial_estimate(0.0);
+        let writer = Arc::clone(&m);
+        let handle = std::thread::spawn(move || {
+            for i in 0..1000 {
+                writer.record_emitted();
+                writer.set_estimated_total(i as f64);
+            }
+            writer.mark_finished();
+        });
+        // reader just must never see torn/invalid values
+        loop {
+            let e = m.estimated_total();
+            assert!(e >= 0.0 && e.is_finite());
+            if m.is_finished() {
+                break;
+            }
+        }
+        handle.join().unwrap();
+        assert_eq!(m.emitted(), 1000);
+        assert_eq!(m.estimated_total(), 1000.0);
+    }
+}

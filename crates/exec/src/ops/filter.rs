@@ -1,0 +1,147 @@
+//! Selection (σ) with optional dne cardinality refinement.
+//!
+//! Selections have no preprocessing phase, so per §4.3 the framework uses
+//! the driver-node estimator here: on randomly ordered input it has zero
+//! error in expectation.
+
+use std::sync::Arc;
+
+use qprog_core::dne::DneEstimator;
+use qprog_types::{QResult, Row, SchemaRef};
+
+use crate::expr::Expr;
+use crate::metrics::OpMetrics;
+use crate::ops::{BoxedOp, Operator};
+
+/// Filters rows by a boolean predicate.
+pub struct Filter {
+    input: BoxedOp,
+    predicate: Expr,
+    metrics: Arc<OpMetrics>,
+    /// dne refinement over (input consumed, output emitted).
+    dne: Option<DneEstimator>,
+    done: bool,
+}
+
+impl Filter {
+    /// New filter without online estimation.
+    pub fn new(input: BoxedOp, predicate: Expr, metrics: Arc<OpMetrics>) -> Self {
+        Filter {
+            input,
+            predicate,
+            metrics,
+            dne: None,
+            done: false,
+        }
+    }
+
+    /// Enable dne refinement given the input size and the optimizer's
+    /// output estimate.
+    pub fn with_dne(mut self, input_size: u64, optimizer_estimate: f64) -> Self {
+        self.dne = Some(DneEstimator::new(input_size, optimizer_estimate));
+        self
+    }
+}
+
+impl Operator for Filter {
+    fn schema(&self) -> SchemaRef {
+        self.input.schema()
+    }
+
+    fn next(&mut self) -> QResult<Option<Row>> {
+        if self.done {
+            return Ok(None);
+        }
+        loop {
+            match self.input.next()? {
+                None => {
+                    self.done = true;
+                    self.metrics.mark_finished();
+                    return Ok(None);
+                }
+                Some(row) => {
+                    if let Some(dne) = &mut self.dne {
+                        dne.observe_driver(1);
+                    }
+                    self.metrics.record_driver(1);
+                    if self.predicate.eval_predicate(&row)? {
+                        self.metrics.record_emitted();
+                        if let Some(dne) = &mut self.dne {
+                            dne.observe_output(1);
+                            self.metrics.set_estimated_total(dne.estimate());
+                        }
+                        return Ok(Some(row));
+                    } else if let Some(dne) = &self.dne {
+                        self.metrics.set_estimated_total(dne.estimate());
+                    }
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "filter"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+    use crate::ops::test_util::{col_i64, drain, int_table};
+    use crate::ops::TableScan;
+
+    fn scan(vals: &[i64]) -> BoxedOp {
+        let t = int_table("t", "a", vals).into_shared();
+        Box::new(TableScan::new(t, OpMetrics::with_initial_estimate(0.0)))
+    }
+
+    #[test]
+    fn filters_rows() {
+        let pred = Expr::binary(BinOp::Lt, Expr::col(0), Expr::lit(5i64));
+        let m = OpMetrics::with_initial_estimate(0.0);
+        let vals: Vec<i64> = (0..10).collect();
+        let mut f = Filter::new(scan(&vals), pred, Arc::clone(&m));
+        let rows = drain(&mut f);
+        assert_eq!(col_i64(&rows, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(m.emitted(), 5);
+        assert_eq!(m.driver_consumed(), 10);
+        assert!(m.is_finished());
+    }
+
+    #[test]
+    fn dne_refines_selectivity_online() {
+        // All matches cluster at the front of the input, so early dne
+        // extrapolation overshoots, converging once the driver is drained.
+        let vals: Vec<i64> = (0..1000).collect();
+        let pred = Expr::binary(BinOp::Lt, Expr::col(0), Expr::lit(500i64));
+        let m = OpMetrics::with_initial_estimate(123.0);
+        let mut f = Filter::new(scan(&vals), pred, Arc::clone(&m)).with_dne(1000, 123.0);
+        // consume 100 rows of output (first 100 input rows all match)
+        for _ in 0..100 {
+            f.next().unwrap().unwrap();
+        }
+        // driver has consumed 100, output 100 → dne extrapolates 1000
+        assert!((m.estimated_total() - 1000.0).abs() < 1e-6);
+        let rest = drain(&mut f);
+        assert_eq!(rest.len(), 400);
+        assert_eq!(m.estimated_total(), 500.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let m = OpMetrics::with_initial_estimate(0.0);
+        let pred = Expr::lit(true);
+        let mut f = Filter::new(scan(&[]), pred, m);
+        assert!(f.next().unwrap().is_none());
+        assert!(f.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn predicate_errors_propagate() {
+        let m = OpMetrics::with_initial_estimate(0.0);
+        let pred = Expr::col(0); // BIGINT, not BOOLEAN
+        let mut f = Filter::new(scan(&[1]), pred, m);
+        assert!(f.next().is_err());
+    }
+}

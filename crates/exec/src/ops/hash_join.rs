@@ -1,0 +1,849 @@
+//! Grace-style partitioned hash join with online estimation hooks.
+//!
+//! Execution phases (§4.1.1 of the paper):
+//!
+//! 1. **Build**: the build input is drained and hash-partitioned. With
+//!    `once` estimation, the exact frequency histogram `N_R` of the build
+//!    join key is constructed *interleaved with partitioning*.
+//! 2. **Probe partitioning**: the probe input is drained and partitioned.
+//!    This is where `once` estimation runs — each probe key updates
+//!    `D_{t+1} = (D_t·t + N_R[i]·|S|)/(t+1)` — and why it converges to the
+//!    exact join cardinality *before any output exists*.
+//! 3. **Partition-wise join**: for each partition, a hash table is built
+//!    over the build rows and probed with the probe rows. Output therefore
+//!    emerges clustered by key — the reordering that makes the `dne`/`byte`
+//!    baselines (which watch this phase) fluctuate under skew (Fig. 4).
+//!
+//! In a pipeline of hash joins, all joins share a
+//! [`PipelineHandle`]; each feeds its build tuples to the shared
+//! [`PipelineEstimator`] and the lowest join drives probe observation
+//! (Algorithm 1 push-down, §4.1.4).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use qprog_core::byte::ByteEstimator;
+use qprog_core::distinct::DistinctTracker;
+use qprog_core::dne::DneEstimator;
+use qprog_core::freq_hist::FreqHist;
+use qprog_core::join_est::{JoinKind, OnceJoinEstimator};
+use qprog_core::pipeline_est::PipelineEstimator;
+use qprog_types::{Key, QError, QResult, Row, SchemaRef};
+
+use crate::metrics::OpMetrics;
+use crate::ops::{partition_of, BoxedOp, Operator, PUBLISH_EVERY};
+
+/// Default number of grace partitions.
+pub const DEFAULT_PARTITIONS: usize = 16;
+
+/// `Z_α` used for published confidence bounds (two-sided 99%).
+const CI_Z: f64 = 2.576;
+
+/// Shared pipeline estimation state: the Algorithm-1 estimator plus the
+/// metrics handle of each join in the pipeline (bottom-up order) for
+/// publishing refined estimates.
+#[derive(Debug)]
+pub struct PipelineShared {
+    /// The push-down estimator (joins indexed bottom-up).
+    pub estimator: PipelineEstimator,
+    /// Metrics of each join, indexed like the estimator's joins.
+    pub metrics: Vec<Arc<OpMetrics>>,
+}
+
+impl PipelineShared {
+    /// Publish every join's current estimate to its metrics handle.
+    pub fn publish(&self) {
+        for (u, m) in self.metrics.iter().enumerate() {
+            if self.estimator.probe_seen() > 0 {
+                m.set_estimated_total(self.estimator.estimate(u));
+            }
+        }
+    }
+}
+
+/// Handle shared by all hash joins of one pipeline.
+pub type PipelineHandle = Arc<Mutex<PipelineShared>>;
+
+/// Which online estimation strategy this join runs.
+pub enum JoinEstimation {
+    /// No estimation.
+    Off,
+    /// The paper's framework on a standalone binary join; `probe_size_hint`
+    /// is the known or optimizer-estimated probe input size.
+    Once { probe_size_hint: u64 },
+    /// Algorithm-1 pipeline push-down; this join is `join_index` in the
+    /// shared estimator and drives probe observation iff `lowest`.
+    Pipeline {
+        handle: PipelineHandle,
+        join_index: usize,
+        lowest: bool,
+    },
+    /// Driver-node baseline (driver = probe rows consumed in the join
+    /// pass).
+    Dne { optimizer_estimate: f64 },
+    /// Byte-model baseline.
+    Byte {
+        optimizer_estimate: f64,
+        probe_row_bytes: u64,
+    },
+}
+
+enum JState {
+    /// Build + probe-partition phases not yet run.
+    Init,
+    /// Joining partition `part`; `probe_pos` indexes its probe rows.
+    Joining {
+        part: usize,
+        table: HashMap<Key, Vec<usize>>,
+        probe_pos: usize,
+        /// Pending matches: (build row indices, probe row) with cursor.
+        pending: Option<(Vec<usize>, Row, usize)>,
+    },
+    Done,
+}
+
+/// Grace hash join on single-column equi-keys, supporting inner,
+/// (probe-preserving) left outer, semi and anti semantics.
+pub struct HashJoin {
+    build: Option<BoxedOp>,
+    probe: Option<BoxedOp>,
+    build_key: usize,
+    probe_key: usize,
+    kind: JoinKind,
+    schema: SchemaRef,
+    /// Build-arity NULL padding for outer-join misses.
+    null_pad: Row,
+    /// NULL-key probe rows stashed during partitioning; LeftOuter/Anti
+    /// emit them at the end (NULL keys never match anything).
+    null_probe_rows: Vec<Row>,
+    metrics: Arc<OpMetrics>,
+    estimation: JoinEstimation,
+    num_partitions: usize,
+    build_parts: Vec<Vec<Row>>,
+    probe_parts: Vec<Vec<Row>>,
+    once: Option<OnceJoinEstimator>,
+    dne: Option<DneEstimator>,
+    byte: Option<ByteEstimator>,
+    /// Optional aggregation push-down (§4.2 end): tracks the distinct
+    /// values of the join key in the join *output* distribution.
+    agg_pushdown: Option<Arc<Mutex<DistinctTracker>>>,
+    state: JState,
+}
+
+impl HashJoin {
+    /// New hash join; `build_key`/`probe_key` are column indices of the
+    /// equi-join key in the respective child schemas.
+    pub fn new(
+        build: BoxedOp,
+        probe: BoxedOp,
+        build_key: usize,
+        probe_key: usize,
+        estimation: JoinEstimation,
+        metrics: Arc<OpMetrics>,
+    ) -> Self {
+        let schema = build.schema().join(&probe.schema()).into_ref();
+        HashJoin {
+            build: Some(build),
+            probe: Some(probe),
+            build_key,
+            probe_key,
+            kind: JoinKind::Inner,
+            schema,
+            null_pad: Row::default(),
+            null_probe_rows: Vec::new(),
+            metrics,
+            estimation,
+            num_partitions: DEFAULT_PARTITIONS,
+            build_parts: Vec::new(),
+            probe_parts: Vec::new(),
+            once: None,
+            dne: None,
+            byte: None,
+            agg_pushdown: None,
+            state: JState::Init,
+        }
+    }
+
+    /// Select the join semantics; recomputes the output schema:
+    /// `Inner` → build ++ probe, `LeftOuter` → nullable(build) ++ probe,
+    /// `Semi`/`Anti` → probe only. Call before execution starts.
+    pub fn with_join_kind(mut self, kind: JoinKind) -> Self {
+        self.kind = kind;
+        let build_schema = self
+            .build
+            .as_ref()
+            .expect("with_join_kind before execution")
+            .schema();
+        let probe_schema = self
+            .probe
+            .as_ref()
+            .expect("with_join_kind before execution")
+            .schema();
+        self.schema = match kind {
+            JoinKind::Inner => build_schema.join(&probe_schema).into_ref(),
+            JoinKind::LeftOuter => {
+                let nullable_build = qprog_types::Schema::new(
+                    build_schema
+                        .fields()
+                        .iter()
+                        .map(|f| f.clone().with_nullable(true))
+                        .collect(),
+                );
+                nullable_build.join(&probe_schema).into_ref()
+            }
+            JoinKind::Semi | JoinKind::Anti => Arc::clone(&probe_schema),
+        };
+        self.null_pad = Row::new(vec![qprog_types::Value::Null; build_schema.arity()]);
+        self
+    }
+
+    /// The configured join semantics.
+    pub fn join_kind(&self) -> JoinKind {
+        self.kind
+    }
+
+    /// Override the partition count (≥ 1).
+    pub fn with_partitions(mut self, n: usize) -> Self {
+        self.num_partitions = n.max(1);
+        self
+    }
+
+    /// Attach aggregation push-down: the tracker observes the join-key
+    /// distribution of the join *output* during the probe-partitioning
+    /// pass, so a GROUP BY on the join attribute above this join gets
+    /// GEE/MLE estimates long before the aggregation sees a tuple.
+    pub fn with_agg_pushdown(mut self, tracker: Arc<Mutex<DistinctTracker>>) -> Self {
+        self.agg_pushdown = Some(tracker);
+        self
+    }
+
+    /// Run the build and probe-partitioning phases.
+    fn preprocess(&mut self) -> QResult<()> {
+        let mut build = self
+            .build
+            .take()
+            .ok_or_else(|| QError::internal("hash join build input consumed twice"))?;
+        let mut probe = self
+            .probe
+            .take()
+            .ok_or_else(|| QError::internal("hash join probe input consumed twice"))?;
+
+        self.build_parts = (0..self.num_partitions).map(|_| Vec::new()).collect();
+        self.probe_parts = (0..self.num_partitions).map(|_| Vec::new()).collect();
+
+        // ---- Build phase ----
+        let mut build_hist = match self.estimation {
+            JoinEstimation::Once { .. } => Some(FreqHist::new()),
+            _ => None,
+        };
+        if let JoinEstimation::Pipeline {
+            handle, join_index, ..
+        } = &self.estimation
+        {
+            handle.lock().estimator.begin_build(*join_index)?;
+        }
+        while let Some(row) = build.next()? {
+            let key = row.key(self.build_key)?;
+            if key.is_null() {
+                continue; // NULL keys never equi-join
+            }
+            if let Some(h) = &mut build_hist {
+                h.observe(&key);
+            }
+            if let JoinEstimation::Pipeline {
+                handle, join_index, ..
+            } = &self.estimation
+            {
+                handle.lock().estimator.build_tuple(*join_index, &row)?;
+            }
+            let p = partition_of(&key, self.num_partitions);
+            self.build_parts[p].push(row);
+        }
+        if let JoinEstimation::Pipeline {
+            handle, join_index, ..
+        } = &self.estimation
+        {
+            handle.lock().estimator.end_build(*join_index)?;
+        }
+        if let JoinEstimation::Once { probe_size_hint } = self.estimation {
+            self.once = Some(OnceJoinEstimator::with_kind(
+                build_hist.take().expect("histogram built in Once mode"),
+                probe_size_hint,
+                self.kind,
+            ));
+        }
+
+        // ---- Probe partitioning phase ----
+        // Estimates are published (and the push-down tracker's input size
+        // refreshed) in batches: per-tuple publication is measurable
+        // overhead for a monitor that polls far less often anyway.
+        let mut probe_rows: u64 = 0;
+        while let Some(row) = probe.next()? {
+            probe_rows += 1;
+            let publish = probe_rows.is_multiple_of(PUBLISH_EVERY);
+            let key = row.key(self.probe_key)?;
+            if let Some(once) = &mut self.once {
+                let mult = once.observe_probe(&key);
+                if publish {
+                    self.metrics.set_estimated_total(once.estimate());
+                    let ci = once.confidence_interval(CI_Z);
+                    self.metrics.set_estimated_bounds(ci.lo, ci.hi);
+                }
+                if let Some(tracker) = &self.agg_pushdown {
+                    let mut t = tracker.lock();
+                    if mult > 0 {
+                        t.observe_n(&key, mult);
+                    }
+                    if publish {
+                        t.set_input_size(once.estimate().round() as u64);
+                    }
+                }
+            }
+            if let JoinEstimation::Pipeline { handle, lowest, .. } = &self.estimation {
+                if *lowest {
+                    let mut shared = handle.lock();
+                    shared.estimator.observe_probe(&row)?;
+                    if publish {
+                        shared.publish();
+                    }
+                }
+            }
+            if key.is_null() {
+                if matches!(self.kind, JoinKind::LeftOuter | JoinKind::Anti) {
+                    self.null_probe_rows.push(row);
+                }
+                continue;
+            }
+            let p = partition_of(&key, self.num_partitions);
+            self.probe_parts[p].push(row);
+        }
+        // The probe input is now exhausted: |S| is exact.
+        if let Some(once) = &mut self.once {
+            once.set_probe_size(probe_rows);
+            self.metrics.set_estimated_total(once.estimate());
+            self.metrics
+                .set_estimated_bounds(once.estimate(), once.estimate());
+            if let Some(tracker) = &self.agg_pushdown {
+                tracker.lock().set_input_size(once.estimate().round() as u64);
+            }
+        }
+        if let JoinEstimation::Pipeline { handle, lowest, .. } = &self.estimation {
+            if *lowest {
+                let mut shared = handle.lock();
+                shared.estimator.set_probe_size(probe_rows);
+                shared.publish();
+            }
+        }
+        match self.estimation {
+            JoinEstimation::Dne { optimizer_estimate } => {
+                self.dne = Some(DneEstimator::new(probe_rows, optimizer_estimate));
+                self.metrics.set_estimated_total(optimizer_estimate);
+            }
+            JoinEstimation::Byte {
+                optimizer_estimate,
+                probe_row_bytes,
+            } => {
+                self.byte = Some(ByteEstimator::new(
+                    probe_rows,
+                    probe_row_bytes,
+                    optimizer_estimate,
+                ));
+                self.metrics.set_estimated_total(optimizer_estimate);
+            }
+            _ => {}
+        }
+
+        self.state = JState::Joining {
+            part: 0,
+            table: HashMap::new(),
+            probe_pos: 0,
+            pending: None,
+        };
+        self.load_partition(0)?;
+        Ok(())
+    }
+
+    /// Build the in-memory hash table for partition `part`.
+    fn load_partition(&mut self, part: usize) -> QResult<()> {
+        let mut table: HashMap<Key, Vec<usize>> = HashMap::new();
+        for (i, row) in self.build_parts[part].iter().enumerate() {
+            let key = row.key(self.build_key)?;
+            table.entry(key).or_default().push(i);
+        }
+        self.state = JState::Joining {
+            part,
+            table,
+            probe_pos: 0,
+            pending: None,
+        };
+        Ok(())
+    }
+
+}
+
+/// Baseline bookkeeping for one probe row consumed in the join pass.
+/// Free function so it can run while `self.state` is mutably borrowed.
+fn observe_join_driver(
+    dne: &mut Option<DneEstimator>,
+    byte: &mut Option<ByteEstimator>,
+    metrics: &OpMetrics,
+) {
+    if let Some(dne) = dne {
+        dne.observe_driver(1);
+        metrics.set_estimated_total(dne.estimate());
+    }
+    if let Some(byte) = byte {
+        byte.observe_input_rows(1);
+        metrics.set_estimated_total(byte.estimate());
+    }
+}
+
+/// Baseline bookkeeping for one output row emitted in the join pass.
+fn observe_join_output(
+    dne: &mut Option<DneEstimator>,
+    byte: &mut Option<ByteEstimator>,
+    metrics: &OpMetrics,
+) {
+    if let Some(dne) = dne {
+        dne.observe_output(1);
+        metrics.set_estimated_total(dne.estimate());
+    }
+    if let Some(byte) = byte {
+        byte.observe_output_rows(1);
+        metrics.set_estimated_total(byte.estimate());
+    }
+}
+
+impl Operator for HashJoin {
+    fn schema(&self) -> SchemaRef {
+        Arc::clone(&self.schema)
+    }
+
+    fn next(&mut self) -> QResult<Option<Row>> {
+        if matches!(self.state, JState::Init) {
+            self.preprocess()?;
+        }
+        loop {
+            match &mut self.state {
+                JState::Init => unreachable!("preprocessed above"),
+                JState::Done => return Ok(None),
+                JState::Joining {
+                    part,
+                    table,
+                    probe_pos,
+                    pending,
+                } => {
+                    // Emit from the pending match group first (Inner /
+                    // matched LeftOuter emit one row per build match).
+                    if let Some((matches, probe_row, cursor)) = pending {
+                        if *cursor < matches.len() {
+                            let build_row = &self.build_parts[*part][matches[*cursor]];
+                            let out = build_row.concat(probe_row);
+                            *cursor += 1;
+                            self.metrics.record_emitted();
+                            observe_join_output(&mut self.dne, &mut self.byte, &self.metrics);
+                            return Ok(Some(out));
+                        }
+                        *pending = None;
+                    }
+                    // Advance within the current partition's probe rows.
+                    if let Some(probe_row) = self.probe_parts[*part].get(*probe_pos) {
+                        let probe_row = probe_row.clone();
+                        *probe_pos += 1;
+                        self.metrics.record_driver(1);
+                        let key = probe_row.key(self.probe_key)?;
+                        let matches = table.get(&key).cloned().unwrap_or_default();
+                        observe_join_driver(&mut self.dne, &mut self.byte, &self.metrics);
+                        let emit_single = match (self.kind, matches.is_empty()) {
+                            (JoinKind::Inner | JoinKind::LeftOuter, false) => {
+                                *pending = Some((matches, probe_row, 0));
+                                None
+                            }
+                            (JoinKind::LeftOuter, true) => {
+                                Some(self.null_pad.concat(&probe_row))
+                            }
+                            (JoinKind::Semi, false) | (JoinKind::Anti, true) => Some(probe_row),
+                            _ => None,
+                        };
+                        if let Some(out) = emit_single {
+                            self.metrics.record_emitted();
+                            observe_join_output(&mut self.dne, &mut self.byte, &self.metrics);
+                            return Ok(Some(out));
+                        }
+                        continue;
+                    }
+                    // Partition exhausted: move to the next.
+                    let next_part = *part + 1;
+                    if next_part < self.num_partitions {
+                        self.load_partition(next_part)?;
+                    } else if let Some(row) = self.null_probe_rows.pop() {
+                        // NULL-key probe rows never match: LeftOuter pads
+                        // them, Anti passes them through.
+                        let out = match self.kind {
+                            JoinKind::LeftOuter => self.null_pad.concat(&row),
+                            _ => row,
+                        };
+                        self.metrics.record_emitted();
+                        observe_join_output(&mut self.dne, &mut self.byte, &self.metrics);
+                        return Ok(Some(out));
+                    } else {
+                        self.state = JState::Done;
+                        self.metrics.mark_finished();
+                        return Ok(None);
+                    }
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "hash_join"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::test_util::{drain, int_table};
+    use crate::ops::TableScan;
+    use qprog_core::pipeline_est::{AttrSource, JoinSpec};
+
+    fn scan1(name: &str, vals: &[i64]) -> BoxedOp {
+        let t = int_table(name, "k", vals).into_shared();
+        Box::new(TableScan::new(t, OpMetrics::with_initial_estimate(0.0)))
+    }
+
+    fn exact_join(r: &[i64], s: &[i64]) -> usize {
+        r.iter()
+            .map(|a| s.iter().filter(|&&b| b == *a).count())
+            .sum()
+    }
+
+    #[test]
+    fn joins_correctly() {
+        let r = [1i64, 1, 2, 3];
+        let s = [1i64, 2, 2, 4];
+        let m = OpMetrics::with_initial_estimate(0.0);
+        let mut j = HashJoin::new(
+            scan1("r", &r),
+            scan1("s", &s),
+            0,
+            0,
+            JoinEstimation::Off,
+            Arc::clone(&m),
+        );
+        let rows = drain(&mut j);
+        assert_eq!(rows.len(), exact_join(&r, &s)); // 1×2 + 2×2 = 4
+        for row in &rows {
+            assert_eq!(row.arity(), 2);
+            assert_eq!(row.get(0).unwrap(), row.get(1).unwrap());
+        }
+        assert_eq!(m.emitted(), 4);
+        assert!(m.is_finished());
+    }
+
+    #[test]
+    fn null_keys_never_join() {
+        use qprog_types::{DataType, Field, Row, Schema, Value};
+        let mut t = qprog_storage::Table::new(
+            "n",
+            Schema::new(vec![Field::new("k", DataType::Int64).with_nullable(true)]),
+        );
+        t.push(Row::new(vec![Value::Null])).unwrap();
+        t.push(Row::new(vec![Value::Int64(1)])).unwrap();
+        let t = t.into_shared();
+        let left: BoxedOp = Box::new(TableScan::new(
+            Arc::clone(&t),
+            OpMetrics::with_initial_estimate(0.0),
+        ));
+        let right: BoxedOp = Box::new(TableScan::new(t, OpMetrics::with_initial_estimate(0.0)));
+        let m = OpMetrics::with_initial_estimate(0.0);
+        let mut j = HashJoin::new(left, right, 0, 0, JoinEstimation::Off, m);
+        let rows = drain(&mut j);
+        assert_eq!(rows.len(), 1); // only 1 = 1
+    }
+
+    #[test]
+    fn once_estimate_converges_before_output() {
+        let r: Vec<i64> = (0..500).map(|i| i % 50).collect();
+        let s: Vec<i64> = (0..800).map(|i| i % 100).collect();
+        let truth = exact_join(&r, &s) as f64;
+        let m = OpMetrics::with_initial_estimate(1.0);
+        let mut j = HashJoin::new(
+            scan1("r", &r),
+            scan1("s", &s),
+            0,
+            0,
+            JoinEstimation::Once {
+                probe_size_hint: s.len() as u64,
+            },
+            Arc::clone(&m),
+        );
+        // Pull exactly one output row: preprocessing (build + probe
+        // partitioning) has completed, so the estimate must already be exact.
+        let first = j.next().unwrap();
+        assert!(first.is_some());
+        assert_eq!(m.estimated_total(), truth);
+        let rest = drain(&mut j);
+        assert_eq!(rest.len() + 1, truth as usize);
+    }
+
+    #[test]
+    fn once_corrects_bad_probe_size_hint() {
+        let r = [5i64, 5];
+        let s = [5i64, 5, 5, 6];
+        let m = OpMetrics::with_initial_estimate(0.0);
+        let mut j = HashJoin::new(
+            scan1("r", &r),
+            scan1("s", &s),
+            0,
+            0,
+            JoinEstimation::Once {
+                probe_size_hint: 4000, // wildly wrong
+            },
+            Arc::clone(&m),
+        );
+        let rows = drain(&mut j);
+        assert_eq!(rows.len(), 6);
+        assert_eq!(m.estimated_total(), 6.0);
+    }
+
+    #[test]
+    fn dne_fluctuates_with_partition_clustered_output() {
+        // Skewed: one hot value. dne watches the join pass, whose output is
+        // clustered by partition, so its estimate must move a lot.
+        let r: Vec<i64> = std::iter::repeat_n(7, 200).chain(0..50).collect();
+        let s: Vec<i64> = (0..1000).map(|i| i % 100).collect();
+        let m = OpMetrics::with_initial_estimate(50.0);
+        let mut j = HashJoin::new(
+            scan1("r", &r),
+            scan1("s", &s),
+            0,
+            0,
+            JoinEstimation::Dne {
+                optimizer_estimate: 50.0,
+            },
+            Arc::clone(&m),
+        );
+        let mut estimates = Vec::new();
+        while let Some(_row) = j.next().unwrap() {
+            estimates.push(m.estimated_total());
+        }
+        let truth = exact_join(&r, &s) as f64;
+        // converged once every probe row has been joined
+        assert_eq!(m.estimated_total(), truth);
+        // ...but wandered on the way: relative spread well above 30%.
+        let min = estimates.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = estimates.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            max / min > 1.3,
+            "dne should fluctuate under clustering: min {min} max {max} truth {truth}"
+        );
+    }
+
+    #[test]
+    fn byte_estimator_publishes_and_converges() {
+        let r: Vec<i64> = (0..100).collect();
+        let s: Vec<i64> = (0..100).collect();
+        let m = OpMetrics::with_initial_estimate(13.0);
+        let mut j = HashJoin::new(
+            scan1("r", &r),
+            scan1("s", &s),
+            0,
+            0,
+            JoinEstimation::Byte {
+                optimizer_estimate: 13.0,
+                probe_row_bytes: 8,
+            },
+            Arc::clone(&m),
+        );
+        let rows = drain(&mut j);
+        assert_eq!(rows.len(), 100);
+        assert_eq!(m.estimated_total(), 100.0);
+    }
+
+    #[test]
+    fn pipeline_mode_two_joins_same_attribute() {
+        // upper: A ⋈ (B ⋈ C) all on col 0. Exec tree: HashJoin(build=A,
+        // probe=HashJoin(build=B, probe=C)).
+        let a = [1i64, 1, 2];
+        let b = [1i64, 2, 2];
+        let c = [1i64, 2, 9];
+        let specs = vec![
+            JoinSpec {
+                build_attr_col: 0,
+                probe_attr: AttrSource::Probe { col: 0 },
+            };
+            2
+        ];
+        let m_lower = OpMetrics::with_initial_estimate(0.0);
+        let m_upper = OpMetrics::with_initial_estimate(0.0);
+        let shared: PipelineHandle = Arc::new(Mutex::new(PipelineShared {
+            estimator: PipelineEstimator::new(specs, c.len() as u64).unwrap(),
+            metrics: vec![Arc::clone(&m_lower), Arc::clone(&m_upper)],
+        }));
+        let lower = HashJoin::new(
+            scan1("b", &b),
+            scan1("c", &c),
+            0,
+            0,
+            JoinEstimation::Pipeline {
+                handle: Arc::clone(&shared),
+                join_index: 0,
+                lowest: true,
+            },
+            Arc::clone(&m_lower),
+        );
+        let mut upper = HashJoin::new(
+            scan1("a", &a),
+            Box::new(lower),
+            0,
+            0,
+            JoinEstimation::Pipeline {
+                handle: Arc::clone(&shared),
+                join_index: 1,
+                lowest: false,
+            },
+            Arc::clone(&m_upper),
+        );
+        let rows = drain(&mut upper);
+        // lower join: 1→1, 2→2 matches = 3 rows (c=1:1, c=2:2)
+        // upper: c=1 → 1·2(A has two 1s)=2; c=2 → 2·1 = 2 → 4 rows
+        assert_eq!(rows.len(), 4);
+        assert_eq!(m_lower.estimated_total(), 3.0);
+        assert_eq!(m_upper.estimated_total(), 4.0);
+    }
+
+    #[test]
+    fn agg_pushdown_tracks_output_distinct() {
+        let r = [1i64, 1, 2, 3];
+        let s = [1i64, 2, 2, 5];
+        // join output keys: 1 (×2), 2 (×2) → 2 distinct
+        let tracker = Arc::new(Mutex::new(DistinctTracker::new(10)));
+        let m = OpMetrics::with_initial_estimate(0.0);
+        let mut j = HashJoin::new(
+            scan1("r", &r),
+            scan1("s", &s),
+            0,
+            0,
+            JoinEstimation::Once { probe_size_hint: 4 },
+            Arc::clone(&m),
+        )
+        .with_agg_pushdown(Arc::clone(&tracker));
+        let rows = drain(&mut j);
+        assert_eq!(rows.len(), 4);
+        let t = tracker.lock();
+        assert_eq!(t.groups_seen(), 2);
+        assert_eq!(t.estimate(), 2.0);
+    }
+
+    #[test]
+    fn join_kinds_semantics_and_estimates() {
+        use qprog_types::Value;
+        let r = [1i64, 1, 2, 3];
+        let s = [1i64, 2, 2, 4, 9];
+        // truths: inner 4 (1×2 + 2×1 + 2×1); semi 3; anti 2; louter 4+2=6
+        for (kind, expect_rows, expect_arity) in [
+            (JoinKind::Inner, 4usize, 2usize),
+            (JoinKind::Semi, 3, 1),
+            (JoinKind::Anti, 2, 1),
+            (JoinKind::LeftOuter, 6, 2),
+        ] {
+            let m = OpMetrics::with_initial_estimate(0.0);
+            let mut j = HashJoin::new(
+                scan1("r", &r),
+                scan1("s", &s),
+                0,
+                0,
+                JoinEstimation::Once {
+                    probe_size_hint: s.len() as u64,
+                },
+                Arc::clone(&m),
+            )
+            .with_join_kind(kind);
+            assert_eq!(j.schema().arity(), expect_arity, "{kind:?}");
+            let rows = drain(&mut j);
+            assert_eq!(rows.len(), expect_rows, "{kind:?}");
+            // once estimate exact at completion for every kind
+            assert_eq!(m.estimated_total(), expect_rows as f64, "{kind:?}");
+            if kind == JoinKind::LeftOuter {
+                // unmatched probe rows are NULL-padded on the build side
+                let padded = rows
+                    .iter()
+                    .filter(|row| row.get(0).unwrap() == &Value::Null)
+                    .count();
+                assert_eq!(padded, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn null_probe_keys_per_kind() {
+        use qprog_types::{DataType, Field, Schema, Value};
+        let mut t = qprog_storage::Table::new(
+            "p",
+            Schema::new(vec![Field::new("k", DataType::Int64).with_nullable(true)]),
+        );
+        t.push(Row::new(vec![Value::Null])).unwrap();
+        t.push(Row::new(vec![Value::Int64(1)])).unwrap();
+        let t = t.into_shared();
+        for (kind, expect) in [
+            (JoinKind::Inner, 1usize),     // only 1=1
+            (JoinKind::Semi, 1),           // the matching row
+            (JoinKind::Anti, 1),           // the NULL row (no match)
+            (JoinKind::LeftOuter, 2),      // match + padded NULL row
+        ] {
+            let probe: BoxedOp = Box::new(TableScan::new(
+                Arc::clone(&t),
+                OpMetrics::with_initial_estimate(0.0),
+            ));
+            let m = OpMetrics::with_initial_estimate(0.0);
+            let mut j = HashJoin::new(
+                scan1("r", &[1, 2]),
+                probe,
+                0,
+                0,
+                JoinEstimation::Off,
+                m,
+            )
+            .with_join_kind(kind);
+            assert_eq!(drain(&mut j).len(), expect, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn single_partition_degenerate_case() {
+        let r = [1i64, 2];
+        let s = [2i64, 1];
+        let m = OpMetrics::with_initial_estimate(0.0);
+        let mut j = HashJoin::new(
+            scan1("r", &r),
+            scan1("s", &s),
+            0,
+            0,
+            JoinEstimation::Off,
+            m,
+        )
+        .with_partitions(1);
+        assert_eq!(drain(&mut j).len(), 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let m = OpMetrics::with_initial_estimate(0.0);
+        let mut j = HashJoin::new(
+            scan1("r", &[]),
+            scan1("s", &[1, 2]),
+            0,
+            0,
+            JoinEstimation::Once { probe_size_hint: 2 },
+            Arc::clone(&m),
+        );
+        assert!(j.next().unwrap().is_none());
+        assert_eq!(m.estimated_total(), 0.0);
+        let m2 = OpMetrics::with_initial_estimate(0.0);
+        let mut j = HashJoin::new(scan1("r", &[1]), scan1("s", &[]), 0, 0, JoinEstimation::Off, m2);
+        assert!(j.next().unwrap().is_none());
+    }
+}

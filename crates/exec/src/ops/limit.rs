@@ -1,0 +1,99 @@
+//! LIMIT operator.
+
+use std::sync::Arc;
+
+use qprog_types::{QResult, Row, SchemaRef};
+
+use crate::metrics::OpMetrics;
+use crate::ops::{BoxedOp, Operator};
+
+/// Emits at most `limit` rows from its input.
+pub struct Limit {
+    input: BoxedOp,
+    limit: usize,
+    emitted: usize,
+    metrics: Arc<OpMetrics>,
+    done: bool,
+}
+
+impl Limit {
+    /// New limit.
+    pub fn new(input: BoxedOp, limit: usize, metrics: Arc<OpMetrics>) -> Self {
+        Limit {
+            input,
+            limit,
+            emitted: 0,
+            metrics,
+            done: false,
+        }
+    }
+}
+
+impl Operator for Limit {
+    fn schema(&self) -> SchemaRef {
+        self.input.schema()
+    }
+
+    fn next(&mut self) -> QResult<Option<Row>> {
+        if self.done || self.emitted >= self.limit {
+            if !self.done {
+                self.done = true;
+                self.metrics.mark_finished();
+            }
+            return Ok(None);
+        }
+        match self.input.next()? {
+            Some(row) => {
+                self.emitted += 1;
+                self.metrics.record_emitted();
+                Ok(Some(row))
+            }
+            None => {
+                self.done = true;
+                self.metrics.mark_finished();
+                Ok(None)
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "limit"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::test_util::{drain, int_table};
+    use crate::ops::TableScan;
+
+    fn scan(vals: &[i64]) -> BoxedOp {
+        let t = int_table("t", "a", vals).into_shared();
+        Box::new(TableScan::new(t, OpMetrics::with_initial_estimate(0.0)))
+    }
+
+    #[test]
+    fn truncates() {
+        let m = OpMetrics::with_initial_estimate(0.0);
+        let mut l = Limit::new(scan(&[1, 2, 3, 4, 5]), 3, Arc::clone(&m));
+        assert_eq!(drain(&mut l).len(), 3);
+        assert_eq!(m.emitted(), 3);
+        assert!(m.is_finished());
+        assert!(l.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn shorter_input_than_limit() {
+        let m = OpMetrics::with_initial_estimate(0.0);
+        let mut l = Limit::new(scan(&[1]), 10, m);
+        assert_eq!(drain(&mut l).len(), 1);
+    }
+
+    #[test]
+    fn zero_limit() {
+        let m = OpMetrics::with_initial_estimate(0.0);
+        let mut l = Limit::new(scan(&[1, 2]), 0, Arc::clone(&m));
+        assert!(l.next().unwrap().is_none());
+        assert!(m.is_finished());
+    }
+}

@@ -1,0 +1,552 @@
+//! Sort-merge join with estimation pushed into the sort phases (§4.1.2).
+//!
+//! Both inputs are sorted before any output: the left (first-sorted) input's
+//! consume phase builds the exact join-key histogram; the right input's
+//! consume phase probes it, so with `once` estimation the join cardinality
+//! is exact by the time the second sort's input is drained — before the
+//! merge emits anything. The merged output is necessarily key-clustered,
+//! which is what makes the dne/byte baselines fluctuate here just as for
+//! hash joins.
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+use qprog_core::byte::ByteEstimator;
+use qprog_core::dne::DneEstimator;
+use qprog_core::freq_hist::FreqHist;
+use qprog_core::join_est::OnceJoinEstimator;
+use qprog_types::{QError, QResult, Row, SchemaRef};
+
+use crate::metrics::OpMetrics;
+use crate::ops::hash_join::PipelineHandle;
+use crate::ops::{BoxedOp, Operator, PUBLISH_EVERY};
+
+/// Estimation strategy for a sort-merge join.
+pub enum MergeJoinEstimation {
+    Off,
+    /// The paper's framework; `probe_size_hint` is the right input's known
+    /// or estimated size.
+    Once { probe_size_hint: u64 },
+    /// Algorithm-1 push-down for a chain of sort-merge joins (§4.1.4.3):
+    /// each join's left-sort phase feeds the shared estimator's build for
+    /// `join_index`; the lowest join's right-sort consume drives probing.
+    Pipeline {
+        handle: PipelineHandle,
+        join_index: usize,
+        lowest: bool,
+    },
+    /// Driver-node baseline (driver = right rows consumed by the merge).
+    Dne { optimizer_estimate: f64 },
+    /// Byte-model baseline.
+    Byte {
+        optimizer_estimate: f64,
+        probe_row_bytes: u64,
+    },
+}
+
+enum MState {
+    Init,
+    Merging {
+        li: usize,
+        ri: usize,
+        /// Cartesian emission state within an equal-key group:
+        /// (l range, r range, cursor within the cross product).
+        group: Option<(std::ops::Range<usize>, std::ops::Range<usize>, usize)>,
+    },
+    Done,
+}
+
+/// Sort-merge equi-join on single columns.
+pub struct MergeJoin {
+    left: Option<BoxedOp>,
+    right: Option<BoxedOp>,
+    left_key: usize,
+    right_key: usize,
+    schema: SchemaRef,
+    metrics: Arc<OpMetrics>,
+    estimation: MergeJoinEstimation,
+    left_rows: Vec<Row>,
+    right_rows: Vec<Row>,
+    once: Option<OnceJoinEstimator>,
+    dne: Option<DneEstimator>,
+    byte: Option<ByteEstimator>,
+    state: MState,
+}
+
+impl MergeJoin {
+    /// New sort-merge join.
+    pub fn new(
+        left: BoxedOp,
+        right: BoxedOp,
+        left_key: usize,
+        right_key: usize,
+        estimation: MergeJoinEstimation,
+        metrics: Arc<OpMetrics>,
+    ) -> Self {
+        let schema = left.schema().join(&right.schema()).into_ref();
+        MergeJoin {
+            left: Some(left),
+            right: Some(right),
+            left_key,
+            right_key,
+            schema,
+            metrics,
+            estimation,
+            left_rows: Vec::new(),
+            right_rows: Vec::new(),
+            once: None,
+            dne: None,
+            byte: None,
+            state: MState::Init,
+        }
+    }
+
+    /// Sort phases for both inputs, with estimation interleaved.
+    fn preprocess(&mut self) -> QResult<()> {
+        let mut left = self
+            .left
+            .take()
+            .ok_or_else(|| QError::internal("merge join left input consumed twice"))?;
+        let mut right = self
+            .right
+            .take()
+            .ok_or_else(|| QError::internal("merge join right input consumed twice"))?;
+
+        // Sort left (R): every tuple is seen before output → histogram.
+        let mut hist = match self.estimation {
+            MergeJoinEstimation::Once { .. } => Some(FreqHist::new()),
+            _ => None,
+        };
+        if let MergeJoinEstimation::Pipeline {
+            handle, join_index, ..
+        } = &self.estimation
+        {
+            handle.lock().estimator.begin_build(*join_index)?;
+        }
+        while let Some(row) = left.next()? {
+            let key = row.key(self.left_key)?;
+            if key.is_null() {
+                continue;
+            }
+            if let Some(h) = &mut hist {
+                h.observe(&key);
+            }
+            if let MergeJoinEstimation::Pipeline {
+                handle, join_index, ..
+            } = &self.estimation
+            {
+                handle.lock().estimator.build_tuple(*join_index, &row)?;
+            }
+            self.left_rows.push(row);
+        }
+        if let MergeJoinEstimation::Pipeline {
+            handle, join_index, ..
+        } = &self.estimation
+        {
+            handle.lock().estimator.end_build(*join_index)?;
+        }
+        let lk = self.left_key;
+        self.left_rows.sort_by(|a, b| key_cmp(a, b, lk, lk));
+
+        if let MergeJoinEstimation::Once { probe_size_hint } = self.estimation {
+            self.once = Some(OnceJoinEstimator::new(
+                hist.take().expect("histogram built in Once mode"),
+                probe_size_hint,
+            ));
+        }
+
+        // Sort right (S): probe the histogram while consuming. Estimates
+        // are published in batches — per-tuple publication is measurable
+        // overhead for a monitor that polls far less often anyway.
+        let mut right_count: u64 = 0;
+        while let Some(row) = right.next()? {
+            right_count += 1;
+            let key = row.key(self.right_key)?;
+            if let Some(once) = &mut self.once {
+                once.observe_probe(&key);
+                if right_count.is_multiple_of(PUBLISH_EVERY) {
+                    self.metrics.set_estimated_total(once.estimate());
+                    let ci = once.confidence_interval(2.576);
+                    self.metrics.set_estimated_bounds(ci.lo, ci.hi);
+                }
+            }
+            if key.is_null() {
+                continue;
+            }
+            self.right_rows.push(row);
+        }
+        let rk = self.right_key;
+        self.right_rows.sort_by(|a, b| key_cmp(a, b, rk, rk));
+        if let Some(once) = &mut self.once {
+            once.set_probe_size(right_count);
+            self.metrics.set_estimated_total(once.estimate());
+            self.metrics
+                .set_estimated_bounds(once.estimate(), once.estimate());
+        }
+        if let MergeJoinEstimation::Pipeline { handle, lowest, .. } = &self.estimation {
+            if *lowest {
+                let mut shared = handle.lock();
+                shared.estimator.set_probe_size(right_count);
+                shared.publish();
+            }
+        }
+        match self.estimation {
+            MergeJoinEstimation::Dne { optimizer_estimate } => {
+                self.dne = Some(DneEstimator::new(right_count, optimizer_estimate));
+                self.metrics.set_estimated_total(optimizer_estimate);
+            }
+            MergeJoinEstimation::Byte {
+                optimizer_estimate,
+                probe_row_bytes,
+            } => {
+                self.byte = Some(ByteEstimator::new(
+                    right_count,
+                    probe_row_bytes,
+                    optimizer_estimate,
+                ));
+                self.metrics.set_estimated_total(optimizer_estimate);
+            }
+            _ => {}
+        }
+        self.state = MState::Merging {
+            li: 0,
+            ri: 0,
+            group: None,
+        };
+        Ok(())
+    }
+
+    /// Length of the run of rows equal on `col` starting at `start`.
+    fn run_len(rows: &[Row], start: usize, col: usize) -> usize {
+        let head = rows[start].get(col).expect("validated column");
+        rows[start..]
+            .iter()
+            .take_while(|r| {
+                r.get(col)
+                    .map(|v| v.total_cmp(head) == Ordering::Equal)
+                    .unwrap_or(false)
+            })
+            .count()
+    }
+
+    fn observe_right_consumed(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if let Some(dne) = &mut self.dne {
+            dne.observe_driver(n);
+            self.metrics.set_estimated_total(dne.estimate());
+        }
+        if let Some(byte) = &mut self.byte {
+            byte.observe_input_rows(n);
+            self.metrics.set_estimated_total(byte.estimate());
+        }
+    }
+
+    fn observe_output(&mut self) {
+        if let Some(dne) = &mut self.dne {
+            dne.observe_output(1);
+            self.metrics.set_estimated_total(dne.estimate());
+        }
+        if let Some(byte) = &mut self.byte {
+            byte.observe_output_rows(1);
+            self.metrics.set_estimated_total(byte.estimate());
+        }
+    }
+}
+
+fn key_cmp(a: &Row, b: &Row, ca: usize, cb: usize) -> Ordering {
+    match (a.get(ca), b.get(cb)) {
+        (Ok(x), Ok(y)) => x.total_cmp(y),
+        _ => Ordering::Equal,
+    }
+}
+
+impl Operator for MergeJoin {
+    fn schema(&self) -> SchemaRef {
+        Arc::clone(&self.schema)
+    }
+
+    fn next(&mut self) -> QResult<Option<Row>> {
+        if matches!(self.state, MState::Init) {
+            self.preprocess()?;
+        }
+        loop {
+            // Split borrows: copy indices out of the state.
+            let (mut li, mut ri, group) = match &mut self.state {
+                MState::Done => return Ok(None),
+                MState::Merging { li, ri, group } => (*li, *ri, group.take()),
+                MState::Init => unreachable!("preprocessed above"),
+            };
+
+            // Emit remaining pairs of the current equal-key group.
+            if let Some((lr, rr, cursor)) = group {
+                let width = rr.len();
+                if cursor < lr.len() * width {
+                    let l = lr.start + cursor / width;
+                    let r = rr.start + cursor % width;
+                    let out = self.left_rows[l].concat(&self.right_rows[r]);
+                    self.state = MState::Merging {
+                        li,
+                        ri,
+                        group: Some((lr, rr, cursor + 1)),
+                    };
+                    self.metrics.record_emitted();
+                    self.observe_output();
+                    return Ok(Some(out));
+                }
+                // group exhausted: advance past both runs
+                li = lr.end;
+                let consumed = rr.len() as u64;
+                ri = rr.end;
+                self.state = MState::Merging {
+                    li,
+                    ri,
+                    group: None,
+                };
+                self.observe_right_consumed(consumed);
+                continue;
+            }
+
+            // Advance the merge.
+            if li >= self.left_rows.len() || ri >= self.right_rows.len() {
+                // account for right rows never matched
+                let remaining = (self.right_rows.len() - ri) as u64;
+                self.observe_right_consumed(remaining);
+                self.state = MState::Done;
+                self.metrics.mark_finished();
+                return Ok(None);
+            }
+            match key_cmp(
+                &self.left_rows[li],
+                &self.right_rows[ri],
+                self.left_key,
+                self.right_key,
+            ) {
+                Ordering::Less => {
+                    self.state = MState::Merging {
+                        li: li + 1,
+                        ri,
+                        group: None,
+                    };
+                }
+                Ordering::Greater => {
+                    self.state = MState::Merging {
+                        li,
+                        ri: ri + 1,
+                        group: None,
+                    };
+                    self.observe_right_consumed(1);
+                }
+                Ordering::Equal => {
+                    let lrun = Self::run_len(&self.left_rows, li, self.left_key);
+                    let rrun = Self::run_len(&self.right_rows, ri, self.right_key);
+                    self.state = MState::Merging {
+                        li,
+                        ri,
+                        group: Some((li..li + lrun, ri..ri + rrun, 0)),
+                    };
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "merge_join"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::test_util::{drain, int_table};
+    use crate::ops::TableScan;
+
+    fn scan1(name: &str, vals: &[i64]) -> BoxedOp {
+        let t = int_table(name, "k", vals).into_shared();
+        Box::new(TableScan::new(t, OpMetrics::with_initial_estimate(0.0)))
+    }
+
+    fn exact_join(r: &[i64], s: &[i64]) -> usize {
+        r.iter()
+            .map(|a| s.iter().filter(|&&b| b == *a).count())
+            .sum()
+    }
+
+    #[test]
+    fn joins_with_duplicates() {
+        let r = [3i64, 1, 1, 2, 2, 2];
+        let s = [2i64, 2, 1, 9];
+        let m = OpMetrics::with_initial_estimate(0.0);
+        let mut j = MergeJoin::new(
+            scan1("r", &r),
+            scan1("s", &s),
+            0,
+            0,
+            MergeJoinEstimation::Off,
+            Arc::clone(&m),
+        );
+        let rows = drain(&mut j);
+        assert_eq!(rows.len(), exact_join(&r, &s)); // 1×2·... = 2·1 + 3·2 = 8
+        for row in &rows {
+            assert_eq!(row.get(0).unwrap(), row.get(1).unwrap());
+        }
+        assert_eq!(m.emitted(), rows.len() as u64);
+    }
+
+    #[test]
+    fn output_is_key_clustered() {
+        let r = [2i64, 1, 2, 1];
+        let s = [1i64, 2, 1, 2];
+        let m = OpMetrics::with_initial_estimate(0.0);
+        let mut j = MergeJoin::new(
+            scan1("r", &r),
+            scan1("s", &s),
+            0,
+            0,
+            MergeJoinEstimation::Off,
+            m,
+        );
+        let keys: Vec<i64> = drain(&mut j)
+            .iter()
+            .map(|row| row.get(0).unwrap().as_i64().unwrap())
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "merge output must be key-ordered");
+    }
+
+    #[test]
+    fn once_converges_before_merge_output() {
+        let r: Vec<i64> = (0..300).map(|i| i % 30).collect();
+        let s: Vec<i64> = (0..400).map(|i| i % 40).collect();
+        let truth = exact_join(&r, &s) as f64;
+        let m = OpMetrics::with_initial_estimate(1.0);
+        let mut j = MergeJoin::new(
+            scan1("r", &r),
+            scan1("s", &s),
+            0,
+            0,
+            MergeJoinEstimation::Once {
+                probe_size_hint: s.len() as u64,
+            },
+            Arc::clone(&m),
+        );
+        let first = j.next().unwrap();
+        assert!(first.is_some());
+        assert_eq!(m.estimated_total(), truth);
+        assert_eq!(drain(&mut j).len() + 1, truth as usize);
+    }
+
+    #[test]
+    fn dne_converges_at_end() {
+        let r: Vec<i64> = (0..50).collect();
+        let s: Vec<i64> = (0..100).map(|i| i % 50).collect();
+        let m = OpMetrics::with_initial_estimate(7.0);
+        let mut j = MergeJoin::new(
+            scan1("r", &r),
+            scan1("s", &s),
+            0,
+            0,
+            MergeJoinEstimation::Dne {
+                optimizer_estimate: 7.0,
+            },
+            Arc::clone(&m),
+        );
+        let rows = drain(&mut j);
+        assert_eq!(rows.len(), 100);
+        assert_eq!(m.estimated_total(), 100.0);
+    }
+
+    #[test]
+    fn empty_sides() {
+        let m = OpMetrics::with_initial_estimate(0.0);
+        let mut j = MergeJoin::new(
+            scan1("r", &[]),
+            scan1("s", &[1]),
+            0,
+            0,
+            MergeJoinEstimation::Off,
+            m,
+        );
+        assert!(j.next().unwrap().is_none());
+        let m = OpMetrics::with_initial_estimate(0.0);
+        let mut j = MergeJoin::new(
+            scan1("r", &[1]),
+            scan1("s", &[]),
+            0,
+            0,
+            MergeJoinEstimation::Once { probe_size_hint: 0 },
+            Arc::clone(&m),
+        );
+        assert!(j.next().unwrap().is_none());
+        assert_eq!(m.estimated_total(), 0.0);
+    }
+
+    #[test]
+    fn pipeline_mode_two_merge_joins_same_attribute() {
+        use parking_lot::Mutex;
+        use qprog_core::pipeline_est::PipelineEstimator;
+        use crate::ops::hash_join::PipelineShared;
+        use std::sync::Arc;
+
+        let a = [1i64, 1, 2];
+        let b = [1i64, 2, 2];
+        let c = [1i64, 2, 9];
+        let m_lower = OpMetrics::with_initial_estimate(0.0);
+        let m_upper = OpMetrics::with_initial_estimate(0.0);
+        let shared: PipelineHandle = Arc::new(Mutex::new(PipelineShared {
+            estimator: PipelineEstimator::same_attribute(2, 0, 0, c.len() as u64).unwrap(),
+            metrics: vec![Arc::clone(&m_lower), Arc::clone(&m_upper)],
+        }));
+        let lower = MergeJoin::new(
+            scan1("b", &b),
+            scan1("c", &c),
+            0,
+            0,
+            MergeJoinEstimation::Pipeline {
+                handle: Arc::clone(&shared),
+                join_index: 0,
+                lowest: true,
+            },
+            Arc::clone(&m_lower),
+        );
+        let mut upper = MergeJoin::new(
+            scan1("a", &a),
+            Box::new(lower),
+            0,
+            0,
+            MergeJoinEstimation::Pipeline {
+                handle: Arc::clone(&shared),
+                join_index: 1,
+                lowest: false,
+            },
+            Arc::clone(&m_upper),
+        );
+        let rows = drain(&mut upper);
+        // lower: 1→1, 2→2 = 3 rows; upper: 1·2 + 2·1 = 4 rows
+        assert_eq!(rows.len(), 4);
+        assert_eq!(m_lower.estimated_total(), 3.0);
+        assert_eq!(m_upper.estimated_total(), 4.0);
+    }
+
+    #[test]
+    fn byte_mode_runs() {
+        let r = [1i64, 2, 3];
+        let s = [2i64, 3, 4];
+        let m = OpMetrics::with_initial_estimate(9.0);
+        let mut j = MergeJoin::new(
+            scan1("r", &r),
+            scan1("s", &s),
+            0,
+            0,
+            MergeJoinEstimation::Byte {
+                optimizer_estimate: 9.0,
+                probe_row_bytes: 16,
+            },
+            Arc::clone(&m),
+        );
+        assert_eq!(drain(&mut j).len(), 2);
+        assert_eq!(m.estimated_total(), 2.0);
+    }
+}

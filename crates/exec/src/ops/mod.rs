@@ -1,0 +1,107 @@
+//! Physical operators.
+
+pub mod agg;
+pub mod filter;
+pub mod hash_join;
+pub mod limit;
+pub mod merge_join;
+pub mod nl_join;
+pub mod project;
+pub mod scan;
+pub mod sort;
+pub mod sort_agg;
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use qprog_types::{Key, QResult, Row, SchemaRef};
+
+pub use agg::{AggFunc, AggSpec, HashAggregate};
+pub use filter::Filter;
+pub use hash_join::{HashJoin, JoinEstimation, PipelineHandle};
+pub use limit::Limit;
+pub use merge_join::MergeJoin;
+pub use nl_join::NestedLoopsJoin;
+pub use project::Project;
+pub use scan::TableScan;
+pub use sort::Sort;
+pub use sort_agg::SortAggregate;
+
+/// The Volcano iterator interface. One [`next`](Operator::next) call per
+/// output tuple — the `getnext()` event counted by the gnm progress model.
+pub trait Operator: Send {
+    /// Output schema.
+    fn schema(&self) -> SchemaRef;
+
+    /// Produce the next output row, or `None` when exhausted.
+    fn next(&mut self) -> QResult<Option<Row>>;
+
+    /// Operator name for plan display and metrics registration.
+    fn name(&self) -> &str;
+}
+
+/// Boxed operator, the unit of plan composition.
+pub type BoxedOp = Box<dyn Operator>;
+
+/// How many tuples pass between refreshed estimate publications during
+/// tight preprocessing loops. Monitors poll at millisecond granularity;
+/// publishing every tuple is pure overhead.
+pub const PUBLISH_EVERY: u64 = 256;
+
+/// Stable partition hash for grace-join partitioning (independent of the
+/// hash used inside per-partition join tables, so partitioning skew does not
+/// correlate with bucket collisions).
+pub(crate) fn partition_of(key: &Key, partitions: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    // Fixed tag decorrelates this from HashMap's SipHash usage.
+    0x9E37_79B9_7F4A_7C15_u64.hash(&mut h);
+    key.hash(&mut h);
+    (h.finish() % partitions as u64) as usize
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::*;
+    use qprog_storage::Table;
+    use qprog_types::{row, DataType, Field, Schema};
+
+    /// Build a one-column BIGINT table from values.
+    pub fn int_table(name: &str, col: &str, vals: &[i64]) -> Table {
+        let mut t = Table::new(name, Schema::new(vec![Field::new(col, DataType::Int64)]));
+        for &v in vals {
+            t.push(row![v]).unwrap();
+        }
+        t
+    }
+
+    /// Build a two-column BIGINT table from (a, b) pairs.
+    pub fn int2_table(name: &str, cols: (&str, &str), vals: &[(i64, i64)]) -> Table {
+        let mut t = Table::new(
+            name,
+            Schema::new(vec![
+                Field::new(cols.0, DataType::Int64),
+                Field::new(cols.1, DataType::Int64),
+            ]),
+        );
+        for &(a, b) in vals {
+            t.push(row![a, b]).unwrap();
+        }
+        t
+    }
+
+    /// Drain an operator into a vector.
+    pub fn drain(op: &mut dyn Operator) -> Vec<Row> {
+        let mut out = Vec::new();
+        while let Some(r) = op.next().unwrap() {
+            out.push(r);
+        }
+        out
+    }
+
+    /// Extract column `c` of every row as i64.
+    pub fn col_i64(rows: &[Row], c: usize) -> Vec<i64> {
+        rows.iter()
+            .map(|r| r.get(c).unwrap().as_i64().unwrap())
+            .collect()
+    }
+}

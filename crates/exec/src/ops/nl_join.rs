@@ -1,0 +1,268 @@
+//! Block nested-loops join.
+//!
+//! Nested-loops joins have no preprocessing phase — the outer input is
+//! joined as it is read — so per §4.1.3 the framework's estimation here
+//! *is* the dne estimator (driver = outer input).
+
+use std::sync::Arc;
+
+use qprog_core::dne::DneEstimator;
+use qprog_types::{QError, QResult, Row, SchemaRef};
+
+use crate::expr::Expr;
+use crate::metrics::OpMetrics;
+use crate::ops::{BoxedOp, Operator};
+
+/// Join condition for the nested-loops join.
+pub enum NlCondition {
+    /// Equi-join on single columns (outer col, inner col).
+    Equi(usize, usize),
+    /// Arbitrary theta predicate over the concatenated (outer ++ inner) row.
+    Theta(Expr),
+    /// Cross product.
+    Cross,
+}
+
+/// Nested-loops join: the inner input is materialized once, the outer
+/// streams.
+pub struct NestedLoopsJoin {
+    outer: BoxedOp,
+    inner: Option<BoxedOp>,
+    condition: NlCondition,
+    schema: SchemaRef,
+    metrics: Arc<OpMetrics>,
+    dne: Option<DneEstimator>,
+    inner_rows: Vec<Row>,
+    /// Outer row currently being matched against the inner rows.
+    current_outer: Option<Row>,
+    inner_pos: usize,
+    started: bool,
+    done: bool,
+}
+
+impl NestedLoopsJoin {
+    /// New nested-loops join (schema: outer columns then inner columns).
+    pub fn new(
+        outer: BoxedOp,
+        inner: BoxedOp,
+        condition: NlCondition,
+        metrics: Arc<OpMetrics>,
+    ) -> Self {
+        let schema = outer.schema().join(&inner.schema()).into_ref();
+        NestedLoopsJoin {
+            outer,
+            inner: Some(inner),
+            condition,
+            schema,
+            metrics,
+            dne: None,
+            inner_rows: Vec::new(),
+            current_outer: None,
+            inner_pos: 0,
+            started: false,
+            done: false,
+        }
+    }
+
+    /// Enable dne refinement given the outer input size and the optimizer's
+    /// output estimate.
+    pub fn with_dne(mut self, outer_size: u64, optimizer_estimate: f64) -> Self {
+        self.dne = Some(DneEstimator::new(outer_size, optimizer_estimate));
+        self
+    }
+
+    fn matches(&self, outer: &Row, inner: &Row) -> QResult<bool> {
+        match &self.condition {
+            NlCondition::Cross => Ok(true),
+            NlCondition::Equi(oc, ic) => {
+                let a = outer.get(*oc)?;
+                let b = inner.get(*ic)?;
+                Ok(a.sql_eq(b).unwrap_or(false))
+            }
+            NlCondition::Theta(pred) => {
+                // Evaluate over the concatenated row so column indices match
+                // the output schema.
+                let combined = outer.concat(inner);
+                pred.eval_predicate(&combined)
+            }
+        }
+    }
+
+    fn advance_outer(&mut self) -> QResult<Option<Row>> {
+        let next = self.outer.next()?;
+        if next.is_some() {
+            self.metrics.record_driver(1);
+            if let Some(dne) = &mut self.dne {
+                dne.observe_driver(1);
+                self.metrics.set_estimated_total(dne.estimate());
+            }
+        }
+        Ok(next)
+    }
+}
+
+impl Operator for NestedLoopsJoin {
+    fn schema(&self) -> SchemaRef {
+        Arc::clone(&self.schema)
+    }
+
+    fn next(&mut self) -> QResult<Option<Row>> {
+        if self.done {
+            return Ok(None);
+        }
+        if !self.started {
+            self.started = true;
+            let mut inner = self
+                .inner
+                .take()
+                .ok_or_else(|| QError::internal("nested-loops inner input consumed twice"))?;
+            while let Some(r) = inner.next()? {
+                self.inner_rows.push(r);
+            }
+            self.current_outer = self.advance_outer()?;
+        }
+        loop {
+            let Some(outer) = self.current_outer.take() else {
+                self.done = true;
+                self.metrics.mark_finished();
+                return Ok(None);
+            };
+            while self.inner_pos < self.inner_rows.len() {
+                let i = self.inner_pos;
+                self.inner_pos += 1;
+                if self.matches(&outer, &self.inner_rows[i])? {
+                    let out = outer.concat(&self.inner_rows[i]);
+                    self.current_outer = Some(outer);
+                    self.metrics.record_emitted();
+                    if let Some(dne) = &mut self.dne {
+                        dne.observe_output(1);
+                        self.metrics.set_estimated_total(dne.estimate());
+                    }
+                    return Ok(Some(out));
+                }
+            }
+            self.inner_pos = 0;
+            self.current_outer = self.advance_outer()?;
+        }
+    }
+
+    fn name(&self) -> &str {
+        "nl_join"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+    use crate::ops::test_util::{drain, int_table};
+    use crate::ops::TableScan;
+
+    fn scan1(name: &str, vals: &[i64]) -> BoxedOp {
+        let t = int_table(name, "k", vals).into_shared();
+        Box::new(TableScan::new(t, OpMetrics::with_initial_estimate(0.0)))
+    }
+
+    #[test]
+    fn equi_join_matches_hash_join_semantics() {
+        let r = [1i64, 1, 2, 3];
+        let s = [1i64, 2, 2];
+        let m = OpMetrics::with_initial_estimate(0.0);
+        let mut j = NestedLoopsJoin::new(
+            scan1("r", &r),
+            scan1("s", &s),
+            NlCondition::Equi(0, 0),
+            Arc::clone(&m),
+        );
+        let rows = drain(&mut j);
+        assert_eq!(rows.len(), 4); // 1×1 twice + 2×2 twice
+        assert_eq!(m.emitted(), 4);
+        assert!(m.is_finished());
+    }
+
+    #[test]
+    fn theta_join() {
+        let r = [1i64, 5];
+        let s = [2i64, 3];
+        let m = OpMetrics::with_initial_estimate(0.0);
+        // r.k < s.k: concatenated row cols are (outer=0, inner=1)
+        let pred = Expr::binary(BinOp::Lt, Expr::col(0), Expr::col(1));
+        let mut j = NestedLoopsJoin::new(
+            scan1("r", &r),
+            scan1("s", &s),
+            NlCondition::Theta(pred),
+            m,
+        );
+        let rows = drain(&mut j);
+        assert_eq!(rows.len(), 2); // (1,2), (1,3)
+    }
+
+    #[test]
+    fn cross_product() {
+        let m = OpMetrics::with_initial_estimate(0.0);
+        let mut j = NestedLoopsJoin::new(
+            scan1("r", &[1, 2]),
+            scan1("s", &[10, 20, 30]),
+            NlCondition::Cross,
+            m,
+        );
+        assert_eq!(drain(&mut j).len(), 6);
+    }
+
+    #[test]
+    fn dne_tracks_outer_progress() {
+        // uniform matching: each outer row matches exactly one inner row
+        let r: Vec<i64> = (0..100).collect();
+        let s: Vec<i64> = (0..100).collect();
+        let m = OpMetrics::with_initial_estimate(5.0);
+        let mut j = NestedLoopsJoin::new(
+            scan1("r", &r),
+            scan1("s", &s),
+            NlCondition::Equi(0, 0),
+            Arc::clone(&m),
+        )
+        .with_dne(100, 5.0);
+        let mut seen = 0;
+        while let Some(_row) = j.next().unwrap() {
+            seen += 1;
+            if seen == 50 {
+                let e = m.estimated_total();
+                assert!((80.0..=120.0).contains(&e), "mid estimate {e}");
+            }
+        }
+        assert_eq!(seen, 100);
+        assert_eq!(m.estimated_total(), 100.0);
+    }
+
+    #[test]
+    fn null_keys_do_not_equi_join() {
+        use qprog_types::{DataType, Field, Schema, Value};
+        let mut t = qprog_storage::Table::new(
+            "n",
+            Schema::new(vec![Field::new("k", DataType::Int64).with_nullable(true)]),
+        );
+        t.push(Row::new(vec![Value::Null])).unwrap();
+        t.push(Row::new(vec![Value::Int64(3)])).unwrap();
+        let t = t.into_shared();
+        let outer: BoxedOp = Box::new(TableScan::new(
+            Arc::clone(&t),
+            OpMetrics::with_initial_estimate(0.0),
+        ));
+        let inner: BoxedOp = Box::new(TableScan::new(t, OpMetrics::with_initial_estimate(0.0)));
+        let m = OpMetrics::with_initial_estimate(0.0);
+        let mut j = NestedLoopsJoin::new(outer, inner, NlCondition::Equi(0, 0), m);
+        assert_eq!(drain(&mut j).len(), 1);
+    }
+
+    #[test]
+    fn empty_inner() {
+        let m = OpMetrics::with_initial_estimate(0.0);
+        let mut j = NestedLoopsJoin::new(
+            scan1("r", &[1, 2]),
+            scan1("s", &[]),
+            NlCondition::Cross,
+            m,
+        );
+        assert!(j.next().unwrap().is_none());
+    }
+}

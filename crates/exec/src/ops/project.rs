@@ -1,0 +1,101 @@
+//! Projection (π): evaluate a list of expressions per row.
+
+use std::sync::Arc;
+
+use qprog_types::{QResult, Row, SchemaRef};
+
+use crate::expr::Expr;
+use crate::metrics::OpMetrics;
+use crate::ops::{BoxedOp, Operator};
+
+/// Projects each input row through a list of expressions.
+///
+/// The output schema is computed by the planner (it knows names and types)
+/// and passed in.
+pub struct Project {
+    input: BoxedOp,
+    exprs: Vec<Expr>,
+    schema: SchemaRef,
+    metrics: Arc<OpMetrics>,
+    done: bool,
+}
+
+impl Project {
+    /// New projection.
+    pub fn new(input: BoxedOp, exprs: Vec<Expr>, schema: SchemaRef, metrics: Arc<OpMetrics>) -> Self {
+        Project {
+            input,
+            exprs,
+            schema,
+            metrics,
+            done: false,
+        }
+    }
+}
+
+impl Operator for Project {
+    fn schema(&self) -> SchemaRef {
+        Arc::clone(&self.schema)
+    }
+
+    fn next(&mut self) -> QResult<Option<Row>> {
+        if self.done {
+            return Ok(None);
+        }
+        match self.input.next()? {
+            None => {
+                self.done = true;
+                self.metrics.mark_finished();
+                Ok(None)
+            }
+            Some(row) => {
+                let mut out = Vec::with_capacity(self.exprs.len());
+                for e in &self.exprs {
+                    out.push(e.eval(&row)?);
+                }
+                self.metrics.record_emitted();
+                Ok(Some(Row::new(out)))
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "project"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+    use crate::ops::test_util::{col_i64, drain, int_table};
+    use crate::ops::TableScan;
+    use qprog_types::{DataType, Field, Schema};
+
+    #[test]
+    fn evaluates_expressions_per_row() {
+        let t = int_table("t", "a", &[1, 2, 3]).into_shared();
+        let scan = Box::new(TableScan::new(t, OpMetrics::with_initial_estimate(0.0)));
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("a2", DataType::Int64),
+        ])
+        .into_ref();
+        let m = OpMetrics::with_initial_estimate(0.0);
+        let mut p = Project::new(
+            scan,
+            vec![
+                Expr::col(0),
+                Expr::binary(BinOp::Mul, Expr::col(0), Expr::lit(2i64)),
+            ],
+            schema,
+            Arc::clone(&m),
+        );
+        let rows = drain(&mut p);
+        assert_eq!(col_i64(&rows, 0), vec![1, 2, 3]);
+        assert_eq!(col_i64(&rows, 1), vec![2, 4, 6]);
+        assert_eq!(m.emitted(), 3);
+        assert!(m.is_finished());
+        assert_eq!(p.schema().arity(), 2);
+    }
+}

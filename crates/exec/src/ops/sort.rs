@@ -1,0 +1,168 @@
+//! Blocking sort operator.
+//!
+//! The sort's *consume* phase sees every input tuple before emitting any —
+//! the preprocessing window the paper's sort-merge-join and sort-aggregate
+//! estimators run in (the join/aggregate variants embed their own sorts;
+//! this standalone operator serves ORDER BY and explicit blocking
+//! boundaries in plans).
+
+use std::sync::Arc;
+
+use qprog_types::{QResult, Row, SchemaRef};
+
+use crate::metrics::OpMetrics;
+use crate::ops::{BoxedOp, Operator};
+
+/// Sort keys: column index and direction.
+#[derive(Debug, Clone, Copy)]
+pub struct SortKey {
+    pub col: usize,
+    pub ascending: bool,
+}
+
+/// Sorts its entire input, then emits rows in order.
+pub struct Sort {
+    input: BoxedOp,
+    keys: Vec<SortKey>,
+    metrics: Arc<OpMetrics>,
+    state: State,
+}
+
+enum State {
+    Consuming,
+    Emitting { rows: std::vec::IntoIter<Row> },
+    Done,
+}
+
+impl Sort {
+    /// Sort by the given keys (later keys break ties).
+    pub fn new(input: BoxedOp, keys: Vec<SortKey>, metrics: Arc<OpMetrics>) -> Self {
+        Sort {
+            input,
+            keys,
+            metrics,
+            state: State::Consuming,
+        }
+    }
+
+    /// Ascending single-column sort.
+    pub fn by_column(input: BoxedOp, col: usize, metrics: Arc<OpMetrics>) -> Self {
+        Sort::new(
+            input,
+            vec![SortKey {
+                col,
+                ascending: true,
+            }],
+            metrics,
+        )
+    }
+}
+
+/// Compare rows by sort keys using the total order (NULLs first).
+pub(crate) fn compare_rows(a: &Row, b: &Row, keys: &[SortKey]) -> std::cmp::Ordering {
+    for k in keys {
+        let (va, vb) = match (a.get(k.col), b.get(k.col)) {
+            (Ok(x), Ok(y)) => (x, y),
+            _ => return std::cmp::Ordering::Equal,
+        };
+        let ord = va.total_cmp(vb);
+        let ord = if k.ascending { ord } else { ord.reverse() };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+impl Operator for Sort {
+    fn schema(&self) -> SchemaRef {
+        self.input.schema()
+    }
+
+    fn next(&mut self) -> QResult<Option<Row>> {
+        loop {
+            match &mut self.state {
+                State::Consuming => {
+                    let mut rows = Vec::new();
+                    while let Some(r) = self.input.next()? {
+                        self.metrics.record_driver(1);
+                        rows.push(r);
+                    }
+                    rows.sort_by(|a, b| compare_rows(a, b, &self.keys));
+                    self.state = State::Emitting {
+                        rows: rows.into_iter(),
+                    };
+                }
+                State::Emitting { rows } => match rows.next() {
+                    Some(r) => {
+                        self.metrics.record_emitted();
+                        return Ok(Some(r));
+                    }
+                    None => {
+                        self.metrics.mark_finished();
+                        self.state = State::Done;
+                    }
+                },
+                State::Done => return Ok(None),
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "sort"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::test_util::{col_i64, drain, int2_table, int_table};
+    use crate::ops::TableScan;
+
+    fn scan1(vals: &[i64]) -> BoxedOp {
+        let t = int_table("t", "a", vals).into_shared();
+        Box::new(TableScan::new(t, OpMetrics::with_initial_estimate(0.0)))
+    }
+
+    #[test]
+    fn sorts_ascending() {
+        let m = OpMetrics::with_initial_estimate(0.0);
+        let mut s = Sort::by_column(scan1(&[3, 1, 2, 1]), 0, Arc::clone(&m));
+        let rows = drain(&mut s);
+        assert_eq!(col_i64(&rows, 0), vec![1, 1, 2, 3]);
+        assert_eq!(m.emitted(), 4);
+        assert_eq!(m.driver_consumed(), 4);
+    }
+
+    #[test]
+    fn sorts_descending_and_multi_key() {
+        let t = int2_table("t", ("a", "b"), &[(1, 9), (2, 1), (1, 3), (2, 5)]).into_shared();
+        let scan = Box::new(TableScan::new(t, OpMetrics::with_initial_estimate(0.0)));
+        let m = OpMetrics::with_initial_estimate(0.0);
+        let mut s = Sort::new(
+            scan,
+            vec![
+                SortKey {
+                    col: 0,
+                    ascending: false,
+                },
+                SortKey {
+                    col: 1,
+                    ascending: true,
+                },
+            ],
+            m,
+        );
+        let rows = drain(&mut s);
+        assert_eq!(col_i64(&rows, 0), vec![2, 2, 1, 1]);
+        assert_eq!(col_i64(&rows, 1), vec![1, 5, 3, 9]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let m = OpMetrics::with_initial_estimate(0.0);
+        let mut s = Sort::by_column(scan1(&[]), 0, m);
+        assert!(s.next().unwrap().is_none());
+        assert!(s.next().unwrap().is_none());
+    }
+}

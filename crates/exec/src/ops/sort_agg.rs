@@ -1,0 +1,252 @@
+//! Sort-based aggregation (§4.2's second implementation strategy).
+//!
+//! The input is sorted on the grouping columns, then groups are emitted by
+//! scanning the sorted run. As with hash aggregation, the *sort* phase sees
+//! every input tuple before any group is produced — the preprocessing
+//! window where the GEE/MLE estimators run. Because the sort consumes the
+//! input in its arrival (random) order, the estimators' randomness
+//! assumption holds exactly as for the hash variant.
+
+use std::sync::Arc;
+
+use qprog_core::distinct::DistinctTracker;
+use qprog_types::{DataType, QResult, Row, SchemaRef};
+
+use crate::metrics::OpMetrics;
+use crate::ops::agg::{AggEstimation, AggSpec};
+use crate::ops::sort::{compare_rows, SortKey};
+use crate::ops::{BoxedOp, Operator};
+
+enum SState {
+    Consuming,
+    Emitting { rows: std::vec::IntoIter<Row> },
+    Done,
+}
+
+/// Sort-based GROUP BY: semantically identical to
+/// [`HashAggregate`](crate::ops::agg::HashAggregate) (same output, same
+/// deterministic group order), different preprocessing phase.
+pub struct SortAggregate {
+    input: BoxedOp,
+    group_cols: Vec<usize>,
+    aggs: Vec<AggSpec>,
+    schema: SchemaRef,
+    metrics: Arc<OpMetrics>,
+    estimation: AggEstimation,
+    tracker: Option<DistinctTracker>,
+    state: SState,
+}
+
+impl SortAggregate {
+    /// New sort aggregation; `schema` is the output schema (group columns
+    /// then aggregate results).
+    pub fn new(
+        input: BoxedOp,
+        group_cols: Vec<usize>,
+        aggs: Vec<AggSpec>,
+        schema: SchemaRef,
+        estimation: AggEstimation,
+        metrics: Arc<OpMetrics>,
+    ) -> Self {
+        let tracker = match (&estimation, group_cols.len()) {
+            (AggEstimation::Track { input_size_hint }, 1) => {
+                Some(DistinctTracker::new(*input_size_hint))
+            }
+            _ => None,
+        };
+        SortAggregate {
+            input,
+            group_cols,
+            aggs,
+            schema,
+            metrics,
+            estimation,
+            tracker,
+            state: SState::Consuming,
+        }
+    }
+
+    fn consume(&mut self) -> QResult<Vec<Row>> {
+        use crate::ops::agg::accumulate_sorted_groups;
+
+        let input_schema = self.input.schema();
+        let input_types: Vec<Option<DataType>> = self
+            .aggs
+            .iter()
+            .map(|a| {
+                a.col
+                    .and_then(|c| input_schema.field(c).ok().map(|f| f.data_type))
+            })
+            .collect();
+
+        // Sort phase: consume the whole input, estimating as we go.
+        let mut rows: Vec<Row> = Vec::new();
+        while let Some(row) = self.input.next()? {
+            self.metrics.record_driver(1);
+            if let Some(tracker) = &mut self.tracker {
+                tracker.observe(&row.key(self.group_cols[0])?);
+                self.metrics.set_estimated_total(tracker.estimate());
+            } else if let AggEstimation::Pushdown(shared) = &self.estimation {
+                self.metrics.set_estimated_total(shared.lock().estimate());
+            }
+            rows.push(row);
+        }
+        let sort_keys: Vec<SortKey> = self
+            .group_cols
+            .iter()
+            .map(|&col| SortKey {
+                col,
+                ascending: true,
+            })
+            .collect();
+        rows.sort_by(|a, b| compare_rows(a, b, &sort_keys));
+
+        // Scan phase: runs of equal group keys become output rows.
+        let out = accumulate_sorted_groups(
+            &rows,
+            &self.group_cols,
+            &self.aggs,
+            &input_types,
+        )?;
+        self.metrics.set_estimated_total(out.len() as f64);
+        Ok(out)
+    }
+
+    /// The internal tracker (for tests and experiment harnesses).
+    pub fn tracker(&self) -> Option<&DistinctTracker> {
+        self.tracker.as_ref()
+    }
+}
+
+impl Operator for SortAggregate {
+    fn schema(&self) -> SchemaRef {
+        Arc::clone(&self.schema)
+    }
+
+    fn next(&mut self) -> QResult<Option<Row>> {
+        loop {
+            match &mut self.state {
+                SState::Consuming => {
+                    let rows = self.consume()?;
+                    self.state = SState::Emitting {
+                        rows: rows.into_iter(),
+                    };
+                }
+                SState::Emitting { rows } => match rows.next() {
+                    Some(r) => {
+                        self.metrics.record_emitted();
+                        return Ok(Some(r));
+                    }
+                    None => {
+                        self.metrics.mark_finished();
+                        self.state = SState::Done;
+                    }
+                },
+                SState::Done => return Ok(None),
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "sort_agg"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::agg::{AggFunc, HashAggregate};
+    use crate::ops::test_util::{drain, int2_table};
+    use crate::ops::TableScan;
+    use qprog_types::{Field, Schema};
+
+    fn scan2(vals: &[(i64, i64)]) -> BoxedOp {
+        let t = int2_table("t", ("g", "v"), vals).into_shared();
+        Box::new(TableScan::new(t, OpMetrics::with_initial_estimate(0.0)))
+    }
+
+    fn out_schema() -> SchemaRef {
+        Schema::new(vec![
+            Field::new("g", DataType::Int64),
+            Field::new("cnt", DataType::Int64).with_nullable(true),
+            Field::new("sum", DataType::Int64).with_nullable(true),
+        ])
+        .into_ref()
+    }
+
+    fn specs() -> Vec<AggSpec> {
+        vec![
+            AggSpec {
+                func: AggFunc::CountStar,
+                col: None,
+            },
+            AggSpec {
+                func: AggFunc::Sum,
+                col: Some(1),
+            },
+        ]
+    }
+
+    #[test]
+    fn agrees_with_hash_aggregate() {
+        let data: Vec<(i64, i64)> = (0..500).map(|i| ((i * 13) % 29, i)).collect();
+        let m1 = OpMetrics::with_initial_estimate(0.0);
+        let mut sort_agg = SortAggregate::new(
+            scan2(&data),
+            vec![0],
+            specs(),
+            out_schema(),
+            AggEstimation::Off,
+            m1,
+        );
+        let m2 = OpMetrics::with_initial_estimate(0.0);
+        let mut hash_agg = HashAggregate::new(
+            scan2(&data),
+            vec![0],
+            specs(),
+            out_schema(),
+            AggEstimation::Off,
+            m2,
+        );
+        let a: Vec<String> = drain(&mut sort_agg).iter().map(|r| r.to_string()).collect();
+        let b: Vec<String> = drain(&mut hash_agg).iter().map(|r| r.to_string()).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 29);
+    }
+
+    #[test]
+    fn estimation_runs_in_the_sort_phase() {
+        let data: Vec<(i64, i64)> = (0..600).map(|i| (i % 40, i)).collect();
+        let m = OpMetrics::with_initial_estimate(0.0);
+        let mut agg = SortAggregate::new(
+            scan2(&data),
+            vec![0],
+            specs(),
+            out_schema(),
+            AggEstimation::Track {
+                input_size_hint: 600,
+            },
+            Arc::clone(&m),
+        );
+        let rows = drain(&mut agg);
+        assert_eq!(rows.len(), 40);
+        assert_eq!(m.estimated_total(), 40.0);
+        assert_eq!(agg.tracker().unwrap().groups_seen(), 40);
+    }
+
+    #[test]
+    fn empty_input_global_aggregation() {
+        let m = OpMetrics::with_initial_estimate(0.0);
+        let mut agg = SortAggregate::new(
+            scan2(&[]),
+            vec![],
+            specs(),
+            out_schema(),
+            AggEstimation::Off,
+            m,
+        );
+        let rows = drain(&mut agg);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(0).unwrap().as_i64().unwrap(), 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Plan execution drivers.
+
+use qprog_types::{QResult, Row};
+
+use crate::ops::Operator;
+
+/// Drain an operator to completion, collecting all output rows.
+pub fn collect(op: &mut dyn Operator) -> QResult<Vec<Row>> {
+    let mut out = Vec::new();
+    while let Some(row) = op.next()? {
+        out.push(row);
+    }
+    Ok(out)
+}
+
+/// Drain an operator, invoking `observer(rows_so_far)` after every
+/// `every_n`-th output row and once more at completion — the hook progress
+/// monitors and experiment harnesses use to snapshot estimates at a fixed
+/// cadence without threading.
+pub fn run_with_observer(
+    op: &mut dyn Operator,
+    every_n: u64,
+    mut observer: impl FnMut(u64),
+) -> QResult<Vec<Row>> {
+    let every_n = every_n.max(1);
+    let mut out = Vec::new();
+    let mut n: u64 = 0;
+    while let Some(row) = op.next()? {
+        out.push(row);
+        n += 1;
+        if n.is_multiple_of(every_n) {
+            observer(n);
+        }
+    }
+    observer(n);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::OpMetrics;
+    use crate::ops::test_util::int_table;
+    use crate::ops::TableScan;
+
+    #[test]
+    fn collect_drains_everything() {
+        let t = int_table("t", "a", &[1, 2, 3]).into_shared();
+        let mut s = TableScan::new(t, OpMetrics::with_initial_estimate(0.0));
+        assert_eq!(collect(&mut s).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn observer_fires_at_cadence_and_completion() {
+        let vals: Vec<i64> = (0..10).collect();
+        let t = int_table("t", "a", &vals).into_shared();
+        let mut s = TableScan::new(t, OpMetrics::with_initial_estimate(0.0));
+        let mut calls = Vec::new();
+        let rows = run_with_observer(&mut s, 4, |n| calls.push(n)).unwrap();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(calls, vec![4, 8, 10]);
+    }
+
+    #[test]
+    fn observer_zero_cadence_clamped() {
+        let t = int_table("t", "a", &[1]).into_shared();
+        let mut s = TableScan::new(t, OpMetrics::with_initial_estimate(0.0));
+        let mut calls = 0;
+        run_with_observer(&mut s, 0, |_| calls += 1).unwrap();
+        assert_eq!(calls, 2); // after row 1 and at completion
+    }
+}

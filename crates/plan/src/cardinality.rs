@@ -1,0 +1,250 @@
+//! Optimizer-grade cardinality estimation.
+//!
+//! These are the *initial* estimates progress indicators start from; the
+//! online framework's whole purpose is to refine them. The assumptions are
+//! the textbook ones (and PostgreSQL's): uniformity within histogram
+//! buckets, attribute independence, and join containment
+//! (`|R ⋈ S| = |R|·|S| / max(ndv_R, ndv_S)`), all of which Zipfian skew
+//! violates.
+
+use qprog_exec::expr::{BinOp, Expr};
+use qprog_types::Value;
+
+use crate::logical::{ColStat, JoinCondition, LogicalPlan};
+
+/// Default selectivity for predicates the estimator cannot analyze
+/// (PostgreSQL uses 1/3 for range guesses).
+pub const DEFAULT_SELECTIVITY: f64 = 0.33;
+
+/// Default equality selectivity without statistics.
+pub const DEFAULT_EQ_SELECTIVITY: f64 = 0.005;
+
+/// Estimate the selectivity of `predicate` over input columns with the
+/// given statistics provenance.
+pub fn predicate_selectivity(predicate: &Expr, col_stats: &[ColStat]) -> f64 {
+    match predicate {
+        Expr::Binary { op, left, right } => match op {
+            BinOp::And => {
+                // independence assumption
+                predicate_selectivity(left, col_stats) * predicate_selectivity(right, col_stats)
+            }
+            BinOp::Or => {
+                let a = predicate_selectivity(left, col_stats);
+                let b = predicate_selectivity(right, col_stats);
+                (a + b - a * b).clamp(0.0, 1.0)
+            }
+            BinOp::Eq => comparison_selectivity(left, right, col_stats, ComparisonKind::Eq),
+            BinOp::Lt | BinOp::LtEq => {
+                comparison_selectivity(left, right, col_stats, ComparisonKind::Lt)
+            }
+            BinOp::Gt | BinOp::GtEq => {
+                comparison_selectivity(left, right, col_stats, ComparisonKind::Gt)
+            }
+            BinOp::NotEq => {
+                1.0 - comparison_selectivity(left, right, col_stats, ComparisonKind::Eq)
+            }
+            _ => DEFAULT_SELECTIVITY,
+        },
+        Expr::Not(inner) => 1.0 - predicate_selectivity(inner, col_stats),
+        Expr::Literal(Value::Bool(true)) => 1.0,
+        Expr::Literal(Value::Bool(false)) => 0.0,
+        _ => DEFAULT_SELECTIVITY,
+    }
+}
+
+enum ComparisonKind {
+    Eq,
+    Lt,
+    Gt,
+}
+
+fn comparison_selectivity(
+    left: &Expr,
+    right: &Expr,
+    col_stats: &[ColStat],
+    kind: ComparisonKind,
+) -> f64 {
+    // Only `col op literal` / `literal op col` is analyzed.
+    let (col, lit, flipped) = match (left, right) {
+        (Expr::Column(c), Expr::Literal(v)) => (*c, v, false),
+        (Expr::Literal(v), Expr::Column(c)) => (*c, v, true),
+        _ => return DEFAULT_SELECTIVITY,
+    };
+    let Some(Some(stats)) = col_stats.get(col) else {
+        return match kind {
+            ComparisonKind::Eq => DEFAULT_EQ_SELECTIVITY,
+            _ => DEFAULT_SELECTIVITY,
+        };
+    };
+    match kind {
+        ComparisonKind::Eq => stats.eq_selectivity(lit),
+        ComparisonKind::Lt | ComparisonKind::Gt => {
+            let lt = match (&stats.histogram, lit) {
+                (Some(h), Value::Int64(v)) => h.lt_selectivity(*v),
+                _ => return DEFAULT_SELECTIVITY,
+            };
+            let effective_lt = if flipped { 1.0 - lt } else { lt };
+            match kind {
+                ComparisonKind::Lt => effective_lt,
+                ComparisonKind::Gt => 1.0 - effective_lt,
+                ComparisonKind::Eq => unreachable!(),
+            }
+        }
+    }
+}
+
+/// Containment-assumption equi-join estimate.
+pub fn join_estimate(
+    build_rows: f64,
+    probe_rows: f64,
+    build_stat: &ColStat,
+    probe_stat: &ColStat,
+) -> f64 {
+    let ndv_build = build_stat.as_ref().map(|s| s.ndv).unwrap_or(0);
+    let ndv_probe = probe_stat.as_ref().map(|s| s.ndv).unwrap_or(0);
+    let max_ndv = ndv_build.max(ndv_probe) as f64;
+    if max_ndv < 1.0 {
+        // no stats: fall back to a fixed key-selectivity guess
+        return (build_rows * probe_rows * DEFAULT_EQ_SELECTIVITY).max(1.0);
+    }
+    (build_rows * probe_rows / max_ndv).max(1.0)
+}
+
+/// Group-count estimate for an aggregation.
+pub fn group_estimate(input_rows: f64, group_stats: &[&ColStat]) -> f64 {
+    if group_stats.is_empty() {
+        return 1.0; // global aggregation
+    }
+    // independence: product of per-column NDVs, capped by input size
+    let mut ndv = 1.0f64;
+    let mut any = false;
+    for s in group_stats {
+        if let Some(st) = s.as_ref() {
+            ndv *= st.ndv.max(1) as f64;
+            any = true;
+        }
+    }
+    if !any {
+        ndv = (input_rows / 10.0).max(1.0); // PostgreSQL-style fallback
+    }
+    ndv.min(input_rows).max(1.0)
+}
+
+/// Estimate the output cardinality of a join node given its children.
+pub fn join_node_estimate(
+    build: &LogicalPlan,
+    probe: &LogicalPlan,
+    condition: &JoinCondition,
+) -> f64 {
+    match condition {
+        JoinCondition::Cross => (build.estimate * probe.estimate).max(1.0),
+        JoinCondition::Theta(_) => {
+            (build.estimate * probe.estimate * DEFAULT_SELECTIVITY).max(1.0)
+        }
+        JoinCondition::Equi {
+            build_key,
+            probe_key,
+        } => {
+            let none: ColStat = None;
+            let bs = build.col_stats.get(*build_key).unwrap_or(&none);
+            let ps = probe.col_stats.get(*probe_key).unwrap_or(&none);
+            join_estimate(build.estimate, probe.estimate, bs, ps)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qprog_storage::stats::{ColumnStats, EquiWidthHistogram};
+    use std::sync::Arc;
+
+    fn uniform_stats(n: u64, ndv: u64) -> ColStat {
+        let vals: Vec<i64> = (0..n as i64).map(|i| i % ndv as i64).collect();
+        Some(Arc::new(ColumnStats {
+            ndv,
+            null_count: 0,
+            histogram: EquiWidthHistogram::build(vals, 16),
+        }))
+    }
+
+    #[test]
+    fn eq_selectivity_uses_stats() {
+        let stats = vec![uniform_stats(1000, 100)];
+        let pred = Expr::binary(BinOp::Eq, Expr::col(0), Expr::lit(42i64));
+        let s = predicate_selectivity(&pred, &stats);
+        assert!((s - 0.01).abs() < 0.005, "got {s}");
+    }
+
+    #[test]
+    fn range_selectivity_interpolates() {
+        let stats = vec![uniform_stats(1000, 1000)];
+        let pred = Expr::binary(BinOp::Lt, Expr::col(0), Expr::lit(250i64));
+        let s = predicate_selectivity(&pred, &stats);
+        assert!((s - 0.25).abs() < 0.05, "got {s}");
+        // flipped literal: 250 < col ⇒ ~0.75
+        let pred = Expr::binary(BinOp::Lt, Expr::lit(250i64), Expr::col(0));
+        let s = predicate_selectivity(&pred, &stats);
+        assert!((s - 0.75).abs() < 0.05, "got {s}");
+    }
+
+    #[test]
+    fn and_multiplies_or_adds() {
+        let stats = vec![uniform_stats(1000, 1000), uniform_stats(1000, 1000)];
+        let half = |c| Expr::binary(BinOp::Lt, Expr::col(c), Expr::lit(500i64));
+        let s_and = predicate_selectivity(&half(0).and(half(1)), &stats);
+        assert!((s_and - 0.25).abs() < 0.05, "got {s_and}");
+        let s_or = predicate_selectivity(
+            &Expr::binary(BinOp::Or, half(0), half(1)),
+            &stats,
+        );
+        assert!((s_or - 0.75).abs() < 0.05, "got {s_or}");
+    }
+
+    #[test]
+    fn unanalyzable_predicates_get_default() {
+        let pred = Expr::binary(BinOp::Eq, Expr::col(0), Expr::col(1));
+        assert_eq!(predicate_selectivity(&pred, &[None, None]), DEFAULT_SELECTIVITY);
+        let pred = Expr::binary(BinOp::Eq, Expr::col(0), Expr::lit(1i64));
+        assert_eq!(
+            predicate_selectivity(&pred, &[None]),
+            DEFAULT_EQ_SELECTIVITY
+        );
+    }
+
+    #[test]
+    fn join_containment() {
+        let a = uniform_stats(0, 100);
+        let b = uniform_stats(0, 25);
+        let est = join_estimate(1000.0, 500.0, &a, &b);
+        assert!((est - 1000.0 * 500.0 / 100.0).abs() < 1e-9);
+        // no stats fallback
+        let est = join_estimate(1000.0, 500.0, &None, &None);
+        assert!(est > 1.0);
+    }
+
+    #[test]
+    fn group_estimates() {
+        let s = uniform_stats(0, 40);
+        assert_eq!(group_estimate(1000.0, &[&s]), 40.0);
+        // capped at input size
+        let s = uniform_stats(0, 5000);
+        assert_eq!(group_estimate(1000.0, &[&s]), 1000.0);
+        // global agg
+        assert_eq!(group_estimate(1000.0, &[]), 1.0);
+        // no stats fallback
+        assert_eq!(group_estimate(1000.0, &[&None]), 100.0);
+    }
+
+    #[test]
+    fn not_inverts() {
+        let stats = vec![uniform_stats(1000, 1000)];
+        let pred = Expr::Not(Box::new(Expr::binary(
+            BinOp::Lt,
+            Expr::col(0),
+            Expr::lit(250i64),
+        )));
+        let s = predicate_selectivity(&pred, &stats);
+        assert!((s - 0.75).abs() < 0.05, "got {s}");
+    }
+}

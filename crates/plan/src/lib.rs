@@ -1,0 +1,36 @@
+//! Planning: logical plans, optimizer cardinality estimates, physical
+//! compilation with estimator wiring, pipeline decomposition, and the
+//! progress tracker.
+//!
+//! The optimizer's cardinality estimation ([`cardinality`]) is deliberately
+//! classical — equi-width histograms, uniformity within buckets,
+//! independence across columns, containment for joins. Under Zipfian skew
+//! its estimates are badly wrong (the paper's Fig. 4(a) observes a ~13×
+//! error from PostgreSQL), which is precisely what the online framework
+//! corrects.
+//!
+//! Physical compilation ([`physical`]) wires the chosen
+//! [`EstimationMode`](qprog_core::EstimationMode) into the operators:
+//!
+//! - `Once`: hash-join chains connected through probe inputs become one
+//!   [`PipelineEstimator`](qprog_core::pipeline_est::PipelineEstimator)
+//!   (Algorithm 1 push-down, with `AttrSource` resolution through column
+//!   provenance); single joins get the binary estimator; a GROUP BY on a
+//!   join attribute directly above a hash join shares a
+//!   [`DistinctTracker`](qprog_core::distinct::DistinctTracker) pushed into
+//!   the join; other aggregations track their input; selections use dne.
+//! - `Dne` / `Byte`: every join and selection gets the corresponding
+//!   baseline estimator seeded with the optimizer estimate.
+//! - `Off`: no estimation (the overhead baseline).
+
+pub mod builder;
+pub mod cardinality;
+pub mod logical;
+pub mod physical;
+pub mod pipeline;
+pub mod progress;
+
+pub use builder::PlanBuilder;
+pub use logical::{JoinAlgo, JoinCondition, LogicalPlan, Node};
+pub use physical::{CompiledQuery, PhysicalOptions};
+pub use progress::ProgressTracker;

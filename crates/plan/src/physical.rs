@@ -1,0 +1,1078 @@
+//! Physical compilation: logical plans → instrumented operator trees with
+//! estimator wiring and pipeline decomposition.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use qprog_core::distinct::DistinctTracker;
+use qprog_core::join_est::JoinKind;
+use qprog_core::pipeline_est::{AttrSource, JoinSpec, PipelineEstimator};
+use qprog_core::EstimationMode;
+use qprog_exec::metrics::{MetricsRegistry, OpMetrics};
+use qprog_exec::ops::agg::AggEstimation;
+use qprog_exec::ops::hash_join::{JoinEstimation, PipelineShared};
+use qprog_exec::ops::merge_join::{MergeJoin, MergeJoinEstimation};
+use qprog_exec::ops::nl_join::{NestedLoopsJoin, NlCondition};
+use qprog_exec::ops::{
+    BoxedOp, Filter, HashAggregate, HashJoin, Limit, Project, Sort, SortAggregate, TableScan,
+};
+use qprog_exec::runtime::run_with_observer;
+use qprog_types::{QError, QResult, Row};
+
+use crate::logical::{JoinAlgo, JoinCondition, LogicalPlan, Node};
+use crate::pipeline::PipelineSet;
+use crate::progress::ProgressTracker;
+
+/// Knobs for physical compilation.
+#[derive(Debug, Clone, Copy)]
+pub struct PhysicalOptions {
+    /// Online estimation strategy wired into the operators.
+    pub mode: EstimationMode,
+    /// Block-sample fraction delivered first by every table scan
+    /// (0 disables sampling; the paper's experiments use 0.05–0.10).
+    pub sample_fraction: f64,
+    /// Seed for sampling randomness.
+    pub seed: u64,
+    /// Grace hash-join partition count.
+    pub partitions: usize,
+    /// Simulated per-block scan I/O latency in microseconds (0 = in-memory).
+    /// Reproduces the paper's disk-resident cost model for the overhead
+    /// experiments.
+    pub block_io_us: u64,
+    /// Use sort-based aggregation instead of hash aggregation (§4.2's
+    /// alternative implementation; estimation behaves identically).
+    pub sort_aggregate: bool,
+}
+
+impl Default for PhysicalOptions {
+    fn default() -> Self {
+        PhysicalOptions {
+            mode: EstimationMode::Once,
+            sample_fraction: 0.10,
+            seed: 42,
+            partitions: 16,
+            block_io_us: 0,
+            sort_aggregate: false,
+        }
+    }
+}
+
+impl PhysicalOptions {
+    /// Options with a specific estimation mode and the other defaults.
+    pub fn with_mode(mode: EstimationMode) -> Self {
+        PhysicalOptions {
+            mode,
+            ..PhysicalOptions::default()
+        }
+    }
+}
+
+/// A compiled, instrumented, ready-to-run query.
+pub struct CompiledQuery {
+    root: BoxedOp,
+    registry: MetricsRegistry,
+    pipelines: PipelineSet,
+    /// Compile-time optimizer estimates per operator (registry order).
+    initial_estimates: Vec<f64>,
+    /// Direct-input operator indices per operator, for future-pipeline
+    /// refinement.
+    op_inputs: Vec<Vec<usize>>,
+}
+
+impl CompiledQuery {
+    /// Per-operator metrics in registration order.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The pipeline decomposition.
+    pub fn pipelines(&self) -> &PipelineSet {
+        &self.pipelines
+    }
+
+    /// A cloneable, thread-safe progress tracker for this query, with
+    /// future-pipeline refinement wired in (§4.4).
+    pub fn tracker(&self) -> ProgressTracker {
+        ProgressTracker::new(self.registry.clone(), self.pipelines.clone()).with_refinement(
+            self.initial_estimates.clone(),
+            self.op_inputs.clone(),
+        )
+    }
+
+    /// Run to completion, collecting all output rows.
+    pub fn collect(&mut self) -> QResult<Vec<Row>> {
+        let rows = qprog_exec::runtime::collect(self.root.as_mut())?;
+        // The root is exhausted: operators abandoned by early termination
+        // (LIMIT) will never run again — pin their totals so progress
+        // reads 1.0 and monitors observe completion.
+        self.registry.finish_all();
+        Ok(rows)
+    }
+
+    /// Run to completion, invoking `observer` with a progress snapshot
+    /// after every `every_n` output rows and at completion.
+    pub fn run_with(
+        &mut self,
+        every_n: u64,
+        mut observer: impl FnMut(&qprog_core::gnm::ProgressSnapshot),
+    ) -> QResult<Vec<Row>> {
+        let tracker = self.tracker();
+        let rows = run_with_observer(self.root.as_mut(), every_n, |_| {
+            observer(&tracker.snapshot());
+        })?;
+        self.registry.finish_all();
+        observer(&tracker.snapshot());
+        Ok(rows)
+    }
+
+    /// Pull a single output row (Volcano-style stepping, for monitors that
+    /// want finer control than [`run_with`](Self::run_with)).
+    pub fn step(&mut self) -> QResult<Option<Row>> {
+        let row = self.root.next()?;
+        if row.is_none() {
+            self.registry.finish_all();
+        }
+        Ok(row)
+    }
+}
+
+/// Compile a logical plan.
+pub fn compile(plan: &LogicalPlan, opts: &PhysicalOptions) -> QResult<CompiledQuery> {
+    let mut c = Compiler {
+        opts,
+        registry: MetricsRegistry::new(),
+        pipelines: PipelineSet::new(),
+        initial_estimates: Vec::new(),
+        op_inputs: Vec::new(),
+        scan_counter: 0,
+    };
+    let root_pipeline = c.pipelines.new_pipeline();
+    let root = c.compile(plan, root_pipeline)?;
+    Ok(CompiledQuery {
+        root,
+        registry: c.registry,
+        pipelines: c.pipelines,
+        initial_estimates: c.initial_estimates,
+        op_inputs: c.op_inputs,
+    })
+}
+
+struct Compiler<'a> {
+    opts: &'a PhysicalOptions,
+    registry: MetricsRegistry,
+    pipelines: PipelineSet,
+    initial_estimates: Vec<f64>,
+    op_inputs: Vec<Vec<usize>>,
+    scan_counter: u64,
+}
+
+impl Compiler<'_> {
+    fn register(&mut self, name: &str, estimate: f64, pipeline: usize) -> Arc<OpMetrics> {
+        self.register_idx(name, estimate, pipeline).1
+    }
+
+    fn register_idx(
+        &mut self,
+        name: &str,
+        estimate: f64,
+        pipeline: usize,
+    ) -> (usize, Arc<OpMetrics>) {
+        let idx = self.registry.len();
+        let m = self.registry.register(name, estimate);
+        self.pipelines.assign(pipeline, idx);
+        self.initial_estimates.push(estimate);
+        self.op_inputs.push(Vec::new());
+        (idx, m)
+    }
+
+    /// Compile a child plan and record the edge from `parent` to the
+    /// child's root operator (for future-pipeline refinement).
+    fn compile_child(
+        &mut self,
+        parent: usize,
+        plan: &LogicalPlan,
+        pipeline: usize,
+    ) -> QResult<BoxedOp> {
+        let child_idx = self.registry.len();
+        let op = self.compile(plan, pipeline)?;
+        self.op_inputs[parent].push(child_idx);
+        Ok(op)
+    }
+
+    fn compile(&mut self, plan: &LogicalPlan, pipeline: usize) -> QResult<BoxedOp> {
+        match &plan.node {
+            Node::Scan { table } => {
+                let m = self.register(
+                    &format!("scan({})", table.name()),
+                    plan.estimate,
+                    pipeline,
+                );
+                self.scan_counter += 1;
+                let scan = TableScan::sampled(
+                    Arc::clone(table),
+                    self.opts.sample_fraction,
+                    self.opts.seed.wrapping_add(self.scan_counter),
+                    m,
+                )
+                .with_io_cost(std::time::Duration::from_micros(self.opts.block_io_us));
+                Ok(Box::new(scan))
+            }
+            Node::Filter { input, predicate } => {
+                let (idx, m) = self.register_idx("filter", plan.estimate, pipeline);
+                let input_estimate = input.estimate;
+                let child = self.compile_child(idx, input, pipeline)?;
+                let mut f = Filter::new(child, predicate.clone(), m);
+                if self.opts.mode != EstimationMode::Off {
+                    // §4.3: selections have no preprocessing phase → dne.
+                    f = f.with_dne(input_estimate.round() as u64, plan.estimate);
+                }
+                Ok(Box::new(f))
+            }
+            Node::Project { input, exprs } => {
+                let (idx, m) = self.register_idx("project", plan.estimate, pipeline);
+                let child = self.compile_child(idx, input, pipeline)?;
+                Ok(Box::new(Project::new(
+                    child,
+                    exprs.clone(),
+                    Arc::clone(&plan.schema),
+                    m,
+                )))
+            }
+            Node::Sort { input, keys } => {
+                let (idx, m) = self.register_idx("sort", plan.estimate, pipeline);
+                let input_pipeline = self.pipelines.new_pipeline();
+                let child = self.compile_child(idx, input, input_pipeline)?;
+                Ok(Box::new(Sort::new(child, keys.clone(), m)))
+            }
+            Node::Limit { input, n } => {
+                let (idx, m) = self.register_idx("limit", plan.estimate, pipeline);
+                let child = self.compile_child(idx, input, pipeline)?;
+                Ok(Box::new(Limit::new(child, *n, m)))
+            }
+            Node::Aggregate {
+                input,
+                group_cols,
+                aggs,
+            } => self.compile_aggregate(plan, input, group_cols, aggs, pipeline),
+            Node::Join { .. } => self.compile_join(plan, pipeline, None),
+        }
+    }
+
+    fn compile_aggregate(
+        &mut self,
+        plan: &LogicalPlan,
+        input: &LogicalPlan,
+        group_cols: &[usize],
+        aggs: &[qprog_exec::ops::agg::AggSpec],
+        pipeline: usize,
+    ) -> QResult<BoxedOp> {
+        let agg_name = if self.opts.sort_aggregate {
+            "sort_agg"
+        } else {
+            "hash_agg"
+        };
+        let (agg_idx, m) = self.register_idx(agg_name, plan.estimate, pipeline);
+        let input_pipeline = self.pipelines.new_pipeline();
+
+        // §4.2 (end): when grouping on the join attribute of a hash join
+        // directly below, push distinct-value tracking into the join.
+        let pushdown_tracker = if self.opts.mode == EstimationMode::Once
+            && group_cols.len() == 1
+            && group_col_is_join_key(input, group_cols[0])
+        {
+            Some(Arc::new(Mutex::new(DistinctTracker::new(
+                input.estimate.round() as u64,
+            ))))
+        } else {
+            None
+        };
+
+        let child_idx = self.registry.len();
+        let child = match (&input.node, &pushdown_tracker) {
+            (Node::Join { .. }, Some(tracker)) => {
+                self.compile_join(input, input_pipeline, Some(Arc::clone(tracker)))?
+            }
+            _ => self.compile(input, input_pipeline)?,
+        };
+        self.op_inputs[agg_idx].push(child_idx);
+
+        let estimation = match (&pushdown_tracker, self.opts.mode) {
+            (Some(tracker), _) => AggEstimation::Pushdown(Arc::clone(tracker)),
+            (None, EstimationMode::Off) => AggEstimation::Off,
+            (None, _) => AggEstimation::Track {
+                input_size_hint: input.estimate.round() as u64,
+            },
+        };
+        if self.opts.sort_aggregate {
+            Ok(Box::new(SortAggregate::new(
+                child,
+                group_cols.to_vec(),
+                aggs.to_vec(),
+                Arc::clone(&plan.schema),
+                estimation,
+                m,
+            )))
+        } else {
+            Ok(Box::new(HashAggregate::new(
+                child,
+                group_cols.to_vec(),
+                aggs.to_vec(),
+                Arc::clone(&plan.schema),
+                estimation,
+                m,
+            )))
+        }
+    }
+
+    fn compile_join(
+        &mut self,
+        plan: &LogicalPlan,
+        pipeline: usize,
+        agg_tracker: Option<Arc<Mutex<DistinctTracker>>>,
+    ) -> QResult<BoxedOp> {
+        let Node::Join {
+            build,
+            probe,
+            condition,
+            algo,
+            kind,
+        } = &plan.node
+        else {
+            return Err(QError::internal("compile_join on a non-join node"));
+        };
+        match algo {
+            JoinAlgo::Hash => {
+                let JoinCondition::Equi { .. } = condition else {
+                    return Err(QError::plan("hash join requires an equi-join condition"));
+                };
+                if self.opts.mode == EstimationMode::Once && *kind == JoinKind::Inner {
+                    let chain = collect_join_chain(plan, JoinAlgo::Hash);
+                    if chain.len() >= 2 {
+                        match self.compile_join_chain(
+                            &chain,
+                            JoinAlgo::Hash,
+                            pipeline,
+                            agg_tracker.clone(),
+                        ) {
+                            Ok(op) => return Ok(op),
+                            Err(QError::Estimation(_)) => {
+                                // unsupported pipeline shape (e.g. shared
+                                // derived sources): fall back to per-join
+                                // binary estimation below
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
+                self.compile_binary_hash_join(
+                    plan,
+                    build,
+                    probe,
+                    condition,
+                    *kind,
+                    pipeline,
+                    agg_tracker,
+                )
+            }
+            JoinAlgo::Merge => {
+                let JoinCondition::Equi {
+                    build_key,
+                    probe_key,
+                } = condition
+                else {
+                    return Err(QError::plan("merge join requires an equi-join condition"));
+                };
+                // §4.1.4.3: chains of sort-merge joins share one push-down
+                // estimator just like hash pipelines.
+                if self.opts.mode == EstimationMode::Once && *kind == JoinKind::Inner {
+                    let chain = collect_join_chain(plan, JoinAlgo::Merge);
+                    if chain.len() >= 2 {
+                        match self.compile_join_chain(&chain, JoinAlgo::Merge, pipeline, None) {
+                            Ok(op) => return Ok(op),
+                            Err(QError::Estimation(_)) => {}
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
+                let (idx, m) = self.register_idx("merge_join", plan.estimate, pipeline);
+                let build_pipeline = self.pipelines.new_pipeline();
+                let probe_pipeline = self.pipelines.new_pipeline();
+                let probe_estimate = probe.estimate;
+                let build_op = self.compile_child(idx, build, build_pipeline)?;
+                let probe_op = self.compile_child(idx, probe, probe_pipeline)?;
+                let estimation = match self.opts.mode {
+                    EstimationMode::Off => MergeJoinEstimation::Off,
+                    EstimationMode::Once => MergeJoinEstimation::Once {
+                        probe_size_hint: probe_estimate.round() as u64,
+                    },
+                    EstimationMode::Dne => MergeJoinEstimation::Dne {
+                        optimizer_estimate: plan.estimate,
+                    },
+                    EstimationMode::Byte => MergeJoinEstimation::Byte {
+                        optimizer_estimate: plan.estimate,
+                        probe_row_bytes: row_bytes(probe),
+                    },
+                };
+                Ok(Box::new(MergeJoin::new(
+                    build_op, probe_op, *build_key, *probe_key, estimation, m,
+                )))
+            }
+            JoinAlgo::NestedLoops => {
+                let (idx, m) = self.register_idx("nl_join", plan.estimate, pipeline);
+                let inner_pipeline = self.pipelines.new_pipeline();
+                let outer_estimate = probe.estimate;
+                let inner_op = self.compile_child(idx, build, inner_pipeline)?;
+                let outer_op = self.compile_child(idx, probe, pipeline)?;
+                let cond = match condition {
+                    // exec's NL join streams the OUTER first in its output
+                    // schema; our logical schema is build ++ probe, so the
+                    // materialized inner (build) side is the exec outer...
+                    // To keep build ++ probe column order, exec outer =
+                    // build is wrong — instead we materialize the build
+                    // side as exec's inner and flip the concat by making
+                    // the probe stream the exec outer, then reproject.
+                    JoinCondition::Equi {
+                        build_key,
+                        probe_key,
+                    } => NlCondition::Equi(*probe_key, *build_key),
+                    JoinCondition::Theta(e) => NlCondition::Theta(remap_theta(
+                        e,
+                        build.schema.arity(),
+                        probe.schema.arity(),
+                    )),
+                    JoinCondition::Cross => NlCondition::Cross,
+                };
+                // exec output = outer(probe) ++ inner(build); we need
+                // build ++ probe, so append a projection that swaps sides.
+                let mut nl = NestedLoopsJoin::new(outer_op, inner_op, cond, Arc::clone(&m));
+                if self.opts.mode != EstimationMode::Off {
+                    // §4.1.3: nested-loops estimation reduces to dne.
+                    nl = nl.with_dne(outer_estimate.round() as u64, plan.estimate);
+                }
+                let probe_arity = probe.schema.arity();
+                let build_arity = build.schema.arity();
+                let swap: Vec<qprog_exec::expr::Expr> = (0..build_arity)
+                    .map(|i| qprog_exec::expr::Expr::Column(probe_arity + i))
+                    .chain((0..probe_arity).map(qprog_exec::expr::Expr::Column))
+                    .collect();
+                let (pidx, pm) = self.register_idx("project(swap)", plan.estimate, pipeline);
+                self.op_inputs[pidx].push(idx);
+                Ok(Box::new(Project::new(
+                    Box::new(nl),
+                    swap,
+                    Arc::clone(&plan.schema),
+                    pm,
+                )))
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn compile_binary_hash_join(
+        &mut self,
+        plan: &LogicalPlan,
+        build: &LogicalPlan,
+        probe: &LogicalPlan,
+        condition: &JoinCondition,
+        kind: JoinKind,
+        pipeline: usize,
+        agg_tracker: Option<Arc<Mutex<DistinctTracker>>>,
+    ) -> QResult<BoxedOp> {
+        let JoinCondition::Equi {
+            build_key,
+            probe_key,
+        } = condition
+        else {
+            return Err(QError::plan("hash join requires an equi-join condition"));
+        };
+        let (idx, m) = self.register_idx("hash_join", plan.estimate, pipeline);
+        let build_pipeline = self.pipelines.new_pipeline();
+        let probe_estimate = probe.estimate;
+        let build_op = self.compile_child(idx, build, build_pipeline)?;
+        let probe_op = self.compile_child(idx, probe, pipeline)?;
+        let estimation = match self.opts.mode {
+            EstimationMode::Off => JoinEstimation::Off,
+            EstimationMode::Once => JoinEstimation::Once {
+                probe_size_hint: probe_estimate.round() as u64,
+            },
+            EstimationMode::Dne => JoinEstimation::Dne {
+                optimizer_estimate: plan.estimate,
+            },
+            EstimationMode::Byte => JoinEstimation::Byte {
+                optimizer_estimate: plan.estimate,
+                probe_row_bytes: row_bytes(probe),
+            },
+        };
+        let mut hj = HashJoin::new(
+            build_op, probe_op, *build_key, *probe_key, estimation, m,
+        )
+        .with_join_kind(kind)
+        .with_partitions(self.opts.partitions);
+        if let Some(tracker) = agg_tracker {
+            hj = hj.with_agg_pushdown(tracker);
+        }
+        Ok(Box::new(hj))
+    }
+
+    /// Compile a chain of ≥2 hash or merge joins as one Algorithm-1
+    /// pipeline. `chain` is bottom-up: `chain[0]` is the lowest join.
+    fn compile_join_chain(
+        &mut self,
+        chain: &[&LogicalPlan],
+        algo: JoinAlgo,
+        pipeline: usize,
+        agg_tracker: Option<Arc<Mutex<DistinctTracker>>>,
+    ) -> QResult<BoxedOp> {
+        // Resolve the probe-attribute source of each join through column
+        // provenance (join output schema = build ++ probe).
+        let mut specs = Vec::with_capacity(chain.len());
+        for (j, node) in chain.iter().enumerate() {
+            let Node::Join {
+                condition:
+                    JoinCondition::Equi {
+                        build_key,
+                        probe_key,
+                    },
+                ..
+            } = &node.node
+            else {
+                return Err(QError::internal("hash chain contains a non-equi join"));
+            };
+            specs.push(JoinSpec {
+                build_attr_col: *build_key,
+                probe_attr: resolve_attr_source(chain, j, *probe_key),
+            });
+        }
+        let lowest_probe = join_probe_child(chain[0]);
+        let probe_size = lowest_probe.estimate.round() as u64;
+        // Validate the pipeline shape BEFORE registering any operators so a
+        // fallback leaves no stray metrics behind.
+        let estimator = PipelineEstimator::new(specs, probe_size)?;
+
+        let op_name = match algo {
+            JoinAlgo::Hash => "hash_join",
+            JoinAlgo::Merge => "merge_join",
+            JoinAlgo::NestedLoops => {
+                return Err(QError::internal("nested-loops joins do not pipeline"))
+            }
+        };
+        let mut join_indices = Vec::with_capacity(chain.len());
+        let metrics: Vec<Arc<OpMetrics>> = chain
+            .iter()
+            .map(|node| {
+                let (idx, m) = self.register_idx(op_name, node.estimate, pipeline);
+                join_indices.push(idx);
+                m
+            })
+            .collect();
+        let handle = Arc::new(Mutex::new(PipelineShared {
+            estimator,
+            metrics: metrics.clone(),
+        }));
+
+        let lowest_probe_idx = self.registry.len();
+        let mut cur: BoxedOp = self.compile(lowest_probe, pipeline)?;
+        self.op_inputs[join_indices[0]].push(lowest_probe_idx);
+        for (j, node) in chain.iter().enumerate() {
+            let Node::Join {
+                build,
+                condition:
+                    JoinCondition::Equi {
+                        build_key,
+                        probe_key,
+                    },
+                ..
+            } = &node.node
+            else {
+                unreachable!("validated above");
+            };
+            let build_pipeline = self.pipelines.new_pipeline();
+            let build_op = self.compile_child(join_indices[j], build, build_pipeline)?;
+            if j > 0 {
+                self.op_inputs[join_indices[j]].push(join_indices[j - 1]);
+            }
+            cur = match algo {
+                JoinAlgo::Hash => {
+                    let mut hj = HashJoin::new(
+                        build_op,
+                        cur,
+                        *build_key,
+                        *probe_key,
+                        JoinEstimation::Pipeline {
+                            handle: Arc::clone(&handle),
+                            join_index: j,
+                            lowest: j == 0,
+                        },
+                        Arc::clone(&metrics[j]),
+                    )
+                    .with_partitions(self.opts.partitions);
+                    if j == chain.len() - 1 {
+                        if let Some(tracker) = &agg_tracker {
+                            hj = hj.with_agg_pushdown(Arc::clone(tracker));
+                        }
+                    }
+                    Box::new(hj)
+                }
+                JoinAlgo::Merge => Box::new(MergeJoin::new(
+                    build_op,
+                    cur,
+                    *build_key,
+                    *probe_key,
+                    MergeJoinEstimation::Pipeline {
+                        handle: Arc::clone(&handle),
+                        join_index: j,
+                        lowest: j == 0,
+                    },
+                    Arc::clone(&metrics[j]),
+                )),
+                JoinAlgo::NestedLoops => unreachable!("rejected above"),
+            };
+        }
+        Ok(cur)
+    }
+}
+
+/// Collect the maximal chain of inner equi-joins of one algorithm
+/// connected through probe children, returned bottom-up (`[0]` = lowest).
+fn collect_join_chain(top: &LogicalPlan, chain_algo: JoinAlgo) -> Vec<&LogicalPlan> {
+    let mut top_down = Vec::new();
+    let mut cur = top;
+    while let Node::Join {
+        probe,
+        condition: JoinCondition::Equi { .. },
+        algo,
+        kind: JoinKind::Inner,
+        ..
+    } = &cur.node
+    {
+        if *algo != chain_algo {
+            break;
+        }
+        top_down.push(cur);
+        cur = probe;
+    }
+    top_down.reverse();
+    top_down
+}
+
+/// The probe child of a join node.
+fn join_probe_child(plan: &LogicalPlan) -> &LogicalPlan {
+    match &plan.node {
+        Node::Join { probe, .. } => probe,
+        _ => unreachable!("caller guarantees a join node"),
+    }
+}
+
+/// Resolve where join `j`'s probe key (an index into its probe input's
+/// schema) originates: a column of the lowest probe stream, or a column of
+/// a lower join's build relation.
+fn resolve_attr_source(chain: &[&LogicalPlan], j: usize, col: usize) -> AttrSource {
+    if j == 0 {
+        return AttrSource::Probe { col };
+    }
+    // Probe input of join j is the output of join j-1: build ++ probe.
+    let below = chain[j - 1];
+    let Node::Join { build, .. } = &below.node else {
+        unreachable!("chain contains only joins");
+    };
+    let build_arity = build.schema.arity();
+    if col < build_arity {
+        AttrSource::Build { join: j - 1, col }
+    } else {
+        resolve_attr_source(chain, j - 1, col - build_arity)
+    }
+}
+
+/// Whether aggregate group column `g` is the join key of the hash join
+/// directly below (either side) — the §4.2 push-down condition.
+fn group_col_is_join_key(input: &LogicalPlan, g: usize) -> bool {
+    let Node::Join {
+        build,
+        condition:
+            JoinCondition::Equi {
+                build_key,
+                probe_key,
+            },
+        algo: JoinAlgo::Hash,
+        kind: JoinKind::Inner,
+        ..
+    } = &input.node
+    else {
+        return false;
+    };
+    let build_arity = build.schema.arity();
+    (g < build_arity && g == *build_key) || (g >= build_arity && g - build_arity == *probe_key)
+}
+
+/// Fixed-width byte estimate of a plan's rows (for the byte baseline).
+fn row_bytes(plan: &LogicalPlan) -> u64 {
+    (plan.schema.arity() as u64) * 8
+}
+
+/// Rewrite a theta predicate from (build ++ probe) indexing to exec's
+/// (outer=probe ++ inner=build) indexing.
+fn remap_theta(
+    e: &qprog_exec::expr::Expr,
+    build_arity: usize,
+    probe_arity: usize,
+) -> qprog_exec::expr::Expr {
+    use qprog_exec::expr::Expr;
+    match e {
+        Expr::Column(i) => {
+            if *i < build_arity {
+                Expr::Column(probe_arity + i)
+            } else {
+                Expr::Column(i - build_arity)
+            }
+        }
+        Expr::Literal(v) => Expr::Literal(v.clone()),
+        Expr::Not(inner) => Expr::Not(Box::new(remap_theta(inner, build_arity, probe_arity))),
+        Expr::IsNull { expr, negate } => Expr::IsNull {
+            expr: Box::new(remap_theta(expr, build_arity, probe_arity)),
+            negate: *negate,
+        },
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(remap_theta(left, build_arity, probe_arity)),
+            right: Box::new(remap_theta(right, build_arity, probe_arity)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PlanBuilder;
+    use qprog_exec::expr::{BinOp, Expr};
+    use qprog_exec::ops::agg::AggFunc;
+    use qprog_storage::{Catalog, Table};
+    use qprog_types::{row, DataType, Field, Schema};
+
+    /// customer(custkey, nationkey) with skew-free keys; nation(nationkey).
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let mut customer = Table::new(
+            "customer",
+            Schema::new(vec![
+                Field::new("custkey", DataType::Int64),
+                Field::new("nationkey", DataType::Int64),
+            ]),
+        );
+        for i in 0..2000i64 {
+            customer.push(row![i, i % 25]).unwrap();
+        }
+        let mut nation = Table::new(
+            "nation",
+            Schema::new(vec![
+                Field::new("nationkey", DataType::Int64),
+                Field::new("regionkey", DataType::Int64),
+            ]),
+        );
+        for i in 0..25i64 {
+            nation.push(row![i, i % 5]).unwrap();
+        }
+        let mut region = Table::new(
+            "region",
+            Schema::new(vec![Field::new("regionkey", DataType::Int64)]),
+        );
+        for i in 0..5i64 {
+            region.push(row![i]).unwrap();
+        }
+        c.register(customer).unwrap();
+        c.register(nation).unwrap();
+        c.register(region).unwrap();
+        c
+    }
+
+    fn two_join_plan(b: &PlanBuilder) -> LogicalPlan {
+        // region ⋈ (nation ⋈ customer): chain of 2 hash joins on
+        // different attributes, Case 2 flavor (regionkey comes from nation,
+        // the lower build relation).
+        b.scan("customer")
+            .unwrap()
+            .hash_join(b.scan("nation").unwrap(), "nation.nationkey", "customer.nationkey")
+            .unwrap()
+            .hash_join(b.scan("region").unwrap(), "region.regionkey", "nation.regionkey")
+            .unwrap()
+    }
+
+    fn run_all_modes(plan: &LogicalPlan) -> Vec<usize> {
+        EstimationMode::ALL
+            .iter()
+            .map(|&mode| {
+                let mut q = compile(plan, &PhysicalOptions::with_mode(mode)).unwrap();
+                q.collect().unwrap().len()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn results_identical_across_modes() {
+        let b = PlanBuilder::new(catalog());
+        let plan = two_join_plan(&b);
+        let counts = run_all_modes(&plan);
+        assert!(counts.iter().all(|&c| c == 2000), "{counts:?}");
+    }
+
+    #[test]
+    fn pipeline_chain_estimates_converge_early() {
+        let b = PlanBuilder::new(catalog());
+        let plan = two_join_plan(&b);
+        let mut q = compile(&plan, &PhysicalOptions::with_mode(EstimationMode::Once)).unwrap();
+        // one output row → preprocessing done → both joins exact
+        let first = q.step().unwrap();
+        assert!(first.is_some());
+        let totals: Vec<(String, f64)> = q
+            .registry()
+            .iter()
+            .filter(|(n, _)| *n == "hash_join")
+            .map(|(n, m)| (n.to_string(), m.estimated_total()))
+            .collect();
+        assert_eq!(totals.len(), 2);
+        for (_, t) in &totals {
+            assert_eq!(*t, 2000.0, "join estimates must be exact after preprocessing");
+        }
+    }
+
+    #[test]
+    fn pipelines_are_decomposed() {
+        let b = PlanBuilder::new(catalog());
+        let plan = two_join_plan(&b);
+        let q = compile(&plan, &PhysicalOptions::default()).unwrap();
+        // root pipeline + one per build side = 3
+        assert_eq!(q.pipelines().len(), 3);
+        let tracker = q.tracker();
+        assert_eq!(tracker.fraction(), 0.0);
+    }
+
+    #[test]
+    fn progress_reaches_one_at_completion() {
+        let b = PlanBuilder::new(catalog());
+        let plan = two_join_plan(&b);
+        let mut q = compile(&plan, &PhysicalOptions::default()).unwrap();
+        let tracker = q.tracker();
+        let mut last = 0.0;
+        let rows = q
+            .run_with(100, |snap| {
+                let f = snap.fraction();
+                assert!((0.0..=1.0).contains(&f));
+                last = f;
+            })
+            .unwrap();
+        assert_eq!(rows.len(), 2000);
+        assert_eq!(last, 1.0);
+        assert!(tracker.snapshot().is_complete());
+    }
+
+    #[test]
+    fn aggregation_pushdown_is_wired() {
+        let b = PlanBuilder::new(catalog());
+        // GROUP BY customer.nationkey directly above the nation⋈customer
+        // hash join on nationkey → push-down applies.
+        let plan = b
+            .scan("customer")
+            .unwrap()
+            .hash_join(b.scan("nation").unwrap(), "nation.nationkey", "customer.nationkey")
+            .unwrap()
+            .aggregate(&["customer.nationkey"], &[(AggFunc::CountStar, None, "cnt")])
+            .unwrap();
+        let mut q = compile(&plan, &PhysicalOptions::with_mode(EstimationMode::Once)).unwrap();
+        let rows = q.collect().unwrap();
+        assert_eq!(rows.len(), 25);
+        // The aggregate's estimate converged to the exact group count.
+        let agg_total = q
+            .registry()
+            .iter()
+            .find(|(n, _)| *n == "hash_agg")
+            .map(|(_, m)| m.estimated_total())
+            .unwrap();
+        assert_eq!(agg_total, 25.0);
+    }
+
+    #[test]
+    fn merge_and_nl_joins_compile_and_agree() {
+        let b = PlanBuilder::new(catalog());
+        for algo in [JoinAlgo::Merge, JoinAlgo::NestedLoops] {
+            let plan = b
+                .scan("customer")
+                .unwrap()
+                .join_build(
+                    b.scan("nation").unwrap(),
+                    "nation.nationkey",
+                    "customer.nationkey",
+                    algo,
+                )
+                .unwrap();
+            for mode in EstimationMode::ALL {
+                let mut q = compile(&plan, &PhysicalOptions::with_mode(mode)).unwrap();
+                let rows = q.collect().unwrap();
+                assert_eq!(rows.len(), 2000, "{algo:?}/{mode:?}");
+                // schema order must be build ++ probe in all algos
+                assert_eq!(rows[0].arity(), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn filter_and_projection_run() {
+        let b = PlanBuilder::new(catalog());
+        let scan = b.scan("customer").unwrap();
+        let pred = Expr::binary(BinOp::Lt, scan.col_expr("custkey").unwrap(), Expr::lit(100i64));
+        let plan = scan
+            .filter(pred)
+            .unwrap()
+            .project(vec![(Expr::col(1), "nk")])
+            .unwrap()
+            .sort(&[("nk", true)])
+            .unwrap()
+            .limit(7)
+            .unwrap();
+        let mut q = compile(&plan, &PhysicalOptions::default()).unwrap();
+        let rows = q.collect().unwrap();
+        assert_eq!(rows.len(), 7);
+        assert!(rows.windows(2).all(|w| {
+            w[0].get(0).unwrap().as_i64().unwrap() <= w[1].get(0).unwrap().as_i64().unwrap()
+        }));
+    }
+
+    #[test]
+    fn theta_nl_join_respects_schema_order() {
+        let b = PlanBuilder::new(catalog());
+        let probe = b.scan("region").unwrap();
+        let build = b.scan("nation").unwrap();
+        // condition in build ++ probe indexing: nation.regionkey(1) = region.regionkey(2)
+        let pred = Expr::binary(BinOp::Eq, Expr::col(1), Expr::col(2));
+        let plan = probe
+            .nl_join(build, crate::logical::JoinCondition::Theta(pred))
+            .unwrap();
+        let mut q = compile(&plan, &PhysicalOptions::default()).unwrap();
+        let rows = q.collect().unwrap();
+        assert_eq!(rows.len(), 25);
+        for r in &rows {
+            assert_eq!(r.get(1).unwrap(), r.get(2).unwrap());
+        }
+    }
+
+    #[test]
+    fn sort_aggregate_option_agrees_with_hash_aggregate() {
+        let b = PlanBuilder::new(catalog());
+        let plan = b
+            .scan("customer")
+            .unwrap()
+            .aggregate(&["nationkey"], &[(AggFunc::CountStar, None, "cnt")])
+            .unwrap();
+        let hash_rows: Vec<String> = compile(&plan, &PhysicalOptions::default())
+            .unwrap()
+            .collect()
+            .unwrap()
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        let opts = PhysicalOptions {
+            sort_aggregate: true,
+            ..PhysicalOptions::default()
+        };
+        let mut q = compile(&plan, &opts).unwrap();
+        let sort_rows: Vec<String> = q.collect().unwrap().iter().map(|r| r.to_string()).collect();
+        assert_eq!(hash_rows, sort_rows);
+        let agg_total = q
+            .registry()
+            .iter()
+            .find(|(n, _)| *n == "sort_agg")
+            .map(|(_, m)| m.estimated_total())
+            .unwrap();
+        assert_eq!(agg_total, 25.0);
+    }
+
+    #[test]
+    fn dne_and_byte_estimates_converge_by_completion() {
+        let b = PlanBuilder::new(catalog());
+        let plan = two_join_plan(&b);
+        for mode in [EstimationMode::Dne, EstimationMode::Byte] {
+            let mut q = compile(&plan, &PhysicalOptions::with_mode(mode)).unwrap();
+            q.collect().unwrap();
+            for (name, m) in q.registry().iter() {
+                if name == "hash_join" {
+                    assert_eq!(m.estimated_total(), 2000.0, "{mode:?}");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod merge_chain_tests {
+    use super::*;
+    use crate::builder::PlanBuilder;
+    use qprog_storage::{Catalog, Table};
+    use qprog_types::{row, DataType, Field, Schema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        for (name, domain) in [("t1", 40i64), ("t2", 40), ("t3", 40)] {
+            let mut t = Table::new(
+                name,
+                Schema::new(vec![Field::new("k", DataType::Int64)]),
+            );
+            for i in 0..800i64 {
+                t.push(row![i % domain]).unwrap();
+            }
+            c.register(t).unwrap();
+        }
+        c
+    }
+
+    /// A chain of two merge joins on the same attribute shares one
+    /// push-down estimator: both joins are exact after the lowest sort
+    /// consume, before the upper merge emits (§4.1.4.3).
+    #[test]
+    fn merge_chain_estimates_converge_early() {
+        let b = PlanBuilder::new(catalog());
+        let plan = b
+            .scan("t1")
+            .unwrap()
+            .join_build(b.scan("t2").unwrap(), "t2.k", "t1.k", JoinAlgo::Merge)
+            .unwrap()
+            .join_build(b.scan("t3").unwrap(), "t3.k", "t2.k", JoinAlgo::Merge)
+            .unwrap();
+        let mut q = compile(&plan, &PhysicalOptions::with_mode(EstimationMode::Once)).unwrap();
+        let first = q.step().unwrap();
+        assert!(first.is_some());
+        let totals: Vec<f64> = q
+            .registry()
+            .iter()
+            .filter(|(n, _)| *n == "merge_join")
+            .map(|(_, m)| m.estimated_total())
+            .collect();
+        assert_eq!(totals.len(), 2);
+        // count remaining output and compare
+        let mut counts = vec![1u64; 1];
+        while q.step().unwrap().is_some() {
+            counts[0] += 1;
+        }
+        // chain metrics register bottom-up: totals[0] is the lower join
+        // (800·20 = 16_000 rows), totals[1] the upper (×20 again)
+        assert_eq!(totals[0], 16_000.0);
+        assert_eq!(totals[1], 320_000.0);
+        assert_eq!(counts[0], 320_000);
+    }
+
+    /// Merge chains and hash chains produce identical results.
+    #[test]
+    fn merge_chain_matches_hash_chain_results() {
+        let b = PlanBuilder::new(catalog());
+        let mut results = Vec::new();
+        for algo in [JoinAlgo::Hash, JoinAlgo::Merge] {
+            let plan = b
+                .scan("t1")
+                .unwrap()
+                .join_build(b.scan("t2").unwrap(), "t2.k", "t1.k", algo)
+                .unwrap()
+                .join_build(b.scan("t3").unwrap(), "t3.k", "t2.k", algo)
+                .unwrap();
+            let mut q = compile(&plan, &PhysicalOptions::default()).unwrap();
+            results.push(q.collect().unwrap().len());
+        }
+        assert_eq!(results[0], results[1]);
+    }
+}

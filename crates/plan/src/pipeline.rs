@@ -1,0 +1,78 @@
+//! Pipeline decomposition bookkeeping.
+//!
+//! Pipelines are maximal subtrees of concurrently executing operators,
+//! delimited by blocking operators (§3). The physical compiler assigns every
+//! operator a pipeline id as it walks the plan:
+//!
+//! - filter / project / limit run in their parent's pipeline;
+//! - a sort or aggregation is a blocking boundary: its *input* subtree forms
+//!   a new pipeline, while the operator itself emits into the parent's;
+//! - a hash join's build subtree is a new pipeline; the probe subtree and
+//!   the join itself stay in the parent's;
+//! - a merge join blocks both inputs (each becomes a pipeline);
+//! - a nested-loops join materializes its inner input (new pipeline).
+
+/// Accumulates the operator→pipeline assignment during compilation.
+#[derive(Debug, Default, Clone)]
+pub struct PipelineSet {
+    groups: Vec<Vec<usize>>,
+}
+
+impl PipelineSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        PipelineSet::default()
+    }
+
+    /// Allocate a new, empty pipeline; returns its id.
+    pub fn new_pipeline(&mut self) -> usize {
+        self.groups.push(Vec::new());
+        self.groups.len() - 1
+    }
+
+    /// Assign operator `op` (a metrics-registry index) to pipeline `p`.
+    pub fn assign(&mut self, pipeline: usize, op: usize) {
+        self.groups[pipeline].push(op);
+    }
+
+    /// Number of pipelines.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True iff no pipelines exist.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Operator indices of pipeline `p`.
+    pub fn ops(&self, pipeline: usize) -> &[usize] {
+        &self.groups[pipeline]
+    }
+
+    /// All pipelines.
+    pub fn groups(&self) -> &[Vec<usize>] {
+        &self.groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_and_assignment() {
+        let mut p = PipelineSet::new();
+        assert!(p.is_empty());
+        let a = p.new_pipeline();
+        let b = p.new_pipeline();
+        assert_eq!((a, b), (0, 1));
+        p.assign(a, 10);
+        p.assign(b, 11);
+        p.assign(a, 12);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.ops(0), &[10, 12]);
+        assert_eq!(p.ops(1), &[11]);
+        assert_eq!(p.groups().len(), 2);
+    }
+}

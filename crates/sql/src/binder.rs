@@ -1,0 +1,450 @@
+//! Name resolution: AST → logical plan.
+//!
+//! Joins bind left-deep with each newly joined table as the **build** side
+//! and the accumulated plan as the **probe** side — so
+//! `FROM a JOIN b ON … JOIN c ON …` produces the hash-join pipeline
+//! `c ⋈ (b ⋈ a)` driven by `a`, matching the plan shapes the paper's
+//! experiments use.
+
+use qprog_exec::expr::{BinOp, Expr};
+use qprog_exec::ops::agg::AggFunc;
+use qprog_plan::{LogicalPlan, PlanBuilder};
+use qprog_types::{QError, QResult, Value};
+
+use crate::ast::*;
+
+/// Bind a parsed query to a logical plan.
+pub fn bind(builder: &PlanBuilder, query: &Query) -> QResult<LogicalPlan> {
+    // FROM + JOINs
+    let mut plan = scan_ref(builder, &query.from)?;
+    for join in &query.joins {
+        let build = scan_ref(builder, &join.table)?;
+        let (l, r) = (&join.on.0, &join.on.1);
+        // One side must resolve in the new (build) table, the other in the
+        // accumulated (probe) plan.
+        let (build_key, probe_key) = if build.col(l).is_ok() && plan.col(r).is_ok() {
+            (l.as_str(), r.as_str())
+        } else if build.col(r).is_ok() && plan.col(l).is_ok() {
+            (r.as_str(), l.as_str())
+        } else {
+            return Err(QError::plan(format!(
+                "join condition `{l} = {r}` does not reference both sides"
+            )));
+        };
+        plan = match join.join_type {
+            crate::ast::JoinType::Inner => plan.hash_join(build, build_key, probe_key)?,
+            crate::ast::JoinType::LeftOuter => {
+                plan.left_outer_join(build, build_key, probe_key)?
+            }
+        };
+    }
+
+    // WHERE
+    if let Some(pred) = &query.where_clause {
+        let bound = bind_expr(pred, &plan)?;
+        plan = plan.filter(bound)?;
+    }
+
+    // GROUP BY / aggregates
+    let has_agg = query
+        .select
+        .iter()
+        .any(|s| matches!(s, SelectItem::Aggregate { .. }));
+    if has_agg || !query.group_by.is_empty() {
+        if query.distinct {
+            return Err(QError::plan(
+                "SELECT DISTINCT cannot be combined with aggregates/GROUP BY",
+            ));
+        }
+        plan = bind_aggregate(plan, query)?;
+    } else {
+        plan = bind_projection(plan, &query.select)?;
+        if query.distinct {
+            // DISTINCT = GROUP BY all output columns, no aggregates.
+            let names: Vec<String> = plan
+                .schema
+                .fields()
+                .iter()
+                .map(|f| f.qualified_name())
+                .collect();
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            plan = plan.aggregate(&refs, &[])?;
+        }
+    }
+
+    // ORDER BY
+    if !query.order_by.is_empty() {
+        let keys: Vec<(&str, bool)> = query
+            .order_by
+            .iter()
+            .map(|o| (o.column.as_str(), o.ascending))
+            .collect();
+        plan = plan.sort(&keys)?;
+    }
+
+    // LIMIT
+    if let Some(n) = query.limit {
+        plan = plan.limit(n)?;
+    }
+    Ok(plan)
+}
+
+fn scan_ref(builder: &PlanBuilder, table: &TableRef) -> QResult<LogicalPlan> {
+    let plan = builder.scan(&table.table)?;
+    Ok(match &table.alias {
+        Some(a) => plan.with_alias(a),
+        None => plan,
+    })
+}
+
+fn bind_aggregate(plan: LogicalPlan, query: &Query) -> QResult<LogicalPlan> {
+    // Collect aggregates in select-list order; validate plain columns are
+    // grouping columns.
+    let mut aggs: Vec<(AggFunc, Option<String>, String)> = Vec::new();
+    #[derive(Clone)]
+    enum OutputRef {
+        Group(String),
+        Agg(usize),
+    }
+    let mut outputs: Vec<(OutputRef, String)> = Vec::new();
+    for (i, item) in query.select.iter().enumerate() {
+        match item {
+            SelectItem::Wildcard => {
+                return Err(QError::plan("`*` cannot be mixed with GROUP BY/aggregates"))
+            }
+            SelectItem::Expr { expr, alias } => {
+                let AstExpr::Column(name) = expr else {
+                    return Err(QError::plan(
+                        "non-aggregate select items must be plain grouping columns",
+                    ));
+                };
+                let in_group = query.group_by.iter().any(|g| {
+                    g.eq_ignore_ascii_case(name)
+                        || name.ends_with(&format!(".{g}"))
+                        || g.ends_with(&format!(".{name}"))
+                });
+                if !in_group {
+                    return Err(QError::plan(format!(
+                        "column `{name}` must appear in GROUP BY"
+                    )));
+                }
+                let out_name = alias.clone().unwrap_or_else(|| short_name(name));
+                outputs.push((OutputRef::Group(name.clone()), out_name));
+            }
+            SelectItem::Aggregate {
+                func,
+                column,
+                alias,
+            } => {
+                let f = match func {
+                    AggCall::CountStar => AggFunc::CountStar,
+                    AggCall::Count => AggFunc::Count,
+                    AggCall::Sum => AggFunc::Sum,
+                    AggCall::Min => AggFunc::Min,
+                    AggCall::Max => AggFunc::Max,
+                    AggCall::Avg => AggFunc::Avg,
+                };
+                let out_name = alias.clone().unwrap_or_else(|| format!("agg{i}"));
+                aggs.push((f, column.clone(), out_name.clone()));
+                outputs.push((OutputRef::Agg(aggs.len() - 1), out_name));
+            }
+        }
+    }
+    let group_refs: Vec<&str> = query.group_by.iter().map(String::as_str).collect();
+    let agg_specs: Vec<(AggFunc, Option<&str>, &str)> = aggs
+        .iter()
+        .map(|(f, c, a)| (*f, c.as_deref(), a.as_str()))
+        .collect();
+    let agged = plan.aggregate(&group_refs, &agg_specs)?;
+
+    // Aggregate output: group cols (in GROUP BY order) then aggregates.
+    // Re-project to the select-list order when it differs.
+    let natural: Vec<OutputRef> = query
+        .group_by
+        .iter()
+        .map(|g| OutputRef::Group(g.clone()))
+        .chain((0..aggs.len()).map(OutputRef::Agg))
+        .collect();
+    let select_matches_natural = outputs.len() == natural.len()
+        && outputs.iter().zip(&natural).all(|((o, _), n)| match (o, n) {
+            (OutputRef::Agg(a), OutputRef::Agg(b)) => a == b,
+            (OutputRef::Group(a), OutputRef::Group(b)) => {
+                a.eq_ignore_ascii_case(b)
+                    || a.ends_with(&format!(".{b}"))
+                    || b.ends_with(&format!(".{a}"))
+            }
+            _ => false,
+        });
+    if select_matches_natural {
+        return Ok(agged);
+    }
+    let projections: Vec<(Expr, &str)> = outputs
+        .iter()
+        .map(|(r, name)| {
+            let idx = match r {
+                OutputRef::Group(g) => agged.col(&short_name(g))?,
+                OutputRef::Agg(i) => query.group_by.len() + i,
+            };
+            Ok((Expr::Column(idx), name.as_str()))
+        })
+        .collect::<QResult<_>>()?;
+    agged.project(projections)
+}
+
+fn bind_projection(plan: LogicalPlan, select: &[SelectItem]) -> QResult<LogicalPlan> {
+    if select.len() == 1 && matches!(select[0], SelectItem::Wildcard) {
+        return Ok(plan);
+    }
+    let mut projections: Vec<(Expr, String)> = Vec::new();
+    for (i, item) in select.iter().enumerate() {
+        match item {
+            SelectItem::Wildcard => {
+                return Err(QError::plan("`*` cannot be mixed with other select items"))
+            }
+            SelectItem::Aggregate { .. } => unreachable!("caller routes aggregates"),
+            SelectItem::Expr { expr, alias } => {
+                let bound = bind_expr(expr, &plan)?;
+                let name = alias.clone().unwrap_or_else(|| match expr {
+                    AstExpr::Column(c) => short_name(c),
+                    _ => format!("col{i}"),
+                });
+                projections.push((bound, name));
+            }
+        }
+    }
+    let refs: Vec<(Expr, &str)> = projections
+        .iter()
+        .map(|(e, n)| (e.clone(), n.as_str()))
+        .collect();
+    plan.project(refs)
+}
+
+fn short_name(qualified: &str) -> String {
+    qualified
+        .rsplit_once('.')
+        .map(|(_, n)| n.to_string())
+        .unwrap_or_else(|| qualified.to_string())
+}
+
+fn bind_expr(e: &AstExpr, plan: &LogicalPlan) -> QResult<Expr> {
+    Ok(match e {
+        AstExpr::Column(name) => plan.col_expr(name)?,
+        AstExpr::Int(v) => Expr::Literal(Value::Int64(*v)),
+        AstExpr::Float(v) => Expr::Literal(Value::Float64(*v)),
+        AstExpr::Str(s) => Expr::Literal(Value::str(s)),
+        AstExpr::Bool(b) => Expr::Literal(Value::Bool(*b)),
+        AstExpr::Null => Expr::Literal(Value::Null),
+        AstExpr::Not(inner) => Expr::Not(Box::new(bind_expr(inner, plan)?)),
+        AstExpr::IsNull { expr, negate } => Expr::IsNull {
+            expr: Box::new(bind_expr(expr, plan)?),
+            negate: *negate,
+        },
+        AstExpr::Binary { op, left, right } => Expr::Binary {
+            op: match op {
+                AstBinOp::Add => BinOp::Add,
+                AstBinOp::Sub => BinOp::Sub,
+                AstBinOp::Mul => BinOp::Mul,
+                AstBinOp::Div => BinOp::Div,
+                AstBinOp::Eq => BinOp::Eq,
+                AstBinOp::NotEq => BinOp::NotEq,
+                AstBinOp::Lt => BinOp::Lt,
+                AstBinOp::LtEq => BinOp::LtEq,
+                AstBinOp::Gt => BinOp::Gt,
+                AstBinOp::GtEq => BinOp::GtEq,
+                AstBinOp::And => BinOp::And,
+                AstBinOp::Or => BinOp::Or,
+            },
+            left: Box::new(bind_expr(left, plan)?),
+            right: Box::new(bind_expr(right, plan)?),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use qprog_plan::physical::{compile, PhysicalOptions};
+    use qprog_storage::{Catalog, Table};
+    use qprog_types::{row, DataType, Field, Schema};
+
+    fn builder() -> PlanBuilder {
+        let mut c = Catalog::new();
+        let mut customer = Table::new(
+            "customer",
+            Schema::new(vec![
+                Field::new("custkey", DataType::Int64),
+                Field::new("nationkey", DataType::Int64),
+            ]),
+        );
+        for i in 0..300i64 {
+            customer.push(row![i, i % 25]).unwrap();
+        }
+        let mut nation = Table::new(
+            "nation",
+            Schema::new(vec![
+                Field::new("nationkey", DataType::Int64),
+                Field::new("regionkey", DataType::Int64),
+            ]),
+        );
+        for i in 0..25i64 {
+            nation.push(row![i, i % 5]).unwrap();
+        }
+        let mut region = Table::new(
+            "region",
+            Schema::new(vec![Field::new("regionkey", DataType::Int64)]),
+        );
+        for i in 0..5i64 {
+            region.push(row![i]).unwrap();
+        }
+        c.register(customer).unwrap();
+        c.register(nation).unwrap();
+        c.register(region).unwrap();
+        PlanBuilder::new(c)
+    }
+
+    fn run(sql: &str) -> Vec<qprog_types::Row> {
+        let b = builder();
+        let plan = bind(&b, &parse(sql).unwrap()).unwrap();
+        let mut q = compile(&plan, &PhysicalOptions::default()).unwrap();
+        q.collect().unwrap()
+    }
+
+    #[test]
+    fn select_star() {
+        let rows = run("SELECT * FROM nation");
+        assert_eq!(rows.len(), 25);
+        assert_eq!(rows[0].arity(), 2);
+    }
+
+    #[test]
+    fn projection_and_filter() {
+        let rows = run("SELECT custkey FROM customer WHERE nationkey = 3");
+        assert_eq!(rows.len(), 12); // 300/25
+        assert_eq!(rows[0].arity(), 1);
+    }
+
+    #[test]
+    fn join_chain_runs() {
+        let rows = run(
+            "SELECT * FROM customer \
+             JOIN nation ON customer.nationkey = nation.nationkey \
+             JOIN region ON nation.regionkey = region.regionkey",
+        );
+        assert_eq!(rows.len(), 300);
+        assert_eq!(rows[0].arity(), 5);
+    }
+
+    #[test]
+    fn join_condition_sides_can_swap() {
+        let a = run("SELECT * FROM customer JOIN nation ON customer.nationkey = nation.nationkey");
+        let b = run("SELECT * FROM customer JOIN nation ON nation.nationkey = customer.nationkey");
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn aliases_resolve() {
+        let rows = run(
+            "SELECT c.custkey FROM customer AS c JOIN nation n ON c.nationkey = n.nationkey \
+             WHERE c.custkey < 10",
+        );
+        assert_eq!(rows.len(), 10);
+    }
+
+    #[test]
+    fn group_by_with_aggregates() {
+        let rows = run(
+            "SELECT nationkey, count(*) AS cnt, min(custkey) AS lo FROM customer \
+             GROUP BY nationkey ORDER BY nationkey",
+        );
+        assert_eq!(rows.len(), 25);
+        assert_eq!(rows[0].get(1).unwrap().as_i64().unwrap(), 12);
+        assert_eq!(rows[0].get(0).unwrap().as_i64().unwrap(), 0);
+        assert_eq!(rows[0].get(2).unwrap().as_i64().unwrap(), 0);
+    }
+
+    #[test]
+    fn select_order_reprojected() {
+        // aggregate before the group column
+        let rows = run("SELECT count(*) AS cnt, nationkey FROM customer GROUP BY nationkey");
+        assert_eq!(rows.len(), 25);
+        assert_eq!(rows[0].get(0).unwrap().as_i64().unwrap(), 12);
+    }
+
+    #[test]
+    fn global_aggregation() {
+        let rows = run("SELECT count(*), sum(custkey) FROM customer");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(0).unwrap().as_i64().unwrap(), 300);
+        assert_eq!(rows[0].get(1).unwrap().as_i64().unwrap(), (0..300).sum::<i64>());
+    }
+
+    #[test]
+    fn binder_errors() {
+        let b = builder();
+        // non-grouped column in select
+        assert!(bind(
+            &b,
+            &parse("SELECT custkey, count(*) FROM customer GROUP BY nationkey").unwrap()
+        )
+        .is_err());
+        // join condition referencing one side only
+        assert!(bind(
+            &b,
+            &parse("SELECT * FROM customer JOIN nation ON customer.custkey = customer.nationkey")
+                .unwrap()
+        )
+        .is_err());
+        // unknown column
+        assert!(bind(&b, &parse("SELECT wat FROM customer").unwrap()).is_err());
+    }
+
+    #[test]
+    fn left_join_preserves_unmatched_rows() {
+        // every customer has a nation (nationkey < 25), so filter nation to
+        // force misses
+        let b = builder();
+        let plan = bind(
+            &b,
+            &parse(
+                "SELECT * FROM customer LEFT JOIN region ON customer.custkey = region.regionkey",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let mut q = compile(&plan, &PhysicalOptions::default()).unwrap();
+        let rows = q.collect().unwrap();
+        // all 300 customers preserved; only custkey 0..5 match a regionkey
+        assert_eq!(rows.len(), 300);
+        let matched = rows
+            .iter()
+            .filter(|r| !r.get(0).unwrap().is_null())
+            .count();
+        assert_eq!(matched, 5);
+    }
+
+    #[test]
+    fn select_distinct() {
+        let rows = run("SELECT DISTINCT nationkey FROM customer ORDER BY nationkey");
+        assert_eq!(rows.len(), 25);
+        let rows = run("SELECT DISTINCT nationkey, regionkey FROM nation");
+        assert_eq!(rows.len(), 25);
+    }
+
+    #[test]
+    fn between_and_in_execute() {
+        let rows = run("SELECT custkey FROM customer WHERE custkey BETWEEN 10 AND 12");
+        assert_eq!(rows.len(), 3);
+        let rows = run("SELECT custkey FROM customer WHERE nationkey IN (0, 1) AND custkey < 50");
+        assert_eq!(rows.len(), 4); // custkeys 0,1,25,26
+        let rows = run("SELECT custkey FROM customer WHERE custkey NOT BETWEEN 3 AND 299");
+        assert_eq!(rows.len(), 3); // 0,1,2
+    }
+
+    #[test]
+    fn expressions_in_select() {
+        let rows = run("SELECT custkey * 2 AS dbl FROM customer WHERE custkey < 3 ORDER BY dbl");
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2].get(0).unwrap().as_i64().unwrap(), 4);
+    }
+}

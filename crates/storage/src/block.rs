@@ -1,0 +1,98 @@
+//! Fixed-capacity row blocks.
+//!
+//! Tables are stored as a sequence of blocks so that scans can implement the
+//! paper's *block-level random sampling*: the sampled unit is a block, not a
+//! row, mirroring how a disk-resident system would sample pages.
+
+use qprog_types::Row;
+
+/// Number of rows per block.
+///
+/// Small enough that a sample fraction of a few percent still selects many
+/// blocks (keeping the sample statistically useful), large enough that
+/// per-block bookkeeping is negligible.
+pub const BLOCK_CAPACITY: usize = 256;
+
+/// A block of at most [`BLOCK_CAPACITY`] rows.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    rows: Vec<Row>,
+}
+
+impl Block {
+    /// An empty block with preallocated capacity.
+    pub fn new() -> Self {
+        Block {
+            rows: Vec::with_capacity(BLOCK_CAPACITY),
+        }
+    }
+
+    /// Number of rows currently stored.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the block holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// True iff the block cannot accept more rows.
+    pub fn is_full(&self) -> bool {
+        self.rows.len() >= BLOCK_CAPACITY
+    }
+
+    /// Append a row. Panics if the block is full — the table layer checks
+    /// `is_full` before pushing, so a panic indicates a bug there.
+    pub fn push(&mut self, row: Row) {
+        assert!(!self.is_full(), "push into full block");
+        self.rows.push(row);
+    }
+
+    /// Borrow the rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Borrow one row by offset within the block.
+    pub fn row(&self, offset: usize) -> Option<&Row> {
+        self.rows.get(offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qprog_types::row;
+
+    #[test]
+    fn push_and_read() {
+        let mut b = Block::new();
+        assert!(b.is_empty());
+        b.push(row![1i64]);
+        b.push(row![2i64]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.row(1).unwrap().get(0).unwrap().as_i64().unwrap(), 2);
+        assert!(b.row(2).is_none());
+    }
+
+    #[test]
+    fn fills_to_capacity() {
+        let mut b = Block::new();
+        for i in 0..BLOCK_CAPACITY {
+            assert!(!b.is_full());
+            b.push(row![i as i64]);
+        }
+        assert!(b.is_full());
+        assert_eq!(b.len(), BLOCK_CAPACITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "full block")]
+    fn push_past_capacity_panics() {
+        let mut b = Block::new();
+        for i in 0..=BLOCK_CAPACITY {
+            b.push(row![i as i64]);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Block-level random sampling for sample-first table scans.
+//!
+//! The paper (§3, §5 *Implementation*) requires table scans to first deliver
+//! a block-level random sample of the base table, then scan the remainder
+//! while excluding the already-delivered blocks ("a simple antijoin on
+//! block-ids"). [`ScanOrder`] materializes that plan as a permutation of
+//! block ids: a shuffled random prefix of `sample_blocks` ids followed by
+//! the remaining ids in storage order.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+use crate::table::Table;
+
+/// The order in which a sample-first scan visits a table's blocks.
+#[derive(Debug, Clone)]
+pub struct ScanOrder {
+    order: Vec<usize>,
+    sample_blocks: usize,
+}
+
+impl ScanOrder {
+    /// Storage-order scan (no sampling).
+    pub fn sequential(num_blocks: usize) -> Self {
+        ScanOrder {
+            order: (0..num_blocks).collect(),
+            sample_blocks: 0,
+        }
+    }
+
+    /// Sample-first scan: a uniform random `fraction` of blocks (rounded up,
+    /// clamped to the table size) is visited first in random order; the rest
+    /// follow in storage order. Deterministic in `seed`.
+    pub fn sample_first(num_blocks: usize, fraction: f64, seed: u64) -> Self {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let k = ((num_blocks as f64 * fraction).ceil() as usize).min(num_blocks);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ids: Vec<usize> = (0..num_blocks).collect();
+        // Partial Fisher-Yates: the first k positions end up holding a
+        // uniform random k-subset in random order.
+        for i in 0..k {
+            let j = rng.random_range(i..num_blocks);
+            ids.swap(i, j);
+        }
+        let mut sampled: Vec<usize> = ids[..k].to_vec();
+        sampled.shuffle(&mut rng);
+        let mut in_sample = vec![false; num_blocks];
+        for &b in &sampled {
+            in_sample[b] = true;
+        }
+        let mut order = sampled;
+        order.extend((0..num_blocks).filter(|&b| !in_sample[b]));
+        ScanOrder {
+            order,
+            sample_blocks: k,
+        }
+    }
+
+    /// Sample-first scan over a table.
+    pub fn for_table(table: &Table, fraction: f64, seed: u64) -> Self {
+        if fraction <= 0.0 {
+            ScanOrder::sequential(table.num_blocks())
+        } else {
+            ScanOrder::sample_first(table.num_blocks(), fraction, seed)
+        }
+    }
+
+    /// The visit order of block ids.
+    pub fn blocks(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// How many leading blocks constitute the random sample.
+    pub fn sample_blocks(&self) -> usize {
+        self.sample_blocks
+    }
+}
+
+/// Uniform reservoir sample of `k` items from an iterator (Algorithm R).
+///
+/// Used by tests and by on-the-fly sampling when no precomputed block sample
+/// exists.
+pub fn reservoir_sample<T, I>(items: I, k: usize, seed: u64) -> Vec<T>
+where
+    I: IntoIterator<Item = T>,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut reservoir: Vec<T> = Vec::with_capacity(k);
+    for (i, item) in items.into_iter().enumerate() {
+        if reservoir.len() < k {
+            reservoir.push(item);
+        } else {
+            let j = rng.random_range(0..=i);
+            if j < k {
+                reservoir[j] = item;
+            }
+        }
+    }
+    reservoir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn sequential_is_identity() {
+        let o = ScanOrder::sequential(4);
+        assert_eq!(o.blocks(), &[0, 1, 2, 3]);
+        assert_eq!(o.sample_blocks(), 0);
+    }
+
+    #[test]
+    fn sample_first_is_a_permutation() {
+        for &n in &[0usize, 1, 7, 100] {
+            for &f in &[0.0, 0.1, 0.5, 1.0] {
+                let o = ScanOrder::sample_first(n, f, 42);
+                let seen: HashSet<usize> = o.blocks().iter().copied().collect();
+                assert_eq!(seen.len(), n, "n={n} f={f}");
+                assert!(o.blocks().iter().all(|&b| b < n));
+            }
+        }
+    }
+
+    #[test]
+    fn sample_size_matches_fraction() {
+        let o = ScanOrder::sample_first(100, 0.1, 1);
+        assert_eq!(o.sample_blocks(), 10);
+        let o = ScanOrder::sample_first(100, 1.0, 1);
+        assert_eq!(o.sample_blocks(), 100);
+        // rounds up
+        let o = ScanOrder::sample_first(100, 0.001, 1);
+        assert_eq!(o.sample_blocks(), 1);
+    }
+
+    #[test]
+    fn remainder_is_in_storage_order() {
+        let o = ScanOrder::sample_first(50, 0.2, 7);
+        let rest = &o.blocks()[o.sample_blocks()..];
+        let mut sorted = rest.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(rest, sorted.as_slice());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = ScanOrder::sample_first(64, 0.25, 9);
+        let b = ScanOrder::sample_first(64, 0.25, 9);
+        let c = ScanOrder::sample_first(64, 0.25, 10);
+        assert_eq!(a.blocks(), b.blocks());
+        assert_ne!(a.blocks(), c.blocks());
+    }
+
+    #[test]
+    fn samples_are_roughly_uniform() {
+        // Each block should appear in the sample prefix with probability
+        // ~k/n across seeds.
+        let n = 20;
+        let mut counts = vec![0u32; n];
+        for seed in 0..2000 {
+            let o = ScanOrder::sample_first(n, 0.25, seed);
+            for &b in &o.blocks()[..o.sample_blocks()] {
+                counts[b] += 1;
+            }
+        }
+        // expected 2000 * 5/20 = 500 per block; allow generous slack
+        for (b, &c) in counts.iter().enumerate() {
+            assert!(
+                (350..=650).contains(&c),
+                "block {b} sampled {c} times, expected ~500"
+            );
+        }
+    }
+
+    #[test]
+    fn reservoir_sample_size_and_membership() {
+        let s = reservoir_sample(0..1000, 10, 3);
+        assert_eq!(s.len(), 10);
+        assert!(s.iter().all(|&x| x < 1000));
+        let small = reservoir_sample(0..5, 10, 3);
+        assert_eq!(small.len(), 5);
+    }
+
+    #[test]
+    fn reservoir_sample_is_roughly_uniform() {
+        let mut hits = [0u32; 10];
+        for seed in 0..5000 {
+            for x in reservoir_sample(0..10, 3, seed) {
+                hits[x] += 1;
+            }
+        }
+        // expected 5000 * 3/10 = 1500
+        for (i, &h) in hits.iter().enumerate() {
+            assert!(
+                (1300..=1700).contains(&h),
+                "item {i} sampled {h} times, expected ~1500"
+            );
+        }
+    }
+}

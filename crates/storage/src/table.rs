@@ -1,0 +1,197 @@
+//! In-memory tables.
+
+use std::sync::Arc;
+
+use qprog_types::{QError, QResult, Row, Schema, SchemaRef, Value};
+
+use crate::block::{Block, BLOCK_CAPACITY};
+
+/// A named, block-structured, in-memory table.
+///
+/// Rows are type-checked against the schema on insertion so that downstream
+/// operators can rely on column types without re-validating.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: SchemaRef,
+    blocks: Vec<Block>,
+    num_rows: usize,
+}
+
+impl Table {
+    /// An empty table with the given name and schema. Fields are qualified
+    /// with the table name so that joins can disambiguate columns.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        let name = name.into();
+        let schema = schema.with_qualifier(&name).into_ref();
+        Table {
+            name,
+            schema,
+            blocks: Vec::new(),
+            num_rows: 0,
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema (fields qualified with the table name).
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Total number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Borrow a block by id.
+    pub fn block(&self, id: usize) -> QResult<&Block> {
+        self.blocks
+            .get(id)
+            .ok_or_else(|| QError::internal(format!("block {id} out of bounds")))
+    }
+
+    /// Append a row, validating arity and column types.
+    pub fn push(&mut self, row: Row) -> QResult<()> {
+        if row.arity() != self.schema.arity() {
+            return Err(QError::schema(format!(
+                "row arity {} does not match schema arity {} for table `{}`",
+                row.arity(),
+                self.schema.arity(),
+                self.name
+            )));
+        }
+        for (i, v) in row.values().iter().enumerate() {
+            let field = self.schema.field(i)?;
+            match v {
+                Value::Null if field.nullable => {}
+                Value::Null => {
+                    return Err(QError::schema(format!(
+                        "NULL in non-nullable column `{}` of `{}`",
+                        field.name, self.name
+                    )))
+                }
+                v if v.data_type() != field.data_type => {
+                    return Err(QError::type_err(format!(
+                        "column `{}` of `{}` expects {}, got {}",
+                        field.name,
+                        self.name,
+                        field.data_type,
+                        v.data_type()
+                    )))
+                }
+                _ => {}
+            }
+        }
+        if self.blocks.last().is_none_or(Block::is_full) {
+            self.blocks.push(Block::new());
+        }
+        self.blocks
+            .last_mut()
+            .expect("block just ensured")
+            .push(row);
+        self.num_rows += 1;
+        Ok(())
+    }
+
+    /// Append many rows.
+    pub fn extend(&mut self, rows: impl IntoIterator<Item = Row>) -> QResult<()> {
+        for r in rows {
+            self.push(r)?;
+        }
+        Ok(())
+    }
+
+    /// Iterate over all rows in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = &Row> + '_ {
+        self.blocks.iter().flat_map(|b| b.rows().iter())
+    }
+
+    /// Borrow a row by global index (for tests and examples; scans use
+    /// block-ordered iteration).
+    pub fn row(&self, idx: usize) -> Option<&Row> {
+        let block = idx / BLOCK_CAPACITY;
+        let offset = idx % BLOCK_CAPACITY;
+        self.blocks.get(block).and_then(|b| b.row(offset))
+    }
+
+    /// Wrap in an [`Arc`] for registration in a catalog.
+    pub fn into_shared(self) -> Arc<Table> {
+        Arc::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qprog_types::{row, DataType, Field};
+
+    fn two_col_table() -> Table {
+        Table::new(
+            "t",
+            Schema::new(vec![
+                Field::new("a", DataType::Int64),
+                Field::new("b", DataType::Utf8).with_nullable(true),
+            ]),
+        )
+    }
+
+    #[test]
+    fn schema_is_qualified_with_table_name() {
+        let t = two_col_table();
+        assert_eq!(t.schema().index_of("t.a").unwrap(), 0);
+    }
+
+    #[test]
+    fn push_validates_arity_and_types() {
+        let mut t = two_col_table();
+        t.push(row![1i64, "x"]).unwrap();
+        assert!(t.push(row![1i64]).is_err());
+        assert!(t.push(row!["bad", "x"]).is_err());
+        assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    fn nullability_is_enforced() {
+        let mut t = two_col_table();
+        t.push(Row::new(vec![Value::Int64(1), Value::Null])).unwrap();
+        assert!(t
+            .push(Row::new(vec![Value::Null, Value::str("x")]))
+            .is_err());
+    }
+
+    #[test]
+    fn rows_span_blocks() {
+        let mut t = two_col_table();
+        let n = BLOCK_CAPACITY * 2 + 10;
+        for i in 0..n {
+            t.push(row![i as i64, "r"]).unwrap();
+        }
+        assert_eq!(t.num_rows(), n);
+        assert_eq!(t.num_blocks(), 3);
+        assert_eq!(
+            t.row(BLOCK_CAPACITY).unwrap().get(0).unwrap().as_i64().unwrap(),
+            BLOCK_CAPACITY as i64
+        );
+        // iteration preserves insertion order
+        let collected: Vec<i64> = t
+            .iter()
+            .map(|r| r.get(0).unwrap().as_i64().unwrap())
+            .collect();
+        assert_eq!(collected, (0..n as i64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn row_out_of_bounds_is_none() {
+        let t = two_col_table();
+        assert!(t.row(0).is_none());
+    }
+}

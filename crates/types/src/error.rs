@@ -1,0 +1,116 @@
+//! Error handling for the `qprog` workspace.
+
+use std::fmt;
+
+/// Convenient result alias used across the workspace.
+pub type QResult<T> = Result<T, QError>;
+
+/// The unified error type for all `qprog` crates.
+///
+/// Lower layers construct the structured variants; the `Internal` variant is
+/// reserved for invariant violations that indicate a bug rather than bad
+/// input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QError {
+    /// A schema lookup failed (unknown column or ambiguous reference).
+    Schema(String),
+    /// A value had an unexpected type for the requested operation.
+    Type(String),
+    /// The catalog has no table with the given name.
+    TableNotFound(String),
+    /// SQL text failed to lex or parse.
+    Parse(String),
+    /// A logical plan could not be bound or physically planned.
+    Plan(String),
+    /// A runtime execution failure (e.g. division by zero).
+    Execution(String),
+    /// An estimator was configured or driven incorrectly.
+    Estimation(String),
+    /// Invariant violation — indicates a bug in qprog itself.
+    Internal(String),
+}
+
+impl QError {
+    /// Build a [`QError::Schema`] from anything displayable.
+    pub fn schema(msg: impl fmt::Display) -> Self {
+        QError::Schema(msg.to_string())
+    }
+
+    /// Build a [`QError::Type`] from anything displayable.
+    pub fn type_err(msg: impl fmt::Display) -> Self {
+        QError::Type(msg.to_string())
+    }
+
+    /// Build a [`QError::Parse`] from anything displayable.
+    pub fn parse(msg: impl fmt::Display) -> Self {
+        QError::Parse(msg.to_string())
+    }
+
+    /// Build a [`QError::Plan`] from anything displayable.
+    pub fn plan(msg: impl fmt::Display) -> Self {
+        QError::Plan(msg.to_string())
+    }
+
+    /// Build a [`QError::Execution`] from anything displayable.
+    pub fn exec(msg: impl fmt::Display) -> Self {
+        QError::Execution(msg.to_string())
+    }
+
+    /// Build a [`QError::Estimation`] from anything displayable.
+    pub fn estimation(msg: impl fmt::Display) -> Self {
+        QError::Estimation(msg.to_string())
+    }
+
+    /// Build a [`QError::Internal`] from anything displayable.
+    pub fn internal(msg: impl fmt::Display) -> Self {
+        QError::Internal(msg.to_string())
+    }
+}
+
+impl fmt::Display for QError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QError::Schema(m) => write!(f, "schema error: {m}"),
+            QError::Type(m) => write!(f, "type error: {m}"),
+            QError::TableNotFound(m) => write!(f, "table not found: {m}"),
+            QError::Parse(m) => write!(f, "parse error: {m}"),
+            QError::Plan(m) => write!(f, "plan error: {m}"),
+            QError::Execution(m) => write!(f, "execution error: {m}"),
+            QError::Estimation(m) => write!(f, "estimation error: {m}"),
+            QError::Internal(m) => write!(f, "internal error (bug): {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = QError::schema("no column `x`");
+        assert_eq!(e.to_string(), "schema error: no column `x`");
+        let e = QError::TableNotFound("orders".into());
+        assert_eq!(e.to_string(), "table not found: orders");
+        let e = QError::internal("counter underflow");
+        assert!(e.to_string().contains("bug"));
+    }
+
+    #[test]
+    fn constructors_map_to_variants() {
+        assert!(matches!(QError::type_err("x"), QError::Type(_)));
+        assert!(matches!(QError::parse("x"), QError::Parse(_)));
+        assert!(matches!(QError::plan("x"), QError::Plan(_)));
+        assert!(matches!(QError::exec("x"), QError::Execution(_)));
+        assert!(matches!(QError::estimation("x"), QError::Estimation(_)));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(QError::schema("a"), QError::schema("a"));
+        assert_ne!(QError::schema("a"), QError::schema("b"));
+        assert_ne!(QError::schema("a"), QError::plan("a"));
+    }
+}

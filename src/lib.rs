@@ -1,0 +1,64 @@
+//! # qprog — A Lightweight Online Framework for Query Progress Indicators
+//!
+//! `qprog` is a from-scratch Rust reproduction of Mishra & Koudas,
+//! *"A Lightweight Online Framework For Query Progress Indicators"*
+//! (ICDE 2007). It bundles:
+//!
+//! - a miniature Volcano-style relational engine with phase-structured
+//!   operators (grace hash join, sort-merge join, hash aggregation, ...)
+//!   instrumented with `getnext()` counters ([`exec`], [`storage`]),
+//! - a planner with deliberately optimizer-grade (i.e. skew-blind)
+//!   cardinality estimates and pipeline decomposition ([`plan`]),
+//! - the paper's **online estimation framework**: incremental join-size
+//!   estimators pushed into partitioning/sorting phases, pipeline push-down
+//!   (Algorithm 1), the GEE and MLE distinct-value estimators with the
+//!   γ²-based online chooser, and the *gnm* progress monitor, plus the
+//!   `dne` and `byte` baselines it is evaluated against ([`core`]),
+//! - Zipfian TPC-H-lite data generation matching the paper's evaluation
+//!   ([`datagen`]) and a small SQL front end ([`sql`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qprog::prelude::*;
+//!
+//! // Generate a small skewed customer table and register it.
+//! let mut catalog = Catalog::new();
+//! let customer = qprog::datagen::customer_table("customer", 10_000, 1.0, 200, 1);
+//! catalog.register(customer).unwrap();
+//! let nation = qprog::datagen::nation_table("nation", 200);
+//! catalog.register(nation).unwrap();
+//!
+//! // Run a join with a live progress monitor.
+//! let session = Session::new(catalog);
+//! let mut handle = session
+//!     .query("SELECT count(*) FROM customer JOIN nation ON customer.nationkey = nation.nationkey")
+//!     .unwrap();
+//! let rows = handle.run_with(|progress| {
+//!     assert!((0.0..=1.0).contains(&progress.fraction()));
+//! }).unwrap();
+//! assert_eq!(rows.len(), 1);
+//! ```
+
+pub use qprog_core as core;
+pub use qprog_datagen as datagen;
+pub use qprog_exec as exec;
+pub use qprog_plan as plan;
+pub use qprog_sql as sql;
+pub use qprog_storage as storage;
+pub use qprog_types as types;
+
+mod session;
+pub mod workloads;
+
+pub use session::{QueryHandle, Session};
+
+/// Commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use crate::session::{QueryHandle, Session};
+    pub use qprog_core::gnm::ProgressSnapshot;
+    pub use qprog_core::EstimationMode;
+    pub use qprog_plan::builder::PlanBuilder;
+    pub use qprog_storage::{Catalog, Table};
+    pub use qprog_types::{DataType, Field, Key, QError, QResult, Row, Schema, Value};
+}

@@ -1,0 +1,176 @@
+//! High-level session API: SQL in, rows + live progress out.
+
+use qprog_core::gnm::ProgressSnapshot;
+use qprog_plan::physical::{compile, CompiledQuery, PhysicalOptions};
+use qprog_plan::{LogicalPlan, PlanBuilder, ProgressTracker};
+use qprog_storage::Catalog;
+use qprog_types::{QResult, Row};
+
+/// A database session: a catalog plus physical execution options.
+///
+/// The default options enable the paper's framework (`Once` estimation,
+/// 10% block samples); use [`Session::with_options`] to run the `dne`/
+/// `byte` baselines or disable estimation.
+#[derive(Debug, Clone)]
+pub struct Session {
+    builder: PlanBuilder,
+    options: PhysicalOptions,
+}
+
+impl Session {
+    /// New session with default options.
+    pub fn new(catalog: Catalog) -> Self {
+        Session {
+            builder: PlanBuilder::new(catalog),
+            options: PhysicalOptions::default(),
+        }
+    }
+
+    /// Override the physical options.
+    pub fn with_options(mut self, options: PhysicalOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The plan builder (for programmatic plan construction).
+    pub fn builder(&self) -> &PlanBuilder {
+        &self.builder
+    }
+
+    /// Current physical options.
+    pub fn options(&self) -> &PhysicalOptions {
+        &self.options
+    }
+
+    /// Parse, bind, and compile a SQL query.
+    pub fn query(&self, sql: &str) -> QResult<QueryHandle> {
+        let plan = qprog_sql::plan_sql(&self.builder, sql)?;
+        self.query_plan(plan)
+    }
+
+    /// Compile a programmatically built logical plan.
+    pub fn query_plan(&self, plan: LogicalPlan) -> QResult<QueryHandle> {
+        let compiled = compile(&plan, &self.options)?;
+        Ok(QueryHandle { plan, compiled })
+    }
+}
+
+/// A compiled query ready to execute, with live progress observation.
+pub struct QueryHandle {
+    plan: LogicalPlan,
+    compiled: CompiledQuery,
+}
+
+impl QueryHandle {
+    /// EXPLAIN-style plan rendering with optimizer estimates.
+    pub fn explain(&self) -> String {
+        self.plan.display()
+    }
+
+    /// The logical plan.
+    pub fn plan(&self) -> &LogicalPlan {
+        &self.plan
+    }
+
+    /// A cloneable, thread-safe progress tracker (gnm snapshots on demand,
+    /// e.g. from a monitor thread while [`collect`](Self::collect) runs).
+    pub fn tracker(&self) -> ProgressTracker {
+        self.compiled.tracker()
+    }
+
+    /// Run to completion, collecting all rows.
+    pub fn collect(&mut self) -> QResult<Vec<Row>> {
+        self.compiled.collect()
+    }
+
+    /// Run to completion, invoking the observer with a progress snapshot
+    /// every 256 output rows and at completion.
+    pub fn run_with(
+        &mut self,
+        observer: impl FnMut(&ProgressSnapshot),
+    ) -> QResult<Vec<Row>> {
+        self.run_with_cadence(256, observer)
+    }
+
+    /// [`run_with`](Self::run_with) at an explicit row cadence.
+    pub fn run_with_cadence(
+        &mut self,
+        every_n: u64,
+        observer: impl FnMut(&ProgressSnapshot),
+    ) -> QResult<Vec<Row>> {
+        self.compiled.run_with(every_n, observer)
+    }
+
+    /// Pull one output row (manual Volcano stepping).
+    pub fn step(&mut self) -> QResult<Option<Row>> {
+        self.compiled.step()
+    }
+
+    /// The compiled query's per-operator metrics.
+    pub fn registry(&self) -> &qprog_exec::metrics::MetricsRegistry {
+        self.compiled.registry()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qprog_core::EstimationMode;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(qprog_datagen::customer_table("customer", 5000, 1.0, 100, 1))
+            .unwrap();
+        c.register(qprog_datagen::nation_table("nation", 100)).unwrap();
+        c
+    }
+
+    #[test]
+    fn sql_roundtrip_with_progress() {
+        let session = Session::new(catalog());
+        let mut h = session
+            .query(
+                "SELECT count(*) FROM customer \
+                 JOIN nation ON customer.nationkey = nation.nationkey",
+            )
+            .unwrap();
+        assert!(h.explain().contains("Join[Hash"));
+        let mut fractions = Vec::new();
+        let rows = h.run_with(|snap| fractions.push(snap.fraction())).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(0).unwrap().as_i64().unwrap(), 5000);
+        assert_eq!(*fractions.last().unwrap(), 1.0);
+        assert!(fractions.iter().all(|f| (0.0..=1.0).contains(f)));
+    }
+
+    #[test]
+    fn modes_are_selectable() {
+        for mode in EstimationMode::ALL {
+            let session =
+                Session::new(catalog()).with_options(PhysicalOptions::with_mode(mode));
+            let mut h = session.query("SELECT * FROM customer").unwrap();
+            assert_eq!(h.collect().unwrap().len(), 5000);
+        }
+    }
+
+    #[test]
+    fn tracker_observes_from_another_thread() {
+        let session = Session::new(catalog());
+        let mut h = session
+            .query("SELECT nationkey, count(*) FROM customer GROUP BY nationkey")
+            .unwrap();
+        let tracker = h.tracker();
+        let watcher = std::thread::spawn(move || loop {
+            let snap = tracker.snapshot();
+            let f = snap.fraction();
+            assert!((0.0..=1.0).contains(&f));
+            if snap.is_complete() {
+                return f;
+            }
+            std::thread::yield_now();
+        });
+        let rows = h.collect().unwrap();
+        assert_eq!(rows.len(), 100);
+        assert_eq!(watcher.join().unwrap(), 1.0);
+    }
+}

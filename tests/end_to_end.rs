@@ -1,0 +1,188 @@
+//! End-to-end tests spanning the whole stack: SQL → planning → execution
+//! with every estimation mode, checked for result consistency and sane
+//! progress reporting.
+
+use qprog::core::EstimationMode;
+use qprog::plan::physical::PhysicalOptions;
+use qprog::prelude::*;
+use qprog::workloads::q8_plan;
+use qprog_datagen::{TpchConfig, TpchGenerator};
+
+fn skewed_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.register(qprog::datagen::customer_table("customer", 20_000, 1.5, 300, 1))
+        .unwrap();
+    c.register(qprog::datagen::customer_table("customer2", 20_000, 1.5, 300, 2))
+        .unwrap();
+    c.register(qprog::datagen::nation_table("nation", 300)).unwrap();
+    c
+}
+
+/// Row multisets must be identical across estimation modes — estimation is
+/// observational only.
+#[test]
+fn estimation_modes_do_not_change_results() {
+    let sql = "SELECT customer.custkey, nation.name FROM customer \
+               JOIN nation ON customer.nationkey = nation.nationkey \
+               WHERE customer.custkey < 5000 ORDER BY custkey";
+    let mut reference: Option<Vec<String>> = None;
+    for mode in EstimationMode::ALL {
+        let session =
+            Session::new(skewed_catalog()).with_options(PhysicalOptions::with_mode(mode));
+        let rows: Vec<String> = session
+            .query(sql)
+            .unwrap()
+            .collect()
+            .unwrap()
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        match &reference {
+            None => reference = Some(rows),
+            Some(expect) => assert_eq!(&rows, expect, "mode {mode:?} changed results"),
+        }
+    }
+    assert_eq!(reference.unwrap().len(), 5000);
+}
+
+/// Once-mode join estimates must be exact as soon as the first output row
+/// appears (preprocessing done), even under heavy skew where the optimizer
+/// estimate is far off.
+#[test]
+fn once_estimates_exact_at_first_output_under_skew() {
+    let session = Session::new(skewed_catalog());
+    let mut q = session
+        .query(
+            "SELECT * FROM customer JOIN customer2 \
+             ON customer.nationkey = customer2.nationkey",
+        )
+        .unwrap();
+    let first = q.step().unwrap();
+    assert!(first.is_some());
+    let join_estimate = q
+        .registry()
+        .iter()
+        .find(|(n, _)| *n == "hash_join")
+        .map(|(_, m)| m.estimated_total())
+        .unwrap();
+    let mut count = 1u64;
+    while q.step().unwrap().is_some() {
+        count += 1;
+    }
+    assert_eq!(join_estimate, count as f64);
+}
+
+/// gnm progress: monotone non-decreasing when observed at output cadence,
+/// ends at 1.0, complete at the end.
+#[test]
+fn progress_is_monotone_and_complete() {
+    let session = Session::new(skewed_catalog());
+    let mut q = session
+        .query(
+            "SELECT nationkey, count(*) FROM customer GROUP BY nationkey",
+        )
+        .unwrap();
+    let mut fractions = Vec::new();
+    q.run_with_cadence(16, |s| fractions.push(s.fraction())).unwrap();
+    assert!(!fractions.is_empty());
+    for w in fractions.windows(2) {
+        assert!(
+            w[1] >= w[0] - 1e-9,
+            "progress went backwards: {} → {}",
+            w[0],
+            w[1]
+        );
+    }
+    assert_eq!(*fractions.last().unwrap(), 1.0);
+}
+
+/// Early termination (LIMIT) must still drive progress to completion.
+#[test]
+fn limit_terminates_progress() {
+    let session = Session::new(skewed_catalog());
+    let mut q = session
+        .query("SELECT * FROM customer ORDER BY custkey LIMIT 5")
+        .unwrap();
+    let tracker = q.tracker();
+    let rows = q.collect().unwrap();
+    assert_eq!(rows.len(), 5);
+    assert!(tracker.snapshot().is_complete());
+    assert_eq!(tracker.fraction(), 1.0);
+}
+
+/// TPC-H Q8 runs identically in all modes on a small skewed database, and
+/// all seven joins form a single estimation pipeline in Once mode.
+#[test]
+fn q8_all_modes_agree() {
+    let catalog = TpchGenerator::new(TpchConfig {
+        scale: 0.003,
+        skew: 2.0,
+        seed: 3,
+    })
+    .catalog()
+    .unwrap();
+    let mut reference: Option<Vec<String>> = None;
+    for mode in EstimationMode::ALL {
+        let session = Session::new(catalog.clone())
+            .with_options(PhysicalOptions::with_mode(mode));
+        let plan = q8_plan(session.builder()).unwrap();
+        let rows: Vec<String> = session
+            .query_plan(plan)
+            .unwrap()
+            .collect()
+            .unwrap()
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        match &reference {
+            None => reference = Some(rows),
+            Some(expect) => assert_eq!(&rows, expect, "mode {mode:?}"),
+        }
+    }
+}
+
+/// Merge-join plans agree with hash-join plans on results and reach exact
+/// estimates before the merge emits.
+#[test]
+fn merge_join_agrees_with_hash_join() {
+    let b = Session::new(skewed_catalog());
+    let hash = b
+        .builder()
+        .scan("customer")
+        .unwrap()
+        .hash_join(b.builder().scan("nation").unwrap(), "nation.nationkey", "customer.nationkey")
+        .unwrap();
+    let merge = b
+        .builder()
+        .scan("customer")
+        .unwrap()
+        .join_build(
+            b.builder().scan("nation").unwrap(),
+            "nation.nationkey",
+            "customer.nationkey",
+            qprog::plan::JoinAlgo::Merge,
+        )
+        .unwrap();
+    let n_hash = b.query_plan(hash).unwrap().collect().unwrap().len();
+    let n_merge = b.query_plan(merge).unwrap().collect().unwrap().len();
+    assert_eq!(n_hash, n_merge);
+    assert_eq!(n_hash, 20_000);
+}
+
+/// The sampling fraction changes scan order but never results.
+#[test]
+fn sampling_fraction_is_semantically_invisible() {
+    for fraction in [0.0, 0.05, 0.5, 1.0] {
+        let opts = PhysicalOptions {
+            sample_fraction: fraction,
+            ..PhysicalOptions::default()
+        };
+        let session = Session::new(skewed_catalog()).with_options(opts);
+        let rows = session
+            .query("SELECT count(*) FROM customer JOIN nation ON customer.nationkey = nation.nationkey")
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(rows[0].get(0).unwrap().as_i64().unwrap(), 20_000);
+    }
+}

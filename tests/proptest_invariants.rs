@@ -1,0 +1,355 @@
+//! Property-based invariants on the core data structures and estimators,
+//! cross-checked against brute-force models.
+
+use proptest::prelude::*;
+use qprog::core::freq_hist::FreqHist;
+use qprog::core::gee::Gee;
+use qprog::core::gnm::{PipelineProgress, ProgressSnapshot};
+use qprog::core::join_est::{OnceJoinEstimator, SymmetricJoinEstimator};
+use qprog::core::mle::mle_estimate;
+use qprog::core::pipeline_est::{AttrSource, JoinSpec, PipelineEstimator};
+use qprog_types::{Key, Row, Value};
+
+fn keys(vals: &[i64]) -> Vec<Key> {
+    vals.iter().map(|&v| Key::Int(v)).collect()
+}
+
+fn exact_join(r: &[i64], s: &[i64]) -> u64 {
+    r.iter()
+        .map(|a| s.iter().filter(|&&b| b == *a).count() as u64)
+        .sum()
+}
+
+proptest! {
+    /// FreqHist's incrementally maintained aggregates always match direct
+    /// recomputation from the raw counts.
+    #[test]
+    fn freq_hist_aggregates_consistent(vals in proptest::collection::vec(-20i64..20, 0..300)) {
+        let mut h = FreqHist::new();
+        for k in keys(&vals) {
+            h.observe(&k);
+        }
+        let direct_counts: std::collections::HashMap<i64, u64> = vals
+            .iter()
+            .fold(std::collections::HashMap::new(), |mut m, &v| {
+                *m.entry(v).or_default() += 1;
+                m
+            });
+        prop_assert_eq!(h.total(), vals.len() as u64);
+        prop_assert_eq!(h.distinct(), direct_counts.len() as u64);
+        let direct_sum_sq: u128 = direct_counts.values().map(|&c| (c as u128) * (c as u128)).sum();
+        prop_assert_eq!(h.sum_squared_counts(), direct_sum_sq);
+        let direct_singletons = direct_counts.values().filter(|&&c| c == 1).count() as u64;
+        prop_assert_eq!(h.singletons(), direct_singletons);
+        // frequency classes partition the distinct values and weight to t
+        let d: u64 = h.frequency_classes().map(|(_, f)| f).sum();
+        let t: u64 = h.frequency_classes().map(|(j, f)| j * f).sum();
+        prop_assert_eq!(d, h.distinct());
+        prop_assert_eq!(t, h.total());
+        prop_assert!(h.gamma_squared() >= 0.0);
+    }
+
+    /// The once estimator is exact once the probe stream is exhausted, for
+    /// any pair of key vectors and any probe order.
+    #[test]
+    fn once_join_exact_at_convergence(
+        r in proptest::collection::vec(-10i64..10, 0..120),
+        s in proptest::collection::vec(-10i64..10, 0..120),
+    ) {
+        let build = keys(&r);
+        let mut est = OnceJoinEstimator::from_build_keys(build.iter(), s.len() as u64);
+        for k in keys(&s) {
+            est.observe_probe(&k);
+        }
+        prop_assert!(est.converged());
+        prop_assert_eq!(est.estimate().round() as u64, exact_join(&r, &s));
+    }
+
+    /// Partial once estimates are always non-negative and scale linearly
+    /// with the assumed probe size.
+    #[test]
+    fn once_join_scaling(
+        r in proptest::collection::vec(0i64..5, 1..50),
+        s in proptest::collection::vec(0i64..5, 1..50),
+        probe_size in 1u64..10_000,
+    ) {
+        let build = keys(&r);
+        let mut est = OnceJoinEstimator::from_build_keys(build.iter(), probe_size);
+        for k in keys(&s) {
+            est.observe_probe(&k);
+        }
+        let e1 = est.estimate();
+        est.set_probe_size(probe_size * 2);
+        let e2 = est.estimate();
+        prop_assert!(e1 >= 0.0);
+        prop_assert!((e2 - 2.0 * e1).abs() < 1e-6 * (1.0 + e1));
+    }
+
+    /// The symmetric estimator agrees with brute force at full observation.
+    #[test]
+    fn symmetric_join_exact_at_convergence(
+        r in proptest::collection::vec(-5i64..5, 0..80),
+        s in proptest::collection::vec(-5i64..5, 0..80),
+    ) {
+        let mut est = SymmetricJoinEstimator::new(r.len() as u64, s.len() as u64);
+        for k in keys(&r) {
+            est.observe_r(&k);
+        }
+        for k in keys(&s) {
+            est.observe_s(&k);
+        }
+        prop_assert!(est.converged());
+        prop_assert_eq!(est.estimate().round() as u64, exact_join(&r, &s));
+    }
+
+    /// GEE and MLE never report fewer groups than observed, and both are
+    /// exact when the sample is the whole input.
+    #[test]
+    fn distinct_estimators_bounds(vals in proptest::collection::vec(0i64..40, 1..400)) {
+        let mut h = FreqHist::new();
+        let mut gee = Gee::new(vals.len() as u64);
+        for k in keys(&vals) {
+            let prior = h.observe(&k);
+            gee.observe_transition(prior);
+        }
+        let d = h.distinct() as f64;
+        prop_assert!((gee.estimate() - d).abs() < 1e-9);
+        prop_assert!((mle_estimate(&h, vals.len() as u64) - d).abs() < 1e-9);
+        // On a half-size claim of the input, estimates are ≥ observed.
+        let bigger = vals.len() as u64 * 2;
+        gee.set_input_size(bigger);
+        prop_assert!(gee.estimate() >= d - 1e-9);
+        prop_assert!(mle_estimate(&h, bigger) >= d - 1e-9);
+    }
+
+    /// gnm fractions are always within [0, 1] no matter how wrong the
+    /// estimates are.
+    #[test]
+    fn gnm_fraction_bounded(
+        states in proptest::collection::vec((0u64..1000, 0.0f64..2000.0), 0..8),
+    ) {
+        let pipelines = states
+            .iter()
+            .enumerate()
+            .map(|(i, &(done, est))| PipelineProgress::running(i, done, est))
+            .collect();
+        let snap = ProgressSnapshot::new(pipelines);
+        let f = snap.fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+
+    /// Pipeline estimator (2-join same-attribute) agrees with brute force
+    /// at convergence for arbitrary key data.
+    #[test]
+    fn pipeline_two_join_exact(
+        b0 in proptest::collection::vec(0i64..6, 0..40),
+        b1 in proptest::collection::vec(0i64..6, 0..40),
+        c in proptest::collection::vec(0i64..6, 0..40),
+    ) {
+        let specs = vec![
+            JoinSpec { build_attr_col: 0, probe_attr: AttrSource::Probe { col: 0 } };
+            2
+        ];
+        let mut est = PipelineEstimator::new(specs, c.len() as u64).unwrap();
+        let to_rows = |vals: &[i64]| -> Vec<Row> {
+            vals.iter().map(|&v| Row::new(vec![Value::Int64(v)])).collect()
+        };
+        est.feed_build(1, to_rows(&b1).iter()).unwrap();
+        est.feed_build(0, to_rows(&b0).iter()).unwrap();
+        for row in to_rows(&c) {
+            est.observe_probe(&row).unwrap();
+        }
+        // brute force
+        let lower: u64 = c
+            .iter()
+            .map(|x| b0.iter().filter(|&&v| v == *x).count() as u64)
+            .sum();
+        let upper: u64 = c
+            .iter()
+            .map(|x| {
+                (b0.iter().filter(|&&v| v == *x).count()
+                    * b1.iter().filter(|&&v| v == *x).count()) as u64
+            })
+            .sum();
+        prop_assert_eq!(est.estimate(0).round() as u64, lower);
+        prop_assert_eq!(est.estimate(1).round() as u64, upper);
+    }
+
+    /// Adaptive interval: the recomputation interval always stays within
+    /// its configured bounds.
+    #[test]
+    fn adaptive_interval_bounds(
+        l in 1u64..50,
+        u_extra in 0u64..100,
+        feedback in proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 0..50),
+    ) {
+        use qprog::core::interval::AdaptiveInterval;
+        let u = l + u_extra;
+        let mut ai = AdaptiveInterval::new(l, u, 0.05);
+        for (old, new) in feedback {
+            ai.feedback(old, new);
+            prop_assert!(ai.current_interval() >= l);
+            prop_assert!(ai.current_interval() <= u);
+        }
+    }
+}
+
+/// Join algorithm agreement on random data: hash, merge and nested-loops
+/// joins must produce identical result multisets (run outside proptest for
+/// the engine-level machinery, seeded deterministically).
+#[test]
+fn join_algorithms_agree_on_random_data() {
+    use qprog::plan::physical::{compile, PhysicalOptions};
+    use qprog::plan::JoinAlgo;
+    use qprog::prelude::*;
+
+    for seed in 0..5u64 {
+        let mut catalog = Catalog::new();
+        catalog
+            .register(qprog::datagen::customer_table("left", 800, 1.0, 60, seed))
+            .unwrap();
+        catalog
+            .register(qprog::datagen::customer_table("right", 700, 1.0, 60, seed + 100))
+            .unwrap();
+        let builder = qprog::plan::PlanBuilder::new(catalog);
+        let mut counts = Vec::new();
+        for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::NestedLoops] {
+            let plan = builder
+                .scan("right")
+                .unwrap()
+                .join_build(
+                    builder.scan("left").unwrap(),
+                    "left.nationkey",
+                    "right.nationkey",
+                    algo,
+                )
+                .unwrap();
+            let mut q = compile(&plan, &PhysicalOptions::default()).unwrap();
+            let mut rows: Vec<String> = q
+                .collect()
+                .unwrap()
+                .iter()
+                .map(|r| r.to_string())
+                .collect();
+            rows.sort();
+            counts.push(rows);
+        }
+        assert_eq!(counts[0], counts[1], "hash vs merge, seed {seed}");
+        assert_eq!(counts[0], counts[2], "hash vs nl, seed {seed}");
+    }
+}
+
+proptest! {
+    /// All four join kinds agree with brute force at probe exhaustion, for
+    /// arbitrary key vectors.
+    #[test]
+    fn join_kinds_exact_at_convergence(
+        r in proptest::collection::vec(-6i64..6, 0..60),
+        s in proptest::collection::vec(-6i64..6, 0..60),
+    ) {
+        use qprog::core::join_est::JoinKind;
+        let multiplicity = |x: i64| r.iter().filter(|&&v| v == x).count() as u64;
+        for kind in [JoinKind::Inner, JoinKind::LeftOuter, JoinKind::Semi, JoinKind::Anti] {
+            let truth: u64 = s.iter().map(|&x| kind.contribution(multiplicity(x))).sum();
+            let build = keys(&r);
+            let hist: qprog::core::freq_hist::FreqHist = build.iter().collect();
+            let mut est = OnceJoinEstimator::with_kind(hist, s.len() as u64, kind);
+            for k in keys(&s) {
+                est.observe_probe(&k);
+            }
+            prop_assert_eq!(est.estimate().round() as u64, truth, "{:?}", kind);
+        }
+    }
+
+    /// Pipeline estimator, Case 2 (derived histograms), agrees with brute
+    /// force at convergence for arbitrary two-column build data.
+    #[test]
+    fn pipeline_case2_exact(
+        b0 in proptest::collection::vec((0i64..5, 0i64..5), 0..30),
+        b1 in proptest::collection::vec(0i64..5, 0..30),
+        c in proptest::collection::vec(0i64..5, 0..30),
+    ) {
+        let specs = vec![
+            JoinSpec { build_attr_col: 0, probe_attr: AttrSource::Probe { col: 0 } },
+            JoinSpec { build_attr_col: 0, probe_attr: AttrSource::Build { join: 0, col: 1 } },
+        ];
+        let mut est = PipelineEstimator::new(specs, c.len() as u64).unwrap();
+        let b0_rows: Vec<Row> = b0
+            .iter()
+            .map(|&(x, y)| Row::new(vec![Value::Int64(x), Value::Int64(y)]))
+            .collect();
+        let b1_rows: Vec<Row> = b1.iter().map(|&y| Row::new(vec![Value::Int64(y)])).collect();
+        est.feed_build(1, b1_rows.iter()).unwrap();
+        est.feed_build(0, b0_rows.iter()).unwrap();
+        for &x in &c {
+            est.observe_probe(&Row::new(vec![Value::Int64(x)])).unwrap();
+        }
+        let lower: u64 = c
+            .iter()
+            .map(|&x| b0.iter().filter(|&&(bx, _)| bx == x).count() as u64)
+            .sum();
+        let upper: u64 = c
+            .iter()
+            .map(|&x| {
+                b0.iter()
+                    .filter(|&&(bx, _)| bx == x)
+                    .map(|&(_, by)| b1.iter().filter(|&&v| v == by).count() as u64)
+                    .sum::<u64>()
+            })
+            .sum();
+        prop_assert_eq!(est.estimate(0).round() as u64, lower);
+        prop_assert_eq!(est.estimate(1).round() as u64, upper);
+    }
+
+    /// `observe_n` is equivalent to repeated `observe` for every aggregate
+    /// the histogram maintains.
+    #[test]
+    fn freq_hist_observe_n_equivalence(
+        batches in proptest::collection::vec((0i64..10, 1u64..6), 0..60),
+    ) {
+        use qprog::core::freq_hist::FreqHist;
+        let mut bulk = FreqHist::new();
+        let mut single = FreqHist::new();
+        for &(v, n) in &batches {
+            bulk.observe_n(&Key::Int(v), n);
+            for _ in 0..n {
+                single.observe(&Key::Int(v));
+            }
+        }
+        prop_assert_eq!(bulk.total(), single.total());
+        prop_assert_eq!(bulk.distinct(), single.distinct());
+        prop_assert_eq!(bulk.sum_squared_counts(), single.sum_squared_counts());
+        prop_assert_eq!(bulk.max_frequency(), single.max_frequency());
+        let sorted = |h: &FreqHist| {
+            let mut v: Vec<_> = h.frequency_classes().collect();
+            v.sort_unstable();
+            v
+        };
+        prop_assert_eq!(sorted(&bulk), sorted(&single));
+    }
+
+    /// The disjunction estimator equals brute force for arbitrary pairs.
+    #[test]
+    fn disjunction_estimator_exact(
+        build in proptest::collection::vec((0i64..6, 0i64..6), 0..40),
+        probe in proptest::collection::vec((0i64..6, 0i64..6), 0..40),
+    ) {
+        use qprog::core::multi_est::DisjunctionJoinEstimator;
+        let bp: Vec<(Key, Key)> = build
+            .iter()
+            .map(|&(a, b)| (Key::Int(a), Key::Int(b)))
+            .collect();
+        let mut est = DisjunctionJoinEstimator::from_build_pairs(
+            bp.iter().map(|(a, b)| (a, b)),
+            probe.len() as u64,
+        );
+        for &(x, y) in &probe {
+            est.observe_probe(&Key::Int(x), &Key::Int(y));
+        }
+        let truth: u64 = probe
+            .iter()
+            .map(|&(x, y)| build.iter().filter(|&&(a, b)| a == x || b == y).count() as u64)
+            .sum();
+        prop_assert_eq!(est.estimate().round() as u64, truth);
+    }
+}
