@@ -74,7 +74,11 @@ fn ablate_join_update(rows: usize, domain: usize) {
         ]);
     }
     print_table(&["strategy", "time ms", "final estimate"], &rows_out);
-    write_csv("ablation1_join_update", &["strategy", "time_ms", "final"], &rows_out);
+    write_csv(
+        "ablation1_join_update",
+        &["strategy", "time_ms", "final"],
+        &rows_out,
+    );
 }
 
 /// Ablation 2: Algorithm 3 vs fixed recomputation intervals.
@@ -142,7 +146,13 @@ fn ablate_mle_interval(rows: usize, domain: usize) {
 fn ablate_chooser(rows: usize) {
     println!("\n[3] γ² chooser vs always-GEE vs always-MLE (error at a 10% sample)");
     let mut out = Vec::new();
-    for &(z, domain) in &[(0.0, 5_000usize), (1.0, 5_000), (2.0, 5_000), (0.0, 200), (2.0, 200)] {
+    for &(z, domain) in &[
+        (0.0, 5_000usize),
+        (1.0, 5_000),
+        (2.0, 5_000),
+        (0.0, 200),
+        (2.0, 200),
+    ] {
         let keys = nationkeys(rows, z, domain, 1);
         let truth = {
             let mut h = FreqHist::new();
@@ -166,12 +176,26 @@ fn ablate_chooser(rows: usize) {
         ]);
     }
     print_table(
-        &["config", "true groups", "chosen", "chooser err", "GEE err", "MLE err"],
+        &[
+            "config",
+            "true groups",
+            "chosen",
+            "chooser err",
+            "GEE err",
+            "MLE err",
+        ],
         &out,
     );
     write_csv(
         "ablation3_chooser",
-        &["config", "truth", "chosen", "chooser_err", "gee_err", "mle_err"],
+        &[
+            "config",
+            "truth",
+            "chosen",
+            "chooser_err",
+            "gee_err",
+            "mle_err",
+        ],
         &out,
     );
 }
@@ -210,7 +234,11 @@ fn ablate_update_cadence(rows: usize, domain: usize) {
         ]);
     }
     print_table(&["cadence", "time ms", "err@10% sample"], &out);
-    write_csv("ablation4_cadence", &["cadence", "time_ms", "err_at_10pct"], &out);
+    write_csv(
+        "ablation4_cadence",
+        &["cadence", "time_ms", "err_at_10pct"],
+        &out,
+    );
     // sanity: the symmetric estimator exists and agrees, documenting why
     // the asymmetric form is preferred
     let mut sym = SymmetricJoinEstimator::new(build.len() as u64, probe.len() as u64);

@@ -55,7 +55,11 @@ fn run_panel(label: &str, csv: &str, plan: &LogicalPlan, probe_rows: u64) {
     println!("optimizer estimate: {:.0}", plan.estimate);
     let mut per_mode = Vec::new();
     let mut truth = 0u64;
-    for mode in [EstimationMode::Once, EstimationMode::Dne, EstimationMode::Byte] {
+    for mode in [
+        EstimationMode::Once,
+        EstimationMode::Dne,
+        EstimationMode::Byte,
+    ] {
         let (samples, emitted) = sample_estimates(plan, mode, probe_rows);
         truth = emitted;
         per_mode.push(samples);
@@ -79,7 +83,12 @@ fn run_panel(label: &str, csv: &str, plan: &LogicalPlan, probe_rows: u64) {
     print_table(&["probe joined", "once", "dne", "byte"], &rows);
     write_csv(
         csv,
-        &["probe_joined_fraction", "once_ratio", "dne_ratio", "byte_ratio"],
+        &[
+            "probe_joined_fraction",
+            "once_ratio",
+            "dne_ratio",
+            "byte_ratio",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -113,9 +122,18 @@ fn main() {
     let plan = builder
         .scan("c1")
         .expect("scan")
-        .hash_join(builder.scan("c0").expect("scan"), "c0.nationkey", "c1.nationkey")
+        .hash_join(
+            builder.scan("c0").expect("scan"),
+            "c0.nationkey",
+            "c1.nationkey",
+        )
         .expect("join");
-    run_panel("a: C ⋈ C¹, z=1, large domain", "fig4a_skew_join", &plan, rows as u64);
+    run_panel(
+        "a: C ⋈ C¹, z=1, large domain",
+        "fig4a_skew_join",
+        &plan,
+        rows as u64,
+    );
 
     // (b) PK-FK join with a selection on the build side
     let mut catalog = Catalog::new();

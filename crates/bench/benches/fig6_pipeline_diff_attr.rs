@@ -20,12 +20,7 @@ const CHECKPOINTS: [f64; 8] = [0.01, 0.02, 0.05, 0.10, 0.25, 0.50, 0.75, 1.0];
 
 /// Build the estimator, replay (truth pass + measured pass), return the
 /// upper-join ratio-error per checkpoint plus the exact cardinalities.
-fn run_case(
-    specs: Vec<JoinSpec>,
-    probe: &Table,
-    b0: &Table,
-    b1: &Table,
-) -> (Vec<f64>, f64, f64) {
+fn run_case(specs: Vec<JoinSpec>, probe: &Table, b0: &Table, b1: &Table) -> (Vec<f64>, f64, f64) {
     let n = probe.num_rows() as u64;
     let full = |est: &mut PipelineEstimator| {
         for row in probe.iter() {
@@ -114,7 +109,11 @@ fn main() {
         println!("case 1, upper z={z_up}: lower truth {tl:.0}, upper truth {tu:.0}");
         case1.push((z_up, ratios));
     }
-    print_panel("a: Case 1 — key from the probe relation", "fig6a_case1", &case1);
+    print_panel(
+        "a: Case 1 — key from the probe relation",
+        "fig6a_case1",
+        &case1,
+    );
 
     // ---- Case 2: upper key comes from the lower build relation ----
     // lower build B0(custkey, nationkey) joins C on nationkey (z=1 fixed);
@@ -138,7 +137,11 @@ fn main() {
         println!("case 2, upper z={z_up}: lower truth {tl:.0}, upper truth {tu:.0}");
         case2.push((z_up, ratios));
     }
-    print_panel("b: Case 2 — key from the build relation", "fig6b_case2", &case2);
+    print_panel(
+        "b: Case 2 — key from the build relation",
+        "fig6b_case2",
+        &case2,
+    );
 
     paper_note(&[
         "paper: fast convergence of the upper-join estimate as the lower probe \

@@ -73,7 +73,10 @@ fn main() {
         "progress of TPC-H Q8 under skew: once vs dne (paper Fig. 8)",
         scale,
     );
-    println!("generating TPC-H-lite SF {} with Zipf-2 foreign keys...", scale.q8_sf());
+    println!(
+        "generating TPC-H-lite SF {} with Zipf-2 foreign keys...",
+        scale.q8_sf()
+    );
     let catalog = TpchGenerator::new(TpchConfig {
         scale: scale.q8_sf(),
         skew: 2.0,
@@ -103,7 +106,11 @@ fn main() {
         &["actual", "once_estimate", "dne_estimate"],
         &rows
             .iter()
-            .map(|r| r.iter().map(|c| c.trim_end_matches('%').to_string()).collect())
+            .map(|r| {
+                r.iter()
+                    .map(|c| c.trim_end_matches('%').to_string())
+                    .collect()
+            })
             .collect::<Vec<_>>(),
     );
     // summary: mean absolute progress error

@@ -1,8 +1,13 @@
-//! Criterion microbenchmarks for the per-tuple costs the paper's
-//! "lightweight" claim rests on: histogram maintenance, incremental join
-//! estimation, the GEE update, MLE recomputation, and the γ² read.
+//! Microbenchmarks for the per-tuple costs the paper's "lightweight"
+//! claim rests on: histogram maintenance, incremental join estimation,
+//! the GEE update, MLE recomputation, and the γ² read.
+//!
+//! Uses the workspace's own timing harness (median over repeated runs) —
+//! the workspace carries no external benchmark framework.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+
+use qprog_bench::{median_time, print_table, Scale};
 use qprog_core::confidence::z_alpha;
 use qprog_core::freq_hist::FreqHist;
 use qprog_core::gee::Gee;
@@ -19,82 +24,97 @@ fn nationkeys(rows: usize, z: f64, domain: usize, variant: u64) -> Vec<Key> {
         .collect()
 }
 
-fn bench_freq_hist(c: &mut Criterion) {
+/// Nanoseconds with thousands separators are overkill here; µs with two
+/// decimals reads best at these magnitudes.
+fn us(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e6)
+}
+
+fn main() {
+    let scale = Scale::detect();
+    let runs = if scale.full { 51 } else { 21 };
+    println!("micro: per-tuple estimator costs (median of {runs} runs)\n");
+
     let keys = nationkeys(10_000, 1.0, 1_000, 1);
-    c.bench_function("freq_hist_observe_10k", |b| {
-        b.iter_batched(
-            FreqHist::new,
-            |mut h| {
-                for k in &keys {
-                    h.observe(k);
-                }
-                h
-            },
-            BatchSize::SmallInput,
-        )
-    });
+    let mut rows = Vec::new();
+
+    rows.push(vec![
+        "freq_hist_observe_10k".to_string(),
+        us(median_time(runs, || {
+            let mut h = FreqHist::new();
+            for k in &keys {
+                h.observe(k);
+            }
+            std::hint::black_box(&h);
+        })),
+    ]);
+
     let mut full = FreqHist::new();
     for k in &keys {
         full.observe(k);
     }
-    c.bench_function("freq_hist_gamma_squared", |b| {
-        b.iter(|| std::hint::black_box(full.gamma_squared()))
-    });
-    c.bench_function("freq_hist_probe", |b| {
-        b.iter(|| std::hint::black_box(full.count(&Key::Int(500))))
-    });
-}
+    rows.push(vec![
+        "freq_hist_gamma_squared".to_string(),
+        us(median_time(runs, || {
+            std::hint::black_box(full.gamma_squared());
+        })),
+    ]);
+    rows.push(vec![
+        "freq_hist_probe".to_string(),
+        us(median_time(runs, || {
+            std::hint::black_box(full.count(&Key::Int(500)));
+        })),
+    ]);
 
-fn bench_join_estimator(c: &mut Criterion) {
     let build = nationkeys(10_000, 1.0, 1_000, 1);
     let probe = nationkeys(10_000, 1.0, 1_000, 2);
-    c.bench_function("once_join_probe_10k", |b| {
-        b.iter_batched(
-            || OnceJoinEstimator::from_build_keys(build.iter(), probe.len() as u64),
-            |mut est| {
-                for k in &probe {
-                    est.observe_probe(k);
-                }
-                est.estimate()
-            },
-            BatchSize::SmallInput,
-        )
-    });
-}
+    rows.push(vec![
+        "once_join_probe_10k".to_string(),
+        us(median_time(runs, || {
+            let mut est = OnceJoinEstimator::from_build_keys(build.iter(), probe.len() as u64);
+            for k in &probe {
+                est.observe_probe(k);
+            }
+            std::hint::black_box(est.estimate());
+        })),
+    ]);
 
-fn bench_distinct(c: &mut Criterion) {
-    let keys = nationkeys(10_000, 0.5, 2_000, 1);
-    c.bench_function("gee_update_10k", |b| {
-        b.iter_batched(
-            || (FreqHist::new(), Gee::new(10_000)),
-            |(mut h, mut g)| {
-                for k in &keys {
-                    g.observe_transition(h.observe(k));
-                }
-                g.estimate()
-            },
-            BatchSize::SmallInput,
-        )
-    });
+    let skewed = nationkeys(10_000, 0.5, 2_000, 1);
+    rows.push(vec![
+        "gee_update_10k".to_string(),
+        us(median_time(runs, || {
+            let mut h = FreqHist::new();
+            let mut g = Gee::new(10_000);
+            for k in &skewed {
+                g.observe_transition(h.observe(k));
+            }
+            std::hint::black_box(g.estimate());
+        })),
+    ]);
+
     let mut hist = FreqHist::new();
-    for k in &keys {
+    for k in &skewed {
         hist.observe(k);
     }
-    c.bench_function("mle_recompute", |b| {
-        b.iter(|| std::hint::black_box(mle_estimate(&hist, 100_000)))
-    });
-}
+    rows.push(vec![
+        "mle_recompute".to_string(),
+        us(median_time(runs, || {
+            std::hint::black_box(mle_estimate(&hist, 100_000));
+        })),
+    ]);
 
-fn bench_misc(c: &mut Criterion) {
-    c.bench_function("z_alpha", |b| b.iter(|| std::hint::black_box(z_alpha(0.99))));
-    c.bench_function("scan_order_sample_1k_blocks", |b| {
-        b.iter(|| std::hint::black_box(ScanOrder::sample_first(1_000, 0.10, 7)))
-    });
-}
+    rows.push(vec![
+        "z_alpha".to_string(),
+        us(median_time(runs, || {
+            std::hint::black_box(z_alpha(0.99));
+        })),
+    ]);
+    rows.push(vec![
+        "scan_order_sample_1k_blocks".to_string(),
+        us(median_time(runs, || {
+            std::hint::black_box(ScanOrder::sample_first(1_000, 0.10, 7));
+        })),
+    ]);
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_freq_hist, bench_join_estimator, bench_distinct, bench_misc
+    print_table(&["benchmark", "median µs"], &rows);
 }
-criterion_main!(benches);

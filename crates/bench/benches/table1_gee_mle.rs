@@ -53,7 +53,10 @@ fn run_config(rows: usize, values: usize, z: f64, mle_every: u64) -> Row1 {
         if gee_rows.is_none() && within(gee.estimate()) {
             gee_rows = Some(t);
         }
-        if mle_rows.is_none() && t.is_multiple_of(mle_every) && within(mle_estimate(&hist, rows as u64)) {
+        if mle_rows.is_none()
+            && t.is_multiple_of(mle_every)
+            && within(mle_estimate(&hist, rows as u64))
+        {
             mle_rows = Some(t);
         }
         if t == (rows as u64) / 10 {
@@ -102,12 +105,28 @@ fn main() {
         }
     }
     print_table(
-        &["#values", "z", "γ²@10%", "GEE", "MLE", "all seen", "chosen (τ=10)"],
+        &[
+            "#values",
+            "z",
+            "γ²@10%",
+            "GEE",
+            "MLE",
+            "all seen",
+            "chosen (τ=10)",
+        ],
         &table,
     );
     write_csv(
         "table1_gee_mle",
-        &["values", "z", "gamma2_at_10pct", "gee_rows", "mle_rows", "all_seen", "chosen"],
+        &[
+            "values",
+            "z",
+            "gamma2_at_10pct",
+            "gee_rows",
+            "mle_rows",
+            "all_seen",
+            "chosen",
+        ],
         &table,
     );
     paper_note(&[

@@ -17,7 +17,11 @@ fn human(bytes: usize) -> String {
 
 fn main() {
     let scale = Scale::detect();
-    banner("table2", "histogram memory overheads (paper Table 2)", scale);
+    banner(
+        "table2",
+        "histogram memory overheads (paper Table 2)",
+        scale,
+    );
     let sizes: Vec<usize> = if scale.full {
         vec![1_000, 10_000, 100_000, 1_000_000]
     } else {
@@ -40,12 +44,24 @@ fn main() {
         ]);
     }
     print_table(
-        &["#values", "mem used", "mem alloc", "used B/entry", "alloc B/entry"],
+        &[
+            "#values",
+            "mem used",
+            "mem alloc",
+            "used B/entry",
+            "alloc B/entry",
+        ],
         &rows,
     );
     write_csv(
         "table2_histogram_memory",
-        &["values", "mem_used", "mem_alloc", "used_bytes_per_entry", "alloc_bytes_per_entry"],
+        &[
+            "values",
+            "mem_used",
+            "mem_alloc",
+            "used_bytes_per_entry",
+            "alloc_bytes_per_entry",
+        ],
         &rows,
     );
     paper_note(&[

@@ -82,12 +82,30 @@ fn main() {
         }
     }
     print_table(
-        &["SF", "join", "ctx", "off ms", "once 5% ms", "ovh 5%", "once 10% ms", "ovh 10%"],
+        &[
+            "SF",
+            "join",
+            "ctx",
+            "off ms",
+            "once 5% ms",
+            "ovh 5%",
+            "once 10% ms",
+            "ovh 10%",
+        ],
         &rows,
     );
     write_csv(
         "table3_join_overhead",
-        &["sf", "join", "ctx", "off_ms", "once5_ms", "overhead5", "once10_ms", "overhead10"],
+        &[
+            "sf",
+            "join",
+            "ctx",
+            "off_ms",
+            "once5_ms",
+            "overhead5",
+            "once10_ms",
+            "overhead10",
+        ],
         &rows,
     );
     paper_note(&[

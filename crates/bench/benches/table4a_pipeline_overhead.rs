@@ -10,7 +10,9 @@ use std::sync::Arc;
 
 use qprog::plan::physical::{compile, PhysicalOptions};
 use qprog::plan::PlanBuilder;
-use qprog_bench::{banner, interleaved_min_times, ms, overhead_pct, paper_note, print_table, write_csv, Scale};
+use qprog_bench::{
+    banner, interleaved_min_times, ms, overhead_pct, paper_note, print_table, write_csv, Scale,
+};
 use qprog_core::EstimationMode;
 use qprog_datagen::{TpchConfig, TpchGenerator};
 use qprog_storage::{Catalog, Table};
@@ -113,7 +115,10 @@ fn main() {
             }
         }
     }
-    print_table(&["SF", "pipeline", "ctx", "off ms", "once ms", "overhead"], &rows);
+    print_table(
+        &["SF", "pipeline", "ctx", "off ms", "once ms", "overhead"],
+        &rows,
+    );
     write_csv(
         "table4a_pipeline_overhead",
         &["sf", "case", "ctx", "off_ms", "once_ms", "overhead"],

@@ -7,7 +7,9 @@
 
 use std::sync::Arc;
 
-use qprog_bench::{banner, interleaved_min_times, ms, overhead_pct, paper_note, print_table, write_csv, Scale};
+use qprog_bench::{
+    banner, interleaved_min_times, ms, overhead_pct, paper_note, print_table, write_csv, Scale,
+};
 use qprog_core::distinct::DistinctTracker;
 use qprog_core::interval::AdaptiveInterval;
 use qprog_datagen::{TpchConfig, TpchGenerator};
@@ -131,7 +133,15 @@ fn main() {
     }
     print_table(
         &[
-            "SF", "ctx", "off ms", "GEE ms", "ovh", "MLE ms", "ovh", "chooser ms", "ovh",
+            "SF",
+            "ctx",
+            "off ms",
+            "GEE ms",
+            "ovh",
+            "MLE ms",
+            "ovh",
+            "chooser ms",
+            "ovh",
         ],
         &rows,
     );

@@ -24,7 +24,9 @@ impl Scale {
     /// Read from the environment.
     pub fn detect() -> Self {
         Scale {
-            full: std::env::var("QPROG_FULL").map(|v| v == "1").unwrap_or(false),
+            full: std::env::var("QPROG_FULL")
+                .map(|v| v == "1")
+                .unwrap_or(false),
         }
     }
 

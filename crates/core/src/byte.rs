@@ -52,8 +52,8 @@ impl ByteEstimator {
 
     /// Record `n` input rows consumed.
     pub fn observe_input_rows(&mut self, n: u64) {
-        self.input_bytes_seen = (self.input_bytes_seen + n * self.input_row_bytes)
-            .min(self.input_bytes_total);
+        self.input_bytes_seen =
+            (self.input_bytes_seen + n * self.input_row_bytes).min(self.input_bytes_total);
     }
 
     /// Record `n` output rows emitted.

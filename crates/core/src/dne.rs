@@ -147,7 +147,7 @@ mod tests {
         e.observe_driver(10);
         e.observe_output(100);
         let early = e.estimate(); // extrapolates to 1000
-        // remaining 90 driver tuples produce nothing
+                                  // remaining 90 driver tuples produce nothing
         e.observe_driver(90);
         let late = e.estimate();
         assert!(early > 5.0 * late, "early {early} vs late {late}");

@@ -139,7 +139,11 @@ impl OnceJoinEstimator {
     /// multiplicity `N_R[key]` (NULL keys never equi-join and count as 0).
     /// The running estimate accumulates this kind's contribution function.
     pub fn observe_probe(&mut self, key: &Key) -> u64 {
-        let n = if key.is_null() { 0 } else { self.build.count(key) };
+        let n = if key.is_null() {
+            0
+        } else {
+            self.build.count(key)
+        };
         let c = self.kind.contribution(n);
         self.t += 1;
         self.sum += c as u128;

@@ -113,7 +113,9 @@ mod tests {
     #[test]
     fn monotone_convergence_toward_truth() {
         // As t grows, the estimate should approach the true count.
-        let full: Vec<i64> = (0..4000).map(|i| (i * 2654435761u64 as i64) % 200).collect();
+        let full: Vec<i64> = (0..4000)
+            .map(|i| (i * 2654435761u64 as i64) % 200)
+            .collect();
         let errors: Vec<f64> = [200usize, 800, 2000, 4000]
             .iter()
             .map(|&t| {

@@ -145,24 +145,14 @@ mod tests {
     fn brute_disjunction(build: &[(i64, i64)], probe: &[(i64, i64)]) -> u64 {
         probe
             .iter()
-            .map(|&(x, y)| {
-                build
-                    .iter()
-                    .filter(|&&(a, b)| a == x || b == y)
-                    .count() as u64
-            })
+            .map(|&(x, y)| build.iter().filter(|&&(a, b)| a == x || b == y).count() as u64)
             .sum()
     }
 
     fn brute_conjunction(build: &[(i64, i64)], probe: &[(i64, i64)]) -> u64 {
         probe
             .iter()
-            .map(|&(x, y)| {
-                build
-                    .iter()
-                    .filter(|&&(a, b)| a == x && b == y)
-                    .count() as u64
-            })
+            .map(|&(x, y)| build.iter().filter(|&&(a, b)| a == x && b == y).count() as u64)
             .sum()
     }
 
@@ -220,8 +210,7 @@ mod tests {
         // must be counted once, not twice.
         let build = [(1i64, 10i64)];
         let bp = pairs(&build);
-        let mut est =
-            DisjunctionJoinEstimator::from_build_pairs(bp.iter().map(|(a, b)| (a, b)), 1);
+        let mut est = DisjunctionJoinEstimator::from_build_pairs(bp.iter().map(|(a, b)| (a, b)), 1);
         assert_eq!(est.observe_probe(&Key::Int(1), &Key::Int(10)), 1);
     }
 
@@ -231,8 +220,7 @@ mod tests {
         // the other (SQL OR semantics with UNKNOWN treated as false).
         let build = [(1i64, 10i64)];
         let bp = pairs(&build);
-        let mut est =
-            DisjunctionJoinEstimator::from_build_pairs(bp.iter().map(|(a, b)| (a, b)), 3);
+        let mut est = DisjunctionJoinEstimator::from_build_pairs(bp.iter().map(|(a, b)| (a, b)), 3);
         assert_eq!(est.observe_probe(&Key::Null, &Key::Int(10)), 1);
         assert_eq!(est.observe_probe(&Key::Int(1), &Key::Null), 1);
         assert_eq!(est.observe_probe(&Key::Null, &Key::Null), 0);

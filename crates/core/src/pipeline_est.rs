@@ -132,7 +132,9 @@ impl PipelineEstimator {
     /// would double-count).
     pub fn new(specs: Vec<JoinSpec>, probe_size: u64) -> QResult<Self> {
         if specs.is_empty() {
-            return Err(QError::estimation("pipeline must contain at least one join"));
+            return Err(QError::estimation(
+                "pipeline must contain at least one join",
+            ));
         }
         let mut used_sources = std::collections::HashSet::new();
         for (u, s) in specs.iter().enumerate() {
@@ -450,9 +452,7 @@ mod tests {
             for (pi, chosen) in &current {
                 let probe_key = match spec.probe_attr {
                     AttrSource::Probe { col } => probe[*pi].key(col).unwrap(),
-                    AttrSource::Build { join, col } => {
-                        builds[join][chosen[join]].key(col).unwrap()
-                    }
+                    AttrSource::Build { join, col } => builds[join][chosen[join]].key(col).unwrap(),
                 };
                 if probe_key.is_null() {
                     continue;
@@ -472,11 +472,7 @@ mod tests {
         sizes
     }
 
-    fn run_pipeline(
-        probe: &[Row],
-        builds: &[Vec<Row>],
-        specs: Vec<JoinSpec>,
-    ) -> PipelineEstimator {
+    fn run_pipeline(probe: &[Row], builds: &[Vec<Row>], specs: Vec<JoinSpec>) -> PipelineEstimator {
         let mut est = PipelineEstimator::new(specs, probe.len() as u64).unwrap();
         for j in (0..builds.len()).rev() {
             est.feed_build(j, builds[j].iter()).unwrap();
@@ -496,7 +492,7 @@ mod tests {
             build_attr_col: 0,
             probe_attr: AttrSource::Probe { col: 0 },
         }];
-        let est = run_pipeline(&probe, &[build.clone()], specs.clone());
+        let est = run_pipeline(&probe, std::slice::from_ref(&build), specs.clone());
         let truth = brute_force(&probe, &[build], &specs);
         assert!(est.converged());
         assert_eq!(est.estimate(0).round() as u64, truth[0]);
@@ -526,13 +522,13 @@ mod tests {
             3
         ];
         let truth = brute_force(&probe, &builds, &specs);
-        for u in 0..3 {
+        for (u, &t) in truth.iter().enumerate() {
             assert_eq!(
                 est.estimate(u).round() as u64,
-                truth[u],
+                t,
                 "join {u}: estimate {} vs truth {}",
                 est.estimate(u),
-                truth[u]
+                t
             );
         }
     }
@@ -644,8 +640,8 @@ mod tests {
         let builds = vec![b0, b1, b2];
         let est = run_pipeline(&probe, &builds, specs.clone());
         let truth = brute_force(&probe, &builds, &specs);
-        for u in 0..3 {
-            assert_eq!(est.estimate(u).round() as u64, truth[u], "join {u}");
+        for (u, &t) in truth.iter().enumerate() {
+            assert_eq!(est.estimate(u).round() as u64, t, "join {u}");
         }
     }
 

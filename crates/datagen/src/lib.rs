@@ -62,16 +62,14 @@ pub fn skewed_key_table(
     domain: usize,
     variant: u64,
 ) -> Table {
-    let mut t = Table::new(
-        name,
-        Schema::new(vec![Field::new(col, DataType::Int64)]),
-    );
+    let mut t = Table::new(name, Schema::new(vec![Field::new(col, DataType::Int64)]));
     let sampler = ZipfSampler::new(domain, z);
     let mapper = RankMapper::new(domain, variant);
     let mut rng = StdRng::seed_from_u64(0xBEEF_0000 ^ variant.wrapping_mul(0x51_7C_C1));
     for _ in 0..rows {
         let rank = sampler.sample_rank(&mut rng);
-        t.push(row![mapper.value_of(rank) as i64]).expect("valid row");
+        t.push(row![mapper.value_of(rank) as i64])
+            .expect("valid row");
     }
     t
 }
@@ -87,7 +85,8 @@ pub fn nation_table(name: &str, domain: usize) -> Table {
         ]),
     );
     for i in 0..domain {
-        t.push(row![i as i64, format!("nation{i}")]).expect("valid row");
+        t.push(row![i as i64, format!("nation{i}")])
+            .expect("valid row");
     }
     t
 }
@@ -153,7 +152,9 @@ mod tests {
             let t = customer_table("c", 5000, 2.0, 100, variant);
             let mut counts: HashMap<i64, usize> = HashMap::new();
             for r in t.iter() {
-                *counts.entry(r.get(1).unwrap().as_i64().unwrap()).or_default() += 1;
+                *counts
+                    .entry(r.get(1).unwrap().as_i64().unwrap())
+                    .or_default() += 1;
             }
             counts.into_iter().max_by_key(|(_, c)| *c).unwrap().0
         };
@@ -172,7 +173,10 @@ mod tests {
             counts[r.get(1).unwrap().as_i64().unwrap() as usize] += 1;
         }
         for (v, &c) in counts.iter().enumerate() {
-            assert!((1600..=2400).contains(&c), "value {v} count {c}, expected ~2000");
+            assert!(
+                (1600..=2400).contains(&c),
+                "value {v} count {c}, expected ~2000"
+            );
         }
     }
 

@@ -24,7 +24,8 @@ impl RankMapper {
         assert!(n <= u32::MAX as usize, "domain too large");
         let mut forward: Vec<u32> = (0..n as u32).collect();
         if variant != 0 {
-            let mut rng = StdRng::seed_from_u64(0x0FAC_E0FF ^ variant.wrapping_mul(0x2545F4914F6CDD1D));
+            let mut rng =
+                StdRng::seed_from_u64(0x0FAC_E0FF ^ variant.wrapping_mul(0x2545F4914F6CDD1D));
             forward.shuffle(&mut rng);
         }
         RankMapper { forward }

@@ -117,7 +117,8 @@ impl TpchGenerator {
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x51);
         let mut nation_fk = self.fk_sampler(NATIONS, 11);
         for i in 0..n {
-            t.push(row![i as i64, nation_fk(&mut rng)]).expect("valid row");
+            t.push(row![i as i64, nation_fk(&mut rng)])
+                .expect("valid row");
         }
         t
     }
@@ -135,7 +136,8 @@ impl TpchGenerator {
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0xC5);
         let mut nation_fk = self.fk_sampler(NATIONS, 12);
         for i in 0..n {
-            t.push(row![i as i64, nation_fk(&mut rng)]).expect("valid row");
+            t.push(row![i as i64, nation_fk(&mut rng)])
+                .expect("valid row");
         }
         t
     }
@@ -152,7 +154,8 @@ impl TpchGenerator {
         );
         const TYPES: [&str; 5] = ["ECONOMY", "STANDARD", "MEDIUM", "LARGE", "PROMO"];
         for i in 0..n {
-            t.push(row![i as i64, TYPES[i % TYPES.len()]]).expect("valid row");
+            t.push(row![i as i64, TYPES[i % TYPES.len()]])
+                .expect("valid row");
         }
         t
     }
@@ -173,7 +176,8 @@ impl TpchGenerator {
         let mut cust_fk = self.fk_sampler(customers, 13);
         for i in 0..n {
             let year = 1992 + rng.random_range(0..7i64);
-            t.push(row![i as i64, cust_fk(&mut rng), year]).expect("valid row");
+            t.push(row![i as i64, cust_fk(&mut rng), year])
+                .expect("valid row");
         }
         t
     }
@@ -268,7 +272,9 @@ mod tests {
     fn catalog_registers_all_tables() {
         let c = tiny().catalog().unwrap();
         assert_eq!(c.len(), 7);
-        for t in ["region", "nation", "supplier", "customer", "part", "orders", "lineitem"] {
+        for t in [
+            "region", "nation", "supplier", "customer", "part", "orders", "lineitem",
+        ] {
             assert!(c.table(t).is_ok(), "{t}");
         }
     }
@@ -288,7 +294,9 @@ mod tests {
         let top_share = |t: &Table| {
             let mut counts: HashMap<i64, usize> = HashMap::new();
             for r in t.iter() {
-                *counts.entry(r.get(1).unwrap().as_i64().unwrap()).or_default() += 1;
+                *counts
+                    .entry(r.get(1).unwrap().as_i64().unwrap())
+                    .or_default() += 1;
             }
             *counts.values().max().unwrap() as f64 / t.num_rows() as f64
         };

@@ -25,6 +25,8 @@ pub mod expr;
 pub mod metrics;
 pub mod ops;
 pub mod runtime;
+pub mod sync;
+pub mod trace;
 
 pub use expr::{BinOp, Expr};
 pub use metrics::{MetricsRegistry, OpMetrics};

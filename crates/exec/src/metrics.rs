@@ -11,6 +11,45 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use crate::trace::{EstimateSource, EventBus, Phase, TraceEventKind};
+
+/// Relative change in `N_i` below which an estimate refinement is *not*
+/// traced. Keeps the event stream bounded when baselines (dne/byte) nudge
+/// the estimate every driver tuple while still capturing every material
+/// refinement.
+pub const TRACE_REFINE_REL_EPS: f64 = 0.01;
+
+/// Per-operator tracing state: the bus, this operator's registry index, and
+/// the last estimate/bounds values actually published as events (f64 bit
+/// patterns, NaN = never published).
+#[derive(Debug)]
+struct TraceHandle {
+    bus: Arc<EventBus>,
+    op: u32,
+    last_estimate: AtomicU64,
+    last_lo: AtomicU64,
+    last_hi: AtomicU64,
+}
+
+impl TraceHandle {
+    fn new(bus: Arc<EventBus>, op: u32) -> Self {
+        TraceHandle {
+            bus,
+            op,
+            last_estimate: AtomicU64::new(f64::NAN.to_bits()),
+            last_lo: AtomicU64::new(f64::NAN.to_bits()),
+            last_hi: AtomicU64::new(f64::NAN.to_bits()),
+        }
+    }
+
+    /// Whether `new` differs from the last traced value by more than
+    /// [`TRACE_REFINE_REL_EPS`] (always true for the first publication).
+    fn materially_different(last_bits: &AtomicU64, new: f64) -> bool {
+        let last = f64::from_bits(last_bits.load(Ordering::Relaxed));
+        !last.is_finite() || (new - last).abs() > TRACE_REFINE_REL_EPS * last.abs().max(1.0)
+    }
+}
+
 /// Counters for a single operator.
 #[derive(Debug, Default)]
 pub struct OpMetrics {
@@ -27,12 +66,40 @@ pub struct OpMetrics {
     driver_consumed: AtomicU64,
     /// Set once the operator has returned `None`.
     finished: AtomicBool,
+    /// Trace publication state; `None` (the default) makes every trace hook
+    /// a single branch.
+    trace: Option<TraceHandle>,
 }
 
 impl OpMetrics {
     /// Fresh counters with an initial (optimizer) total estimate.
     pub fn with_initial_estimate(estimate: f64) -> Arc<Self> {
-        let m = OpMetrics::default();
+        OpMetrics::build(estimate, None)
+    }
+
+    /// Fresh counters that additionally publish [`TraceEventKind`] events
+    /// for estimate refinements and phase transitions to `bus`, identifying
+    /// this operator as registry index `op`. The initial optimizer estimate
+    /// is traced immediately (with `old = NaN`).
+    pub fn with_initial_estimate_traced(estimate: f64, bus: Arc<EventBus>, op: u32) -> Arc<Self> {
+        OpMetrics::build(estimate, Some(TraceHandle::new(bus, op)))
+    }
+
+    fn build(estimate: f64, trace: Option<TraceHandle>) -> Arc<Self> {
+        let m = OpMetrics {
+            trace,
+            ..OpMetrics::default()
+        };
+        if let Some(t) = &m.trace {
+            t.last_estimate
+                .store(estimate.max(0.0).to_bits(), Ordering::Relaxed);
+            t.bus.publish(TraceEventKind::EstimateRefined {
+                op: t.op,
+                old: f64::NAN,
+                new: estimate.max(0.0),
+                source: EstimateSource::Optimizer,
+            });
+        }
         m.set_estimated_total(estimate);
         m.estimated_lo.store(f64::NAN.to_bits(), Ordering::Relaxed);
         m.estimated_hi.store(f64::NAN.to_bits(), Ordering::Relaxed);
@@ -40,10 +107,25 @@ impl OpMetrics {
     }
 
     /// Publish a confidence interval around the current `N_i` estimate
-    /// (§4.1's `β`-style guarantees, surfaced to progress monitors).
+    /// (§4.1's `β`-style guarantees, surfaced to progress monitors). An
+    /// inverted interval (`lo > hi`, e.g. from an estimator bug or a caller
+    /// mixing up arguments) is repaired by swapping the endpoints so
+    /// [`estimated_bounds`](Self::estimated_bounds) never returns `lo > hi`.
     pub fn set_estimated_bounds(&self, lo: f64, hi: f64) {
-        self.estimated_lo.store(lo.max(0.0).to_bits(), Ordering::Relaxed);
-        self.estimated_hi.store(hi.max(0.0).to_bits(), Ordering::Relaxed);
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let (lo, hi) = (lo.max(0.0), hi.max(0.0));
+        self.estimated_lo.store(lo.to_bits(), Ordering::Relaxed);
+        self.estimated_hi.store(hi.to_bits(), Ordering::Relaxed);
+        if let Some(t) = &self.trace {
+            if TraceHandle::materially_different(&t.last_lo, lo)
+                || TraceHandle::materially_different(&t.last_hi, hi)
+            {
+                t.last_lo.store(lo.to_bits(), Ordering::Relaxed);
+                t.last_hi.store(hi.to_bits(), Ordering::Relaxed);
+                t.bus
+                    .publish(TraceEventKind::BoundsRefined { op: t.op, lo, hi });
+            }
+        }
     }
 
     /// The published confidence bounds on `N_i`, if any; both are clamped
@@ -77,15 +159,56 @@ impl OpMetrics {
     /// Publish a new estimate of the lifetime total `N_i`.
     #[inline]
     pub fn set_estimated_total(&self, estimate: f64) {
+        let estimate = estimate.max(0.0);
         self.estimated_total
-            .store(estimate.max(0.0).to_bits(), Ordering::Relaxed);
+            .store(estimate.to_bits(), Ordering::Relaxed);
+        if let Some(t) = &self.trace {
+            if !self.is_finished() && TraceHandle::materially_different(&t.last_estimate, estimate)
+            {
+                let old = f64::from_bits(t.last_estimate.load(Ordering::Relaxed));
+                t.last_estimate.store(estimate.to_bits(), Ordering::Relaxed);
+                t.bus.publish(TraceEventKind::EstimateRefined {
+                    op: t.op,
+                    old,
+                    new: estimate,
+                    source: EstimateSource::Online,
+                });
+            }
+        }
     }
 
     /// Mark the operator finished (its `N_i` is now exactly `K_i`).
     pub fn mark_finished(&self) {
-        self.finished.store(true, Ordering::Relaxed);
+        let first = !self.finished.swap(true, Ordering::Relaxed);
         let k = self.emitted();
         self.set_estimated_total(k as f64);
+        if first {
+            if let Some(t) = &self.trace {
+                let old = f64::from_bits(t.last_estimate.load(Ordering::Relaxed));
+                t.last_estimate
+                    .store((k as f64).to_bits(), Ordering::Relaxed);
+                t.bus.publish(TraceEventKind::EstimateRefined {
+                    op: t.op,
+                    old,
+                    new: k as f64,
+                    source: EstimateSource::Exact,
+                });
+                t.bus.publish(TraceEventKind::OperatorFinished {
+                    op: t.op,
+                    emitted: k,
+                });
+            }
+        }
+    }
+
+    /// Trace a phase boundary crossing (no-op without an attached bus).
+    /// Operators call this at blocking-phase transitions only — never per
+    /// tuple.
+    pub fn trace_phase(&self, from: Phase, to: Phase) {
+        if let Some(t) = &self.trace {
+            t.bus
+                .publish(TraceEventKind::PhaseTransition { op: t.op, from, to });
+        }
     }
 
     /// `K_i`: tuples emitted so far.
@@ -114,6 +237,9 @@ impl OpMetrics {
 #[derive(Debug, Default, Clone)]
 pub struct MetricsRegistry {
     entries: Vec<(String, Arc<OpMetrics>)>,
+    /// When set, every subsequently registered operator publishes trace
+    /// events to this bus under its registry index.
+    bus: Option<Arc<EventBus>>,
 }
 
 impl MetricsRegistry {
@@ -122,9 +248,29 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
+    /// An empty registry whose operators will trace to `bus`.
+    pub fn traced(bus: Arc<EventBus>) -> Self {
+        MetricsRegistry {
+            entries: Vec::new(),
+            bus: Some(bus),
+        }
+    }
+
+    /// The attached event bus, if any.
+    pub fn bus(&self) -> Option<&Arc<EventBus>> {
+        self.bus.as_ref()
+    }
+
     /// Register an operator; returns its metrics handle.
     pub fn register(&mut self, name: impl Into<String>, initial_estimate: f64) -> Arc<OpMetrics> {
-        let m = OpMetrics::with_initial_estimate(initial_estimate);
+        let m = match &self.bus {
+            Some(bus) => OpMetrics::with_initial_estimate_traced(
+                initial_estimate,
+                Arc::clone(bus),
+                self.entries.len() as u32,
+            ),
+            None => OpMetrics::with_initial_estimate(initial_estimate),
+        };
         self.entries.push((name.into(), Arc::clone(&m)));
         m
     }

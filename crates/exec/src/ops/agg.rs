@@ -11,13 +11,14 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use qprog_core::distinct::DistinctTracker;
 use qprog_types::{CompositeKey, DataType, QError, QResult, Row, SchemaRef, Value};
 
 use crate::metrics::OpMetrics;
 use crate::ops::sort::{compare_rows, SortKey};
 use crate::ops::{BoxedOp, Operator};
+use crate::trace::Phase;
 
 /// Aggregate functions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,7 +86,10 @@ impl Acc {
                     sum: 0.0,
                     seen: false,
                 },
-                _ => Acc::SumI { sum: 0, seen: false },
+                _ => Acc::SumI {
+                    sum: 0,
+                    seen: false,
+                },
             },
             AggFunc::Min => Acc::Min(None),
             AggFunc::Max => Acc::Max(None),
@@ -291,6 +295,7 @@ impl HashAggregate {
     }
 
     fn consume(&mut self) -> QResult<Vec<Row>> {
+        self.metrics.trace_phase(Phase::Init, Phase::Accumulate);
         let input_schema = self.input.schema();
         let input_types: Vec<Option<DataType>> = self
             .aggs
@@ -376,6 +381,7 @@ impl Operator for HashAggregate {
             match &mut self.state {
                 AState::Consuming => {
                     let rows = self.consume()?;
+                    self.metrics.trace_phase(Phase::Accumulate, Phase::Emit);
                     self.state = AState::Emitting {
                         rows: rows.into_iter(),
                     };
@@ -514,7 +520,8 @@ mod tests {
                 Field::new("v", DataType::Int64).with_nullable(true),
             ]),
         );
-        t.push(TRow::new(vec![Value::Int64(1), Value::Null])).unwrap();
+        t.push(TRow::new(vec![Value::Int64(1), Value::Null]))
+            .unwrap();
         t.push(TRow::new(vec![Value::Int64(1), Value::Int64(4)]))
             .unwrap();
         let scan: BoxedOp = Box::new(TableScan::new(

@@ -22,7 +22,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use qprog_core::byte::ByteEstimator;
 use qprog_core::distinct::DistinctTracker;
 use qprog_core::dne::DneEstimator;
@@ -33,6 +33,7 @@ use qprog_types::{Key, QError, QResult, Row, SchemaRef};
 
 use crate::metrics::OpMetrics;
 use crate::ops::{partition_of, BoxedOp, Operator, PUBLISH_EVERY};
+use crate::trace::Phase;
 
 /// Default number of grace partitions.
 pub const DEFAULT_PARTITIONS: usize = 16;
@@ -233,6 +234,7 @@ impl HashJoin {
         self.probe_parts = (0..self.num_partitions).map(|_| Vec::new()).collect();
 
         // ---- Build phase ----
+        self.metrics.trace_phase(Phase::Init, Phase::Build);
         let mut build_hist = match self.estimation {
             JoinEstimation::Once { .. } => Some(FreqHist::new()),
             _ => None,
@@ -275,6 +277,7 @@ impl HashJoin {
         }
 
         // ---- Probe partitioning phase ----
+        self.metrics.trace_phase(Phase::Build, Phase::Probe);
         // Estimates are published (and the push-down tracker's input size
         // refreshed) in batches: per-tuple publication is measurable
         // overhead for a monitor that polls far less often anyway.
@@ -325,7 +328,9 @@ impl HashJoin {
             self.metrics
                 .set_estimated_bounds(once.estimate(), once.estimate());
             if let Some(tracker) = &self.agg_pushdown {
-                tracker.lock().set_input_size(once.estimate().round() as u64);
+                tracker
+                    .lock()
+                    .set_input_size(once.estimate().round() as u64);
             }
         }
         if let JoinEstimation::Pipeline { handle, lowest, .. } = &self.estimation {
@@ -354,6 +359,7 @@ impl HashJoin {
             _ => {}
         }
 
+        self.metrics.trace_phase(Phase::Probe, Phase::PartitionJoin);
         self.state = JState::Joining {
             part: 0,
             table: HashMap::new(),
@@ -379,7 +385,6 @@ impl HashJoin {
         };
         Ok(())
     }
-
 }
 
 /// Baseline bookkeeping for one probe row consumed in the join pass.
@@ -460,9 +465,7 @@ impl Operator for HashJoin {
                                 *pending = Some((matches, probe_row, 0));
                                 None
                             }
-                            (JoinKind::LeftOuter, true) => {
-                                Some(self.null_pad.concat(&probe_row))
-                            }
+                            (JoinKind::LeftOuter, true) => Some(self.null_pad.concat(&probe_row)),
                             (JoinKind::Semi, false) | (JoinKind::Anti, true) => Some(probe_row),
                             _ => None,
                         };
@@ -789,25 +792,18 @@ mod tests {
         t.push(Row::new(vec![Value::Int64(1)])).unwrap();
         let t = t.into_shared();
         for (kind, expect) in [
-            (JoinKind::Inner, 1usize),     // only 1=1
-            (JoinKind::Semi, 1),           // the matching row
-            (JoinKind::Anti, 1),           // the NULL row (no match)
-            (JoinKind::LeftOuter, 2),      // match + padded NULL row
+            (JoinKind::Inner, 1usize), // only 1=1
+            (JoinKind::Semi, 1),       // the matching row
+            (JoinKind::Anti, 1),       // the NULL row (no match)
+            (JoinKind::LeftOuter, 2),  // match + padded NULL row
         ] {
             let probe: BoxedOp = Box::new(TableScan::new(
                 Arc::clone(&t),
                 OpMetrics::with_initial_estimate(0.0),
             ));
             let m = OpMetrics::with_initial_estimate(0.0);
-            let mut j = HashJoin::new(
-                scan1("r", &[1, 2]),
-                probe,
-                0,
-                0,
-                JoinEstimation::Off,
-                m,
-            )
-            .with_join_kind(kind);
+            let mut j = HashJoin::new(scan1("r", &[1, 2]), probe, 0, 0, JoinEstimation::Off, m)
+                .with_join_kind(kind);
             assert_eq!(drain(&mut j).len(), expect, "{kind:?}");
         }
     }
@@ -817,15 +813,8 @@ mod tests {
         let r = [1i64, 2];
         let s = [2i64, 1];
         let m = OpMetrics::with_initial_estimate(0.0);
-        let mut j = HashJoin::new(
-            scan1("r", &r),
-            scan1("s", &s),
-            0,
-            0,
-            JoinEstimation::Off,
-            m,
-        )
-        .with_partitions(1);
+        let mut j = HashJoin::new(scan1("r", &r), scan1("s", &s), 0, 0, JoinEstimation::Off, m)
+            .with_partitions(1);
         assert_eq!(drain(&mut j).len(), 2);
     }
 
@@ -843,7 +832,14 @@ mod tests {
         assert!(j.next().unwrap().is_none());
         assert_eq!(m.estimated_total(), 0.0);
         let m2 = OpMetrics::with_initial_estimate(0.0);
-        let mut j = HashJoin::new(scan1("r", &[1]), scan1("s", &[]), 0, 0, JoinEstimation::Off, m2);
+        let mut j = HashJoin::new(
+            scan1("r", &[1]),
+            scan1("s", &[]),
+            0,
+            0,
+            JoinEstimation::Off,
+            m2,
+        );
         assert!(j.next().unwrap().is_none());
     }
 }

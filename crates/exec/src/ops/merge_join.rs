@@ -20,13 +20,16 @@ use qprog_types::{QError, QResult, Row, SchemaRef};
 use crate::metrics::OpMetrics;
 use crate::ops::hash_join::PipelineHandle;
 use crate::ops::{BoxedOp, Operator, PUBLISH_EVERY};
+use crate::trace::Phase;
 
 /// Estimation strategy for a sort-merge join.
 pub enum MergeJoinEstimation {
     Off,
     /// The paper's framework; `probe_size_hint` is the right input's known
     /// or estimated size.
-    Once { probe_size_hint: u64 },
+    Once {
+        probe_size_hint: u64,
+    },
     /// Algorithm-1 push-down for a chain of sort-merge joins (§4.1.4.3):
     /// each join's left-sort phase feeds the shared estimator's build for
     /// `join_index`; the lowest join's right-sort consume drives probing.
@@ -36,7 +39,9 @@ pub enum MergeJoinEstimation {
         lowest: bool,
     },
     /// Driver-node baseline (driver = right rows consumed by the merge).
-    Dne { optimizer_estimate: f64 },
+    Dne {
+        optimizer_estimate: f64,
+    },
     /// Byte-model baseline.
     Byte {
         optimizer_estimate: f64,
@@ -113,6 +118,7 @@ impl MergeJoin {
             .ok_or_else(|| QError::internal("merge join right input consumed twice"))?;
 
         // Sort left (R): every tuple is seen before output → histogram.
+        self.metrics.trace_phase(Phase::Init, Phase::SortInput);
         let mut hist = match self.estimation {
             MergeJoinEstimation::Once { .. } => Some(FreqHist::new()),
             _ => None,
@@ -208,6 +214,7 @@ impl MergeJoin {
             }
             _ => {}
         }
+        self.metrics.trace_phase(Phase::SortInput, Phase::Merge);
         self.state = MState::Merging {
             li: 0,
             ri: 0,
@@ -485,9 +492,9 @@ mod tests {
 
     #[test]
     fn pipeline_mode_two_merge_joins_same_attribute() {
-        use parking_lot::Mutex;
-        use qprog_core::pipeline_est::PipelineEstimator;
         use crate::ops::hash_join::PipelineShared;
+        use crate::sync::Mutex;
+        use qprog_core::pipeline_est::PipelineEstimator;
         use std::sync::Arc;
 
         let a = [1i64, 1, 2];

@@ -187,12 +187,8 @@ mod tests {
         let m = OpMetrics::with_initial_estimate(0.0);
         // r.k < s.k: concatenated row cols are (outer=0, inner=1)
         let pred = Expr::binary(BinOp::Lt, Expr::col(0), Expr::col(1));
-        let mut j = NestedLoopsJoin::new(
-            scan1("r", &r),
-            scan1("s", &s),
-            NlCondition::Theta(pred),
-            m,
-        );
+        let mut j =
+            NestedLoopsJoin::new(scan1("r", &r), scan1("s", &s), NlCondition::Theta(pred), m);
         let rows = drain(&mut j);
         assert_eq!(rows.len(), 2); // (1,2), (1,3)
     }
@@ -257,12 +253,8 @@ mod tests {
     #[test]
     fn empty_inner() {
         let m = OpMetrics::with_initial_estimate(0.0);
-        let mut j = NestedLoopsJoin::new(
-            scan1("r", &[1, 2]),
-            scan1("s", &[]),
-            NlCondition::Cross,
-            m,
-        );
+        let mut j =
+            NestedLoopsJoin::new(scan1("r", &[1, 2]), scan1("s", &[]), NlCondition::Cross, m);
         assert!(j.next().unwrap().is_none());
     }
 }

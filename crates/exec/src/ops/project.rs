@@ -22,7 +22,12 @@ pub struct Project {
 
 impl Project {
     /// New projection.
-    pub fn new(input: BoxedOp, exprs: Vec<Expr>, schema: SchemaRef, metrics: Arc<OpMetrics>) -> Self {
+    pub fn new(
+        input: BoxedOp,
+        exprs: Vec<Expr>,
+        schema: SchemaRef,
+        metrics: Arc<OpMetrics>,
+    ) -> Self {
         Project {
             input,
             exprs,

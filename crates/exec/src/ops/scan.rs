@@ -35,12 +35,7 @@ impl TableScan {
     }
 
     /// Sample-first scan delivering a `fraction` block sample first.
-    pub fn sampled(
-        table: Arc<Table>,
-        fraction: f64,
-        seed: u64,
-        metrics: Arc<OpMetrics>,
-    ) -> Self {
+    pub fn sampled(table: Arc<Table>, fraction: f64, seed: u64, metrics: Arc<OpMetrics>) -> Self {
         let order = ScanOrder::for_table(&table, fraction, seed);
         TableScan::with_order(table, order, metrics)
     }

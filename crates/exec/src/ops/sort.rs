@@ -12,6 +12,7 @@ use qprog_types::{QResult, Row, SchemaRef};
 
 use crate::metrics::OpMetrics;
 use crate::ops::{BoxedOp, Operator};
+use crate::trace::Phase;
 
 /// Sort keys: column index and direction.
 #[derive(Debug, Clone, Copy)]
@@ -83,12 +84,14 @@ impl Operator for Sort {
         loop {
             match &mut self.state {
                 State::Consuming => {
+                    self.metrics.trace_phase(Phase::Init, Phase::SortInput);
                     let mut rows = Vec::new();
                     while let Some(r) = self.input.next()? {
                         self.metrics.record_driver(1);
                         rows.push(r);
                     }
                     rows.sort_by(|a, b| compare_rows(a, b, &self.keys));
+                    self.metrics.trace_phase(Phase::SortInput, Phase::Emit);
                     self.state = State::Emitting {
                         rows: rows.into_iter(),
                     };

@@ -16,6 +16,7 @@ use crate::metrics::OpMetrics;
 use crate::ops::agg::{AggEstimation, AggSpec};
 use crate::ops::sort::{compare_rows, SortKey};
 use crate::ops::{BoxedOp, Operator};
+use crate::trace::Phase;
 
 enum SState {
     Consuming,
@@ -80,6 +81,7 @@ impl SortAggregate {
             .collect();
 
         // Sort phase: consume the whole input, estimating as we go.
+        self.metrics.trace_phase(Phase::Init, Phase::Accumulate);
         let mut rows: Vec<Row> = Vec::new();
         while let Some(row) = self.input.next()? {
             self.metrics.record_driver(1);
@@ -102,12 +104,7 @@ impl SortAggregate {
         rows.sort_by(|a, b| compare_rows(a, b, &sort_keys));
 
         // Scan phase: runs of equal group keys become output rows.
-        let out = accumulate_sorted_groups(
-            &rows,
-            &self.group_cols,
-            &self.aggs,
-            &input_types,
-        )?;
+        let out = accumulate_sorted_groups(&rows, &self.group_cols, &self.aggs, &input_types)?;
         self.metrics.set_estimated_total(out.len() as f64);
         Ok(out)
     }
@@ -128,6 +125,7 @@ impl Operator for SortAggregate {
             match &mut self.state {
                 SState::Consuming => {
                     let rows = self.consume()?;
+                    self.metrics.trace_phase(Phase::Accumulate, Phase::Emit);
                     self.state = SState::Emitting {
                         rows: rows.into_iter(),
                     };

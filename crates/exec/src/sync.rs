@@ -1,0 +1,62 @@
+//! Thin synchronization wrappers over `std::sync`.
+//!
+//! The engine previously used `parking_lot`; this module keeps its ergonomic
+//! `lock()` (no `Result`) on top of `std::sync::Mutex` so the workspace has
+//! no external dependencies. Poisoning is deliberately ignored: estimator
+//! state is only ever mutated under short, panic-free critical sections, and
+//! a panicking query thread aborts the query anyway — a monitor reading
+//! slightly stale estimates afterwards is harmless.
+
+use std::sync::MutexGuard;
+
+/// A mutual-exclusion lock with `parking_lot`-style ergonomics
+/// (`lock()` returns the guard directly, recovering from poison).
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Wrap `value` in a new mutex.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquire the lock, blocking the current thread.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Consume the mutex and return the inner value.
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_round_trip() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn survives_poisoning() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison the lock");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7);
+    }
+}

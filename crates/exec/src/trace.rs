@@ -1,0 +1,286 @@
+//! Execution event tracing: the engine-side port of the observability
+//! subsystem.
+//!
+//! Operators publish [`TraceEvent`]s through an [`EventBus`] at **phase
+//! boundaries and estimate refinements only** — never per tuple — so the
+//! paper's "couple of relaxed atomics per `getnext()`" cost model is
+//! preserved. The bus itself is immutable after construction (no locks on
+//! the publish path); sinks decide what to do with each event. The
+//! higher-level sinks (bounded ring buffer, JSONL writer, progress
+//! validator) and the timeline/EXPLAIN ANALYZE consumers live in the
+//! `qprog-obs` crate; this module only defines the event taxonomy, the sink
+//! trait, and the bus so the executor does not depend on the observability
+//! stack.
+//!
+//! With no bus attached (the default), tracing costs a single `Option`
+//! check at each *already amortized* publication site — the overhead
+//! benches (`table3`/`table4a`) run in exactly this configuration.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Execution phase of a blocking operator, as exposed in
+/// [`TraceEventKind::PhaseTransition`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Not yet started (the implicit phase before the first transition).
+    Init,
+    /// Hash join: draining + partitioning the build input.
+    Build,
+    /// Hash join: draining + partitioning the probe input (where `once`
+    /// estimation converges, §4.1.1).
+    Probe,
+    /// Hash join: partition-wise joining (output production).
+    PartitionJoin,
+    /// Merge join / sort: consuming and sorting an input.
+    SortInput,
+    /// Merge join: merging the sorted runs.
+    Merge,
+    /// Aggregation: consuming the input into groups.
+    Accumulate,
+    /// Producing output rows (generic final phase).
+    Emit,
+}
+
+impl Phase {
+    /// Stable lowercase name (used by the JSONL sink and EXPLAIN ANALYZE).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Init => "init",
+            Phase::Build => "build",
+            Phase::Probe => "probe",
+            Phase::PartitionJoin => "partition_join",
+            Phase::SortInput => "sort_input",
+            Phase::Merge => "merge",
+            Phase::Accumulate => "accumulate",
+            Phase::Emit => "emit",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which estimator produced a refined `N_i` value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EstimateSource {
+    /// The compile-time optimizer estimate (published at registration).
+    Optimizer,
+    /// An online estimator (framework / dne / byte) during execution.
+    Online,
+    /// The exact count, pinned when the operator finishes.
+    Exact,
+}
+
+impl EstimateSource {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EstimateSource::Optimizer => "optimizer",
+            EstimateSource::Online => "online",
+            EstimateSource::Exact => "exact",
+        }
+    }
+}
+
+impl fmt::Display for EstimateSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The event taxonomy. `op` fields are metrics-registry indices (resolve
+/// names through the registry); `pipeline` fields are pipeline ids from the
+/// plan's pipeline decomposition. Events are plain `Copy` data so sinks can
+/// buffer them without allocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEventKind {
+    /// A pipeline moved from pending to running (observer-derived, so the
+    /// timestamp is accurate to the monitor's sampling cadence).
+    PipelineStarted { pipeline: u32 },
+    /// Every operator of a pipeline finished (observer-derived).
+    PipelineFinished { pipeline: u32 },
+    /// A blocking operator crossed a phase boundary (build→probe,
+    /// sort→merge, ...). Published synchronously by the operator.
+    PhaseTransition { op: u32, from: Phase, to: Phase },
+    /// An operator's lifetime-total estimate `N_i` changed materially.
+    /// `old` is NaN for the very first (optimizer) publication.
+    EstimateRefined {
+        op: u32,
+        old: f64,
+        new: f64,
+        source: EstimateSource,
+    },
+    /// An operator published a confidence interval on `N_i`.
+    BoundsRefined { op: u32, lo: f64, hi: f64 },
+    /// An operator returned `None`; `emitted` is its exact `K_i = N_i`.
+    OperatorFinished { op: u32, emitted: u64 },
+    /// The query's root operator is exhausted.
+    QueryFinished { rows: u64 },
+}
+
+/// A timestamped, globally ordered trace event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Publication order across the whole bus (contiguous from 0 unless
+    /// sinks drop on overflow).
+    pub seq: u64,
+    /// Microseconds since the bus was created.
+    pub at_us: u64,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// A trace consumer. Implementations must be cheap and non-blocking on
+/// `publish` — it runs synchronously on the query thread (though only at
+/// phase boundaries / refinements).
+pub trait TraceSink: Send + Sync {
+    /// Consume one event.
+    fn publish(&self, event: &TraceEvent);
+}
+
+/// The event bus: a timestamp epoch, a sequence counter, and an immutable
+/// set of sinks. Publishing takes no locks — one atomic fetch-add for the
+/// sequence number plus whatever each sink does.
+pub struct EventBus {
+    epoch: Instant,
+    seq: std::sync::atomic::AtomicU64,
+    sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+impl fmt::Debug for EventBus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventBus")
+            .field("sinks", &self.sinks.len())
+            .field(
+                "published",
+                &self.seq.load(std::sync::atomic::Ordering::Relaxed),
+            )
+            .finish()
+    }
+}
+
+impl EventBus {
+    /// Start building a bus.
+    pub fn builder() -> EventBusBuilder {
+        EventBusBuilder { sinks: Vec::new() }
+    }
+
+    /// Shorthand for a bus with exactly one sink.
+    pub fn with_sink(sink: Arc<dyn TraceSink>) -> Arc<EventBus> {
+        EventBus::builder().sink(sink).build()
+    }
+
+    /// Stamp and fan `kind` out to every sink.
+    pub fn publish(&self, kind: TraceEventKind) {
+        let event = TraceEvent {
+            seq: self.seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            at_us: self.epoch.elapsed().as_micros() as u64,
+            kind,
+        };
+        for sink in &self.sinks {
+            sink.publish(&event);
+        }
+    }
+
+    /// Total events published so far.
+    pub fn published(&self) -> u64 {
+        self.seq.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The bus creation instant (`at_us` timestamps are relative to it).
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+}
+
+/// Builder for [`EventBus`].
+pub struct EventBusBuilder {
+    sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+impl EventBusBuilder {
+    /// Attach a sink.
+    pub fn sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Finish, producing a shareable bus.
+    pub fn build(self) -> Arc<EventBus> {
+        Arc::new(EventBus {
+            epoch: Instant::now(),
+            seq: std::sync::atomic::AtomicU64::new(0),
+            sinks: self.sinks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::Mutex;
+
+    struct VecSink(Mutex<Vec<TraceEvent>>);
+    impl TraceSink for VecSink {
+        fn publish(&self, event: &TraceEvent) {
+            self.0.lock().push(*event);
+        }
+    }
+
+    #[test]
+    fn events_are_stamped_in_order() {
+        let sink = Arc::new(VecSink(Mutex::new(Vec::new())));
+        let bus = EventBus::with_sink(Arc::clone(&sink) as Arc<dyn TraceSink>);
+        for i in 0..5u64 {
+            bus.publish(TraceEventKind::QueryFinished { rows: i });
+        }
+        let events = sink.0.lock();
+        assert_eq!(events.len(), 5);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+            assert_eq!(e.kind, TraceEventKind::QueryFinished { rows: i as u64 });
+        }
+        assert!(events.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+        assert_eq!(bus.published(), 5);
+    }
+
+    #[test]
+    fn fans_out_to_all_sinks() {
+        let a = Arc::new(VecSink(Mutex::new(Vec::new())));
+        let b = Arc::new(VecSink(Mutex::new(Vec::new())));
+        let bus = EventBus::builder()
+            .sink(Arc::clone(&a) as Arc<dyn TraceSink>)
+            .sink(Arc::clone(&b) as Arc<dyn TraceSink>)
+            .build();
+        bus.publish(TraceEventKind::PipelineStarted { pipeline: 3 });
+        assert_eq!(a.0.lock().len(), 1);
+        assert_eq!(b.0.lock().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_publication_yields_unique_seqs() {
+        let sink = Arc::new(VecSink(Mutex::new(Vec::new())));
+        let bus = EventBus::with_sink(Arc::clone(&sink) as Arc<dyn TraceSink>);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let bus = Arc::clone(&bus);
+                std::thread::spawn(move || {
+                    for _ in 0..250 {
+                        bus.publish(TraceEventKind::QueryFinished { rows: 0 });
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let mut seqs: Vec<u64> = sink.0.lock().iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..1000).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,165 @@
+//! Minimal hand-rolled JSON encoding for trace events and timelines.
+//!
+//! The workspace carries no external dependencies (no serde), and the
+//! shapes encoded here are small and fixed, so a few helpers suffice.
+
+use qprog_exec::trace::{TraceEvent, TraceEventKind};
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A finite float as a JSON number; NaN/inf become `null` (JSON has no
+/// representation for them).
+pub fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Encode one trace event as a single JSON object (no trailing newline).
+/// When `op_names` is non-empty, operator indices are annotated with their
+/// registry names.
+pub fn event_to_json(event: &TraceEvent, op_names: &[String]) -> String {
+    let mut fields = vec![
+        format!("\"seq\":{}", event.seq),
+        format!("\"at_us\":{}", event.at_us),
+    ];
+    let op_field = |op: u32, fields: &mut Vec<String>| {
+        fields.push(format!("\"op\":{op}"));
+        if let Some(name) = op_names.get(op as usize) {
+            fields.push(format!("\"op_name\":\"{}\"", escape(name)));
+        }
+    };
+    match &event.kind {
+        TraceEventKind::PipelineStarted { pipeline } => {
+            fields.push("\"event\":\"pipeline_started\"".to_string());
+            fields.push(format!("\"pipeline\":{pipeline}"));
+        }
+        TraceEventKind::PipelineFinished { pipeline } => {
+            fields.push("\"event\":\"pipeline_finished\"".to_string());
+            fields.push(format!("\"pipeline\":{pipeline}"));
+        }
+        TraceEventKind::PhaseTransition { op, from, to } => {
+            fields.push("\"event\":\"phase_transition\"".to_string());
+            op_field(*op, &mut fields);
+            fields.push(format!("\"from\":\"{from}\""));
+            fields.push(format!("\"to\":\"{to}\""));
+        }
+        TraceEventKind::EstimateRefined {
+            op,
+            old,
+            new,
+            source,
+        } => {
+            fields.push("\"event\":\"estimate_refined\"".to_string());
+            op_field(*op, &mut fields);
+            fields.push(format!("\"old\":{}", num(*old)));
+            fields.push(format!("\"new\":{}", num(*new)));
+            fields.push(format!("\"source\":\"{source}\""));
+        }
+        TraceEventKind::BoundsRefined { op, lo, hi } => {
+            fields.push("\"event\":\"bounds_refined\"".to_string());
+            op_field(*op, &mut fields);
+            fields.push(format!("\"lo\":{}", num(*lo)));
+            fields.push(format!("\"hi\":{}", num(*hi)));
+        }
+        TraceEventKind::OperatorFinished { op, emitted } => {
+            fields.push("\"event\":\"operator_finished\"".to_string());
+            op_field(*op, &mut fields);
+            fields.push(format!("\"emitted\":{emitted}"));
+        }
+        TraceEventKind::QueryFinished { rows } => {
+            fields.push("\"event\":\"query_finished\"".to_string());
+            fields.push(format!("\"rows\":{rows}"));
+        }
+    }
+    format!("{{{}}}", fields.join(","))
+}
+
+/// Extract a field's raw value text from a flat one-line JSON object
+/// produced by [`event_to_json`] (enough for tests and examples to parse
+/// traces back without a JSON parser).
+pub fn raw_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = if let Some(stripped) = rest.strip_prefix('"') {
+        // string value: find the closing quote (no escaped quotes in our
+        // controlled vocabulary of values)
+        return stripped.find('"').map(|e| &stripped[..e]);
+    } else {
+        rest.find([',', '}']).unwrap_or(rest.len())
+    };
+    Some(&rest[..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qprog_exec::trace::{EstimateSource, Phase};
+
+    #[test]
+    fn events_encode_round_trippably() {
+        let e = TraceEvent {
+            seq: 7,
+            at_us: 1234,
+            kind: TraceEventKind::EstimateRefined {
+                op: 2,
+                old: f64::NAN,
+                new: 500.0,
+                source: EstimateSource::Online,
+            },
+        };
+        let names = vec![
+            "scan".to_string(),
+            "filter".to_string(),
+            "hash_join".to_string(),
+        ];
+        let line = event_to_json(&e, &names);
+        assert_eq!(raw_field(&line, "seq"), Some("7"));
+        assert_eq!(raw_field(&line, "event"), Some("estimate_refined"));
+        assert_eq!(raw_field(&line, "op"), Some("2"));
+        assert_eq!(raw_field(&line, "op_name"), Some("hash_join"));
+        assert_eq!(raw_field(&line, "old"), Some("null"));
+        assert_eq!(raw_field(&line, "new"), Some("500"));
+        assert_eq!(raw_field(&line, "source"), Some("online"));
+    }
+
+    #[test]
+    fn phase_transitions_encode_names() {
+        let e = TraceEvent {
+            seq: 0,
+            at_us: 0,
+            kind: TraceEventKind::PhaseTransition {
+                op: 0,
+                from: Phase::Build,
+                to: Phase::Probe,
+            },
+        };
+        let line = event_to_json(&e, &[]);
+        assert_eq!(raw_field(&line, "from"), Some("build"));
+        assert_eq!(raw_field(&line, "to"), Some("probe"));
+        assert_eq!(raw_field(&line, "op_name"), None);
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,33 @@
+//! Query observability for qprog: trace sinks, progress timelines, and
+//! EXPLAIN ANALYZE rendering.
+//!
+//! The executor publishes [`qprog_exec::trace::TraceEvent`]s through an
+//! [`qprog_exec::trace::EventBus`] at phase boundaries and estimate
+//! refinements (never per tuple); this crate is the consumer side:
+//!
+//! - [`sinks`] — pluggable [`TraceSink`](qprog_exec::trace::TraceSink)s:
+//!   a lock-free bounded [`RingSink`](sinks::RingSink), a
+//!   [`JsonlSink`](sinks::JsonlSink) that streams events as JSON lines, a
+//!   human-readable [`StderrSink`](sinks::StderrSink), and a debug-mode
+//!   [`ValidatorSink`](sinks::ValidatorSink) that flags events violating
+//!   the progress model's invariants.
+//! - [`timeline`] — a [`TimelineRecorder`](timeline::TimelineRecorder)
+//!   that samples a query's [`ProgressTracker`](qprog_plan::ProgressTracker)
+//!   at a configurable cadence into a [`ProgressLog`](timeline::ProgressLog)
+//!   of timestamped `(K_i, N_i, lo, hi)` trajectories, exportable as CSV
+//!   or JSON.
+//! - [`explain`] — an EXPLAIN ANALYZE renderer comparing actual
+//!   cardinalities against optimizer and online estimates (with q-errors,
+//!   `getnext()` counts, phase wall-times, and estimator attribution).
+//!
+//! Everything here runs *observer-side*: attaching no sinks and no
+//! recorder leaves the engine's hot paths untouched.
+
+pub mod explain;
+pub mod json;
+pub mod sinks;
+pub mod timeline;
+
+pub use explain::explain_analyze;
+pub use sinks::{JsonlSink, RingSink, StderrSink, ValidatorSink};
+pub use timeline::{ProgressLog, RecorderHandle, TimelinePoint, TimelineRecorder};

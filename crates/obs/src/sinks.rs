@@ -1,0 +1,530 @@
+//! Trace sinks: bounded in-memory ring, JSONL writer, stderr logger, and
+//! a debug-mode progress-sanity validator.
+//!
+//! Sinks implement [`TraceSink`] and run synchronously on the publishing
+//! (query) thread, so each is written to be cheap: the ring sink is
+//! lock-free, the JSONL/stderr sinks take a short mutex only at actual
+//! event boundaries (phase transitions and material estimate refinements —
+//! never per tuple).
+
+use std::cell::UnsafeCell;
+use std::io::Write;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use qprog_exec::sync::Mutex;
+use qprog_exec::trace::{EstimateSource, Phase, TraceEvent, TraceEventKind, TraceSink};
+
+use crate::json::event_to_json;
+
+/// One slot of the ring: a sequence stamp plus storage for an event.
+struct Slot {
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<TraceEvent>>,
+}
+
+/// A lock-free bounded MPMC ring buffer of trace events (Vyukov's bounded
+/// queue). Producers never block: when the ring is full the event is
+/// dropped and counted, so a stalled or absent consumer can never slow the
+/// query down. `TraceEvent` is `Copy`, so slots need no destructors.
+pub struct RingSink {
+    slots: Box<[Slot]>,
+    mask: usize,
+    enqueue_pos: AtomicUsize,
+    dequeue_pos: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+// SAFETY: slot contents are only accessed by the producer/consumer that
+// won the corresponding sequence handshake (the Vyukov protocol below).
+unsafe impl Send for RingSink {}
+unsafe impl Sync for RingSink {}
+
+impl RingSink {
+    /// A ring holding at least `capacity` events (rounded up to a power of
+    /// two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots: Box<[Slot]> = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        RingSink {
+            slots,
+            mask: cap - 1,
+            enqueue_pos: AtomicUsize::new(0),
+            dequeue_pos: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Try to enqueue; `false` means the ring was full.
+    fn try_push(&self, event: TraceEvent) -> bool {
+        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            match (seq as isize).wrapping_sub(pos as isize) {
+                0 => {
+                    match self.enqueue_pos.compare_exchange_weak(
+                        pos,
+                        pos.wrapping_add(1),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            // SAFETY: the CAS gives this thread exclusive
+                            // write access to the slot until the Release
+                            // store below hands it to a consumer.
+                            unsafe { (*slot.value.get()).write(event) };
+                            slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                            return true;
+                        }
+                        Err(p) => pos = p,
+                    }
+                }
+                d if d < 0 => return false, // full
+                _ => pos = self.enqueue_pos.load(Ordering::Relaxed),
+            }
+        }
+    }
+
+    /// Pop the oldest event, if any.
+    pub fn try_pop(&self) -> Option<TraceEvent> {
+        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            match (seq as isize).wrapping_sub(pos.wrapping_add(1) as isize) {
+                0 => {
+                    match self.dequeue_pos.compare_exchange_weak(
+                        pos,
+                        pos.wrapping_add(1),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            // SAFETY: the CAS gives this thread exclusive
+                            // read access; the slot was initialized by the
+                            // producer that published `seq`.
+                            let event = unsafe { (*slot.value.get()).assume_init() };
+                            slot.seq
+                                .store(pos.wrapping_add(self.mask + 1), Ordering::Release);
+                            return Some(event);
+                        }
+                        Err(p) => pos = p,
+                    }
+                }
+                d if d < 0 => return None, // empty
+                _ => pos = self.dequeue_pos.load(Ordering::Relaxed),
+            }
+        }
+    }
+
+    /// Drain everything currently buffered, in publication order.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::new();
+        while let Some(e) = self.try_pop() {
+            out.push(e);
+        }
+        out
+    }
+}
+
+impl TraceSink for RingSink {
+    fn publish(&self, event: &TraceEvent) {
+        if !self.try_push(*event) {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl std::fmt::Debug for RingSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RingSink")
+            .field("capacity", &self.capacity())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+/// Streams each event as one JSON object per line to any writer (a file
+/// for post-hoc analysis, a pipe to a live dashboard, ...). Operator
+/// indices are annotated with registry names when provided.
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<W>,
+    op_names: Vec<String>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// A sink writing bare operator indices.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer: Mutex::new(writer),
+            op_names: Vec::new(),
+        }
+    }
+
+    /// Annotate operator indices with their registry names.
+    pub fn with_op_names(mut self, names: Vec<String>) -> Self {
+        self.op_names = names;
+        self
+    }
+
+    /// Recover the writer (e.g. to read back an in-memory buffer).
+    pub fn into_inner(self) -> W {
+        self.writer.into_inner()
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn publish(&self, event: &TraceEvent) {
+        let line = event_to_json(event, &self.op_names);
+        let mut w = self.writer.lock();
+        // Trace output is advisory: an unwritable sink must not fail the
+        // query, so IO errors are swallowed.
+        let _ = writeln!(w, "{line}");
+        let _ = w.flush();
+    }
+}
+
+/// Logs each event as a human-readable line on stderr (handy for quick
+/// debugging without a file in the loop).
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl TraceSink for StderrSink {
+    fn publish(&self, event: &TraceEvent) {
+        eprintln!(
+            "[trace +{:>8}us #{}] {:?}",
+            event.at_us, event.seq, event.kind
+        );
+    }
+}
+
+/// Per-operator state the validator tracks.
+#[derive(Debug, Default, Clone)]
+struct OpValidation {
+    phase: Option<Phase>,
+    last_estimate: Option<f64>,
+    last_bounds: Option<(f64, f64)>,
+    exact: Option<f64>,
+    finished: Option<u64>,
+}
+
+/// A debug-mode sanity validator: checks the event stream against the
+/// progress model's invariants and records violations as strings instead
+/// of panicking (tracing must never take a query down).
+///
+/// Checked invariants:
+///
+/// - event sequence numbers are unique (arrival order is NOT required to
+///   be sorted: several threads may publish concurrently);
+/// - phase transitions chain (each `from` equals the op's previous `to`,
+///   starting from `Init`);
+/// - estimates are non-negative and finite after the first publication;
+/// - published bounds satisfy `lo ≤ hi`;
+/// - an `Exact` refinement matches the `emitted` count of the operator's
+///   subsequent `OperatorFinished`;
+/// - the final exact count lies within the operator's last published
+///   confidence bounds (a statistical check: the paper's intervals hold
+///   with confidence `1 − α`, so rare violations here are expected noise,
+///   frequent ones are bugs).
+///
+/// Whole-query *fraction* monotonicity is a timeline property, checked by
+/// [`ProgressLog::monotonicity_violations`](crate::timeline::ProgressLog::monotonicity_violations).
+#[derive(Debug, Default)]
+pub struct ValidatorSink {
+    state: Mutex<ValidatorState>,
+}
+
+#[derive(Debug, Default)]
+struct ValidatorState {
+    ops: Vec<OpValidation>,
+    violations: Vec<String>,
+    seen_seqs: std::collections::HashSet<u64>,
+}
+
+impl ValidatorState {
+    fn op(&mut self, op: u32) -> &mut OpValidation {
+        let idx = op as usize;
+        if self.ops.len() <= idx {
+            self.ops.resize(idx + 1, OpValidation::default());
+        }
+        &mut self.ops[idx]
+    }
+}
+
+impl ValidatorSink {
+    /// A fresh validator.
+    pub fn new() -> Self {
+        ValidatorSink::default()
+    }
+
+    /// All violations observed so far.
+    pub fn violations(&self) -> Vec<String> {
+        self.state.lock().violations.clone()
+    }
+
+    /// `true` when no invariant has been violated.
+    pub fn is_clean(&self) -> bool {
+        self.state.lock().violations.is_empty()
+    }
+}
+
+impl TraceSink for ValidatorSink {
+    fn publish(&self, event: &TraceEvent) {
+        let mut s = self.state.lock();
+        // Sequence numbers are allocated atomically per bus, so each must
+        // reach the sink exactly once. Arrival ORDER is not checked: with
+        // several publishing threads (query + monitor) interleaving between
+        // `fetch_add` and fan-out is legal.
+        if !s.seen_seqs.insert(event.seq) {
+            s.violations
+                .push(format!("duplicate event seq {}", event.seq));
+        }
+        match event.kind {
+            TraceEventKind::PhaseTransition { op, from, to } => {
+                let o = s.op(op);
+                let expected = o.phase.unwrap_or(Phase::Init);
+                let bad = from != expected;
+                o.phase = Some(to);
+                if bad {
+                    s.violations.push(format!(
+                        "op {op}: phase transition {from}→{to} but operator was in {expected}"
+                    ));
+                }
+            }
+            TraceEventKind::EstimateRefined {
+                op, new, source, ..
+            } => {
+                let mut bad = Vec::new();
+                {
+                    let o = s.op(op);
+                    if !new.is_finite() || new < 0.0 {
+                        bad.push(format!("op {op}: non-finite/negative estimate {new}"));
+                    }
+                    o.last_estimate = Some(new);
+                    if source == EstimateSource::Exact {
+                        o.exact = Some(new);
+                        if let Some((lo, hi)) = o.last_bounds {
+                            // Point bounds (lo == hi) pin an exact value and
+                            // must hold; statistical intervals may rarely miss.
+                            if new < lo - 0.5 || new > hi + 0.5 {
+                                bad.push(format!(
+                                    "op {op}: exact count {new} outside last bounds [{lo}, {hi}]"
+                                ));
+                            }
+                        }
+                    }
+                }
+                s.violations.extend(bad);
+            }
+            TraceEventKind::BoundsRefined { op, lo, hi } => {
+                let o = s.op(op);
+                o.last_bounds = Some((lo, hi));
+                // NaN endpoints are as invalid as an inverted interval.
+                if lo > hi || lo.is_nan() || hi.is_nan() {
+                    s.violations
+                        .push(format!("op {op}: invalid bounds lo={lo}, hi={hi}"));
+                }
+            }
+            TraceEventKind::OperatorFinished { op, emitted } => {
+                let o = s.op(op);
+                o.finished = Some(emitted);
+                let exact = o.exact;
+                if let Some(exact) = exact {
+                    if (exact - emitted as f64).abs() > 0.5 {
+                        s.violations.push(format!(
+                            "op {op}: finished with {emitted} rows but exact estimate was {exact}"
+                        ));
+                    }
+                }
+            }
+            TraceEventKind::PipelineStarted { .. }
+            | TraceEventKind::PipelineFinished { .. }
+            | TraceEventKind::QueryFinished { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn ev(seq: u64, kind: TraceEventKind) -> TraceEvent {
+        TraceEvent {
+            seq,
+            at_us: seq,
+            kind,
+        }
+    }
+
+    #[test]
+    fn ring_preserves_fifo_order() {
+        let ring = RingSink::with_capacity(8);
+        for i in 0..5 {
+            ring.publish(&ev(i, TraceEventKind::QueryFinished { rows: i }));
+        }
+        let drained = ring.drain();
+        assert_eq!(drained.len(), 5);
+        assert!(drained.iter().enumerate().all(|(i, e)| e.seq == i as u64));
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_drops_on_overflow_and_counts() {
+        let ring = RingSink::with_capacity(4); // rounds to 4
+        for i in 0..10 {
+            ring.publish(&ev(i, TraceEventKind::QueryFinished { rows: i }));
+        }
+        assert_eq!(ring.dropped(), 6);
+        // the *oldest* events survive (drop-newest keeps a coherent prefix)
+        let drained = ring.drain();
+        assert_eq!(
+            drained.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        // after draining there is room again
+        ring.publish(&ev(10, TraceEventKind::QueryFinished { rows: 10 }));
+        assert_eq!(ring.drain().len(), 1);
+    }
+
+    #[test]
+    fn ring_survives_concurrent_producers() {
+        let ring = Arc::new(RingSink::with_capacity(1024));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        ring.publish(&ev(t * 1000 + i, TraceEventKind::QueryFinished { rows: i }));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(ring.drain().len(), 800);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let sink = JsonlSink::new(Vec::new()).with_op_names(vec!["scan".into()]);
+        sink.publish(&ev(
+            0,
+            TraceEventKind::OperatorFinished { op: 0, emitted: 9 },
+        ));
+        sink.publish(&ev(1, TraceEventKind::QueryFinished { rows: 9 }));
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"op_name\":\"scan\""));
+        assert!(lines[1].contains("\"event\":\"query_finished\""));
+    }
+
+    #[test]
+    fn validator_accepts_a_clean_stream() {
+        use qprog_exec::trace::EstimateSource::*;
+        let v = ValidatorSink::new();
+        let events = [
+            TraceEventKind::EstimateRefined {
+                op: 0,
+                old: f64::NAN,
+                new: 100.0,
+                source: Optimizer,
+            },
+            TraceEventKind::PhaseTransition {
+                op: 0,
+                from: Phase::Init,
+                to: Phase::Build,
+            },
+            TraceEventKind::PhaseTransition {
+                op: 0,
+                from: Phase::Build,
+                to: Phase::Probe,
+            },
+            TraceEventKind::EstimateRefined {
+                op: 0,
+                old: 100.0,
+                new: 120.0,
+                source: Online,
+            },
+            TraceEventKind::BoundsRefined {
+                op: 0,
+                lo: 110.0,
+                hi: 130.0,
+            },
+            TraceEventKind::EstimateRefined {
+                op: 0,
+                old: 120.0,
+                new: 121.0,
+                source: Exact,
+            },
+            TraceEventKind::OperatorFinished {
+                op: 0,
+                emitted: 121,
+            },
+            TraceEventKind::QueryFinished { rows: 121 },
+        ];
+        for (i, k) in events.into_iter().enumerate() {
+            v.publish(&ev(i as u64, k));
+        }
+        assert!(v.is_clean(), "{:?}", v.violations());
+    }
+
+    #[test]
+    fn validator_flags_bad_streams() {
+        use qprog_exec::trace::EstimateSource::*;
+        let v = ValidatorSink::new();
+        // probe before build
+        v.publish(&ev(
+            0,
+            TraceEventKind::PhaseTransition {
+                op: 0,
+                from: Phase::Build,
+                to: Phase::Probe,
+            },
+        ));
+        // inverted bounds
+        v.publish(&ev(
+            1,
+            TraceEventKind::BoundsRefined {
+                op: 1,
+                lo: 10.0,
+                hi: 5.0,
+            },
+        ));
+        // exact that contradicts the finished count
+        v.publish(&ev(
+            2,
+            TraceEventKind::EstimateRefined {
+                op: 2,
+                old: 5.0,
+                new: 50.0,
+                source: Exact,
+            },
+        ));
+        v.publish(&ev(
+            3,
+            TraceEventKind::OperatorFinished { op: 2, emitted: 7 },
+        ));
+        let violations = v.violations();
+        assert_eq!(violations.len(), 3, "{violations:?}");
+    }
+}

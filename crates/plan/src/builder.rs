@@ -10,9 +10,7 @@ use qprog_exec::ops::sort::SortKey;
 use qprog_storage::Catalog;
 use qprog_types::{Field, QError, QResult, Schema};
 
-use crate::cardinality::{
-    group_estimate, join_node_estimate, predicate_selectivity,
-};
+use crate::cardinality::{group_estimate, join_node_estimate, predicate_selectivity};
 use crate::logical::{ColStat, JoinAlgo, JoinCondition, LogicalPlan, Node};
 
 /// Entry point for building logical plans against a catalog.
@@ -194,9 +192,7 @@ impl LogicalPlan {
                 cs.extend(self.col_stats.iter().cloned());
                 (nullable_build.join(&self.schema).into_ref(), cs)
             }
-            JoinKind::Semi | JoinKind::Anti => {
-                (Arc::clone(&self.schema), self.col_stats.clone())
-            }
+            JoinKind::Semi | JoinKind::Anti => (Arc::clone(&self.schema), self.col_stats.clone()),
         };
         Ok(LogicalPlan {
             schema,
@@ -229,7 +225,13 @@ impl LogicalPlan {
         build_key: &str,
         probe_key: &str,
     ) -> QResult<LogicalPlan> {
-        self.join_build_kind(build, build_key, probe_key, JoinAlgo::Hash, JoinKind::LeftOuter)
+        self.join_build_kind(
+            build,
+            build_key,
+            probe_key,
+            JoinAlgo::Hash,
+            JoinKind::LeftOuter,
+        )
     }
 
     /// Semi hash join: probe rows with at least one build match (`EXISTS`).
@@ -306,22 +308,20 @@ impl LogicalPlan {
                 Some(n) => Some(self.col(n)?),
                 None => {
                     if *func != AggFunc::CountStar {
-                        return Err(QError::plan(format!(
-                            "{func:?} requires an input column"
-                        )));
+                        return Err(QError::plan(format!("{func:?} requires an input column")));
                     }
                     None
                 }
             };
-            let input_type = col.map(|c| self.schema.field(c)).transpose()?.map(|f| f.data_type);
+            let input_type = col
+                .map(|c| self.schema.field(c))
+                .transpose()?
+                .map(|f| f.data_type);
             fields.push(Field::new(*alias, func.output_type(input_type)).with_nullable(true));
             col_stats.push(None);
             specs.push(AggSpec { func: *func, col });
         }
-        let group_stats: Vec<&ColStat> = group_cols
-            .iter()
-            .map(|&g| &self.col_stats[g])
-            .collect();
+        let group_stats: Vec<&ColStat> = group_cols.iter().map(|&g| &self.col_stats[g]).collect();
         let estimate = group_estimate(self.estimate, &group_stats);
         Ok(LogicalPlan {
             schema: Schema::new(fields).into_ref(),
@@ -381,9 +381,9 @@ pub fn lit(v: impl Into<qprog_types::Value>) -> Expr {
 mod tests {
     use super::*;
     use qprog_exec::expr::BinOp;
-    use qprog_types::DataType;
     use qprog_storage::Table;
     use qprog_types::row;
+    use qprog_types::DataType;
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
@@ -453,9 +453,7 @@ mod tests {
         let b = PlanBuilder::new(catalog());
         let probe = b.scan("customer").unwrap();
         let build = b.scan("nation").unwrap();
-        assert!(probe
-            .hash_join(build, "nation.nosuch", "custkey")
-            .is_err());
+        assert!(probe.hash_join(build, "nation.nosuch", "custkey").is_err());
     }
 
     #[test]

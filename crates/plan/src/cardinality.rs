@@ -138,9 +138,7 @@ pub fn join_node_estimate(
 ) -> f64 {
     match condition {
         JoinCondition::Cross => (build.estimate * probe.estimate).max(1.0),
-        JoinCondition::Theta(_) => {
-            (build.estimate * probe.estimate * DEFAULT_SELECTIVITY).max(1.0)
-        }
+        JoinCondition::Theta(_) => (build.estimate * probe.estimate * DEFAULT_SELECTIVITY).max(1.0),
         JoinCondition::Equi {
             build_key,
             probe_key,
@@ -194,17 +192,17 @@ mod tests {
         let half = |c| Expr::binary(BinOp::Lt, Expr::col(c), Expr::lit(500i64));
         let s_and = predicate_selectivity(&half(0).and(half(1)), &stats);
         assert!((s_and - 0.25).abs() < 0.05, "got {s_and}");
-        let s_or = predicate_selectivity(
-            &Expr::binary(BinOp::Or, half(0), half(1)),
-            &stats,
-        );
+        let s_or = predicate_selectivity(&Expr::binary(BinOp::Or, half(0), half(1)), &stats);
         assert!((s_or - 0.75).abs() < 0.05, "got {s_or}");
     }
 
     #[test]
     fn unanalyzable_predicates_get_default() {
         let pred = Expr::binary(BinOp::Eq, Expr::col(0), Expr::col(1));
-        assert_eq!(predicate_selectivity(&pred, &[None, None]), DEFAULT_SELECTIVITY);
+        assert_eq!(
+            predicate_selectivity(&pred, &[None, None]),
+            DEFAULT_SELECTIVITY
+        );
         let pred = Expr::binary(BinOp::Eq, Expr::col(0), Expr::lit(1i64));
         assert_eq!(
             predicate_selectivity(&pred, &[None]),

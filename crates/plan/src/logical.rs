@@ -101,9 +101,7 @@ impl LogicalPlan {
             | Node::Aggregate { input, .. }
             | Node::Sort { input, .. }
             | Node::Limit { input, .. } => input.operator_count(),
-            Node::Join { build, probe, .. } => {
-                build.operator_count() + probe.operator_count()
-            }
+            Node::Join { build, probe, .. } => build.operator_count() + probe.operator_count(),
         }
     }
 

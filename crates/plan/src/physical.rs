@@ -3,7 +3,6 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use qprog_core::distinct::DistinctTracker;
 use qprog_core::join_est::JoinKind;
 use qprog_core::pipeline_est::{AttrSource, JoinSpec, PipelineEstimator};
@@ -17,6 +16,8 @@ use qprog_exec::ops::{
     BoxedOp, Filter, HashAggregate, HashJoin, Limit, Project, Sort, SortAggregate, TableScan,
 };
 use qprog_exec::runtime::run_with_observer;
+use qprog_exec::sync::Mutex;
+use qprog_exec::trace::{EventBus, TraceEventKind};
 use qprog_types::{QError, QResult, Row};
 
 use crate::logical::{JoinAlgo, JoinCondition, LogicalPlan, Node};
@@ -70,6 +71,9 @@ impl PhysicalOptions {
 /// A compiled, instrumented, ready-to-run query.
 pub struct CompiledQuery {
     root: BoxedOp,
+    /// Registry index of the plan-root operator. Usually `0` (registration
+    /// is top-down), but a join chain at the root registers bottom-up.
+    root_op: usize,
     registry: MetricsRegistry,
     pipelines: PipelineSet,
     /// Compile-time optimizer estimates per operator (registry order).
@@ -77,6 +81,15 @@ pub struct CompiledQuery {
     /// Direct-input operator indices per operator, for future-pipeline
     /// refinement.
     op_inputs: Vec<Vec<usize>>,
+    /// Which estimator drives each operator's `N_i` (registry order) —
+    /// surfaced by EXPLAIN ANALYZE.
+    estimator_labels: Vec<&'static str>,
+    /// Trace bus (from [`compile_traced`]); `QueryFinished` is published
+    /// here exactly once when the root is exhausted.
+    bus: Option<Arc<EventBus>>,
+    /// Output rows pulled so far (for the `QueryFinished` payload).
+    rows_emitted: u64,
+    finished_published: bool,
 }
 
 impl CompiledQuery {
@@ -90,13 +103,51 @@ impl CompiledQuery {
         &self.pipelines
     }
 
+    /// Compile-time optimizer estimates per operator (registry order).
+    pub fn initial_estimates(&self) -> &[f64] {
+        &self.initial_estimates
+    }
+
+    /// Direct-input operator indices per operator (registry order).
+    pub fn op_inputs(&self) -> &[Vec<usize>] {
+        &self.op_inputs
+    }
+
+    /// Registry index of the plan-root operator (the top of the
+    /// [`op_inputs`](Self::op_inputs) tree).
+    pub fn root_op(&self) -> usize {
+        self.root_op
+    }
+
+    /// Which estimator drives each operator's `N_i` (registry order):
+    /// `"exact"`, `"framework"`, `"pipeline"`, `"gee/mle"`, `"pushdown"`,
+    /// `"dne"`, `"byte"`, or `"optimizer"`.
+    pub fn estimator_labels(&self) -> &[&'static str] {
+        &self.estimator_labels
+    }
+
+    /// The trace bus, when compiled with [`compile_traced`].
+    pub fn bus(&self) -> Option<&Arc<EventBus>> {
+        self.bus.as_ref()
+    }
+
+    fn publish_query_finished(&mut self) {
+        if self.finished_published {
+            return;
+        }
+        self.finished_published = true;
+        if let Some(bus) = &self.bus {
+            bus.publish(TraceEventKind::QueryFinished {
+                rows: self.rows_emitted,
+            });
+        }
+    }
+
     /// A cloneable, thread-safe progress tracker for this query, with
     /// future-pipeline refinement wired in (§4.4).
     pub fn tracker(&self) -> ProgressTracker {
-        ProgressTracker::new(self.registry.clone(), self.pipelines.clone()).with_refinement(
-            self.initial_estimates.clone(),
-            self.op_inputs.clone(),
-        )
+        ProgressTracker::new(self.registry.clone(), self.pipelines.clone())
+            .with_refinement(self.initial_estimates.clone(), self.op_inputs.clone())
     }
 
     /// Run to completion, collecting all output rows.
@@ -106,6 +157,8 @@ impl CompiledQuery {
         // (LIMIT) will never run again — pin their totals so progress
         // reads 1.0 and monitors observe completion.
         self.registry.finish_all();
+        self.rows_emitted += rows.len() as u64;
+        self.publish_query_finished();
         Ok(rows)
     }
 
@@ -121,6 +174,8 @@ impl CompiledQuery {
             observer(&tracker.snapshot());
         })?;
         self.registry.finish_all();
+        self.rows_emitted += rows.len() as u64;
+        self.publish_query_finished();
         observer(&tracker.snapshot());
         Ok(rows)
     }
@@ -129,8 +184,12 @@ impl CompiledQuery {
     /// want finer control than [`run_with`](Self::run_with)).
     pub fn step(&mut self) -> QResult<Option<Row>> {
         let row = self.root.next()?;
-        if row.is_none() {
-            self.registry.finish_all();
+        match &row {
+            Some(_) => self.rows_emitted += 1,
+            None => {
+                self.registry.finish_all();
+                self.publish_query_finished();
+            }
         }
         Ok(row)
     }
@@ -138,22 +197,45 @@ impl CompiledQuery {
 
 /// Compile a logical plan.
 pub fn compile(plan: &LogicalPlan, opts: &PhysicalOptions) -> QResult<CompiledQuery> {
+    compile_traced(plan, opts, None)
+}
+
+/// Compile a logical plan with an optional trace bus attached: every
+/// operator's metrics publish [`qprog_exec::trace::TraceEvent`]s
+/// (phase transitions, estimate refinements) to `bus`, and the compiled
+/// query publishes `QueryFinished` when its root is exhausted.
+pub fn compile_traced(
+    plan: &LogicalPlan,
+    opts: &PhysicalOptions,
+    bus: Option<Arc<EventBus>>,
+) -> QResult<CompiledQuery> {
     let mut c = Compiler {
         opts,
-        registry: MetricsRegistry::new(),
+        registry: match &bus {
+            Some(b) => MetricsRegistry::traced(Arc::clone(b)),
+            None => MetricsRegistry::new(),
+        },
         pipelines: PipelineSet::new(),
         initial_estimates: Vec::new(),
         op_inputs: Vec::new(),
+        estimator_labels: Vec::new(),
         scan_counter: 0,
+        chain_root: None,
     };
     let root_pipeline = c.pipelines.new_pipeline();
     let root = c.compile(plan, root_pipeline)?;
+    let root_op = c.chain_root.take().unwrap_or(0);
     Ok(CompiledQuery {
         root,
+        root_op,
         registry: c.registry,
         pipelines: c.pipelines,
         initial_estimates: c.initial_estimates,
         op_inputs: c.op_inputs,
+        estimator_labels: c.estimator_labels,
+        bus,
+        rows_emitted: 0,
+        finished_published: false,
     })
 }
 
@@ -163,14 +245,17 @@ struct Compiler<'a> {
     pipelines: PipelineSet,
     initial_estimates: Vec<f64>,
     op_inputs: Vec<Vec<usize>>,
+    estimator_labels: Vec<&'static str>,
     scan_counter: u64,
+    /// Set by [`compile_join_chain`](Self::compile_join_chain): a compiled
+    /// chain registers its joins bottom-up, so the subtree's root operator
+    /// is NOT the first index registered (the default assumption of
+    /// [`compile_child`](Self::compile_child)). The chain leaves its true
+    /// root index here for the caller to consume.
+    chain_root: Option<usize>,
 }
 
 impl Compiler<'_> {
-    fn register(&mut self, name: &str, estimate: f64, pipeline: usize) -> Arc<OpMetrics> {
-        self.register_idx(name, estimate, pipeline).1
-    }
-
     fn register_idx(
         &mut self,
         name: &str,
@@ -182,7 +267,23 @@ impl Compiler<'_> {
         self.pipelines.assign(pipeline, idx);
         self.initial_estimates.push(estimate);
         self.op_inputs.push(Vec::new());
+        self.estimator_labels.push("optimizer");
         (idx, m)
+    }
+
+    /// Record which estimator drives operator `idx`'s lifetime total.
+    fn set_label(&mut self, idx: usize, label: &'static str) {
+        self.estimator_labels[idx] = label;
+    }
+
+    /// The label for a join estimation mode under the current options.
+    fn join_label(&self) -> &'static str {
+        match self.opts.mode {
+            EstimationMode::Off => "optimizer",
+            EstimationMode::Once => "framework",
+            EstimationMode::Dne => "dne",
+            EstimationMode::Byte => "byte",
+        }
     }
 
     /// Compile a child plan and record the edge from `parent` to the
@@ -195,6 +296,7 @@ impl Compiler<'_> {
     ) -> QResult<BoxedOp> {
         let child_idx = self.registry.len();
         let op = self.compile(plan, pipeline)?;
+        let child_idx = self.chain_root.take().unwrap_or(child_idx);
         self.op_inputs[parent].push(child_idx);
         Ok(op)
     }
@@ -202,11 +304,10 @@ impl Compiler<'_> {
     fn compile(&mut self, plan: &LogicalPlan, pipeline: usize) -> QResult<BoxedOp> {
         match &plan.node {
             Node::Scan { table } => {
-                let m = self.register(
-                    &format!("scan({})", table.name()),
-                    plan.estimate,
-                    pipeline,
-                );
+                let (idx, m) =
+                    self.register_idx(&format!("scan({})", table.name()), plan.estimate, pipeline);
+                // A scan's lifetime total is its table's row count.
+                self.set_label(idx, "exact");
                 self.scan_counter += 1;
                 let scan = TableScan::sampled(
                     Arc::clone(table),
@@ -225,6 +326,7 @@ impl Compiler<'_> {
                 if self.opts.mode != EstimationMode::Off {
                     // §4.3: selections have no preprocessing phase → dne.
                     f = f.with_dne(input_estimate.round() as u64, plan.estimate);
+                    self.set_label(idx, "dne");
                 }
                 Ok(Box::new(f))
             }
@@ -294,14 +396,21 @@ impl Compiler<'_> {
             }
             _ => self.compile(input, input_pipeline)?,
         };
+        let child_idx = self.chain_root.take().unwrap_or(child_idx);
         self.op_inputs[agg_idx].push(child_idx);
 
         let estimation = match (&pushdown_tracker, self.opts.mode) {
-            (Some(tracker), _) => AggEstimation::Pushdown(Arc::clone(tracker)),
+            (Some(tracker), _) => {
+                self.set_label(agg_idx, "pushdown");
+                AggEstimation::Pushdown(Arc::clone(tracker))
+            }
             (None, EstimationMode::Off) => AggEstimation::Off,
-            (None, _) => AggEstimation::Track {
-                input_size_hint: input.estimate.round() as u64,
-            },
+            (None, _) => {
+                self.set_label(agg_idx, "gee/mle");
+                AggEstimation::Track {
+                    input_size_hint: input.estimate.round() as u64,
+                }
+            }
         };
         if self.opts.sort_aggregate {
             Ok(Box::new(SortAggregate::new(
@@ -395,6 +504,7 @@ impl Compiler<'_> {
                     }
                 }
                 let (idx, m) = self.register_idx("merge_join", plan.estimate, pipeline);
+                self.set_label(idx, self.join_label());
                 let build_pipeline = self.pipelines.new_pipeline();
                 let probe_pipeline = self.pipelines.new_pipeline();
                 let probe_estimate = probe.estimate;
@@ -448,6 +558,7 @@ impl Compiler<'_> {
                 if self.opts.mode != EstimationMode::Off {
                     // §4.1.3: nested-loops estimation reduces to dne.
                     nl = nl.with_dne(outer_estimate.round() as u64, plan.estimate);
+                    self.set_label(idx, "dne");
                 }
                 let probe_arity = probe.schema.arity();
                 let build_arity = build.schema.arity();
@@ -486,6 +597,7 @@ impl Compiler<'_> {
             return Err(QError::plan("hash join requires an equi-join condition"));
         };
         let (idx, m) = self.register_idx("hash_join", plan.estimate, pipeline);
+        self.set_label(idx, self.join_label());
         let build_pipeline = self.pipelines.new_pipeline();
         let probe_estimate = probe.estimate;
         let build_op = self.compile_child(idx, build, build_pipeline)?;
@@ -503,11 +615,9 @@ impl Compiler<'_> {
                 probe_row_bytes: row_bytes(probe),
             },
         };
-        let mut hj = HashJoin::new(
-            build_op, probe_op, *build_key, *probe_key, estimation, m,
-        )
-        .with_join_kind(kind)
-        .with_partitions(self.opts.partitions);
+        let mut hj = HashJoin::new(build_op, probe_op, *build_key, *probe_key, estimation, m)
+            .with_join_kind(kind)
+            .with_partitions(self.opts.partitions);
         if let Some(tracker) = agg_tracker {
             hj = hj.with_agg_pushdown(tracker);
         }
@@ -565,6 +675,9 @@ impl Compiler<'_> {
                 m
             })
             .collect();
+        for &idx in &join_indices {
+            self.set_label(idx, "pipeline");
+        }
         let handle = Arc::new(Mutex::new(PipelineShared {
             estimator,
             metrics: metrics.clone(),
@@ -572,6 +685,7 @@ impl Compiler<'_> {
 
         let lowest_probe_idx = self.registry.len();
         let mut cur: BoxedOp = self.compile(lowest_probe, pipeline)?;
+        let lowest_probe_idx = self.chain_root.take().unwrap_or(lowest_probe_idx);
         self.op_inputs[join_indices[0]].push(lowest_probe_idx);
         for (j, node) in chain.iter().enumerate() {
             let Node::Join {
@@ -628,6 +742,10 @@ impl Compiler<'_> {
                 JoinAlgo::NestedLoops => unreachable!("rejected above"),
             };
         }
+        // Joins were registered bottom-up, so this subtree's root operator
+        // is the LAST chain index, not the first one registered — leave it
+        // for the caller's op-tree bookkeeping.
+        self.chain_root = Some(*join_indices.last().expect("chain.len() >= 2"));
         Ok(cur)
     }
 }
@@ -688,11 +806,10 @@ fn resolve_attr_source(chain: &[&LogicalPlan], j: usize, col: usize) -> AttrSour
 fn group_col_is_join_key(input: &LogicalPlan, g: usize) -> bool {
     let Node::Join {
         build,
-        condition:
-            JoinCondition::Equi {
-                build_key,
-                probe_key,
-            },
+        condition: JoinCondition::Equi {
+            build_key,
+            probe_key,
+        },
         algo: JoinAlgo::Hash,
         kind: JoinKind::Inner,
         ..
@@ -790,9 +907,17 @@ mod tests {
         // the lower build relation).
         b.scan("customer")
             .unwrap()
-            .hash_join(b.scan("nation").unwrap(), "nation.nationkey", "customer.nationkey")
+            .hash_join(
+                b.scan("nation").unwrap(),
+                "nation.nationkey",
+                "customer.nationkey",
+            )
             .unwrap()
-            .hash_join(b.scan("region").unwrap(), "region.regionkey", "nation.regionkey")
+            .hash_join(
+                b.scan("region").unwrap(),
+                "region.regionkey",
+                "nation.regionkey",
+            )
             .unwrap()
     }
 
@@ -830,7 +955,10 @@ mod tests {
             .collect();
         assert_eq!(totals.len(), 2);
         for (_, t) in &totals {
-            assert_eq!(*t, 2000.0, "join estimates must be exact after preprocessing");
+            assert_eq!(
+                *t, 2000.0,
+                "join estimates must be exact after preprocessing"
+            );
         }
     }
 
@@ -872,9 +1000,16 @@ mod tests {
         let plan = b
             .scan("customer")
             .unwrap()
-            .hash_join(b.scan("nation").unwrap(), "nation.nationkey", "customer.nationkey")
+            .hash_join(
+                b.scan("nation").unwrap(),
+                "nation.nationkey",
+                "customer.nationkey",
+            )
             .unwrap()
-            .aggregate(&["customer.nationkey"], &[(AggFunc::CountStar, None, "cnt")])
+            .aggregate(
+                &["customer.nationkey"],
+                &[(AggFunc::CountStar, None, "cnt")],
+            )
             .unwrap();
         let mut q = compile(&plan, &PhysicalOptions::with_mode(EstimationMode::Once)).unwrap();
         let rows = q.collect().unwrap();
@@ -917,7 +1052,11 @@ mod tests {
     fn filter_and_projection_run() {
         let b = PlanBuilder::new(catalog());
         let scan = b.scan("customer").unwrap();
-        let pred = Expr::binary(BinOp::Lt, scan.col_expr("custkey").unwrap(), Expr::lit(100i64));
+        let pred = Expr::binary(
+            BinOp::Lt,
+            scan.col_expr("custkey").unwrap(),
+            Expr::lit(100i64),
+        );
         let plan = scan
             .filter(pred)
             .unwrap()
@@ -1010,10 +1149,7 @@ mod merge_chain_tests {
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
         for (name, domain) in [("t1", 40i64), ("t2", 40), ("t3", 40)] {
-            let mut t = Table::new(
-                name,
-                Schema::new(vec![Field::new("k", DataType::Int64)]),
-            );
+            let mut t = Table::new(name, Schema::new(vec![Field::new("k", DataType::Int64)]));
             for i in 0..800i64 {
                 t.push(row![i % domain]).unwrap();
             }
@@ -1046,7 +1182,7 @@ mod merge_chain_tests {
             .collect();
         assert_eq!(totals.len(), 2);
         // count remaining output and compare
-        let mut counts = vec![1u64; 1];
+        let mut counts = [1u64; 1];
         while q.step().unwrap().is_some() {
             counts[0] += 1;
         }

@@ -294,10 +294,8 @@ mod tests {
         for i in 0..3 {
             pipes.assign(p, i);
         }
-        let tracker = ProgressTracker::new(reg, pipes).with_refinement(
-            vec![50.0, 500.0, 1000.0],
-            vec![vec![1], vec![2], vec![]],
-        );
+        let tracker = ProgressTracker::new(reg, pipes)
+            .with_refinement(vec![50.0, 500.0, 1000.0], vec![vec![1], vec![2], vec![]]);
         join.record_driver(1);
         join.set_estimated_total(2000.0);
         let refined = tracker.refined_estimates();

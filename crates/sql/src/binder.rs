@@ -33,9 +33,7 @@ pub fn bind(builder: &PlanBuilder, query: &Query) -> QResult<LogicalPlan> {
         };
         plan = match join.join_type {
             crate::ast::JoinType::Inner => plan.hash_join(build, build_key, probe_key)?,
-            crate::ast::JoinType::LeftOuter => {
-                plan.left_outer_join(build, build_key, probe_key)?
-            }
+            crate::ast::JoinType::LeftOuter => plan.left_outer_join(build, build_key, probe_key)?,
         };
     }
 
@@ -166,15 +164,18 @@ fn bind_aggregate(plan: LogicalPlan, query: &Query) -> QResult<LogicalPlan> {
         .chain((0..aggs.len()).map(OutputRef::Agg))
         .collect();
     let select_matches_natural = outputs.len() == natural.len()
-        && outputs.iter().zip(&natural).all(|((o, _), n)| match (o, n) {
-            (OutputRef::Agg(a), OutputRef::Agg(b)) => a == b,
-            (OutputRef::Group(a), OutputRef::Group(b)) => {
-                a.eq_ignore_ascii_case(b)
-                    || a.ends_with(&format!(".{b}"))
-                    || b.ends_with(&format!(".{a}"))
-            }
-            _ => false,
-        });
+        && outputs
+            .iter()
+            .zip(&natural)
+            .all(|((o, _), n)| match (o, n) {
+                (OutputRef::Agg(a), OutputRef::Agg(b)) => a == b,
+                (OutputRef::Group(a), OutputRef::Group(b)) => {
+                    a.eq_ignore_ascii_case(b)
+                        || a.ends_with(&format!(".{b}"))
+                        || b.ends_with(&format!(".{a}"))
+                }
+                _ => false,
+            });
     if select_matches_natural {
         return Ok(agged);
     }
@@ -326,11 +327,9 @@ mod tests {
 
     #[test]
     fn join_chain_runs() {
-        let rows = run(
-            "SELECT * FROM customer \
+        let rows = run("SELECT * FROM customer \
              JOIN nation ON customer.nationkey = nation.nationkey \
-             JOIN region ON nation.regionkey = region.regionkey",
-        );
+             JOIN region ON nation.regionkey = region.regionkey");
         assert_eq!(rows.len(), 300);
         assert_eq!(rows[0].arity(), 5);
     }
@@ -376,7 +375,10 @@ mod tests {
         let rows = run("SELECT count(*), sum(custkey) FROM customer");
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].get(0).unwrap().as_i64().unwrap(), 300);
-        assert_eq!(rows[0].get(1).unwrap().as_i64().unwrap(), (0..300).sum::<i64>());
+        assert_eq!(
+            rows[0].get(1).unwrap().as_i64().unwrap(),
+            (0..300).sum::<i64>()
+        );
     }
 
     #[test]
@@ -416,10 +418,7 @@ mod tests {
         let rows = q.collect().unwrap();
         // all 300 customers preserved; only custkey 0..5 match a regionkey
         assert_eq!(rows.len(), 300);
-        let matched = rows
-            .iter()
-            .filter(|r| !r.get(0).unwrap().is_null())
-            .count();
+        let matched = rows.iter().filter(|r| !r.get(0).unwrap().is_null()).count();
         assert_eq!(matched, 5);
     }
 

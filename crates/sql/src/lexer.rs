@@ -154,7 +154,9 @@ pub fn tokenize(input: &str) -> QResult<Vec<Token>> {
                 }
                 let is_float = i < bytes.len()
                     && bytes[i] == b'.'
-                    && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_digit());
+                    && bytes
+                        .get(i + 1)
+                        .is_some_and(|b| (*b as char).is_ascii_digit());
                 if is_float {
                     i += 1;
                     while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {

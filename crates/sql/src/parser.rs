@@ -83,7 +83,9 @@ impl Parser {
     fn ident(&mut self) -> QResult<String> {
         match self.advance() {
             Some(Token::Ident(s)) => Ok(s),
-            other => Err(QError::parse(format!("expected identifier, found {other:?}"))),
+            other => Err(QError::parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -598,7 +600,10 @@ mod tests {
 
     #[test]
     fn left_join_and_distinct() {
-        let q = parse("SELECT DISTINCT a FROM t LEFT OUTER JOIN u ON t.a = u.a LEFT JOIN v ON v.b = t.b").unwrap();
+        let q = parse(
+            "SELECT DISTINCT a FROM t LEFT OUTER JOIN u ON t.a = u.a LEFT JOIN v ON v.b = t.b",
+        )
+        .unwrap();
         assert!(q.distinct);
         assert_eq!(q.joins.len(), 2);
         assert_eq!(q.joins[0].join_type, JoinType::LeftOuter);

@@ -268,7 +268,8 @@ mod tests {
         );
         t.push(row![1i64, "x"]).unwrap();
         t.push(row![1i64, "y"]).unwrap();
-        t.push(Row::new(vec![Value::Int64(2), Value::Null])).unwrap();
+        t.push(Row::new(vec![Value::Int64(2), Value::Null]))
+            .unwrap();
         let st = TableStats::analyze(&t).unwrap();
         assert_eq!(st.row_count, 3);
         assert_eq!(st.columns[0].ndv, 2);

@@ -162,7 +162,8 @@ mod tests {
     #[test]
     fn nullability_is_enforced() {
         let mut t = two_col_table();
-        t.push(Row::new(vec![Value::Int64(1), Value::Null])).unwrap();
+        t.push(Row::new(vec![Value::Int64(1), Value::Null]))
+            .unwrap();
         assert!(t
             .push(Row::new(vec![Value::Null, Value::str("x")]))
             .is_err());
@@ -178,7 +179,12 @@ mod tests {
         assert_eq!(t.num_rows(), n);
         assert_eq!(t.num_blocks(), 3);
         assert_eq!(
-            t.row(BLOCK_CAPACITY).unwrap().get(0).unwrap().as_i64().unwrap(),
+            t.row(BLOCK_CAPACITY)
+                .unwrap()
+                .get(0)
+                .unwrap()
+                .as_i64()
+                .unwrap(),
             BLOCK_CAPACITY as i64
         );
         // iteration preserves insertion order

@@ -63,9 +63,7 @@ impl Key {
         let base = std::mem::size_of::<Key>();
         match self {
             Key::Str(s) => base + s.len(),
-            Key::Composite(parts) => {
-                base + parts.iter().map(Key::memory_size).sum::<usize>()
-            }
+            Key::Composite(parts) => base + parts.iter().map(Key::memory_size).sum::<usize>(),
             _ => base,
         }
     }

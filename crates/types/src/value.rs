@@ -283,11 +283,13 @@ mod tests {
 
     #[test]
     fn total_cmp_sorts_nulls_first_and_mixed_types() {
-        let mut vals = [Value::str("b"),
+        let mut vals = [
+            Value::str("b"),
             Value::Int64(3),
             Value::Null,
             Value::Float64(1.5),
-            Value::Int64(1)];
+            Value::Int64(1),
+        ];
         vals.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Int64(1));
@@ -315,9 +317,6 @@ mod tests {
         let short = Value::str("a");
         let long = Value::str("aaaaaaaaaaaaaaaaaaaa");
         assert!(long.memory_size() > short.memory_size());
-        assert_eq!(
-            Value::Int64(1).memory_size(),
-            std::mem::size_of::<Value>()
-        );
+        assert_eq!(Value::Int64(1).memory_size(), std::mem::size_of::<Value>());
     }
 }

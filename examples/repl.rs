@@ -78,8 +78,7 @@ fn main() -> QResult<()> {
             Some(rest) => (true, rest.trim()),
             None => (false, line),
         };
-        let session =
-            Session::new(catalog.clone()).with_options(PhysicalOptions::with_mode(mode));
+        let session = Session::new(catalog.clone()).with_options(PhysicalOptions::with_mode(mode));
         let mut query = match session.query(sql) {
             Ok(q) => q,
             Err(e) => {
@@ -94,27 +93,25 @@ fn main() -> QResult<()> {
 
         let tracker = query.tracker();
         let started = Instant::now();
-        let monitor = std::thread::spawn(move || {
-            loop {
-                let snap = tracker.snapshot();
-                let (lo, hi) = tracker.fraction_bounds();
-                let frac = snap.fraction();
-                let filled = (frac * 30.0) as usize;
-                eprint!(
-                    "\r[{}{}] {:5.1}%  (bounds {:.1}–{:.1}%)   ",
-                    "#".repeat(filled),
-                    "-".repeat(30 - filled),
-                    frac * 100.0,
-                    lo * 100.0,
-                    hi * 100.0,
-                );
-                std::io::stderr().flush().ok();
-                if snap.is_complete() {
-                    eprintln!();
-                    break;
-                }
-                std::thread::sleep(Duration::from_millis(25));
+        let monitor = std::thread::spawn(move || loop {
+            let snap = tracker.snapshot();
+            let (lo, hi) = tracker.fraction_bounds();
+            let frac = snap.fraction();
+            let filled = (frac * 30.0) as usize;
+            eprint!(
+                "\r[{}{}] {:5.1}%  (bounds {:.1}–{:.1}%)   ",
+                "#".repeat(filled),
+                "-".repeat(30 - filled),
+                frac * 100.0,
+                lo * 100.0,
+                hi * 100.0,
+            );
+            std::io::stderr().flush().ok();
+            if snap.is_complete() {
+                eprintln!();
+                break;
             }
+            std::thread::sleep(Duration::from_millis(25));
         });
         match query.collect() {
             Ok(rows) => {

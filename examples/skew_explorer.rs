@@ -29,7 +29,10 @@ fn main() {
 
         let mut tracker = DistinctTracker::new(rows as u64);
         println!("z = {z}: true groups = {truth}");
-        println!("  {:>8} {:>10} {:>7} {:>12} {:>12} {:>12}", "seen", "γ²", "pick", "chosen", "GEE", "MLE");
+        println!(
+            "  {:>8} {:>10} {:>7} {:>12} {:>12} {:>12}",
+            "seen", "γ²", "pick", "chosen", "GEE", "MLE"
+        );
         let mut next_report = 1_000;
         for (i, r) in table.iter().enumerate() {
             tracker.observe(&Key::Int(r.get(1).unwrap().as_i64().unwrap()));

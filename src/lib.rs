@@ -43,6 +43,7 @@
 pub use qprog_core as core;
 pub use qprog_datagen as datagen;
 pub use qprog_exec as exec;
+pub use qprog_obs as obs;
 pub use qprog_plan as plan;
 pub use qprog_sql as sql;
 pub use qprog_storage as storage;
@@ -58,6 +59,11 @@ pub mod prelude {
     pub use crate::session::{QueryHandle, Session};
     pub use qprog_core::gnm::ProgressSnapshot;
     pub use qprog_core::EstimationMode;
+    pub use qprog_exec::trace::{EventBus, TraceEvent, TraceSink};
+    pub use qprog_obs::{
+        explain_analyze, JsonlSink, ProgressLog, RingSink, StderrSink, TimelineRecorder,
+        ValidatorSink,
+    };
     pub use qprog_plan::builder::PlanBuilder;
     pub use qprog_storage::{Catalog, Table};
     pub use qprog_types::{DataType, Field, Key, QError, QResult, Row, Schema, Value};

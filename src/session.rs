@@ -1,7 +1,10 @@
 //! High-level session API: SQL in, rows + live progress out.
 
+use std::sync::Arc;
+
 use qprog_core::gnm::ProgressSnapshot;
-use qprog_plan::physical::{compile, CompiledQuery, PhysicalOptions};
+use qprog_exec::trace::{EventBus, TraceEvent};
+use qprog_plan::physical::{compile_traced, CompiledQuery, PhysicalOptions};
 use qprog_plan::{LogicalPlan, PlanBuilder, ProgressTracker};
 use qprog_storage::Catalog;
 use qprog_types::{QResult, Row};
@@ -10,11 +13,16 @@ use qprog_types::{QResult, Row};
 ///
 /// The default options enable the paper's framework (`Once` estimation,
 /// 10% block samples); use [`Session::with_options`] to run the `dne`/
-/// `byte` baselines or disable estimation.
+/// `byte` baselines or disable estimation. Attach an
+/// [`EventBus`] with [`Session::with_trace`] to stream execution trace
+/// events (phase transitions, estimate refinements, query completion) to
+/// observability sinks; without one, queries compile with zero tracing
+/// overhead.
 #[derive(Debug, Clone)]
 pub struct Session {
     builder: PlanBuilder,
     options: PhysicalOptions,
+    bus: Option<Arc<EventBus>>,
 }
 
 impl Session {
@@ -23,6 +31,7 @@ impl Session {
         Session {
             builder: PlanBuilder::new(catalog),
             options: PhysicalOptions::default(),
+            bus: None,
         }
     }
 
@@ -30,6 +39,18 @@ impl Session {
     pub fn with_options(mut self, options: PhysicalOptions) -> Self {
         self.options = options;
         self
+    }
+
+    /// Attach a trace bus: every query compiled by this session publishes
+    /// [`TraceEvent`]s to the bus's sinks.
+    pub fn with_trace(mut self, bus: Arc<EventBus>) -> Self {
+        self.bus = Some(bus);
+        self
+    }
+
+    /// The attached trace bus, if any.
+    pub fn trace_bus(&self) -> Option<&Arc<EventBus>> {
+        self.bus.as_ref()
     }
 
     /// The plan builder (for programmatic plan construction).
@@ -50,7 +71,7 @@ impl Session {
 
     /// Compile a programmatically built logical plan.
     pub fn query_plan(&self, plan: LogicalPlan) -> QResult<QueryHandle> {
-        let compiled = compile(&plan, &self.options)?;
+        let compiled = compile_traced(&plan, &self.options, self.bus.clone())?;
         Ok(QueryHandle { plan, compiled })
     }
 }
@@ -85,10 +106,7 @@ impl QueryHandle {
 
     /// Run to completion, invoking the observer with a progress snapshot
     /// every 256 output rows and at completion.
-    pub fn run_with(
-        &mut self,
-        observer: impl FnMut(&ProgressSnapshot),
-    ) -> QResult<Vec<Row>> {
+    pub fn run_with(&mut self, observer: impl FnMut(&ProgressSnapshot)) -> QResult<Vec<Row>> {
         self.run_with_cadence(256, observer)
     }
 
@@ -110,6 +128,20 @@ impl QueryHandle {
     pub fn registry(&self) -> &qprog_exec::metrics::MetricsRegistry {
         self.compiled.registry()
     }
+
+    /// The compiled physical query (operator tree metadata, estimator
+    /// labels, trace bus).
+    pub fn compiled(&self) -> &CompiledQuery {
+        &self.compiled
+    }
+
+    /// EXPLAIN ANALYZE: actual vs estimated cardinality per operator with
+    /// q-errors, `getnext()` counts, estimator attribution, and — when
+    /// `events` carries a captured trace — phase wall-times and refinement
+    /// counts. Call after the query has run to completion.
+    pub fn explain_analyze(&self, events: &[TraceEvent]) -> String {
+        qprog_obs::explain_analyze(&self.compiled, events)
+    }
 }
 
 #[cfg(test)]
@@ -121,7 +153,8 @@ mod tests {
         let mut c = Catalog::new();
         c.register(qprog_datagen::customer_table("customer", 5000, 1.0, 100, 1))
             .unwrap();
-        c.register(qprog_datagen::nation_table("nation", 100)).unwrap();
+        c.register(qprog_datagen::nation_table("nation", 100))
+            .unwrap();
         c
     }
 
@@ -146,11 +179,44 @@ mod tests {
     #[test]
     fn modes_are_selectable() {
         for mode in EstimationMode::ALL {
-            let session =
-                Session::new(catalog()).with_options(PhysicalOptions::with_mode(mode));
+            let session = Session::new(catalog()).with_options(PhysicalOptions::with_mode(mode));
             let mut h = session.query("SELECT * FROM customer").unwrap();
             assert_eq!(h.collect().unwrap().len(), 5000);
         }
+    }
+
+    #[test]
+    fn traced_session_produces_explain_analyze() {
+        let ring = Arc::new(qprog_obs::RingSink::with_capacity(4096));
+        let validator = Arc::new(qprog_obs::ValidatorSink::new());
+        let bus = EventBus::builder()
+            .sink(Arc::clone(&ring) as _)
+            .sink(Arc::clone(&validator) as _)
+            .build();
+        let session = Session::new(catalog()).with_trace(bus);
+        let mut h = session
+            .query(
+                "SELECT * FROM customer \
+                 JOIN nation ON customer.nationkey = nation.nationkey",
+            )
+            .unwrap();
+        let rows = h.collect().unwrap();
+        assert_eq!(rows.len(), 5000);
+        let events = ring.drain();
+        assert!(!events.is_empty());
+        assert!(validator.is_clean(), "{:?}", validator.violations());
+        let report = h.explain_analyze(&events);
+        assert!(report.contains("-> hash_join"), "{report}");
+        assert!(report.contains("actual: 5000 rows"), "{report}");
+        assert!(report.contains("phases: build"), "{report}");
+    }
+
+    #[test]
+    fn untraced_session_has_no_bus() {
+        let session = Session::new(catalog());
+        assert!(session.trace_bus().is_none());
+        let h = session.query("SELECT * FROM nation").unwrap();
+        assert!(h.compiled().bus().is_none());
     }
 
     #[test]

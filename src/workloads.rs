@@ -38,9 +38,21 @@ pub fn q8_plan(builder: &PlanBuilder) -> QResult<LogicalPlan> {
     builder
         .scan("lineitem")?
         .hash_join(part, "part.partkey", "lineitem.partkey")?
-        .hash_join(builder.scan("supplier")?, "supplier.suppkey", "lineitem.suppkey")?
-        .hash_join(builder.scan("orders")?, "orders.orderkey", "lineitem.orderkey")?
-        .hash_join(builder.scan("customer")?, "customer.custkey", "orders.custkey")?
+        .hash_join(
+            builder.scan("supplier")?,
+            "supplier.suppkey",
+            "lineitem.suppkey",
+        )?
+        .hash_join(
+            builder.scan("orders")?,
+            "orders.orderkey",
+            "lineitem.orderkey",
+        )?
+        .hash_join(
+            builder.scan("customer")?,
+            "customer.custkey",
+            "orders.custkey",
+        )?
         .hash_join(n1, "n1.nationkey", "customer.nationkey")?
         .hash_join(n2, "n2.nationkey", "supplier.nationkey")?
         .hash_join(region, "region.regionkey", "n1.regionkey")?

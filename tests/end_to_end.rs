@@ -10,11 +10,20 @@ use qprog_datagen::{TpchConfig, TpchGenerator};
 
 fn skewed_catalog() -> Catalog {
     let mut c = Catalog::new();
-    c.register(qprog::datagen::customer_table("customer", 20_000, 1.5, 300, 1))
+    c.register(qprog::datagen::customer_table(
+        "customer", 20_000, 1.5, 300, 1,
+    ))
+    .unwrap();
+    c.register(qprog::datagen::customer_table(
+        "customer2",
+        20_000,
+        1.5,
+        300,
+        2,
+    ))
+    .unwrap();
+    c.register(qprog::datagen::nation_table("nation", 300))
         .unwrap();
-    c.register(qprog::datagen::customer_table("customer2", 20_000, 1.5, 300, 2))
-        .unwrap();
-    c.register(qprog::datagen::nation_table("nation", 300)).unwrap();
     c
 }
 
@@ -27,8 +36,7 @@ fn estimation_modes_do_not_change_results() {
                WHERE customer.custkey < 5000 ORDER BY custkey";
     let mut reference: Option<Vec<String>> = None;
     for mode in EstimationMode::ALL {
-        let session =
-            Session::new(skewed_catalog()).with_options(PhysicalOptions::with_mode(mode));
+        let session = Session::new(skewed_catalog()).with_options(PhysicalOptions::with_mode(mode));
         let rows: Vec<String> = session
             .query(sql)
             .unwrap()
@@ -78,12 +86,11 @@ fn once_estimates_exact_at_first_output_under_skew() {
 fn progress_is_monotone_and_complete() {
     let session = Session::new(skewed_catalog());
     let mut q = session
-        .query(
-            "SELECT nationkey, count(*) FROM customer GROUP BY nationkey",
-        )
+        .query("SELECT nationkey, count(*) FROM customer GROUP BY nationkey")
         .unwrap();
     let mut fractions = Vec::new();
-    q.run_with_cadence(16, |s| fractions.push(s.fraction())).unwrap();
+    q.run_with_cadence(16, |s| fractions.push(s.fraction()))
+        .unwrap();
     assert!(!fractions.is_empty());
     for w in fractions.windows(2) {
         assert!(
@@ -123,8 +130,7 @@ fn q8_all_modes_agree() {
     .unwrap();
     let mut reference: Option<Vec<String>> = None;
     for mode in EstimationMode::ALL {
-        let session = Session::new(catalog.clone())
-            .with_options(PhysicalOptions::with_mode(mode));
+        let session = Session::new(catalog.clone()).with_options(PhysicalOptions::with_mode(mode));
         let plan = q8_plan(session.builder()).unwrap();
         let rows: Vec<String> = session
             .query_plan(plan)
@@ -150,7 +156,11 @@ fn merge_join_agrees_with_hash_join() {
         .builder()
         .scan("customer")
         .unwrap()
-        .hash_join(b.builder().scan("nation").unwrap(), "nation.nationkey", "customer.nationkey")
+        .hash_join(
+            b.builder().scan("nation").unwrap(),
+            "nation.nationkey",
+            "customer.nationkey",
+        )
         .unwrap();
     let merge = b
         .builder()

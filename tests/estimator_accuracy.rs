@@ -171,10 +171,10 @@ fn chooser_picks_the_better_estimator_per_skew() {
 /// the exact distinct count of the join output before the aggregate runs.
 #[test]
 fn agg_pushdown_tracker_is_exact_after_probe_pass() {
-    use parking_lot::Mutex;
     use qprog_exec::metrics::OpMetrics;
     use qprog_exec::ops::hash_join::{HashJoin, JoinEstimation};
     use qprog_exec::ops::{BoxedOp, Operator, TableScan};
+    use qprog_exec::sync::Mutex;
 
     let r = qprog::datagen::customer_table("r", 5_000, 1.0, 400, 1).into_shared();
     let s = qprog::datagen::customer_table("s", 5_000, 1.0, 400, 2).into_shared();

@@ -7,10 +7,13 @@ use qprog::prelude::*;
 
 fn catalog() -> Catalog {
     let mut c = Catalog::new();
-    c.register(qprog::datagen::customer_table("customer", 10_000, 1.0, 400, 1))
-        .unwrap();
+    c.register(qprog::datagen::customer_table(
+        "customer", 10_000, 1.0, 400, 1,
+    ))
+    .unwrap();
     // nation covers only the lower half of the domain → guaranteed misses
-    c.register(qprog::datagen::nation_table("nation", 200)).unwrap();
+    c.register(qprog::datagen::nation_table("nation", 200))
+        .unwrap();
     c
 }
 
@@ -52,10 +55,7 @@ fn sql_left_join_counts_match_set_algebra() {
         .unwrap()
         .collect()
         .unwrap();
-    let padded = rows
-        .iter()
-        .filter(|r| r.get(0).unwrap().is_null())
-        .count() as i64;
+    let padded = rows.iter().filter(|r| r.get(0).unwrap().is_null()).count() as i64;
     assert_eq!(padded, total - inner);
 }
 
@@ -66,12 +66,20 @@ fn builder_semi_and_anti_join_partition_the_probe_side() {
     let semi = b
         .scan("customer")
         .unwrap()
-        .semi_join(b.scan("nation").unwrap(), "nation.nationkey", "customer.nationkey")
+        .semi_join(
+            b.scan("nation").unwrap(),
+            "nation.nationkey",
+            "customer.nationkey",
+        )
         .unwrap();
     let anti = b
         .scan("customer")
         .unwrap()
-        .anti_join(b.scan("nation").unwrap(), "nation.nationkey", "customer.nationkey")
+        .anti_join(
+            b.scan("nation").unwrap(),
+            "nation.nationkey",
+            "customer.nationkey",
+        )
         .unwrap();
     // semi/anti output only the probe columns
     assert_eq!(semi.schema.arity(), 2);
@@ -127,8 +135,14 @@ fn refinement_rescales_pending_aggregate() {
     // once the join pipeline converges, the pending GROUP BY's N_i should
     // scale by the same ratio — visible as a better mid-run fraction.
     let mut c = catalog();
-    c.register(qprog::datagen::customer_table("customer2", 10_000, 1.0, 400, 2))
-        .unwrap();
+    c.register(qprog::datagen::customer_table(
+        "customer2",
+        10_000,
+        1.0,
+        400,
+        2,
+    ))
+    .unwrap();
     let session = Session::new(c);
     let mut q = session
         .query(
@@ -158,9 +172,7 @@ fn fraction_bounds_bracket_fraction_throughout_execution() {
         ..PhysicalOptions::default()
     });
     let mut q = session
-        .query(
-            "SELECT * FROM customer JOIN nation ON customer.nationkey = nation.nationkey",
-        )
+        .query("SELECT * FROM customer JOIN nation ON customer.nationkey = nation.nationkey")
         .unwrap();
     let tracker = q.tracker();
     let mut checked = 0;

@@ -1,0 +1,460 @@
+//! Randomized invariants on the core data structures and estimators,
+//! cross-checked against brute-force models.
+//!
+//! Formerly property-based via `proptest`; now driven by the vendored
+//! deterministic PRNG so the workspace builds with no external crates.
+//! Each property runs over many seeded random cases, including the empty
+//! and size-one edges proptest used to shrink towards.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use qprog::core::freq_hist::FreqHist;
+use qprog::core::gee::Gee;
+use qprog::core::gnm::{PipelineProgress, ProgressSnapshot};
+use qprog::core::join_est::{OnceJoinEstimator, SymmetricJoinEstimator};
+use qprog::core::mle::mle_estimate;
+use qprog::core::pipeline_est::{AttrSource, JoinSpec, PipelineEstimator};
+use qprog_types::{Key, Row, Value};
+
+const CASES: u64 = 64;
+
+/// A random vector with length drawn from `0..=max_len` (always exercising
+/// the empty and singleton edges in the first two cases) and values drawn
+/// from `lo..hi`.
+fn rand_vec(rng: &mut StdRng, case: u64, max_len: usize, lo: i64, hi: i64) -> Vec<i64> {
+    let len = match case {
+        0 => 0,
+        1 => 1,
+        _ => rng.random_range(0..=max_len),
+    };
+    (0..len).map(|_| rng.random_range(lo..hi)).collect()
+}
+
+fn keys(vals: &[i64]) -> Vec<Key> {
+    vals.iter().map(|&v| Key::Int(v)).collect()
+}
+
+fn exact_join(r: &[i64], s: &[i64]) -> u64 {
+    r.iter()
+        .map(|a| s.iter().filter(|&&b| b == *a).count() as u64)
+        .sum()
+}
+
+/// FreqHist's incrementally maintained aggregates always match direct
+/// recomputation from the raw counts.
+#[test]
+fn freq_hist_aggregates_consistent() {
+    let mut rng = StdRng::seed_from_u64(0xf4e9);
+    for case in 0..CASES {
+        let vals = rand_vec(&mut rng, case, 300, -20, 20);
+        let mut h = FreqHist::new();
+        for k in keys(&vals) {
+            h.observe(&k);
+        }
+        let direct_counts: std::collections::HashMap<i64, u64> =
+            vals.iter()
+                .fold(std::collections::HashMap::new(), |mut m, &v| {
+                    *m.entry(v).or_default() += 1;
+                    m
+                });
+        assert_eq!(h.total(), vals.len() as u64);
+        assert_eq!(h.distinct(), direct_counts.len() as u64);
+        let direct_sum_sq: u128 = direct_counts
+            .values()
+            .map(|&c| (c as u128) * (c as u128))
+            .sum();
+        assert_eq!(h.sum_squared_counts(), direct_sum_sq);
+        let direct_singletons = direct_counts.values().filter(|&&c| c == 1).count() as u64;
+        assert_eq!(h.singletons(), direct_singletons);
+        // frequency classes partition the distinct values and weight to t
+        let d: u64 = h.frequency_classes().map(|(_, f)| f).sum();
+        let t: u64 = h.frequency_classes().map(|(j, f)| j * f).sum();
+        assert_eq!(d, h.distinct());
+        assert_eq!(t, h.total());
+        assert!(h.gamma_squared() >= 0.0);
+    }
+}
+
+/// The once estimator is exact once the probe stream is exhausted, for any
+/// pair of key vectors and any probe order.
+#[test]
+fn once_join_exact_at_convergence() {
+    let mut rng = StdRng::seed_from_u64(0x01ce);
+    for case in 0..CASES {
+        let r = rand_vec(&mut rng, case, 120, -10, 10);
+        let s = rand_vec(&mut rng, case, 120, -10, 10);
+        let build = keys(&r);
+        let mut est = OnceJoinEstimator::from_build_keys(build.iter(), s.len() as u64);
+        for k in keys(&s) {
+            est.observe_probe(&k);
+        }
+        assert!(est.converged());
+        assert_eq!(est.estimate().round() as u64, exact_join(&r, &s));
+    }
+}
+
+/// Partial once estimates are always non-negative and scale linearly with
+/// the assumed probe size.
+#[test]
+fn once_join_scaling() {
+    let mut rng = StdRng::seed_from_u64(0x5ca1e);
+    for case in 0..CASES {
+        let mut r = rand_vec(&mut rng, case, 50, 0, 5);
+        let mut s = rand_vec(&mut rng, case, 50, 0, 5);
+        if r.is_empty() {
+            r.push(0);
+        }
+        if s.is_empty() {
+            s.push(0);
+        }
+        let probe_size = rng.random_range(1u64..10_000);
+        let build = keys(&r);
+        let mut est = OnceJoinEstimator::from_build_keys(build.iter(), probe_size);
+        for k in keys(&s) {
+            est.observe_probe(&k);
+        }
+        let e1 = est.estimate();
+        est.set_probe_size(probe_size * 2);
+        let e2 = est.estimate();
+        assert!(e1 >= 0.0);
+        assert!((e2 - 2.0 * e1).abs() < 1e-6 * (1.0 + e1));
+    }
+}
+
+/// The symmetric estimator agrees with brute force at full observation.
+#[test]
+fn symmetric_join_exact_at_convergence() {
+    let mut rng = StdRng::seed_from_u64(0x53);
+    for case in 0..CASES {
+        let r = rand_vec(&mut rng, case, 80, -5, 5);
+        let s = rand_vec(&mut rng, case, 80, -5, 5);
+        let mut est = SymmetricJoinEstimator::new(r.len() as u64, s.len() as u64);
+        for k in keys(&r) {
+            est.observe_r(&k);
+        }
+        for k in keys(&s) {
+            est.observe_s(&k);
+        }
+        assert!(est.converged());
+        assert_eq!(est.estimate().round() as u64, exact_join(&r, &s));
+    }
+}
+
+/// GEE and MLE never report fewer groups than observed, and both are exact
+/// when the sample is the whole input.
+#[test]
+fn distinct_estimators_bounds() {
+    let mut rng = StdRng::seed_from_u64(0xd157);
+    for case in 0..CASES {
+        let mut vals = rand_vec(&mut rng, case, 400, 0, 40);
+        if vals.is_empty() {
+            vals.push(0);
+        }
+        let mut h = FreqHist::new();
+        let mut gee = Gee::new(vals.len() as u64);
+        for k in keys(&vals) {
+            let prior = h.observe(&k);
+            gee.observe_transition(prior);
+        }
+        let d = h.distinct() as f64;
+        assert!((gee.estimate() - d).abs() < 1e-9);
+        assert!((mle_estimate(&h, vals.len() as u64) - d).abs() < 1e-9);
+        // On a half-size claim of the input, estimates are ≥ observed.
+        let bigger = vals.len() as u64 * 2;
+        gee.set_input_size(bigger);
+        assert!(gee.estimate() >= d - 1e-9);
+        assert!(mle_estimate(&h, bigger) >= d - 1e-9);
+    }
+}
+
+/// gnm fractions are always within [0, 1] no matter how wrong the
+/// estimates are.
+#[test]
+fn gnm_fraction_bounded() {
+    let mut rng = StdRng::seed_from_u64(0xf2ac);
+    for case in 0..CASES {
+        let n = match case {
+            0 => 0,
+            1 => 1,
+            _ => rng.random_range(0..8usize),
+        };
+        let pipelines = (0..n)
+            .map(|i| {
+                let done = rng.random_range(0u64..1000);
+                let est = rng.random_f64() * 2000.0;
+                PipelineProgress::running(i, done, est)
+            })
+            .collect();
+        let snap = ProgressSnapshot::new(pipelines);
+        let f = snap.fraction();
+        assert!((0.0..=1.0).contains(&f), "fraction {f} out of range");
+    }
+}
+
+/// Pipeline estimator (2-join same-attribute) agrees with brute force at
+/// convergence for arbitrary key data.
+#[test]
+fn pipeline_two_join_exact() {
+    let mut rng = StdRng::seed_from_u64(0x2101);
+    for case in 0..CASES {
+        let b0 = rand_vec(&mut rng, case, 40, 0, 6);
+        let b1 = rand_vec(&mut rng, case.wrapping_add(2), 40, 0, 6);
+        let c = rand_vec(&mut rng, case.wrapping_add(3), 40, 0, 6);
+        let specs = vec![
+            JoinSpec {
+                build_attr_col: 0,
+                probe_attr: AttrSource::Probe { col: 0 },
+            };
+            2
+        ];
+        let mut est = PipelineEstimator::new(specs, c.len() as u64).unwrap();
+        let to_rows = |vals: &[i64]| -> Vec<Row> {
+            vals.iter()
+                .map(|&v| Row::new(vec![Value::Int64(v)]))
+                .collect()
+        };
+        est.feed_build(1, to_rows(&b1).iter()).unwrap();
+        est.feed_build(0, to_rows(&b0).iter()).unwrap();
+        for row in to_rows(&c) {
+            est.observe_probe(&row).unwrap();
+        }
+        // brute force
+        let lower: u64 = c
+            .iter()
+            .map(|x| b0.iter().filter(|&&v| v == *x).count() as u64)
+            .sum();
+        let upper: u64 = c
+            .iter()
+            .map(|x| {
+                (b0.iter().filter(|&&v| v == *x).count() * b1.iter().filter(|&&v| v == *x).count())
+                    as u64
+            })
+            .sum();
+        assert_eq!(est.estimate(0).round() as u64, lower);
+        assert_eq!(est.estimate(1).round() as u64, upper);
+    }
+}
+
+/// Adaptive interval: the recomputation interval always stays within its
+/// configured bounds.
+#[test]
+fn adaptive_interval_bounds() {
+    use qprog::core::interval::AdaptiveInterval;
+    let mut rng = StdRng::seed_from_u64(0xad1);
+    for case in 0..CASES {
+        let l = rng.random_range(1u64..50);
+        let u = l + rng.random_range(0u64..100);
+        let mut ai = AdaptiveInterval::new(l, u, 0.05);
+        let rounds = match case {
+            0 => 0,
+            _ => rng.random_range(0..50usize),
+        };
+        for _ in 0..rounds {
+            let old = rng.random_f64() * 100.0;
+            let new = rng.random_f64() * 100.0;
+            ai.feedback(old, new);
+            assert!(ai.current_interval() >= l);
+            assert!(ai.current_interval() <= u);
+        }
+    }
+}
+
+/// Join algorithm agreement on random data: hash, merge and nested-loops
+/// joins must produce identical result multisets.
+#[test]
+fn join_algorithms_agree_on_random_data() {
+    use qprog::plan::physical::{compile, PhysicalOptions};
+    use qprog::plan::JoinAlgo;
+    use qprog::prelude::*;
+
+    for seed in 0..5u64 {
+        let mut catalog = Catalog::new();
+        catalog
+            .register(qprog::datagen::customer_table("left", 800, 1.0, 60, seed))
+            .unwrap();
+        catalog
+            .register(qprog::datagen::customer_table(
+                "right",
+                700,
+                1.0,
+                60,
+                seed + 100,
+            ))
+            .unwrap();
+        let builder = qprog::plan::PlanBuilder::new(catalog);
+        let mut counts = Vec::new();
+        for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::NestedLoops] {
+            let plan = builder
+                .scan("right")
+                .unwrap()
+                .join_build(
+                    builder.scan("left").unwrap(),
+                    "left.nationkey",
+                    "right.nationkey",
+                    algo,
+                )
+                .unwrap();
+            let mut q = compile(&plan, &PhysicalOptions::default()).unwrap();
+            let mut rows: Vec<String> =
+                q.collect().unwrap().iter().map(|r| r.to_string()).collect();
+            rows.sort();
+            counts.push(rows);
+        }
+        assert_eq!(counts[0], counts[1], "hash vs merge, seed {seed}");
+        assert_eq!(counts[0], counts[2], "hash vs nl, seed {seed}");
+    }
+}
+
+/// All four join kinds agree with brute force at probe exhaustion, for
+/// arbitrary key vectors.
+#[test]
+fn join_kinds_exact_at_convergence() {
+    use qprog::core::join_est::JoinKind;
+    let mut rng = StdRng::seed_from_u64(0x1c1d);
+    for case in 0..CASES {
+        let r = rand_vec(&mut rng, case, 60, -6, 6);
+        let s = rand_vec(&mut rng, case, 60, -6, 6);
+        let multiplicity = |x: i64| r.iter().filter(|&&v| v == x).count() as u64;
+        for kind in [
+            JoinKind::Inner,
+            JoinKind::LeftOuter,
+            JoinKind::Semi,
+            JoinKind::Anti,
+        ] {
+            let truth: u64 = s.iter().map(|&x| kind.contribution(multiplicity(x))).sum();
+            let build = keys(&r);
+            let hist: FreqHist = build.iter().collect();
+            let mut est = OnceJoinEstimator::with_kind(hist, s.len() as u64, kind);
+            for k in keys(&s) {
+                est.observe_probe(&k);
+            }
+            assert_eq!(est.estimate().round() as u64, truth, "{kind:?}");
+        }
+    }
+}
+
+/// Pipeline estimator, Case 2 (derived histograms), agrees with brute force
+/// at convergence for arbitrary two-column build data.
+#[test]
+fn pipeline_case2_exact() {
+    let mut rng = StdRng::seed_from_u64(0xca5e2);
+    for case in 0..CASES {
+        let b0: Vec<(i64, i64)> = {
+            let xs = rand_vec(&mut rng, case, 30, 0, 5);
+            xs.iter().map(|&x| (x, rng.random_range(0i64..5))).collect()
+        };
+        let b1 = rand_vec(&mut rng, case.wrapping_add(2), 30, 0, 5);
+        let c = rand_vec(&mut rng, case.wrapping_add(3), 30, 0, 5);
+        let specs = vec![
+            JoinSpec {
+                build_attr_col: 0,
+                probe_attr: AttrSource::Probe { col: 0 },
+            },
+            JoinSpec {
+                build_attr_col: 0,
+                probe_attr: AttrSource::Build { join: 0, col: 1 },
+            },
+        ];
+        let mut est = PipelineEstimator::new(specs, c.len() as u64).unwrap();
+        let b0_rows: Vec<Row> = b0
+            .iter()
+            .map(|&(x, y)| Row::new(vec![Value::Int64(x), Value::Int64(y)]))
+            .collect();
+        let b1_rows: Vec<Row> = b1
+            .iter()
+            .map(|&y| Row::new(vec![Value::Int64(y)]))
+            .collect();
+        est.feed_build(1, b1_rows.iter()).unwrap();
+        est.feed_build(0, b0_rows.iter()).unwrap();
+        for &x in &c {
+            est.observe_probe(&Row::new(vec![Value::Int64(x)])).unwrap();
+        }
+        let lower: u64 = c
+            .iter()
+            .map(|&x| b0.iter().filter(|&&(bx, _)| bx == x).count() as u64)
+            .sum();
+        let upper: u64 = c
+            .iter()
+            .map(|&x| {
+                b0.iter()
+                    .filter(|&&(bx, _)| bx == x)
+                    .map(|&(_, by)| b1.iter().filter(|&&v| v == by).count() as u64)
+                    .sum::<u64>()
+            })
+            .sum();
+        assert_eq!(est.estimate(0).round() as u64, lower);
+        assert_eq!(est.estimate(1).round() as u64, upper);
+    }
+}
+
+/// `observe_n` is equivalent to repeated `observe` for every aggregate the
+/// histogram maintains.
+#[test]
+fn freq_hist_observe_n_equivalence() {
+    let mut rng = StdRng::seed_from_u64(0x0b5e);
+    for case in 0..CASES {
+        let n_batches = match case {
+            0 => 0,
+            _ => rng.random_range(0..60usize),
+        };
+        let batches: Vec<(i64, u64)> = (0..n_batches)
+            .map(|_| (rng.random_range(0i64..10), rng.random_range(1u64..6)))
+            .collect();
+        let mut bulk = FreqHist::new();
+        let mut single = FreqHist::new();
+        for &(v, n) in &batches {
+            bulk.observe_n(&Key::Int(v), n);
+            for _ in 0..n {
+                single.observe(&Key::Int(v));
+            }
+        }
+        assert_eq!(bulk.total(), single.total());
+        assert_eq!(bulk.distinct(), single.distinct());
+        assert_eq!(bulk.sum_squared_counts(), single.sum_squared_counts());
+        assert_eq!(bulk.max_frequency(), single.max_frequency());
+        let sorted = |h: &FreqHist| {
+            let mut v: Vec<_> = h.frequency_classes().collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sorted(&bulk), sorted(&single));
+    }
+}
+
+/// The disjunction estimator equals brute force for arbitrary pairs.
+#[test]
+fn disjunction_estimator_exact() {
+    use qprog::core::multi_est::DisjunctionJoinEstimator;
+    let mut rng = StdRng::seed_from_u64(0xd15);
+    for case in 0..CASES {
+        let pairs = |rng: &mut StdRng, case: u64| -> Vec<(i64, i64)> {
+            let len = match case {
+                0 => 0,
+                1 => 1,
+                _ => rng.random_range(0..40usize),
+            };
+            (0..len)
+                .map(|_| (rng.random_range(0i64..6), rng.random_range(0i64..6)))
+                .collect()
+        };
+        let build = pairs(&mut rng, case);
+        let probe = pairs(&mut rng, case);
+        let bp: Vec<(Key, Key)> = build
+            .iter()
+            .map(|&(a, b)| (Key::Int(a), Key::Int(b)))
+            .collect();
+        let mut est = DisjunctionJoinEstimator::from_build_pairs(
+            bp.iter().map(|(a, b)| (a, b)),
+            probe.len() as u64,
+        );
+        for &(x, y) in &probe {
+            est.observe_probe(&Key::Int(x), &Key::Int(y));
+        }
+        let truth: u64 = probe
+            .iter()
+            .map(|&(x, y)| build.iter().filter(|&&(a, b)| a == x || b == y).count() as u64)
+            .sum();
+        assert_eq!(est.estimate().round() as u64, truth);
+    }
+}
