@@ -192,6 +192,13 @@ impl EventBus {
         self.seq.load(std::sync::atomic::Ordering::Relaxed)
     }
 
+    /// The attached sinks (shareable: a caller composing a derived bus —
+    /// e.g. a session adding metrics/monitor sinks per query — clones these
+    /// so events are stamped once and fan out to every consumer).
+    pub fn sinks(&self) -> &[Arc<dyn TraceSink>] {
+        &self.sinks
+    }
+
     /// The bus creation instant (`at_us` timestamps are relative to it).
     pub fn epoch(&self) -> Instant {
         self.epoch

@@ -1,0 +1,219 @@
+//! Prometheus text exposition format (version 0.0.4) rendering.
+//!
+//! Families render in sorted name order, children in sorted label-signature
+//! order, so consecutive scrapes of an unchanged registry are byte-stable.
+
+use crate::{Family, Instrument, LabelSet, Registry, Sample};
+
+/// Content-Type for the rendered output.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Escape a label value: `\` → `\\`, `"` → `\"`, newline → `\n`.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape `# HELP` text: `\` → `\\`, newline → `\n`.
+pub fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A float in exposition form (`+Inf`/`-Inf`/`NaN` per the format spec).
+pub fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn label_block(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    format!("{{{}}}", parts.join(","))
+}
+
+fn with_le(labels: &LabelSet, le: &str) -> Vec<(String, String)> {
+    let mut l = labels.clone();
+    l.push(("le".to_string(), le.to_string()));
+    l
+}
+
+fn family_samples(name: &str, family: &Family, out: &mut Vec<Sample>) {
+    for (labels, child) in &family.children {
+        match child {
+            Instrument::Counter(c) => out.push(Sample {
+                name: name.to_string(),
+                labels: labels.clone(),
+                value: c.get() as f64,
+            }),
+            Instrument::Gauge(g) => out.push(Sample {
+                name: name.to_string(),
+                labels: labels.clone(),
+                value: g.get(),
+            }),
+            Instrument::Histogram(h) => {
+                let cum = h.cumulative_counts();
+                for (i, &bound) in h.bounds().iter().enumerate() {
+                    out.push(Sample {
+                        name: format!("{name}_bucket"),
+                        labels: with_le(labels, &format_value(bound)),
+                        value: cum[i] as f64,
+                    });
+                }
+                out.push(Sample {
+                    name: format!("{name}_bucket"),
+                    labels: with_le(labels, "+Inf"),
+                    value: *cum.last().expect("histogram has a +Inf bucket") as f64,
+                });
+                out.push(Sample {
+                    name: format!("{name}_sum"),
+                    labels: labels.clone(),
+                    value: h.sum(),
+                });
+                out.push(Sample {
+                    name: format!("{name}_count"),
+                    labels: labels.clone(),
+                    value: cum[cum.len() - 1] as f64,
+                });
+            }
+        }
+    }
+}
+
+pub(crate) fn snapshot(registry: &Registry) -> Vec<Sample> {
+    let families = registry.families.lock().unwrap();
+    let mut out = Vec::new();
+    for (name, family) in families.iter() {
+        family_samples(name, family, &mut out);
+    }
+    out
+}
+
+pub(crate) fn render(registry: &Registry) -> String {
+    let families = registry.families.lock().unwrap();
+    let mut out = String::new();
+    for (name, family) in families.iter() {
+        if !family.help.is_empty() {
+            out.push_str(&format!("# HELP {name} {}\n", escape_help(&family.help)));
+        }
+        out.push_str(&format!("# TYPE {name} {}\n", family.kind.name()));
+        let mut samples = Vec::new();
+        family_samples(name, family, &mut samples);
+        for s in samples {
+            out.push_str(&format!(
+                "{}{} {}\n",
+                s.name,
+                label_block(&s.labels),
+                format_value(s.value)
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+
+    #[test]
+    fn families_render_sorted_with_help_and_type() {
+        let r = Registry::new();
+        r.counter("zeta_total", "last metric", &[]).inc();
+        r.gauge("alpha", "first metric", &[]).set(2.5);
+        let text = r.render();
+        let alpha = text.find("# TYPE alpha gauge").expect("alpha family");
+        let zeta = text.find("# TYPE zeta_total counter").expect("zeta family");
+        assert!(alpha < zeta, "families sorted by name:\n{text}");
+        assert!(text.contains("# HELP alpha first metric\n"));
+        assert!(text.contains("alpha 2.5\n"));
+        assert!(text.contains("zeta_total 1\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter("m_total", "", &[("q", "a\"b\\c\nd")]).inc();
+        let text = r.render();
+        assert!(
+            text.contains(r#"m_total{q="a\"b\\c\nd"} 1"#),
+            "escaped label value:\n{text}"
+        );
+    }
+
+    #[test]
+    fn help_text_is_escaped() {
+        let r = Registry::new();
+        r.counter("m_total", "line1\nline2 \\ done", &[]);
+        let text = r.render();
+        assert!(text.contains("# HELP m_total line1\\nline2 \\\\ done\n"));
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets_sum_count_in_order() {
+        let r = Registry::new();
+        let h = r.histogram("lat", "latency", &[("op", "scan")], &[1.0, 2.0]);
+        for v in [0.5, 1.5, 9.0] {
+            h.observe(v);
+        }
+        let text = r.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "# HELP lat latency",
+                "# TYPE lat histogram",
+                "lat_bucket{op=\"scan\",le=\"1\"} 1",
+                "lat_bucket{op=\"scan\",le=\"2\"} 2",
+                "lat_bucket{op=\"scan\",le=\"+Inf\"} 3",
+                "lat_sum{op=\"scan\"} 11",
+                "lat_count{op=\"scan\"} 3",
+            ]
+        );
+    }
+
+    #[test]
+    fn children_render_in_stable_label_order() {
+        let r = Registry::new();
+        r.counter("m_total", "", &[("x", "b")]).inc();
+        r.counter("m_total", "", &[("x", "a")]).add(2);
+        let text = r.render();
+        let a = text.find("m_total{x=\"a\"} 2").unwrap();
+        let b = text.find("m_total{x=\"b\"} 1").unwrap();
+        assert!(a < b, "{text}");
+    }
+
+    #[test]
+    fn snapshot_expands_histograms() {
+        let r = Registry::new();
+        r.histogram("h", "", &[], &[1.0]).observe(0.5);
+        let names: Vec<String> = r.snapshot().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["h_bucket", "h_bucket", "h_sum", "h_count"]);
+    }
+}

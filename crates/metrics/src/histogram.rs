@@ -1,0 +1,155 @@
+//! Fixed-bucket histograms with lock-free observation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A histogram over fixed, strictly increasing bucket upper bounds (an
+/// implicit `+Inf` bucket is always appended). `observe` is a couple of
+/// relaxed atomic operations — no locks, no allocation.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Finite upper bounds, strictly increasing.
+    bounds: Vec<f64>,
+    /// Per-bucket counts (len = bounds.len() + 1; last is the +Inf bucket).
+    /// Non-cumulative internally; exposition accumulates.
+    counts: Vec<AtomicU64>,
+    /// Sum of observed values (f64 bits, CAS-accumulated).
+    sum_bits: AtomicU64,
+    /// Total observations.
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram with the given finite bucket upper bounds.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty, non-finite, or not strictly increasing.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite (+Inf is implicit)"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Exponential buckets: `start * factor^i` for `i in 0..count`.
+    ///
+    /// # Panics
+    /// Panics if `start <= 0`, `factor <= 1`, or `count == 0`.
+    pub fn exponential_buckets(start: f64, factor: f64, count: usize) -> Vec<f64> {
+        assert!(start > 0.0 && factor > 1.0 && count > 0);
+        (0..count).map(|i| start * factor.powi(i as i32)).collect()
+    }
+
+    /// Record one observation. NaN observations are counted in `+Inf` (they
+    /// fit no finite bucket) and excluded from the sum.
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if v.is_finite() {
+            let mut cur = self.sum_bits.load(Ordering::Relaxed);
+            loop {
+                let next = (f64::from_bits(cur) + v).to_bits();
+                match self.sum_bits.compare_exchange_weak(
+                    cur,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(c) => cur = c,
+                }
+            }
+        }
+    }
+
+    /// The finite bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Cumulative bucket counts in bound order, ending with the `+Inf`
+    /// total (equal to [`count`](Self::count) when no observation raced the
+    /// read).
+    pub fn cumulative_counts(&self) -> Vec<u64> {
+        let mut cum = 0u64;
+        self.counts
+            .iter()
+            .map(|c| {
+                cum += c.load(Ordering::Relaxed);
+                cum
+            })
+            .collect()
+    }
+
+    /// Sum of all finite observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observations_land_in_the_right_buckets() {
+        let h = Histogram::new(&[1.0, 2.0, 5.0]);
+        for v in [0.5, 1.0, 1.5, 3.0, 10.0] {
+            h.observe(v);
+        }
+        // buckets: ≤1 → {0.5, 1.0}, ≤2 → +{1.5}, ≤5 → +{3.0}, +Inf → +{10.0}
+        assert_eq!(h.cumulative_counts(), vec![2, 3, 4, 5]);
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_values_are_inclusive() {
+        let h = Histogram::new(&[1.0]);
+        h.observe(1.0);
+        assert_eq!(h.cumulative_counts(), vec![1, 1]);
+    }
+
+    #[test]
+    fn nan_goes_to_inf_without_poisoning_sum() {
+        let h = Histogram::new(&[1.0]);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        h.observe(0.5);
+        assert_eq!(h.cumulative_counts(), vec![1, 3]);
+        assert_eq!(h.sum(), 0.5);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn exponential_buckets_grow_by_factor() {
+        let b = Histogram::exponential_buckets(1.0, 2.0, 4);
+        assert_eq!(b, vec![1.0, 2.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_panic() {
+        Histogram::new(&[2.0, 1.0]);
+    }
+}

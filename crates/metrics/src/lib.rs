@@ -1,0 +1,338 @@
+//! A lock-cheap metrics registry with Prometheus text exposition.
+//!
+//! The design separates **registration** (rare, takes a short mutex) from
+//! **updates** (hot, lock-free): [`Registry::counter`] /
+//! [`Registry::gauge`] / [`Registry::histogram`] resolve a labeled child
+//! once and hand back an `Arc` handle whose operations are plain relaxed
+//! atomics. Re-registering the same `(name, labels)` pair returns the
+//! existing handle, so instruments can be resolved from anywhere without
+//! coordination.
+//!
+//! Snapshots ([`Registry::render`], [`Registry::snapshot`]) iterate every
+//! family in stable (sorted) name order and read the live atomics — no
+//! stop-the-world, no double buffering. Counter and histogram reads taken
+//! while writers are running are therefore *monotone* across consecutive
+//! snapshots, which is exactly what scrape-based consumers assume.
+//!
+//! The whole crate is `std`-only (no external dependencies), matching the
+//! workspace's offline build constraint.
+
+pub mod expose;
+pub mod histogram;
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+pub use histogram::Histogram;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a float that can move in either direction (stored as f64 bits).
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl Gauge {
+    /// Set to an absolute value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Add `delta` (CAS loop; gauges are updated rarely).
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(c) => cur = c,
+            }
+        }
+    }
+
+    /// Subtract `delta`.
+    pub fn sub(&self, delta: f64) {
+        self.add(-delta);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// The kind of a metric family (drives `# TYPE` and rendering shape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone counter.
+    Counter,
+    /// Free-moving gauge.
+    Gauge,
+    /// Fixed-bucket histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    /// Prometheus `# TYPE` keyword.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One labeled child of a family.
+#[derive(Debug, Clone)]
+pub(crate) enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// Label pairs, sorted by key at registration so identical label sets
+/// compare equal regardless of caller ordering.
+pub(crate) type LabelSet = Vec<(String, String)>;
+
+#[derive(Debug)]
+pub(crate) struct Family {
+    pub(crate) help: String,
+    pub(crate) kind: MetricKind,
+    /// Children sorted by label signature for stable exposition order.
+    pub(crate) children: BTreeMap<LabelSet, Instrument>,
+}
+
+/// The registry: metric families keyed by name.
+///
+/// Cloneable by wrapping in `Arc`; all methods take `&self`.
+#[derive(Debug, Default)]
+pub struct Registry {
+    pub(crate) families: Mutex<BTreeMap<String, Family>>,
+}
+
+fn label_set(labels: &[(&str, &str)]) -> LabelSet {
+    let mut set: LabelSet = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    set.sort();
+    set
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Resolve (registering on first use) a counter named `name` with the
+    /// given label pairs. Returns the same handle for the same
+    /// `(name, labels)` thereafter.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered with a different kind.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.instrument(name, help, MetricKind::Counter, labels, || {
+            Instrument::Counter(Arc::new(Counter::default()))
+        }) {
+            Instrument::Counter(c) => c,
+            _ => unreachable!("kind checked in instrument()"),
+        }
+    }
+
+    /// Resolve (registering on first use) a gauge.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered with a different kind.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.instrument(name, help, MetricKind::Gauge, labels, || {
+            Instrument::Gauge(Arc::new(Gauge::default()))
+        }) {
+            Instrument::Gauge(g) => g,
+            _ => unreachable!("kind checked in instrument()"),
+        }
+    }
+
+    /// Resolve (registering on first use) a fixed-bucket histogram. The
+    /// bucket bounds apply on first registration; later resolutions of the
+    /// same child ignore `buckets`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered with a different kind, or if
+    /// `buckets` is empty or not strictly increasing.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        buckets: &[f64],
+    ) -> Arc<Histogram> {
+        match self.instrument(name, help, MetricKind::Histogram, labels, || {
+            Instrument::Histogram(Arc::new(Histogram::new(buckets)))
+        }) {
+            Instrument::Histogram(h) => h,
+            _ => unreachable!("kind checked in instrument()"),
+        }
+    }
+
+    fn instrument(
+        &self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Instrument,
+    ) -> Instrument {
+        let set = label_set(labels);
+        let mut families = self.families.lock().unwrap();
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            children: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric {name} already registered as {} (requested {})",
+            family.kind.name(),
+            kind.name()
+        );
+        family.children.entry(set).or_insert_with(make).clone()
+    }
+
+    /// Number of registered families.
+    pub fn len(&self) -> usize {
+        self.families.lock().unwrap().len()
+    }
+
+    /// True iff nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Render the whole registry in Prometheus text exposition format
+    /// (metric families sorted by name, children by label signature).
+    pub fn render(&self) -> String {
+        expose::render(self)
+    }
+
+    /// Flat snapshot of every sample the registry would expose:
+    /// `(metric_name, labels, value)` rows in exposition order. Histogram
+    /// children expand to their `_bucket`/`_sum`/`_count` series.
+    pub fn snapshot(&self) -> Vec<Sample> {
+        expose::snapshot(self)
+    }
+}
+
+/// One exposed sample, as produced by [`Registry::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Exposed series name (`foo`, `foo_bucket`, `foo_sum`, ...).
+    pub name: String,
+    /// Label pairs, sorted by key (`le` appended last for buckets).
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("requests_total", "requests", &[("route", "/x")]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // same (name, labels) resolves to the same handle
+        let c2 = r.counter("requests_total", "requests", &[("route", "/x")]);
+        c2.inc();
+        assert_eq!(c.get(), 6);
+        // different labels, different child
+        let c3 = r.counter("requests_total", "requests", &[("route", "/y")]);
+        assert_eq!(c3.get(), 0);
+
+        let g = r.gauge("live", "live", &[]);
+        g.set(3.5);
+        g.add(1.0);
+        g.sub(0.5);
+        assert_eq!(g.get(), 4.0);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn label_order_is_normalized() {
+        let r = Registry::new();
+        let a = r.counter("m", "", &[("b", "2"), ("a", "1")]);
+        let b = r.counter("m", "", &[("a", "1"), ("b", "2")]);
+        a.inc();
+        assert_eq!(b.get(), 1, "same child regardless of label order");
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("m", "", &[]);
+        r.gauge("m", "", &[]);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let r = Arc::new(Registry::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    let c = r.counter("hits_total", "", &[("t", "x")]);
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(r.counter("hits_total", "", &[("t", "x")]).get(), 80_000);
+    }
+}

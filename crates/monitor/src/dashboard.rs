@@ -1,0 +1,113 @@
+//! The self-contained HTML dashboard served at `GET /`.
+//!
+//! One page, zero external assets: it polls `GET /progress` twice a second
+//! and `GET /progress/{id}` for each listed query, rendering a progress bar
+//! per live query (point estimate plus the `[lo, hi]` confidence band) and
+//! a per-operator table of `K_i`, `N_i`, bounds, and phase.
+
+/// The dashboard page.
+pub const DASHBOARD_HTML: &str = r#"<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>qprog — live query progress</title>
+<style>
+  body { font: 14px/1.45 system-ui, sans-serif; margin: 2rem auto; max-width: 60rem;
+         color: #1a1a24; background: #fafafa; }
+  h1 { font-size: 1.2rem; }
+  .muted { color: #777; }
+  .query { border: 1px solid #ddd; border-radius: 8px; padding: .8rem 1rem;
+           margin: .8rem 0; background: #fff; }
+  .label { font-weight: 600; overflow-wrap: anywhere; }
+  .bar { position: relative; height: 18px; background: #eee; border-radius: 9px;
+         overflow: hidden; margin: .45rem 0; }
+  .bar .band { position: absolute; top: 0; bottom: 0; background: #b7d3f2; }
+  .bar .fill { position: absolute; top: 0; bottom: 0; background: #2f6fb4;
+               border-radius: 9px 0 0 9px; transition: width .3s; }
+  .bar.done .fill { background: #3d9a52; }
+  .pct { font-variant-numeric: tabular-nums; }
+  table { border-collapse: collapse; margin-top: .5rem; font-size: 12.5px;
+          font-variant-numeric: tabular-nums; }
+  th, td { text-align: right; padding: .15rem .6rem; border-bottom: 1px solid #eee; }
+  th:first-child, td:first-child { text-align: left; }
+  a { color: #2f6fb4; }
+</style>
+</head>
+<body>
+<h1>qprog — live query progress</h1>
+<p class="muted">Polling <a href="/progress">/progress</a> every 500&thinsp;ms
+&middot; <a href="/metrics">/metrics</a> (Prometheus)</p>
+<div id="queries"><p class="muted">waiting for queries&hellip;</p></div>
+<script>
+const fmt = n => n == null ? "–" : Number(n).toLocaleString("en-US",
+  {maximumFractionDigits: 0});
+const pct = f => (100 * f).toFixed(1) + "%";
+
+function bar(q) {
+  const lo = Math.min(q.lo ?? q.fraction, q.hi ?? q.fraction);
+  const hi = Math.max(q.lo ?? q.fraction, q.hi ?? q.fraction);
+  return `<div class="bar${q.done ? " done" : ""}">
+    <div class="band" style="left:${100 * lo}%;width:${100 * (hi - lo)}%"></div>
+    <div class="fill" style="width:${100 * q.fraction}%"></div>
+  </div>`;
+}
+
+function ops(detail) {
+  if (!detail || !detail.ops || !detail.ops.length) return "";
+  const rows = detail.ops.map(o => `<tr>
+    <td>${o.name}</td><td>${o.phase ?? (o.finished ? "done" : "–")}</td>
+    <td>${fmt(o.k)}</td><td>${fmt(o.n)}</td>
+    <td>${o.lo == null ? "–" : fmt(o.lo) + " … " + fmt(o.hi)}</td>
+  </tr>`).join("");
+  return `<table><tr><th>operator</th><th>phase</th><th>K</th><th>N&#770;</th>
+    <th>bounds</th></tr>${rows}</table>`;
+}
+
+async function tick() {
+  try {
+    const res = await fetch("/progress");
+    const data = await res.json();
+    const root = document.getElementById("queries");
+    if (!data.queries.length) {
+      root.innerHTML = '<p class="muted">no live queries</p>';
+      return;
+    }
+    const details = await Promise.all(data.queries.map(q =>
+      fetch(`/progress/${q.id}`).then(r => r.ok ? r.json() : null).catch(() => null)));
+    root.innerHTML = data.queries.map((q, i) => `<div class="query">
+      <div class="label">#${q.id} &middot; ${q.label}
+        <span class="muted">[${q.estimator}]</span></div>
+      ${bar(q)}
+      <div><span class="pct">${pct(q.fraction)}</span>
+        <span class="muted">(bounds ${pct(q.lo)} – ${pct(q.hi)})
+        &middot; C=${fmt(q.current)} / T&#770;=${fmt(q.total)}
+        &middot; pipelines ${q.pipelines_finished}/${q.pipelines}
+        &middot; ${(q.elapsed_us / 1e6).toFixed(2)}s
+        ${q.done ? `&middot; done${q.rows == null ? "" : ", " + fmt(q.rows) + " rows"}` : ""}
+        </span></div>
+      ${ops(details[i])}
+    </div>`).join("");
+  } catch (e) { /* server going away between polls is fine */ }
+}
+tick();
+setInterval(tick, 500);
+</script>
+</body>
+</html>
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dashboard_is_self_contained_and_polls_the_json_endpoints() {
+        assert!(DASHBOARD_HTML.starts_with("<!doctype html>"));
+        assert!(DASHBOARD_HTML.contains("fetch(\"/progress\")"));
+        assert!(DASHBOARD_HTML.contains("/progress/${q.id}"));
+        // no external assets
+        assert!(!DASHBOARD_HTML.contains("http://"));
+        assert!(!DASHBOARD_HTML.contains("https://"));
+        assert!(!DASHBOARD_HTML.contains("src="));
+    }
+}

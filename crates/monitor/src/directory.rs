@@ -1,0 +1,395 @@
+//! The registry of live (and recently finished, still-held) queries.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use qprog_core::gnm::PipelineState;
+use qprog_exec::trace::{Phase, TraceEvent, TraceEventKind, TraceSink};
+use qprog_metrics::{Counter, Gauge, Registry};
+use qprog_obs::json::{escape, num};
+use qprog_plan::ProgressTracker;
+
+/// A [`TraceSink`] tracking each operator's last observed phase plus the
+/// query's terminal event — the live-status complement to the cumulative
+/// counters a `MetricsSink` keeps. One per monitored query.
+#[derive(Debug, Default)]
+pub struct PhaseSink {
+    phases: Mutex<Vec<Option<Phase>>>,
+    rows: AtomicU64,
+    finished: AtomicBool,
+}
+
+impl PhaseSink {
+    /// A fresh sink.
+    pub fn new() -> Self {
+        PhaseSink::default()
+    }
+
+    /// The last phase operator `op` transitioned into, if any transition
+    /// was observed.
+    pub fn phase(&self, op: usize) -> Option<Phase> {
+        self.phases.lock().unwrap().get(op).copied().flatten()
+    }
+
+    /// Whether the query's root has been exhausted (`QueryFinished` seen).
+    pub fn is_finished(&self) -> bool {
+        self.finished.load(Ordering::Relaxed)
+    }
+
+    /// Rows the finished query returned (`None` while still running).
+    pub fn rows(&self) -> Option<u64> {
+        self.is_finished()
+            .then(|| self.rows.load(Ordering::Relaxed))
+    }
+}
+
+impl TraceSink for PhaseSink {
+    fn publish(&self, event: &TraceEvent) {
+        match event.kind {
+            TraceEventKind::PhaseTransition { op, to, .. } => {
+                let mut phases = self.phases.lock().unwrap();
+                let idx = op as usize;
+                if phases.len() <= idx {
+                    phases.resize(idx + 1, None);
+                }
+                phases[idx] = Some(to);
+            }
+            TraceEventKind::QueryFinished { rows } => {
+                self.rows.store(rows, Ordering::Relaxed);
+                self.finished.store(true, Ordering::Release);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// One registered query.
+struct QueryEntry {
+    label: String,
+    estimator: String,
+    tracker: ProgressTracker,
+    phases: Arc<PhaseSink>,
+    started: Instant,
+}
+
+/// Registry of live queries, keyed by a process-unique query id.
+///
+/// Queries [`register`](Self::register) when compiled and unregister when
+/// their [`MonitoredQuery`] token drops (normally: when the
+/// `QueryHandle` does), so a finished query stays visible — pinned at
+/// 100% — for as long as its handle is held.
+pub struct QueryDirectory {
+    next_id: AtomicU64,
+    entries: Mutex<BTreeMap<u64, QueryEntry>>,
+    /// `qprog_queries_live`, when a metrics registry is attached.
+    live_gauge: Option<Arc<Gauge>>,
+    /// `qprog_queries_registered_total`, when a registry is attached.
+    registered: Option<Arc<Counter>>,
+}
+
+impl QueryDirectory {
+    /// A directory; with a metrics registry attached it also maintains the
+    /// `qprog_queries_live` gauge and `qprog_queries_registered_total`
+    /// counter.
+    pub fn new(metrics: Option<&Registry>) -> Self {
+        QueryDirectory {
+            next_id: AtomicU64::new(1),
+            entries: Mutex::new(BTreeMap::new()),
+            live_gauge: metrics.map(|r| {
+                r.gauge(
+                    "qprog_queries_live",
+                    "Queries currently registered with the monitor",
+                    &[],
+                )
+            }),
+            registered: metrics.map(|r| {
+                r.counter(
+                    "qprog_queries_registered_total",
+                    "Queries ever registered with the monitor",
+                    &[],
+                )
+            }),
+        }
+    }
+
+    /// Register a query; the returned token unregisters it on drop.
+    pub fn register(
+        self: &Arc<Self>,
+        label: impl Into<String>,
+        estimator: impl Into<String>,
+        tracker: ProgressTracker,
+        phases: Arc<PhaseSink>,
+    ) -> MonitoredQuery {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.entries.lock().unwrap().insert(
+            id,
+            QueryEntry {
+                label: label.into(),
+                estimator: estimator.into(),
+                tracker,
+                phases,
+                started: Instant::now(),
+            },
+        );
+        if let Some(g) = &self.live_gauge {
+            g.add(1.0);
+        }
+        if let Some(c) = &self.registered {
+            c.inc();
+        }
+        MonitoredQuery {
+            directory: Arc::clone(self),
+            id,
+        }
+    }
+
+    fn remove(&self, id: u64) {
+        if self.entries.lock().unwrap().remove(&id).is_some() {
+            if let Some(g) = &self.live_gauge {
+                g.sub(1.0);
+            }
+        }
+    }
+
+    /// Number of currently registered queries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// True iff no query is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Registered query ids, ascending.
+    pub fn ids(&self) -> Vec<u64> {
+        self.entries.lock().unwrap().keys().copied().collect()
+    }
+
+    fn summary_json(id: u64, e: &QueryEntry) -> String {
+        let snap = e.tracker.snapshot();
+        let (lo, hi) = e.tracker.fraction_bounds();
+        let pipelines = snap.pipelines();
+        let finished_pipelines = pipelines
+            .iter()
+            .filter(|p| p.state == PipelineState::Finished)
+            .count();
+        format!(
+            "{{\"id\":{id},\"label\":\"{}\",\"estimator\":\"{}\",\
+             \"elapsed_us\":{},\"fraction\":{},\"lo\":{},\"hi\":{},\
+             \"current\":{},\"total\":{},\"pipelines\":{},\
+             \"pipelines_finished\":{},\"done\":{},\"rows\":{}}}",
+            escape(&e.label),
+            escape(&e.estimator),
+            e.started.elapsed().as_micros(),
+            num(snap.fraction()),
+            num(lo),
+            num(hi),
+            snap.current(),
+            num(snap.total()),
+            pipelines.len(),
+            finished_pipelines,
+            snap.is_complete() || e.phases.is_finished(),
+            e.phases
+                .rows()
+                .map_or("null".to_string(), |r| r.to_string()),
+        )
+    }
+
+    fn detail_json(id: u64, e: &QueryEntry) -> String {
+        let summary = Self::summary_json(id, e);
+        let ops: Vec<String> = e
+            .tracker
+            .registry()
+            .iter()
+            .enumerate()
+            .map(|(i, (name, m))| {
+                let (lo, hi) = m
+                    .estimated_bounds()
+                    .map_or(("null".to_string(), "null".to_string()), |(lo, hi)| {
+                        (num(lo), num(hi))
+                    });
+                format!(
+                    "{{\"name\":\"{}\",\"k\":{},\"driver\":{},\"n\":{},\
+                     \"lo\":{lo},\"hi\":{hi},\"finished\":{},\"phase\":{}}}",
+                    escape(name),
+                    m.emitted(),
+                    m.driver_consumed(),
+                    num(m.estimated_total()),
+                    m.is_finished(),
+                    e.phases
+                        .phase(i)
+                        .map_or("null".to_string(), |p| format!("\"{}\"", p.name())),
+                )
+            })
+            .collect();
+        debug_assert!(summary.ends_with('}'));
+        format!(
+            "{},\"ops\":[{}]}}",
+            &summary[..summary.len() - 1],
+            ops.join(",")
+        )
+    }
+
+    /// JSON for `GET /progress`: every registered query's summary.
+    pub fn render_all(&self) -> String {
+        let entries = self.entries.lock().unwrap();
+        let queries: Vec<String> = entries
+            .iter()
+            .map(|(&id, e)| Self::summary_json(id, e))
+            .collect();
+        format!("{{\"queries\":[{}]}}", queries.join(","))
+    }
+
+    /// JSON for `GET /progress/{id}`: one query with per-operator detail,
+    /// or `None` if the id is not (or no longer) registered.
+    pub fn render_query(&self, id: u64) -> Option<String> {
+        let entries = self.entries.lock().unwrap();
+        entries.get(&id).map(|e| Self::detail_json(id, e))
+    }
+}
+
+impl std::fmt::Debug for QueryDirectory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryDirectory")
+            .field("live", &self.len())
+            .finish()
+    }
+}
+
+/// Registration token: while alive, the query is listed by the monitor;
+/// dropping it unregisters the query.
+pub struct MonitoredQuery {
+    directory: Arc<QueryDirectory>,
+    id: u64,
+}
+
+impl MonitoredQuery {
+    /// The process-unique query id (`/progress/{id}`).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for MonitoredQuery {
+    fn drop(&mut self) {
+        self.directory.remove(self.id);
+    }
+}
+
+impl std::fmt::Debug for MonitoredQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MonitoredQuery")
+            .field("id", &self.id)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qprog_exec::metrics::MetricsRegistry;
+    use qprog_plan::pipeline::PipelineSet;
+
+    fn tracker() -> (ProgressTracker, MetricsRegistry) {
+        let mut reg = MetricsRegistry::new();
+        reg.register("scan", 100.0);
+        let mut pipes = PipelineSet::new();
+        let p = pipes.new_pipeline();
+        pipes.assign(p, 0);
+        (ProgressTracker::new(reg.clone(), pipes), reg)
+    }
+
+    fn ev(kind: TraceEventKind) -> TraceEvent {
+        TraceEvent {
+            seq: 0,
+            at_us: 0,
+            kind,
+        }
+    }
+
+    #[test]
+    fn register_list_unregister() {
+        let dir = Arc::new(QueryDirectory::new(None));
+        let (t1, _) = tracker();
+        let (t2, _) = tracker();
+        let q1 = dir.register("q one", "once", t1, Arc::new(PhaseSink::new()));
+        let q2 = dir.register("q two", "dne", t2, Arc::new(PhaseSink::new()));
+        assert_eq!(dir.len(), 2);
+        assert_eq!(dir.ids(), vec![q1.id(), q2.id()]);
+        assert_ne!(q1.id(), q2.id());
+        drop(q1);
+        assert_eq!(dir.len(), 1);
+        assert!(dir.render_query(q2.id()).is_some());
+        drop(q2);
+        assert!(dir.is_empty());
+    }
+
+    #[test]
+    fn progress_json_reflects_tracker_state() {
+        let dir = Arc::new(QueryDirectory::new(None));
+        let (t, reg) = tracker();
+        let q = dir.register("sel", "once", t, Arc::new(PhaseSink::new()));
+        for _ in 0..50 {
+            reg.get(0).unwrap().record_emitted();
+        }
+        let all = dir.render_all();
+        assert!(all.contains("\"label\":\"sel\""), "{all}");
+        assert!(all.contains("\"current\":50"), "{all}");
+        assert!(all.contains("\"fraction\":0.5"), "{all}");
+        assert!(all.contains("\"done\":false"), "{all}");
+        let detail = dir.render_query(q.id()).unwrap();
+        assert!(detail.contains("\"ops\":[{\"name\":\"scan\""), "{detail}");
+        assert!(detail.contains("\"k\":50"), "{detail}");
+        reg.finish_all();
+        let detail = dir.render_query(q.id()).unwrap();
+        assert!(detail.contains("\"done\":true"), "{detail}");
+        assert!(detail.contains("\"fraction\":1"), "{detail}");
+    }
+
+    #[test]
+    fn phase_sink_tracks_last_phase_and_terminal_event() {
+        let sink = PhaseSink::new();
+        assert_eq!(sink.phase(0), None);
+        assert_eq!(sink.rows(), None);
+        sink.publish(&ev(TraceEventKind::PhaseTransition {
+            op: 2,
+            from: Phase::Init,
+            to: Phase::Build,
+        }));
+        sink.publish(&ev(TraceEventKind::PhaseTransition {
+            op: 2,
+            from: Phase::Build,
+            to: Phase::Probe,
+        }));
+        assert_eq!(sink.phase(2), Some(Phase::Probe));
+        assert_eq!(sink.phase(0), None);
+        assert!(!sink.is_finished());
+        sink.publish(&ev(TraceEventKind::QueryFinished { rows: 9 }));
+        assert!(sink.is_finished());
+        assert_eq!(sink.rows(), Some(9));
+    }
+
+    #[test]
+    fn live_gauge_follows_registrations() {
+        let metrics = Registry::new();
+        let dir = Arc::new(QueryDirectory::new(Some(&metrics)));
+        let gauge = metrics.gauge("qprog_queries_live", "", &[]);
+        let registered = metrics.counter("qprog_queries_registered_total", "", &[]);
+        let (t, _) = tracker();
+        let q = dir.register("q", "once", t, Arc::new(PhaseSink::new()));
+        assert_eq!(gauge.get(), 1.0);
+        assert_eq!(registered.get(), 1);
+        drop(q);
+        assert_eq!(gauge.get(), 0.0);
+        assert_eq!(registered.get(), 1, "total is monotone");
+    }
+
+    #[test]
+    fn unknown_id_renders_none() {
+        let dir = QueryDirectory::new(None);
+        assert!(dir.render_query(404).is_none());
+    }
+}

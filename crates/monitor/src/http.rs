@@ -1,0 +1,188 @@
+//! Minimal HTTP/1.1 plumbing for the monitor server: just enough to parse
+//! a `GET` request line and write a well-formed response over a
+//! `std::net::TcpStream`. No external crates, no chunked encoding, one
+//! request per connection (`Connection: close`).
+
+use std::io::{Read, Write};
+
+/// Cap on the request head (request line + headers) we are willing to read.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// HTTP method, uppercase as received (`GET`, `HEAD`, ...).
+    pub method: String,
+    /// Request target path, without query string.
+    pub path: String,
+}
+
+/// Parse the head of an HTTP request from `text` (everything up to the
+/// blank line). Returns `None` for anything that is not a plausible
+/// HTTP/1.x request line.
+pub fn parse_request(text: &str) -> Option<Request> {
+    let line = text.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let target = parts.next()?;
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/1.") {
+        return None;
+    }
+    // Strip any query string; the monitor's routes take none.
+    let path = target.split('?').next().unwrap_or(target);
+    if !path.starts_with('/') {
+        return None;
+    }
+    Some(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+    })
+}
+
+/// Read a request head from `stream` (until `\r\n\r\n`, EOF, or the size
+/// cap) and parse it.
+pub fn read_request(stream: &mut impl Read) -> Option<Request> {
+    let mut head = Vec::new();
+    let mut buf = [0u8; 512];
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(_) => return None,
+        };
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= MAX_HEAD_BYTES {
+            break;
+        }
+    }
+    parse_request(&String::from_utf8_lossy(&head))
+}
+
+/// A response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Content-Type header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// 200 with the given type and body.
+    pub fn ok(content_type: &'static str, body: impl Into<String>) -> Self {
+        Response {
+            status: 200,
+            content_type,
+            body: body.into(),
+        }
+    }
+
+    /// 404 with a plain-text message.
+    pub fn not_found(msg: &str) -> Self {
+        Response {
+            status: 404,
+            content_type: "text/plain; charset=utf-8",
+            body: format!("404 not found: {msg}\n"),
+        }
+    }
+
+    /// 405 for non-GET methods.
+    pub fn method_not_allowed() -> Self {
+        Response {
+            status: 405,
+            content_type: "text/plain; charset=utf-8",
+            body: "405 method not allowed (monitor endpoints are GET-only)\n".to_string(),
+        }
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            _ => "Error",
+        }
+    }
+
+    /// Serialize head + body. `head_only` omits the body (HEAD requests).
+    pub fn write_to(&self, stream: &mut impl Write, head_only: bool) -> std::io::Result<()> {
+        write!(
+            stream,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        )?;
+        if !head_only {
+            stream.write_all(self.body.as_bytes())?;
+        }
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_get_request_line() {
+        let r = parse_request("GET /progress/7?x=1 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/progress/7");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_request("").is_none());
+        assert!(parse_request("GET\r\n").is_none());
+        assert!(parse_request("GET /x SMTP/1.0\r\n").is_none());
+        assert!(parse_request("GET x HTTP/1.1\r\n").is_none());
+    }
+
+    #[test]
+    fn response_serializes_with_content_length() {
+        let mut out = Vec::new();
+        Response::ok("text/plain; charset=utf-8", "hello")
+            .write_to(&mut out, false)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 5\r\n"));
+        assert!(text.ends_with("\r\n\r\nhello"));
+    }
+
+    #[test]
+    fn head_only_omits_body() {
+        let mut out = Vec::new();
+        Response::ok("text/plain; charset=utf-8", "hello")
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.ends_with("\r\n\r\n"));
+        assert!(text.contains("Content-Length: 5\r\n"));
+    }
+
+    #[test]
+    fn read_request_handles_split_reads() {
+        struct Chunked(Vec<Vec<u8>>);
+        impl Read for Chunked {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                match self.0.pop() {
+                    Some(chunk) => {
+                        buf[..chunk.len()].copy_from_slice(&chunk);
+                        Ok(chunk.len())
+                    }
+                    None => Ok(0),
+                }
+            }
+        }
+        let mut stream = Chunked(vec![b"\r\n\r\n".to_vec(), b"GET / HTTP/1.1".to_vec()]);
+        let r = read_request(&mut stream).unwrap();
+        assert_eq!(r.path, "/");
+    }
+}

@@ -1,0 +1,32 @@
+//! Live progress monitoring for concurrent qprog queries.
+//!
+//! The paper's framework is *online*: a progress estimate is only useful if
+//! someone can watch it while the query runs. This crate serves that view
+//! over plain HTTP using nothing but `std::net`:
+//!
+//! - [`directory`] — a [`QueryDirectory`](directory::QueryDirectory) where
+//!   live queries register a cloneable
+//!   [`ProgressTracker`](qprog_plan::ProgressTracker) plus a
+//!   [`PhaseSink`](directory::PhaseSink) (last observed phase per
+//!   operator), and unregister automatically when their registration token
+//!   drops;
+//! - [`server`] — a threaded [`MonitorServer`](server::MonitorServer) on
+//!   `std::net::TcpListener` answering
+//!   `GET /metrics` (Prometheus text from an attached
+//!   [`qprog_metrics::Registry`]), `GET /progress` and
+//!   `GET /progress/{query_id}` (JSON: whole-query `C/T` with `[lo, hi]`
+//!   bounds and per-operator `K_i`/`N_i`/phase), and `GET /` (a
+//!   self-contained HTML dashboard polling the JSON endpoints);
+//! - [`http`] — the minimal HTTP/1.1 request parsing and response writing
+//!   underneath, shared by the server and its tests.
+//!
+//! Everything is observer-side: sampling a tracker is a handful of relaxed
+//! atomic loads, and a query that never registers pays nothing.
+
+pub mod dashboard;
+pub mod directory;
+pub mod http;
+pub mod server;
+
+pub use directory::{MonitoredQuery, PhaseSink, QueryDirectory};
+pub use server::MonitorServer;

@@ -1,0 +1,267 @@
+//! The threaded monitor HTTP server.
+
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use qprog_metrics::Registry;
+use qprog_types::{QError, QResult};
+
+use crate::dashboard::DASHBOARD_HTML;
+use crate::directory::QueryDirectory;
+use crate::http::{read_request, Request, Response};
+
+/// Per-connection socket timeout: the monitor must never hold a thread
+/// hostage to a stalled client.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A live progress monitor server.
+///
+/// Binds a `std::net::TcpListener` (use port `0` to let the OS pick), and
+/// serves, each request on its own thread:
+///
+/// - `GET /` — self-contained HTML dashboard,
+/// - `GET /metrics` — Prometheus text exposition of the attached registry,
+/// - `GET /progress` — JSON summaries of every registered query,
+/// - `GET /progress/{id}` — one query with per-operator detail.
+///
+/// Dropping the server (or calling [`shutdown`](Self::shutdown)) stops the
+/// accept loop and joins every thread the server spawned.
+pub struct MonitorServer {
+    addr: SocketAddr,
+    directory: Arc<QueryDirectory>,
+    metrics: Option<Arc<Registry>>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl MonitorServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start serving. With a
+    /// metrics registry attached, `/metrics` exposes it and the query
+    /// directory maintains the `qprog_queries_live` gauge.
+    pub fn start(addr: impl ToSocketAddrs, metrics: Option<Arc<Registry>>) -> QResult<Arc<Self>> {
+        let listener = TcpListener::bind(addr).map_err(|e| QError::plan(format!("bind: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| QError::plan(format!("local_addr: {e}")))?;
+        let directory = Arc::new(QueryDirectory::new(metrics.as_deref()));
+        let server = Arc::new(MonitorServer {
+            addr,
+            directory,
+            metrics,
+            stop: Arc::new(AtomicBool::new(false)),
+            accept_thread: Mutex::new(None),
+            connections: Arc::new(Mutex::new(Vec::new())),
+        });
+        let accept = {
+            let server = Arc::clone(&server);
+            std::thread::Builder::new()
+                .name("qprog-monitor-accept".to_string())
+                .spawn(move || server.accept_loop(listener))
+                .map_err(|e| QError::plan(format!("spawn accept thread: {e}")))?
+        };
+        *server.accept_thread.lock().unwrap() = Some(accept);
+        Ok(server)
+    }
+
+    /// The bound address (with the OS-assigned port when bound to `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Convenience `http://host:port` form of [`addr`](Self::addr).
+    pub fn url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+
+    /// The query directory live queries register with.
+    pub fn directory(&self) -> &Arc<QueryDirectory> {
+        &self.directory
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn metrics(&self) -> Option<&Arc<Registry>> {
+        self.metrics.as_ref()
+    }
+
+    fn accept_loop(self: &Arc<Self>, listener: TcpListener) {
+        for stream in listener.incoming() {
+            if self.stop.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            // Reap finished connection threads so the vec stays bounded.
+            self.connections
+                .lock()
+                .unwrap()
+                .retain(|h| !h.is_finished());
+            let server = Arc::clone(self);
+            let handle = std::thread::Builder::new()
+                .name("qprog-monitor-conn".to_string())
+                .spawn(move || server.handle_connection(stream));
+            if let Ok(handle) = handle {
+                self.connections.lock().unwrap().push(handle);
+            }
+        }
+    }
+
+    fn handle_connection(&self, mut stream: TcpStream) {
+        let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+        let Some(request) = read_request(&mut stream) else {
+            return;
+        };
+        let head_only = request.method == "HEAD";
+        let response = if request.method == "GET" || head_only {
+            self.route(&request)
+        } else {
+            Response::method_not_allowed()
+        };
+        let _ = response.write_to(&mut stream, head_only);
+    }
+
+    /// Dispatch one parsed request (separated from IO for testability).
+    pub fn route(&self, request: &Request) -> Response {
+        match request.path.as_str() {
+            "/" => Response::ok("text/html; charset=utf-8", DASHBOARD_HTML),
+            "/metrics" => match &self.metrics {
+                Some(r) => Response::ok(qprog_metrics::expose::CONTENT_TYPE, r.render()),
+                None => Response::not_found("no metrics registry attached"),
+            },
+            "/progress" => Response::ok(
+                "application/json; charset=utf-8",
+                self.directory.render_all(),
+            ),
+            path => match path.strip_prefix("/progress/") {
+                Some(id) => match id.parse::<u64>().ok() {
+                    Some(id) => match self.directory.render_query(id) {
+                        Some(json) => Response::ok("application/json; charset=utf-8", json),
+                        None => Response::not_found(
+                            "no such query (finished queries \
+                                                     unregister when their handle drops)",
+                        ),
+                    },
+                    None => Response::not_found("query id must be an integer"),
+                },
+                None => Response::not_found("try /, /metrics, /progress, or /progress/{id}"),
+            },
+        }
+    }
+
+    /// Stop accepting, then join the accept thread and every in-flight
+    /// connection thread. Idempotent; also called on drop.
+    pub fn shutdown(&self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Poke the listener so the blocking accept observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+        let connections: Vec<_> = std::mem::take(&mut *self.connections.lock().unwrap());
+        for c in connections {
+            let _ = c.join();
+        }
+    }
+}
+
+impl Drop for MonitorServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for MonitorServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MonitorServer")
+            .field("addr", &self.addr)
+            .field("live_queries", &self.directory.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    /// One GET over a fresh TcpStream; returns the whole raw response.
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_dashboard_progress_and_404() {
+        let server = MonitorServer::start("127.0.0.1:0", None).unwrap();
+        let addr = server.addr();
+
+        let home = get(addr, "/");
+        assert!(home.starts_with("HTTP/1.1 200 OK\r\n"), "{home}");
+        assert!(home.contains("text/html"), "{home}");
+        assert!(home.contains("<!doctype html>"), "{home}");
+
+        let progress = get(addr, "/progress");
+        assert!(progress.contains("application/json"), "{progress}");
+        assert!(progress.ends_with("{\"queries\":[]}"), "{progress}");
+
+        assert!(get(addr, "/progress/99").starts_with("HTTP/1.1 404"));
+        assert!(get(addr, "/progress/zzz").starts_with("HTTP/1.1 404"));
+        assert!(get(addr, "/nope").starts_with("HTTP/1.1 404"));
+        // no registry attached
+        assert!(get(addr, "/metrics").starts_with("HTTP/1.1 404"));
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn serves_metrics_when_registry_attached() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("up_total", "updates", &[]).add(3);
+        let server = MonitorServer::start("127.0.0.1:0", Some(Arc::clone(&registry))).unwrap();
+        let text = get(server.addr(), "/metrics");
+        assert!(text.contains("text/plain; version=0.0.4"), "{text}");
+        assert!(text.contains("# TYPE up_total counter"), "{text}");
+        assert!(text.contains("up_total 3"), "{text}");
+    }
+
+    #[test]
+    fn non_get_methods_are_rejected() {
+        let server = MonitorServer::start("127.0.0.1:0", None).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write!(stream, "POST /progress HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 405"), "{out}");
+    }
+
+    #[test]
+    fn shutdown_is_graceful_and_idempotent() {
+        let server = MonitorServer::start("127.0.0.1:0", None).unwrap();
+        let addr = server.addr();
+        assert!(get(addr, "/").starts_with("HTTP/1.1 200"));
+        server.shutdown();
+        server.shutdown();
+        // The listener is gone: new connections fail or yield no response.
+        let refused = match TcpStream::connect(addr) {
+            Err(_) => true,
+            Ok(mut s) => {
+                let _ = write!(s, "GET / HTTP/1.1\r\n\r\n");
+                let mut out = String::new();
+                let _ = s.set_read_timeout(Some(Duration::from_millis(500)));
+                s.read_to_string(&mut out).is_err() || out.is_empty()
+            }
+        };
+        assert!(refused, "server still answering after shutdown");
+    }
+}

@@ -19,15 +19,22 @@
 //! - [`explain`] — an EXPLAIN ANALYZE renderer comparing actual
 //!   cardinalities against optimizer and online estimates (with q-errors,
 //!   `getnext()` counts, phase wall-times, and estimator attribution).
+//! - [`metrics_sink`] — a [`MetricsSink`](metrics_sink::MetricsSink)
+//!   aggregating each query's events into a shared
+//!   [`qprog_metrics::Registry`]: fleet-wide tuple counts, phase activity,
+//!   refinement rates, and cross-query q-error histograms per estimator,
+//!   exposable in Prometheus text format.
 //!
 //! Everything here runs *observer-side*: attaching no sinks and no
 //! recorder leaves the engine's hot paths untouched.
 
 pub mod explain;
 pub mod json;
+pub mod metrics_sink;
 pub mod sinks;
 pub mod timeline;
 
 pub use explain::explain_analyze;
+pub use metrics_sink::MetricsSink;
 pub use sinks::{JsonlSink, RingSink, StderrSink, ValidatorSink};
 pub use timeline::{ProgressLog, RecorderHandle, TimelinePoint, TimelineRecorder};

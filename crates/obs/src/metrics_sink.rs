@@ -1,0 +1,422 @@
+//! A [`TraceSink`] that aggregates one query's trace events into a shared
+//! [`qprog_metrics::Registry`].
+//!
+//! One `MetricsSink` is created **per query** (events carry operator
+//! indices that are only meaningful within a query), but every sink writes
+//! into the same registry, so counters and histograms aggregate *across*
+//! queries: a fleet-wide view of tuple throughput, phase activity, and —
+//! following König et al.'s argument that estimator accuracy must be
+//! tracked across queries to know which estimator to trust — per-estimator
+//! q-error histograms comparing each operator's last online estimate
+//! against its exact final cardinality.
+//!
+//! All counter handles the sink touches on the publish path are resolved at
+//! construction; a publish is a few relaxed atomic increments plus a short
+//! mutex around the tiny per-operator estimate table (events are published
+//! at phase boundaries and material refinements only — never per tuple).
+
+use std::sync::Arc;
+
+use qprog_exec::sync::Mutex;
+use qprog_exec::trace::{EstimateSource, Phase, TraceEvent, TraceEventKind, TraceSink};
+use qprog_metrics::{Counter, Histogram, Registry};
+
+use crate::explain::q_error;
+
+/// q-error histogram bucket upper bounds: 1 is a perfect estimate; the
+/// paper's evaluation sees errors from ~1 to a few orders of magnitude.
+pub const Q_ERROR_BUCKETS: [f64; 10] = [1.0, 1.1, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0, 100.0, 1000.0];
+
+/// All phases, indexable for pre-resolved counters.
+const PHASES: [Phase; 8] = [
+    Phase::Init,
+    Phase::Build,
+    Phase::Probe,
+    Phase::PartitionJoin,
+    Phase::SortInput,
+    Phase::Merge,
+    Phase::Accumulate,
+    Phase::Emit,
+];
+
+fn phase_index(p: Phase) -> usize {
+    PHASES
+        .iter()
+        .position(|&q| q == p)
+        .expect("PHASES covers every Phase variant")
+}
+
+/// Per-operator aggregation state.
+#[derive(Debug, Clone, Copy, Default)]
+struct OpAgg {
+    /// Last estimate published before the exact pin (NaN = none yet).
+    last_estimate: f64,
+    /// Whether at least one `Online` refinement arrived.
+    refined_online: bool,
+}
+
+/// Event → metrics aggregator; see the module docs.
+pub struct MetricsSink {
+    registry: Arc<Registry>,
+    estimator: String,
+    /// `qprog_trace_events_total{event=...}`, one per event kind.
+    events: [Arc<Counter>; 7],
+    /// `qprog_phase_transitions_total{phase=...}`, by entered phase.
+    phases: [Arc<Counter>; 8],
+    /// `qprog_estimate_refinements_total{source=...}`.
+    refinements: [Arc<Counter>; 3],
+    /// `qprog_operator_tuples_total{estimator=...}`: exact tuples emitted,
+    /// accumulated at operator finish.
+    tuples: Arc<Counter>,
+    /// `qprog_queries_finished_total{estimator=...}`.
+    queries_finished: Arc<Counter>,
+    /// `qprog_query_rows_total{estimator=...}`.
+    query_rows: Arc<Counter>,
+    /// `qprog_estimate_q_error{estimator=...}`: final-estimate accuracy.
+    q_error: Arc<Histogram>,
+    /// Per-operator estimate state, grown on demand.
+    ops: Mutex<Vec<OpAgg>>,
+    /// Registry names per operator, set post-compile via
+    /// [`set_op_names`](Self::set_op_names).
+    op_names: Mutex<Vec<String>>,
+}
+
+impl MetricsSink {
+    /// A sink for one query, aggregating into `registry` under the given
+    /// estimator label (conventionally
+    /// [`EstimationMode::label`](qprog_core::EstimationMode::label):
+    /// `off`/`once`/`dne`/`byte`).
+    pub fn new(registry: Arc<Registry>, estimator: &str) -> Self {
+        let event_kinds = [
+            "pipeline_started",
+            "pipeline_finished",
+            "phase_transition",
+            "estimate_refined",
+            "bounds_refined",
+            "operator_finished",
+            "query_finished",
+        ];
+        let events = event_kinds.map(|k| {
+            registry.counter(
+                "qprog_trace_events_total",
+                "Trace events published, by event kind",
+                &[("event", k)],
+            )
+        });
+        let phases = PHASES.map(|p| {
+            registry.counter(
+                "qprog_phase_transitions_total",
+                "Operator phase transitions, by entered phase",
+                &[("phase", p.name())],
+            )
+        });
+        let refinements = [
+            EstimateSource::Optimizer,
+            EstimateSource::Online,
+            EstimateSource::Exact,
+        ]
+        .map(|s| {
+            registry.counter(
+                "qprog_estimate_refinements_total",
+                "Cardinality estimate refinements, by source",
+                &[("source", s.name())],
+            )
+        });
+        let est = &[("estimator", estimator)][..];
+        let tuples = registry.counter(
+            "qprog_operator_tuples_total",
+            "Exact tuples emitted by finished operators",
+            est,
+        );
+        let queries_finished = registry.counter(
+            "qprog_queries_finished_total",
+            "Queries run to completion",
+            est,
+        );
+        let query_rows = registry.counter(
+            "qprog_query_rows_total",
+            "Rows returned by finished queries",
+            est,
+        );
+        let q_error = registry.histogram(
+            "qprog_estimate_q_error",
+            "q-error of each operator's last online estimate vs its exact \
+             final cardinality, by estimator",
+            est,
+            &Q_ERROR_BUCKETS,
+        );
+        MetricsSink {
+            registry,
+            estimator: estimator.to_string(),
+            events,
+            phases,
+            refinements,
+            tuples,
+            queries_finished,
+            query_rows,
+            q_error,
+            ops: Mutex::new(Vec::new()),
+            op_names: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Attach operator registry names (post-compile) so per-operator tuple
+    /// counts are labeled by operator name in addition to the aggregate.
+    pub fn set_op_names(&self, names: Vec<String>) {
+        *self.op_names.lock() = names;
+    }
+
+    /// The shared registry this sink aggregates into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The estimator label samples are recorded under.
+    pub fn estimator(&self) -> &str {
+        &self.estimator
+    }
+
+    fn with_op<R>(&self, op: u32, f: impl FnOnce(&mut OpAgg) -> R) -> R {
+        let mut ops = self.ops.lock();
+        let idx = op as usize;
+        if ops.len() <= idx {
+            ops.resize(
+                idx + 1,
+                OpAgg {
+                    last_estimate: f64::NAN,
+                    refined_online: false,
+                },
+            );
+        }
+        f(&mut ops[idx])
+    }
+}
+
+impl std::fmt::Debug for MetricsSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsSink")
+            .field("estimator", &self.estimator)
+            .finish()
+    }
+}
+
+impl TraceSink for MetricsSink {
+    fn publish(&self, event: &TraceEvent) {
+        let event_idx = match event.kind {
+            TraceEventKind::PipelineStarted { .. } => 0,
+            TraceEventKind::PipelineFinished { .. } => 1,
+            TraceEventKind::PhaseTransition { .. } => 2,
+            TraceEventKind::EstimateRefined { .. } => 3,
+            TraceEventKind::BoundsRefined { .. } => 4,
+            TraceEventKind::OperatorFinished { .. } => 5,
+            TraceEventKind::QueryFinished { .. } => 6,
+        };
+        self.events[event_idx].inc();
+        match event.kind {
+            TraceEventKind::PhaseTransition { to, .. } => {
+                self.phases[phase_index(to)].inc();
+            }
+            TraceEventKind::EstimateRefined {
+                op, new, source, ..
+            } => {
+                self.refinements[match source {
+                    EstimateSource::Optimizer => 0,
+                    EstimateSource::Online => 1,
+                    EstimateSource::Exact => 2,
+                }]
+                .inc();
+                match source {
+                    EstimateSource::Exact => {
+                        // Exact pin: score the last pre-exact estimate. Only
+                        // operators that actually refined online contribute —
+                        // scoring the raw optimizer guess would pollute the
+                        // per-estimator histograms with compile-time error.
+                        let prior =
+                            self.with_op(op, |o| o.refined_online.then_some(o.last_estimate));
+                        if let Some(prior) = prior {
+                            if prior.is_finite() {
+                                self.q_error.observe(q_error(new, prior));
+                            }
+                        }
+                    }
+                    _ => self.with_op(op, |o| {
+                        o.last_estimate = new;
+                        o.refined_online |= source == EstimateSource::Online;
+                    }),
+                }
+            }
+            TraceEventKind::OperatorFinished { op, emitted } => {
+                self.tuples.add(emitted);
+                let name = self.op_names.lock().get(op as usize).cloned();
+                if let Some(name) = name {
+                    self.registry
+                        .counter(
+                            "qprog_operator_emitted_total",
+                            "Exact tuples emitted by finished operators, by operator",
+                            &[("op", &name)],
+                        )
+                        .add(emitted);
+                }
+            }
+            TraceEventKind::QueryFinished { rows } => {
+                self.queries_finished.inc();
+                self.query_rows.add(rows);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qprog_exec::trace::EventBus;
+
+    fn publish_all(sink: &MetricsSink, kinds: &[TraceEventKind]) {
+        for (i, &kind) in kinds.iter().enumerate() {
+            sink.publish(&TraceEvent {
+                seq: i as u64,
+                at_us: i as u64,
+                kind,
+            });
+        }
+    }
+
+    #[test]
+    fn events_phases_and_refinements_are_counted() {
+        let registry = Arc::new(Registry::new());
+        let sink = MetricsSink::new(Arc::clone(&registry), "once");
+        publish_all(
+            &sink,
+            &[
+                TraceEventKind::PipelineStarted { pipeline: 0 },
+                TraceEventKind::PhaseTransition {
+                    op: 0,
+                    from: Phase::Init,
+                    to: Phase::Build,
+                },
+                TraceEventKind::PhaseTransition {
+                    op: 0,
+                    from: Phase::Build,
+                    to: Phase::Probe,
+                },
+                TraceEventKind::EstimateRefined {
+                    op: 0,
+                    old: f64::NAN,
+                    new: 100.0,
+                    source: EstimateSource::Optimizer,
+                },
+                TraceEventKind::QueryFinished { rows: 42 },
+            ],
+        );
+        let text = registry.render();
+        assert!(text.contains("qprog_trace_events_total{event=\"phase_transition\"} 2"));
+        assert!(text.contains("qprog_phase_transitions_total{phase=\"build\"} 1"));
+        assert!(text.contains("qprog_phase_transitions_total{phase=\"probe\"} 1"));
+        assert!(text.contains("qprog_estimate_refinements_total{source=\"optimizer\"} 1"));
+        assert!(text.contains("qprog_queries_finished_total{estimator=\"once\"} 1"));
+        assert!(text.contains("qprog_query_rows_total{estimator=\"once\"} 42"));
+    }
+
+    #[test]
+    fn q_error_scores_last_online_estimate_against_exact() {
+        let registry = Arc::new(Registry::new());
+        let sink = MetricsSink::new(Arc::clone(&registry), "dne");
+        publish_all(
+            &sink,
+            &[
+                TraceEventKind::EstimateRefined {
+                    op: 0,
+                    old: f64::NAN,
+                    new: 1000.0,
+                    source: EstimateSource::Optimizer,
+                },
+                TraceEventKind::EstimateRefined {
+                    op: 0,
+                    old: 1000.0,
+                    new: 50.0,
+                    source: EstimateSource::Online,
+                },
+                TraceEventKind::EstimateRefined {
+                    op: 0,
+                    old: 50.0,
+                    new: 100.0,
+                    source: EstimateSource::Exact,
+                },
+            ],
+        );
+        let hist = registry.histogram(
+            "qprog_estimate_q_error",
+            "",
+            &[("estimator", "dne")],
+            &Q_ERROR_BUCKETS,
+        );
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.sum(), 2.0, "q-error(100, 50) = 2");
+    }
+
+    #[test]
+    fn operators_without_online_refinement_are_not_scored() {
+        let registry = Arc::new(Registry::new());
+        let sink = MetricsSink::new(Arc::clone(&registry), "off");
+        publish_all(
+            &sink,
+            &[
+                TraceEventKind::EstimateRefined {
+                    op: 3,
+                    old: f64::NAN,
+                    new: 10.0,
+                    source: EstimateSource::Optimizer,
+                },
+                TraceEventKind::EstimateRefined {
+                    op: 3,
+                    old: 10.0,
+                    new: 7.0,
+                    source: EstimateSource::Exact,
+                },
+            ],
+        );
+        let hist = registry.histogram(
+            "qprog_estimate_q_error",
+            "",
+            &[("estimator", "off")],
+            &Q_ERROR_BUCKETS,
+        );
+        assert_eq!(hist.count(), 0);
+    }
+
+    #[test]
+    fn finished_operators_accumulate_tuple_counts() {
+        let registry = Arc::new(Registry::new());
+        let sink = MetricsSink::new(Arc::clone(&registry), "once");
+        sink.set_op_names(vec!["scan(nation)".into(), "hash_join".into()]);
+        publish_all(
+            &sink,
+            &[
+                TraceEventKind::OperatorFinished { op: 0, emitted: 25 },
+                TraceEventKind::OperatorFinished {
+                    op: 1,
+                    emitted: 500,
+                },
+            ],
+        );
+        let text = registry.render();
+        assert!(text.contains("qprog_operator_tuples_total{estimator=\"once\"} 525"));
+        assert!(text.contains("qprog_operator_emitted_total{op=\"hash_join\"} 500"));
+        assert!(text.contains("qprog_operator_emitted_total{op=\"scan(nation)\"} 25"));
+    }
+
+    #[test]
+    fn two_sinks_aggregate_into_one_registry() {
+        let registry = Arc::new(Registry::new());
+        let a = Arc::new(MetricsSink::new(Arc::clone(&registry), "once"));
+        let b = Arc::new(MetricsSink::new(Arc::clone(&registry), "once"));
+        let bus_a = EventBus::with_sink(Arc::clone(&a) as _);
+        let bus_b = EventBus::with_sink(Arc::clone(&b) as _);
+        bus_a.publish(TraceEventKind::QueryFinished { rows: 1 });
+        bus_b.publish(TraceEventKind::QueryFinished { rows: 2 });
+        let text = registry.render();
+        assert!(text.contains("qprog_queries_finished_total{estimator=\"once\"} 2"));
+        assert!(text.contains("qprog_query_rows_total{estimator=\"once\"} 3"));
+    }
+}

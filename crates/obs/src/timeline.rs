@@ -287,37 +287,66 @@ impl TimelineRecorder {
 
     /// Spawn a monitor thread sampling every `cadence` until
     /// [`RecorderHandle::finish`] is called (a final sample is always taken
-    /// at finish, so the terminal state is captured).
+    /// at finish, so the terminal state is captured) or the handle is
+    /// dropped (which stops and joins the thread, discarding the log).
     pub fn spawn(self, cadence: Duration) -> RecorderHandle {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let mut recorder = self;
-        let join = std::thread::spawn(move || {
-            while !stop2.load(Ordering::Relaxed) {
+        let join = std::thread::Builder::new()
+            .name("qprog-timeline".to_string())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    recorder.sample();
+                    // Sleep in short slices so a stop request (finish or
+                    // drop) is honored promptly even at long cadences.
+                    let mut remaining = cadence;
+                    while !stop2.load(Ordering::Relaxed) && remaining > Duration::ZERO {
+                        let slice = remaining.min(Duration::from_millis(5));
+                        std::thread::sleep(slice);
+                        remaining = remaining.saturating_sub(slice);
+                    }
+                }
                 recorder.sample();
-                std::thread::sleep(cadence);
-            }
-            recorder.sample();
-            recorder
-        });
-        RecorderHandle { stop, join }
+                recorder
+            })
+            .expect("spawn timeline monitor thread");
+        RecorderHandle {
+            stop,
+            join: Some(join),
+        }
     }
 }
 
 /// Handle to a recorder running on a monitor thread.
+///
+/// The thread never outlives the handle: [`finish`](Self::finish) stops and
+/// joins it, returning the log, and dropping the handle without finishing
+/// does the same join (discarding the log) — no sampler is left spinning
+/// against a dead query.
 pub struct RecorderHandle {
     stop: Arc<AtomicBool>,
-    join: std::thread::JoinHandle<TimelineRecorder>,
+    join: Option<std::thread::JoinHandle<TimelineRecorder>>,
 }
 
 impl RecorderHandle {
     /// Stop the monitor thread, take a final sample, and return the log.
-    pub fn finish(self) -> ProgressLog {
+    pub fn finish(mut self) -> ProgressLog {
+        self.stop_and_join()
+            .map(TimelineRecorder::into_log)
+            .unwrap_or_default()
+    }
+
+    fn stop_and_join(&mut self) -> Option<TimelineRecorder> {
+        let join = self.join.take()?;
         self.stop.store(true, Ordering::Relaxed);
-        match self.join.join() {
-            Ok(recorder) => recorder.into_log(),
-            Err(_) => ProgressLog::default(),
-        }
+        join.join().ok()
+    }
+}
+
+impl Drop for RecorderHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
     }
 }
 
@@ -448,5 +477,31 @@ mod tests {
         );
         let last = log.points().last().unwrap();
         assert_eq!(last.fraction, 1.0, "final sample sees the finished query");
+    }
+
+    #[test]
+    fn dropping_the_handle_joins_the_sampler_thread_promptly() {
+        // A long cadence would previously leave the thread asleep (and the
+        // recorder alive) long after the handle was gone; the chunked sleep
+        // plus Drop-join must reclaim it in well under one cadence.
+        let bus = EventBus::builder().build();
+        let (tracker, _reg) = two_op_tracker();
+        let handle = TimelineRecorder::new(tracker)
+            .with_bus(Arc::clone(&bus))
+            .spawn(Duration::from_secs(60));
+        let started = std::time::Instant::now();
+        drop(handle);
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "drop blocked for {:?} — stop not honored promptly",
+            started.elapsed()
+        );
+        // The thread owned the recorder (and its bus clone); after the
+        // join, ours is the only reference left.
+        assert_eq!(
+            Arc::strong_count(&bus),
+            1,
+            "sampler thread still holds the recorder after drop"
+        );
     }
 }

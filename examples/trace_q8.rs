@@ -4,10 +4,11 @@
 //! Demonstrates the whole `qprog-obs` surface on the paper's Fig. 8
 //! workload (the 8-table join pipeline over skewed TPC-H-lite):
 //!
-//! - every trace event streams to `trace_q8.jsonl` as one JSON line,
+//! - every trace event streams to `results/trace_q8.jsonl` as one JSON
+//!   line,
 //! - a [`ValidatorSink`] checks the progress model's invariants live,
 //! - a [`TimelineRecorder`] on a monitor thread samples per-operator
-//!   `(K_i, N_i)` trajectories to `trace_q8_timeline.csv`,
+//!   `(K_i, N_i)` trajectories to `results/trace_q8_timeline.csv`,
 //! - after completion, an EXPLAIN ANALYZE report compares actual vs
 //!   optimizer vs online cardinalities per operator with q-errors and
 //!   phase wall-times.
@@ -48,7 +49,8 @@ fn main() -> QResult<()> {
     // Sinks: bounded in-memory ring (for the report), JSONL file stream,
     // and the debug invariant validator.
     let ring = Arc::new(RingSink::with_capacity(1 << 14));
-    let jsonl_path = "trace_q8.jsonl";
+    std::fs::create_dir_all("results").map_err(|e| QError::plan(e.to_string()))?;
+    let jsonl_path = "results/trace_q8.jsonl";
     let jsonl = Arc::new(
         JsonlSink::new(BufWriter::new(
             File::create(jsonl_path).map_err(|e| QError::plan(e.to_string()))?,
@@ -83,7 +85,7 @@ fn main() -> QResult<()> {
     let events = ring.drain();
     println!("{}", query.explain_analyze(&events));
 
-    let csv_path = "trace_q8_timeline.csv";
+    let csv_path = "results/trace_q8_timeline.csv";
     std::fs::write(csv_path, log.to_csv()).map_err(|e| QError::plan(e.to_string()))?;
     println!(
         "trace: {} events -> {jsonl_path} ({} dropped by ring)",

@@ -15,7 +15,11 @@
 //!   γ²-based online chooser, and the *gnm* progress monitor, plus the
 //!   `dne` and `byte` baselines it is evaluated against ([`core`]),
 //! - Zipfian TPC-H-lite data generation matching the paper's evaluation
-//!   ([`datagen`]) and a small SQL front end ([`sql`]).
+//!   ([`datagen`]) and a small SQL front end ([`sql`]),
+//! - an observability stack: execution event tracing with EXPLAIN ANALYZE
+//!   ([`obs`]), a lock-cheap metrics registry with Prometheus text
+//!   exposition ([`metrics`]), and a std-only live monitor HTTP server
+//!   with a progress dashboard for concurrent queries ([`monitor`]).
 //!
 //! ## Quickstart
 //!
@@ -43,6 +47,8 @@
 pub use qprog_core as core;
 pub use qprog_datagen as datagen;
 pub use qprog_exec as exec;
+pub use qprog_metrics as metrics;
+pub use qprog_monitor as monitor;
 pub use qprog_obs as obs;
 pub use qprog_plan as plan;
 pub use qprog_sql as sql;
@@ -60,9 +66,11 @@ pub mod prelude {
     pub use qprog_core::gnm::ProgressSnapshot;
     pub use qprog_core::EstimationMode;
     pub use qprog_exec::trace::{EventBus, TraceEvent, TraceSink};
+    pub use qprog_metrics::Registry;
+    pub use qprog_monitor::MonitorServer;
     pub use qprog_obs::{
-        explain_analyze, JsonlSink, ProgressLog, RingSink, StderrSink, TimelineRecorder,
-        ValidatorSink,
+        explain_analyze, JsonlSink, MetricsSink, ProgressLog, RingSink, StderrSink,
+        TimelineRecorder, ValidatorSink,
     };
     pub use qprog_plan::builder::PlanBuilder;
     pub use qprog_storage::{Catalog, Table};

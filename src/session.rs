@@ -3,7 +3,10 @@
 use std::sync::Arc;
 
 use qprog_core::gnm::ProgressSnapshot;
-use qprog_exec::trace::{EventBus, TraceEvent};
+use qprog_exec::trace::{EventBus, TraceEvent, TraceSink};
+use qprog_metrics::Registry;
+use qprog_monitor::{MonitorServer, MonitoredQuery, PhaseSink};
+use qprog_obs::MetricsSink;
 use qprog_plan::physical::{compile_traced, CompiledQuery, PhysicalOptions};
 use qprog_plan::{LogicalPlan, PlanBuilder, ProgressTracker};
 use qprog_storage::Catalog;
@@ -13,16 +16,31 @@ use qprog_types::{QResult, Row};
 ///
 /// The default options enable the paper's framework (`Once` estimation,
 /// 10% block samples); use [`Session::with_options`] to run the `dne`/
-/// `byte` baselines or disable estimation. Attach an
-/// [`EventBus`] with [`Session::with_trace`] to stream execution trace
-/// events (phase transitions, estimate refinements, query completion) to
-/// observability sinks; without one, queries compile with zero tracing
-/// overhead.
+/// `byte` baselines or disable estimation.
+///
+/// Observability is opt-in, layer by layer:
+///
+/// - [`Session::with_trace`] attaches an [`EventBus`]: every query streams
+///   execution trace events (phase transitions, estimate refinements,
+///   completion) to its sinks.
+/// - [`Session::with_metrics`] attaches a shared
+///   [`qprog_metrics::Registry`]: every query aggregates its events into
+///   fleet-wide counters and per-estimator q-error histograms through a
+///   per-query [`MetricsSink`].
+/// - [`Session::serve_monitor`] starts (or [`Session::with_monitor`]
+///   joins) a [`MonitorServer`]: every query registers for live HTTP
+///   observation (`/progress/{id}`, the `/` dashboard) and unregisters
+///   when its [`QueryHandle`] drops.
+///
+/// Without any of these, queries compile with **zero** tracing overhead —
+/// the per-tuple hot path is identical to the untraced baseline.
 #[derive(Debug, Clone)]
 pub struct Session {
     builder: PlanBuilder,
     options: PhysicalOptions,
     bus: Option<Arc<EventBus>>,
+    metrics: Option<Arc<Registry>>,
+    monitor: Option<Arc<MonitorServer>>,
 }
 
 impl Session {
@@ -32,6 +50,8 @@ impl Session {
             builder: PlanBuilder::new(catalog),
             options: PhysicalOptions::default(),
             bus: None,
+            metrics: None,
+            monitor: None,
         }
     }
 
@@ -43,14 +63,64 @@ impl Session {
 
     /// Attach a trace bus: every query compiled by this session publishes
     /// [`TraceEvent`]s to the bus's sinks.
+    ///
+    /// When metrics or a monitor are also attached, each query gets its own
+    /// bus carrying this bus's sinks plus the per-query ones, so events are
+    /// stamped once; the session bus's `published()` counter then stays at
+    /// zero (drain your sinks, not the bus).
     pub fn with_trace(mut self, bus: Arc<EventBus>) -> Self {
         self.bus = Some(bus);
         self
     }
 
+    /// Attach a metrics registry: every query aggregates trace events into
+    /// it through a per-query [`MetricsSink`] labeled with the session's
+    /// estimation mode, so counters and q-error histograms accumulate
+    /// *across* queries (and across sessions sharing the registry).
+    pub fn with_metrics(mut self, registry: Arc<Registry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Register queries with an already-running monitor server (several
+    /// sessions can share one). Adopts the server's metrics registry when
+    /// this session has none.
+    pub fn with_monitor(mut self, server: Arc<MonitorServer>) -> Self {
+        if self.metrics.is_none() {
+            self.metrics = server.metrics().cloned();
+        }
+        self.monitor = Some(server);
+        self
+    }
+
+    /// Start a live monitor HTTP server on `addr` (e.g. `"127.0.0.1:0"`
+    /// for an OS-assigned port) and register every subsequent query with
+    /// it. Creates and attaches a metrics registry if none is attached
+    /// yet, so `GET /metrics` works out of the box. The server shuts down
+    /// gracefully when the last `Arc` to it drops (or on an explicit
+    /// [`MonitorServer::shutdown`]).
+    pub fn serve_monitor(mut self, addr: &str) -> QResult<Self> {
+        let registry = self
+            .metrics
+            .get_or_insert_with(|| Arc::new(Registry::new()))
+            .clone();
+        self.monitor = Some(MonitorServer::start(addr, Some(registry))?);
+        Ok(self)
+    }
+
     /// The attached trace bus, if any.
     pub fn trace_bus(&self) -> Option<&Arc<EventBus>> {
         self.bus.as_ref()
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn metrics(&self) -> Option<&Arc<Registry>> {
+        self.metrics.as_ref()
+    }
+
+    /// The attached monitor server, if any.
+    pub fn monitor(&self) -> Option<&Arc<MonitorServer>> {
+        self.monitor.as_ref()
     }
 
     /// The plan builder (for programmatic plan construction).
@@ -63,23 +133,88 @@ impl Session {
         &self.options
     }
 
-    /// Parse, bind, and compile a SQL query.
+    /// Parse, bind, and compile a SQL query. With a monitor attached, the
+    /// SQL text becomes the query's dashboard label.
     pub fn query(&self, sql: &str) -> QResult<QueryHandle> {
         let plan = qprog_sql::plan_sql(&self.builder, sql)?;
-        self.query_plan(plan)
+        self.compile(plan, sql)
     }
 
     /// Compile a programmatically built logical plan.
     pub fn query_plan(&self, plan: LogicalPlan) -> QResult<QueryHandle> {
-        let compiled = compile_traced(&plan, &self.options, self.bus.clone())?;
-        Ok(QueryHandle { plan, compiled })
+        self.compile(plan, "<plan>")
+    }
+
+    /// Compile a logical plan under an explicit monitor/dashboard label.
+    pub fn query_plan_labeled(&self, plan: LogicalPlan, label: &str) -> QResult<QueryHandle> {
+        self.compile(plan, label)
+    }
+
+    fn compile(&self, plan: LogicalPlan, label: &str) -> QResult<QueryHandle> {
+        // Per-query observer sinks. Events carry operator indices that are
+        // only meaningful within one query, so the aggregating sinks are
+        // per-query even though the registry/monitor they feed are shared.
+        let metrics_sink = self
+            .metrics
+            .as_ref()
+            .map(|r| Arc::new(MetricsSink::new(Arc::clone(r), self.options.mode.label())));
+        let phase_sink = self.monitor.as_ref().map(|_| Arc::new(PhaseSink::new()));
+
+        let bus = if metrics_sink.is_none() && phase_sink.is_none() {
+            // Fast path: exactly the user's bus (or none — zero overhead).
+            self.bus.clone()
+        } else {
+            let mut b = EventBus::builder();
+            if let Some(user) = &self.bus {
+                for sink in user.sinks() {
+                    b = b.sink(Arc::clone(sink));
+                }
+            }
+            if let Some(ms) = &metrics_sink {
+                b = b.sink(Arc::clone(ms) as Arc<dyn TraceSink>);
+            }
+            if let Some(ps) = &phase_sink {
+                b = b.sink(Arc::clone(ps) as Arc<dyn TraceSink>);
+            }
+            Some(b.build())
+        };
+
+        let compiled = compile_traced(&plan, &self.options, bus)?;
+        if let Some(ms) = &metrics_sink {
+            ms.set_op_names(
+                compiled
+                    .registry()
+                    .iter()
+                    .map(|(n, _)| n.to_string())
+                    .collect(),
+            );
+        }
+        let monitored = match (&self.monitor, phase_sink) {
+            (Some(server), Some(phases)) => Some(server.directory().register(
+                label,
+                self.options.mode.label(),
+                compiled.tracker(),
+                phases,
+            )),
+            _ => None,
+        };
+        Ok(QueryHandle {
+            plan,
+            compiled,
+            monitored,
+        })
     }
 }
 
 /// A compiled query ready to execute, with live progress observation.
+///
+/// When the session has a monitor attached, the handle also holds the
+/// query's monitor registration: the query is listed at
+/// `/progress/{query_id}` until the handle drops.
 pub struct QueryHandle {
     plan: LogicalPlan,
     compiled: CompiledQuery,
+    monitored: Option<MonitoredQuery>,
 }
 
 impl QueryHandle {
@@ -91,6 +226,12 @@ impl QueryHandle {
     /// The logical plan.
     pub fn plan(&self) -> &LogicalPlan {
         &self.plan
+    }
+
+    /// The monitor's id for this query (`/progress/{id}`), when the
+    /// session has a monitor attached.
+    pub fn query_id(&self) -> Option<u64> {
+        self.monitored.as_ref().map(|m| m.id())
     }
 
     /// A cloneable, thread-safe progress tracker (gnm snapshots on demand,
@@ -148,6 +289,8 @@ impl QueryHandle {
 mod tests {
     use super::*;
     use qprog_core::EstimationMode;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
@@ -156,6 +299,14 @@ mod tests {
         c.register(qprog_datagen::nation_table("nation", 100))
             .unwrap();
         c
+    }
+
+    fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
     }
 
     #[test]
@@ -215,8 +366,11 @@ mod tests {
     fn untraced_session_has_no_bus() {
         let session = Session::new(catalog());
         assert!(session.trace_bus().is_none());
+        assert!(session.metrics().is_none());
+        assert!(session.monitor().is_none());
         let h = session.query("SELECT * FROM nation").unwrap();
         assert!(h.compiled().bus().is_none());
+        assert!(h.query_id().is_none());
     }
 
     #[test]
@@ -238,5 +392,117 @@ mod tests {
         let rows = h.collect().unwrap();
         assert_eq!(rows.len(), 100);
         assert_eq!(watcher.join().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn metrics_session_aggregates_across_queries() {
+        let registry = Arc::new(Registry::new());
+        let session = Session::new(catalog()).with_metrics(Arc::clone(&registry));
+        for _ in 0..2 {
+            let mut h = session
+                .query(
+                    "SELECT * FROM customer \
+                     JOIN nation ON customer.nationkey = nation.nationkey",
+                )
+                .unwrap();
+            assert_eq!(h.collect().unwrap().len(), 5000);
+        }
+        let text = registry.render();
+        assert!(
+            text.contains("qprog_queries_finished_total{estimator=\"once\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("qprog_query_rows_total{estimator=\"once\"} 10000"),
+            "{text}"
+        );
+        assert!(
+            text.contains("qprog_estimate_q_error_count{estimator=\"once\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("qprog_operator_emitted_total{op=\"hash_join\"} 10000"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn metrics_compose_with_a_user_trace_bus() {
+        let ring = Arc::new(qprog_obs::RingSink::with_capacity(4096));
+        let registry = Arc::new(Registry::new());
+        let session = Session::new(catalog())
+            .with_trace(EventBus::with_sink(Arc::clone(&ring) as _))
+            .with_metrics(Arc::clone(&registry));
+        let mut h = session.query("SELECT * FROM nation").unwrap();
+        h.collect().unwrap();
+        // Both consumers saw the same (once-stamped) event stream.
+        let events = ring.drain();
+        assert!(!events.is_empty());
+        assert!(registry
+            .render()
+            .contains("qprog_queries_finished_total{estimator=\"once\"} 1"));
+    }
+
+    #[test]
+    fn monitored_queries_register_and_unregister() {
+        let session = Session::new(catalog())
+            .serve_monitor("127.0.0.1:0")
+            .unwrap();
+        let server = Arc::clone(session.monitor().unwrap());
+        let addr = server.addr();
+
+        let mut h = session.query("SELECT * FROM nation").unwrap();
+        let id = h.query_id().expect("monitored query has an id");
+        let listed = http_get(addr, "/progress");
+        assert!(listed.contains(&format!("\"id\":{id}")), "{listed}");
+        assert!(listed.contains("SELECT * FROM nation"), "{listed}");
+
+        h.collect().unwrap();
+        let detail = http_get(addr, &format!("/progress/{id}"));
+        assert!(detail.contains("\"done\":true"), "{detail}");
+        assert!(detail.contains("\"fraction\":1"), "{detail}");
+        assert!(detail.contains("\"ops\":["), "{detail}");
+
+        // /metrics works out of the box (registry auto-created).
+        let metrics = http_get(addr, "/metrics");
+        assert!(metrics.contains("qprog_queries_live 1"), "{metrics}");
+
+        drop(h);
+        let after = http_get(addr, &format!("/progress/{id}"));
+        assert!(after.starts_with("HTTP/1.1 404"), "{after}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_queries_on_one_session_are_all_listed() {
+        let session = Session::new(catalog())
+            .serve_monitor("127.0.0.1:0")
+            .unwrap();
+        let addr = session.monitor().unwrap().addr();
+        let session = Arc::new(session);
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let session = Arc::clone(&session);
+                std::thread::spawn(move || {
+                    let mut h = session
+                        .query(
+                            "SELECT * FROM customer \
+                             JOIN nation ON customer.nationkey = nation.nationkey",
+                        )
+                        .unwrap();
+                    let id = h.query_id().unwrap();
+                    let rows = h.collect().unwrap().len();
+                    (id, rows, h)
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|t| t.join().unwrap()).collect();
+        let listed = http_get(addr, "/progress");
+        for (id, rows, _) in &results {
+            assert_eq!(*rows, 5000);
+            assert!(listed.contains(&format!("\"id\":{id}")), "{listed}");
+        }
+        let ids: std::collections::HashSet<u64> = results.iter().map(|r| r.0).collect();
+        assert_eq!(ids.len(), 3, "distinct ids per concurrent query");
     }
 }

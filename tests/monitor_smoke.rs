@@ -1,0 +1,185 @@
+//! End-to-end smoke test for the live monitor: a TPC-H-lite join runs
+//! through [`Session::serve_monitor`] while this test curls the HTTP
+//! endpoints over a raw `std::net::TcpStream` (exactly what CI does):
+//!
+//! - `/progress/{id}` is polled during execution: the reported `C` and the
+//!   progress fraction must be monotone non-decreasing, and every poll must
+//!   carry valid `[lo, hi]` bounds,
+//! - `/progress` lists the query while it is live, 404s after its handle
+//!   drops,
+//! - `/metrics` parses as Prometheus text exposition and carries the
+//!   per-estimator q-error histogram.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+use qprog::prelude::*;
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.register(qprog::datagen::customer_table(
+        "customer", 20_000, 1.0, 400, 7,
+    ))
+    .unwrap();
+    c.register(qprog::datagen::nation_table("nation", 400))
+        .unwrap();
+    c
+}
+
+/// One HTTP GET over a fresh TcpStream; returns (head, body).
+fn get(addr: SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to monitor");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: smoke\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let split = raw.find("\r\n\r\n").expect("response has a blank line");
+    (raw[..split].to_string(), raw[split + 4..].to_string())
+}
+
+/// Extract the first `"key":<number>` from a JSON string (the monitor's
+/// JSON is flat enough that a textual probe is unambiguous for top-level
+/// summary keys).
+fn json_num(json: &str, key: &str) -> f64 {
+    let pat = format!("\"{key}\":");
+    let at = json
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no {key} in {json}"));
+    let rest = &json[at + pat.len()..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse()
+        .unwrap_or_else(|_| panic!("bad number for {key}: {rest}"))
+}
+
+/// Minimal Prometheus text-format check: every sample line is
+/// `name{labels} value` (or `name value`) with a parseable float, and every
+/// sample's family has a preceding `# TYPE`.
+fn assert_prometheus_well_formed(text: &str) {
+    let mut typed: Vec<String> = Vec::new();
+    let mut samples = 0usize;
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            typed.push(rest.split_whitespace().next().unwrap().to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let name_end = line
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == ':'))
+            .unwrap_or_else(|| panic!("no name delimiter in sample line: {line}"));
+        let name = &line[..name_end];
+        assert!(!name.is_empty(), "empty metric name: {line}");
+        let value = line.rsplit(' ').next().unwrap();
+        assert!(
+            value.parse::<f64>().is_ok() || value == "+Inf" || value == "-Inf" || value == "NaN",
+            "unparseable value in: {line}"
+        );
+        // `foo_bucket`/`foo_sum`/`foo_count` belong to family `foo`.
+        let family_ok = typed.iter().any(|t| {
+            name == t
+                || name.strip_suffix("_bucket") == Some(t)
+                || name.strip_suffix("_sum") == Some(t)
+                || name.strip_suffix("_count") == Some(t)
+        });
+        assert!(family_ok, "sample before its # TYPE: {line}");
+        samples += 1;
+    }
+    assert!(samples > 0, "no samples in exposition:\n{text}");
+}
+
+#[test]
+fn monitored_query_is_observable_live_over_http() {
+    let session = Session::new(catalog())
+        .serve_monitor("127.0.0.1:0")
+        .unwrap();
+    let server = Arc::clone(session.monitor().unwrap());
+    let addr = server.addr();
+
+    let mut handle = session
+        .query(
+            "SELECT nation.nationkey, count(*) FROM customer \
+             JOIN nation ON customer.nationkey = nation.nationkey \
+             GROUP BY nation.nationkey",
+        )
+        .unwrap();
+    let id = handle.query_id().expect("monitored query gets an id");
+
+    // Listed while live.
+    let (_, listing) = get(addr, "/progress");
+    assert!(listing.contains(&format!("\"id\":{id}")), "{listing}");
+
+    // Poll the detail endpoint from this thread while the query runs on a
+    // worker: C and the fraction must only move forward, bounds must stay
+    // ordered.
+    let worker = std::thread::spawn(move || {
+        let rows = handle.collect().unwrap();
+        (rows.len(), handle)
+    });
+    let path = format!("/progress/{id}");
+    let (mut last_c, mut last_fraction, mut polls) = (0.0, 0.0, 0usize);
+    loop {
+        let (head, body) = get(addr, &path);
+        if !head.starts_with("HTTP/1.1 200") {
+            // The worker finished and dropped the handle between polls.
+            break;
+        }
+        let c = json_num(&body, "current");
+        let fraction = json_num(&body, "fraction");
+        let lo = json_num(&body, "lo");
+        let hi = json_num(&body, "hi");
+        assert!(c >= last_c, "C went backwards: {last_c} -> {c}");
+        assert!(
+            fraction >= last_fraction - 1e-9,
+            "fraction went backwards: {last_fraction} -> {fraction}"
+        );
+        assert!((0.0..=1.0).contains(&fraction), "fraction {fraction}");
+        assert!(lo <= hi, "bounds inverted: [{lo}, {hi}]");
+        assert!(lo >= 0.0, "negative lower bound {lo}");
+        last_c = c;
+        last_fraction = fraction;
+        polls += 1;
+        if body.contains("\"done\":true") {
+            break;
+        }
+    }
+    let (rows, handle) = worker.join().unwrap();
+    assert_eq!(rows, 400);
+    assert!(polls > 0, "never observed the query over HTTP");
+
+    // Terminal state: fraction pinned at 1 while the handle is alive.
+    let (head, body) = get(addr, &path);
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert_eq!(json_num(&body, "fraction"), 1.0, "{body}");
+    assert!(body.contains("\"done\":true"), "{body}");
+
+    // /metrics is well-formed Prometheus and has the estimator histograms.
+    let (head, metrics) = get(addr, "/metrics");
+    assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+    assert_prometheus_well_formed(&metrics);
+    assert!(
+        metrics.contains("# TYPE qprog_estimate_q_error histogram"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("qprog_estimate_q_error_bucket{estimator=\"once\",le=\"+Inf\"}"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("qprog_queries_finished_total{estimator=\"once\"} 1"),
+        "{metrics}"
+    );
+
+    // Dropping the handle unregisters the query.
+    drop(handle);
+    let (head, _) = get(addr, &path);
+    assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+    server.shutdown();
+}
