@@ -228,6 +228,7 @@ impl PipelineEstimator {
 
     /// Feed one build tuple of the current build relation.
     pub fn build_tuple(&mut self, join: usize, row: &Row) -> QResult<()> {
+        qprog_fault::fail_point!("core/pipeline/build_tuple");
         if self.phase != Phase::Building(join) {
             return Err(QError::estimation(format!(
                 "build_tuple({join}) outside its build phase ({:?})",
@@ -336,6 +337,7 @@ impl PipelineEstimator {
     /// estimate. This is the per-tuple hot path of the framework — it does
     /// not allocate.
     pub fn observe_probe(&mut self, row: &Row) -> QResult<()> {
+        qprog_fault::fail_point!("core/pipeline/observe_probe");
         if self.phase != Phase::Probing {
             return Err(QError::estimation(format!(
                 "observe_probe before builds completed ({:?})",

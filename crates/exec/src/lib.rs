@@ -22,6 +22,7 @@
 //!   (distinct-value estimation runs here) before emitting.
 
 pub mod expr;
+pub mod governor;
 pub mod metrics;
 pub mod ops;
 pub mod runtime;
@@ -29,6 +30,7 @@ pub mod sync;
 pub mod trace;
 
 pub use expr::{BinOp, Expr};
+pub use governor::{Budgets, CancellationToken, Governor};
 pub use metrics::{MetricsRegistry, OpMetrics};
 pub use ops::{BoxedOp, Operator};
 pub use runtime::{collect, run_with_observer};

@@ -11,7 +11,10 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::trace::{EstimateSource, EventBus, Phase, TraceEventKind};
+use qprog_types::QResult;
+
+use crate::governor::Governor;
+use crate::trace::{DegradeReason, EstimateSource, EventBus, Phase, TraceEventKind};
 
 /// Relative change in `N_i` below which an estimate refinement is *not*
 /// traced. Keeps the event stream bounded when baselines (dne/byte) nudge
@@ -69,6 +72,9 @@ pub struct OpMetrics {
     /// Trace publication state; `None` (the default) makes every trace hook
     /// a single branch.
     trace: Option<TraceHandle>,
+    /// Lifecycle governor shared by the whole query; `None` (the default)
+    /// makes [`checkpoint`](Self::checkpoint) a single branch.
+    governor: Option<Arc<Governor>>,
 }
 
 impl OpMetrics {
@@ -86,8 +92,17 @@ impl OpMetrics {
     }
 
     fn build(estimate: f64, trace: Option<TraceHandle>) -> Arc<Self> {
+        OpMetrics::build_governed(estimate, trace, None)
+    }
+
+    fn build_governed(
+        estimate: f64,
+        trace: Option<TraceHandle>,
+        governor: Option<Arc<Governor>>,
+    ) -> Arc<Self> {
         let m = OpMetrics {
             trace,
+            governor,
             ..OpMetrics::default()
         };
         if let Some(t) = &m.trace {
@@ -148,6 +163,40 @@ impl OpMetrics {
     #[inline]
     pub fn record_emitted(&self) {
         self.emitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cooperative lifecycle checkpoint: charge `units` tuples of work to
+    /// the query's [`Governor`], failing fast on cancellation, deadline
+    /// expiry, or a row-budget breach. A single branch when no governor is
+    /// attached.
+    #[inline]
+    pub fn checkpoint(&self, units: u64) -> QResult<()> {
+        match &self.governor {
+            Some(g) => g.check(units),
+            None => Ok(()),
+        }
+    }
+
+    /// The query governor shared with this operator, if any.
+    pub fn governor(&self) -> Option<&Arc<Governor>> {
+        self.governor.as_ref()
+    }
+
+    /// Whether `bytes` of estimator histogram memory breaches the query's
+    /// soft histogram budget (no governor or no budget → never).
+    pub fn hist_budget_exceeded(&self, bytes: usize) -> bool {
+        self.governor
+            .as_ref()
+            .is_some_and(|g| g.hist_budget_exceeded(bytes))
+    }
+
+    /// Trace that this operator's estimator degraded to a cheaper baseline
+    /// (no-op without an attached bus).
+    pub fn trace_degraded(&self, reason: DegradeReason) {
+        if let Some(t) = &self.trace {
+            t.bus
+                .publish(TraceEventKind::EstimatorDegraded { op: t.op, reason });
+        }
     }
 
     /// Record `n` driver tuples consumed.
@@ -240,6 +289,9 @@ pub struct MetricsRegistry {
     /// When set, every subsequently registered operator publishes trace
     /// events to this bus under its registry index.
     bus: Option<Arc<EventBus>>,
+    /// When set, every subsequently registered operator checkpoints against
+    /// this query-wide lifecycle governor.
+    governor: Option<Arc<Governor>>,
 }
 
 impl MetricsRegistry {
@@ -253,6 +305,7 @@ impl MetricsRegistry {
         MetricsRegistry {
             entries: Vec::new(),
             bus: Some(bus),
+            governor: None,
         }
     }
 
@@ -261,15 +314,30 @@ impl MetricsRegistry {
         self.bus.as_ref()
     }
 
+    /// Attach a query-wide lifecycle governor. Call before registering
+    /// operators — only operators registered afterwards observe it.
+    pub fn set_governor(&mut self, governor: Arc<Governor>) {
+        self.governor = Some(governor);
+    }
+
+    /// The attached lifecycle governor, if any.
+    pub fn governor(&self) -> Option<&Arc<Governor>> {
+        self.governor.as_ref()
+    }
+
     /// Register an operator; returns its metrics handle.
     pub fn register(&mut self, name: impl Into<String>, initial_estimate: f64) -> Arc<OpMetrics> {
-        let m = match &self.bus {
-            Some(bus) => OpMetrics::with_initial_estimate_traced(
+        let trace = self
+            .bus
+            .as_ref()
+            .map(|bus| (Arc::clone(bus), self.entries.len() as u32));
+        let m = match trace {
+            Some((bus, op)) => OpMetrics::build_governed(
                 initial_estimate,
-                Arc::clone(bus),
-                self.entries.len() as u32,
+                Some(TraceHandle::new(bus, op)),
+                self.governor.clone(),
             ),
-            None => OpMetrics::with_initial_estimate(initial_estimate),
+            None => OpMetrics::build_governed(initial_estimate, None, self.governor.clone()),
         };
         self.entries.push((name.into(), Arc::clone(&m)));
         m
@@ -393,6 +461,20 @@ mod tests {
         assert_eq!(names, vec!["scan", "join"]);
         assert!(reg.get(1).is_some());
         assert!(reg.get(2).is_none());
+    }
+
+    #[test]
+    fn registry_attaches_governor_to_operators() {
+        let mut reg = MetricsRegistry::new();
+        reg.set_governor(Arc::new(crate::governor::Governor::default()));
+        let m = reg.register("scan", 0.0);
+        m.checkpoint(1).unwrap();
+        reg.governor().unwrap().cancel();
+        assert!(m.checkpoint(1).unwrap_err().is_cancelled());
+        // ungoverned metrics never fail checkpoints
+        let free = OpMetrics::with_initial_estimate(0.0);
+        free.checkpoint(1).unwrap();
+        assert!(free.governor().is_none());
     }
 
     #[test]

@@ -308,6 +308,8 @@ impl HashAggregate {
         let mut groups: HashMap<CompositeKey, (Row, Vec<Acc>)> = HashMap::new();
         let mut consumed: u64 = 0;
         while let Some(row) = self.input.next()? {
+            self.metrics.checkpoint(1)?;
+            qprog_fault::fail_point!("exec/agg/accumulate");
             consumed += 1;
             self.metrics.record_driver(1);
             let key = row.composite_key(&self.group_cols)?;

@@ -33,7 +33,7 @@ use qprog_types::{Key, QError, QResult, Row, SchemaRef};
 
 use crate::metrics::OpMetrics;
 use crate::ops::{partition_of, BoxedOp, Operator, PUBLISH_EVERY};
-use crate::trace::Phase;
+use crate::trace::{DegradeReason, Phase};
 
 /// Default number of grace partitions.
 pub const DEFAULT_PARTITIONS: usize = 16;
@@ -246,12 +246,24 @@ impl HashJoin {
             handle.lock().estimator.begin_build(*join_index)?;
         }
         while let Some(row) = build.next()? {
+            self.metrics.checkpoint(1)?;
+            qprog_fault::fail_point!("exec/hash_build/insert");
             let key = row.key(self.build_key)?;
             if key.is_null() {
                 continue; // NULL keys never equi-join
             }
             if let Some(h) = &mut build_hist {
                 h.observe(&key);
+                // Soft histogram-memory budget: degrade the estimator one
+                // rung (exact frequency histogram → dne baseline) instead
+                // of aborting the query (ladder documented in DESIGN.md §5).
+                if self.metrics.hist_budget_exceeded(h.memory_allocated()) {
+                    build_hist = None;
+                    self.estimation = JoinEstimation::Dne {
+                        optimizer_estimate: self.metrics.estimated_total(),
+                    };
+                    self.metrics.trace_degraded(DegradeReason::HistogramMemory);
+                }
             }
             if let JoinEstimation::Pipeline {
                 handle, join_index, ..
@@ -283,6 +295,8 @@ impl HashJoin {
         // overhead for a monitor that polls far less often anyway.
         let mut probe_rows: u64 = 0;
         while let Some(row) = probe.next()? {
+            self.metrics.checkpoint(1)?;
+            qprog_fault::fail_point!("exec/hash_probe/observe");
             probe_rows += 1;
             let publish = probe_rows.is_multiple_of(PUBLISH_EVERY);
             let key = row.key(self.probe_key)?;
@@ -454,6 +468,7 @@ impl Operator for HashJoin {
                     }
                     // Advance within the current partition's probe rows.
                     if let Some(probe_row) = self.probe_parts[*part].get(*probe_pos) {
+                        self.metrics.checkpoint(1)?;
                         let probe_row = probe_row.clone();
                         *probe_pos += 1;
                         self.metrics.record_driver(1);

@@ -130,6 +130,7 @@ impl MergeJoin {
             handle.lock().estimator.begin_build(*join_index)?;
         }
         while let Some(row) = left.next()? {
+            self.metrics.checkpoint(1)?;
             let key = row.key(self.left_key)?;
             if key.is_null() {
                 continue;
@@ -166,6 +167,7 @@ impl MergeJoin {
         // overhead for a monitor that polls far less often anyway.
         let mut right_count: u64 = 0;
         while let Some(row) = right.next()? {
+            self.metrics.checkpoint(1)?;
             right_count += 1;
             let key = row.key(self.right_key)?;
             if let Some(once) = &mut self.once {

@@ -117,6 +117,7 @@ impl Operator for NestedLoopsJoin {
                 .take()
                 .ok_or_else(|| QError::internal("nested-loops inner input consumed twice"))?;
             while let Some(r) = inner.next()? {
+                self.metrics.checkpoint(1)?;
                 self.inner_rows.push(r);
             }
             self.current_outer = self.advance_outer()?;

@@ -97,6 +97,8 @@ impl Operator for TableScan {
                 }
             }
             if let Some(row) = block.row(self.row_offset) {
+                self.metrics.checkpoint(1)?;
+                qprog_fault::fail_point!("exec/scan/next");
                 self.row_offset += 1;
                 self.metrics.record_emitted();
                 return Ok(Some(row.clone()));

@@ -87,6 +87,8 @@ impl Operator for Sort {
                     self.metrics.trace_phase(Phase::Init, Phase::SortInput);
                     let mut rows = Vec::new();
                     while let Some(r) = self.input.next()? {
+                        self.metrics.checkpoint(1)?;
+                        qprog_fault::fail_point!("exec/sort/consume");
                         self.metrics.record_driver(1);
                         rows.push(r);
                     }

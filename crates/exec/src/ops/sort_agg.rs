@@ -84,6 +84,7 @@ impl SortAggregate {
         self.metrics.trace_phase(Phase::Init, Phase::Accumulate);
         let mut rows: Vec<Row> = Vec::new();
         while let Some(row) = self.input.next()? {
+            self.metrics.checkpoint(1)?;
             self.metrics.record_driver(1);
             if let Some(tracker) = &mut self.tracker {
                 tracker.observe(&row.key(self.group_cols[0])?);

@@ -1,16 +1,26 @@
 //! Plan execution drivers.
+//!
+//! Both drivers run inside [`governor::guarded`], a single `catch_unwind`
+//! boundary around the whole drain loop: a panic anywhere below the root
+//! surfaces as [`ExecError::OperatorPanic`](qprog_types::ExecError) through
+//! the normal `QResult` channel instead of unwinding through the caller.
+//! The boundary wraps the loop, not each `next()`, so the per-tuple path
+//! stays free of unwind machinery.
 
 use qprog_types::{QResult, Row};
 
+use crate::governor::guarded;
 use crate::ops::Operator;
 
 /// Drain an operator to completion, collecting all output rows.
 pub fn collect(op: &mut dyn Operator) -> QResult<Vec<Row>> {
-    let mut out = Vec::new();
-    while let Some(row) = op.next()? {
-        out.push(row);
-    }
-    Ok(out)
+    guarded(|| {
+        let mut out = Vec::new();
+        while let Some(row) = op.next()? {
+            out.push(row);
+        }
+        Ok(out)
+    })
 }
 
 /// Drain an operator, invoking `observer(rows_so_far)` after every
@@ -23,17 +33,19 @@ pub fn run_with_observer(
     mut observer: impl FnMut(u64),
 ) -> QResult<Vec<Row>> {
     let every_n = every_n.max(1);
-    let mut out = Vec::new();
-    let mut n: u64 = 0;
-    while let Some(row) = op.next()? {
-        out.push(row);
-        n += 1;
-        if n.is_multiple_of(every_n) {
-            observer(n);
+    guarded(move || {
+        let mut out = Vec::new();
+        let mut n: u64 = 0;
+        while let Some(row) = op.next()? {
+            out.push(row);
+            n += 1;
+            if n.is_multiple_of(every_n) {
+                observer(n);
+            }
         }
-    }
-    observer(n);
-    Ok(out)
+        observer(n);
+        Ok(out)
+    })
 }
 
 #[cfg(test)]
@@ -59,6 +71,42 @@ mod tests {
         let rows = run_with_observer(&mut s, 4, |n| calls.push(n)).unwrap();
         assert_eq!(rows.len(), 10);
         assert_eq!(calls, vec![4, 8, 10]);
+    }
+
+    #[test]
+    fn operator_panic_is_isolated_as_typed_error() {
+        use qprog_types::{ExecError, QError, SchemaRef};
+        use std::sync::Arc;
+
+        struct Bomb {
+            schema: SchemaRef,
+        }
+        impl Operator for Bomb {
+            fn schema(&self) -> SchemaRef {
+                Arc::clone(&self.schema)
+            }
+            fn next(&mut self) -> QResult<Option<qprog_types::Row>> {
+                panic!("wired to explode");
+            }
+            fn name(&self) -> &str {
+                "bomb"
+            }
+        }
+
+        let t = int_table("t", "a", &[1]);
+        let mut bomb = Bomb {
+            schema: Arc::clone(t.schema()),
+        };
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the expected panic
+        let err = collect(&mut bomb).unwrap_err();
+        std::panic::set_hook(hook);
+        match err {
+            QError::Lifecycle(ExecError::OperatorPanic(m)) => {
+                assert!(m.contains("wired to explode"), "{m}")
+            }
+            other => panic!("expected OperatorPanic, got {other:?}"),
+        }
     }
 
     #[test]

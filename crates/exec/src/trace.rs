@@ -93,6 +93,84 @@ impl fmt::Display for EstimateSource {
     }
 }
 
+/// Why a query terminated before draining its root operator, as carried by
+/// [`TraceEventKind::QueryAborted`]. Mirrors the
+/// [`ExecError`](qprog_types::ExecError) taxonomy plus a catch-all for
+/// organic execution errors, flattened to `Copy` data so trace events stay
+/// allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortKind {
+    /// Cooperative cancellation via the query's token.
+    Cancelled,
+    /// The wall-clock deadline elapsed.
+    DeadlineExceeded,
+    /// A hard per-query resource budget was breached.
+    BudgetExceeded,
+    /// An operator (or worker thread) panicked and was isolated.
+    OperatorPanic,
+    /// A fault-injection site fired (failpoints builds).
+    Injected,
+    /// Any other execution error (type error, division by zero, ...).
+    Error,
+}
+
+impl AbortKind {
+    /// Stable lowercase name (used by the JSONL sink, metrics labels, and
+    /// the monitor's terminal-state rendering).
+    pub fn name(self) -> &'static str {
+        match self {
+            AbortKind::Cancelled => "cancelled",
+            AbortKind::DeadlineExceeded => "deadline",
+            AbortKind::BudgetExceeded => "budget",
+            AbortKind::OperatorPanic => "panic",
+            AbortKind::Injected => "injected",
+            AbortKind::Error => "error",
+        }
+    }
+
+    /// Classify an error into its abort kind.
+    pub fn from_error(e: &qprog_types::QError) -> AbortKind {
+        use qprog_types::ExecError;
+        match e.lifecycle() {
+            Some(ExecError::Cancelled) => AbortKind::Cancelled,
+            Some(ExecError::DeadlineExceeded) => AbortKind::DeadlineExceeded,
+            Some(ExecError::BudgetExceeded(_)) => AbortKind::BudgetExceeded,
+            Some(ExecError::OperatorPanic(_)) => AbortKind::OperatorPanic,
+            Some(ExecError::Injected(_)) => AbortKind::Injected,
+            None => AbortKind::Error,
+        }
+    }
+}
+
+impl fmt::Display for AbortKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why an estimator stepped down a rung on the degradation ladder, as
+/// carried by [`TraceEventKind::EstimatorDegraded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DegradeReason {
+    /// The exact frequency histogram outgrew its memory budget.
+    HistogramMemory,
+}
+
+impl DegradeReason {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradeReason::HistogramMemory => "histogram_memory",
+        }
+    }
+}
+
+impl fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// The event taxonomy. `op` fields are metrics-registry indices (resolve
 /// names through the registry); `pipeline` fields are pipeline ids from the
 /// plan's pipeline decomposition. Events are plain `Copy` data so sinks can
@@ -121,6 +199,17 @@ pub enum TraceEventKind {
     OperatorFinished { op: u32, emitted: u64 },
     /// The query's root operator is exhausted.
     QueryFinished { rows: u64 },
+    /// The query terminated *without* exhausting its root operator —
+    /// cancelled, past deadline, over budget, panicked, or errored. `rows`
+    /// is how many rows the driver had consumed when it stopped. Terminal:
+    /// at most one of `QueryFinished` / `QueryAborted` is published per
+    /// query.
+    QueryAborted { reason: AbortKind, rows: u64 },
+    /// An operator's estimator fell back to a cheaper rung on the
+    /// degradation ladder (e.g. exact frequency histogram → dne baseline)
+    /// after breaching a resource budget; progress estimates continue but
+    /// coarser.
+    EstimatorDegraded { op: u32, reason: DegradeReason },
 }
 
 /// A timestamped, globally ordered trace event.

@@ -108,7 +108,10 @@ fn family_samples(name: &str, family: &Family, out: &mut Vec<Sample>) {
 }
 
 pub(crate) fn snapshot(registry: &Registry) -> Vec<Sample> {
-    let families = registry.families.lock().unwrap();
+    let families = registry
+        .families
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let mut out = Vec::new();
     for (name, family) in families.iter() {
         family_samples(name, family, &mut out);
@@ -117,7 +120,10 @@ pub(crate) fn snapshot(registry: &Registry) -> Vec<Sample> {
 }
 
 pub(crate) fn render(registry: &Registry) -> String {
-    let families = registry.families.lock().unwrap();
+    let families = registry
+        .families
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let mut out = String::new();
     for (name, family) in families.iter() {
         if !family.help.is_empty() {

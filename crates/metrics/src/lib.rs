@@ -222,7 +222,10 @@ impl Registry {
         make: impl FnOnce() -> Instrument,
     ) -> Instrument {
         let set = label_set(labels);
-        let mut families = self.families.lock().unwrap();
+        let mut families = self
+            .families
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let family = families.entry(name.to_string()).or_insert_with(|| Family {
             help: help.to_string(),
             kind,
@@ -239,7 +242,10 @@ impl Registry {
 
     /// Number of registered families.
     pub fn len(&self) -> usize {
-        self.families.lock().unwrap().len()
+        self.families
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     /// True iff nothing has been registered.

@@ -25,6 +25,8 @@ pub const DASHBOARD_HTML: &str = r#"<!doctype html>
   .bar .fill { position: absolute; top: 0; bottom: 0; background: #2f6fb4;
                border-radius: 9px 0 0 9px; transition: width .3s; }
   .bar.done .fill { background: #3d9a52; }
+  .bar.failed .fill { background: #c43d3d; }
+  .failure { color: #c43d3d; font-weight: 600; }
   .pct { font-variant-numeric: tabular-nums; }
   table { border-collapse: collapse; margin-top: .5rem; font-size: 12.5px;
           font-variant-numeric: tabular-nums; }
@@ -46,7 +48,8 @@ const pct = f => (100 * f).toFixed(1) + "%";
 function bar(q) {
   const lo = Math.min(q.lo ?? q.fraction, q.hi ?? q.fraction);
   const hi = Math.max(q.lo ?? q.fraction, q.hi ?? q.fraction);
-  return `<div class="bar${q.done ? " done" : ""}">
+  const cls = q.state === "failed" ? " failed" : q.done ? " done" : "";
+  return `<div class="bar${cls}">
     <div class="band" style="left:${100 * lo}%;width:${100 * (hi - lo)}%"></div>
     <div class="fill" style="width:${100 * q.fraction}%"></div>
   </div>`;
@@ -84,7 +87,10 @@ async function tick() {
         &middot; pipelines ${q.pipelines_finished}/${q.pipelines}
         &middot; ${(q.elapsed_us / 1e6).toFixed(2)}s
         ${q.done ? `&middot; done${q.rows == null ? "" : ", " + fmt(q.rows) + " rows"}` : ""}
-        </span></div>
+        </span>
+        ${q.state === "failed" ? `<span class="failure">&middot; failed (${q.failure})${
+          q.rows == null ? "" : ", " + fmt(q.rows) + " rows before abort"}</span>` : ""}
+        </div>
       ${ops(details[i])}
     </div>`).join("");
   } catch (e) { /* server going away between polls is fine */ }
@@ -109,5 +115,12 @@ mod tests {
         assert!(!DASHBOARD_HTML.contains("http://"));
         assert!(!DASHBOARD_HTML.contains("https://"));
         assert!(!DASHBOARD_HTML.contains("src="));
+    }
+
+    #[test]
+    fn dashboard_renders_terminal_states() {
+        assert!(DASHBOARD_HTML.contains(r#"q.state === "failed""#));
+        assert!(DASHBOARD_HTML.contains("q.failure"));
+        assert!(DASHBOARD_HTML.contains(".bar.failed .fill"));
     }
 }

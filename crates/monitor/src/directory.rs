@@ -2,14 +2,39 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 use qprog_core::gnm::PipelineState;
-use qprog_exec::trace::{Phase, TraceEvent, TraceEventKind, TraceSink};
+use qprog_exec::sync::Mutex;
+use qprog_exec::trace::{AbortKind, Phase, TraceEvent, TraceEventKind, TraceSink};
 use qprog_metrics::{Counter, Gauge, Registry};
 use qprog_obs::json::{escape, num};
 use qprog_plan::ProgressTracker;
+
+/// A monitored query's lifecycle state, as rendered in `/progress` and the
+/// dashboard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryState {
+    /// Still executing (or compiled and not yet driven).
+    Running,
+    /// Root exhausted; progress pinned at 1.0.
+    Done,
+    /// Terminated without completing (cancelled, deadline, budget, panic,
+    /// injected fault, or error). Progress freezes where it stopped.
+    Failed(AbortKind),
+}
+
+impl QueryState {
+    /// Stable lowercase name (`running` / `done` / `failed`).
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryState::Running => "running",
+            QueryState::Done => "done",
+            QueryState::Failed(_) => "failed",
+        }
+    }
+}
 
 /// A [`TraceSink`] tracking each operator's last observed phase plus the
 /// query's terminal event — the live-status complement to the cumulative
@@ -19,6 +44,7 @@ pub struct PhaseSink {
     phases: Mutex<Vec<Option<Phase>>>,
     rows: AtomicU64,
     finished: AtomicBool,
+    aborted: Mutex<Option<AbortKind>>,
 }
 
 impl PhaseSink {
@@ -30,7 +56,7 @@ impl PhaseSink {
     /// The last phase operator `op` transitioned into, if any transition
     /// was observed.
     pub fn phase(&self, op: usize) -> Option<Phase> {
-        self.phases.lock().unwrap().get(op).copied().flatten()
+        self.phases.lock().get(op).copied().flatten()
     }
 
     /// Whether the query's root has been exhausted (`QueryFinished` seen).
@@ -38,9 +64,26 @@ impl PhaseSink {
         self.finished.load(Ordering::Relaxed)
     }
 
-    /// Rows the finished query returned (`None` while still running).
+    /// Why the query aborted, if a terminal `QueryAborted` was observed.
+    pub fn abort_reason(&self) -> Option<AbortKind> {
+        *self.aborted.lock()
+    }
+
+    /// The query's lifecycle state as observed through trace events.
+    pub fn state(&self) -> QueryState {
+        if let Some(reason) = self.abort_reason() {
+            QueryState::Failed(reason)
+        } else if self.is_finished() {
+            QueryState::Done
+        } else {
+            QueryState::Running
+        }
+    }
+
+    /// Rows the query returned before reaching a terminal state (`None`
+    /// while still running).
     pub fn rows(&self) -> Option<u64> {
-        self.is_finished()
+        (self.is_finished() || self.abort_reason().is_some())
             .then(|| self.rows.load(Ordering::Relaxed))
     }
 }
@@ -49,7 +92,7 @@ impl TraceSink for PhaseSink {
     fn publish(&self, event: &TraceEvent) {
         match event.kind {
             TraceEventKind::PhaseTransition { op, to, .. } => {
-                let mut phases = self.phases.lock().unwrap();
+                let mut phases = self.phases.lock();
                 let idx = op as usize;
                 if phases.len() <= idx {
                     phases.resize(idx + 1, None);
@@ -59,6 +102,10 @@ impl TraceSink for PhaseSink {
             TraceEventKind::QueryFinished { rows } => {
                 self.rows.store(rows, Ordering::Relaxed);
                 self.finished.store(true, Ordering::Release);
+            }
+            TraceEventKind::QueryAborted { reason, rows } => {
+                self.rows.store(rows, Ordering::Relaxed);
+                *self.aborted.lock() = Some(reason);
             }
             _ => {}
         }
@@ -123,7 +170,7 @@ impl QueryDirectory {
         phases: Arc<PhaseSink>,
     ) -> MonitoredQuery {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.entries.lock().unwrap().insert(
+        self.entries.lock().insert(
             id,
             QueryEntry {
                 label: label.into(),
@@ -146,7 +193,7 @@ impl QueryDirectory {
     }
 
     fn remove(&self, id: u64) {
-        if self.entries.lock().unwrap().remove(&id).is_some() {
+        if self.entries.lock().remove(&id).is_some() {
             if let Some(g) = &self.live_gauge {
                 g.sub(1.0);
             }
@@ -155,7 +202,7 @@ impl QueryDirectory {
 
     /// Number of currently registered queries.
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap().len()
+        self.entries.lock().len()
     }
 
     /// True iff no query is registered.
@@ -165,7 +212,7 @@ impl QueryDirectory {
 
     /// Registered query ids, ascending.
     pub fn ids(&self) -> Vec<u64> {
-        self.entries.lock().unwrap().keys().copied().collect()
+        self.entries.lock().keys().copied().collect()
     }
 
     fn summary_json(id: u64, e: &QueryEntry) -> String {
@@ -176,11 +223,18 @@ impl QueryDirectory {
             .iter()
             .filter(|p| p.state == PipelineState::Finished)
             .count();
+        let state = e.phases.state();
+        let done = match state {
+            QueryState::Failed(_) => false,
+            QueryState::Done => true,
+            QueryState::Running => snap.is_complete(),
+        };
         format!(
             "{{\"id\":{id},\"label\":\"{}\",\"estimator\":\"{}\",\
              \"elapsed_us\":{},\"fraction\":{},\"lo\":{},\"hi\":{},\
              \"current\":{},\"total\":{},\"pipelines\":{},\
-             \"pipelines_finished\":{},\"done\":{},\"rows\":{}}}",
+             \"pipelines_finished\":{},\"state\":\"{}\",\"failure\":{},\
+             \"done\":{done},\"rows\":{}}}",
             escape(&e.label),
             escape(&e.estimator),
             e.started.elapsed().as_micros(),
@@ -191,7 +245,11 @@ impl QueryDirectory {
             num(snap.total()),
             pipelines.len(),
             finished_pipelines,
-            snap.is_complete() || e.phases.is_finished(),
+            state.name(),
+            match state {
+                QueryState::Failed(reason) => format!("\"{reason}\""),
+                _ => "null".to_string(),
+            },
             e.phases
                 .rows()
                 .map_or("null".to_string(), |r| r.to_string()),
@@ -235,7 +293,7 @@ impl QueryDirectory {
 
     /// JSON for `GET /progress`: every registered query's summary.
     pub fn render_all(&self) -> String {
-        let entries = self.entries.lock().unwrap();
+        let entries = self.entries.lock();
         let queries: Vec<String> = entries
             .iter()
             .map(|(&id, e)| Self::summary_json(id, e))
@@ -246,7 +304,7 @@ impl QueryDirectory {
     /// JSON for `GET /progress/{id}`: one query with per-operator detail,
     /// or `None` if the id is not (or no longer) registered.
     pub fn render_query(&self, id: u64) -> Option<String> {
-        let entries = self.entries.lock().unwrap();
+        let entries = self.entries.lock();
         entries.get(&id).map(|e| Self::detail_json(id, e))
     }
 }
@@ -370,6 +428,45 @@ mod tests {
         sink.publish(&ev(TraceEventKind::QueryFinished { rows: 9 }));
         assert!(sink.is_finished());
         assert_eq!(sink.rows(), Some(9));
+    }
+
+    #[test]
+    fn phase_sink_records_aborts_as_failed_state() {
+        let sink = PhaseSink::new();
+        assert_eq!(sink.state(), QueryState::Running);
+        sink.publish(&ev(TraceEventKind::QueryAborted {
+            reason: AbortKind::Cancelled,
+            rows: 17,
+        }));
+        assert_eq!(sink.state(), QueryState::Failed(AbortKind::Cancelled));
+        assert_eq!(sink.abort_reason(), Some(AbortKind::Cancelled));
+        assert_eq!(sink.rows(), Some(17));
+        assert!(!sink.is_finished());
+    }
+
+    #[test]
+    fn summary_json_reports_failed_queries() {
+        let dir = Arc::new(QueryDirectory::new(None));
+        let (t, reg) = tracker();
+        let sink = Arc::new(PhaseSink::new());
+        let q = dir.register("doomed", "once", t, Arc::clone(&sink));
+        for _ in 0..30 {
+            reg.get(0).unwrap().record_emitted();
+        }
+        let all = dir.render_all();
+        assert!(all.contains("\"state\":\"running\""), "{all}");
+        assert!(all.contains("\"failure\":null"), "{all}");
+        sink.publish(&ev(TraceEventKind::QueryAborted {
+            reason: AbortKind::DeadlineExceeded,
+            rows: 30,
+        }));
+        let detail = dir.render_query(q.id()).unwrap();
+        assert!(detail.contains("\"state\":\"failed\""), "{detail}");
+        assert!(detail.contains("\"failure\":\"deadline\""), "{detail}");
+        assert!(detail.contains("\"done\":false"), "{detail}");
+        assert!(detail.contains("\"rows\":30"), "{detail}");
+        // progress froze where the abort happened, it did not jump to 1.0
+        assert!(detail.contains("\"fraction\":0.3"), "{detail}");
     }
 
     #[test]

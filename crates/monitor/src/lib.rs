@@ -28,5 +28,5 @@ pub mod directory;
 pub mod http;
 pub mod server;
 
-pub use directory::{MonitoredQuery, PhaseSink, QueryDirectory};
+pub use directory::{MonitoredQuery, PhaseSink, QueryDirectory, QueryState};
 pub use server::MonitorServer;

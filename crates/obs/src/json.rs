@@ -88,6 +88,16 @@ pub fn event_to_json(event: &TraceEvent, op_names: &[String]) -> String {
             fields.push("\"event\":\"query_finished\"".to_string());
             fields.push(format!("\"rows\":{rows}"));
         }
+        TraceEventKind::QueryAborted { reason, rows } => {
+            fields.push("\"event\":\"query_aborted\"".to_string());
+            fields.push(format!("\"reason\":\"{reason}\""));
+            fields.push(format!("\"rows\":{rows}"));
+        }
+        TraceEventKind::EstimatorDegraded { op, reason } => {
+            fields.push("\"event\":\"estimator_degraded\"".to_string());
+            op_field(*op, &mut fields);
+            fields.push(format!("\"reason\":\"{reason}\""));
+        }
     }
     format!("{{{}}}", fields.join(","))
 }
@@ -161,5 +171,35 @@ mod tests {
     #[test]
     fn escape_handles_specials() {
         assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn lifecycle_events_encode() {
+        use qprog_exec::trace::{AbortKind, DegradeReason};
+        let e = TraceEvent {
+            seq: 1,
+            at_us: 10,
+            kind: TraceEventKind::QueryAborted {
+                reason: AbortKind::Cancelled,
+                rows: 42,
+            },
+        };
+        let line = event_to_json(&e, &[]);
+        assert_eq!(raw_field(&line, "event"), Some("query_aborted"));
+        assert_eq!(raw_field(&line, "reason"), Some("cancelled"));
+        assert_eq!(raw_field(&line, "rows"), Some("42"));
+
+        let e = TraceEvent {
+            seq: 2,
+            at_us: 20,
+            kind: TraceEventKind::EstimatorDegraded {
+                op: 0,
+                reason: DegradeReason::HistogramMemory,
+            },
+        };
+        let line = event_to_json(&e, &["join".to_string()]);
+        assert_eq!(raw_field(&line, "event"), Some("estimator_degraded"));
+        assert_eq!(raw_field(&line, "reason"), Some("histogram_memory"));
+        assert_eq!(raw_field(&line, "op_name"), Some("join"));
     }
 }

@@ -60,7 +60,7 @@ pub struct MetricsSink {
     registry: Arc<Registry>,
     estimator: String,
     /// `qprog_trace_events_total{event=...}`, one per event kind.
-    events: [Arc<Counter>; 7],
+    events: [Arc<Counter>; 9],
     /// `qprog_phase_transitions_total{phase=...}`, by entered phase.
     phases: [Arc<Counter>; 8],
     /// `qprog_estimate_refinements_total{source=...}`.
@@ -95,6 +95,8 @@ impl MetricsSink {
             "bounds_refined",
             "operator_finished",
             "query_finished",
+            "query_aborted",
+            "estimator_degraded",
         ];
         let events = event_kinds.map(|k| {
             registry.counter(
@@ -210,6 +212,8 @@ impl TraceSink for MetricsSink {
             TraceEventKind::BoundsRefined { .. } => 4,
             TraceEventKind::OperatorFinished { .. } => 5,
             TraceEventKind::QueryFinished { .. } => 6,
+            TraceEventKind::QueryAborted { .. } => 7,
+            TraceEventKind::EstimatorDegraded { .. } => 8,
         };
         self.events[event_idx].inc();
         match event.kind {
@@ -261,6 +265,27 @@ impl TraceSink for MetricsSink {
             TraceEventKind::QueryFinished { rows } => {
                 self.queries_finished.inc();
                 self.query_rows.add(rows);
+            }
+            TraceEventKind::QueryAborted { reason, .. } => {
+                // Terminal failures are rare; resolving the per-reason
+                // counter lazily keeps the hot-path handle set small.
+                self.registry
+                    .counter(
+                        "qprog_queries_failed_total",
+                        "Queries terminated before completion, by abort reason",
+                        &[("estimator", &self.estimator), ("reason", reason.name())],
+                    )
+                    .inc();
+            }
+            TraceEventKind::EstimatorDegraded { reason, .. } => {
+                self.registry
+                    .counter(
+                        "qprog_estimator_degraded_total",
+                        "Estimators that fell back to a cheaper baseline after \
+                         a budget breach, by reason",
+                        &[("estimator", &self.estimator), ("reason", reason.name())],
+                    )
+                    .inc();
             }
             _ => {}
         }
@@ -404,6 +429,49 @@ mod tests {
         assert!(text.contains("qprog_operator_tuples_total{estimator=\"once\"} 525"));
         assert!(text.contains("qprog_operator_emitted_total{op=\"hash_join\"} 500"));
         assert!(text.contains("qprog_operator_emitted_total{op=\"scan(nation)\"} 25"));
+    }
+
+    #[test]
+    fn aborts_and_degradations_are_counted_by_reason() {
+        use qprog_exec::trace::{AbortKind, DegradeReason};
+        let registry = Arc::new(Registry::new());
+        let sink = MetricsSink::new(Arc::clone(&registry), "once");
+        publish_all(
+            &sink,
+            &[
+                TraceEventKind::QueryAborted {
+                    reason: AbortKind::Cancelled,
+                    rows: 10,
+                },
+                TraceEventKind::QueryAborted {
+                    reason: AbortKind::OperatorPanic,
+                    rows: 0,
+                },
+                TraceEventKind::EstimatorDegraded {
+                    op: 1,
+                    reason: DegradeReason::HistogramMemory,
+                },
+            ],
+        );
+        let text = registry.render();
+        assert!(
+            text.contains("qprog_queries_failed_total{estimator=\"once\",reason=\"cancelled\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("qprog_queries_failed_total{estimator=\"once\",reason=\"panic\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "qprog_estimator_degraded_total{estimator=\"once\",\
+                 reason=\"histogram_memory\"} 1"
+            ),
+            "{text}"
+        );
+        assert!(text.contains("qprog_trace_events_total{event=\"query_aborted\"} 2"));
+        // aborted queries are not "finished"
+        assert!(!text.contains("qprog_queries_finished_total{estimator=\"once\"} 1"));
     }
 
     #[test]

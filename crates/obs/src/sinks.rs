@@ -355,7 +355,9 @@ impl TraceSink for ValidatorSink {
             }
             TraceEventKind::PipelineStarted { .. }
             | TraceEventKind::PipelineFinished { .. }
-            | TraceEventKind::QueryFinished { .. } => {}
+            | TraceEventKind::QueryFinished { .. }
+            | TraceEventKind::QueryAborted { .. }
+            | TraceEventKind::EstimatorDegraded { .. } => {}
         }
     }
 }

@@ -7,6 +7,7 @@ use qprog_core::distinct::DistinctTracker;
 use qprog_core::join_est::JoinKind;
 use qprog_core::pipeline_est::{AttrSource, JoinSpec, PipelineEstimator};
 use qprog_core::EstimationMode;
+use qprog_exec::governor::{Budgets, CancellationToken, Governor};
 use qprog_exec::metrics::{MetricsRegistry, OpMetrics};
 use qprog_exec::ops::agg::AggEstimation;
 use qprog_exec::ops::hash_join::{JoinEstimation, PipelineShared};
@@ -17,7 +18,7 @@ use qprog_exec::ops::{
 };
 use qprog_exec::runtime::run_with_observer;
 use qprog_exec::sync::Mutex;
-use qprog_exec::trace::{EventBus, TraceEventKind};
+use qprog_exec::trace::{AbortKind, EventBus, TraceEventKind};
 use qprog_types::{QError, QResult, Row};
 
 use crate::logical::{JoinAlgo, JoinCondition, LogicalPlan, Node};
@@ -43,6 +44,13 @@ pub struct PhysicalOptions {
     /// Use sort-based aggregation instead of hash aggregation (§4.2's
     /// alternative implementation; estimation behaves identically).
     pub sort_aggregate: bool,
+    /// Hard budget: maximum tuples processed across all operators; on
+    /// breach the query aborts with `BudgetExceeded`. `None` = unlimited.
+    pub max_rows: Option<u64>,
+    /// Soft budget: per-operator estimator histogram memory in bytes; on
+    /// breach the estimator *degrades* to the dne baseline (trace event +
+    /// metrics counter) instead of aborting. `None` = unlimited.
+    pub max_hist_bytes: Option<usize>,
 }
 
 impl Default for PhysicalOptions {
@@ -54,6 +62,8 @@ impl Default for PhysicalOptions {
             partitions: 16,
             block_io_us: 0,
             sort_aggregate: false,
+            max_rows: None,
+            max_hist_bytes: None,
         }
     }
 }
@@ -64,6 +74,14 @@ impl PhysicalOptions {
         PhysicalOptions {
             mode,
             ..PhysicalOptions::default()
+        }
+    }
+
+    /// The lifecycle budgets these options request.
+    pub fn budgets(&self) -> Budgets {
+        Budgets {
+            max_rows: self.max_rows,
+            max_hist_bytes: self.max_hist_bytes,
         }
     }
 }
@@ -90,6 +108,7 @@ pub struct CompiledQuery {
     /// Output rows pulled so far (for the `QueryFinished` payload).
     rows_emitted: u64,
     finished_published: bool,
+    aborted_published: bool,
 }
 
 impl CompiledQuery {
@@ -132,7 +151,7 @@ impl CompiledQuery {
     }
 
     fn publish_query_finished(&mut self) {
-        if self.finished_published {
+        if self.finished_published || self.aborted_published {
             return;
         }
         self.finished_published = true;
@@ -143,6 +162,49 @@ impl CompiledQuery {
         }
     }
 
+    /// Publish the terminal `QueryAborted` event for `error` (at most one
+    /// terminal event is ever published). Estimates are deliberately *not*
+    /// pinned (`finish_all`): an aborted query never reached its totals, so
+    /// progress must freeze where it stopped rather than jump to 1.0.
+    fn publish_query_aborted(&mut self, error: &QError) {
+        if self.finished_published || self.aborted_published {
+            return;
+        }
+        self.aborted_published = true;
+        if let Some(bus) = &self.bus {
+            bus.publish(TraceEventKind::QueryAborted {
+                reason: AbortKind::from_error(error),
+                rows: self.rows_emitted,
+            });
+        }
+    }
+
+    /// The query's lifecycle governor (attached at compile time).
+    pub fn governor(&self) -> Option<&Arc<Governor>> {
+        self.registry.governor()
+    }
+
+    /// A cloneable token that cancels this query cooperatively; operators
+    /// observe it at their next checkpoint.
+    pub fn cancellation_token(&self) -> Option<CancellationToken> {
+        self.governor().map(|g| g.token().clone())
+    }
+
+    /// Request cooperative cancellation.
+    pub fn cancel(&self) {
+        if let Some(g) = self.governor() {
+            g.cancel();
+        }
+    }
+
+    /// Arm a wall-clock deadline `after` from now; on expiry the query
+    /// aborts with `DeadlineExceeded` at its next checkpoint stride.
+    pub fn set_deadline(&self, after: std::time::Duration) {
+        if let Some(g) = self.governor() {
+            g.set_deadline(after);
+        }
+    }
+
     /// A cloneable, thread-safe progress tracker for this query, with
     /// future-pipeline refinement wired in (§4.4).
     pub fn tracker(&self) -> ProgressTracker {
@@ -150,9 +212,18 @@ impl CompiledQuery {
             .with_refinement(self.initial_estimates.clone(), self.op_inputs.clone())
     }
 
-    /// Run to completion, collecting all output rows.
+    /// Run to completion, collecting all output rows. On failure —
+    /// cancellation, deadline, budget breach, operator panic, injected
+    /// fault, or organic error — the terminal `QueryAborted` event is
+    /// published and the error propagates.
     pub fn collect(&mut self) -> QResult<Vec<Row>> {
-        let rows = qprog_exec::runtime::collect(self.root.as_mut())?;
+        let rows = match qprog_exec::runtime::collect(self.root.as_mut()) {
+            Ok(rows) => rows,
+            Err(e) => {
+                self.publish_query_aborted(&e);
+                return Err(e);
+            }
+        };
         // The root is exhausted: operators abandoned by early termination
         // (LIMIT) will never run again — pin their totals so progress
         // reads 1.0 and monitors observe completion.
@@ -170,9 +241,15 @@ impl CompiledQuery {
         mut observer: impl FnMut(&qprog_core::gnm::ProgressSnapshot),
     ) -> QResult<Vec<Row>> {
         let tracker = self.tracker();
-        let rows = run_with_observer(self.root.as_mut(), every_n, |_| {
+        let rows = match run_with_observer(self.root.as_mut(), every_n, |_| {
             observer(&tracker.snapshot());
-        })?;
+        }) {
+            Ok(rows) => rows,
+            Err(e) => {
+                self.publish_query_aborted(&e);
+                return Err(e);
+            }
+        };
         self.registry.finish_all();
         self.rows_emitted += rows.len() as u64;
         self.publish_query_finished();
@@ -183,7 +260,13 @@ impl CompiledQuery {
     /// Pull a single output row (Volcano-style stepping, for monitors that
     /// want finer control than [`run_with`](Self::run_with)).
     pub fn step(&mut self) -> QResult<Option<Row>> {
-        let row = self.root.next()?;
+        let row = match qprog_exec::governor::guarded_next(self.root.as_mut()) {
+            Ok(row) => row,
+            Err(e) => {
+                self.publish_query_aborted(&e);
+                return Err(e);
+            }
+        };
         match &row {
             Some(_) => self.rows_emitted += 1,
             None => {
@@ -209,12 +292,17 @@ pub fn compile_traced(
     opts: &PhysicalOptions,
     bus: Option<Arc<EventBus>>,
 ) -> QResult<CompiledQuery> {
+    let mut registry = match &bus {
+        Some(b) => MetricsRegistry::traced(Arc::clone(b)),
+        None => MetricsRegistry::new(),
+    };
+    // Every compiled query gets a governor: cancellation/deadline support
+    // costs one relaxed load + one relaxed fetch_add per checkpoint, within
+    // the paper's per-tuple budget.
+    registry.set_governor(Arc::new(Governor::new(opts.budgets())));
     let mut c = Compiler {
         opts,
-        registry: match &bus {
-            Some(b) => MetricsRegistry::traced(Arc::clone(b)),
-            None => MetricsRegistry::new(),
-        },
+        registry,
         pipelines: PipelineSet::new(),
         initial_estimates: Vec::new(),
         op_inputs: Vec::new(),
@@ -236,6 +324,7 @@ pub fn compile_traced(
         bus,
         rows_emitted: 0,
         finished_published: false,
+        aborted_published: false,
     })
 }
 

@@ -28,6 +28,63 @@ pub enum QError {
     Estimation(String),
     /// Invariant violation — indicates a bug in qprog itself.
     Internal(String),
+    /// A query-lifecycle event terminated execution (cancellation,
+    /// deadline, budget breach, operator panic, or an injected fault).
+    Lifecycle(ExecError),
+}
+
+/// The typed taxonomy of lifecycle terminations.
+///
+/// These are *expected* ways for a query to stop early — they carry enough
+/// structure for the monitor and metrics layers to label terminal states
+/// without parsing strings. They propagate through [`QResult`] wrapped in
+/// [`QError::Lifecycle`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The query's [`CancellationToken`] was triggered.
+    Cancelled,
+    /// The wall-clock deadline attached to the query elapsed.
+    DeadlineExceeded,
+    /// A hard per-query resource budget was breached; the message names
+    /// the budget and its limit.
+    BudgetExceeded(String),
+    /// An operator's `next()` (or a worker thread) panicked; the payload
+    /// is the captured panic message.
+    OperatorPanic(String),
+    /// A fault-injection site fired (`--features failpoints` builds only);
+    /// the payload names the site.
+    Injected(String),
+}
+
+impl ExecError {
+    /// Short stable label for metrics/monitor rendering.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ExecError::Cancelled => "cancelled",
+            ExecError::DeadlineExceeded => "deadline",
+            ExecError::BudgetExceeded(_) => "budget",
+            ExecError::OperatorPanic(_) => "panic",
+            ExecError::Injected(_) => "injected",
+        }
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Cancelled => write!(f, "query cancelled"),
+            ExecError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            ExecError::BudgetExceeded(m) => write!(f, "resource budget exceeded: {m}"),
+            ExecError::OperatorPanic(m) => write!(f, "operator panicked: {m}"),
+            ExecError::Injected(m) => write!(f, "injected fault: {m}"),
+        }
+    }
+}
+
+impl From<ExecError> for QError {
+    fn from(e: ExecError) -> Self {
+        QError::Lifecycle(e)
+    }
 }
 
 impl QError {
@@ -65,6 +122,44 @@ impl QError {
     pub fn internal(msg: impl fmt::Display) -> Self {
         QError::Internal(msg.to_string())
     }
+
+    /// Build a [`QError::Lifecycle`] cancellation.
+    pub fn cancelled() -> Self {
+        QError::Lifecycle(ExecError::Cancelled)
+    }
+
+    /// Build a [`QError::Lifecycle`] deadline expiry.
+    pub fn deadline_exceeded() -> Self {
+        QError::Lifecycle(ExecError::DeadlineExceeded)
+    }
+
+    /// Build a [`QError::Lifecycle`] budget breach.
+    pub fn budget_exceeded(msg: impl fmt::Display) -> Self {
+        QError::Lifecycle(ExecError::BudgetExceeded(msg.to_string()))
+    }
+
+    /// Build a [`QError::Lifecycle`] operator panic.
+    pub fn operator_panic(msg: impl fmt::Display) -> Self {
+        QError::Lifecycle(ExecError::OperatorPanic(msg.to_string()))
+    }
+
+    /// Build a [`QError::Lifecycle`] injected fault.
+    pub fn injected(site: impl fmt::Display) -> Self {
+        QError::Lifecycle(ExecError::Injected(site.to_string()))
+    }
+
+    /// The lifecycle termination carried by this error, if any.
+    pub fn lifecycle(&self) -> Option<&ExecError> {
+        match self {
+            QError::Lifecycle(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// True when this error is a cooperative cancellation.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, QError::Lifecycle(ExecError::Cancelled))
+    }
 }
 
 impl fmt::Display for QError {
@@ -78,6 +173,7 @@ impl fmt::Display for QError {
             QError::Execution(m) => write!(f, "execution error: {m}"),
             QError::Estimation(m) => write!(f, "estimation error: {m}"),
             QError::Internal(m) => write!(f, "internal error (bug): {m}"),
+            QError::Lifecycle(e) => write!(f, "lifecycle: {e}"),
         }
     }
 }
@@ -112,5 +208,32 @@ mod tests {
         assert_eq!(QError::schema("a"), QError::schema("a"));
         assert_ne!(QError::schema("a"), QError::schema("b"));
         assert_ne!(QError::schema("a"), QError::plan("a"));
+    }
+
+    #[test]
+    fn lifecycle_taxonomy_roundtrips() {
+        let e = QError::cancelled();
+        assert!(e.is_cancelled());
+        assert_eq!(e.lifecycle().map(ExecError::kind), Some("cancelled"));
+        assert_eq!(e.to_string(), "lifecycle: query cancelled");
+
+        let e = QError::budget_exceeded("max_rows=100");
+        assert!(!e.is_cancelled());
+        assert_eq!(e.lifecycle().map(ExecError::kind), Some("budget"));
+        assert!(e.to_string().contains("max_rows=100"));
+
+        let e: QError = ExecError::OperatorPanic("boom".into()).into();
+        assert_eq!(e.lifecycle().map(ExecError::kind), Some("panic"));
+        assert_eq!(
+            QError::deadline_exceeded().lifecycle().map(ExecError::kind),
+            Some("deadline")
+        );
+        assert_eq!(
+            QError::injected("exec/scan/next")
+                .lifecycle()
+                .map(ExecError::kind),
+            Some("injected")
+        );
+        assert!(QError::schema("x").lifecycle().is_none());
     }
 }

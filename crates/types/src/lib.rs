@@ -14,7 +14,7 @@ pub mod row;
 pub mod schema;
 pub mod value;
 
-pub use error::{QError, QResult};
+pub use error::{ExecError, QError, QResult};
 pub use key::{CompositeKey, Key};
 pub use row::Row;
 pub use schema::{Field, Schema, SchemaRef};

@@ -58,21 +58,24 @@ pub use qprog_types as types;
 mod session;
 pub mod workloads;
 
-pub use session::{QueryHandle, Session};
+pub use qprog_fault as fault;
+pub use session::{ProgressWatcher, QueryHandle, Session};
 
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
-    pub use crate::session::{QueryHandle, Session};
+    pub use crate::session::{ProgressWatcher, QueryHandle, Session};
     pub use qprog_core::gnm::ProgressSnapshot;
     pub use qprog_core::EstimationMode;
-    pub use qprog_exec::trace::{EventBus, TraceEvent, TraceSink};
+    pub use qprog_exec::governor::{Budgets, CancellationToken, Governor};
+    pub use qprog_exec::trace::{AbortKind, DegradeReason, EventBus, TraceEvent, TraceSink};
     pub use qprog_metrics::Registry;
-    pub use qprog_monitor::MonitorServer;
+    pub use qprog_monitor::{MonitorServer, QueryState};
     pub use qprog_obs::{
         explain_analyze, JsonlSink, MetricsSink, ProgressLog, RingSink, StderrSink,
         TimelineRecorder, ValidatorSink,
     };
     pub use qprog_plan::builder::PlanBuilder;
+    pub use qprog_plan::physical::PhysicalOptions;
     pub use qprog_storage::{Catalog, Table};
-    pub use qprog_types::{DataType, Field, Key, QError, QResult, Row, Schema, Value};
+    pub use qprog_types::{DataType, ExecError, Field, Key, QError, QResult, Row, Schema, Value};
 }

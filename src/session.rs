@@ -1,11 +1,14 @@
 //! High-level session API: SQL in, rows + live progress out.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use qprog_core::gnm::ProgressSnapshot;
+use qprog_exec::governor::CancellationToken;
 use qprog_exec::trace::{EventBus, TraceEvent, TraceSink};
 use qprog_metrics::Registry;
-use qprog_monitor::{MonitorServer, MonitoredQuery, PhaseSink};
+use qprog_monitor::{MonitorServer, MonitoredQuery, PhaseSink, QueryState};
 use qprog_obs::MetricsSink;
 use qprog_plan::physical::{compile_traced, CompiledQuery, PhysicalOptions};
 use qprog_plan::{LogicalPlan, PlanBuilder, ProgressTracker};
@@ -189,12 +192,12 @@ impl Session {
                     .collect(),
             );
         }
-        let monitored = match (&self.monitor, phase_sink) {
+        let monitored = match (&self.monitor, &phase_sink) {
             (Some(server), Some(phases)) => Some(server.directory().register(
                 label,
                 self.options.mode.label(),
                 compiled.tracker(),
-                phases,
+                Arc::clone(phases),
             )),
             _ => None,
         };
@@ -202,6 +205,7 @@ impl Session {
             plan,
             compiled,
             monitored,
+            phases: phase_sink,
         })
     }
 }
@@ -215,6 +219,7 @@ pub struct QueryHandle {
     plan: LogicalPlan,
     compiled: CompiledQuery,
     monitored: Option<MonitoredQuery>,
+    phases: Option<Arc<PhaseSink>>,
 }
 
 impl QueryHandle {
@@ -265,6 +270,70 @@ impl QueryHandle {
         self.compiled.step()
     }
 
+    /// The query's cancellation token, shareable with other threads (e.g.
+    /// a timeout supervisor): `token.cancel()` makes every in-flight and
+    /// future `next()` return [`qprog_types::ExecError::Cancelled`] at the
+    /// next per-tuple checkpoint.
+    pub fn cancellation_token(&self) -> Option<CancellationToken> {
+        self.compiled.cancellation_token()
+    }
+
+    /// Request cooperative cancellation. Execution observes the flag at
+    /// the next governed checkpoint (every output/consumed tuple), so a
+    /// running [`collect`](Self::collect) returns `Err(Cancelled)` well
+    /// within the chaos suite's 100ms bound.
+    pub fn cancel(&self) {
+        self.compiled.cancel();
+    }
+
+    /// Arm a wall-clock deadline `after` from now; execution past it
+    /// aborts with [`qprog_types::ExecError::DeadlineExceeded`].
+    pub fn set_deadline(&self, after: Duration) {
+        self.compiled.set_deadline(after);
+    }
+
+    /// [`collect`](Self::collect) bounded by a wall-clock deadline.
+    pub fn run_with_deadline(&mut self, deadline: Duration) -> QResult<Vec<Row>> {
+        self.set_deadline(deadline);
+        self.collect()
+    }
+
+    /// The query's lifecycle state. Terminal failure reasons are observed
+    /// through trace events, so `Failed{..}` is reported when the session
+    /// has a monitor attached (the same view `/progress` serves);
+    /// otherwise the state derives from progress alone.
+    pub fn state(&self) -> QueryState {
+        match &self.phases {
+            Some(p) => p.state(),
+            None => {
+                if self.compiled.tracker().snapshot().is_complete() {
+                    QueryState::Done
+                } else {
+                    QueryState::Running
+                }
+            }
+        }
+    }
+
+    /// Spawn a watcher thread sampling this query's progress every
+    /// `period`, feeding each snapshot to `f`. The watcher exits promptly
+    /// — without waiting for natural completion — when the query finishes,
+    /// fails, is cancelled, or the returned [`ProgressWatcher`] is
+    /// stopped/dropped (drop joins the thread).
+    pub fn watch(
+        &self,
+        period: Duration,
+        f: impl FnMut(&ProgressSnapshot) + Send + 'static,
+    ) -> ProgressWatcher {
+        ProgressWatcher::spawn(
+            self.compiled.tracker(),
+            self.phases.clone(),
+            self.cancellation_token(),
+            period,
+            f,
+        )
+    }
+
     /// The compiled query's per-operator metrics.
     pub fn registry(&self) -> &qprog_exec::metrics::MetricsRegistry {
         self.compiled.registry()
@@ -282,6 +351,75 @@ impl QueryHandle {
     /// counts. Call after the query has run to completion.
     pub fn explain_analyze(&self, events: &[TraceEvent]) -> String {
         qprog_obs::explain_analyze(&self.compiled, events)
+    }
+}
+
+/// A progress-sampling thread with a bounded lifetime.
+///
+/// Earlier revisions open-coded watcher loops that spun until
+/// `snapshot().is_complete()` — a query that failed or was cancelled never
+/// completes, so the watcher leaked. This watcher exits as soon as the
+/// query reaches *any* terminal state (done, failed, cancelled) or when
+/// explicitly stopped, and [`Drop`] joins the thread so it can never
+/// outlive its owner.
+pub struct ProgressWatcher {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ProgressWatcher {
+    fn spawn(
+        tracker: ProgressTracker,
+        phases: Option<Arc<PhaseSink>>,
+        token: Option<CancellationToken>,
+        period: Duration,
+        mut f: impl FnMut(&ProgressSnapshot) + Send + 'static,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("qprog-progress-watch".to_string())
+            .spawn(move || loop {
+                let snap = tracker.snapshot();
+                f(&snap);
+                let failed = phases
+                    .as_deref()
+                    .is_some_and(|p| p.abort_reason().is_some());
+                let cancelled = token.as_ref().is_some_and(|t| t.is_cancelled());
+                if snap.is_complete() || failed || cancelled || stop2.load(Ordering::Acquire) {
+                    return;
+                }
+                std::thread::park_timeout(period);
+            })
+            .expect("spawn progress watcher thread");
+        ProgressWatcher {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Signal the watcher to exit and join it. Idempotent; also runs on
+    /// drop.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            t.thread().unpark();
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ProgressWatcher {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for ProgressWatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressWatcher")
+            .field("stopped", &self.stop.load(Ordering::Relaxed))
+            .finish()
     }
 }
 
@@ -374,24 +512,84 @@ mod tests {
     }
 
     #[test]
-    fn tracker_observes_from_another_thread() {
+    fn watcher_observes_from_another_thread_and_exits_on_completion() {
         let session = Session::new(catalog());
         let mut h = session
             .query("SELECT nationkey, count(*) FROM customer GROUP BY nationkey")
             .unwrap();
-        let tracker = h.tracker();
-        let watcher = std::thread::spawn(move || loop {
-            let snap = tracker.snapshot();
-            let f = snap.fraction();
-            assert!((0.0..=1.0).contains(&f));
-            if snap.is_complete() {
-                return f;
-            }
-            std::thread::yield_now();
+        let fractions = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = Arc::clone(&fractions);
+        let mut watcher = h.watch(Duration::from_micros(50), move |snap| {
+            sink.lock().unwrap().push(snap.fraction());
         });
         let rows = h.collect().unwrap();
         assert_eq!(rows.len(), 100);
-        assert_eq!(watcher.join().unwrap(), 1.0);
+        // The watcher notices completion by itself; stop() merely joins.
+        watcher.stop();
+        let fractions = fractions.lock().unwrap();
+        assert!(fractions.iter().all(|f| (0.0..=1.0).contains(f)));
+        assert!(fractions.windows(2).all(|w| w[0] <= w[1]), "monotone");
+    }
+
+    #[test]
+    fn watcher_exits_promptly_on_cancel_without_completion() {
+        let session = Session::new(catalog());
+        let h = session.query("SELECT * FROM customer").unwrap();
+        // Query never runs: progress stays incomplete forever.
+        let watcher = h.watch(Duration::from_millis(1), |_| {});
+        h.cancel();
+        let start = std::time::Instant::now();
+        drop(watcher); // joins; must not wait for natural completion
+        assert!(
+            start.elapsed() < Duration::from_millis(500),
+            "watcher failed to exit promptly on cancel"
+        );
+        assert_eq!(h.state(), QueryState::Running, "no terminal event yet");
+    }
+
+    #[test]
+    fn cancelled_query_returns_typed_error_quickly() {
+        let session = Session::new(catalog());
+        let mut h = session
+            .query(
+                "SELECT * FROM customer \
+                 JOIN nation ON customer.nationkey = nation.nationkey",
+            )
+            .unwrap();
+        h.cancel();
+        let start = std::time::Instant::now();
+        let err = h.collect().unwrap_err();
+        assert!(start.elapsed() < Duration::from_millis(100));
+        assert!(err.is_cancelled(), "{err}");
+    }
+
+    #[test]
+    fn deadline_zero_aborts_with_typed_error() {
+        let session = Session::new(catalog());
+        let mut h = session.query("SELECT * FROM customer").unwrap();
+        let err = h.run_with_deadline(Duration::ZERO).unwrap_err();
+        assert_eq!(
+            err.lifecycle().map(qprog_types::ExecError::kind),
+            Some("deadline"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn monitored_failed_query_shows_terminal_state() {
+        let session = Session::new(catalog())
+            .serve_monitor("127.0.0.1:0")
+            .unwrap();
+        let server = Arc::clone(session.monitor().unwrap());
+        let mut h = session.query("SELECT * FROM customer").unwrap();
+        let id = h.query_id().unwrap();
+        h.cancel();
+        assert!(h.collect().is_err());
+        assert!(matches!(h.state(), QueryState::Failed(_)));
+        let detail = http_get(server.addr(), &format!("/progress/{id}"));
+        assert!(detail.contains("\"state\":\"failed\""), "{detail}");
+        assert!(detail.contains("\"failure\":\"cancelled\""), "{detail}");
+        server.shutdown();
     }
 
     #[test]
