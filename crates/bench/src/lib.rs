@@ -130,6 +130,30 @@ fn results_dir() -> PathBuf {
     }
 }
 
+/// The workspace root (where `BENCH_*.json` trajectory files live).
+pub fn repo_root() -> PathBuf {
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => PathBuf::from(dir).join("../.."),
+        Err(_) => PathBuf::from("."),
+    }
+}
+
+/// Write a continuous-benchmark JSON document (e.g. `BENCH_progress.json`)
+/// at the repo root, returning the path on success.
+pub fn write_bench_json(name: &str, json: &str) -> Option<PathBuf> {
+    let path = repo_root().join(name);
+    match fs::write(&path, json) {
+        Ok(()) => {
+            println!("(json written to {})", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
 /// Time a closure.
 pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let start = Instant::now();

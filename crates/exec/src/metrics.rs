@@ -22,6 +22,14 @@ use crate::trace::{DegradeReason, EstimateSource, EventBus, Phase, TraceEventKin
 /// refinement.
 pub const TRACE_REFINE_REL_EPS: f64 = 0.01;
 
+/// How many observed work units elapse between `Instant` reads for the
+/// wall-time span. Matches the governor's deadline stride so the traced
+/// path's clock cost stays amortized to the same degree as deadline checks.
+const WALL_STAMP_STRIDE: u64 = crate::governor::DEADLINE_STRIDE;
+
+/// Sentinel for "never stamped" in the wall-span atomics.
+const WALL_UNSET: u64 = u64::MAX;
+
 /// Per-operator tracing state: the bus, this operator's registry index, and
 /// the last estimate/bounds values actually published as events (f64 bit
 /// patterns, NaN = never published).
@@ -32,6 +40,11 @@ struct TraceHandle {
     last_estimate: AtomicU64,
     last_lo: AtomicU64,
     last_hi: AtomicU64,
+    /// First observed-work timestamp (µs since bus epoch; `WALL_UNSET` =
+    /// never stamped).
+    first_us: AtomicU64,
+    /// Most recent observed-work timestamp (µs since bus epoch).
+    last_us: AtomicU64,
 }
 
 impl TraceHandle {
@@ -42,7 +55,48 @@ impl TraceHandle {
             last_estimate: AtomicU64::new(f64::NAN.to_bits()),
             last_lo: AtomicU64::new(f64::NAN.to_bits()),
             last_hi: AtomicU64::new(f64::NAN.to_bits()),
+            first_us: AtomicU64::new(WALL_UNSET),
+            last_us: AtomicU64::new(WALL_UNSET),
         }
+    }
+
+    /// Count observed work; stamp the wall-span endpoints on the first
+    /// unit and whenever a counter crosses a [`WALL_STAMP_STRIDE`]
+    /// boundary. `prev` is the counter value before this unit of work —
+    /// the caller's own `fetch_add` result — so the traced hot path adds
+    /// no atomic beyond the counters the untraced path already maintains.
+    #[inline]
+    fn tick(&self, prev: u64, units: u64) {
+        if prev == 0 || prev / WALL_STAMP_STRIDE != (prev + units) / WALL_STAMP_STRIDE {
+            self.stamp();
+        }
+    }
+
+    /// Read the epoch clock once and extend the observed span.
+    fn stamp(&self) {
+        let now = self.bus.epoch().elapsed().as_micros() as u64;
+        self.first_us.fetch_min(now, Ordering::Relaxed);
+        // fetch_max is safe against WALL_UNSET because the span is only
+        // read through `wall_span_us`, which requires first_us to be set.
+        if self.last_us.load(Ordering::Relaxed) == WALL_UNSET {
+            self.last_us.store(now, Ordering::Relaxed);
+        } else {
+            self.last_us.fetch_max(now, Ordering::Relaxed);
+        }
+    }
+
+    /// The inclusive observed wall span `[first, last]` in µs, if any work
+    /// was ever stamped.
+    fn wall_span_us(&self) -> Option<u64> {
+        let first = self.first_us.load(Ordering::Relaxed);
+        if first == WALL_UNSET {
+            return None;
+        }
+        let last = self.last_us.load(Ordering::Relaxed);
+        if last == WALL_UNSET {
+            return None;
+        }
+        Some(last.saturating_sub(first))
     }
 
     /// Whether `new` differs from the last traced value by more than
@@ -162,7 +216,10 @@ impl OpMetrics {
     /// Record one emitted tuple.
     #[inline]
     pub fn record_emitted(&self) {
-        self.emitted.fetch_add(1, Ordering::Relaxed);
+        let prev = self.emitted.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = &self.trace {
+            t.tick(prev, 1);
+        }
     }
 
     /// Cooperative lifecycle checkpoint: charge `units` tuples of work to
@@ -202,7 +259,10 @@ impl OpMetrics {
     /// Record `n` driver tuples consumed.
     #[inline]
     pub fn record_driver(&self, n: u64) {
-        self.driver_consumed.fetch_add(n, Ordering::Relaxed);
+        let prev = self.driver_consumed.fetch_add(n, Ordering::Relaxed);
+        if let Some(t) = &self.trace {
+            t.tick(prev, n);
+        }
     }
 
     /// Publish a new estimate of the lifetime total `N_i`.
@@ -242,6 +302,16 @@ impl OpMetrics {
                     new: k as f64,
                     source: EstimateSource::Exact,
                 });
+                // Close the observed span at the finish instant so the
+                // stride's tail (< 64 unstamped ticks) is attributed, then
+                // publish the final attribution.
+                if t.first_us.load(Ordering::Relaxed) != WALL_UNSET {
+                    t.stamp();
+                }
+                if let Some(wall_us) = t.wall_span_us() {
+                    t.bus
+                        .publish(TraceEventKind::OperatorWallTime { op: t.op, wall_us });
+                }
                 t.bus.publish(TraceEventKind::OperatorFinished {
                     op: t.op,
                     emitted: k,
@@ -279,6 +349,15 @@ impl OpMetrics {
     /// Whether the operator has finished.
     pub fn is_finished(&self) -> bool {
         self.finished.load(Ordering::Relaxed)
+    }
+
+    /// The operator's observed active wall span in µs — the inclusive
+    /// first-to-last-work interval measured by epoch-clock reads amortized
+    /// over [`WALL_STAMP_STRIDE`] work units. `None` when untraced or
+    /// before any work is observed. Like `EXPLAIN ANALYZE` inclusive time,
+    /// a parent operator's span contains its children's.
+    pub fn wall_us(&self) -> Option<u64> {
+        self.trace.as_ref().and_then(|t| t.wall_span_us())
     }
 }
 

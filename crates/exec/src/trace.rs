@@ -57,6 +57,21 @@ impl Phase {
             Phase::Emit => "emit",
         }
     }
+
+    /// Inverse of [`Phase::name`], used by the trace replay parser.
+    pub fn from_name(name: &str) -> Option<Phase> {
+        Some(match name {
+            "init" => Phase::Init,
+            "build" => Phase::Build,
+            "probe" => Phase::Probe,
+            "partition_join" => Phase::PartitionJoin,
+            "sort_input" => Phase::SortInput,
+            "merge" => Phase::Merge,
+            "accumulate" => Phase::Accumulate,
+            "emit" => Phase::Emit,
+            _ => return None,
+        })
+    }
 }
 
 impl fmt::Display for Phase {
@@ -84,6 +99,16 @@ impl EstimateSource {
             EstimateSource::Online => "online",
             EstimateSource::Exact => "exact",
         }
+    }
+
+    /// Inverse of [`EstimateSource::name`], used by the trace replay parser.
+    pub fn from_name(name: &str) -> Option<EstimateSource> {
+        Some(match name {
+            "optimizer" => EstimateSource::Optimizer,
+            "online" => EstimateSource::Online,
+            "exact" => EstimateSource::Exact,
+            _ => return None,
+        })
     }
 }
 
@@ -128,6 +153,19 @@ impl AbortKind {
         }
     }
 
+    /// Inverse of [`AbortKind::name`], used by the trace replay parser.
+    pub fn from_name(name: &str) -> Option<AbortKind> {
+        Some(match name {
+            "cancelled" => AbortKind::Cancelled,
+            "deadline" => AbortKind::DeadlineExceeded,
+            "budget" => AbortKind::BudgetExceeded,
+            "panic" => AbortKind::OperatorPanic,
+            "injected" => AbortKind::Injected,
+            "error" => AbortKind::Error,
+            _ => return None,
+        })
+    }
+
     /// Classify an error into its abort kind.
     pub fn from_error(e: &qprog_types::QError) -> AbortKind {
         use qprog_types::ExecError;
@@ -161,6 +199,14 @@ impl DegradeReason {
     pub fn name(self) -> &'static str {
         match self {
             DegradeReason::HistogramMemory => "histogram_memory",
+        }
+    }
+
+    /// Inverse of [`DegradeReason::name`], used by the trace replay parser.
+    pub fn from_name(name: &str) -> Option<DegradeReason> {
+        match name {
+            "histogram_memory" => Some(DegradeReason::HistogramMemory),
+            _ => None,
         }
     }
 }
@@ -210,6 +256,30 @@ pub enum TraceEventKind {
     /// after breaching a resource budget; progress estimates continue but
     /// coarser.
     EstimatorDegraded { op: u32, reason: DegradeReason },
+    /// A periodic `gnm` progress snapshot, published by the timeline
+    /// recorder when it is bus-attached. Makes a recorded trace
+    /// self-sufficient for post-hoc quality scoring (replay needs no live
+    /// tracker): `fraction = current / total` with the estimator's current
+    /// `ΣN_i`, and `[lo, hi]` the bounds-derived progress interval.
+    ProgressSampled {
+        /// `ΣK_i` — total work done across monitored operators.
+        current: u64,
+        /// `ΣN_i` — estimated total work (NaN when unknown).
+        total: f64,
+        /// `current / total`, clamped to `[0, 1]`.
+        fraction: f64,
+        /// Lower progress bound (NaN when no bounds are published).
+        lo: f64,
+        /// Upper progress bound (NaN when no bounds are published).
+        hi: f64,
+    },
+    /// An operator's observed active wall-time span, stamped when it
+    /// finishes. `wall_us` is the *inclusive* span from the operator's
+    /// first to last observed unit of work (like `EXPLAIN ANALYZE`
+    /// inclusive time: a parent's span contains its children's), measured
+    /// by `Instant` reads amortized over the governor's 64-checkpoint
+    /// stride.
+    OperatorWallTime { op: u32, wall_us: u64 },
 }
 
 /// A timestamped, globally ordered trace event.

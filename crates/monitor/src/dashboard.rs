@@ -61,9 +61,10 @@ function ops(detail) {
     <td>${o.name}</td><td>${o.phase ?? (o.finished ? "done" : "–")}</td>
     <td>${fmt(o.k)}</td><td>${fmt(o.n)}</td>
     <td>${o.lo == null ? "–" : fmt(o.lo) + " … " + fmt(o.hi)}</td>
+    <td>${o.wall_us == null ? "–" : (o.wall_us / 1e3).toFixed(1) + " ms"}</td>
   </tr>`).join("");
   return `<table><tr><th>operator</th><th>phase</th><th>K</th><th>N&#770;</th>
-    <th>bounds</th></tr>${rows}</table>`;
+    <th>bounds</th><th>wall</th></tr>${rows}</table>`;
 }
 
 async function tick() {
@@ -86,6 +87,7 @@ async function tick() {
         &middot; C=${fmt(q.current)} / T&#770;=${fmt(q.total)}
         &middot; pipelines ${q.pipelines_finished}/${q.pipelines}
         &middot; ${(q.elapsed_us / 1e6).toFixed(2)}s
+        ${q.eta_us == null ? "" : `&middot; ETA ${(q.eta_us / 1e6).toFixed(1)}s`}
         ${q.done ? `&middot; done${q.rows == null ? "" : ", " + fmt(q.rows) + " rows"}` : ""}
         </span>
         ${q.state === "failed" ? `<span class="failure">&middot; failed (${q.failure})${
@@ -115,6 +117,13 @@ mod tests {
         assert!(!DASHBOARD_HTML.contains("http://"));
         assert!(!DASHBOARD_HTML.contains("https://"));
         assert!(!DASHBOARD_HTML.contains("src="));
+    }
+
+    #[test]
+    fn dashboard_renders_eta_and_wall_time() {
+        assert!(DASHBOARD_HTML.contains("q.eta_us"));
+        assert!(DASHBOARD_HTML.contains("ETA"));
+        assert!(DASHBOARD_HTML.contains("o.wall_us"));
     }
 
     #[test]

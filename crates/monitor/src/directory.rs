@@ -229,15 +229,25 @@ impl QueryDirectory {
             QueryState::Done => true,
             QueryState::Running => snap.is_complete(),
         };
+        let elapsed_us = e.started.elapsed().as_micros() as u64;
+        // The paper's motivating use case: estimated time remaining from
+        // the gnm fraction, `elapsed × (1−p)/p`. Meaningless before any
+        // progress and for terminal queries.
+        let p = snap.fraction();
+        let eta_us = if state == QueryState::Running && !done && p > 0.0 && p.is_finite() {
+            ((elapsed_us as f64 * (1.0 - p.min(1.0)) / p) as u64).to_string()
+        } else {
+            "null".to_string()
+        };
         format!(
             "{{\"id\":{id},\"label\":\"{}\",\"estimator\":\"{}\",\
-             \"elapsed_us\":{},\"fraction\":{},\"lo\":{},\"hi\":{},\
+             \"elapsed_us\":{elapsed_us},\"eta_us\":{eta_us},\
+             \"fraction\":{},\"lo\":{},\"hi\":{},\
              \"current\":{},\"total\":{},\"pipelines\":{},\
              \"pipelines_finished\":{},\"state\":\"{}\",\"failure\":{},\
              \"done\":{done},\"rows\":{}}}",
             escape(&e.label),
             escape(&e.estimator),
-            e.started.elapsed().as_micros(),
             num(snap.fraction()),
             num(lo),
             num(hi),
@@ -271,7 +281,8 @@ impl QueryDirectory {
                     });
                 format!(
                     "{{\"name\":\"{}\",\"k\":{},\"driver\":{},\"n\":{},\
-                     \"lo\":{lo},\"hi\":{hi},\"finished\":{},\"phase\":{}}}",
+                     \"lo\":{lo},\"hi\":{hi},\"finished\":{},\"phase\":{},\
+                     \"wall_us\":{}}}",
                     escape(name),
                     m.emitted(),
                     m.driver_consumed(),
@@ -280,6 +291,7 @@ impl QueryDirectory {
                     e.phases
                         .phase(i)
                         .map_or("null".to_string(), |p| format!("\"{}\"", p.name())),
+                    m.wall_us().map_or("null".to_string(), |w| w.to_string()),
                 )
             })
             .collect();
@@ -398,6 +410,10 @@ mod tests {
         assert!(all.contains("\"current\":50"), "{all}");
         assert!(all.contains("\"fraction\":0.5"), "{all}");
         assert!(all.contains("\"done\":false"), "{all}");
+        // running at p = 0.5: elapsed and a finite ETA are reported
+        assert!(all.contains("\"elapsed_us\":"), "{all}");
+        assert!(all.contains("\"eta_us\":"), "{all}");
+        assert!(!all.contains("\"eta_us\":null"), "{all}");
         let detail = dir.render_query(q.id()).unwrap();
         assert!(detail.contains("\"ops\":[{\"name\":\"scan\""), "{detail}");
         assert!(detail.contains("\"k\":50"), "{detail}");
@@ -405,6 +421,8 @@ mod tests {
         let detail = dir.render_query(q.id()).unwrap();
         assert!(detail.contains("\"done\":true"), "{detail}");
         assert!(detail.contains("\"fraction\":1"), "{detail}");
+        // terminal queries have no remaining-time estimate
+        assert!(detail.contains("\"eta_us\":null"), "{detail}");
     }
 
     #[test]

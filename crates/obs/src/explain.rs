@@ -67,6 +67,8 @@ struct OpTrace {
     finished_at: Option<u64>,
     /// `EstimateRefined` events with `source == Online`.
     online_refinements: usize,
+    /// The operator's observed active wall span (`OperatorWallTime`).
+    wall_us: Option<u64>,
 }
 
 fn collect_traces(n_ops: usize, events: &[TraceEvent]) -> (Vec<OpTrace>, u64) {
@@ -83,6 +85,11 @@ fn collect_traces(n_ops: usize, events: &[TraceEvent]) -> (Vec<OpTrace>, u64) {
             TraceEventKind::OperatorFinished { op, .. } => {
                 if let Some(t) = traces.get_mut(op as usize) {
                     t.finished_at.get_or_insert(e.at_us);
+                }
+            }
+            TraceEventKind::OperatorWallTime { op, wall_us } => {
+                if let Some(t) = traces.get_mut(op as usize) {
+                    t.wall_us = Some(wall_us);
                 }
             }
             TraceEventKind::EstimateRefined {
@@ -184,6 +191,21 @@ fn render(
         },
     ));
     if let Some(t) = traces.get(idx) {
+        // Wall-time attribution: the event stamped at operator finish, or
+        // the live span still held by the metrics handle (e.g. when the
+        // trace was truncated). Inclusive first-to-last-work span, so a
+        // parent's time contains its children's.
+        if let Some(wall) = t.wall_us.or_else(|| m.wall_us()) {
+            let share = if end_us > 0 {
+                format!(" ({:.1}% of trace)", 100.0 * wall as f64 / end_us as f64)
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "{pad}   wall: {} active span{share}\n",
+                fmt_us(wall)
+            ));
+        }
         if t.online_refinements > 0 {
             out.push_str(&format!(
                 "{pad}   online refinements: {}\n",
@@ -287,6 +309,9 @@ mod tests {
         // The join emitted exactly 500 rows and its final estimate is exact.
         assert!(report.contains("actual: 500 rows"), "{report}");
         assert!(report.contains("final est: 500 (q-error 1.00)"), "{report}");
+        // Per-operator wall-time attribution from OperatorWallTime events.
+        assert!(report.contains("wall: "), "{report}");
+        assert!(report.contains("active span"), "{report}");
         // Phase timings recovered from the trace.
         assert!(report.contains("phases: build"), "{report}");
         assert!(report.contains("probe"), "{report}");

@@ -3,6 +3,8 @@
 //! The workspace carries no external dependencies (no serde), and the
 //! shapes encoded here are small and fixed, so a few helpers suffice.
 
+use std::fmt::Write as _;
+
 use qprog_exec::trace::{TraceEvent, TraceEventKind};
 
 /// Escape a string for embedding in a JSON string literal.
@@ -36,30 +38,58 @@ pub fn num(x: f64) -> String {
 /// When `op_names` is non-empty, operator indices are annotated with their
 /// registry names.
 pub fn event_to_json(event: &TraceEvent, op_names: &[String]) -> String {
-    let mut fields = vec![
-        format!("\"seq\":{}", event.seq),
-        format!("\"at_us\":{}", event.at_us),
-    ];
-    let op_field = |op: u32, fields: &mut Vec<String>| {
-        fields.push(format!("\"op\":{op}"));
+    let mut out = String::with_capacity(96);
+    write_event_json(&mut out, event, op_names);
+    out
+}
+
+/// Append one event's JSON object to `out` (no trailing newline). The
+/// streaming form the JSONL sink uses on its hot path: one pre-sized
+/// buffer, no intermediate field allocations.
+pub fn write_event_json(out: &mut String, event: &TraceEvent, op_names: &[String]) {
+    let _ = write!(out, "{{\"seq\":{},\"at_us\":{}", event.seq, event.at_us);
+    // A float field: finite values as numbers, NaN/inf as null.
+    macro_rules! fnum {
+        ($key:literal, $x:expr) => {
+            if $x.is_finite() {
+                let _ = write!(out, concat!(",\"", $key, "\":{}"), $x);
+            } else {
+                out.push_str(concat!(",\"", $key, "\":null"));
+            }
+        };
+    }
+    let op_field = |out: &mut String, op: u32| {
+        let _ = write!(out, ",\"op\":{op}");
         if let Some(name) = op_names.get(op as usize) {
-            fields.push(format!("\"op_name\":\"{}\"", escape(name)));
+            // Registry names are plain identifiers; escape defensively but
+            // skip the allocation when nothing needs it.
+            if name
+                .chars()
+                .any(|c| c == '"' || c == '\\' || (c as u32) < 0x20)
+            {
+                let _ = write!(out, ",\"op_name\":\"{}\"", escape(name));
+            } else {
+                let _ = write!(out, ",\"op_name\":\"{name}\"");
+            }
         }
     };
     match &event.kind {
         TraceEventKind::PipelineStarted { pipeline } => {
-            fields.push("\"event\":\"pipeline_started\"".to_string());
-            fields.push(format!("\"pipeline\":{pipeline}"));
+            let _ = write!(
+                out,
+                ",\"event\":\"pipeline_started\",\"pipeline\":{pipeline}"
+            );
         }
         TraceEventKind::PipelineFinished { pipeline } => {
-            fields.push("\"event\":\"pipeline_finished\"".to_string());
-            fields.push(format!("\"pipeline\":{pipeline}"));
+            let _ = write!(
+                out,
+                ",\"event\":\"pipeline_finished\",\"pipeline\":{pipeline}"
+            );
         }
         TraceEventKind::PhaseTransition { op, from, to } => {
-            fields.push("\"event\":\"phase_transition\"".to_string());
-            op_field(*op, &mut fields);
-            fields.push(format!("\"from\":\"{from}\""));
-            fields.push(format!("\"to\":\"{to}\""));
+            out.push_str(",\"event\":\"phase_transition\"");
+            op_field(out, *op);
+            let _ = write!(out, ",\"from\":\"{from}\",\"to\":\"{to}\"");
         }
         TraceEventKind::EstimateRefined {
             op,
@@ -67,39 +97,57 @@ pub fn event_to_json(event: &TraceEvent, op_names: &[String]) -> String {
             new,
             source,
         } => {
-            fields.push("\"event\":\"estimate_refined\"".to_string());
-            op_field(*op, &mut fields);
-            fields.push(format!("\"old\":{}", num(*old)));
-            fields.push(format!("\"new\":{}", num(*new)));
-            fields.push(format!("\"source\":\"{source}\""));
+            out.push_str(",\"event\":\"estimate_refined\"");
+            op_field(out, *op);
+            fnum!("old", *old);
+            fnum!("new", *new);
+            let _ = write!(out, ",\"source\":\"{source}\"");
         }
         TraceEventKind::BoundsRefined { op, lo, hi } => {
-            fields.push("\"event\":\"bounds_refined\"".to_string());
-            op_field(*op, &mut fields);
-            fields.push(format!("\"lo\":{}", num(*lo)));
-            fields.push(format!("\"hi\":{}", num(*hi)));
+            out.push_str(",\"event\":\"bounds_refined\"");
+            op_field(out, *op);
+            fnum!("lo", *lo);
+            fnum!("hi", *hi);
         }
         TraceEventKind::OperatorFinished { op, emitted } => {
-            fields.push("\"event\":\"operator_finished\"".to_string());
-            op_field(*op, &mut fields);
-            fields.push(format!("\"emitted\":{emitted}"));
+            out.push_str(",\"event\":\"operator_finished\"");
+            op_field(out, *op);
+            let _ = write!(out, ",\"emitted\":{emitted}");
         }
         TraceEventKind::QueryFinished { rows } => {
-            fields.push("\"event\":\"query_finished\"".to_string());
-            fields.push(format!("\"rows\":{rows}"));
+            let _ = write!(out, ",\"event\":\"query_finished\",\"rows\":{rows}");
         }
         TraceEventKind::QueryAborted { reason, rows } => {
-            fields.push("\"event\":\"query_aborted\"".to_string());
-            fields.push(format!("\"reason\":\"{reason}\""));
-            fields.push(format!("\"rows\":{rows}"));
+            let _ = write!(
+                out,
+                ",\"event\":\"query_aborted\",\"reason\":\"{reason}\",\"rows\":{rows}"
+            );
         }
         TraceEventKind::EstimatorDegraded { op, reason } => {
-            fields.push("\"event\":\"estimator_degraded\"".to_string());
-            op_field(*op, &mut fields);
-            fields.push(format!("\"reason\":\"{reason}\""));
+            out.push_str(",\"event\":\"estimator_degraded\"");
+            op_field(out, *op);
+            let _ = write!(out, ",\"reason\":\"{reason}\"");
+        }
+        TraceEventKind::ProgressSampled {
+            current,
+            total,
+            fraction,
+            lo,
+            hi,
+        } => {
+            let _ = write!(out, ",\"event\":\"progress_sampled\",\"current\":{current}");
+            fnum!("total", *total);
+            fnum!("fraction", *fraction);
+            fnum!("lo", *lo);
+            fnum!("hi", *hi);
+        }
+        TraceEventKind::OperatorWallTime { op, wall_us } => {
+            out.push_str(",\"event\":\"operator_wall_time\"");
+            op_field(out, *op);
+            let _ = write!(out, ",\"wall_us\":{wall_us}");
         }
     }
-    format!("{{{}}}", fields.join(","))
+    out.push('}');
 }
 
 /// Extract a field's raw value text from a flat one-line JSON object

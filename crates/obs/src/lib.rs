@@ -19,6 +19,15 @@
 //! - [`explain`] — an EXPLAIN ANALYZE renderer comparing actual
 //!   cardinalities against optimizer and online estimates (with q-errors,
 //!   `getnext()` counts, phase wall-times, and estimator attribution).
+//! - [`replay`] — deterministic trace replay: parse the JSONL sink format
+//!   back into [`TraceEvent`](qprog_exec::trace::TraceEvent) streams
+//!   ([`ReplayedTrace`](replay::ReplayedTrace)) and re-drive any sink
+//!   offline, so a production trace can be re-scored and debugged post-hoc.
+//! - [`scoring`] — paper-style progress-quality metrics
+//!   ([`ProgressScore`](scoring::ProgressScore)) from a live or replayed
+//!   trace: mean/max absolute error vs the retrospective oracle,
+//!   monotonicity violations, convergence point, per-estimator q-error
+//!   summaries.
 //! - [`metrics_sink`] — a [`MetricsSink`](metrics_sink::MetricsSink)
 //!   aggregating each query's events into a shared
 //!   [`qprog_metrics::Registry`]: fleet-wide tuple counts, phase activity,
@@ -31,10 +40,14 @@
 pub mod explain;
 pub mod json;
 pub mod metrics_sink;
+pub mod replay;
+pub mod scoring;
 pub mod sinks;
 pub mod timeline;
 
 pub use explain::explain_analyze;
 pub use metrics_sink::MetricsSink;
+pub use replay::ReplayedTrace;
+pub use scoring::{score_events, score_log, ProgressScore, QErrorSummary};
 pub use sinks::{JsonlSink, RingSink, StderrSink, ValidatorSink};
 pub use timeline::{ProgressLog, RecorderHandle, TimelinePoint, TimelineRecorder};

@@ -60,7 +60,7 @@ pub struct MetricsSink {
     registry: Arc<Registry>,
     estimator: String,
     /// `qprog_trace_events_total{event=...}`, one per event kind.
-    events: [Arc<Counter>; 9],
+    events: [Arc<Counter>; 11],
     /// `qprog_phase_transitions_total{phase=...}`, by entered phase.
     phases: [Arc<Counter>; 8],
     /// `qprog_estimate_refinements_total{source=...}`.
@@ -97,6 +97,8 @@ impl MetricsSink {
             "query_finished",
             "query_aborted",
             "estimator_degraded",
+            "progress_sampled",
+            "operator_wall_time",
         ];
         let events = event_kinds.map(|k| {
             registry.counter(
@@ -214,6 +216,8 @@ impl TraceSink for MetricsSink {
             TraceEventKind::QueryFinished { .. } => 6,
             TraceEventKind::QueryAborted { .. } => 7,
             TraceEventKind::EstimatorDegraded { .. } => 8,
+            TraceEventKind::ProgressSampled { .. } => 9,
+            TraceEventKind::OperatorWallTime { .. } => 10,
         };
         self.events[event_idx].inc();
         match event.kind {
@@ -276,6 +280,21 @@ impl TraceSink for MetricsSink {
                         &[("estimator", &self.estimator), ("reason", reason.name())],
                     )
                     .inc();
+            }
+            TraceEventKind::OperatorWallTime { op, wall_us } => {
+                // Like operator_emitted: resolved lazily by operator name
+                // (wall-time events fire once per operator per query).
+                let name = self.op_names.lock().get(op as usize).cloned();
+                if let Some(name) = name {
+                    self.registry
+                        .counter(
+                            "qprog_op_wall_us",
+                            "Observed active wall span of finished operators \
+                             in microseconds, by operator",
+                            &[("op", &name)],
+                        )
+                        .add(wall_us);
+                }
             }
             TraceEventKind::EstimatorDegraded { reason, .. } => {
                 self.registry

@@ -15,8 +15,6 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use qprog_exec::sync::Mutex;
 use qprog_exec::trace::{EstimateSource, Phase, TraceEvent, TraceEventKind, TraceSink};
 
-use crate::json::event_to_json;
-
 /// One slot of the ring: a sequence stamp plus storage for an event.
 struct Slot {
     seq: AtomicUsize,
@@ -164,15 +162,25 @@ impl std::fmt::Debug for RingSink {
 /// for post-hoc analysis, a pipe to a live dashboard, ...). Operator
 /// indices are annotated with registry names when provided.
 pub struct JsonlSink<W: Write + Send> {
-    writer: Mutex<W>,
+    inner: Mutex<JsonlInner<W>>,
     op_names: Vec<String>,
+}
+
+/// Writer plus a reusable line buffer, so the per-event hot path encodes
+/// into pre-owned capacity instead of allocating a fresh line.
+struct JsonlInner<W> {
+    writer: W,
+    line: String,
 }
 
 impl<W: Write + Send> JsonlSink<W> {
     /// A sink writing bare operator indices.
     pub fn new(writer: W) -> Self {
         JsonlSink {
-            writer: Mutex::new(writer),
+            inner: Mutex::new(JsonlInner {
+                writer,
+                line: String::with_capacity(128),
+            }),
             op_names: Vec::new(),
         }
     }
@@ -185,18 +193,22 @@ impl<W: Write + Send> JsonlSink<W> {
 
     /// Recover the writer (e.g. to read back an in-memory buffer).
     pub fn into_inner(self) -> W {
-        self.writer.into_inner()
+        self.inner.into_inner().writer
     }
 }
 
 impl<W: Write + Send> TraceSink for JsonlSink<W> {
     fn publish(&self, event: &TraceEvent) {
-        let line = event_to_json(event, &self.op_names);
-        let mut w = self.writer.lock();
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        inner.line.clear();
+        crate::json::write_event_json(&mut inner.line, event, &self.op_names);
+        inner.line.push('\n');
         // Trace output is advisory: an unwritable sink must not fail the
-        // query, so IO errors are swallowed.
-        let _ = writeln!(w, "{line}");
-        let _ = w.flush();
+        // query, so IO errors are swallowed. Flushed per line so the file
+        // can be tailed live.
+        let _ = inner.writer.write_all(inner.line.as_bytes());
+        let _ = inner.writer.flush();
     }
 }
 
@@ -353,11 +365,20 @@ impl TraceSink for ValidatorSink {
                     }
                 }
             }
+            TraceEventKind::ProgressSampled { fraction, .. } => {
+                // gnm fractions are clamped to [0, 1] by construction.
+                if !(0.0..=1.0).contains(&fraction) && !fraction.is_nan() {
+                    s.violations.push(format!(
+                        "progress sample fraction {fraction} outside [0, 1]"
+                    ));
+                }
+            }
             TraceEventKind::PipelineStarted { .. }
             | TraceEventKind::PipelineFinished { .. }
             | TraceEventKind::QueryFinished { .. }
             | TraceEventKind::QueryAborted { .. }
-            | TraceEventKind::EstimatorDegraded { .. } => {}
+            | TraceEventKind::EstimatorDegraded { .. }
+            | TraceEventKind::OperatorWallTime { .. } => {}
         }
     }
 }

@@ -259,6 +259,19 @@ impl TimelineRecorder {
             }
         }
 
+        // A sampled gnm snapshot in the trace itself makes the recorded
+        // JSONL self-sufficient for post-hoc quality scoring (replay needs
+        // no live tracker).
+        if let Some(bus) = &self.bus {
+            bus.publish(TraceEventKind::ProgressSampled {
+                current: snapshot.current(),
+                total: snapshot.total(),
+                fraction: snapshot.fraction(),
+                lo,
+                hi,
+            });
+        }
+
         self.log.points.push(TimelinePoint {
             at_us,
             fraction: snapshot.fraction(),
@@ -450,9 +463,19 @@ mod tests {
         rec.sample(); // still running: no duplicate
         scan.mark_finished();
         rec.sample(); // pipeline 0 finished
-        let events: Vec<_> = sink.0.lock().iter().map(|e| e.kind).collect();
+        let all: Vec<_> = sink.0.lock().iter().map(|e| e.kind).collect();
+        // every sample also publishes a gnm snapshot into the trace
+        let samples = all
+            .iter()
+            .filter(|k| matches!(k, TraceEventKind::ProgressSampled { .. }))
+            .count();
+        assert_eq!(samples, 4);
+        let edges: Vec<_> = all
+            .into_iter()
+            .filter(|k| !matches!(k, TraceEventKind::ProgressSampled { .. }))
+            .collect();
         assert_eq!(
-            events,
+            edges,
             vec![
                 TraceEventKind::PipelineStarted { pipeline: 0 },
                 TraceEventKind::PipelineFinished { pipeline: 0 },

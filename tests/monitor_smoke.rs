@@ -142,6 +142,23 @@ fn monitored_query_is_observable_live_over_http() {
         assert!((0.0..=1.0).contains(&fraction), "fraction {fraction}");
         assert!(lo <= hi, "bounds inverted: [{lo}, {hi}]");
         assert!(lo >= 0.0, "negative lower bound {lo}");
+        // Remaining-time fields: elapsed is always present and positive;
+        // once any progress registers, a running query also reports
+        // `eta_us = elapsed × (1−p)/p` (null before first progress and
+        // after terminal states).
+        let elapsed = json_num(&body, "elapsed_us");
+        assert!(elapsed > 0.0, "elapsed_us not positive: {body}");
+        assert!(body.contains("\"eta_us\":"), "{body}");
+        if fraction > 0.0 && !body.contains("\"done\":true") {
+            let eta = json_num(&body, "eta_us");
+            let expect = elapsed * (1.0 - fraction) / fraction;
+            // Both fields are sampled at slightly different instants in the
+            // server; allow generous slack around the formula.
+            assert!(
+                eta >= 0.0 && eta <= expect * 2.0 + 1e6,
+                "eta_us {eta} inconsistent with elapsed {elapsed} @ p={fraction}"
+            );
+        }
         last_c = c;
         last_fraction = fraction;
         polls += 1;
@@ -158,6 +175,10 @@ fn monitored_query_is_observable_live_over_http() {
     assert!(head.starts_with("HTTP/1.1 200"), "{head}");
     assert_eq!(json_num(&body, "fraction"), 1.0, "{body}");
     assert!(body.contains("\"done\":true"), "{body}");
+    assert!(
+        body.contains("\"eta_us\":null"),
+        "finished query has no ETA: {body}"
+    );
 
     // /metrics is well-formed Prometheus and has the estimator histograms.
     let (head, metrics) = get(addr, "/metrics");
