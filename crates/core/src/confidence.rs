@@ -181,6 +181,29 @@ impl RunningMoments {
         }
     }
 
+    /// Combine with an independently accumulated set of observations
+    /// (Chan et al.'s pairwise update), as if every observation folded into
+    /// `other` had been pushed here. Counts and means are exact; `m2`
+    /// combines up to floating-point rounding, so merged variances agree
+    /// with the serial accumulation to machine precision — good enough for
+    /// confidence intervals, while cardinality *estimates* (which must be
+    /// bit-reproducible) are carried in integer sums elsewhere.
+    pub fn merge(&mut self, other: &RunningMoments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let (na, nb) = (self.n as f64, other.n as f64);
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        self.mean += delta * nb / n;
+        self.m2 += other.m2 + delta * delta * na * nb / n;
+        self.n += other.n;
+    }
+
     /// CLT confidence interval for the mean at `z`.
     pub fn mean_ci(&self, z: f64) -> ConfidenceInterval {
         if self.n == 0 {
@@ -282,6 +305,46 @@ mod tests {
         let mut m = RunningMoments::new();
         m.push(3.0);
         assert_eq!(m.variance(), 0.0);
+    }
+
+    #[test]
+    fn merged_moments_match_serial_accumulation() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64).collect();
+        let mut serial = RunningMoments::new();
+        for &x in &xs {
+            serial.push(x);
+        }
+        for split in [0, 1, 250, 999, 1000] {
+            let (left, right) = xs.split_at(split);
+            let mut a = RunningMoments::new();
+            let mut b = RunningMoments::new();
+            left.iter().for_each(|&x| a.push(x));
+            right.iter().for_each(|&x| b.push(x));
+            a.merge(&b);
+            assert_eq!(a.count(), serial.count());
+            assert!((a.mean() - serial.mean()).abs() < 1e-9, "split {split}");
+            assert!(
+                (a.variance() - serial.variance()).abs() < 1e-6,
+                "split {split}: {} vs {}",
+                a.variance(),
+                serial.variance()
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_order_insensitive() {
+        let mut a = RunningMoments::new();
+        let mut b = RunningMoments::new();
+        [1.0, 2.0, 3.0].iter().for_each(|&x| a.push(x));
+        [10.0, 20.0].iter().for_each(|&x| b.push(x));
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab.count(), ba.count());
+        assert!((ab.mean() - ba.mean()).abs() < 1e-12);
+        assert!((ab.variance() - ba.variance()).abs() < 1e-9);
     }
 
     #[test]

@@ -191,6 +191,18 @@ impl FreqHist {
         self.counts.iter().map(|(k, &c)| (k, c))
     }
 
+    /// Fold another histogram into this one: every aggregate (`t`, `d`,
+    /// `f_j`, `Σ N_i²`, `M`) ends up exactly as if each underlying
+    /// observation had been applied here directly. Per-key counts add, so
+    /// the merge is associative and commutative — the property that lets
+    /// partition-parallel workers build private fragments and combine them
+    /// into a histogram identical to the serial build.
+    pub fn merge(&mut self, other: &FreqHist) {
+        for (key, n) in other.iter() {
+            self.observe_n(key, n);
+        }
+    }
+
     /// Bytes of live data: one `(Key, u64)` entry per distinct value plus
     /// string payloads — the "Mem. Used" column of the paper's Table 2.
     pub fn memory_used(&self) -> usize {
@@ -321,6 +333,44 @@ mod tests {
         };
         assert_eq!(sorted(&a), sorted(&b));
         assert_eq!(b.count(&Key::Int(3)), 0);
+    }
+
+    #[test]
+    fn merge_equals_serial_observation_order_independently() {
+        let all = [1i64, 1, 1, 2, 2, 3, 4, 4, 5, 5, 5, 5];
+        let serial = hist_of(&all);
+        // Split into fragments, merge in both orders.
+        let a = hist_of(&all[..5]);
+        let b = hist_of(&all[5..]);
+        for (x, y) in [(&a, &b), (&b, &a)] {
+            let mut merged = x.clone();
+            merged.merge(y);
+            assert_eq!(merged.total(), serial.total());
+            assert_eq!(merged.distinct(), serial.distinct());
+            assert_eq!(merged.max_frequency(), serial.max_frequency());
+            assert_eq!(merged.sum_squared_counts(), serial.sum_squared_counts());
+            let sorted = |h: &FreqHist| {
+                let mut v: Vec<_> = h.frequency_classes().collect();
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(sorted(&merged), sorted(&serial));
+            for (k, c) in serial.iter() {
+                assert_eq!(merged.count(k), c);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let h = hist_of(&[7, 7, 8]);
+        let mut merged = h.clone();
+        merged.merge(&FreqHist::new());
+        assert_eq!(merged.total(), h.total());
+        let mut empty = FreqHist::new();
+        empty.merge(&h);
+        assert_eq!(empty.total(), h.total());
+        assert_eq!(empty.distinct(), h.distinct());
     }
 
     #[test]

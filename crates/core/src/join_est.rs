@@ -223,6 +223,75 @@ impl OnceJoinEstimator {
     pub fn beta(&self, z: f64) -> f64 {
         beta(self.t, z)
     }
+
+    /// Fold a worker-private [`ProbeFragment`] into this estimator, as if
+    /// its probe tuples had been observed here via
+    /// [`observe_probe`](Self::observe_probe).
+    ///
+    /// `D_t` is maintained as the integer pair `(t, Σ contribution)`, and
+    /// integer addition is associative and commutative, so fragments may be
+    /// absorbed in any order: once every probe tuple is accounted for
+    /// (`t == |S|`), [`estimate`](Self::estimate) returns `sum as f64` —
+    /// byte-identical to the serial engine's converged estimate. The
+    /// variance accumulator merges via Chan's update (exact up to
+    /// floating-point rounding; it only feeds confidence intervals, never
+    /// the estimate itself).
+    pub fn absorb(&mut self, fragment: &ProbeFragment) {
+        self.t += fragment.t;
+        self.sum += fragment.sum;
+        self.moments.merge(&fragment.moments);
+    }
+}
+
+/// Worker-private probe-side accumulation for partition-parallel execution.
+///
+/// Each worker observes its slice of the probe stream against the shared
+/// (completed, read-only) build histogram, accumulating the same integer
+/// `(t, Σ contribution)` pair the serial estimator keeps. Fragments merge
+/// associatively into each other and into an [`OnceJoinEstimator`] via
+/// [`OnceJoinEstimator::absorb`].
+#[derive(Debug, Clone, Default)]
+pub struct ProbeFragment {
+    t: u64,
+    sum: u128,
+    moments: RunningMoments,
+}
+
+impl ProbeFragment {
+    /// An empty fragment.
+    pub fn new() -> Self {
+        ProbeFragment::default()
+    }
+
+    /// Observe one probe tuple against the shared build histogram,
+    /// returning its build-side multiplicity (NULL keys count as 0) —
+    /// the worker-side mirror of [`OnceJoinEstimator::observe_probe`].
+    pub fn observe(&mut self, build: &FreqHist, kind: JoinKind, key: &Key) -> u64 {
+        let n = if key.is_null() { 0 } else { build.count(key) };
+        let c = kind.contribution(n);
+        self.t += 1;
+        self.sum += c as u128;
+        self.moments.push(c as f64);
+        n
+    }
+
+    /// Probe tuples this fragment has observed.
+    pub fn seen(&self) -> u64 {
+        self.t
+    }
+
+    /// Exact `Σ contribution` over this fragment's probe tuples.
+    pub fn matched(&self) -> u128 {
+        self.sum
+    }
+
+    /// Fold another fragment into this one (associative, commutative in
+    /// `(t, sum)`; moments combine via Chan's update).
+    pub fn merge(&mut self, other: &ProbeFragment) {
+        self.t += other.t;
+        self.sum += other.sum;
+        self.moments.merge(&other.moments);
+    }
 }
 
 /// The §4.1 "basic scheme": both streams observed simultaneously.
@@ -473,6 +542,68 @@ mod tests {
             est.observe_probe(&Key::Int(i % 100)); // half the keys match
         }
         assert!((est.estimate() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absorbed_fragments_match_serial_estimator_exactly() {
+        let r = [1i64, 1, 2, 3, 3, 3, 7, 7];
+        let s: Vec<i64> = (0..64).map(|i| (i * 13 + 1) % 9).collect();
+        for kind in [
+            JoinKind::Inner,
+            JoinKind::LeftOuter,
+            JoinKind::Semi,
+            JoinKind::Anti,
+        ] {
+            let hist: FreqHist = keys(&r).iter().collect();
+            let mut serial = OnceJoinEstimator::with_kind(hist.clone(), s.len() as u64, kind);
+            for k in keys(&s) {
+                serial.observe_probe(&k);
+            }
+            // Split the probe stream across 4 worker fragments, merge the
+            // fragments pairwise in a scrambled order, absorb.
+            let mut frags: Vec<ProbeFragment> = s
+                .chunks(s.len() / 4)
+                .map(|chunk| {
+                    let mut f = ProbeFragment::new();
+                    for k in keys(chunk) {
+                        f.observe(&hist, kind, &k);
+                    }
+                    f
+                })
+                .collect();
+            let mut merged = frags.swap_remove(2);
+            for f in &frags {
+                merged.merge(f);
+            }
+            let mut parallel = OnceJoinEstimator::with_kind(hist, s.len() as u64, kind);
+            parallel.absorb(&merged);
+            assert!(parallel.converged(), "{kind:?}");
+            assert_eq!(parallel.matched_so_far(), serial.matched_so_far());
+            // bit-identical converged estimates: both are `sum as f64`
+            assert_eq!(
+                parallel.estimate().to_bits(),
+                serial.estimate().to_bits(),
+                "{kind:?}"
+            );
+            assert_eq!(parallel.confidence_interval(4.0).width(), 0.0);
+        }
+    }
+
+    #[test]
+    fn fragment_observation_mirrors_observe_probe() {
+        let hist: FreqHist = keys(&[5, 5, 5]).iter().collect();
+        let mut f = ProbeFragment::new();
+        assert_eq!(f.observe(&hist, JoinKind::Inner, &Key::Int(5)), 3);
+        assert_eq!(f.observe(&hist, JoinKind::Inner, &Key::Null), 0);
+        assert_eq!(f.observe(&hist, JoinKind::Inner, &Key::Int(8)), 0);
+        assert_eq!(f.seen(), 3);
+        assert_eq!(f.matched(), 3);
+        // mid-stream absorb scales like the serial estimator
+        let mut est = OnceJoinEstimator::new(hist, 6);
+        est.absorb(&f);
+        assert_eq!(est.probe_seen(), 3);
+        assert!((est.estimate() - 6.0).abs() < 1e-9);
+        assert!(!est.converged());
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub use distinct::DistinctTracker;
 pub use freq_hist::FreqHist;
 pub use gee::Gee;
 pub use gnm::{PipelineProgress, PipelineState, ProgressSnapshot};
-pub use join_est::{JoinKind, OnceJoinEstimator, SymmetricJoinEstimator};
+pub use join_est::{JoinKind, OnceJoinEstimator, ProbeFragment, SymmetricJoinEstimator};
 pub use mle::mle_estimate;
 pub use multi_est::{conjunction_key, DisjunctionJoinEstimator};
 pub use pipeline_est::{AttrSource, JoinSpec, PipelineEstimator};

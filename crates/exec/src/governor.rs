@@ -79,6 +79,10 @@ pub struct Governor {
     units: AtomicU64,
     /// Checkpoint invocations, for deadline striding.
     ticks: AtomicU64,
+    /// An external caller-supplied cancellation token linked into this
+    /// query (see [`link_token`](Self::link_token)); checked alongside the
+    /// query's own token at every checkpoint.
+    linked: std::sync::OnceLock<CancellationToken>,
 }
 
 impl Default for Governor {
@@ -97,7 +101,16 @@ impl Governor {
             budgets,
             units: AtomicU64::new(0),
             ticks: AtomicU64::new(0),
+            linked: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Link an external cancellation token (e.g. one supplied through
+    /// `RunOptions`) so cancelling *it* also cancels this query. At most one
+    /// token can be linked; later calls are ignored. The checkpoint cost is
+    /// one extra relaxed load only while a token is actually linked.
+    pub fn link_token(&self, token: CancellationToken) {
+        let _ = self.linked.set(token);
     }
 
     /// The query's cancellation token (clone to hand to other threads).
@@ -146,6 +159,11 @@ impl Governor {
     pub fn check(&self, units: u64) -> QResult<()> {
         if self.token.is_cancelled() {
             return Err(ExecError::Cancelled.into());
+        }
+        if let Some(linked) = self.linked.get() {
+            if linked.is_cancelled() {
+                return Err(ExecError::Cancelled.into());
+            }
         }
         if let Some(max) = self.budgets.max_rows {
             let total = self.units.fetch_add(units, Ordering::Relaxed) + units;
@@ -229,6 +247,23 @@ mod tests {
         token.cancel();
         assert!(token.is_cancelled());
         assert!(g.check(1).unwrap_err().is_cancelled());
+    }
+
+    #[test]
+    fn linked_token_cancels_query() {
+        let g = Governor::default();
+        let external = CancellationToken::new();
+        g.link_token(external.clone());
+        g.check(1).unwrap();
+        external.cancel();
+        assert!(g.check(1).unwrap_err().is_cancelled());
+        // only the first link sticks
+        let g2 = Governor::default();
+        g2.link_token(CancellationToken::new());
+        let ignored = CancellationToken::new();
+        g2.link_token(ignored.clone());
+        ignored.cancel();
+        g2.check(1).unwrap();
     }
 
     #[test]

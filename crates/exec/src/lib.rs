@@ -25,6 +25,7 @@ pub mod expr;
 pub mod governor;
 pub mod metrics;
 pub mod ops;
+pub mod parallel;
 pub mod runtime;
 pub mod sync;
 pub mod trace;

@@ -8,7 +8,7 @@
 //! monitor holds the same handles through a [`MetricsRegistry`] and reads
 //! them at any time, from any thread.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use qprog_types::QResult;
@@ -123,6 +123,9 @@ pub struct OpMetrics {
     driver_consumed: AtomicU64,
     /// Set once the operator has returned `None`.
     finished: AtomicBool,
+    /// Worker threads that contributed to this operator's parallel phases
+    /// (0 = serial execution; see [`record_worker_busy`](Self::record_worker_busy)).
+    workers: AtomicU32,
     /// Trace publication state; `None` (the default) makes every trace hook
     /// a single branch.
     trace: Option<TraceHandle>,
@@ -351,6 +354,31 @@ impl OpMetrics {
         self.finished.load(Ordering::Relaxed)
     }
 
+    /// Record one worker thread's busy time inside this operator's
+    /// partition-parallel phases. Publishes a
+    /// [`TraceEventKind::WorkerWallTime`] event when traced (serial
+    /// execution never calls this, so single-threaded traces stay
+    /// byte-identical to pre-parallel builds).
+    pub fn record_worker_busy(&self, worker: u32, busy: std::time::Duration) {
+        self.workers.fetch_max(worker + 1, Ordering::Relaxed);
+        if let Some(t) = &self.trace {
+            t.bus.publish(TraceEventKind::WorkerWallTime {
+                op: t.op,
+                worker,
+                busy_us: busy.as_micros() as u64,
+            });
+        }
+    }
+
+    /// How many worker threads contributed to this operator's parallel
+    /// phases, or `None` for (so-far) serial execution.
+    pub fn workers(&self) -> Option<u32> {
+        match self.workers.load(Ordering::Relaxed) {
+            0 => None,
+            n => Some(n),
+        }
+    }
+
     /// The operator's observed active wall span in µs — the inclusive
     /// first-to-last-work interval measured by epoch-clock reads amortized
     /// over [`WALL_STAMP_STRIDE`] work units. `None` when untraced or
@@ -554,6 +582,16 @@ mod tests {
         let free = OpMetrics::with_initial_estimate(0.0);
         free.checkpoint(1).unwrap();
         assert!(free.governor().is_none());
+    }
+
+    #[test]
+    fn worker_busy_tracks_pool_width() {
+        let m = OpMetrics::with_initial_estimate(0.0);
+        assert_eq!(m.workers(), None);
+        m.record_worker_busy(0, std::time::Duration::from_micros(10));
+        m.record_worker_busy(3, std::time::Duration::from_micros(20));
+        m.record_worker_busy(1, std::time::Duration::from_micros(5));
+        assert_eq!(m.workers(), Some(4));
     }
 
     #[test]

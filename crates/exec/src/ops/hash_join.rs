@@ -20,19 +20,22 @@
 //! (Algorithm 1 push-down, §4.1.4).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use crate::sync::Mutex;
 use qprog_core::byte::ByteEstimator;
 use qprog_core::distinct::DistinctTracker;
 use qprog_core::dne::DneEstimator;
 use qprog_core::freq_hist::FreqHist;
-use qprog_core::join_est::{JoinKind, OnceJoinEstimator};
+use qprog_core::join_est::{JoinKind, OnceJoinEstimator, ProbeFragment};
 use qprog_core::pipeline_est::PipelineEstimator;
 use qprog_types::{Key, QError, QResult, Row, SchemaRef};
 
 use crate::metrics::OpMetrics;
 use crate::ops::{partition_of, BoxedOp, Operator, PUBLISH_EVERY};
+use crate::parallel;
 use crate::trace::{DegradeReason, Phase};
 
 /// Default number of grace partitions.
@@ -121,6 +124,9 @@ pub struct HashJoin {
     metrics: Arc<OpMetrics>,
     estimation: JoinEstimation,
     num_partitions: usize,
+    /// Degree of parallelism for the build/probe drains (1 = the serial
+    /// engine, byte-for-byte).
+    threads: usize,
     build_parts: Vec<Vec<Row>>,
     probe_parts: Vec<Vec<Row>>,
     once: Option<OnceJoinEstimator>,
@@ -156,6 +162,7 @@ impl HashJoin {
             metrics,
             estimation,
             num_partitions: DEFAULT_PARTITIONS,
+            threads: 1,
             build_parts: Vec::new(),
             probe_parts: Vec::new(),
             once: None,
@@ -210,6 +217,27 @@ impl HashJoin {
         self
     }
 
+    /// Set the degree of parallelism for the build and probe drains. At 1
+    /// (the default) the serial engine runs verbatim. At `n > 1` each drain
+    /// splits its input scan into `n` contiguous chunks executed across
+    /// worker threads; per-worker histogram and `D_{t+1}` fragments are
+    /// merged associatively in worker order, so both the output row order
+    /// and the converged join estimate are identical to serial execution.
+    /// Pipeline-estimated joins (Algorithm 1 push-down) always run serial —
+    /// the shared estimator's push-down protocol is order-sensitive.
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Effective worker-pool width for the drains.
+    fn pool_width(&self) -> usize {
+        match self.estimation {
+            JoinEstimation::Pipeline { .. } => 1,
+            _ => self.threads,
+        }
+    }
+
     /// Attach aggregation push-down: the tracker observes the join-key
     /// distribution of the join *output* during the probe-partitioning
     /// pass, so a GROUP BY on the join attribute above this join gets
@@ -235,6 +263,8 @@ impl HashJoin {
 
         // ---- Build phase ----
         self.metrics.trace_phase(Phase::Init, Phase::Build);
+        let width = self.pool_width();
+        let mut worker_busy: Vec<Duration> = Vec::new();
         let mut build_hist = match self.estimation {
             JoinEstimation::Once { .. } => Some(FreqHist::new()),
             _ => None,
@@ -245,18 +275,19 @@ impl HashJoin {
         {
             handle.lock().estimator.begin_build(*join_index)?;
         }
-        while let Some(row) = build.next()? {
-            self.metrics.checkpoint(1)?;
-            qprog_fault::fail_point!("exec/hash_build/insert");
-            let key = row.key(self.build_key)?;
-            if key.is_null() {
-                continue; // NULL keys never equi-join
-            }
-            if let Some(h) = &mut build_hist {
-                h.observe(&key);
-                // Soft histogram-memory budget: degrade the estimator one
-                // rung (exact frequency histogram → dne baseline) instead
-                // of aborting the query (ladder documented in DESIGN.md §5).
+        let split_build = if width > 1 {
+            build.try_split(width)
+        } else {
+            None
+        };
+        if let Some(subs) = split_build {
+            build_hist = self.drain_build_parallel(subs, build_hist.is_some(), &mut worker_busy)?;
+            // The soft histogram budget is checked on the *merged* histogram:
+            // workers accumulate disjoint fragments, so the serial path's
+            // mid-build degradation point has no parallel equivalent, but
+            // the ladder (exact histogram → dne) and its trace event are the
+            // same.
+            if let Some(h) = &build_hist {
                 if self.metrics.hist_budget_exceeded(h.memory_allocated()) {
                     build_hist = None;
                     self.estimation = JoinEstimation::Dne {
@@ -265,14 +296,36 @@ impl HashJoin {
                     self.metrics.trace_degraded(DegradeReason::HistogramMemory);
                 }
             }
-            if let JoinEstimation::Pipeline {
-                handle, join_index, ..
-            } = &self.estimation
-            {
-                handle.lock().estimator.build_tuple(*join_index, &row)?;
+        } else {
+            while let Some(row) = build.next()? {
+                self.metrics.checkpoint(1)?;
+                qprog_fault::fail_point!("exec/hash_build/insert");
+                let key = row.key(self.build_key)?;
+                if key.is_null() {
+                    continue; // NULL keys never equi-join
+                }
+                if let Some(h) = &mut build_hist {
+                    h.observe(&key);
+                    // Soft histogram-memory budget: degrade the estimator one
+                    // rung (exact frequency histogram → dne baseline) instead
+                    // of aborting the query (ladder documented in DESIGN.md §5).
+                    if self.metrics.hist_budget_exceeded(h.memory_allocated()) {
+                        build_hist = None;
+                        self.estimation = JoinEstimation::Dne {
+                            optimizer_estimate: self.metrics.estimated_total(),
+                        };
+                        self.metrics.trace_degraded(DegradeReason::HistogramMemory);
+                    }
+                }
+                if let JoinEstimation::Pipeline {
+                    handle, join_index, ..
+                } = &self.estimation
+                {
+                    handle.lock().estimator.build_tuple(*join_index, &row)?;
+                }
+                let p = partition_of(&key, self.num_partitions);
+                self.build_parts[p].push(row);
             }
-            let p = partition_of(&key, self.num_partitions);
-            self.build_parts[p].push(row);
         }
         if let JoinEstimation::Pipeline {
             handle, join_index, ..
@@ -294,46 +347,62 @@ impl HashJoin {
         // refreshed) in batches: per-tuple publication is measurable
         // overhead for a monitor that polls far less often anyway.
         let mut probe_rows: u64 = 0;
-        while let Some(row) = probe.next()? {
-            self.metrics.checkpoint(1)?;
-            qprog_fault::fail_point!("exec/hash_probe/observe");
-            probe_rows += 1;
-            let publish = probe_rows.is_multiple_of(PUBLISH_EVERY);
-            let key = row.key(self.probe_key)?;
-            if let Some(once) = &mut self.once {
-                let mult = once.observe_probe(&key);
-                if publish {
-                    self.metrics.set_estimated_total(once.estimate());
-                    let ci = once.confidence_interval(CI_Z);
-                    self.metrics.set_estimated_bounds(ci.lo, ci.hi);
-                }
-                if let Some(tracker) = &self.agg_pushdown {
-                    let mut t = tracker.lock();
-                    if mult > 0 {
-                        t.observe_n(&key, mult);
-                    }
+        let split_probe = if width > 1 {
+            probe.try_split(width)
+        } else {
+            None
+        };
+        if let Some(subs) = split_probe {
+            probe_rows = self.drain_probe_parallel(subs, &mut worker_busy)?;
+        } else {
+            while let Some(row) = probe.next()? {
+                self.metrics.checkpoint(1)?;
+                qprog_fault::fail_point!("exec/hash_probe/observe");
+                probe_rows += 1;
+                let publish = probe_rows.is_multiple_of(PUBLISH_EVERY);
+                let key = row.key(self.probe_key)?;
+                if let Some(once) = &mut self.once {
+                    let mult = once.observe_probe(&key);
                     if publish {
-                        t.set_input_size(once.estimate().round() as u64);
+                        self.metrics.set_estimated_total(once.estimate());
+                        let ci = once.confidence_interval(CI_Z);
+                        self.metrics.set_estimated_bounds(ci.lo, ci.hi);
+                    }
+                    if let Some(tracker) = &self.agg_pushdown {
+                        let mut t = tracker.lock();
+                        if mult > 0 {
+                            t.observe_n(&key, mult);
+                        }
+                        if publish {
+                            t.set_input_size(once.estimate().round() as u64);
+                        }
                     }
                 }
-            }
-            if let JoinEstimation::Pipeline { handle, lowest, .. } = &self.estimation {
-                if *lowest {
-                    let mut shared = handle.lock();
-                    shared.estimator.observe_probe(&row)?;
-                    if publish {
-                        shared.publish();
+                if let JoinEstimation::Pipeline { handle, lowest, .. } = &self.estimation {
+                    if *lowest {
+                        let mut shared = handle.lock();
+                        shared.estimator.observe_probe(&row)?;
+                        if publish {
+                            shared.publish();
+                        }
                     }
                 }
-            }
-            if key.is_null() {
-                if matches!(self.kind, JoinKind::LeftOuter | JoinKind::Anti) {
-                    self.null_probe_rows.push(row);
+                if key.is_null() {
+                    if matches!(self.kind, JoinKind::LeftOuter | JoinKind::Anti) {
+                        self.null_probe_rows.push(row);
+                    }
+                    continue;
                 }
-                continue;
+                let p = partition_of(&key, self.num_partitions);
+                self.probe_parts[p].push(row);
             }
-            let p = partition_of(&key, self.num_partitions);
-            self.probe_parts[p].push(row);
+        }
+        // Per-worker wall-time attribution (build + probe busy combined);
+        // serial drains leave `worker_busy` empty, so no events appear.
+        for (w, busy) in worker_busy.iter().enumerate() {
+            if !busy.is_zero() {
+                self.metrics.record_worker_busy(w as u32, *busy);
+            }
         }
         // The probe input is now exhausted: |S| is exact.
         if let Some(once) = &mut self.once {
@@ -382,6 +451,177 @@ impl HashJoin {
         };
         self.load_partition(0)?;
         Ok(())
+    }
+
+    /// Drain pre-split build chunks across worker threads. Each worker
+    /// hash-partitions its chunk and accumulates a local [`FreqHist`]
+    /// fragment; fragments are merged **in worker order**, which — because
+    /// chunks are contiguous slices of the scan order — reproduces the
+    /// serial partition contents and histogram state exactly.
+    fn drain_build_parallel(
+        &mut self,
+        subs: Vec<BoxedOp>,
+        want_hist: bool,
+        worker_busy: &mut Vec<Duration>,
+    ) -> QResult<Option<FreqHist>> {
+        let build_key = self.build_key;
+        let num_partitions = self.num_partitions;
+        let tasks: Vec<_> = subs
+            .into_iter()
+            .map(|mut op| {
+                let metrics = Arc::clone(&self.metrics);
+                move |_w: usize| -> QResult<(Vec<Vec<Row>>, Option<FreqHist>)> {
+                    let mut parts: Vec<Vec<Row>> =
+                        (0..num_partitions).map(|_| Vec::new()).collect();
+                    let mut hist = if want_hist {
+                        Some(FreqHist::new())
+                    } else {
+                        None
+                    };
+                    while let Some(row) = op.next()? {
+                        metrics.checkpoint(1)?;
+                        qprog_fault::fail_point!("exec/hash_build/insert");
+                        let key = row.key(build_key)?;
+                        if key.is_null() {
+                            continue; // NULL keys never equi-join
+                        }
+                        if let Some(h) = &mut hist {
+                            h.observe(&key);
+                        }
+                        parts[partition_of(&key, num_partitions)].push(row);
+                    }
+                    Ok((parts, hist))
+                }
+            })
+            .collect();
+        let outputs = parallel::run_tasks(tasks)?;
+        let mut merged = if want_hist {
+            Some(FreqHist::new())
+        } else {
+            None
+        };
+        for (w, out) in outputs.into_iter().enumerate() {
+            if w >= worker_busy.len() {
+                worker_busy.resize(w + 1, Duration::ZERO);
+            }
+            worker_busy[w] += out.busy;
+            let (parts, hist) = out.value;
+            for (p, rows) in parts.into_iter().enumerate() {
+                self.build_parts[p].extend(rows);
+            }
+            if let (Some(m), Some(h)) = (&mut merged, hist) {
+                m.merge(&h);
+            }
+        }
+        Ok(merged)
+    }
+
+    /// Drain pre-split probe chunks across worker threads. Each worker
+    /// partitions its chunk, runs the `D_{t+1}` refinement against the
+    /// (read-only) build histogram into a local [`ProbeFragment`], and
+    /// records agg-push-down observations in arrival order; fragments are
+    /// absorbed in worker order, so the converged estimate and all
+    /// partition/tracker state are identical to serial execution. Workers
+    /// publish a combined mid-flight estimate through shared counters every
+    /// [`PUBLISH_EVERY`] local rows (confidence bounds are published only at
+    /// the exact end-of-probe point when parallel).
+    fn drain_probe_parallel(
+        &mut self,
+        subs: Vec<BoxedOp>,
+        worker_busy: &mut Vec<Duration>,
+    ) -> QResult<u64> {
+        struct ProbeChunk {
+            parts: Vec<Vec<Row>>,
+            nulls: Vec<Row>,
+            rows: u64,
+            frag: ProbeFragment,
+            agg: Vec<(Key, u64)>,
+        }
+        let probe_key = self.probe_key;
+        let num_partitions = self.num_partitions;
+        let kind = self.kind;
+        let keep_nulls = matches!(self.kind, JoinKind::LeftOuter | JoinKind::Anti);
+        let want_agg = self.agg_pushdown.is_some();
+        let hint = match self.estimation {
+            JoinEstimation::Once { probe_size_hint } => probe_size_hint,
+            _ => 0,
+        };
+        let hist = self.once.as_ref().map(|o| o.build_histogram());
+        let seen = AtomicU64::new(0);
+        let matched = AtomicU64::new(0);
+        let tasks: Vec<_> = subs
+            .into_iter()
+            .map(|mut op| {
+                let metrics = Arc::clone(&self.metrics);
+                let (seen, matched) = (&seen, &matched);
+                move |_w: usize| -> QResult<ProbeChunk> {
+                    let mut chunk = ProbeChunk {
+                        parts: (0..num_partitions).map(|_| Vec::new()).collect(),
+                        nulls: Vec::new(),
+                        rows: 0,
+                        frag: ProbeFragment::new(),
+                        agg: Vec::new(),
+                    };
+                    let (mut flushed_t, mut flushed_sum) = (0u64, 0u128);
+                    while let Some(row) = op.next()? {
+                        metrics.checkpoint(1)?;
+                        qprog_fault::fail_point!("exec/hash_probe/observe");
+                        chunk.rows += 1;
+                        let key = row.key(probe_key)?;
+                        if let Some(h) = hist {
+                            let mult = chunk.frag.observe(h, kind, &key);
+                            if want_agg && mult > 0 {
+                                chunk.agg.push((key.clone(), mult));
+                            }
+                            if chunk.rows.is_multiple_of(PUBLISH_EVERY) {
+                                let dt = chunk.frag.seen() - flushed_t;
+                                let ds = (chunk.frag.matched() - flushed_sum) as u64;
+                                flushed_t = chunk.frag.seen();
+                                flushed_sum = chunk.frag.matched();
+                                let t = seen.fetch_add(dt, Ordering::Relaxed) + dt;
+                                let s = matched.fetch_add(ds, Ordering::Relaxed) + ds;
+                                if t > 0 {
+                                    let est = s as f64 / t as f64 * hint.max(t) as f64;
+                                    metrics.set_estimated_total(est);
+                                }
+                            }
+                        }
+                        if key.is_null() {
+                            if keep_nulls {
+                                chunk.nulls.push(row);
+                            }
+                            continue;
+                        }
+                        chunk.parts[partition_of(&key, num_partitions)].push(row);
+                    }
+                    Ok(chunk)
+                }
+            })
+            .collect();
+        let outputs = parallel::run_tasks(tasks)?;
+        let mut probe_rows = 0;
+        for (w, out) in outputs.into_iter().enumerate() {
+            if w >= worker_busy.len() {
+                worker_busy.resize(w + 1, Duration::ZERO);
+            }
+            worker_busy[w] += out.busy;
+            let chunk = out.value;
+            probe_rows += chunk.rows;
+            for (p, rows) in chunk.parts.into_iter().enumerate() {
+                self.probe_parts[p].extend(rows);
+            }
+            self.null_probe_rows.extend(chunk.nulls);
+            if let Some(once) = &mut self.once {
+                once.absorb(&chunk.frag);
+            }
+            if let Some(tracker) = &self.agg_pushdown {
+                let mut t = tracker.lock();
+                for (key, mult) in chunk.agg {
+                    t.observe_n(&key, mult);
+                }
+            }
+        }
+        Ok(probe_rows)
     }
 
     /// Build the in-memory hash table for partition `part`.
@@ -821,6 +1061,110 @@ mod tests {
                 .with_join_kind(kind);
             assert_eq!(drain(&mut j).len(), expect, "{kind:?}");
         }
+    }
+
+    /// Run the skewed reference join at a given thread count and return
+    /// (output rows, final estimate, tracker distinct estimate).
+    fn skewed_join_at(threads: usize, kind: JoinKind) -> (Vec<Row>, f64, f64) {
+        let r: Vec<i64> = (0..700)
+            .map(|i| if i % 3 == 0 { 7 } else { i % 90 })
+            .collect();
+        let s: Vec<i64> = (0..1100).map(|i| i % 130).collect();
+        let tracker = Arc::new(Mutex::new(DistinctTracker::new(1 << 20)));
+        let m = OpMetrics::with_initial_estimate(0.0);
+        let mut j = HashJoin::new(
+            scan1("r", &r),
+            scan1("s", &s),
+            0,
+            0,
+            JoinEstimation::Once {
+                probe_size_hint: s.len() as u64,
+            },
+            Arc::clone(&m),
+        )
+        .with_join_kind(kind)
+        .with_threads(threads)
+        .with_agg_pushdown(Arc::clone(&tracker));
+        let rows = drain(&mut j);
+        let distinct = tracker.lock().estimate();
+        (rows, m.estimated_total(), distinct)
+    }
+
+    #[test]
+    fn parallel_drains_are_byte_identical_to_serial() {
+        for kind in [
+            JoinKind::Inner,
+            JoinKind::LeftOuter,
+            JoinKind::Semi,
+            JoinKind::Anti,
+        ] {
+            let (serial_rows, serial_est, serial_distinct) = skewed_join_at(1, kind);
+            for threads in [2usize, 4] {
+                let (rows, est, distinct) = skewed_join_at(threads, kind);
+                assert_eq!(rows, serial_rows, "{kind:?} threads={threads}");
+                assert_eq!(
+                    est.to_bits(),
+                    serial_est.to_bits(),
+                    "{kind:?} threads={threads}"
+                );
+                assert_eq!(
+                    distinct.to_bits(),
+                    serial_distinct.to_bits(),
+                    "{kind:?} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_join_reports_worker_attribution() {
+        let r: Vec<i64> = (0..2000).map(|i| i % 40).collect();
+        let s: Vec<i64> = (0..2000).map(|i| i % 55).collect();
+        let m = OpMetrics::with_initial_estimate(0.0);
+        let mut j = HashJoin::new(
+            scan1("r", &r),
+            scan1("s", &s),
+            0,
+            0,
+            JoinEstimation::Once {
+                probe_size_hint: s.len() as u64,
+            },
+            Arc::clone(&m),
+        )
+        .with_threads(4);
+        drain(&mut j);
+        assert_eq!(m.workers(), Some(4));
+        // serial runs never report workers
+        let m1 = OpMetrics::with_initial_estimate(0.0);
+        let mut j1 = HashJoin::new(
+            scan1("r", &r),
+            scan1("s", &s),
+            0,
+            0,
+            JoinEstimation::Off,
+            Arc::clone(&m1),
+        );
+        drain(&mut j1);
+        assert_eq!(m1.workers(), None);
+    }
+
+    #[test]
+    fn parallel_threads_exceeding_blocks_still_correct() {
+        // More workers than blocks: some sub-scans are empty.
+        let r = [1i64, 2, 3];
+        let s = [1i64, 1, 3];
+        let m = OpMetrics::with_initial_estimate(0.0);
+        let mut j = HashJoin::new(
+            scan1("r", &r),
+            scan1("s", &s),
+            0,
+            0,
+            JoinEstimation::Once { probe_size_hint: 3 },
+            Arc::clone(&m),
+        )
+        .with_threads(8);
+        assert_eq!(drain(&mut j).len(), 3);
+        assert_eq!(m.estimated_total(), 3.0);
     }
 
     #[test]

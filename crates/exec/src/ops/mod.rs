@@ -38,6 +38,23 @@ pub trait Operator: Send {
 
     /// Operator name for plan display and metrics registration.
     fn name(&self) -> &str;
+
+    /// Attempt to split this not-yet-started operator into `ways`
+    /// independent sub-operators that partition its remaining output.
+    /// Concatenating the sub-operators' streams in index order reproduces
+    /// this operator's output order **exactly** — the invariant the
+    /// partition-parallel hash join relies on for byte-identical results at
+    /// any thread count.
+    ///
+    /// On `Some`, this operator is retired (its `next` returns `None`
+    /// without touching metrics) and the sub-operators share its metrics
+    /// handle; the last sub-operator to exhaust marks it finished. Only
+    /// partitionable leaves (table scans) support splitting; the default
+    /// declines.
+    fn try_split(&mut self, ways: usize) -> Option<Vec<BoxedOp>> {
+        let _ = ways;
+        None
+    }
 }
 
 /// Boxed operator, the unit of plan composition.

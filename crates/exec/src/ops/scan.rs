@@ -1,12 +1,13 @@
 //! Table scans with sample-first block ordering.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use qprog_storage::{ScanOrder, Table};
 use qprog_types::{QResult, Row, SchemaRef};
 
 use crate::metrics::OpMetrics;
-use crate::ops::Operator;
+use crate::ops::{BoxedOp, Operator};
 
 /// Scans a table block by block.
 ///
@@ -25,6 +26,9 @@ pub struct TableScan {
     block_idx: usize,
     row_offset: usize,
     done: bool,
+    /// For sub-scans created by [`Operator::try_split`]: remaining sibling
+    /// count; the last sibling to exhaust marks the shared metrics finished.
+    finish_latch: Option<Arc<AtomicUsize>>,
 }
 
 impl TableScan {
@@ -51,14 +55,15 @@ impl TableScan {
             block_idx: 0,
             row_offset: 0,
             done: false,
+            finish_latch: None,
         }
     }
 
-    /// Attach a simulated per-block I/O latency (busy-wait, so it is
-    /// deterministic at microsecond granularity). Tables here live in
-    /// memory; the paper's prototype read from disk, where a block costs a
-    /// page read — this knob reproduces that cost model for the overhead
-    /// experiments.
+    /// Attach a simulated per-block I/O latency (a true sleep: blocked-on-
+    /// I/O time is idle, so parallel sub-scans overlap it the way concurrent
+    /// disk reads would). Tables here live in memory; the paper's prototype
+    /// read from disk, where a block costs a page read — this knob
+    /// reproduces that cost model for the overhead and scaling experiments.
     pub fn with_io_cost(mut self, cost: std::time::Duration) -> Self {
         self.io_cost = cost;
         self
@@ -86,15 +91,25 @@ impl Operator for TableScan {
         loop {
             let Some(&block_id) = self.order.blocks().get(self.block_idx) else {
                 self.done = true;
-                self.metrics.mark_finished();
+                match &self.finish_latch {
+                    // Sub-scans share one metrics handle; only the last
+                    // sibling to exhaust may pin N_i = K_i, otherwise the
+                    // first finisher would mark the scan done early.
+                    Some(latch) => {
+                        if latch.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            self.metrics.mark_finished();
+                        }
+                    }
+                    None => self.metrics.mark_finished(),
+                }
                 return Ok(None);
             };
             let block = self.table.block(block_id)?;
             if self.row_offset == 0 && !self.io_cost.is_zero() && !block.is_empty() {
-                let start = std::time::Instant::now();
-                while start.elapsed() < self.io_cost {
-                    std::hint::spin_loop();
-                }
+                // A real sleep, not a spin: emulated I/O waits must be idle
+                // time so that partition-parallel sub-scans overlap them the
+                // way concurrent disk reads would, independent of core count.
+                std::thread::sleep(self.io_cost);
             }
             if let Some(row) = block.row(self.row_offset) {
                 self.metrics.checkpoint(1)?;
@@ -110,6 +125,43 @@ impl Operator for TableScan {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn try_split(&mut self, ways: usize) -> Option<Vec<BoxedOp>> {
+        // Only a fresh, un-split scan can be partitioned: splitting
+        // mid-stream would double-deliver rows, and splitting a sub-scan
+        // would orphan its siblings' finish latch.
+        if ways <= 1
+            || self.done
+            || self.block_idx != 0
+            || self.row_offset != 0
+            || self.finish_latch.is_some()
+        {
+            return None;
+        }
+        let latch = Arc::new(AtomicUsize::new(ways));
+        let subs = self
+            .order
+            .split(ways)
+            .into_iter()
+            .map(|order| {
+                Box::new(TableScan {
+                    name: self.name.clone(),
+                    table: Arc::clone(&self.table),
+                    order,
+                    metrics: Arc::clone(&self.metrics),
+                    io_cost: self.io_cost,
+                    block_idx: 0,
+                    row_offset: 0,
+                    done: false,
+                    finish_latch: Some(Arc::clone(&latch)),
+                }) as BoxedOp
+            })
+            .collect();
+        // Retire the original: its next() now returns None without touching
+        // the (shared) metrics.
+        self.done = true;
+        Some(subs)
     }
 }
 
@@ -167,6 +219,60 @@ mod tests {
         let (got, sample) = scan_all(&vals, 1.0);
         assert_eq!(sample, 600);
         assert_eq!(got.len(), 600);
+    }
+
+    #[test]
+    fn split_sub_scans_concatenate_to_serial_order() {
+        let vals: Vec<i64> = (0..1500).collect();
+        let t = int_table("t", "a", &vals).into_shared();
+        let m = OpMetrics::with_initial_estimate(vals.len() as f64);
+        let mut serial = TableScan::sampled(Arc::clone(&t), 0.2, 3, Arc::clone(&m));
+        let expect = col_i64(&drain(&mut serial), 0);
+
+        let m2 = OpMetrics::with_initial_estimate(vals.len() as f64);
+        let mut whole = TableScan::sampled(Arc::clone(&t), 0.2, 3, Arc::clone(&m2));
+        let subs = whole.try_split(4).expect("fresh scan splits");
+        assert_eq!(subs.len(), 4);
+        // The original is retired without touching metrics.
+        assert!(whole.next().unwrap().is_none());
+        assert!(!m2.is_finished());
+        let mut got = Vec::new();
+        for mut sub in subs {
+            got.extend(col_i64(&drain(sub.as_mut()), 0));
+        }
+        assert_eq!(got, expect);
+        assert_eq!(m2.emitted(), 1500);
+        assert!(m2.is_finished());
+    }
+
+    #[test]
+    fn only_last_sub_scan_finishes_metrics() {
+        let vals: Vec<i64> = (0..400).collect();
+        let t = int_table("t", "a", &vals).into_shared();
+        let m = OpMetrics::with_initial_estimate(0.0);
+        let mut whole = TableScan::new(t, Arc::clone(&m));
+        let mut subs = whole.try_split(2).unwrap();
+        drain(subs[0].as_mut());
+        assert!(!m.is_finished(), "first finisher must not pin the scan");
+        drain(subs[1].as_mut());
+        assert!(m.is_finished());
+    }
+
+    #[test]
+    fn started_or_split_scans_refuse_to_split() {
+        let vals: Vec<i64> = (0..100).collect();
+        let t = int_table("t", "a", &vals).into_shared();
+        let m = OpMetrics::with_initial_estimate(0.0);
+        let mut started = TableScan::new(Arc::clone(&t), Arc::clone(&m));
+        started.next().unwrap();
+        assert!(started.try_split(2).is_none());
+        let mut fresh = TableScan::new(t, m);
+        assert!(fresh.try_split(1).is_none());
+        let mut subs = fresh.try_split(2).unwrap();
+        assert!(
+            subs[0].try_split(2).is_none(),
+            "sub-scans must not re-split"
+        );
     }
 
     #[test]

@@ -280,6 +280,13 @@ pub enum TraceEventKind {
     /// by `Instant` reads amortized over the governor's 64-checkpoint
     /// stride.
     OperatorWallTime { op: u32, wall_us: u64 },
+    /// One worker thread's busy time inside an operator's partition-parallel
+    /// phases, published when the operator's parallel preprocessing
+    /// completes. `worker` is the task index within the operator's pool;
+    /// `busy_us` is wall time the worker spent executing (build + probe
+    /// drains combined). Never published by serial execution, so
+    /// single-threaded traces are byte-identical to pre-parallel builds.
+    WorkerWallTime { op: u32, worker: u32, busy_us: u64 },
 }
 
 /// A timestamped, globally ordered trace event.

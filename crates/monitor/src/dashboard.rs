@@ -62,9 +62,10 @@ function ops(detail) {
     <td>${fmt(o.k)}</td><td>${fmt(o.n)}</td>
     <td>${o.lo == null ? "–" : fmt(o.lo) + " … " + fmt(o.hi)}</td>
     <td>${o.wall_us == null ? "–" : (o.wall_us / 1e3).toFixed(1) + " ms"}</td>
+    <td>${o.workers ?? "–"}</td>
   </tr>`).join("");
   return `<table><tr><th>operator</th><th>phase</th><th>K</th><th>N&#770;</th>
-    <th>bounds</th><th>wall</th></tr>${rows}</table>`;
+    <th>bounds</th><th>wall</th><th>thr</th></tr>${rows}</table>`;
 }
 
 async function tick() {
@@ -124,6 +125,12 @@ mod tests {
         assert!(DASHBOARD_HTML.contains("q.eta_us"));
         assert!(DASHBOARD_HTML.contains("ETA"));
         assert!(DASHBOARD_HTML.contains("o.wall_us"));
+    }
+
+    #[test]
+    fn dashboard_renders_worker_counts() {
+        assert!(DASHBOARD_HTML.contains("o.workers"));
+        assert!(DASHBOARD_HTML.contains("<th>thr</th>"));
     }
 
     #[test]

@@ -282,7 +282,7 @@ impl QueryDirectory {
                 format!(
                     "{{\"name\":\"{}\",\"k\":{},\"driver\":{},\"n\":{},\
                      \"lo\":{lo},\"hi\":{hi},\"finished\":{},\"phase\":{},\
-                     \"wall_us\":{}}}",
+                     \"wall_us\":{},\"workers\":{}}}",
                     escape(name),
                     m.emitted(),
                     m.driver_consumed(),
@@ -292,6 +292,7 @@ impl QueryDirectory {
                         .phase(i)
                         .map_or("null".to_string(), |p| format!("\"{}\"", p.name())),
                     m.wall_us().map_or("null".to_string(), |w| w.to_string()),
+                    m.workers().map_or("null".to_string(), |w| w.to_string()),
                 )
             })
             .collect();

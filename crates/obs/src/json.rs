@@ -146,6 +146,15 @@ pub fn write_event_json(out: &mut String, event: &TraceEvent, op_names: &[String
             op_field(out, *op);
             let _ = write!(out, ",\"wall_us\":{wall_us}");
         }
+        TraceEventKind::WorkerWallTime {
+            op,
+            worker,
+            busy_us,
+        } => {
+            out.push_str(",\"event\":\"worker_wall_time\"");
+            op_field(out, *op);
+            let _ = write!(out, ",\"worker\":{worker},\"busy_us\":{busy_us}");
+        }
     }
     out.push('}');
 }

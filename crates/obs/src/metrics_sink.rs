@@ -207,19 +207,25 @@ impl std::fmt::Debug for MetricsSink {
 impl TraceSink for MetricsSink {
     fn publish(&self, event: &TraceEvent) {
         let event_idx = match event.kind {
-            TraceEventKind::PipelineStarted { .. } => 0,
-            TraceEventKind::PipelineFinished { .. } => 1,
-            TraceEventKind::PhaseTransition { .. } => 2,
-            TraceEventKind::EstimateRefined { .. } => 3,
-            TraceEventKind::BoundsRefined { .. } => 4,
-            TraceEventKind::OperatorFinished { .. } => 5,
-            TraceEventKind::QueryFinished { .. } => 6,
-            TraceEventKind::QueryAborted { .. } => 7,
-            TraceEventKind::EstimatorDegraded { .. } => 8,
-            TraceEventKind::ProgressSampled { .. } => 9,
-            TraceEventKind::OperatorWallTime { .. } => 10,
+            TraceEventKind::PipelineStarted { .. } => Some(0),
+            TraceEventKind::PipelineFinished { .. } => Some(1),
+            TraceEventKind::PhaseTransition { .. } => Some(2),
+            TraceEventKind::EstimateRefined { .. } => Some(3),
+            TraceEventKind::BoundsRefined { .. } => Some(4),
+            TraceEventKind::OperatorFinished { .. } => Some(5),
+            TraceEventKind::QueryFinished { .. } => Some(6),
+            TraceEventKind::QueryAborted { .. } => Some(7),
+            TraceEventKind::EstimatorDegraded { .. } => Some(8),
+            TraceEventKind::ProgressSampled { .. } => Some(9),
+            TraceEventKind::OperatorWallTime { .. } => Some(10),
+            // Parallel-only events resolve their counters lazily below so a
+            // serial (threads = 1) run never registers them — keeping the
+            // exposition byte-identical to a pre-parallelism engine.
+            TraceEventKind::WorkerWallTime { .. } => None,
         };
-        self.events[event_idx].inc();
+        if let Some(event_idx) = event_idx {
+            self.events[event_idx].inc();
+        }
         match event.kind {
             TraceEventKind::PhaseTransition { to, .. } => {
                 self.phases[phase_index(to)].inc();
@@ -294,6 +300,34 @@ impl TraceSink for MetricsSink {
                             &[("op", &name)],
                         )
                         .add(wall_us);
+                }
+            }
+            TraceEventKind::WorkerWallTime {
+                op,
+                worker,
+                busy_us,
+            } => {
+                // Worker attribution only exists for parallel drains, which
+                // fire a handful of events per join — lazy resolution keeps
+                // serial expositions free of parallel-only series.
+                self.registry
+                    .counter(
+                        "qprog_trace_events_total",
+                        "Trace events published, by event kind",
+                        &[("event", "worker_wall_time")],
+                    )
+                    .inc();
+                let name = self.op_names.lock().get(op as usize).cloned();
+                if let Some(name) = name {
+                    let worker = worker.to_string();
+                    self.registry
+                        .counter(
+                            "qprog_worker_busy_us",
+                            "Busy wall time of partition-parallel workers in \
+                             microseconds, by operator and worker index",
+                            &[("op", &name), ("worker", &worker)],
+                        )
+                        .add(busy_us);
                 }
             }
             TraceEventKind::EstimatorDegraded { reason, .. } => {
@@ -491,6 +525,44 @@ mod tests {
         assert!(text.contains("qprog_trace_events_total{event=\"query_aborted\"} 2"));
         // aborted queries are not "finished"
         assert!(!text.contains("qprog_queries_finished_total{estimator=\"once\"} 1"));
+    }
+
+    #[test]
+    fn worker_wall_time_resolves_lazily() {
+        let registry = Arc::new(Registry::new());
+        let sink = MetricsSink::new(Arc::clone(&registry), "once");
+        sink.set_op_names(vec!["hash_join".into()]);
+        // A serial query publishes no worker events → no parallel series.
+        let before = registry.render();
+        assert!(!before.contains("worker"), "{before}");
+        publish_all(
+            &sink,
+            &[
+                TraceEventKind::WorkerWallTime {
+                    op: 0,
+                    worker: 0,
+                    busy_us: 1500,
+                },
+                TraceEventKind::WorkerWallTime {
+                    op: 0,
+                    worker: 1,
+                    busy_us: 2500,
+                },
+            ],
+        );
+        let text = registry.render();
+        assert!(
+            text.contains("qprog_trace_events_total{event=\"worker_wall_time\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("qprog_worker_busy_us{op=\"hash_join\",worker=\"0\"} 1500"),
+            "{text}"
+        );
+        assert!(
+            text.contains("qprog_worker_busy_us{op=\"hash_join\",worker=\"1\"} 2500"),
+            "{text}"
+        );
     }
 
     #[test]

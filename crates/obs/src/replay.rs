@@ -97,7 +97,8 @@ fn op_index(kind: &TraceEventKind) -> Option<u32> {
         | TraceEventKind::BoundsRefined { op, .. }
         | TraceEventKind::OperatorFinished { op, .. }
         | TraceEventKind::EstimatorDegraded { op, .. }
-        | TraceEventKind::OperatorWallTime { op, .. } => Some(*op),
+        | TraceEventKind::OperatorWallTime { op, .. }
+        | TraceEventKind::WorkerWallTime { op, .. } => Some(*op),
         TraceEventKind::PipelineStarted { .. }
         | TraceEventKind::PipelineFinished { .. }
         | TraceEventKind::QueryFinished { .. }
@@ -206,6 +207,11 @@ pub fn parse_event(line: &str) -> Result<TraceEvent, String> {
             op: parse_u32(line, "op")?,
             wall_us: parse_u64(line, "wall_us")?,
         },
+        "worker_wall_time" => TraceEventKind::WorkerWallTime {
+            op: parse_u32(line, "op")?,
+            worker: parse_u32(line, "worker")?,
+            busy_us: parse_u64(line, "busy_us")?,
+        },
         other => return Err(format!("unknown event kind \"{other}\"")),
     };
     Ok(TraceEvent { seq, at_us, kind })
@@ -313,6 +319,11 @@ mod tests {
             TraceEventKind::OperatorWallTime {
                 op: 5,
                 wall_us: 123_456,
+            },
+            TraceEventKind::WorkerWallTime {
+                op: 5,
+                worker: 3,
+                busy_us: 9_876,
             },
         ];
         let names: Vec<String> = (0..6).map(|i| format!("op{i}")).collect();

@@ -378,7 +378,8 @@ impl TraceSink for ValidatorSink {
             | TraceEventKind::QueryFinished { .. }
             | TraceEventKind::QueryAborted { .. }
             | TraceEventKind::EstimatorDegraded { .. }
-            | TraceEventKind::OperatorWallTime { .. } => {}
+            | TraceEventKind::OperatorWallTime { .. }
+            | TraceEventKind::WorkerWallTime { .. } => {}
         }
     }
 }

@@ -51,6 +51,11 @@ pub struct PhysicalOptions {
     /// breach the estimator *degrades* to the dne baseline (trace event +
     /// metrics counter) instead of aborting. `None` = unlimited.
     pub max_hist_bytes: Option<usize>,
+    /// Degree of partition parallelism for hash-join build/probe drains
+    /// (1 = serial, the default; the `QPROG_THREADS` env var overrides the
+    /// default). Any value keeps results and converged estimates identical
+    /// to the serial engine.
+    pub threads: usize,
 }
 
 impl Default for PhysicalOptions {
@@ -64,6 +69,11 @@ impl Default for PhysicalOptions {
             sort_aggregate: false,
             max_rows: None,
             max_hist_bytes: None,
+            threads: std::env::var("QPROG_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(1)
+                .max(1),
         }
     }
 }
@@ -706,7 +716,8 @@ impl Compiler<'_> {
         };
         let mut hj = HashJoin::new(build_op, probe_op, *build_key, *probe_key, estimation, m)
             .with_join_kind(kind)
-            .with_partitions(self.opts.partitions);
+            .with_partitions(self.opts.partitions)
+            .with_threads(self.opts.threads);
         if let Some(tracker) = agg_tracker {
             hj = hj.with_agg_pushdown(tracker);
         }
@@ -808,7 +819,8 @@ impl Compiler<'_> {
                         },
                         Arc::clone(&metrics[j]),
                     )
-                    .with_partitions(self.opts.partitions);
+                    .with_partitions(self.opts.partitions)
+                    .with_threads(self.opts.threads);
                     if j == chain.len() - 1 {
                         if let Some(tracker) = &agg_tracker {
                             hj = hj.with_agg_pushdown(Arc::clone(tracker));

@@ -75,6 +75,32 @@ impl ScanOrder {
     pub fn sample_blocks(&self) -> usize {
         self.sample_blocks
     }
+
+    /// Split the visit order into `ways` contiguous chunks for
+    /// partition-parallel scans. Concatenating the chunks in order yields
+    /// the original visit order exactly, so a parallel scan that drains
+    /// chunk `i` before chunk `i+1`'s output reproduces the serial row
+    /// order. Chunks may be empty when `ways > num_blocks`; each chunk's
+    /// `sample_blocks` covers the portion of the sample prefix it holds.
+    pub fn split(&self, ways: usize) -> Vec<ScanOrder> {
+        let ways = ways.max(1);
+        let n = self.order.len();
+        let base = n / ways;
+        let extra = n % ways;
+        let mut out = Vec::with_capacity(ways);
+        let mut start = 0;
+        for i in 0..ways {
+            let len = base + usize::from(i < extra);
+            let end = start + len;
+            let sample = self.sample_blocks.clamp(start, end) - start;
+            out.push(ScanOrder {
+                order: self.order[start..end].to_vec(),
+                sample_blocks: sample,
+            });
+            start = end;
+        }
+        out
+    }
 }
 
 /// Uniform reservoir sample of `k` items from an iterator (Algorithm R).
@@ -172,6 +198,53 @@ mod tests {
                 "block {b} sampled {c} times, expected ~500"
             );
         }
+    }
+
+    #[test]
+    fn split_concatenation_reproduces_visit_order() {
+        let o = ScanOrder::sample_first(53, 0.3, 11);
+        for ways in [1usize, 2, 3, 4, 7, 53, 60] {
+            let parts = o.split(ways);
+            assert_eq!(parts.len(), ways);
+            let cat: Vec<usize> = parts
+                .iter()
+                .flat_map(|p| p.blocks().iter().copied())
+                .collect();
+            assert_eq!(cat, o.blocks(), "ways={ways}");
+            let sample_sum: usize = parts.iter().map(|p| p.sample_blocks()).sum();
+            assert_eq!(sample_sum, o.sample_blocks(), "ways={ways}");
+            // Chunk sizes are balanced within one block.
+            let (min, max) = parts
+                .iter()
+                .map(|p| p.blocks().len())
+                .fold((usize::MAX, 0), |(lo, hi), l| (lo.min(l), hi.max(l)));
+            assert!(max - min <= 1, "ways={ways}");
+        }
+    }
+
+    #[test]
+    fn split_sample_prefix_stays_a_prefix_per_chunk() {
+        // Every chunk's sample_blocks must cover exactly its slice of the
+        // global sample prefix: chunks fully inside the prefix are all
+        // sample, chunks past it have none.
+        let o = ScanOrder::sample_first(40, 0.5, 3);
+        let parts = o.split(4);
+        let mut covered = 0;
+        for p in &parts {
+            let start = covered;
+            let end = covered + p.blocks().len();
+            let expect = o.sample_blocks().clamp(start, end) - start;
+            assert_eq!(p.sample_blocks(), expect);
+            covered = end;
+        }
+    }
+
+    #[test]
+    fn split_zero_ways_is_one_chunk() {
+        let o = ScanOrder::sequential(5);
+        let parts = o.split(0);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].blocks(), o.blocks());
     }
 
     #[test]

@@ -17,7 +17,9 @@ fn main() -> QResult<()> {
 
     // 2. Open a session (defaults: the paper's `once` estimation framework,
     //    10% block-level random samples delivered first by every scan).
-    let session = Session::new(catalog);
+    //    `SessionBuilder` is the one-stop entry point; observability sinks
+    //    and a live monitor attach through `.observability(...)`.
+    let session = SessionBuilder::new(catalog).build()?;
 
     // 3. Compile a query. EXPLAIN shows the optimizer's initial estimates —
     //    the numbers the progress indicator will refine online.
@@ -46,7 +48,9 @@ fn main() -> QResult<()> {
         }
         std::thread::sleep(std::time::Duration::from_millis(50));
     });
-    let rows = query.collect()?;
+    // `RunOptions` also composes an in-thread observer callback, a wall-clock
+    // deadline, and an external cancellation token when you need them.
+    let rows = query.run(RunOptions::new())?;
     monitor.join().expect("monitor thread");
 
     println!("\ntop nations by customers:");

@@ -1,6 +1,6 @@
 //! Live monitoring of concurrent TPC-H queries in a browser.
 //!
-//! Starts a [`MonitorServer`] via [`Session::serve_monitor`], then runs a
+//! Starts a [`MonitorServer`] via [`Observability::serve_on`], then runs a
 //! mix of queries — the paper's Fig. 8 eight-table Q8 join pipeline plus a
 //! couple of SQL joins/aggregations — over and over on worker threads.
 //! While they run:
@@ -44,8 +44,12 @@ fn main() -> QResult<()> {
     })
     .catalog()?;
 
-    let session = Arc::new(Session::new(catalog).serve_monitor("127.0.0.1:0")?);
-    let server = Arc::clone(session.monitor().expect("serve_monitor attached"));
+    let session = Arc::new(
+        SessionBuilder::new(catalog)
+            .observability(Observability::new().serve_on("127.0.0.1:0"))
+            .build()?,
+    );
+    let server = Arc::clone(session.monitor().expect("serve_on attached a monitor"));
     eprintln!();
     eprintln!("  live dashboard:  {}/", server.url());
     eprintln!("  progress JSON:   {}/progress", server.url());
@@ -104,7 +108,7 @@ fn main() -> QResult<()> {
         eprintln!("sql worker done ({rows} rows total)");
     }
 
-    let registry = session.metrics().expect("serve_monitor created a registry");
+    let registry = session.metrics().expect("serve_on created a registry");
     println!();
     println!("final /metrics exposition:");
     println!("{}", registry.render());

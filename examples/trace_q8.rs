@@ -64,7 +64,9 @@ fn main() -> QResult<()> {
         .sink(Arc::clone(&validator) as _)
         .build();
 
-    let session = Session::new(catalog).with_trace(Arc::clone(&bus));
+    let session = SessionBuilder::new(catalog)
+        .observability(Observability::new().with_trace(Arc::clone(&bus)))
+        .build()?;
     let plan = q8_plan(session.builder())?;
     let mut query = session.query_plan(plan)?;
 

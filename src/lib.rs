@@ -38,9 +38,9 @@
 //! let mut handle = session
 //!     .query("SELECT count(*) FROM customer JOIN nation ON customer.nationkey = nation.nationkey")
 //!     .unwrap();
-//! let rows = handle.run_with(|progress| {
+//! let rows = handle.run(RunOptions::new().observer(|progress| {
 //!     assert!((0.0..=1.0).contains(&progress.fraction()));
-//! }).unwrap();
+//! })).unwrap();
 //! assert_eq!(rows.len(), 1);
 //! ```
 
@@ -59,11 +59,15 @@ mod session;
 pub mod workloads;
 
 pub use qprog_fault as fault;
-pub use session::{ProgressWatcher, QueryHandle, Session};
+pub use session::{
+    Observability, ProgressWatcher, QueryHandle, RunOptions, Session, SessionBuilder,
+};
 
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
-    pub use crate::session::{ProgressWatcher, QueryHandle, Session};
+    pub use crate::session::{
+        Observability, ProgressWatcher, QueryHandle, RunOptions, Session, SessionBuilder,
+    };
     pub use qprog_core::gnm::ProgressSnapshot;
     pub use qprog_core::EstimationMode;
     pub use qprog_exec::governor::{Budgets, CancellationToken, Governor};

@@ -15,28 +15,160 @@ use qprog_plan::{LogicalPlan, PlanBuilder, ProgressTracker};
 use qprog_storage::Catalog;
 use qprog_types::{QResult, Row};
 
+/// Which observability layers a session attaches, declared in one place.
+///
+/// Each layer is opt-in; without any of them queries compile with **zero**
+/// tracing overhead — the per-tuple hot path is identical to the untraced
+/// baseline.
+///
+/// - [`with_trace`](Self::with_trace) attaches an [`EventBus`]: every query
+///   streams execution trace events (phase transitions, estimate
+///   refinements, completion) to its sinks.
+/// - [`with_metrics`](Self::with_metrics) attaches a shared
+///   [`qprog_metrics::Registry`]: every query aggregates its events into
+///   fleet-wide counters and per-estimator q-error histograms through a
+///   per-query [`MetricsSink`].
+/// - [`with_monitor`](Self::with_monitor) joins an already-running
+///   [`MonitorServer`] (several sessions can share one);
+///   [`serve_on`](Self::serve_on) starts a fresh one at
+///   [`SessionBuilder::build`] time. Either way every query registers for
+///   live HTTP observation (`/progress/{id}`, the `/` dashboard) and
+///   unregisters when its [`QueryHandle`] drops.
+#[derive(Debug, Clone, Default)]
+pub struct Observability {
+    trace: Option<Arc<EventBus>>,
+    metrics: Option<Arc<Registry>>,
+    monitor: Option<Arc<MonitorServer>>,
+    serve_addr: Option<String>,
+}
+
+impl Observability {
+    /// No observability: the zero-overhead default.
+    pub fn new() -> Self {
+        Observability::default()
+    }
+
+    /// Attach a trace bus.
+    ///
+    /// When metrics or a monitor are also attached, each query gets its own
+    /// bus carrying this bus's sinks plus the per-query ones, so events are
+    /// stamped once; the session bus's `published()` counter then stays at
+    /// zero (drain your sinks, not the bus).
+    pub fn with_trace(mut self, bus: Arc<EventBus>) -> Self {
+        self.trace = Some(bus);
+        self
+    }
+
+    /// Attach a metrics registry shared across queries (and sessions).
+    pub fn with_metrics(mut self, registry: Arc<Registry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Join an already-running monitor server. The session adopts the
+    /// server's metrics registry when none is attached explicitly.
+    pub fn with_monitor(mut self, server: Arc<MonitorServer>) -> Self {
+        self.monitor = Some(server);
+        self
+    }
+
+    /// Start a live monitor HTTP server on `addr` (e.g. `"127.0.0.1:0"`
+    /// for an OS-assigned port) when the session is built. Creates and
+    /// attaches a metrics registry if none is configured, so
+    /// `GET /metrics` works out of the box. The server shuts down
+    /// gracefully when the last `Arc` to it drops (or on an explicit
+    /// [`MonitorServer::shutdown`]). Mutually exclusive with
+    /// [`with_monitor`](Self::with_monitor).
+    pub fn serve_on(mut self, addr: impl Into<String>) -> Self {
+        self.serve_addr = Some(addr.into());
+        self
+    }
+}
+
+/// Builds a [`Session`]: catalog + physical options + observability.
+///
+/// ```no_run
+/// # use qprog::prelude::*;
+/// # let catalog = Catalog::new();
+/// let session = SessionBuilder::new(catalog)
+///     .options(PhysicalOptions::default())
+///     .observability(Observability::new().serve_on("127.0.0.1:0"))
+///     .build()
+///     .unwrap();
+/// ```
+#[derive(Debug)]
+pub struct SessionBuilder {
+    catalog: Catalog,
+    options: PhysicalOptions,
+    observability: Observability,
+}
+
+impl SessionBuilder {
+    /// A builder with default options and no observability.
+    pub fn new(catalog: Catalog) -> Self {
+        SessionBuilder {
+            catalog,
+            options: PhysicalOptions::default(),
+            observability: Observability::default(),
+        }
+    }
+
+    /// Override the physical options.
+    pub fn options(mut self, options: PhysicalOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Configure the observability layers.
+    pub fn observability(mut self, observability: Observability) -> Self {
+        self.observability = observability;
+        self
+    }
+
+    /// Build the session, starting the monitor server if
+    /// [`Observability::serve_on`] was requested (the only fallible step).
+    pub fn build(self) -> QResult<Session> {
+        let Observability {
+            trace,
+            mut metrics,
+            mut monitor,
+            serve_addr,
+        } = self.observability;
+        if let Some(addr) = serve_addr {
+            if monitor.is_some() {
+                return Err(qprog_types::QError::internal(
+                    "Observability::serve_on conflicts with with_monitor: \
+                     join the existing server or start a new one, not both",
+                ));
+            }
+            let registry = metrics
+                .get_or_insert_with(|| Arc::new(Registry::new()))
+                .clone();
+            monitor = Some(MonitorServer::start(&addr, Some(registry))?);
+        } else if let Some(server) = &monitor {
+            if metrics.is_none() {
+                metrics = server.metrics().cloned();
+            }
+        }
+        Ok(Session {
+            builder: PlanBuilder::new(self.catalog),
+            options: self.options,
+            bus: trace,
+            metrics,
+            monitor,
+        })
+    }
+}
+
 /// A database session: a catalog plus physical execution options.
 ///
 /// The default options enable the paper's framework (`Once` estimation,
 /// 10% block samples); use [`Session::with_options`] to run the `dne`/
 /// `byte` baselines or disable estimation.
 ///
-/// Observability is opt-in, layer by layer:
-///
-/// - [`Session::with_trace`] attaches an [`EventBus`]: every query streams
-///   execution trace events (phase transitions, estimate refinements,
-///   completion) to its sinks.
-/// - [`Session::with_metrics`] attaches a shared
-///   [`qprog_metrics::Registry`]: every query aggregates its events into
-///   fleet-wide counters and per-estimator q-error histograms through a
-///   per-query [`MetricsSink`].
-/// - [`Session::serve_monitor`] starts (or [`Session::with_monitor`]
-///   joins) a [`MonitorServer`]: every query registers for live HTTP
-///   observation (`/progress/{id}`, the `/` dashboard) and unregisters
-///   when its [`QueryHandle`] drops.
-///
-/// Without any of these, queries compile with **zero** tracing overhead —
-/// the per-tuple hot path is identical to the untraced baseline.
+/// Observability (tracing, metrics, live monitoring) is configured through
+/// [`SessionBuilder`] with an [`Observability`] value; see its docs for
+/// the available layers.
 #[derive(Debug, Clone)]
 pub struct Session {
     builder: PlanBuilder,
@@ -64,30 +196,22 @@ impl Session {
         self
     }
 
-    /// Attach a trace bus: every query compiled by this session publishes
-    /// [`TraceEvent`]s to the bus's sinks.
-    ///
-    /// When metrics or a monitor are also attached, each query gets its own
-    /// bus carrying this bus's sinks plus the per-query ones, so events are
-    /// stamped once; the session bus's `published()` counter then stays at
-    /// zero (drain your sinks, not the bus).
+    /// Attach a trace bus.
+    #[deprecated(note = "use SessionBuilder with Observability::with_trace")]
     pub fn with_trace(mut self, bus: Arc<EventBus>) -> Self {
         self.bus = Some(bus);
         self
     }
 
-    /// Attach a metrics registry: every query aggregates trace events into
-    /// it through a per-query [`MetricsSink`] labeled with the session's
-    /// estimation mode, so counters and q-error histograms accumulate
-    /// *across* queries (and across sessions sharing the registry).
+    /// Attach a metrics registry.
+    #[deprecated(note = "use SessionBuilder with Observability::with_metrics")]
     pub fn with_metrics(mut self, registry: Arc<Registry>) -> Self {
         self.metrics = Some(registry);
         self
     }
 
-    /// Register queries with an already-running monitor server (several
-    /// sessions can share one). Adopts the server's metrics registry when
-    /// this session has none.
+    /// Register queries with an already-running monitor server.
+    #[deprecated(note = "use SessionBuilder with Observability::with_monitor")]
     pub fn with_monitor(mut self, server: Arc<MonitorServer>) -> Self {
         if self.metrics.is_none() {
             self.metrics = server.metrics().cloned();
@@ -96,12 +220,9 @@ impl Session {
         self
     }
 
-    /// Start a live monitor HTTP server on `addr` (e.g. `"127.0.0.1:0"`
-    /// for an OS-assigned port) and register every subsequent query with
-    /// it. Creates and attaches a metrics registry if none is attached
-    /// yet, so `GET /metrics` works out of the box. The server shuts down
-    /// gracefully when the last `Arc` to it drops (or on an explicit
-    /// [`MonitorServer::shutdown`]).
+    /// Start a live monitor HTTP server on `addr` and register every
+    /// subsequent query with it.
+    #[deprecated(note = "use SessionBuilder with Observability::serve_on")]
     pub fn serve_monitor(mut self, addr: &str) -> QResult<Self> {
         let registry = self
             .metrics
@@ -210,6 +331,93 @@ impl Session {
     }
 }
 
+/// How to drive a query to completion: one options value in place of the
+/// old `run_with` / `run_with_cadence` / `run_with_deadline` trio.
+///
+/// Every field is optional; [`RunOptions::new`] (or `Default`) reproduces
+/// plain [`QueryHandle::collect`]. Compose freely:
+///
+/// ```no_run
+/// # use qprog::prelude::*;
+/// # use std::time::Duration;
+/// # let mut handle: QueryHandle = unimplemented!();
+/// let rows = handle.run(
+///     RunOptions::new()
+///         .observer(|snap| eprintln!("{:.1}%", 100.0 * snap.fraction()))
+///         .cadence(64)
+///         .deadline(Duration::from_secs(30)),
+/// )?;
+/// # Ok::<(), qprog::types::QError>(())
+/// ```
+pub struct RunOptions<'a> {
+    observer: Option<ProgressObserver<'a>>,
+    cadence: u64,
+    deadline: Option<Duration>,
+    cancel: Option<CancellationToken>,
+}
+
+/// A boxed progress-observer callback, as carried by [`RunOptions`].
+type ProgressObserver<'a> = Box<dyn FnMut(&ProgressSnapshot) + 'a>;
+
+impl Default for RunOptions<'_> {
+    fn default() -> Self {
+        RunOptions {
+            observer: None,
+            cadence: 256,
+            deadline: None,
+            cancel: None,
+        }
+    }
+}
+
+impl<'a> RunOptions<'a> {
+    /// Plain collection: no observer, no deadline, no external token.
+    pub fn new() -> Self {
+        RunOptions::default()
+    }
+
+    /// Invoke `f` with a progress snapshot every
+    /// [`cadence`](Self::cadence) output rows and once at completion.
+    pub fn observer(mut self, f: impl FnMut(&ProgressSnapshot) + 'a) -> Self {
+        self.observer = Some(Box::new(f));
+        self
+    }
+
+    /// Observer row cadence (default 256; ignored without an observer).
+    pub fn cadence(mut self, every_n: u64) -> Self {
+        self.cadence = every_n.max(1);
+        self
+    }
+
+    /// Arm a wall-clock deadline measured from the start of the run; past
+    /// it the query aborts with
+    /// [`qprog_types::ExecError::DeadlineExceeded`].
+    pub fn deadline(mut self, after: Duration) -> Self {
+        self.deadline = Some(after);
+        self
+    }
+
+    /// Link an external cancellation token: cancelling it aborts this
+    /// query at its next checkpoint, exactly like
+    /// [`QueryHandle::cancel`]. One token can be linked to several queries
+    /// to cancel them as a group.
+    pub fn cancel_token(mut self, token: CancellationToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+}
+
+impl std::fmt::Debug for RunOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunOptions")
+            .field("observer", &self.observer.is_some())
+            .field("cadence", &self.cadence)
+            .field("deadline", &self.deadline)
+            .field("cancel", &self.cancel.is_some())
+            .finish()
+    }
+}
+
 /// A compiled query ready to execute, with live progress observation.
 ///
 /// When the session has a monitor attached, the handle also holds the
@@ -250,19 +458,40 @@ impl QueryHandle {
         self.compiled.collect()
     }
 
+    /// Run to completion under [`RunOptions`]: optional progress observer
+    /// (at a row cadence), wall-clock deadline, and external cancellation
+    /// token, in any combination. `RunOptions::new()` is plain
+    /// [`collect`](Self::collect).
+    pub fn run(&mut self, options: RunOptions<'_>) -> QResult<Vec<Row>> {
+        if let Some(after) = options.deadline {
+            self.set_deadline(after);
+        }
+        if let Some(token) = options.cancel {
+            if let Some(governor) = self.compiled.governor() {
+                governor.link_token(token);
+            }
+        }
+        match options.observer {
+            Some(mut f) => self.compiled.run_with(options.cadence, |snap| f(snap)),
+            None => self.compiled.collect(),
+        }
+    }
+
     /// Run to completion, invoking the observer with a progress snapshot
     /// every 256 output rows and at completion.
+    #[deprecated(note = "use run(RunOptions::new().observer(...))")]
     pub fn run_with(&mut self, observer: impl FnMut(&ProgressSnapshot)) -> QResult<Vec<Row>> {
-        self.run_with_cadence(256, observer)
+        self.run(RunOptions::new().observer(observer))
     }
 
     /// [`run_with`](Self::run_with) at an explicit row cadence.
+    #[deprecated(note = "use run(RunOptions::new().observer(...).cadence(n))")]
     pub fn run_with_cadence(
         &mut self,
         every_n: u64,
         observer: impl FnMut(&ProgressSnapshot),
     ) -> QResult<Vec<Row>> {
-        self.compiled.run_with(every_n, observer)
+        self.run(RunOptions::new().observer(observer).cadence(every_n))
     }
 
     /// Pull one output row (manual Volcano stepping).
@@ -293,9 +522,9 @@ impl QueryHandle {
     }
 
     /// [`collect`](Self::collect) bounded by a wall-clock deadline.
+    #[deprecated(note = "use run(RunOptions::new().deadline(after))")]
     pub fn run_with_deadline(&mut self, deadline: Duration) -> QResult<Vec<Row>> {
-        self.set_deadline(deadline);
-        self.collect()
+        self.run(RunOptions::new().deadline(deadline))
     }
 
     /// The query's lifecycle state. Terminal failure reasons are observed
@@ -458,7 +687,9 @@ mod tests {
             .unwrap();
         assert!(h.explain().contains("Join[Hash"));
         let mut fractions = Vec::new();
-        let rows = h.run_with(|snap| fractions.push(snap.fraction())).unwrap();
+        let rows = h
+            .run(RunOptions::new().observer(|snap| fractions.push(snap.fraction())))
+            .unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].get(0).unwrap().as_i64().unwrap(), 5000);
         assert_eq!(*fractions.last().unwrap(), 1.0);
@@ -482,7 +713,10 @@ mod tests {
             .sink(Arc::clone(&ring) as _)
             .sink(Arc::clone(&validator) as _)
             .build();
-        let session = Session::new(catalog()).with_trace(bus);
+        let session = SessionBuilder::new(catalog())
+            .observability(Observability::new().with_trace(bus))
+            .build()
+            .unwrap();
         let mut h = session
             .query(
                 "SELECT * FROM customer \
@@ -567,7 +801,9 @@ mod tests {
     fn deadline_zero_aborts_with_typed_error() {
         let session = Session::new(catalog());
         let mut h = session.query("SELECT * FROM customer").unwrap();
-        let err = h.run_with_deadline(Duration::ZERO).unwrap_err();
+        let err = h
+            .run(RunOptions::new().deadline(Duration::ZERO))
+            .unwrap_err();
         assert_eq!(
             err.lifecycle().map(qprog_types::ExecError::kind),
             Some("deadline"),
@@ -577,8 +813,9 @@ mod tests {
 
     #[test]
     fn monitored_failed_query_shows_terminal_state() {
-        let session = Session::new(catalog())
-            .serve_monitor("127.0.0.1:0")
+        let session = SessionBuilder::new(catalog())
+            .observability(Observability::new().serve_on("127.0.0.1:0"))
+            .build()
             .unwrap();
         let server = Arc::clone(session.monitor().unwrap());
         let mut h = session.query("SELECT * FROM customer").unwrap();
@@ -595,7 +832,10 @@ mod tests {
     #[test]
     fn metrics_session_aggregates_across_queries() {
         let registry = Arc::new(Registry::new());
-        let session = Session::new(catalog()).with_metrics(Arc::clone(&registry));
+        let session = SessionBuilder::new(catalog())
+            .observability(Observability::new().with_metrics(Arc::clone(&registry)))
+            .build()
+            .unwrap();
         for _ in 0..2 {
             let mut h = session
                 .query(
@@ -628,9 +868,14 @@ mod tests {
     fn metrics_compose_with_a_user_trace_bus() {
         let ring = Arc::new(qprog_obs::RingSink::with_capacity(4096));
         let registry = Arc::new(Registry::new());
-        let session = Session::new(catalog())
-            .with_trace(EventBus::with_sink(Arc::clone(&ring) as _))
-            .with_metrics(Arc::clone(&registry));
+        let session = SessionBuilder::new(catalog())
+            .observability(
+                Observability::new()
+                    .with_trace(EventBus::with_sink(Arc::clone(&ring) as _))
+                    .with_metrics(Arc::clone(&registry)),
+            )
+            .build()
+            .unwrap();
         let mut h = session.query("SELECT * FROM nation").unwrap();
         h.collect().unwrap();
         // Both consumers saw the same (once-stamped) event stream.
@@ -643,8 +888,9 @@ mod tests {
 
     #[test]
     fn monitored_queries_register_and_unregister() {
-        let session = Session::new(catalog())
-            .serve_monitor("127.0.0.1:0")
+        let session = SessionBuilder::new(catalog())
+            .observability(Observability::new().serve_on("127.0.0.1:0"))
+            .build()
             .unwrap();
         let server = Arc::clone(session.monitor().unwrap());
         let addr = server.addr();
@@ -672,9 +918,73 @@ mod tests {
     }
 
     #[test]
+    fn run_options_compose_observer_cadence_and_deadline() {
+        let session = Session::new(catalog());
+        let mut h = session
+            .query(
+                "SELECT count(*) FROM customer \
+                 JOIN nation ON customer.nationkey = nation.nationkey",
+            )
+            .unwrap();
+        let mut samples = 0u64;
+        let rows = h
+            .run(
+                RunOptions::new()
+                    .observer(|snap| {
+                        samples += 1;
+                        assert!((0.0..=1.0).contains(&snap.fraction()));
+                    })
+                    .cadence(64)
+                    .deadline(Duration::from_secs(60)),
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!(samples >= 1, "observer fires at least at completion");
+    }
+
+    #[test]
+    fn run_options_link_an_external_cancel_token() {
+        let session = Session::new(catalog());
+        let mut h = session.query("SELECT * FROM customer").unwrap();
+        let group = CancellationToken::new();
+        group.cancel();
+        let err = h
+            .run(RunOptions::new().cancel_token(group.clone()))
+            .unwrap_err();
+        assert!(err.is_cancelled(), "{err}");
+        // The query's own token is untouched; only the linked one fired.
+        assert!(!h.cancellation_token().unwrap().is_cancelled());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shims_still_work() {
+        let ring = Arc::new(qprog_obs::RingSink::with_capacity(1024));
+        let session =
+            Session::new(catalog()).with_trace(EventBus::with_sink(Arc::clone(&ring) as _));
+        let mut h = session.query("SELECT * FROM nation").unwrap();
+        let mut fractions = Vec::new();
+        let rows = h
+            .run_with_cadence(16, |snap| fractions.push(snap.fraction()))
+            .unwrap();
+        assert_eq!(rows.len(), 100);
+        assert_eq!(*fractions.last().unwrap(), 1.0);
+        assert!(!ring.drain().is_empty());
+
+        let mut h = session.query("SELECT * FROM customer").unwrap();
+        let err = h.run_with_deadline(Duration::ZERO).unwrap_err();
+        assert_eq!(
+            err.lifecycle().map(qprog_types::ExecError::kind),
+            Some("deadline"),
+            "{err}"
+        );
+    }
+
+    #[test]
     fn concurrent_queries_on_one_session_are_all_listed() {
-        let session = Session::new(catalog())
-            .serve_monitor("127.0.0.1:0")
+        let session = SessionBuilder::new(catalog())
+            .observability(Observability::new().serve_on("127.0.0.1:0"))
+            .build()
             .unwrap();
         let addr = session.monitor().unwrap().addr();
         let session = Arc::new(session);

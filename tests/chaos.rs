@@ -91,7 +91,9 @@ fn deadline_exceeded_is_terminal_and_typed() {
              JOIN nation ON customer.nationkey = nation.nationkey",
         )
         .unwrap();
-    let err = h.run_with_deadline(Duration::from_micros(50)).unwrap_err();
+    let err = h
+        .run(RunOptions::new().deadline(Duration::from_micros(50)))
+        .unwrap_err();
     assert_eq!(err.lifecycle().map(ExecError::kind), Some("deadline"));
 }
 
@@ -116,8 +118,9 @@ fn no_threads_leak_across_query_lifecycles() {
         None => return, // not a procfs platform; nothing to measure
     };
     for _ in 0..3 {
-        let session = Session::new(catalog())
-            .serve_monitor("127.0.0.1:0")
+        let session = SessionBuilder::new(catalog())
+            .observability(Observability::new().serve_on("127.0.0.1:0"))
+            .build()
             .unwrap();
         let server = Arc::clone(session.monitor().unwrap());
         let mut h = session.query("SELECT * FROM customer").unwrap();
@@ -173,8 +176,9 @@ mod faulted {
     fn injected_error_drives_query_to_failed_state() {
         let scenario = fault::FailScenario::setup();
         fault::configure("exec/scan/next", "1*error(chaos: disk gone)").unwrap();
-        let session = Session::new(catalog())
-            .serve_monitor("127.0.0.1:0")
+        let session = SessionBuilder::new(catalog())
+            .observability(Observability::new().serve_on("127.0.0.1:0"))
+            .build()
             .unwrap();
         let server = Arc::clone(session.monitor().unwrap());
         let mut h = session.query("SELECT * FROM customer").unwrap();
@@ -219,7 +223,11 @@ mod faulted {
             .unwrap();
         let mut fractions = Vec::new();
         let rows = h
-            .run_with_cadence(64, |snap| fractions.push(snap.fraction()))
+            .run(
+                RunOptions::new()
+                    .observer(|snap| fractions.push(snap.fraction()))
+                    .cadence(64),
+            )
             .unwrap();
         assert_eq!(rows.len(), 500);
         assert!(fractions.len() > 2);
@@ -244,7 +252,11 @@ mod faulted {
             .query("SELECT nationkey, count(*) FROM customer GROUP BY nationkey")
             .unwrap();
         let err = h
-            .run_with_cadence(64, |snap| fractions.push(snap.fraction()))
+            .run(
+                RunOptions::new()
+                    .observer(|snap| fractions.push(snap.fraction()))
+                    .cadence(64),
+            )
             .unwrap_err();
         assert_eq!(err.lifecycle().map(ExecError::kind), Some("injected"));
         assert!(fractions.iter().all(|f| (0.0..=1.0).contains(f)));
@@ -292,8 +304,9 @@ mod faulted {
         fault::set_seed(1234);
         fault::configure("monitor/accept", "50%error(accept chaos)").unwrap();
         fault::configure("monitor/read", "50%error(read chaos)").unwrap();
-        let session = Session::new(catalog())
-            .serve_monitor("127.0.0.1:0")
+        let session = SessionBuilder::new(catalog())
+            .observability(Observability::new().serve_on("127.0.0.1:0"))
+            .build()
             .unwrap();
         let server = Arc::clone(session.monitor().unwrap());
         let addr = server.addr();
@@ -312,6 +325,75 @@ mod faulted {
         let resp = http_get(addr, "/progress").unwrap();
         assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
         server.shutdown();
+        drop(scenario);
+    }
+
+    /// A session running the skew join with a 4-way parallel hash join.
+    fn parallel_session() -> Session {
+        Session::new(catalog()).with_options(PhysicalOptions {
+            threads: 4,
+            ..PhysicalOptions::default()
+        })
+    }
+
+    const PARALLEL_SQL: &str = "SELECT * FROM customer \
+                                JOIN nation ON customer.nationkey = nation.nationkey";
+
+    #[test]
+    fn worker_task_error_is_typed_and_freezes_progress() {
+        let scenario = fault::FailScenario::setup();
+        fault::configure("exec/parallel/task", "1*error(chaos: worker died)").unwrap();
+        let session = parallel_session();
+        let mut h = session.query(PARALLEL_SQL).unwrap();
+        let err = h.collect().unwrap_err();
+        assert_eq!(err.lifecycle().map(ExecError::kind), Some("injected"));
+        assert!(err.to_string().contains("worker died"), "{err}");
+        // Remaining workers were joined, the error surfaced, and progress
+        // froze where the abort happened instead of snapping to done.
+        assert!(!h.tracker().snapshot().is_complete());
+        drop(scenario);
+    }
+
+    #[test]
+    fn worker_panic_is_contained_as_terminal_error() {
+        let scenario = fault::FailScenario::setup();
+        fault::configure("exec/parallel/task", "1*panic(worker chaos)").unwrap();
+        let session = parallel_session();
+        let mut h = session.query(PARALLEL_SQL).unwrap();
+        let err = quiet_panics(|| h.collect().unwrap_err());
+        assert_eq!(err.lifecycle().map(ExecError::kind), Some("panic"));
+        assert!(err.to_string().contains("worker chaos"), "{err}");
+        assert!(!h.tracker().snapshot().is_complete());
+        // The process survived: the same session keeps serving queries.
+        drop(scenario);
+        let mut h2 = session.query("SELECT * FROM nation").unwrap();
+        assert_eq!(h2.collect().unwrap().len(), 500);
+    }
+
+    #[test]
+    fn pool_spawn_failure_is_typed_and_terminal() {
+        let scenario = fault::FailScenario::setup();
+        fault::configure("exec/parallel/spawn", "1*error(chaos: no threads)").unwrap();
+        let session = parallel_session();
+        let mut h = session.query(PARALLEL_SQL).unwrap();
+        let err = h.collect().unwrap_err();
+        assert_eq!(err.lifecycle().map(ExecError::kind), Some("injected"));
+        assert_eq!(fault::hits("exec/parallel/spawn"), 1);
+        assert!(!h.tracker().snapshot().is_complete());
+        drop(scenario);
+    }
+
+    #[test]
+    fn merge_stall_does_not_defeat_the_deadline() {
+        let scenario = fault::FailScenario::setup();
+        fault::configure("exec/parallel/merge", "sleep(120)").unwrap();
+        let session = parallel_session();
+        let mut h = session.query(PARALLEL_SQL).unwrap();
+        let err = h
+            .run(RunOptions::new().deadline(Duration::from_millis(40)))
+            .unwrap_err();
+        assert_eq!(err.lifecycle().map(ExecError::kind), Some("deadline"));
+        assert!(!h.tracker().snapshot().is_complete());
         drop(scenario);
     }
 

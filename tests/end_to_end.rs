@@ -89,8 +89,12 @@ fn progress_is_monotone_and_complete() {
         .query("SELECT nationkey, count(*) FROM customer GROUP BY nationkey")
         .unwrap();
     let mut fractions = Vec::new();
-    q.run_with_cadence(16, |s| fractions.push(s.fraction()))
-        .unwrap();
+    q.run(
+        RunOptions::new()
+            .observer(|s| fractions.push(s.fraction()))
+            .cadence(16),
+    )
+    .unwrap();
     assert!(!fractions.is_empty());
     for w in fractions.windows(2) {
         assert!(

@@ -1,5 +1,5 @@
 //! End-to-end smoke test for the live monitor: a TPC-H-lite join runs
-//! through [`Session::serve_monitor`] while this test curls the HTTP
+//! through [`Observability::serve_on`] while this test curls the HTTP
 //! endpoints over a raw `std::net::TcpStream` (exactly what CI does):
 //!
 //! - `/progress/{id}` is polled during execution: the reported `C` and the
@@ -96,8 +96,9 @@ fn assert_prometheus_well_formed(text: &str) {
 
 #[test]
 fn monitored_query_is_observable_live_over_http() {
-    let session = Session::new(catalog())
-        .serve_monitor("127.0.0.1:0")
+    let session = SessionBuilder::new(catalog())
+        .observability(Observability::new().serve_on("127.0.0.1:0"))
+        .build()
         .unwrap();
     let server = Arc::clone(session.monitor().unwrap());
     let addr = server.addr();

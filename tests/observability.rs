@@ -51,7 +51,10 @@ fn jsonl_trace_shows_estimates_converging_to_exact_cardinality() {
         .sink(Arc::clone(&validator) as _)
         .build();
 
-    let session = Session::new(catalog()).with_trace(bus);
+    let session = SessionBuilder::new(catalog())
+        .observability(Observability::new().with_trace(bus))
+        .build()
+        .unwrap();
     let mut h = session
         .query(
             "SELECT * FROM customer \
@@ -138,7 +141,10 @@ fn jsonl_trace_shows_estimates_converging_to_exact_cardinality() {
 fn ring_timeline_and_explain_cover_a_monitored_query() {
     let ring = Arc::new(RingSink::with_capacity(1 << 12));
     let bus = EventBus::with_sink(Arc::clone(&ring) as _);
-    let session = Session::new(catalog()).with_trace(Arc::clone(&bus));
+    let session = SessionBuilder::new(catalog())
+        .observability(Observability::new().with_trace(Arc::clone(&bus)))
+        .build()
+        .unwrap();
     let mut h = session
         .query("SELECT nationkey, count(*) FROM customer GROUP BY nationkey")
         .unwrap();

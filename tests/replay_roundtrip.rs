@@ -79,7 +79,10 @@ fn replayed_trace_reproduces_live_metrics_aggregates() {
         .sink(Arc::clone(&ring) as _)
         .build();
 
-    let session = Session::new(catalog()).with_trace(Arc::clone(&bus));
+    let session = SessionBuilder::new(catalog())
+        .observability(Observability::new().with_trace(Arc::clone(&bus)))
+        .build()
+        .unwrap();
     let mut h = session.query(SQL).unwrap();
     let recorder = TimelineRecorder::new(h.tracker()).with_bus(bus);
     let sampler = recorder.spawn(Duration::from_millis(1));
