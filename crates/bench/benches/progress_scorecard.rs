@@ -150,7 +150,8 @@ fn time_configs(plan: &LogicalPlan, mode: EstimationMode, runs: usize) -> Vec<Du
                 .sink(Arc::clone(&phases) as _)
                 .build();
             let mut q = compile_traced(plan, &popts, Some(bus)).expect("compile");
-            let monitored = directory.register("scorecard", mode.label(), q.tracker(), phases);
+            let monitored =
+                directory.register("scorecard", mode.label(), q.tracker(), phases, None);
             q.collect().expect("workload run");
             drop(monitored);
         }),
@@ -350,6 +351,22 @@ fn main() {
         "expect: trace < metrics < monitor overhead ordering, all small; \
          the JSONL trace pays encoding, the monitor adds phase tracking",
     ]);
+
+    // Hard gate: the reporting layer clamps published fractions to their
+    // running max, so the scorecard must never observe a regression — any
+    // violation means raw estimator wobble leaked past the clamp.
+    let violations: usize = entries
+        .iter()
+        .map(|e| e.score.monotonicity_violations)
+        .sum();
+    if violations > 0 {
+        eprintln!("FAIL: {violations} monotonicity violations in published progress");
+        std::process::exit(1);
+    }
+    println!(
+        "monotonicity gate: zero violations across {} entries — ok",
+        entries.len()
+    );
 
     // Optional CI gate on the aggregate JSONL-trace overhead.
     if let Ok(bound) = std::env::var("QPROG_SCORECARD_MAX_OVERHEAD_PCT") {

@@ -217,6 +217,93 @@ impl fmt::Display for DegradeReason {
     }
 }
 
+/// Progress-health verdict for a running query, as carried by
+/// [`TraceEventKind::HealthTransition`]. Computed by the `obs::health`
+/// analyzer from the live trace stream plus periodic work/ETA samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HealthState {
+    /// Work is flowing and estimates are settled.
+    Healthy,
+    /// No observed-work delta for longer than the configured stall window
+    /// while the query is still Running.
+    Stalled,
+    /// Estimates are oscillating/diverging or the ETA is swinging beyond
+    /// the configured volatility thresholds.
+    Unstable,
+}
+
+impl HealthState {
+    /// Stable lowercase name (used by the JSONL sink, metrics labels, and
+    /// the monitor's `"health"` JSON field).
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Stalled => "stalled",
+            HealthState::Unstable => "unstable",
+        }
+    }
+
+    /// Inverse of [`HealthState::name`], used by the trace replay parser.
+    pub fn from_name(name: &str) -> Option<HealthState> {
+        Some(match name {
+            "healthy" => HealthState::Healthy,
+            "stalled" => HealthState::Stalled,
+            "unstable" => HealthState::Unstable,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for HealthState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why the health analyzer changed its verdict, as carried by
+/// [`TraceEventKind::HealthTransition`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HealthReason {
+    /// No observed-work delta past the stall window.
+    Stall,
+    /// Estimate refinements flipped direction (or diverged) too often.
+    Oscillation,
+    /// The smoothed ETA swung by more than the volatility threshold across
+    /// consecutive samples.
+    EtaVolatility,
+    /// Conditions cleared; the query is behaving again.
+    Recovered,
+}
+
+impl HealthReason {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthReason::Stall => "stall",
+            HealthReason::Oscillation => "oscillation",
+            HealthReason::EtaVolatility => "eta_volatility",
+            HealthReason::Recovered => "recovered",
+        }
+    }
+
+    /// Inverse of [`HealthReason::name`], used by the trace replay parser.
+    pub fn from_name(name: &str) -> Option<HealthReason> {
+        Some(match name {
+            "stall" => HealthReason::Stall,
+            "oscillation" => HealthReason::Oscillation,
+            "eta_volatility" => HealthReason::EtaVolatility,
+            "recovered" => HealthReason::Recovered,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for HealthReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// The event taxonomy. `op` fields are metrics-registry indices (resolve
 /// names through the registry); `pipeline` fields are pipeline ids from the
 /// plan's pipeline decomposition. Events are plain `Copy` data so sinks can
@@ -287,6 +374,16 @@ pub enum TraceEventKind {
     /// drains combined). Never published by serial execution, so
     /// single-threaded traces are byte-identical to pre-parallel builds.
     WorkerWallTime { op: u32, worker: u32, busy_us: u64 },
+    /// The progress-health analyzer changed its verdict about the query
+    /// (Healthy ↔ Stalled / Unstable). Published by the `obs::health`
+    /// analyzer from the monitor's sampling thread — never from the query
+    /// thread — and never published at all unless a health analyzer is
+    /// attached, so plain traces stay byte-identical to pre-health builds.
+    HealthTransition {
+        from: HealthState,
+        to: HealthState,
+        reason: HealthReason,
+    },
 }
 
 /// A timestamped, globally ordered trace event.

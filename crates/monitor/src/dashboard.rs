@@ -1,9 +1,13 @@
 //! The self-contained HTML dashboard served at `GET /`.
 //!
-//! One page, zero external assets: it polls `GET /progress` twice a second
-//! and `GET /progress/{id}` for each listed query, rendering a progress bar
-//! per live query (point estimate plus the `[lo, hi]` confidence band) and
-//! a per-operator table of `K_i`, `N_i`, bounds, and phase.
+//! One page, zero external assets. It subscribes to the `GET /events`
+//! server-push stream (SSE) for live summaries, health transitions, and
+//! terminal frames, falling back to polling `GET /progress` twice a second
+//! when streaming is unavailable; per-operator detail (`GET
+//! /progress/{id}`) is refreshed on a slower reconcile pass. Each live
+//! query renders a progress bar (point estimate plus the `[lo, hi]`
+//! confidence band), a health badge (healthy / stalled / unstable), and a
+//! per-operator table of `K_i`, `N_i`, bounds, and phase.
 
 /// The dashboard page.
 pub const DASHBOARD_HTML: &str = r#"<!doctype html>
@@ -27,6 +31,11 @@ pub const DASHBOARD_HTML: &str = r#"<!doctype html>
   .bar.done .fill { background: #3d9a52; }
   .bar.failed .fill { background: #c43d3d; }
   .failure { color: #c43d3d; font-weight: 600; }
+  .health { font-size: 11px; font-weight: 600; padding: .1rem .45rem;
+            border-radius: 9px; vertical-align: middle; }
+  .health.healthy { background: #e4f3e7; color: #2c7a3f; }
+  .health.stalled { background: #fbe5e5; color: #c43d3d; }
+  .health.unstable { background: #fdf0d7; color: #9a6b00; }
   .pct { font-variant-numeric: tabular-nums; }
   table { border-collapse: collapse; margin-top: .5rem; font-size: 12.5px;
           font-variant-numeric: tabular-nums; }
@@ -37,7 +46,8 @@ pub const DASHBOARD_HTML: &str = r#"<!doctype html>
 </head>
 <body>
 <h1>qprog — live query progress</h1>
-<p class="muted">Polling <a href="/progress">/progress</a> every 500&thinsp;ms
+<p class="muted">Streaming <a href="/events">/events</a> (SSE, polling
+<a href="/progress">/progress</a> as fallback)
 &middot; <a href="/metrics">/metrics</a> (Prometheus)</p>
 <div id="queries"><p class="muted">waiting for queries&hellip;</p></div>
 <script>
@@ -55,6 +65,9 @@ function bar(q) {
   </div>`;
 }
 
+const badge = q => q.health == null ? "" :
+  `<span class="health ${q.health}">${q.health}</span>`;
+
 function ops(detail) {
   if (!detail || !detail.ops || !detail.ops.length) return "";
   const rows = detail.ops.map(o => `<tr>
@@ -68,38 +81,85 @@ function ops(detail) {
     <th>bounds</th><th>wall</th><th>thr</th></tr>${rows}</table>`;
 }
 
-async function tick() {
+let queries = new Map();  // id -> latest summary (streamed or polled)
+let details = new Map();  // id -> per-operator detail (reconcile pass)
+let streaming = false;
+
+function render() {
+  const root = document.getElementById("queries");
+  const list = [...queries.values()].sort((a, b) => a.id - b.id);
+  if (!list.length) {
+    root.innerHTML = '<p class="muted">no live queries</p>';
+    return;
+  }
+  root.innerHTML = list.map(q => `<div class="query">
+    <div class="label">#${q.id} &middot; ${q.label}
+      <span class="muted">[${q.estimator}]</span> ${badge(q)}</div>
+    ${bar(q)}
+    <div><span class="pct">${pct(q.fraction)}</span>
+      <span class="muted">(bounds ${pct(q.lo)} – ${pct(q.hi)})
+      &middot; C=${fmt(q.current)} / T&#770;=${fmt(q.total)}
+      &middot; pipelines ${q.pipelines_finished}/${q.pipelines}
+      &middot; ${(q.elapsed_us / 1e6).toFixed(2)}s
+      ${q.eta_us == null ? "" : `&middot; ETA ${(q.eta_us / 1e6).toFixed(1)}s`}
+      ${q.done ? `&middot; done${q.rows == null ? "" : ", " + fmt(q.rows) + " rows"}` : ""}
+      </span>
+      ${q.state === "failed" ? `<span class="failure">&middot; failed (${q.failure})${
+        q.rows == null ? "" : ", " + fmt(q.rows) + " rows before abort"}</span>` : ""}
+      </div>
+    ${ops(details.get(q.id))}
+  </div>`).join("");
+}
+
+// Full refresh over the JSON endpoints: the only data path when polling,
+// the membership/detail reconcile pass when streaming.
+async function poll() {
   try {
     const res = await fetch("/progress");
     const data = await res.json();
-    const root = document.getElementById("queries");
-    if (!data.queries.length) {
-      root.innerHTML = '<p class="muted">no live queries</p>';
-      return;
-    }
-    const details = await Promise.all(data.queries.map(q =>
-      fetch(`/progress/${q.id}`).then(r => r.ok ? r.json() : null).catch(() => null)));
-    root.innerHTML = data.queries.map((q, i) => `<div class="query">
-      <div class="label">#${q.id} &middot; ${q.label}
-        <span class="muted">[${q.estimator}]</span></div>
-      ${bar(q)}
-      <div><span class="pct">${pct(q.fraction)}</span>
-        <span class="muted">(bounds ${pct(q.lo)} – ${pct(q.hi)})
-        &middot; C=${fmt(q.current)} / T&#770;=${fmt(q.total)}
-        &middot; pipelines ${q.pipelines_finished}/${q.pipelines}
-        &middot; ${(q.elapsed_us / 1e6).toFixed(2)}s
-        ${q.eta_us == null ? "" : `&middot; ETA ${(q.eta_us / 1e6).toFixed(1)}s`}
-        ${q.done ? `&middot; done${q.rows == null ? "" : ", " + fmt(q.rows) + " rows"}` : ""}
-        </span>
-        ${q.state === "failed" ? `<span class="failure">&middot; failed (${q.failure})${
-          q.rows == null ? "" : ", " + fmt(q.rows) + " rows before abort"}</span>` : ""}
-        </div>
-      ${ops(details[i])}
-    </div>`).join("");
+    queries = new Map(data.queries.map(q => [q.id, q]));
+    await Promise.all(data.queries.map(q =>
+      fetch(`/progress/${q.id}`).then(r => r.ok ? r.json() : null)
+        .then(d => { if (d) details.set(q.id, d); }).catch(() => null)));
+    for (const id of [...details.keys()])
+      if (!queries.has(id)) details.delete(id);
+    render();
   } catch (e) { /* server going away between polls is fine */ }
 }
-tick();
-setInterval(tick, 500);
+
+// Primary path: server-push over SSE. One broadcast frame updates every
+// open dashboard; no per-client polling while the stream is healthy.
+function connect() {
+  if (!window.EventSource) return;
+  const es = new EventSource("/events");
+  const upsert = e => {
+    const q = JSON.parse(e.data);
+    queries.set(q.id, q);
+    render();
+  };
+  es.addEventListener("snapshot", e => {
+    streaming = true;
+    queries = new Map(JSON.parse(e.data).queries.map(q => [q.id, q]));
+    render();
+  });
+  es.addEventListener("progress", upsert);
+  es.addEventListener("terminal", upsert);
+  es.addEventListener("health", e => {
+    const h = JSON.parse(e.data);
+    const q = queries.get(h.id);
+    if (q) { q.health = h.to; render(); }
+  });
+  // Stream gone (server restart, proxy strips SSE): fall back to polling.
+  es.onerror = () => { es.close(); streaming = false; };
+}
+
+let beat = 0;
+setInterval(() => {
+  beat += 1;
+  if (!streaming || beat % 4 === 0) poll();
+}, 500);
+connect();
+poll();
 </script>
 </body>
 </html>
@@ -138,5 +198,25 @@ mod tests {
         assert!(DASHBOARD_HTML.contains(r#"q.state === "failed""#));
         assert!(DASHBOARD_HTML.contains("q.failure"));
         assert!(DASHBOARD_HTML.contains(".bar.failed .fill"));
+    }
+
+    #[test]
+    fn dashboard_streams_with_polling_fallback() {
+        assert!(DASHBOARD_HTML.contains(r#"new EventSource("/events")"#));
+        assert!(DASHBOARD_HTML.contains(r#"addEventListener("snapshot""#));
+        assert!(DASHBOARD_HTML.contains(r#"addEventListener("progress""#));
+        assert!(DASHBOARD_HTML.contains(r#"addEventListener("terminal""#));
+        // on stream error the page degrades to the polling loop
+        assert!(DASHBOARD_HTML.contains("es.onerror"));
+        assert!(DASHBOARD_HTML.contains("streaming = false"));
+    }
+
+    #[test]
+    fn dashboard_renders_health_badges() {
+        assert!(DASHBOARD_HTML.contains(r#"addEventListener("health""#));
+        assert!(DASHBOARD_HTML.contains("q.health"));
+        assert!(DASHBOARD_HTML.contains(".health.stalled"));
+        assert!(DASHBOARD_HTML.contains(".health.unstable"));
+        assert!(DASHBOARD_HTML.contains(".health.healthy"));
     }
 }

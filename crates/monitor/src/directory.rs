@@ -10,7 +10,11 @@ use qprog_exec::sync::Mutex;
 use qprog_exec::trace::{AbortKind, Phase, TraceEvent, TraceEventKind, TraceSink};
 use qprog_metrics::{Counter, Gauge, Registry};
 use qprog_obs::json::{escape, num};
+use qprog_obs::HealthAnalyzer;
 use qprog_plan::ProgressTracker;
+
+use crate::eta::EtaSmoother;
+use crate::hub::StreamHub;
 
 /// A monitored query's lifecycle state, as rendered in `/progress` and the
 /// dashboard.
@@ -118,7 +122,32 @@ struct QueryEntry {
     estimator: String,
     tracker: ProgressTracker,
     phases: Arc<PhaseSink>,
+    health: Option<Arc<HealthAnalyzer>>,
     started: Instant,
+    /// Smoothed remaining-time estimate (interior mutability: refreshed
+    /// from whichever render or broadcast tick observes the entry).
+    eta: Mutex<EtaSmoother>,
+    /// Running maximum of the published fraction (f64 bits). The raw gnm
+    /// estimate may regress when an estimator revises `N_i` upward; the
+    /// *reported* fraction is clamped monotone so progress bars never
+    /// move backwards. Raw estimates stay visible in the trace stream.
+    max_fraction: AtomicU64,
+    /// Whether the stream hub already saw this query's terminal frame.
+    terminal_emitted: AtomicBool,
+}
+
+impl QueryEntry {
+    /// Monotonically-clamped published fraction. Mutated only with the
+    /// directory's entries lock held, so a plain load/store race-free.
+    fn clamped_fraction(&self, raw: f64) -> f64 {
+        let prev = f64::from_bits(self.max_fraction.load(Ordering::Relaxed));
+        if raw.is_finite() && raw > prev {
+            self.max_fraction.store(raw.to_bits(), Ordering::Relaxed);
+            raw
+        } else {
+            prev
+        }
+    }
 }
 
 /// Registry of live queries, keyed by a process-unique query id.
@@ -130,6 +159,9 @@ struct QueryEntry {
 pub struct QueryDirectory {
     next_id: AtomicU64,
     entries: Mutex<BTreeMap<u64, QueryEntry>>,
+    /// Server-push fan-out, attached by the [`MonitorServer`] when it
+    /// starts. Lock order is always entries → hub.
+    hub: Mutex<Option<Arc<StreamHub>>>,
     /// `qprog_queries_live`, when a metrics registry is attached.
     live_gauge: Option<Arc<Gauge>>,
     /// `qprog_queries_registered_total`, when a registry is attached.
@@ -144,6 +176,7 @@ impl QueryDirectory {
         QueryDirectory {
             next_id: AtomicU64::new(1),
             entries: Mutex::new(BTreeMap::new()),
+            hub: Mutex::new(None),
             live_gauge: metrics.map(|r| {
                 r.gauge(
                     "qprog_queries_live",
@@ -161,13 +194,17 @@ impl QueryDirectory {
         }
     }
 
-    /// Register a query; the returned token unregisters it on drop.
+    /// Register a query; the returned token unregisters it on drop. Pass
+    /// a [`HealthAnalyzer`] to have the broadcast tick sample it and to
+    /// surface its verdict in the query's JSON (`"health"` is `null`
+    /// otherwise).
     pub fn register(
         self: &Arc<Self>,
         label: impl Into<String>,
         estimator: impl Into<String>,
         tracker: ProgressTracker,
         phases: Arc<PhaseSink>,
+        health: Option<Arc<HealthAnalyzer>>,
     ) -> MonitoredQuery {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.entries.lock().insert(
@@ -177,7 +214,11 @@ impl QueryDirectory {
                 estimator: estimator.into(),
                 tracker,
                 phases,
+                health,
                 started: Instant::now(),
+                eta: Mutex::new(EtaSmoother::new()),
+                max_fraction: AtomicU64::new(0.0f64.to_bits()),
+                terminal_emitted: AtomicBool::new(false),
             },
         );
         if let Some(g) = &self.live_gauge {
@@ -193,9 +234,75 @@ impl QueryDirectory {
     }
 
     fn remove(&self, id: u64) {
-        if self.entries.lock().remove(&id).is_some() {
+        let removed = self.entries.lock().remove(&id);
+        if let Some(e) = removed {
             if let Some(g) = &self.live_gauge {
                 g.sub(1.0);
+            }
+            // A query can unregister before the broadcast tick saw it end
+            // (or while still running, if its handle is dropped early).
+            // Streams must still always learn the outcome: emit the final
+            // frame now, then close its per-query subscribers.
+            let hub = self.hub.lock().clone();
+            if let Some(hub) = hub {
+                if !e.terminal_emitted.swap(true, Ordering::Relaxed) {
+                    hub.publish(id, "terminal", &Self::summary_json(id, &e), true);
+                }
+                hub.close_query(id);
+            }
+        }
+    }
+
+    /// Attach the server-push hub (done by [`MonitorServer::start`]).
+    ///
+    /// [`MonitorServer::start`]: crate::server::MonitorServer::start
+    pub fn set_hub(&self, hub: Arc<StreamHub>) {
+        *self.hub.lock() = Some(hub);
+    }
+
+    /// One broadcast tick: per registered query, sample health, then push
+    /// a `progress` frame (if anyone is listening) or — exactly once — a
+    /// `terminal` frame. Encoding happens at most once per query per tick
+    /// regardless of subscriber count.
+    pub fn tick(&self) {
+        let hub = match self.hub.lock().clone() {
+            Some(h) => h,
+            None => return,
+        };
+        let entries = self.entries.lock();
+        for (&id, e) in entries.iter() {
+            let snap = e.tracker.snapshot();
+            let state = e.phases.state();
+            let done = match state {
+                QueryState::Failed(_) => false,
+                QueryState::Done => true,
+                QueryState::Running => snap.is_complete(),
+            };
+            let terminal = done || matches!(state, QueryState::Failed(_));
+            if let Some(h) = &e.health {
+                let elapsed_us = e.started.elapsed().as_micros() as u64;
+                let fraction = e.clamped_fraction(snap.fraction());
+                let eta = e.eta.lock().update(elapsed_us, fraction, !terminal);
+                if let Some((from, to, reason)) =
+                    h.observe(snap.current(), eta.map(|v| v as f64), !terminal)
+                {
+                    hub.publish(
+                        id,
+                        "health",
+                        &format!(
+                            "{{\"id\":{id},\"from\":\"{from}\",\"to\":\"{to}\",\
+                             \"reason\":\"{reason}\"}}"
+                        ),
+                        false,
+                    );
+                }
+            }
+            if terminal {
+                if !e.terminal_emitted.swap(true, Ordering::Relaxed) {
+                    hub.publish(id, "terminal", &Self::summary_json(id, e), true);
+                }
+            } else if hub.wants(id) {
+                hub.publish(id, "progress", &Self::summary_json(id, e), false);
             }
         }
     }
@@ -230,25 +337,33 @@ impl QueryDirectory {
             QueryState::Running => snap.is_complete(),
         };
         let elapsed_us = e.started.elapsed().as_micros() as u64;
-        // The paper's motivating use case: estimated time remaining from
-        // the gnm fraction, `elapsed × (1−p)/p`. Meaningless before any
-        // progress and for terminal queries.
-        let p = snap.fraction();
-        let eta_us = if state == QueryState::Running && !done && p > 0.0 && p.is_finite() {
-            ((elapsed_us as f64 * (1.0 - p.min(1.0)) / p) as u64).to_string()
-        } else {
-            "null".to_string()
-        };
+        // The published fraction is the running max of the raw gnm
+        // estimate: refinements may revise it down, progress bars may not.
+        let fraction = e.clamped_fraction(snap.fraction());
+        let hi = if hi.is_finite() { hi.max(fraction) } else { hi };
+        // The paper's motivating use case, estimated time remaining from
+        // the gnm fraction, smoothed so refinement noise does not whipsaw
+        // the number. `null` before meaningful progress and once terminal.
+        let running = state == QueryState::Running && !done;
+        let eta_us = e
+            .eta
+            .lock()
+            .update(elapsed_us, fraction, running)
+            .map_or_else(|| "null".to_string(), |v| v.to_string());
+        let health = e.health.as_ref().map_or_else(
+            || "null".to_string(),
+            |h| format!("\"{}\"", h.state().name()),
+        );
         format!(
             "{{\"id\":{id},\"label\":\"{}\",\"estimator\":\"{}\",\
              \"elapsed_us\":{elapsed_us},\"eta_us\":{eta_us},\
              \"fraction\":{},\"lo\":{},\"hi\":{},\
              \"current\":{},\"total\":{},\"pipelines\":{},\
              \"pipelines_finished\":{},\"state\":\"{}\",\"failure\":{},\
-             \"done\":{done},\"rows\":{}}}",
+             \"health\":{health},\"done\":{done},\"rows\":{}}}",
             escape(&e.label),
             escape(&e.estimator),
-            num(snap.fraction()),
+            num(fraction),
             num(lo),
             num(hi),
             snap.current(),
@@ -320,6 +435,27 @@ impl QueryDirectory {
         let entries = self.entries.lock();
         entries.get(&id).map(|e| Self::detail_json(id, e))
     }
+
+    /// Initial state for a new SSE subscriber: the query's summary JSON,
+    /// whether it is already terminal, and whether its terminal frame was
+    /// already broadcast (in which case the new subscriber will never see
+    /// one and the server must synthesize it).
+    pub fn stream_snapshot(&self, id: u64) -> Option<(String, bool, bool)> {
+        let entries = self.entries.lock();
+        entries.get(&id).map(|e| {
+            let state = e.phases.state();
+            let terminal = match state {
+                QueryState::Failed(_) => true,
+                QueryState::Done => true,
+                QueryState::Running => e.tracker.snapshot().is_complete(),
+            };
+            (
+                Self::summary_json(id, e),
+                terminal,
+                e.terminal_emitted.load(Ordering::Relaxed),
+            )
+        })
+    }
 }
 
 impl std::fmt::Debug for QueryDirectory {
@@ -386,8 +522,8 @@ mod tests {
         let dir = Arc::new(QueryDirectory::new(None));
         let (t1, _) = tracker();
         let (t2, _) = tracker();
-        let q1 = dir.register("q one", "once", t1, Arc::new(PhaseSink::new()));
-        let q2 = dir.register("q two", "dne", t2, Arc::new(PhaseSink::new()));
+        let q1 = dir.register("q one", "once", t1, Arc::new(PhaseSink::new()), None);
+        let q2 = dir.register("q two", "dne", t2, Arc::new(PhaseSink::new()), None);
         assert_eq!(dir.len(), 2);
         assert_eq!(dir.ids(), vec![q1.id(), q2.id()]);
         assert_ne!(q1.id(), q2.id());
@@ -402,7 +538,7 @@ mod tests {
     fn progress_json_reflects_tracker_state() {
         let dir = Arc::new(QueryDirectory::new(None));
         let (t, reg) = tracker();
-        let q = dir.register("sel", "once", t, Arc::new(PhaseSink::new()));
+        let q = dir.register("sel", "once", t, Arc::new(PhaseSink::new()), None);
         for _ in 0..50 {
             reg.get(0).unwrap().record_emitted();
         }
@@ -468,7 +604,7 @@ mod tests {
         let dir = Arc::new(QueryDirectory::new(None));
         let (t, reg) = tracker();
         let sink = Arc::new(PhaseSink::new());
-        let q = dir.register("doomed", "once", t, Arc::clone(&sink));
+        let q = dir.register("doomed", "once", t, Arc::clone(&sink), None);
         for _ in 0..30 {
             reg.get(0).unwrap().record_emitted();
         }
@@ -495,7 +631,7 @@ mod tests {
         let gauge = metrics.gauge("qprog_queries_live", "", &[]);
         let registered = metrics.counter("qprog_queries_registered_total", "", &[]);
         let (t, _) = tracker();
-        let q = dir.register("q", "once", t, Arc::new(PhaseSink::new()));
+        let q = dir.register("q", "once", t, Arc::new(PhaseSink::new()), None);
         assert_eq!(gauge.get(), 1.0);
         assert_eq!(registered.get(), 1);
         drop(q);

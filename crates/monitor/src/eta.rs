@@ -1,0 +1,117 @@
+//! ETA smoothing for the monitor's JSON endpoints.
+//!
+//! The raw estimate `elapsed × (1 − p) / p` is exact in expectation but
+//! wild in practice: at small `p` it amplifies every estimator refinement,
+//! and near the end it jitters with scheduling noise. The smoother keeps
+//! an exponentially-weighted moving average of the raw estimate, refreshed
+//! at a bounded cadence, and declines to answer at all until the query has
+//! made enough progress for the formula to mean something.
+
+/// EWMA weight given to the newest raw estimate.
+const ALPHA: f64 = 0.3;
+/// Below this completed fraction the raw formula is dominated by
+/// estimator noise; report no ETA yet.
+const MIN_FRACTION: f64 = 0.01;
+/// Minimum spacing between EWMA refreshes, so rapid polling does not
+/// collapse the average onto the instantaneous estimate.
+const MIN_INTERVAL_US: u64 = 20_000;
+
+/// Smoothed remaining-time estimator for one monitored query.
+#[derive(Debug, Default)]
+pub struct EtaSmoother {
+    smoothed: Option<f64>,
+    last_refresh_us: u64,
+}
+
+impl EtaSmoother {
+    /// A fresh smoother with no history.
+    pub fn new() -> Self {
+        EtaSmoother::default()
+    }
+
+    /// Fold in one observation and return the smoothed ETA in
+    /// microseconds. Returns `None` while the query is not running
+    /// (terminal states have no remaining time) and while `fraction` is
+    /// too small for `elapsed × (1 − p) / p` to be meaningful.
+    pub fn update(&mut self, elapsed_us: u64, fraction: f64, running: bool) -> Option<u64> {
+        if !running {
+            self.smoothed = None;
+            return None;
+        }
+        if !fraction.is_finite() || fraction <= MIN_FRACTION {
+            return None;
+        }
+        let p = fraction.min(1.0);
+        let raw = elapsed_us as f64 * (1.0 - p) / p;
+        match self.smoothed {
+            None => {
+                self.smoothed = Some(raw);
+                self.last_refresh_us = elapsed_us;
+            }
+            Some(prev) => {
+                if elapsed_us.saturating_sub(self.last_refresh_us) >= MIN_INTERVAL_US {
+                    self.smoothed = Some(ALPHA * raw + (1.0 - ALPHA) * prev);
+                    self.last_refresh_us = elapsed_us;
+                }
+            }
+        }
+        self.smoothed.map(|eta| eta.max(0.0) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_eta_before_meaningful_progress() {
+        let mut s = EtaSmoother::new();
+        assert_eq!(s.update(1_000, 0.0, true), None);
+        assert_eq!(s.update(2_000, 0.0001, true), None);
+        assert_eq!(s.update(3_000, f64::NAN, true), None);
+        // First answer appears once p clears the floor, seeded from raw.
+        let eta = s.update(100_000, 0.5, true).expect("eta at p=0.5");
+        assert_eq!(eta, 100_000);
+    }
+
+    #[test]
+    fn terminal_states_have_no_eta_and_reset_history() {
+        let mut s = EtaSmoother::new();
+        assert!(s.update(100_000, 0.5, true).is_some());
+        // Finished (or failed): no remaining time, history cleared.
+        assert_eq!(s.update(200_000, 1.0, false), None);
+        assert_eq!(s.update(300_000, 1.0, false), None);
+    }
+
+    #[test]
+    fn smoothing_damps_swings_and_throttles_refreshes() {
+        let mut s = EtaSmoother::new();
+        let first = s.update(100_000, 0.5, true).unwrap();
+        assert_eq!(first, 100_000);
+        // Within the refresh interval the answer is pinned.
+        let pinned = s.update(100_500, 0.05, true).unwrap();
+        assert_eq!(pinned, 100_000);
+        // After the interval, a wildly different raw estimate moves the
+        // average only by ALPHA of the gap.
+        let raw = 150_000.0 * (1.0 - 0.05) / 0.05; // = 2_850_000
+        let smoothed = s.update(150_000, 0.05, true).unwrap();
+        let expect = (ALPHA * raw + (1.0 - ALPHA) * 100_000.0) as u64;
+        assert_eq!(smoothed, expect);
+        assert!((smoothed as f64) < raw);
+    }
+
+    #[test]
+    fn converges_to_zero_near_completion() {
+        let mut s = EtaSmoother::new();
+        let mut elapsed = 50_000u64;
+        s.update(elapsed, 0.5, true);
+        let mut last = u64::MAX;
+        for step in 1..=20 {
+            elapsed += MIN_INTERVAL_US;
+            let p = 0.5 + 0.025 * step as f64;
+            last = s.update(elapsed, p, true).unwrap();
+        }
+        // At p = 1.0 the raw term is 0; the EWMA decays toward it.
+        assert!(last < 50_000, "eta should shrink near completion: {last}");
+    }
+}

@@ -125,6 +125,25 @@ impl Response {
     }
 }
 
+/// Write the head of a Server-Sent Events response: `200 OK`, no
+/// `Content-Length` — the body is an open-ended `text/event-stream` the
+/// caller keeps appending frames to until the connection closes.
+pub fn write_sse_head(stream: &mut impl Write) -> std::io::Result<()> {
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n\
+          Cache-Control: no-cache\r\nConnection: close\r\n\r\n",
+    )?;
+    stream.flush()
+}
+
+/// Write one SSE frame (`event:` + `data:` lines and the blank-line
+/// terminator). `data` must be a single line — the monitor's frames are
+/// compact JSON.
+pub fn write_sse_frame(stream: &mut impl Write, event: &str, data: &str) -> std::io::Result<()> {
+    write!(stream, "event: {event}\ndata: {data}\n\n")?;
+    stream.flush()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +184,25 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.ends_with("\r\n\r\n"));
         assert!(text.contains("Content-Length: 5\r\n"));
+    }
+
+    #[test]
+    fn sse_head_and_frames_are_well_formed() {
+        let mut out = Vec::new();
+        write_sse_head(&mut out).unwrap();
+        write_sse_frame(&mut out, "progress", "{\"id\":1}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(
+            text.contains("Content-Type: text/event-stream\r\n"),
+            "{text}"
+        );
+        // Streams are open-ended: no Content-Length may be promised.
+        assert!(!text.contains("Content-Length"), "{text}");
+        assert!(
+            text.ends_with("\r\n\r\nevent: progress\ndata: {\"id\":1}\n\n"),
+            "{text}"
+        );
     }
 
     #[test]

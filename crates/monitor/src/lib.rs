@@ -18,15 +18,27 @@
 //!   bounds and per-operator `K_i`/`N_i`/phase), and `GET /` (a
 //!   self-contained HTML dashboard polling the JSON endpoints);
 //! - [`http`] — the minimal HTTP/1.1 request parsing and response writing
-//!   underneath, shared by the server and its tests.
+//!   underneath, shared by the server and its tests;
+//! - [`hub`] — the server-push [`StreamHub`](hub::StreamHub) behind
+//!   `GET /progress/{id}/stream` and the `GET /events` firehose: each
+//!   broadcast tick encodes a query's progress **once** and fans the frame
+//!   out to every `text/event-stream` subscriber through bounded queues
+//!   (slow readers drop stale progress frames and are eventually evicted;
+//!   terminal frames are never dropped);
+//! - [`eta`] — the [`EtaSmoother`](eta::EtaSmoother) turning the raw
+//!   `elapsed × (1 − p) / p` remaining-time formula into a stable number.
 //!
 //! Everything is observer-side: sampling a tracker is a handful of relaxed
 //! atomic loads, and a query that never registers pays nothing.
 
 pub mod dashboard;
 pub mod directory;
+pub mod eta;
 pub mod http;
+pub mod hub;
 pub mod server;
 
 pub use directory::{MonitoredQuery, PhaseSink, QueryDirectory, QueryState};
+pub use eta::EtaSmoother;
+pub use hub::{StreamHub, StreamNext, StreamSubscriber};
 pub use server::MonitorServer;

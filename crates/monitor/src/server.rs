@@ -13,11 +13,22 @@ use qprog_types::{QError, QResult};
 
 use crate::dashboard::DASHBOARD_HTML;
 use crate::directory::QueryDirectory;
-use crate::http::{read_request, Request, Response};
+use crate::http::{read_request, write_sse_frame, write_sse_head, Request, Response};
+use crate::hub::{StreamHub, StreamNext, StreamSubscriber, DEFAULT_QUEUE_CAP};
 
 /// Per-connection socket timeout: the monitor must never hold a thread
-/// hostage to a stalled client.
+/// hostage to a stalled client. For SSE connections this doubles as the
+/// slow-client guard — a receiver that blocks writes for this long is
+/// disconnected.
 const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Cadence of the broadcast tick that samples every registered query and
+/// fans progress/health/terminal frames out to stream subscribers.
+const TICK: Duration = Duration::from_millis(25);
+
+/// How long an SSE writer waits for a frame before emitting a keepalive
+/// comment (which also detects silently-dead clients).
+const STREAM_POLL: Duration = Duration::from_millis(250);
 
 /// A live progress monitor server.
 ///
@@ -27,7 +38,13 @@ const IO_TIMEOUT: Duration = Duration::from_secs(5);
 /// - `GET /` — self-contained HTML dashboard,
 /// - `GET /metrics` — Prometheus text exposition of the attached registry,
 /// - `GET /progress` — JSON summaries of every registered query,
-/// - `GET /progress/{id}` — one query with per-operator detail.
+/// - `GET /progress/{id}` — one query with per-operator detail,
+/// - `GET /progress/{id}/stream` — server-push `text/event-stream` of one
+///   query's `progress`/`health` frames, ending with its `terminal` frame,
+/// - `GET /events` — the all-queries firehose stream.
+///
+/// Streamed frames are encoded once per broadcast tick and shared across
+/// subscribers, so N watchers cost O(1) encodes per tick, not O(N).
 ///
 /// Dropping the server (or calling [`shutdown`](Self::shutdown)) stops the
 /// accept loop and joins every thread the server spawned.
@@ -35,8 +52,10 @@ pub struct MonitorServer {
     addr: SocketAddr,
     directory: Arc<QueryDirectory>,
     metrics: Option<Arc<Registry>>,
+    hub: Arc<StreamHub>,
     stop: Arc<AtomicBool>,
     accept_thread: Mutex<Option<JoinHandle<()>>>,
+    tick_thread: Mutex<Option<JoinHandle<()>>>,
     connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
@@ -50,12 +69,16 @@ impl MonitorServer {
             .local_addr()
             .map_err(|e| QError::plan(format!("local_addr: {e}")))?;
         let directory = Arc::new(QueryDirectory::new(metrics.as_deref()));
+        let hub = Arc::new(StreamHub::new(metrics.as_deref()));
+        directory.set_hub(Arc::clone(&hub));
         let server = Arc::new(MonitorServer {
             addr,
             directory,
             metrics,
+            hub,
             stop: Arc::new(AtomicBool::new(false)),
             accept_thread: Mutex::new(None),
+            tick_thread: Mutex::new(None),
             connections: Arc::new(Mutex::new(Vec::new())),
         });
         let accept = {
@@ -66,7 +89,29 @@ impl MonitorServer {
                 .map_err(|e| QError::plan(format!("spawn accept thread: {e}")))?
         };
         *server.accept_thread.lock() = Some(accept);
+        let tick = {
+            let server = Arc::clone(&server);
+            std::thread::Builder::new()
+                .name("qprog-monitor-tick".to_string())
+                .spawn(move || server.broadcast_loop())
+                .map_err(|e| QError::plan(format!("spawn broadcast thread: {e}")))?
+        };
+        *server.tick_thread.lock() = Some(tick);
         Ok(server)
+    }
+
+    /// The broadcast tick: sample every registered query and fan frames
+    /// out to stream subscribers until shutdown.
+    fn broadcast_loop(&self) {
+        while !self.stop.load(Ordering::Acquire) {
+            self.directory.tick();
+            std::thread::sleep(TICK);
+        }
+    }
+
+    /// The server-push hub stream subscribers hang off.
+    pub fn hub(&self) -> &Arc<StreamHub> {
+        &self.hub
     }
 
     /// The bound address (with the OS-assigned port when bound to `:0`).
@@ -132,6 +177,23 @@ impl MonitorServer {
         let Some(request) = read_request(&mut stream) else {
             return;
         };
+        // Streaming endpoints keep the connection open and write frames as
+        // they arrive; everything else is a buffered one-shot response.
+        if request.method == "GET" {
+            if request.path == "/events" {
+                self.serve_events(stream);
+                return;
+            }
+            if let Some(id) = request
+                .path
+                .strip_prefix("/progress/")
+                .and_then(|rest| rest.strip_suffix("/stream"))
+                .and_then(|id| id.parse::<u64>().ok())
+            {
+                self.serve_query_stream(stream, id);
+                return;
+            }
+        }
         let head_only = request.method == "HEAD";
         let response = if request.method == "GET" || head_only {
             self.route(&request)
@@ -139,6 +201,83 @@ impl MonitorServer {
             Response::method_not_allowed()
         };
         let _ = response.write_to(&mut stream, head_only);
+    }
+
+    /// `GET /events`: subscribe to the firehose, send the current state of
+    /// every query as an opening `snapshot` frame, then pump frames until
+    /// the client leaves or the server stops.
+    fn serve_events(&self, mut stream: TcpStream) {
+        let sub = self.hub.subscribe(None, DEFAULT_QUEUE_CAP);
+        if write_sse_head(&mut stream).is_err()
+            || write_sse_frame(&mut stream, "snapshot", &self.directory.render_all()).is_err()
+        {
+            self.hub.unsubscribe(&sub);
+            return;
+        }
+        self.pump(&mut stream, &sub);
+        self.hub.unsubscribe(&sub);
+    }
+
+    /// `GET /progress/{id}/stream`: one query's progress/health stream.
+    /// The subscription is taken *before* the snapshot so a terminal frame
+    /// broadcast in between is either in the snapshot or in the queue —
+    /// never lost.
+    fn serve_query_stream(&self, mut stream: TcpStream, id: u64) {
+        let sub = self.hub.subscribe(Some(id), DEFAULT_QUEUE_CAP);
+        let Some((summary, terminal, already_emitted)) = self.directory.stream_snapshot(id) else {
+            self.hub.unsubscribe(&sub);
+            let _ = Response::not_found(
+                "no such query (finished queries \
+                                         unregister when their handle drops)",
+            )
+            .write_to(&mut stream, false);
+            return;
+        };
+        if write_sse_head(&mut stream).is_err()
+            || write_sse_frame(&mut stream, "progress", &summary).is_err()
+        {
+            self.hub.unsubscribe(&sub);
+            return;
+        }
+        if terminal && already_emitted {
+            // The broadcast predates this subscriber; synthesize the
+            // terminal frame so late watchers still learn the outcome.
+            let _ = write_sse_frame(&mut stream, "terminal", &summary);
+        } else {
+            self.pump(&mut stream, &sub);
+        }
+        self.hub.unsubscribe(&sub);
+    }
+
+    /// Forward frames from `sub` to the socket until the stream closes,
+    /// the client disconnects, or the server shuts down.
+    fn pump(&self, stream: &mut TcpStream, sub: &StreamSubscriber) {
+        use std::io::Write;
+        while !self.stop.load(Ordering::Acquire) {
+            match sub.next(STREAM_POLL) {
+                StreamNext::Frame(frame) => {
+                    if stream
+                        .write_all(frame.as_bytes())
+                        .and_then(|()| stream.flush())
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+                StreamNext::Timeout => {
+                    // SSE comment: keeps intermediaries from idling the
+                    // connection out and surfaces dead clients as errors.
+                    if stream
+                        .write_all(b": keepalive\n\n")
+                        .and_then(|()| stream.flush())
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+                StreamNext::Closed => return,
+            }
+        }
     }
 
     /// Dispatch one parsed request (separated from IO for testability).
@@ -175,9 +314,14 @@ impl MonitorServer {
         if self.stop.swap(true, Ordering::AcqRel) {
             return;
         }
+        // Wake stream subscribers first so SSE connection threads unblock.
+        self.hub.close_all();
         // Poke the listener so the blocking accept observes the stop flag.
         let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.accept_thread.lock().take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.tick_thread.lock().take() {
             let _ = handle.join();
         }
         let connections: Vec<_> = std::mem::take(&mut *self.connections.lock());
@@ -205,6 +349,10 @@ impl std::fmt::Debug for MonitorServer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::directory::PhaseSink;
+    use qprog_exec::metrics::MetricsRegistry;
+    use qprog_plan::pipeline::PipelineSet;
+    use qprog_plan::ProgressTracker;
     use std::io::{Read, Write};
 
     /// One GET over a fresh TcpStream; returns the whole raw response.
@@ -214,6 +362,120 @@ mod tests {
         let mut out = String::new();
         stream.read_to_string(&mut out).unwrap();
         out
+    }
+
+    fn tracker() -> (ProgressTracker, MetricsRegistry) {
+        let mut reg = MetricsRegistry::new();
+        reg.register("scan", 100.0);
+        let mut pipes = PipelineSet::new();
+        let p = pipes.new_pipeline();
+        pipes.assign(p, 0);
+        (ProgressTracker::new(reg.clone(), pipes), reg)
+    }
+
+    /// Open a streaming GET and read until the server closes (or errors),
+    /// tolerating the open-ended body.
+    fn stream_get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut out = String::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => out.push_str(&String::from_utf8_lossy(&buf[..n])),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn query_stream_pushes_progress_and_always_ends_with_terminal() {
+        let server = MonitorServer::start("127.0.0.1:0", None).unwrap();
+        let (t, reg) = tracker();
+        let q =
+            server
+                .directory()
+                .register("streamed", "once", t, Arc::new(PhaseSink::new()), None);
+        let id = q.id();
+        let addr = server.addr();
+        for _ in 0..40 {
+            reg.get(0).unwrap().record_emitted();
+        }
+        let reader =
+            std::thread::spawn(move || stream_get(addr, &format!("/progress/{id}/stream")));
+        // Let the subscriber attach and see at least one live frame.
+        std::thread::sleep(Duration::from_millis(80));
+        for _ in 0..60 {
+            reg.get(0).unwrap().record_emitted();
+        }
+        reg.finish_all();
+        let out = reader.join().unwrap();
+        assert!(out.starts_with("HTTP/1.1 200 OK\r\n"), "{out}");
+        assert!(out.contains("Content-Type: text/event-stream"), "{out}");
+        assert!(!out.contains("Content-Length"), "{out}");
+        assert!(out.contains("event: progress\ndata: {\"id\":"), "{out}");
+        // The stream always closes with the query's terminal frame.
+        assert!(out.contains("event: terminal\n"), "{out}");
+        assert!(out.contains("\"done\":true"), "{out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn late_stream_subscribers_still_get_a_terminal_frame() {
+        let server = MonitorServer::start("127.0.0.1:0", None).unwrap();
+        let (t, reg) = tracker();
+        let q = server
+            .directory()
+            .register("late", "once", t, Arc::new(PhaseSink::new()), None);
+        for _ in 0..100 {
+            reg.get(0).unwrap().record_emitted();
+        }
+        reg.finish_all();
+        // Wait for the broadcast tick to notice and emit the terminal.
+        std::thread::sleep(Duration::from_millis(120));
+        // A subscriber arriving after the broadcast gets a synthesized one.
+        let out = stream_get(server.addr(), &format!("/progress/{}/stream", q.id()));
+        assert!(out.contains("event: terminal\n"), "{out}");
+        assert!(out.contains("\"done\":true"), "{out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn events_firehose_snapshots_then_reports_unregistration() {
+        let server = MonitorServer::start("127.0.0.1:0", None).unwrap();
+        let (t, reg) = tracker();
+        let q = server
+            .directory()
+            .register("fire", "once", t, Arc::new(PhaseSink::new()), None);
+        let addr = server.addr();
+        let reader = std::thread::spawn(move || stream_get(addr, "/events"));
+        std::thread::sleep(Duration::from_millis(80));
+        for _ in 0..100 {
+            reg.get(0).unwrap().record_emitted();
+        }
+        reg.finish_all();
+        std::thread::sleep(Duration::from_millis(120));
+        drop(q);
+        server.shutdown();
+        let out = reader.join().unwrap();
+        assert!(
+            out.contains("event: snapshot\ndata: {\"queries\":["),
+            "{out}"
+        );
+        assert!(out.contains("\"label\":\"fire\""), "{out}");
+        assert!(out.contains("event: terminal\n"), "{out}");
+    }
+
+    #[test]
+    fn stream_for_unknown_query_is_a_404() {
+        let server = MonitorServer::start("127.0.0.1:0", None).unwrap();
+        let out = stream_get(server.addr(), "/progress/424242/stream");
+        assert!(out.starts_with("HTTP/1.1 404"), "{out}");
+        server.shutdown();
     }
 
     #[test]

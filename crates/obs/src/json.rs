@@ -155,6 +155,12 @@ pub fn write_event_json(out: &mut String, event: &TraceEvent, op_names: &[String
             op_field(out, *op);
             let _ = write!(out, ",\"worker\":{worker},\"busy_us\":{busy_us}");
         }
+        TraceEventKind::HealthTransition { from, to, reason } => {
+            let _ = write!(
+                out,
+                ",\"event\":\"health_transition\",\"from\":\"{from}\",\"to\":\"{to}\",\"reason\":\"{reason}\""
+            );
+        }
     }
     out.push('}');
 }

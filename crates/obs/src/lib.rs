@@ -28,6 +28,10 @@
 //!   trace: mean/max absolute error vs the retrospective oracle,
 //!   monotonicity violations, convergence point, per-estimator q-error
 //!   summaries.
+//! - [`health`] — a per-query [`HealthAnalyzer`](health::HealthAnalyzer)
+//!   consuming the live trace stream plus periodic work/ETA samples to
+//!   detect stalls, estimate drift/oscillation, and ETA volatility,
+//!   publishing typed `HealthTransition` events back onto the query's bus.
 //! - [`metrics_sink`] — a [`MetricsSink`](metrics_sink::MetricsSink)
 //!   aggregating each query's events into a shared
 //!   [`qprog_metrics::Registry`]: fleet-wide tuple counts, phase activity,
@@ -38,6 +42,7 @@
 //! recorder leaves the engine's hot paths untouched.
 
 pub mod explain;
+pub mod health;
 pub mod json;
 pub mod metrics_sink;
 pub mod replay;
@@ -46,6 +51,7 @@ pub mod sinks;
 pub mod timeline;
 
 pub use explain::explain_analyze;
+pub use health::{HealthAnalyzer, HealthConfig};
 pub use metrics_sink::MetricsSink;
 pub use replay::ReplayedTrace;
 pub use scoring::{score_events, score_log, ProgressScore, QErrorSummary};

@@ -222,6 +222,9 @@ impl TraceSink for MetricsSink {
             // serial (threads = 1) run never registers them — keeping the
             // exposition byte-identical to a pre-parallelism engine.
             TraceEventKind::WorkerWallTime { .. } => None,
+            // Same deal: health events only exist when an analyzer is
+            // attached, so plain traces never register health series.
+            TraceEventKind::HealthTransition { .. } => None,
         };
         if let Some(event_idx) = event_idx {
             self.events[event_idx].inc();
@@ -329,6 +332,23 @@ impl TraceSink for MetricsSink {
                         )
                         .add(busy_us);
                 }
+            }
+            TraceEventKind::HealthTransition { to, reason, .. } => {
+                self.registry
+                    .counter(
+                        "qprog_trace_events_total",
+                        "Trace events published, by event kind",
+                        &[("event", "health_transition")],
+                    )
+                    .inc();
+                self.registry
+                    .counter(
+                        "qprog_health_transitions_total",
+                        "Progress-health verdict changes, by entered state \
+                         and reason",
+                        &[("state", to.name()), ("reason", reason.name())],
+                    )
+                    .inc();
             }
             TraceEventKind::EstimatorDegraded { reason, .. } => {
                 self.registry
@@ -561,6 +581,43 @@ mod tests {
         );
         assert!(
             text.contains("qprog_worker_busy_us{op=\"hash_join\",worker=\"1\"} 2500"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn health_transitions_resolve_lazily() {
+        use qprog_exec::trace::{HealthReason, HealthState};
+        let registry = Arc::new(Registry::new());
+        let sink = MetricsSink::new(Arc::clone(&registry), "once");
+        // No analyzer attached → no health series in the exposition.
+        let before = registry.render();
+        assert!(!before.contains("health"), "{before}");
+        publish_all(
+            &sink,
+            &[
+                TraceEventKind::HealthTransition {
+                    from: HealthState::Healthy,
+                    to: HealthState::Stalled,
+                    reason: HealthReason::Stall,
+                },
+                TraceEventKind::HealthTransition {
+                    from: HealthState::Stalled,
+                    to: HealthState::Healthy,
+                    reason: HealthReason::Recovered,
+                },
+            ],
+        );
+        let text = registry.render();
+        assert!(
+            text.contains("qprog_trace_events_total{event=\"health_transition\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("qprog_health_transitions_total{reason=\"stall\",state=\"stalled\"} 1")
+                || text.contains(
+                    "qprog_health_transitions_total{state=\"stalled\",reason=\"stall\"} 1"
+                ),
             "{text}"
         );
     }

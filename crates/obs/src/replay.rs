@@ -21,7 +21,8 @@
 use std::sync::Arc;
 
 use qprog_exec::trace::{
-    AbortKind, DegradeReason, EstimateSource, Phase, TraceEvent, TraceEventKind, TraceSink,
+    AbortKind, DegradeReason, EstimateSource, HealthReason, HealthState, Phase, TraceEvent,
+    TraceEventKind, TraceSink,
 };
 
 use crate::json::raw_field;
@@ -103,7 +104,8 @@ fn op_index(kind: &TraceEventKind) -> Option<u32> {
         | TraceEventKind::PipelineFinished { .. }
         | TraceEventKind::QueryFinished { .. }
         | TraceEventKind::QueryAborted { .. }
-        | TraceEventKind::ProgressSampled { .. } => None,
+        | TraceEventKind::ProgressSampled { .. }
+        | TraceEventKind::HealthTransition { .. } => None,
     }
 }
 
@@ -212,6 +214,19 @@ pub fn parse_event(line: &str) -> Result<TraceEvent, String> {
             worker: parse_u32(line, "worker")?,
             busy_us: parse_u64(line, "busy_us")?,
         },
+        "health_transition" => {
+            let from_raw = field(line, "from")?;
+            let to_raw = field(line, "to")?;
+            let reason_raw = field(line, "reason")?;
+            TraceEventKind::HealthTransition {
+                from: HealthState::from_name(from_raw)
+                    .ok_or_else(|| format!("unknown health state \"{from_raw}\""))?,
+                to: HealthState::from_name(to_raw)
+                    .ok_or_else(|| format!("unknown health state \"{to_raw}\""))?,
+                reason: HealthReason::from_name(reason_raw)
+                    .ok_or_else(|| format!("unknown health reason \"{reason_raw}\""))?,
+            }
+        }
         other => return Err(format!("unknown event kind \"{other}\"")),
     };
     Ok(TraceEvent { seq, at_us, kind })
@@ -324,6 +339,16 @@ mod tests {
                 op: 5,
                 worker: 3,
                 busy_us: 9_876,
+            },
+            TraceEventKind::HealthTransition {
+                from: HealthState::Healthy,
+                to: HealthState::Stalled,
+                reason: HealthReason::Stall,
+            },
+            TraceEventKind::HealthTransition {
+                from: HealthState::Unstable,
+                to: HealthState::Healthy,
+                reason: HealthReason::Recovered,
             },
         ];
         let names: Vec<String> = (0..6).map(|i| format!("op{i}")).collect();

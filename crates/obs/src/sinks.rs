@@ -30,6 +30,7 @@ pub struct RingSink {
     mask: usize,
     enqueue_pos: AtomicUsize,
     dequeue_pos: AtomicUsize,
+    delivered: AtomicU64,
     dropped: AtomicU64,
 }
 
@@ -54,6 +55,7 @@ impl RingSink {
             mask: cap - 1,
             enqueue_pos: AtomicUsize::new(0),
             dequeue_pos: AtomicUsize::new(0),
+            delivered: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
         }
     }
@@ -61,6 +63,11 @@ impl RingSink {
     /// Slot count.
     pub fn capacity(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Events successfully buffered (delivered to the ring).
+    pub fn delivered(&self) -> u64 {
+        self.delivered.load(Ordering::Relaxed)
     }
 
     /// Events dropped because the ring was full.
@@ -143,7 +150,9 @@ impl RingSink {
 
 impl TraceSink for RingSink {
     fn publish(&self, event: &TraceEvent) {
-        if !self.try_push(*event) {
+        if self.try_push(*event) {
+            self.delivered.fetch_add(1, Ordering::Relaxed);
+        } else {
             self.dropped.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -164,6 +173,8 @@ impl std::fmt::Debug for RingSink {
 pub struct JsonlSink<W: Write + Send> {
     inner: Mutex<JsonlInner<W>>,
     op_names: Vec<String>,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
 }
 
 /// Writer plus a reusable line buffer, so the per-event hot path encodes
@@ -182,7 +193,20 @@ impl<W: Write + Send> JsonlSink<W> {
                 line: String::with_capacity(128),
             }),
             op_names: Vec::new(),
+            delivered: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
         }
+    }
+
+    /// Events written out successfully.
+    pub fn delivered(&self) -> u64 {
+        self.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Events lost to writer IO errors (trace output is advisory; the
+    /// query is never failed, but the loss is counted).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Annotate operator indices with their registry names.
@@ -205,9 +229,13 @@ impl<W: Write + Send> TraceSink for JsonlSink<W> {
         crate::json::write_event_json(&mut inner.line, event, &self.op_names);
         inner.line.push('\n');
         // Trace output is advisory: an unwritable sink must not fail the
-        // query, so IO errors are swallowed. Flushed per line so the file
-        // can be tailed live.
-        let _ = inner.writer.write_all(inner.line.as_bytes());
+        // query, so IO errors are swallowed (but counted). Flushed per line
+        // so the file can be tailed live.
+        if inner.writer.write_all(inner.line.as_bytes()).is_ok() {
+            self.delivered.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
         let _ = inner.writer.flush();
     }
 }
@@ -373,6 +401,13 @@ impl TraceSink for ValidatorSink {
                     ));
                 }
             }
+            TraceEventKind::HealthTransition { from, to, .. } => {
+                // A transition must actually change the verdict.
+                if from == to {
+                    s.violations
+                        .push(format!("health transition {from}→{to} changes nothing"));
+                }
+            }
             TraceEventKind::PipelineStarted { .. }
             | TraceEventKind::PipelineFinished { .. }
             | TraceEventKind::QueryFinished { .. }
@@ -406,6 +441,7 @@ mod tests {
         let drained = ring.drain();
         assert_eq!(drained.len(), 5);
         assert!(drained.iter().enumerate().all(|(i, e)| e.seq == i as u64));
+        assert_eq!(ring.delivered(), 5);
         assert_eq!(ring.dropped(), 0);
     }
 
@@ -416,6 +452,7 @@ mod tests {
             ring.publish(&ev(i, TraceEventKind::QueryFinished { rows: i }));
         }
         assert_eq!(ring.dropped(), 6);
+        assert_eq!(ring.delivered(), 4);
         // the *oldest* events survive (drop-newest keeps a coherent prefix)
         let drained = ring.drain();
         assert_eq!(
@@ -455,6 +492,8 @@ mod tests {
             TraceEventKind::OperatorFinished { op: 0, emitted: 9 },
         ));
         sink.publish(&ev(1, TraceEventKind::QueryFinished { rows: 9 }));
+        assert_eq!(sink.delivered(), 2);
+        assert_eq!(sink.dropped(), 0);
         let text = String::from_utf8(sink.into_inner()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);

@@ -180,6 +180,10 @@ pub struct TimelineRecorder {
     log: ProgressLog,
     /// Last observed per-pipeline state, for start/finish event edges.
     pipeline_states: Vec<PipelineState>,
+    /// Running max of the published fraction: reported progress is clamped
+    /// monotone at this layer while the raw (possibly wobbling) estimates
+    /// stay visible in `EstimateRefined` events and per-op trajectories.
+    max_fraction: f64,
 }
 
 impl TimelineRecorder {
@@ -200,6 +204,7 @@ impl TimelineRecorder {
                 points: Vec::new(),
             },
             pipeline_states: Vec::new(),
+            max_fraction: 0.0,
         }
     }
 
@@ -259,6 +264,19 @@ impl TimelineRecorder {
             }
         }
 
+        // Published progress is clamped to its running max: estimate
+        // refinements may shrink `ΣN_i` and wobble the raw fraction
+        // backwards, but a user-facing indicator must never retreat. The
+        // raw values stay in the trace via `EstimateRefined` / per-op
+        // trajectories.
+        let raw = snapshot.fraction();
+        if raw.is_finite() && raw > self.max_fraction {
+            self.max_fraction = raw;
+        }
+        let fraction = self.max_fraction;
+        // Keep the published interval consistent with the clamped point.
+        let hi = if hi.is_finite() { hi.max(fraction) } else { hi };
+
         // A sampled gnm snapshot in the trace itself makes the recorded
         // JSONL self-sufficient for post-hoc quality scoring (replay needs
         // no live tracker).
@@ -266,7 +284,7 @@ impl TimelineRecorder {
             bus.publish(TraceEventKind::ProgressSampled {
                 current: snapshot.current(),
                 total: snapshot.total(),
-                fraction: snapshot.fraction(),
+                fraction,
                 lo,
                 hi,
             });
@@ -274,7 +292,7 @@ impl TimelineRecorder {
 
         self.log.points.push(TimelinePoint {
             at_us,
-            fraction: snapshot.fraction(),
+            fraction,
             lo,
             hi,
             current: snapshot.current(),
@@ -442,6 +460,29 @@ mod tests {
         }
         assert_eq!(log.monotonicity_violations(0.01), 1);
         assert_eq!(log.monotonicity_violations(0.0), 2);
+    }
+
+    #[test]
+    fn published_fraction_is_clamped_monotone() {
+        let (tracker, reg) = two_op_tracker();
+        let mut rec = TimelineRecorder::new(tracker);
+        let scan = reg.get(0).unwrap();
+        for _ in 0..60 {
+            scan.record_emitted();
+        }
+        rec.sample();
+        let before = rec.log().points().last().unwrap().fraction;
+        assert!(before > 0.0);
+        // An upward estimate revision shrinks the raw fraction...
+        scan.set_estimated_total(10_000.0);
+        rec.sample();
+        let log = rec.into_log();
+        let after = log.points().last().unwrap();
+        // ...but the published fraction holds its running max, with the
+        // interval kept consistent.
+        assert_eq!(after.fraction, before);
+        assert!(!after.hi.is_finite() || after.hi >= after.fraction);
+        assert_eq!(log.monotonicity_violations(0.0), 0);
     }
 
     #[test]

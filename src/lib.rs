@@ -19,7 +19,9 @@
 //! - an observability stack: execution event tracing with EXPLAIN ANALYZE
 //!   ([`obs`]), a lock-cheap metrics registry with Prometheus text
 //!   exposition ([`metrics`]), and a std-only live monitor HTTP server
-//!   with a progress dashboard for concurrent queries ([`monitor`]).
+//!   with a progress dashboard, server-push SSE streaming, and per-query
+//!   health detection (stall / drift / ETA volatility) for concurrent
+//!   queries ([`monitor`]).
 //!
 //! ## Quickstart
 //!
@@ -71,12 +73,14 @@ pub mod prelude {
     pub use qprog_core::gnm::ProgressSnapshot;
     pub use qprog_core::EstimationMode;
     pub use qprog_exec::governor::{Budgets, CancellationToken, Governor};
-    pub use qprog_exec::trace::{AbortKind, DegradeReason, EventBus, TraceEvent, TraceSink};
+    pub use qprog_exec::trace::{
+        AbortKind, DegradeReason, EventBus, HealthReason, HealthState, TraceEvent, TraceSink,
+    };
     pub use qprog_metrics::Registry;
-    pub use qprog_monitor::{MonitorServer, QueryState};
+    pub use qprog_monitor::{MonitorServer, QueryState, StreamHub, StreamNext};
     pub use qprog_obs::{
-        explain_analyze, JsonlSink, MetricsSink, ProgressLog, RingSink, StderrSink,
-        TimelineRecorder, ValidatorSink,
+        explain_analyze, HealthAnalyzer, HealthConfig, JsonlSink, MetricsSink, ProgressLog,
+        RingSink, StderrSink, TimelineRecorder, ValidatorSink,
     };
     pub use qprog_plan::builder::PlanBuilder;
     pub use qprog_plan::physical::PhysicalOptions;

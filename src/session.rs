@@ -6,10 +6,11 @@ use std::time::Duration;
 
 use qprog_core::gnm::ProgressSnapshot;
 use qprog_exec::governor::CancellationToken;
+use qprog_exec::trace::HealthState;
 use qprog_exec::trace::{EventBus, TraceEvent, TraceSink};
 use qprog_metrics::Registry;
 use qprog_monitor::{MonitorServer, MonitoredQuery, PhaseSink, QueryState};
-use qprog_obs::MetricsSink;
+use qprog_obs::{HealthAnalyzer, HealthConfig, MetricsSink};
 use qprog_plan::physical::{compile_traced, CompiledQuery, PhysicalOptions};
 use qprog_plan::{LogicalPlan, PlanBuilder, ProgressTracker};
 use qprog_storage::Catalog;
@@ -32,14 +33,19 @@ use qprog_types::{QResult, Row};
 ///   [`MonitorServer`] (several sessions can share one);
 ///   [`serve_on`](Self::serve_on) starts a fresh one at
 ///   [`SessionBuilder::build`] time. Either way every query registers for
-///   live HTTP observation (`/progress/{id}`, the `/` dashboard) and
-///   unregisters when its [`QueryHandle`] drops.
+///   live HTTP observation (`/progress/{id}`, its `/stream` SSE variant,
+///   the `/events` firehose, and the `/` dashboard) and unregisters when
+///   its [`QueryHandle`] drops. Monitored queries also get a per-query
+///   [`HealthAnalyzer`] (stall / estimate-oscillation / ETA-volatility
+///   detection); tune its thresholds with
+///   [`with_health`](Self::with_health).
 #[derive(Debug, Clone, Default)]
 pub struct Observability {
     trace: Option<Arc<EventBus>>,
     metrics: Option<Arc<Registry>>,
     monitor: Option<Arc<MonitorServer>>,
     serve_addr: Option<String>,
+    health: HealthConfig,
 }
 
 impl Observability {
@@ -81,6 +87,15 @@ impl Observability {
     /// [`with_monitor`](Self::with_monitor).
     pub fn serve_on(mut self, addr: impl Into<String>) -> Self {
         self.serve_addr = Some(addr.into());
+        self
+    }
+
+    /// Override the health-detection thresholds (stall window, estimate
+    /// flip/divergence sensitivity, ETA volatility) applied to each
+    /// monitored query's [`HealthAnalyzer`]. Has no effect unless a
+    /// monitor is attached.
+    pub fn with_health(mut self, config: HealthConfig) -> Self {
+        self.health = config;
         self
     }
 }
@@ -133,6 +148,7 @@ impl SessionBuilder {
             mut metrics,
             mut monitor,
             serve_addr,
+            health,
         } = self.observability;
         if let Some(addr) = serve_addr {
             if monitor.is_some() {
@@ -156,6 +172,7 @@ impl SessionBuilder {
             bus: trace,
             metrics,
             monitor,
+            health,
         })
     }
 }
@@ -176,6 +193,7 @@ pub struct Session {
     bus: Option<Arc<EventBus>>,
     metrics: Option<Arc<Registry>>,
     monitor: Option<Arc<MonitorServer>>,
+    health: HealthConfig,
 }
 
 impl Session {
@@ -187,6 +205,7 @@ impl Session {
             bus: None,
             metrics: None,
             monitor: None,
+            health: HealthConfig::default(),
         }
     }
 
@@ -194,42 +213,6 @@ impl Session {
     pub fn with_options(mut self, options: PhysicalOptions) -> Self {
         self.options = options;
         self
-    }
-
-    /// Attach a trace bus.
-    #[deprecated(note = "use SessionBuilder with Observability::with_trace")]
-    pub fn with_trace(mut self, bus: Arc<EventBus>) -> Self {
-        self.bus = Some(bus);
-        self
-    }
-
-    /// Attach a metrics registry.
-    #[deprecated(note = "use SessionBuilder with Observability::with_metrics")]
-    pub fn with_metrics(mut self, registry: Arc<Registry>) -> Self {
-        self.metrics = Some(registry);
-        self
-    }
-
-    /// Register queries with an already-running monitor server.
-    #[deprecated(note = "use SessionBuilder with Observability::with_monitor")]
-    pub fn with_monitor(mut self, server: Arc<MonitorServer>) -> Self {
-        if self.metrics.is_none() {
-            self.metrics = server.metrics().cloned();
-        }
-        self.monitor = Some(server);
-        self
-    }
-
-    /// Start a live monitor HTTP server on `addr` and register every
-    /// subsequent query with it.
-    #[deprecated(note = "use SessionBuilder with Observability::serve_on")]
-    pub fn serve_monitor(mut self, addr: &str) -> QResult<Self> {
-        let registry = self
-            .metrics
-            .get_or_insert_with(|| Arc::new(Registry::new()))
-            .clone();
-        self.monitor = Some(MonitorServer::start(addr, Some(registry))?);
-        Ok(self)
     }
 
     /// The attached trace bus, if any.
@@ -283,6 +266,13 @@ impl Session {
             .as_ref()
             .map(|r| Arc::new(MetricsSink::new(Arc::clone(r), self.options.mode.label())));
         let phase_sink = self.monitor.as_ref().map(|_| Arc::new(PhaseSink::new()));
+        // Monitored queries also get a health analyzer: it taps the same
+        // trace stream (estimate oscillation/divergence) and is sampled by
+        // the monitor's broadcast tick (stall and ETA-volatility checks).
+        let health_analyzer = self
+            .monitor
+            .as_ref()
+            .map(|_| Arc::new(HealthAnalyzer::new(self.health.clone())));
 
         let bus = if metrics_sink.is_none() && phase_sink.is_none() {
             // Fast path: exactly the user's bus (or none — zero overhead).
@@ -300,8 +290,16 @@ impl Session {
             if let Some(ps) = &phase_sink {
                 b = b.sink(Arc::clone(ps) as Arc<dyn TraceSink>);
             }
+            if let Some(ha) = &health_analyzer {
+                b = b.sink(Arc::clone(ha) as Arc<dyn TraceSink>);
+            }
             Some(b.build())
         };
+        // Health transitions are published back onto the query's own bus,
+        // so the stream that carried the symptoms also carries the verdict.
+        if let (Some(ha), Some(b)) = (&health_analyzer, &bus) {
+            ha.attach_bus(b);
+        }
 
         let compiled = compile_traced(&plan, &self.options, bus)?;
         if let Some(ms) = &metrics_sink {
@@ -319,6 +317,7 @@ impl Session {
                 self.options.mode.label(),
                 compiled.tracker(),
                 Arc::clone(phases),
+                health_analyzer.clone(),
             )),
             _ => None,
         };
@@ -327,6 +326,7 @@ impl Session {
             compiled,
             monitored,
             phases: phase_sink,
+            health: health_analyzer,
         })
     }
 }
@@ -428,6 +428,7 @@ pub struct QueryHandle {
     compiled: CompiledQuery,
     monitored: Option<MonitoredQuery>,
     phases: Option<Arc<PhaseSink>>,
+    health: Option<Arc<HealthAnalyzer>>,
 }
 
 impl QueryHandle {
@@ -477,23 +478,6 @@ impl QueryHandle {
         }
     }
 
-    /// Run to completion, invoking the observer with a progress snapshot
-    /// every 256 output rows and at completion.
-    #[deprecated(note = "use run(RunOptions::new().observer(...))")]
-    pub fn run_with(&mut self, observer: impl FnMut(&ProgressSnapshot)) -> QResult<Vec<Row>> {
-        self.run(RunOptions::new().observer(observer))
-    }
-
-    /// [`run_with`](Self::run_with) at an explicit row cadence.
-    #[deprecated(note = "use run(RunOptions::new().observer(...).cadence(n))")]
-    pub fn run_with_cadence(
-        &mut self,
-        every_n: u64,
-        observer: impl FnMut(&ProgressSnapshot),
-    ) -> QResult<Vec<Row>> {
-        self.run(RunOptions::new().observer(observer).cadence(every_n))
-    }
-
     /// Pull one output row (manual Volcano stepping).
     pub fn step(&mut self) -> QResult<Option<Row>> {
         self.compiled.step()
@@ -521,12 +505,6 @@ impl QueryHandle {
         self.compiled.set_deadline(after);
     }
 
-    /// [`collect`](Self::collect) bounded by a wall-clock deadline.
-    #[deprecated(note = "use run(RunOptions::new().deadline(after))")]
-    pub fn run_with_deadline(&mut self, deadline: Duration) -> QResult<Vec<Row>> {
-        self.run(RunOptions::new().deadline(deadline))
-    }
-
     /// The query's lifecycle state. Terminal failure reasons are observed
     /// through trace events, so `Failed{..}` is reported when the session
     /// has a monitor attached (the same view `/progress` serves);
@@ -542,6 +520,13 @@ impl QueryHandle {
                 }
             }
         }
+    }
+
+    /// The query's current health verdict (stall / oscillation / ETA
+    /// volatility detection), when the session has a monitor — and thus a
+    /// [`HealthAnalyzer`] — attached.
+    pub fn health(&self) -> Option<HealthState> {
+        self.health.as_ref().map(|h| h.state())
     }
 
     /// Spawn a watcher thread sampling this query's progress every
@@ -957,27 +942,26 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_shims_still_work() {
-        let ring = Arc::new(qprog_obs::RingSink::with_capacity(1024));
-        let session =
-            Session::new(catalog()).with_trace(EventBus::with_sink(Arc::clone(&ring) as _));
-        let mut h = session.query("SELECT * FROM nation").unwrap();
-        let mut fractions = Vec::new();
-        let rows = h
-            .run_with_cadence(16, |snap| fractions.push(snap.fraction()))
+    fn monitored_queries_report_health() {
+        let session = SessionBuilder::new(catalog())
+            .observability(Observability::new().serve_on("127.0.0.1:0"))
+            .build()
             .unwrap();
-        assert_eq!(rows.len(), 100);
-        assert_eq!(*fractions.last().unwrap(), 1.0);
-        assert!(!ring.drain().is_empty());
+        let server = Arc::clone(session.monitor().unwrap());
+        let mut h = session.query("SELECT * FROM nation").unwrap();
+        let id = h.query_id().unwrap();
+        assert_eq!(h.health(), Some(HealthState::Healthy));
+        h.collect().unwrap();
+        let detail = http_get(server.addr(), &format!("/progress/{id}"));
+        assert!(detail.contains("\"health\":\"healthy\""), "{detail}");
+        server.shutdown();
+    }
 
-        let mut h = session.query("SELECT * FROM customer").unwrap();
-        let err = h.run_with_deadline(Duration::ZERO).unwrap_err();
-        assert_eq!(
-            err.lifecycle().map(qprog_types::ExecError::kind),
-            Some("deadline"),
-            "{err}"
-        );
+    #[test]
+    fn unmonitored_queries_have_no_health_analyzer() {
+        let session = Session::new(catalog());
+        let h = session.query("SELECT * FROM nation").unwrap();
+        assert_eq!(h.health(), None);
     }
 
     #[test]

@@ -398,6 +398,80 @@ mod faulted {
     }
 
     #[test]
+    fn injected_stall_trips_the_health_detector() {
+        let scenario = fault::FailScenario::setup();
+        // One long mid-scan sleep: observed work freezes far past the
+        // (shrunken) stall window while the query is still Running.
+        fault::configure("exec/scan/next", "1*sleep(700)").unwrap();
+        let session =
+            SessionBuilder::new(catalog())
+                .observability(Observability::new().serve_on("127.0.0.1:0").with_health(
+                    HealthConfig::default().with_stall_window(Duration::from_millis(150)),
+                ))
+                .build()
+                .unwrap();
+        let server = Arc::clone(session.monitor().unwrap());
+        let mut h = session.query("SELECT * FROM customer").unwrap();
+        let id = h.query_id().unwrap();
+        let worker = std::thread::spawn(move || {
+            let rows = h.collect().map(|r| r.len());
+            (h, rows)
+        });
+        // While the sleep holds the scan the monitor's tick must flip the
+        // verdict to Stalled and surface it over HTTP.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut saw_stalled = false;
+        while Instant::now() < deadline && !saw_stalled {
+            if let Some(detail) = http_get(server.addr(), &format!("/progress/{id}")) {
+                saw_stalled = detail.contains("\"health\":\"stalled\"");
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(
+            saw_stalled,
+            "stall detector never fired during a 700ms injected sleep"
+        );
+        // The fault was a slowdown, not an error: the query still finishes.
+        let (h, rows) = worker.join().unwrap();
+        assert_eq!(rows.unwrap(), 50_000);
+        assert!(h.health().is_some());
+        assert_eq!(fault::hits("exec/scan/next"), 1);
+        server.shutdown();
+        drop(scenario);
+    }
+
+    #[test]
+    fn clean_runs_never_false_positive_the_stall_detector() {
+        let scenario = fault::FailScenario::setup();
+        // Same wiring, no fault: with default thresholds a healthy query
+        // must never leave the Healthy state.
+        let session = SessionBuilder::new(catalog())
+            .observability(
+                Observability::new()
+                    .serve_on("127.0.0.1:0")
+                    .with_health(HealthConfig::default()),
+            )
+            .build()
+            .unwrap();
+        let server = Arc::clone(session.monitor().unwrap());
+        let mut h = session
+            .query(
+                "SELECT nation.nationkey, count(*) FROM customer \
+                 JOIN nation ON customer.nationkey = nation.nationkey \
+                 GROUP BY nation.nationkey",
+            )
+            .unwrap();
+        let id = h.query_id().unwrap();
+        assert!(!h.collect().unwrap().is_empty());
+        // The verdict froze at terminal without ever transitioning.
+        assert_eq!(h.health(), Some(HealthState::Healthy));
+        let detail = http_get(server.addr(), &format!("/progress/{id}")).unwrap();
+        assert!(detail.contains("\"health\":\"healthy\""), "{detail}");
+        server.shutdown();
+        drop(scenario);
+    }
+
+    #[test]
     fn failpoints_are_deterministic_for_a_seed() {
         let scenario = fault::FailScenario::setup();
         let mut outcomes = Vec::new();

@@ -144,22 +144,25 @@ fn monitored_query_is_observable_live_over_http() {
         assert!(lo <= hi, "bounds inverted: [{lo}, {hi}]");
         assert!(lo >= 0.0, "negative lower bound {lo}");
         // Remaining-time fields: elapsed is always present and positive;
-        // once any progress registers, a running query also reports
-        // `eta_us = elapsed × (1−p)/p` (null before first progress and
-        // after terminal states).
+        // once meaningful progress registers, a running query also reports
+        // a smoothed `eta_us` derived from `elapsed × (1−p)/p` (null until
+        // p clears the smoother's floor and after terminal states).
         let elapsed = json_num(&body, "elapsed_us");
         assert!(elapsed > 0.0, "elapsed_us not positive: {body}");
         assert!(body.contains("\"eta_us\":"), "{body}");
-        if fraction > 0.0 && !body.contains("\"done\":true") {
+        if fraction > 0.0 && !body.contains("\"done\":true") && !body.contains("\"eta_us\":null") {
             let eta = json_num(&body, "eta_us");
             let expect = elapsed * (1.0 - fraction) / fraction;
-            // Both fields are sampled at slightly different instants in the
-            // server; allow generous slack around the formula.
+            // The smoothed estimate lags the raw formula (and the two
+            // fields are sampled at slightly different instants in the
+            // server); allow generous slack around it.
             assert!(
                 eta >= 0.0 && eta <= expect * 2.0 + 1e6,
                 "eta_us {eta} inconsistent with elapsed {elapsed} @ p={fraction}"
             );
         }
+        // A clean run never leaves the healthy verdict.
+        assert!(body.contains("\"health\":\"healthy\""), "{body}");
         last_c = c;
         last_fraction = fraction;
         polls += 1;
@@ -202,6 +205,143 @@ fn monitored_query_is_observable_live_over_http() {
     drop(handle);
     let (head, _) = get(addr, &path);
     assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+    server.shutdown();
+}
+
+/// Open a streaming GET and read until the server closes the connection.
+fn stream_get(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to monitor");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: smoke\r\n\r\n").unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(20)))
+        .unwrap();
+    let mut out = String::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => out.push_str(&String::from_utf8_lossy(&buf[..n])),
+        }
+    }
+    out
+}
+
+#[test]
+fn sse_stream_delivers_well_formed_frames_and_always_a_terminal() {
+    let session = SessionBuilder::new(catalog())
+        .observability(Observability::new().serve_on("127.0.0.1:0"))
+        .build()
+        .unwrap();
+    let server = Arc::clone(session.monitor().unwrap());
+    let addr = server.addr();
+
+    let mut handle = session
+        .query(
+            "SELECT nation.nationkey, count(*) FROM customer \
+             JOIN nation ON customer.nationkey = nation.nationkey \
+             GROUP BY nation.nationkey",
+        )
+        .unwrap();
+    let id = handle.query_id().unwrap();
+    let reader = std::thread::spawn(move || stream_get(addr, &format!("/progress/{id}/stream")));
+    let rows = handle.collect().unwrap();
+    assert_eq!(rows.len(), 400);
+    // The stream closes by itself once the terminal frame is delivered.
+    let raw = reader.join().unwrap();
+
+    // Headers: an open-ended event stream, not a buffered response.
+    let split = raw.find("\r\n\r\n").expect("response has a head");
+    let (head, body) = (&raw[..split], &raw[split + 4..]);
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    assert!(head.contains("Content-Type: text/event-stream"), "{head}");
+    assert!(!head.contains("Content-Length"), "{head}");
+
+    // Framing: every chunk is either an SSE comment (keepalive) or an
+    // `event:` line plus a single-line JSON `data:` payload.
+    let mut kinds = Vec::new();
+    for frame in body.split("\n\n").filter(|f| !f.is_empty()) {
+        if frame.starts_with(':') {
+            continue; // keepalive comment
+        }
+        let mut lines = frame.lines();
+        let event = lines.next().unwrap_or_default();
+        let data = lines.next().unwrap_or_default();
+        assert!(event.starts_with("event: "), "bad frame: {frame:?}");
+        assert!(data.starts_with("data: {"), "bad frame: {frame:?}");
+        assert!(data.ends_with('}'), "bad frame: {frame:?}");
+        assert_eq!(lines.next(), None, "multi-line data: {frame:?}");
+        kinds.push(event["event: ".len()..].to_string());
+    }
+    // First frame is the initial snapshot; the last is always terminal.
+    assert!(!kinds.is_empty(), "no frames in {body:?}");
+    assert_eq!(
+        kinds.first().map(String::as_str),
+        Some("progress"),
+        "{kinds:?}"
+    );
+    assert_eq!(
+        kinds.last().map(String::as_str),
+        Some("terminal"),
+        "{kinds:?}"
+    );
+    assert_eq!(
+        kinds.iter().filter(|k| *k == "terminal").count(),
+        1,
+        "{kinds:?}"
+    );
+    assert!(body.contains("\"done\":true"), "{body}");
+
+    // Stream metrics surfaced on /metrics: subscribers came and went,
+    // frames were delivered.
+    let (_, metrics) = get(addr, "/metrics");
+    assert!(
+        metrics.contains("qprog_stream_events_delivered_total"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("qprog_stream_subscribers 0"), "{metrics}");
+
+    drop(handle);
+    server.shutdown();
+}
+
+#[test]
+fn sse_slow_subscribers_drop_stale_frames_and_are_evicted() {
+    let session = SessionBuilder::new(catalog())
+        .observability(Observability::new().serve_on("127.0.0.1:0"))
+        .build()
+        .unwrap();
+    let server = Arc::clone(session.monitor().unwrap());
+    let hub = server.hub();
+
+    // A subscriber that never drains with a tiny queue: stale progress
+    // frames are dropped, and once it has missed a full queue's worth it
+    // is evicted — without ever blocking the publisher.
+    let slow = hub.subscribe(Some(4242), 2);
+    for i in 0..8 {
+        hub.publish(4242, "progress", &format!("{{\"n\":{i}}}"), false);
+    }
+    assert!(hub.dropped() >= 3, "dropped {}", hub.dropped());
+    assert!(hub.evicted() >= 1, "evicted {}", hub.evicted());
+    assert!(slow.is_closed());
+
+    // Terminal frames are exempt: a full-but-not-evicted subscriber still
+    // receives the query outcome past its cap.
+    let full = hub.subscribe(Some(7), 2);
+    hub.publish(7, "progress", "{\"n\":0}", false);
+    hub.publish(7, "progress", "{\"n\":1}", false);
+    hub.publish(7, "terminal", "{\"done\":true}", true);
+    let mut saw_terminal = false;
+    loop {
+        match full.next(std::time::Duration::from_millis(100)) {
+            qprog::monitor::StreamNext::Frame(f) => {
+                saw_terminal |= f.starts_with("event: terminal\n");
+            }
+            qprog::monitor::StreamNext::Closed => break,
+            qprog::monitor::StreamNext::Timeout => panic!("stream should close"),
+        }
+    }
+    assert!(saw_terminal, "terminal frame was dropped");
 
     server.shutdown();
 }

@@ -148,3 +148,79 @@ fn replayed_trace_reproduces_live_metrics_aggregates() {
         "{replay_score:?}"
     );
 }
+
+#[test]
+fn health_transitions_round_trip_through_replay() {
+    use qprog::exec::trace::{HealthReason, HealthState, TraceEvent, TraceEventKind};
+
+    // A verdict trajectory as the health analyzer would publish it:
+    // stall, recovery, then estimate oscillation.
+    let kinds = [
+        (
+            HealthState::Healthy,
+            HealthState::Stalled,
+            HealthReason::Stall,
+        ),
+        (
+            HealthState::Stalled,
+            HealthState::Healthy,
+            HealthReason::Recovered,
+        ),
+        (
+            HealthState::Healthy,
+            HealthState::Unstable,
+            HealthReason::Oscillation,
+        ),
+    ];
+    let buf = SharedBuf::default();
+    let jsonl = JsonlSink::new(buf.clone());
+    let live_registry = Arc::new(Registry::new());
+    let live_metrics = MetricsSink::new(Arc::clone(&live_registry), "once");
+    for (i, (from, to, reason)) in kinds.into_iter().enumerate() {
+        let event = TraceEvent {
+            seq: i as u64,
+            at_us: 1_000 * (i as u64 + 1),
+            kind: TraceEventKind::HealthTransition { from, to, reason },
+        };
+        jsonl.publish(&event);
+        live_metrics.publish(&event);
+    }
+
+    let trace = ReplayedTrace::parse(&buf.text());
+    assert!(trace.errors.is_empty(), "{:?}", trace.errors);
+    assert_eq!(trace.events.len(), 3);
+    // The typed fields survive the serialize/parse round trip exactly.
+    assert!(matches!(
+        trace.events[0].kind,
+        TraceEventKind::HealthTransition {
+            from: HealthState::Healthy,
+            to: HealthState::Stalled,
+            reason: HealthReason::Stall,
+        }
+    ));
+    assert!(matches!(
+        trace.events[2].kind,
+        TraceEventKind::HealthTransition {
+            to: HealthState::Unstable,
+            reason: HealthReason::Oscillation,
+            ..
+        }
+    ));
+
+    // Replaying into a fresh MetricsSink reproduces the health counters
+    // (and everything else) exactly.
+    let replay_registry = Arc::new(Registry::new());
+    let replay_metrics = MetricsSink::new(Arc::clone(&replay_registry), "once");
+    trace.replay_into(&replay_metrics);
+    let live_text = live_registry.render();
+    assert_eq!(live_text, replay_registry.render());
+    assert!(
+        live_text.contains("qprog_health_transitions_total"),
+        "{live_text}"
+    );
+
+    // Real transitions (from != to) satisfy the validator's invariants.
+    let validator = ValidatorSink::new();
+    trace.replay_into(&validator);
+    assert!(validator.is_clean(), "{:?}", validator.violations());
+}
