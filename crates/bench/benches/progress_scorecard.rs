@@ -21,14 +21,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use qprog::monitor::{PhaseSink, QueryDirectory};
-use qprog::obs::ProgressScore;
+use qprog::obs::{Corpus, CorpusConfig, ProgressScore, RunMeta};
 use qprog::plan::physical::{compile, compile_traced, CompiledQuery, PhysicalOptions};
 use qprog::plan::{LogicalPlan, PlanBuilder};
 use qprog::prelude::*;
 use qprog::workloads::q8_plan;
 use qprog_bench::{
-    banner, interleaved_min_times, ms, overhead_pct, paper_note, print_table, write_bench_json,
-    Scale,
+    banner, interleaved_min_times, ms, overhead_pct, paper_note, print_table, results_dir,
+    write_bench_json, Scale,
 };
 use qprog_datagen::{TpchConfig, TpchGenerator};
 use qprog_exec::ops::agg::AggFunc;
@@ -160,8 +160,16 @@ fn time_configs(plan: &LogicalPlan, mode: EstimationMode, runs: usize) -> Vec<Du
 }
 
 /// One traced run sampled by a [`TimelineRecorder`], scored against the
-/// retrospective oracle; also returns the driver-tuple count.
-fn quality(plan: &LogicalPlan, mode: EstimationMode) -> (ProgressScore, u64) {
+/// retrospective oracle; also returns the driver-tuple count. With a
+/// corpus, the run is archived under `results/` so repeated bench
+/// invocations accumulate a scorecard history (and eventually exercise the
+/// retention cap) that the regression baselines run against.
+fn quality(
+    plan: &LogicalPlan,
+    mode: EstimationMode,
+    corpus: Option<&Corpus>,
+    workload: &str,
+) -> (ProgressScore, u64) {
     let ring = Arc::new(RingSink::with_capacity(1 << 16));
     let bus = EventBus::builder().sink(Arc::clone(&ring) as _).build();
     let mut q = compile_traced(plan, &opts(mode), Some(Arc::clone(&bus))).expect("compile");
@@ -171,6 +179,21 @@ fn quality(plan: &LogicalPlan, mode: EstimationMode) -> (ProgressScore, u64) {
     q.collect().expect("workload run");
     let _ = sampler.finish();
     let events = ring.drain();
+    if let Some(corpus) = corpus {
+        let op_names: Vec<String> = q.registry().iter().map(|(n, _)| n.to_string()).collect();
+        let meta = RunMeta::new(workload, mode.label());
+        match corpus.archive(&meta, &events, &op_names) {
+            Ok(run) => {
+                for r in &run.regressions {
+                    println!(
+                        "  REGRESSION {}: {:.4} > threshold {:.4} (baseline {:.4})",
+                        r.kind, r.observed, r.threshold, r.baseline
+                    );
+                }
+            }
+            Err(e) => println!("  (corpus archive failed: {e})"),
+        }
+    }
     (
         qprog::obs::score_events(&events),
         tracker.snapshot().current(),
@@ -246,11 +269,26 @@ fn main() {
     println!("generating workloads...");
     let workloads = [q8_workload(scale), skew_join_workload(scale)];
 
+    // Every quality run is archived into a persistent corpus under
+    // results/, so reruns build a baseline history per (workload,
+    // estimator) and progress-quality regressions get flagged right in the
+    // bench output. The cap is a few invocations of the 6-entry matrix, so
+    // sustained use also exercises oldest-run eviction.
+    let corpus = Corpus::open_with(
+        results_dir().join("scorecard_corpus"),
+        CorpusConfig {
+            max_runs: 30,
+            ..CorpusConfig::default()
+        },
+    )
+    .map_err(|e| println!("(scorecard corpus unavailable: {e})"))
+    .ok();
+
     let mut entries: Vec<Entry> = Vec::new();
     for w in &workloads {
         for (label, mode) in modes {
             println!("running {} [{label}]...", w.name);
-            let (score, tuples) = quality(&w.plan, mode);
+            let (score, tuples) = quality(&w.plan, mode, corpus.as_ref(), w.name);
             let times = time_configs(&w.plan, mode, runs);
             entries.push(Entry {
                 workload: w.name,
@@ -342,6 +380,14 @@ fn main() {
             .join(",\n    "),
     );
     write_bench_json("BENCH_progress.json", &json);
+    if let Some(corpus) = &corpus {
+        println!(
+            "(scorecard corpus: {} runs, {} trace bytes at {})",
+            corpus.len(),
+            corpus.trace_bytes(),
+            corpus.dir().display()
+        );
+    }
 
     paper_note(&[
         "paper §5.3: tracking overhead stays within a few percent of the \

@@ -122,7 +122,10 @@ pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("(csv written to {})", path.display());
 }
 
-fn results_dir() -> PathBuf {
+/// The `results/` directory (relative to the workspace root when run via
+/// cargo, else the current directory). Benches drop CSVs and trace corpora
+/// here.
+pub fn results_dir() -> PathBuf {
     // CARGO_MANIFEST_DIR of the bench crate is crates/bench; hop up twice.
     match std::env::var("CARGO_MANIFEST_DIR") {
         Ok(dir) => PathBuf::from(dir).join("../../results"),

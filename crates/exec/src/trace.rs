@@ -304,6 +304,54 @@ impl fmt::Display for HealthReason {
     }
 }
 
+/// Which progress-quality metric regressed against its corpus baseline, as
+/// carried by [`TraceEventKind::RegressionDetected`]. Computed by the
+/// `obs::corpus` regression engine when a completed run's scorecard is
+/// compared against rolling median/MAD baselines for the same
+/// (workload, estimator, threads) key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegressionKind {
+    /// Mean absolute progress error vs the retrospective oracle grew.
+    MeanAbsErr,
+    /// The estimate converged later (larger fraction of the run elapsed
+    /// before entering the convergence band, 1.0 = never converged).
+    Convergence,
+    /// The progress fraction moved backwards more often.
+    Monotonicity,
+    /// The run's wall time grew.
+    WallTime,
+}
+
+impl RegressionKind {
+    /// Stable lowercase name (used by the JSONL sink, metrics labels, and
+    /// the monitor's history rendering).
+    pub fn name(self) -> &'static str {
+        match self {
+            RegressionKind::MeanAbsErr => "mean_abs_err",
+            RegressionKind::Convergence => "convergence",
+            RegressionKind::Monotonicity => "monotonicity",
+            RegressionKind::WallTime => "wall_time",
+        }
+    }
+
+    /// Inverse of [`RegressionKind::name`], used by the trace replay parser.
+    pub fn from_name(name: &str) -> Option<RegressionKind> {
+        Some(match name {
+            "mean_abs_err" => RegressionKind::MeanAbsErr,
+            "convergence" => RegressionKind::Convergence,
+            "monotonicity" => RegressionKind::Monotonicity,
+            "wall_time" => RegressionKind::WallTime,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for RegressionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// The event taxonomy. `op` fields are metrics-registry indices (resolve
 /// names through the registry); `pipeline` fields are pipeline ids from the
 /// plan's pipeline decomposition. Events are plain `Copy` data so sinks can
@@ -383,6 +431,18 @@ pub enum TraceEventKind {
         from: HealthState,
         to: HealthState,
         reason: HealthReason,
+    },
+    /// A completed run's progress-quality scorecard regressed against the
+    /// rolling corpus baseline for its (workload, estimator, threads) key.
+    /// Published by the `obs::corpus` archival sink at terminal time — never
+    /// unless a corpus is attached, so plain traces stay byte-identical to
+    /// pre-corpus builds. `observed` exceeded `threshold`, which was derived
+    /// from `baseline` (the rolling median) plus a MAD-scaled margin.
+    RegressionDetected {
+        kind: RegressionKind,
+        observed: f64,
+        baseline: f64,
+        threshold: f64,
     },
 }
 

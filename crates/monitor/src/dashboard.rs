@@ -36,6 +36,8 @@ pub const DASHBOARD_HTML: &str = r#"<!doctype html>
   .health.healthy { background: #e4f3e7; color: #2c7a3f; }
   .health.stalled { background: #fbe5e5; color: #c43d3d; }
   .health.unstable { background: #fdf0d7; color: #9a6b00; }
+  .health.regressed { background: #fbe5e5; color: #c43d3d; }
+  .health.clean { background: #e4f3e7; color: #2c7a3f; }
   .pct { font-variant-numeric: tabular-nums; }
   table { border-collapse: collapse; margin-top: .5rem; font-size: 12.5px;
           font-variant-numeric: tabular-nums; }
@@ -50,6 +52,7 @@ pub const DASHBOARD_HTML: &str = r#"<!doctype html>
 <a href="/progress">/progress</a> as fallback)
 &middot; <a href="/metrics">/metrics</a> (Prometheus)</p>
 <div id="queries"><p class="muted">waiting for queries&hellip;</p></div>
+<div id="history"></div>
 <script>
 const fmt = n => n == null ? "–" : Number(n).toLocaleString("en-US",
   {maximumFractionDigits: 0});
@@ -153,13 +156,47 @@ function connect() {
   es.onerror = () => { es.close(); streaming = false; };
 }
 
+// Run history: archived traces + progress-quality scorecards from the
+// attached corpus (absent — and the section hidden — when the session has
+// none). Refreshed on a slow cadence; history only changes when a query
+// finishes.
+async function pollHistory() {
+  const root = document.getElementById("history");
+  try {
+    const res = await fetch("/history?limit=25");
+    if (!res.ok) { root.innerHTML = ""; return; }
+    const data = await res.json();
+    const runs = data.runs.slice().reverse();
+    const rows = runs.map(r => `<tr>
+      <td><a href="/history/${r.run}/trace">#${r.run}</a></td>
+      <td class="label">${r.workload}</td>
+      <td>${r.estimator}</td><td>${r.state}</td>
+      <td>${(r.wall_us / 1e3).toFixed(1)} ms</td>
+      <td>${r.mean_abs_err == null ? "–" : r.mean_abs_err.toFixed(4)}</td>
+      <td>${r.convergence == null ? "never" : r.convergence.toFixed(2)}</td>
+      <td>${r.monotonicity_violations}</td>
+      <td>${r.regressions > 0
+        ? `<span class="health regressed">${r.regressions} regressed</span>`
+        : `<span class="health clean">clean</span>`}</td>
+    </tr>`).join("");
+    root.innerHTML = `<h1>run history</h1>
+      <p class="muted"><a href="/history">/history</a> &middot;
+      ${runs.length} archived run${runs.length === 1 ? "" : "s"} shown</p>
+      <table><tr><th>run</th><th>workload</th><th>est</th><th>state</th>
+      <th>wall</th><th>mean err</th><th>conv</th><th>mono</th>
+      <th>quality</th></tr>${rows}</table>`;
+  } catch (e) { root.innerHTML = ""; }
+}
+
 let beat = 0;
 setInterval(() => {
   beat += 1;
   if (!streaming || beat % 4 === 0) poll();
+  if (beat % 10 === 0) pollHistory();
 }, 500);
 connect();
 poll();
+pollHistory();
 </script>
 </body>
 </html>
@@ -209,6 +246,16 @@ mod tests {
         // on stream error the page degrades to the polling loop
         assert!(DASHBOARD_HTML.contains("es.onerror"));
         assert!(DASHBOARD_HTML.contains("streaming = false"));
+    }
+
+    #[test]
+    fn dashboard_renders_run_history_with_regression_badges() {
+        assert!(DASHBOARD_HTML.contains("fetch(\"/history?limit=25\")"));
+        assert!(DASHBOARD_HTML.contains("/history/${r.run}/trace"));
+        assert!(DASHBOARD_HTML.contains("r.mean_abs_err"));
+        assert!(DASHBOARD_HTML.contains("r.regressions > 0"));
+        assert!(DASHBOARD_HTML.contains(".health.regressed"));
+        assert!(DASHBOARD_HTML.contains("pollHistory()"));
     }
 
     #[test]

@@ -15,6 +15,30 @@ pub struct Request {
     pub method: String,
     /// Request target path, without query string.
     pub path: String,
+    /// Raw query string (without the `?`); empty when the target had none.
+    pub query: String,
+}
+
+impl Request {
+    /// A request with no query string (handy in tests and direct routing).
+    pub fn get(path: impl Into<String>) -> Request {
+        Request {
+            method: "GET".to_string(),
+            path: path.into(),
+            query: String::new(),
+        }
+    }
+
+    /// The value of query parameter `key`, if present (`k=v` pairs split
+    /// on `&`; no percent-decoding — the monitor's filter values are plain
+    /// identifiers).
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.query
+            .split('&')
+            .filter_map(|pair| pair.split_once('='))
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
 }
 
 /// Parse the head of an HTTP request from `text` (everything up to the
@@ -29,14 +53,19 @@ pub fn parse_request(text: &str) -> Option<Request> {
     if !version.starts_with("HTTP/1.") {
         return None;
     }
-    // Strip any query string; the monitor's routes take none.
-    let path = target.split('?').next().unwrap_or(target);
+    // Split the query string off; filterable routes read it via
+    // [`Request::param`], everything else ignores it.
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
     if !path.starts_with('/') {
         return None;
     }
     Some(Request {
         method: method.to_string(),
         path: path.to_string(),
+        query: query.to_string(),
     })
 }
 
@@ -153,6 +182,18 @@ mod tests {
         let r = parse_request("GET /progress/7?x=1 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
         assert_eq!(r.method, "GET");
         assert_eq!(r.path, "/progress/7");
+        assert_eq!(r.query, "x=1");
+        assert_eq!(r.param("x"), Some("1"));
+        assert_eq!(r.param("y"), None);
+    }
+
+    #[test]
+    fn query_params_split_on_ampersands() {
+        let r = parse_request("GET /history?workload=q1&state=finished HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.param("workload"), Some("q1"));
+        assert_eq!(r.param("state"), Some("finished"));
+        assert_eq!(r.param("estimator"), None);
+        assert_eq!(Request::get("/history").param("workload"), None);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use std::time::Duration;
 
 use qprog_exec::sync::Mutex;
 use qprog_metrics::Registry;
+use qprog_obs::Corpus;
 use qprog_types::{QError, QResult};
 
 use crate::dashboard::DASHBOARD_HTML;
@@ -43,6 +44,15 @@ const STREAM_POLL: Duration = Duration::from_millis(250);
 ///   query's `progress`/`health` frames, ending with its `terminal` frame,
 /// - `GET /events` — the all-queries firehose stream.
 ///
+/// With a trace corpus attached ([`set_corpus`](Self::set_corpus), or
+/// `Observability::with_corpus` session-side), three more routes serve run
+/// history:
+///
+/// - `GET /history` — archived runs with scorecards (filter with
+///   `?workload=`/`?estimator=`/`?state=`/`?limit=`),
+/// - `GET /history/{run}` — one run's metadata + scorecard,
+/// - `GET /history/{run}/trace` — the run's raw trace JSONL.
+///
 /// Streamed frames are encoded once per broadcast tick and shared across
 /// subscribers, so N watchers cost O(1) encodes per tick, not O(N).
 ///
@@ -53,6 +63,9 @@ pub struct MonitorServer {
     directory: Arc<QueryDirectory>,
     metrics: Option<Arc<Registry>>,
     hub: Arc<StreamHub>,
+    /// Attached after start (the session opens its corpus at build time,
+    /// which may follow the server), hence the mutex.
+    corpus: Mutex<Option<Arc<Corpus>>>,
     stop: Arc<AtomicBool>,
     accept_thread: Mutex<Option<JoinHandle<()>>>,
     tick_thread: Mutex<Option<JoinHandle<()>>>,
@@ -76,6 +89,7 @@ impl MonitorServer {
             directory,
             metrics,
             hub,
+            corpus: Mutex::new(None),
             stop: Arc::new(AtomicBool::new(false)),
             accept_thread: Mutex::new(None),
             tick_thread: Mutex::new(None),
@@ -132,6 +146,16 @@ impl MonitorServer {
     /// The attached metrics registry, if any.
     pub fn metrics(&self) -> Option<&Arc<Registry>> {
         self.metrics.as_ref()
+    }
+
+    /// Attach (or replace) the trace corpus served under `/history`.
+    pub fn set_corpus(&self, corpus: Arc<Corpus>) {
+        *self.corpus.lock() = Some(corpus);
+    }
+
+    /// The attached trace corpus, if any.
+    pub fn corpus(&self) -> Option<Arc<Corpus>> {
+        self.corpus.lock().clone()
     }
 
     fn accept_loop(self: &Arc<Self>, listener: TcpListener) {
@@ -292,19 +316,89 @@ impl MonitorServer {
                 "application/json; charset=utf-8",
                 self.directory.render_all(),
             ),
-            path => match path.strip_prefix("/progress/") {
-                Some(id) => match id.parse::<u64>().ok() {
-                    Some(id) => match self.directory.render_query(id) {
-                        Some(json) => Response::ok("application/json; charset=utf-8", json),
-                        None => Response::not_found(
-                            "no such query (finished queries \
-                                                     unregister when their handle drops)",
-                        ),
+            "/history" => self.serve_history(request),
+            path => match path.strip_prefix("/history/") {
+                Some(rest) => self.serve_history_run(rest),
+                None => match path.strip_prefix("/progress/") {
+                    Some(id) => match id.parse::<u64>().ok() {
+                        Some(id) => match self.directory.render_query(id) {
+                            Some(json) => Response::ok("application/json; charset=utf-8", json),
+                            None => Response::not_found(
+                                "no such query (finished queries \
+                                                         unregister when their handle drops)",
+                            ),
+                        },
+                        None => Response::not_found("query id must be an integer"),
                     },
-                    None => Response::not_found("query id must be an integer"),
+                    None => Response::not_found(
+                        "try /, /metrics, /progress, /progress/{id}, or /history",
+                    ),
                 },
-                None => Response::not_found("try /, /metrics, /progress, or /progress/{id}"),
             },
+        }
+    }
+
+    /// `GET /history`: the corpus run list, newest last, as an array of
+    /// index records (each already carries its scorecard). Filters:
+    /// `?workload=`, `?estimator=`, `?state=`, `?limit=N` (newest N).
+    fn serve_history(&self, request: &Request) -> Response {
+        let Some(corpus) = self.corpus() else {
+            return Response::not_found("no trace corpus attached");
+        };
+        let mut runs = corpus.runs();
+        if let Some(w) = request.param("workload") {
+            // Substring match: workloads are whole SQL texts and the query
+            // string carries no percent-decoding, so exact match would make
+            // any workload containing a space unfilterable.
+            runs.retain(|r| r.workload.contains(w));
+        }
+        if let Some(e) = request.param("estimator") {
+            runs.retain(|r| r.estimator == e);
+        }
+        if let Some(s) = request.param("state") {
+            runs.retain(|r| r.state == s);
+        }
+        if let Some(n) = request.param("limit").and_then(|v| v.parse::<usize>().ok()) {
+            if runs.len() > n {
+                runs.drain(..runs.len() - n);
+            }
+        }
+        let records: Vec<String> = runs.iter().map(|r| r.to_json()).collect();
+        let body = format!(
+            "{{\"runs\":[{}],\"diagnostics\":{}}}",
+            records.join(","),
+            corpus.diagnostics().len()
+        );
+        Response::ok("application/json; charset=utf-8", body)
+    }
+
+    /// `GET /history/{run}` (metadata + scorecard) and
+    /// `GET /history/{run}/trace` (raw trace JSONL download).
+    fn serve_history_run(&self, rest: &str) -> Response {
+        let Some(corpus) = self.corpus() else {
+            return Response::not_found("no trace corpus attached");
+        };
+        let (id, want_trace) = match rest.strip_suffix("/trace") {
+            Some(id) => (id, true),
+            None => (rest, false),
+        };
+        let Ok(id) = id.parse::<u64>() else {
+            return Response::not_found("run id must be an integer");
+        };
+        if want_trace {
+            match corpus.trace_jsonl(id) {
+                Ok(jsonl) => Response::ok("application/x-ndjson", jsonl),
+                Err(_) => Response::not_found(
+                    "no such archived run (evicted by retention or never archived)",
+                ),
+            }
+        } else {
+            match corpus.run(id) {
+                Some(r) => Response::ok("application/json; charset=utf-8", r.to_json()),
+                None => Response::not_found(
+                    "no such archived run (evicted by retention or never archived)",
+                ),
+            }
         }
     }
 
@@ -510,6 +604,75 @@ mod tests {
         assert!(text.contains("text/plain; version=0.0.4"), "{text}");
         assert!(text.contains("# TYPE up_total counter"), "{text}");
         assert!(text.contains("up_total 3"), "{text}");
+    }
+
+    #[test]
+    fn history_routes_serve_the_attached_corpus() {
+        use qprog_exec::trace::{TraceEvent, TraceEventKind};
+        use qprog_obs::{Corpus, RunMeta};
+
+        let dir =
+            std::env::temp_dir().join(format!("qprog-monitor-history-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let events: Vec<TraceEvent> = vec![
+            TraceEvent {
+                seq: 0,
+                at_us: 100,
+                kind: TraceEventKind::ProgressSampled {
+                    current: 50,
+                    total: 100.0,
+                    fraction: 0.5,
+                    lo: f64::NAN,
+                    hi: f64::NAN,
+                },
+            },
+            TraceEvent {
+                seq: 1,
+                at_us: 200,
+                kind: TraceEventKind::QueryFinished { rows: 100 },
+            },
+        ];
+
+        let server = MonitorServer::start("127.0.0.1:0", None).unwrap();
+        let addr = server.addr();
+        // No corpus attached yet: the routes 404 with a hint.
+        assert!(get(addr, "/history").starts_with("HTTP/1.1 404"));
+
+        let corpus = Arc::new(Corpus::open(&dir).unwrap());
+        server.set_corpus(Arc::clone(&corpus));
+        corpus
+            .archive(&RunMeta::new("q1", "once"), &events, &[])
+            .unwrap();
+        corpus
+            .archive(&RunMeta::new("q2", "dne"), &events, &[])
+            .unwrap();
+
+        let list = get(addr, "/history");
+        assert!(list.starts_with("HTTP/1.1 200"), "{list}");
+        assert!(list.contains("\"run\":0"), "{list}");
+        assert!(list.contains("\"run\":1"), "{list}");
+        assert!(list.contains("\"mean_abs_err\":"), "{list}");
+
+        // Filters narrow the list; limit keeps the newest N.
+        let filtered = get(addr, "/history?workload=q2");
+        assert!(filtered.contains("\"workload\":\"q2\""), "{filtered}");
+        assert!(!filtered.contains("\"workload\":\"q1\""), "{filtered}");
+        let limited = get(addr, "/history?limit=1");
+        assert!(!limited.contains("\"run\":0"), "{limited}");
+        assert!(limited.contains("\"run\":1"), "{limited}");
+
+        let one = get(addr, "/history/0");
+        assert!(one.contains("\"workload\":\"q1\""), "{one}");
+        assert!(one.contains("\"state\":\"finished\""), "{one}");
+
+        let trace = get(addr, "/history/0/trace");
+        assert!(trace.contains("application/x-ndjson"), "{trace}");
+        assert!(trace.contains("\"event\":\"query_finished\""), "{trace}");
+
+        assert!(get(addr, "/history/99").starts_with("HTTP/1.1 404"));
+        assert!(get(addr, "/history/zzz").starts_with("HTTP/1.1 404"));
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -161,6 +161,20 @@ pub fn write_event_json(out: &mut String, event: &TraceEvent, op_names: &[String
                 ",\"event\":\"health_transition\",\"from\":\"{from}\",\"to\":\"{to}\",\"reason\":\"{reason}\""
             );
         }
+        TraceEventKind::RegressionDetected {
+            kind,
+            observed,
+            baseline,
+            threshold,
+        } => {
+            let _ = write!(
+                out,
+                ",\"event\":\"regression_detected\",\"kind\":\"{kind}\""
+            );
+            fnum!("observed", *observed);
+            fnum!("baseline", *baseline);
+            fnum!("threshold", *threshold);
+        }
     }
     out.push('}');
 }

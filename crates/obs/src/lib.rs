@@ -37,10 +37,16 @@
 //!   [`qprog_metrics::Registry`]: fleet-wide tuple counts, phase activity,
 //!   refinement rates, and cross-query q-error histograms per estimator,
 //!   exposable in Prometheus text format.
+//! - [`corpus`] — a persistent, size-capped trace corpus: every traced
+//!   run's JSONL segment plus an indexed scorecard archived at terminal
+//!   time ([`CorpusSink`](corpus::CorpusSink)), with rolling median/MAD
+//!   baselines per `(workload, estimator, threads)` that flag
+//!   progress-quality regressions as typed `RegressionDetected` events.
 //!
 //! Everything here runs *observer-side*: attaching no sinks and no
 //! recorder leaves the engine's hot paths untouched.
 
+pub mod corpus;
 pub mod explain;
 pub mod health;
 pub mod json;
@@ -50,6 +56,9 @@ pub mod scoring;
 pub mod sinks;
 pub mod timeline;
 
+pub use corpus::{
+    ArchivedRun, Corpus, CorpusConfig, CorpusSink, Regression, RegressionConfig, RunMeta, RunRecord,
+};
 pub use explain::explain_analyze;
 pub use health::{HealthAnalyzer, HealthConfig};
 pub use metrics_sink::MetricsSink;

@@ -225,6 +225,8 @@ impl TraceSink for MetricsSink {
             // Same deal: health events only exist when an analyzer is
             // attached, so plain traces never register health series.
             TraceEventKind::HealthTransition { .. } => None,
+            // And regressions only exist when a corpus is attached.
+            TraceEventKind::RegressionDetected { .. } => None,
         };
         if let Some(event_idx) = event_idx {
             self.events[event_idx].inc();
@@ -347,6 +349,23 @@ impl TraceSink for MetricsSink {
                         "Progress-health verdict changes, by entered state \
                          and reason",
                         &[("state", to.name()), ("reason", reason.name())],
+                    )
+                    .inc();
+            }
+            TraceEventKind::RegressionDetected { kind, .. } => {
+                self.registry
+                    .counter(
+                        "qprog_trace_events_total",
+                        "Trace events published, by event kind",
+                        &[("event", "regression_detected")],
+                    )
+                    .inc();
+                self.registry
+                    .counter(
+                        "qprog_regressions_total",
+                        "Progress-quality regressions flagged against corpus \
+                         baselines, by regressed metric",
+                        &[("kind", kind.name())],
                     )
                     .inc();
             }
@@ -618,6 +637,46 @@ mod tests {
                 || text.contains(
                     "qprog_health_transitions_total{state=\"stalled\",reason=\"stall\"} 1"
                 ),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn regressions_resolve_lazily() {
+        use qprog_exec::trace::RegressionKind;
+        let registry = Arc::new(Registry::new());
+        let sink = MetricsSink::new(Arc::clone(&registry), "once");
+        // No corpus attached → no regression series in the exposition.
+        let before = registry.render();
+        assert!(!before.contains("regression"), "{before}");
+        publish_all(
+            &sink,
+            &[
+                TraceEventKind::RegressionDetected {
+                    kind: RegressionKind::MeanAbsErr,
+                    observed: 0.3,
+                    baseline: 0.02,
+                    threshold: 0.05,
+                },
+                TraceEventKind::RegressionDetected {
+                    kind: RegressionKind::WallTime,
+                    observed: 9e6,
+                    baseline: 1e6,
+                    threshold: 2e6,
+                },
+            ],
+        );
+        let text = registry.render();
+        assert!(
+            text.contains("qprog_trace_events_total{event=\"regression_detected\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("qprog_regressions_total{kind=\"mean_abs_err\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("qprog_regressions_total{kind=\"wall_time\"} 1"),
             "{text}"
         );
     }

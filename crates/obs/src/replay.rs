@@ -21,8 +21,8 @@
 use std::sync::Arc;
 
 use qprog_exec::trace::{
-    AbortKind, DegradeReason, EstimateSource, HealthReason, HealthState, Phase, TraceEvent,
-    TraceEventKind, TraceSink,
+    AbortKind, DegradeReason, EstimateSource, HealthReason, HealthState, Phase, RegressionKind,
+    TraceEvent, TraceEventKind, TraceSink,
 };
 
 use crate::json::raw_field;
@@ -105,7 +105,8 @@ fn op_index(kind: &TraceEventKind) -> Option<u32> {
         | TraceEventKind::QueryFinished { .. }
         | TraceEventKind::QueryAborted { .. }
         | TraceEventKind::ProgressSampled { .. }
-        | TraceEventKind::HealthTransition { .. } => None,
+        | TraceEventKind::HealthTransition { .. }
+        | TraceEventKind::RegressionDetected { .. } => None,
     }
 }
 
@@ -227,6 +228,16 @@ pub fn parse_event(line: &str) -> Result<TraceEvent, String> {
                     .ok_or_else(|| format!("unknown health reason \"{reason_raw}\""))?,
             }
         }
+        "regression_detected" => {
+            let raw = field(line, "kind")?;
+            TraceEventKind::RegressionDetected {
+                kind: RegressionKind::from_name(raw)
+                    .ok_or_else(|| format!("unknown regression kind \"{raw}\""))?,
+                observed: parse_f64(line, "observed")?,
+                baseline: parse_f64(line, "baseline")?,
+                threshold: parse_f64(line, "threshold")?,
+            }
+        }
         other => return Err(format!("unknown event kind \"{other}\"")),
     };
     Ok(TraceEvent { seq, at_us, kind })
@@ -286,6 +297,20 @@ mod tests {
                     hi: h2,
                 },
             ) => c1 == c2 && f(*t1, *t2) && f(*fr1, *fr2) && f(*l1, *l2) && f(*h1, *h2),
+            (
+                RegressionDetected {
+                    kind: k1,
+                    observed: o1,
+                    baseline: b1,
+                    threshold: t1,
+                },
+                RegressionDetected {
+                    kind: k2,
+                    observed: o2,
+                    baseline: b2,
+                    threshold: t2,
+                },
+            ) => k1 == k2 && f(*o1, *o2) && f(*b1, *b2) && f(*t1, *t2),
             _ => a == b,
         }
     }
@@ -349,6 +374,18 @@ mod tests {
                 from: HealthState::Unstable,
                 to: HealthState::Healthy,
                 reason: HealthReason::Recovered,
+            },
+            TraceEventKind::RegressionDetected {
+                kind: RegressionKind::MeanAbsErr,
+                observed: 0.31,
+                baseline: 0.04,
+                threshold: 0.09,
+            },
+            TraceEventKind::RegressionDetected {
+                kind: RegressionKind::WallTime,
+                observed: 2_500_000.0,
+                baseline: f64::NAN,
+                threshold: f64::NAN,
             },
         ];
         let names: Vec<String> = (0..6).map(|i| format!("op{i}")).collect();

@@ -103,6 +103,48 @@ impl ProgressScore {
             num(self.q_error.max),
         )
     }
+
+    /// Parse the flat fields written by [`Self::to_json`] back out of a
+    /// one-line JSON object. The object may carry extra fields (a corpus
+    /// index record embeds the scorecard alongside run metadata); `null`
+    /// numerics decode as NaN and a `null` convergence as `None`.
+    pub fn from_json(line: &str) -> Result<ProgressScore, String> {
+        fn req<'a>(line: &'a str, key: &str) -> Result<&'a str, String> {
+            crate::json::raw_field(line, key).ok_or_else(|| format!("missing field \"{key}\""))
+        }
+        fn usize_of(line: &str, key: &str) -> Result<usize, String> {
+            req(line, key)?
+                .parse::<usize>()
+                .map_err(|e| format!("field \"{key}\": {e}"))
+        }
+        fn f64_of(line: &str, key: &str) -> Result<f64, String> {
+            let raw = req(line, key)?;
+            if raw == "null" {
+                return Ok(f64::NAN);
+            }
+            raw.parse::<f64>()
+                .map_err(|e| format!("field \"{key}\": {e}"))
+        }
+        let convergence = match req(line, "convergence")? {
+            "null" => None,
+            raw => Some(
+                raw.parse::<f64>()
+                    .map_err(|e| format!("field \"convergence\": {e}"))?,
+            ),
+        };
+        Ok(ProgressScore {
+            samples: usize_of(line, "samples")?,
+            mean_abs_err: f64_of(line, "mean_abs_err")?,
+            max_abs_err: f64_of(line, "max_abs_err")?,
+            monotonicity_violations: usize_of(line, "monotonicity_violations")?,
+            convergence,
+            q_error: QErrorSummary {
+                count: usize_of(line, "q_error_count")?,
+                mean: f64_of(line, "q_error_mean")?,
+                max: f64_of(line, "q_error_max")?,
+            },
+        })
+    }
 }
 
 /// One point of a progress trajectory: the indicator's estimate and the
@@ -373,5 +415,19 @@ mod tests {
         assert_eq!(crate::json::raw_field(&json, "convergence"), Some("0"));
         let none = ProgressScore::default().to_json();
         assert_eq!(crate::json::raw_field(&none, "convergence"), Some("null"));
+    }
+
+    #[test]
+    fn score_json_round_trips() {
+        let s = score_samples(&pts(&[(0.3, 30), (0.8, 60), (1.0, 100)]), &[1.5, 3.0]);
+        let back = ProgressScore::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+        // None convergence and extra surrounding fields survive.
+        let none = ProgressScore::default();
+        let embedded = format!("{{\"run\":7,\"label\":\"q8\",{}", &none.to_json()[1..]);
+        let back = ProgressScore::from_json(&embedded).unwrap();
+        assert_eq!(back.convergence, None);
+        assert_eq!(back.samples, 0);
+        assert!(ProgressScore::from_json("{\"samples\":1}").is_err());
     }
 }

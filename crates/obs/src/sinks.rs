@@ -408,6 +408,20 @@ impl TraceSink for ValidatorSink {
                         .push(format!("health transition {from}→{to} changes nothing"));
                 }
             }
+            TraceEventKind::RegressionDetected {
+                kind,
+                observed,
+                threshold,
+                ..
+            } => {
+                // A detection asserts the observation crossed its threshold;
+                // NaN endpoints (unknown baseline) are exempt.
+                if observed.is_finite() && threshold.is_finite() && observed <= threshold {
+                    s.violations.push(format!(
+                        "{kind} regression reported but observed {observed} <= threshold {threshold}"
+                    ));
+                }
+            }
             TraceEventKind::PipelineStarted { .. }
             | TraceEventKind::PipelineFinished { .. }
             | TraceEventKind::QueryFinished { .. }

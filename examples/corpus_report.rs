@@ -1,0 +1,94 @@
+//! Offline corpus report: re-score every archived run in one pass.
+//!
+//! Opens a trace corpus (the scorecard bench's by default), replays each
+//! run's JSONL segment through `obs::replay`, recomputes its progress
+//! scorecard with `score_events`, and compares against the scorecard the
+//! corpus stored at archive time — a drift check on the whole archival
+//! path: if parsing, scoring, or the segment bytes ever change
+//! incompatibly, the recomputed numbers stop matching the stored ones.
+//!
+//! ```text
+//! cargo run --release --example corpus_report [-- path/to/corpus]
+//! ```
+
+use qprog::obs::{score_events, Corpus, ReplayedTrace};
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/scorecard_corpus".to_string());
+    let corpus = match Corpus::open(&dir) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot open corpus at {dir}: {e}");
+            eprintln!("(run `cargo bench --bench progress_scorecard` to create one)");
+            std::process::exit(2);
+        }
+    };
+    for d in corpus.diagnostics() {
+        println!("diagnostic: {d}");
+    }
+    let runs = corpus.runs();
+    if runs.is_empty() {
+        println!("corpus at {dir} holds no runs");
+        return;
+    }
+
+    println!(
+        "{:>5}  {:<14} {:<5} {:<9} {:>9} {:>9} {:>6} {:>5} {:>4}  rescore",
+        "run", "workload", "est", "state", "wall ms", "mean|err|", "conv", "mono", "reg"
+    );
+    let mut mismatches = 0usize;
+    let mut torn = 0usize;
+    for r in &runs {
+        // Re-read and re-score the stored trace, exactly as a consumer
+        // downloading /history/{run}/trace would.
+        let verdict = match corpus.trace_jsonl(r.run) {
+            Ok(jsonl) => {
+                let trace = ReplayedTrace::parse(&jsonl);
+                if !trace.errors.is_empty() {
+                    torn += 1;
+                    format!("torn ({} bad lines)", trace.errors.len())
+                } else if score_events(&trace.events) == r.score {
+                    "ok".to_string()
+                } else {
+                    mismatches += 1;
+                    "MISMATCH vs stored score".to_string()
+                }
+            }
+            Err(e) => {
+                torn += 1;
+                format!("unreadable: {e}")
+            }
+        };
+        println!(
+            "{:>5}  {:<14} {:<5} {:<9} {:>9.1} {:>9.4} {:>6} {:>5} {:>4}  {}",
+            r.run,
+            r.workload,
+            r.estimator,
+            r.state,
+            r.wall_us as f64 / 1e3,
+            r.score.mean_abs_err,
+            r.score
+                .convergence
+                .map_or("never".to_string(), |c| format!("{:.0}%", c * 100.0)),
+            r.score.monotonicity_violations,
+            r.regressions,
+            verdict,
+        );
+    }
+
+    let flagged: usize = runs.iter().map(|r| r.regressions).sum();
+    println!(
+        "\n{} runs, {} trace bytes; {} regression(s) flagged at archive time; \
+         re-score: {} mismatch(es), {} torn segment(s)",
+        runs.len(),
+        corpus.trace_bytes(),
+        flagged,
+        mismatches,
+        torn,
+    );
+    if mismatches + torn > 0 {
+        std::process::exit(1);
+    }
+}

@@ -19,9 +19,10 @@
 //! - an observability stack: execution event tracing with EXPLAIN ANALYZE
 //!   ([`obs`]), a lock-cheap metrics registry with Prometheus text
 //!   exposition ([`metrics`]), and a std-only live monitor HTTP server
-//!   with a progress dashboard, server-push SSE streaming, and per-query
+//!   with a progress dashboard, server-push SSE streaming, per-query
 //!   health detection (stall / drift / ETA volatility) for concurrent
-//!   queries ([`monitor`]).
+//!   queries, and a run-history API over a persistent trace corpus with
+//!   automatic progress-quality regression detection ([`monitor`]).
 //!
 //! ## Quickstart
 //!
@@ -79,8 +80,9 @@ pub mod prelude {
     pub use qprog_metrics::Registry;
     pub use qprog_monitor::{MonitorServer, QueryState, StreamHub, StreamNext};
     pub use qprog_obs::{
-        explain_analyze, HealthAnalyzer, HealthConfig, JsonlSink, MetricsSink, ProgressLog,
-        RingSink, StderrSink, TimelineRecorder, ValidatorSink,
+        explain_analyze, ArchivedRun, Corpus, CorpusConfig, HealthAnalyzer, HealthConfig,
+        JsonlSink, MetricsSink, ProgressLog, RegressionConfig, RingSink, RunMeta, RunRecord,
+        StderrSink, TimelineRecorder, ValidatorSink,
     };
     pub use qprog_plan::builder::PlanBuilder;
     pub use qprog_plan::physical::PhysicalOptions;

@@ -10,7 +10,9 @@ use qprog_exec::trace::HealthState;
 use qprog_exec::trace::{EventBus, TraceEvent, TraceSink};
 use qprog_metrics::Registry;
 use qprog_monitor::{MonitorServer, MonitoredQuery, PhaseSink, QueryState};
-use qprog_obs::{HealthAnalyzer, HealthConfig, MetricsSink};
+use qprog_obs::{
+    ArchivedRun, Corpus, CorpusSink, HealthAnalyzer, HealthConfig, MetricsSink, RunMeta,
+};
 use qprog_plan::physical::{compile_traced, CompiledQuery, PhysicalOptions};
 use qprog_plan::{LogicalPlan, PlanBuilder, ProgressTracker};
 use qprog_storage::Catalog;
@@ -39,6 +41,12 @@ use qprog_types::{QResult, Row};
 ///   [`HealthAnalyzer`] (stall / estimate-oscillation / ETA-volatility
 ///   detection); tune its thresholds with
 ///   [`with_health`](Self::with_health).
+/// - [`with_corpus`](Self::with_corpus) attaches a persistent
+///   [`Corpus`]: every traced run is archived (full trace segment +
+///   scorecard) at terminal time, compared against rolling per-workload
+///   baselines, and any progress-quality regression is published back onto
+///   the query's bus as a `RegressionDetected` trace event. A monitor in
+///   the same session serves the corpus at `/history`.
 #[derive(Debug, Clone, Default)]
 pub struct Observability {
     trace: Option<Arc<EventBus>>,
@@ -46,6 +54,15 @@ pub struct Observability {
     monitor: Option<Arc<MonitorServer>>,
     serve_addr: Option<String>,
     health: HealthConfig,
+    corpus: Option<CorpusAttachment>,
+}
+
+/// How a corpus joins the session: opened from a path at build time, or an
+/// already-open handle shared with other sessions/tools.
+#[derive(Debug, Clone)]
+enum CorpusAttachment {
+    Path(std::path::PathBuf),
+    Handle(Arc<Corpus>),
 }
 
 impl Observability {
@@ -96,6 +113,24 @@ impl Observability {
     /// monitor is attached.
     pub fn with_health(mut self, config: HealthConfig) -> Self {
         self.health = config;
+        self
+    }
+
+    /// Archive every run into a persistent trace corpus at `dir` (created
+    /// if missing, opened crash-tolerantly at
+    /// [`SessionBuilder::build`]). Each query's full trace and scorecard
+    /// are stored at terminal time and checked against rolling
+    /// `(workload, estimator, threads)` baselines for progress-quality
+    /// regressions.
+    pub fn with_corpus(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.corpus = Some(CorpusAttachment::Path(dir.into()));
+        self
+    }
+
+    /// Archive into an already-open [`Corpus`] (shared across sessions, or
+    /// pre-configured via [`Corpus::open_with`]).
+    pub fn with_corpus_handle(mut self, corpus: Arc<Corpus>) -> Self {
+        self.corpus = Some(CorpusAttachment::Handle(corpus));
         self
     }
 }
@@ -149,6 +184,7 @@ impl SessionBuilder {
             mut monitor,
             serve_addr,
             health,
+            corpus,
         } = self.observability;
         if let Some(addr) = serve_addr {
             if monitor.is_some() {
@@ -166,6 +202,21 @@ impl SessionBuilder {
                 metrics = server.metrics().cloned();
             }
         }
+        let corpus = match corpus {
+            Some(CorpusAttachment::Handle(c)) => Some(c),
+            Some(CorpusAttachment::Path(dir)) => {
+                Some(Arc::new(Corpus::open(&dir).map_err(|e| {
+                    qprog_types::QError::internal(format!(
+                        "opening trace corpus at {}: {e}",
+                        dir.display()
+                    ))
+                })?))
+            }
+            None => None,
+        };
+        if let (Some(server), Some(c)) = (&monitor, &corpus) {
+            server.set_corpus(Arc::clone(c));
+        }
         Ok(Session {
             builder: PlanBuilder::new(self.catalog),
             options: self.options,
@@ -173,6 +224,7 @@ impl SessionBuilder {
             metrics,
             monitor,
             health,
+            corpus,
         })
     }
 }
@@ -194,6 +246,7 @@ pub struct Session {
     metrics: Option<Arc<Registry>>,
     monitor: Option<Arc<MonitorServer>>,
     health: HealthConfig,
+    corpus: Option<Arc<Corpus>>,
 }
 
 impl Session {
@@ -206,6 +259,7 @@ impl Session {
             metrics: None,
             monitor: None,
             health: HealthConfig::default(),
+            corpus: None,
         }
     }
 
@@ -228,6 +282,11 @@ impl Session {
     /// The attached monitor server, if any.
     pub fn monitor(&self) -> Option<&Arc<MonitorServer>> {
         self.monitor.as_ref()
+    }
+
+    /// The attached trace corpus, if any.
+    pub fn corpus(&self) -> Option<&Arc<Corpus>> {
+        self.corpus.as_ref()
     }
 
     /// The plan builder (for programmatic plan construction).
@@ -273,8 +332,17 @@ impl Session {
             .monitor
             .as_ref()
             .map(|_| Arc::new(HealthAnalyzer::new(self.health.clone())));
+        // With a corpus attached, the run is archived + scored at its
+        // terminal event; the label doubles as the baseline workload key so
+        // repeated invocations of the same query accumulate a baseline.
+        let corpus_sink = self.corpus.as_ref().map(|c| {
+            let meta = RunMeta::new(label, self.options.mode.label())
+                .with_threads(self.options.threads)
+                .with_seed(self.options.seed);
+            Arc::new(CorpusSink::new(Arc::clone(c), meta))
+        });
 
-        let bus = if metrics_sink.is_none() && phase_sink.is_none() {
+        let bus = if metrics_sink.is_none() && phase_sink.is_none() && corpus_sink.is_none() {
             // Fast path: exactly the user's bus (or none — zero overhead).
             self.bus.clone()
         } else {
@@ -293,23 +361,34 @@ impl Session {
             if let Some(ha) = &health_analyzer {
                 b = b.sink(Arc::clone(ha) as Arc<dyn TraceSink>);
             }
+            if let Some(cs) = &corpus_sink {
+                b = b.sink(Arc::clone(cs) as Arc<dyn TraceSink>);
+            }
             Some(b.build())
         };
-        // Health transitions are published back onto the query's own bus,
-        // so the stream that carried the symptoms also carries the verdict.
+        // Health transitions and corpus regressions are published back onto
+        // the query's own bus, so the stream that carried the symptoms also
+        // carries the verdict.
         if let (Some(ha), Some(b)) = (&health_analyzer, &bus) {
             ha.attach_bus(b);
         }
+        if let (Some(cs), Some(b)) = (&corpus_sink, &bus) {
+            cs.attach_bus(b);
+        }
 
         let compiled = compile_traced(&plan, &self.options, bus)?;
+        let op_names = || -> Vec<String> {
+            compiled
+                .registry()
+                .iter()
+                .map(|(n, _)| n.to_string())
+                .collect()
+        };
         if let Some(ms) = &metrics_sink {
-            ms.set_op_names(
-                compiled
-                    .registry()
-                    .iter()
-                    .map(|(n, _)| n.to_string())
-                    .collect(),
-            );
+            ms.set_op_names(op_names());
+        }
+        if let Some(cs) = &corpus_sink {
+            cs.set_op_names(op_names());
         }
         let monitored = match (&self.monitor, &phase_sink) {
             (Some(server), Some(phases)) => Some(server.directory().register(
@@ -327,6 +406,7 @@ impl Session {
             monitored,
             phases: phase_sink,
             health: health_analyzer,
+            corpus: corpus_sink,
         })
     }
 }
@@ -429,6 +509,7 @@ pub struct QueryHandle {
     monitored: Option<MonitoredQuery>,
     phases: Option<Arc<PhaseSink>>,
     health: Option<Arc<HealthAnalyzer>>,
+    corpus: Option<Arc<CorpusSink>>,
 }
 
 impl QueryHandle {
@@ -527,6 +608,14 @@ impl QueryHandle {
     /// [`HealthAnalyzer`] — attached.
     pub fn health(&self) -> Option<HealthState> {
         self.health.as_ref().map(|h| h.state())
+    }
+
+    /// The run's corpus archival result — index record plus any detected
+    /// progress-quality regressions — once the query has reached a terminal
+    /// event. `None` before completion or when the session has no corpus
+    /// attached.
+    pub fn archived_run(&self) -> Option<ArchivedRun> {
+        self.corpus.as_ref().and_then(|c| c.archived_run())
     }
 
     /// Spawn a watcher thread sampling this query's progress every
