@@ -30,7 +30,16 @@ pub const DASHBOARD_HTML: &str = r#"<!doctype html>
                border-radius: 9px 0 0 9px; transition: width .3s; }
   .bar.done .fill { background: #3d9a52; }
   .bar.failed .fill { background: #c43d3d; }
+  .bar.queued .fill { background: #a8a8b8; }
+  .bar.retrying .fill { background: #d9941f; }
   .failure { color: #c43d3d; font-weight: 600; }
+  .retrying-note { color: #9a6b00; font-weight: 600; }
+  .tenant { font-size: 11px; font-weight: 600; padding: .1rem .45rem;
+            border-radius: 9px; background: #e8eef7; color: #2f4f74;
+            vertical-align: middle; }
+  #service .strip { border: 1px solid #ddd; border-radius: 8px;
+            padding: .5rem 1rem; margin: .8rem 0; background: #fff;
+            font-variant-numeric: tabular-nums; }
   .health { font-size: 11px; font-weight: 600; padding: .1rem .45rem;
             border-radius: 9px; vertical-align: middle; }
   .health.healthy { background: #e4f3e7; color: #2c7a3f; }
@@ -51,6 +60,7 @@ pub const DASHBOARD_HTML: &str = r#"<!doctype html>
 <p class="muted">Streaming <a href="/events">/events</a> (SSE, polling
 <a href="/progress">/progress</a> as fallback)
 &middot; <a href="/metrics">/metrics</a> (Prometheus)</p>
+<div id="service"></div>
 <div id="queries"><p class="muted">waiting for queries&hellip;</p></div>
 <div id="history"></div>
 <script>
@@ -61,7 +71,8 @@ const pct = f => (100 * f).toFixed(1) + "%";
 function bar(q) {
   const lo = Math.min(q.lo ?? q.fraction, q.hi ?? q.fraction);
   const hi = Math.max(q.lo ?? q.fraction, q.hi ?? q.fraction);
-  const cls = q.state === "failed" ? " failed" : q.done ? " done" : "";
+  const cls = q.state === "failed" ? " failed" : q.done ? " done"
+    : q.state === "queued" ? " queued" : q.state === "retrying" ? " retrying" : "";
   return `<div class="bar${cls}">
     <div class="band" style="left:${100 * lo}%;width:${100 * (hi - lo)}%"></div>
     <div class="fill" style="width:${100 * q.fraction}%"></div>
@@ -97,7 +108,10 @@ function render() {
   }
   root.innerHTML = list.map(q => `<div class="query">
     <div class="label">#${q.id} &middot; ${q.label}
-      <span class="muted">[${q.estimator}]</span> ${badge(q)}</div>
+      <span class="muted">[${q.estimator}]</span>
+      ${q.tenant == null ? "" : `<span class="tenant">${q.tenant}${
+        q.attempt > 1 ? ` &middot; attempt ${q.attempt}` : ""}</span>`}
+      ${badge(q)}</div>
     ${bar(q)}
     <div><span class="pct">${pct(q.fraction)}</span>
       <span class="muted">(bounds ${pct(q.lo)} – ${pct(q.hi)})
@@ -109,6 +123,9 @@ function render() {
       </span>
       ${q.state === "failed" ? `<span class="failure">&middot; failed (${q.failure})${
         q.rows == null ? "" : ", " + fmt(q.rows) + " rows before abort"}</span>` : ""}
+      ${q.state === "queued" ? `<span class="muted">&middot; queued</span>` : ""}
+      ${q.state === "retrying" ? `<span class="retrying-note">&middot; retrying (${
+        q.failure})</span>` : ""}
       </div>
     ${ops(details.get(q.id))}
   </div>`).join("");
@@ -188,14 +205,37 @@ async function pollHistory() {
   } catch (e) { root.innerHTML = ""; }
 }
 
+// Service strip: admission/queue/retry statistics from the query service
+// front door. Absent — and the strip hidden — when no service is attached
+// (the endpoint answers 404).
+async function pollService() {
+  const root = document.getElementById("service");
+  try {
+    const res = await fetch("/service");
+    if (!res.ok) { root.innerHTML = ""; return; }
+    const s = await res.json();
+    const tenants = (s.tenants || []).map(t =>
+      `<span class="tenant">${t.tenant}: ${t.inflight}</span>`).join(" ");
+    root.innerHTML = `<div class="strip">
+      <b>query service</b> ${s.admitting ? "" : '<span class="failure">draining</span>'}
+      &middot; queue ${s.queue_depth} &middot; running ${s.running}
+      &middot; admitted ${fmt(s.admitted)} / shed ${fmt(s.rejected)}
+      &middot; finished ${fmt(s.finished)} / failed ${fmt(s.failed)}
+      &middot; retries ${fmt(s.retries)}
+      ${tenants ? "&middot; in-flight " + tenants : ""}</div>`;
+  } catch (e) { root.innerHTML = ""; }
+}
+
 let beat = 0;
 setInterval(() => {
   beat += 1;
   if (!streaming || beat % 4 === 0) poll();
+  if (beat % 4 === 0) pollService();
   if (beat % 10 === 0) pollHistory();
 }, 500);
 connect();
 poll();
+pollService();
 pollHistory();
 </script>
 </body>
@@ -256,6 +296,21 @@ mod tests {
         assert!(DASHBOARD_HTML.contains("r.regressions > 0"));
         assert!(DASHBOARD_HTML.contains(".health.regressed"));
         assert!(DASHBOARD_HTML.contains("pollHistory()"));
+    }
+
+    #[test]
+    fn dashboard_renders_the_service_strip_and_managed_states() {
+        assert!(DASHBOARD_HTML.contains("fetch(\"/service\")"));
+        assert!(DASHBOARD_HTML.contains("s.queue_depth"));
+        assert!(DASHBOARD_HTML.contains("s.retries"));
+        assert!(DASHBOARD_HTML.contains("t.inflight"));
+        assert!(DASHBOARD_HTML.contains("pollService()"));
+        // managed lifecycle states get their own bar colours + notes
+        assert!(DASHBOARD_HTML.contains(".bar.queued .fill"));
+        assert!(DASHBOARD_HTML.contains(".bar.retrying .fill"));
+        assert!(DASHBOARD_HTML.contains(r#"q.state === "queued""#));
+        assert!(DASHBOARD_HTML.contains(r#"q.state === "retrying""#));
+        assert!(DASHBOARD_HTML.contains("q.tenant"));
     }
 
     #[test]

@@ -1,4 +1,19 @@
 //! The registry of live (and recently finished, still-held) queries.
+//!
+//! Entries come in two flavours:
+//!
+//! - **Session-owned** ([`register`](QueryDirectory::register)): created
+//!   when a session compiles a query; lifecycle state is *derived* from the
+//!   execution trace (the [`PhaseSink`]).
+//! - **Service-owned** ([`register_managed`](QueryDirectory::register_managed)):
+//!   created by the query service at submit time, before any execution
+//!   exists. Lifecycle state is *dictated* by the service
+//!   ([`set_managed_state`](QueryDirectory::set_managed_state)) so a
+//!   transiently-failed attempt can show `retrying` instead of leaking a
+//!   premature terminal; execution progress attaches later
+//!   ([`attach_execution`](QueryDirectory::attach_execution)) when a
+//!   worker dispatches the job. The terminal SSE frame is emitted exactly
+//!   once, and only when the service says so.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -38,6 +53,35 @@ impl QueryState {
             QueryState::Failed(_) => "failed",
         }
     }
+}
+
+/// Service-dictated lifecycle for managed entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ManagedState {
+    /// Accepted, waiting for a dispatcher worker.
+    Queued,
+    /// Dispatched; execution attempt `attempt` (1-based) is in flight.
+    Running {
+        /// Attempt number.
+        attempt: u32,
+    },
+    /// Last attempt failed transiently; parked for backoff.
+    Retrying {
+        /// Typed failure kind of the failed attempt.
+        kind: String,
+        /// Attempts completed so far.
+        attempt: u32,
+    },
+    /// The service declared the outcome. This — and only this — triggers
+    /// the exactly-once terminal frame for managed entries.
+    Terminal {
+        /// Completed successfully.
+        done: bool,
+        /// Typed failure kind when not `done`.
+        failure: Option<String>,
+        /// Rows produced, when known.
+        rows: Option<u64>,
+    },
 }
 
 /// A [`TraceSink`] tracking each operator's last observed phase plus the
@@ -116,13 +160,26 @@ impl TraceSink for PhaseSink {
     }
 }
 
+/// Live execution state attached to an entry (present from compile time
+/// for session-owned queries; from dispatch time for managed ones).
+struct ExecAttachment {
+    tracker: ProgressTracker,
+    phases: Arc<PhaseSink>,
+    health: Option<Arc<HealthAnalyzer>>,
+}
+
 /// One registered query.
 struct QueryEntry {
     label: String,
     estimator: String,
-    tracker: ProgressTracker,
-    phases: Arc<PhaseSink>,
-    health: Option<Arc<HealthAnalyzer>>,
+    /// Owning tenant; `Some` only for service-managed entries (rendered
+    /// into their JSON).
+    tenant: Option<String>,
+    /// Dispatch attempts (managed entries).
+    attempt: u32,
+    exec: Option<ExecAttachment>,
+    /// `None` = session-owned (lifecycle derived from the trace).
+    managed: Option<ManagedState>,
     started: Instant,
     /// Smoothed remaining-time estimate (interior mutability: refreshed
     /// from whichever render or broadcast tick observes the entry).
@@ -136,6 +193,17 @@ struct QueryEntry {
     terminal_emitted: AtomicBool,
 }
 
+/// Flattened lifecycle used by every render path.
+struct LifeView {
+    state: &'static str,
+    /// Failure kind (terminal failures and retry parks).
+    failure: Option<String>,
+    done: bool,
+    terminal: bool,
+    rows: Option<u64>,
+    running: bool,
+}
+
 impl QueryEntry {
     /// Monotonically-clamped published fraction. Mutated only with the
     /// directory's entries lock held, so a plain load/store race-free.
@@ -146,6 +214,68 @@ impl QueryEntry {
             raw
         } else {
             prev
+        }
+    }
+
+    fn view(&self) -> LifeView {
+        match &self.managed {
+            None => {
+                let exec = self.exec.as_ref().expect("session entries carry exec");
+                let state = exec.phases.state();
+                let done = match state {
+                    QueryState::Failed(_) => false,
+                    QueryState::Done => true,
+                    QueryState::Running => exec.tracker.snapshot().is_complete(),
+                };
+                let terminal = done || matches!(state, QueryState::Failed(_));
+                LifeView {
+                    state: if done { "done" } else { state.name() },
+                    failure: match state {
+                        QueryState::Failed(reason) => Some(reason.to_string()),
+                        _ => None,
+                    },
+                    done,
+                    terminal,
+                    rows: exec.phases.rows(),
+                    running: state == QueryState::Running && !done,
+                }
+            }
+            Some(ManagedState::Queued) => LifeView {
+                state: "queued",
+                failure: None,
+                done: false,
+                terminal: false,
+                rows: None,
+                running: false,
+            },
+            Some(ManagedState::Running { .. }) => LifeView {
+                state: "running",
+                failure: None,
+                done: false,
+                terminal: false,
+                rows: None,
+                running: true,
+            },
+            Some(ManagedState::Retrying { kind, .. }) => LifeView {
+                state: "retrying",
+                failure: Some(kind.clone()),
+                done: false,
+                terminal: false,
+                rows: None,
+                running: false,
+            },
+            Some(ManagedState::Terminal {
+                done,
+                failure,
+                rows,
+            }) => LifeView {
+                state: if *done { "done" } else { "failed" },
+                failure: failure.clone(),
+                done: *done,
+                terminal: true,
+                rows: *rows,
+                running: false,
+            },
         }
     }
 }
@@ -207,20 +337,66 @@ impl QueryDirectory {
         health: Option<Arc<HealthAnalyzer>>,
     ) -> MonitoredQuery {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.entries.lock().insert(
+        self.insert(
             id,
             QueryEntry {
                 label: label.into(),
                 estimator: estimator.into(),
-                tracker,
-                phases,
-                health,
+                tenant: None,
+                attempt: 0,
+                exec: Some(ExecAttachment {
+                    tracker,
+                    phases,
+                    health,
+                }),
+                managed: None,
                 started: Instant::now(),
                 eta: Mutex::new(EtaSmoother::new()),
                 max_fraction: AtomicU64::new(0.0f64.to_bits()),
                 terminal_emitted: AtomicBool::new(false),
             },
-        );
+        )
+    }
+
+    /// Reserve a fresh query id that is `≥ floor` and unique among every
+    /// id this directory has seen (including explicitly-registered
+    /// managed ids). Used by the query service so journal-recovered ids
+    /// and fresh submissions share one namespace.
+    pub fn allocate_id(&self, floor: u64) -> u64 {
+        self.next_id.fetch_max(floor, Ordering::Relaxed);
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Register a service-managed entry under an explicit, pre-allocated
+    /// id (fresh via [`allocate_id`](Self::allocate_id) or recovered from
+    /// the journal). Starts `queued` with no execution attached.
+    pub fn register_managed(
+        self: &Arc<Self>,
+        id: u64,
+        label: impl Into<String>,
+        estimator: impl Into<String>,
+        tenant: impl Into<String>,
+    ) -> MonitoredQuery {
+        self.next_id.fetch_max(id + 1, Ordering::Relaxed);
+        self.insert(
+            id,
+            QueryEntry {
+                label: label.into(),
+                estimator: estimator.into(),
+                tenant: Some(tenant.into()),
+                attempt: 0,
+                exec: None,
+                managed: Some(ManagedState::Queued),
+                started: Instant::now(),
+                eta: Mutex::new(EtaSmoother::new()),
+                max_fraction: AtomicU64::new(0.0f64.to_bits()),
+                terminal_emitted: AtomicBool::new(false),
+            },
+        )
+    }
+
+    fn insert(self: &Arc<Self>, id: u64, entry: QueryEntry) -> MonitoredQuery {
+        self.entries.lock().insert(id, entry);
         if let Some(g) = &self.live_gauge {
             g.add(1.0);
         }
@@ -230,6 +406,52 @@ impl QueryDirectory {
         MonitoredQuery {
             directory: Arc::clone(self),
             id,
+        }
+    }
+
+    /// Attach live execution state to a managed entry (a worker is about
+    /// to drive the query). A retry attempt replaces the previous
+    /// attachment; the published fraction stays monotone across attempts.
+    /// Returns false if the id is unknown.
+    pub fn attach_execution(
+        &self,
+        id: u64,
+        tracker: ProgressTracker,
+        phases: Arc<PhaseSink>,
+        health: Option<Arc<HealthAnalyzer>>,
+    ) -> bool {
+        let mut entries = self.entries.lock();
+        match entries.get_mut(&id) {
+            Some(e) => {
+                e.exec = Some(ExecAttachment {
+                    tracker,
+                    phases,
+                    health,
+                });
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Move a managed entry through its service-dictated lifecycle.
+    /// Setting [`ManagedState::Terminal`] arms the exactly-once terminal
+    /// frame (emitted by the next tick, or on unregister). Returns false
+    /// if the id is unknown.
+    pub fn set_managed_state(&self, id: u64, state: ManagedState) -> bool {
+        let mut entries = self.entries.lock();
+        match entries.get_mut(&id) {
+            Some(e) => {
+                match &state {
+                    ManagedState::Running { attempt } | ManagedState::Retrying { attempt, .. } => {
+                        e.attempt = *attempt
+                    }
+                    _ => {}
+                }
+                e.managed = Some(state);
+                true
+            }
+            None => false,
         }
     }
 
@@ -271,33 +493,29 @@ impl QueryDirectory {
         };
         let entries = self.entries.lock();
         for (&id, e) in entries.iter() {
-            let snap = e.tracker.snapshot();
-            let state = e.phases.state();
-            let done = match state {
-                QueryState::Failed(_) => false,
-                QueryState::Done => true,
-                QueryState::Running => snap.is_complete(),
-            };
-            let terminal = done || matches!(state, QueryState::Failed(_));
-            if let Some(h) = &e.health {
-                let elapsed_us = e.started.elapsed().as_micros() as u64;
-                let fraction = e.clamped_fraction(snap.fraction());
-                let eta = e.eta.lock().update(elapsed_us, fraction, !terminal);
-                if let Some((from, to, reason)) =
-                    h.observe(snap.current(), eta.map(|v| v as f64), !terminal)
-                {
-                    hub.publish(
-                        id,
-                        "health",
-                        &format!(
-                            "{{\"id\":{id},\"from\":\"{from}\",\"to\":\"{to}\",\
-                             \"reason\":\"{reason}\"}}"
-                        ),
-                        false,
-                    );
+            let view = e.view();
+            if let Some(exec) = &e.exec {
+                if let Some(h) = &exec.health {
+                    let snap = exec.tracker.snapshot();
+                    let elapsed_us = e.started.elapsed().as_micros() as u64;
+                    let fraction = e.clamped_fraction(snap.fraction());
+                    let eta = e.eta.lock().update(elapsed_us, fraction, view.running);
+                    if let Some((from, to, reason)) =
+                        h.observe(snap.current(), eta.map(|v| v as f64), view.running)
+                    {
+                        hub.publish(
+                            id,
+                            "health",
+                            &format!(
+                                "{{\"id\":{id},\"from\":\"{from}\",\"to\":\"{to}\",\
+                                 \"reason\":\"{reason}\"}}"
+                            ),
+                            false,
+                        );
+                    }
                 }
             }
-            if terminal {
+            if view.terminal {
                 if !e.terminal_emitted.swap(true, Ordering::Relaxed) {
                     hub.publish(id, "terminal", &Self::summary_json(id, e), true);
                 }
@@ -323,94 +541,109 @@ impl QueryDirectory {
     }
 
     fn summary_json(id: u64, e: &QueryEntry) -> String {
-        let snap = e.tracker.snapshot();
-        let (lo, hi) = e.tracker.fraction_bounds();
-        let pipelines = snap.pipelines();
-        let finished_pipelines = pipelines
-            .iter()
-            .filter(|p| p.state == PipelineState::Finished)
-            .count();
-        let state = e.phases.state();
-        let done = match state {
-            QueryState::Failed(_) => false,
-            QueryState::Done => true,
-            QueryState::Running => snap.is_complete(),
+        let view = e.view();
+        // Progress numbers come from the execution attachment; entries
+        // waiting for dispatch render the trivially-true bounds.
+        let (fraction, lo, hi, current, total, pipes, pipes_done) = match &e.exec {
+            Some(exec) => {
+                let snap = exec.tracker.snapshot();
+                let (lo, hi) = exec.tracker.fraction_bounds();
+                let fraction = e.clamped_fraction(snap.fraction());
+                let hi = if hi.is_finite() { hi.max(fraction) } else { hi };
+                let pipelines = snap.pipelines();
+                let finished = pipelines
+                    .iter()
+                    .filter(|p| p.state == PipelineState::Finished)
+                    .count();
+                (
+                    fraction,
+                    lo,
+                    hi,
+                    snap.current(),
+                    snap.total(),
+                    pipelines.len(),
+                    finished,
+                )
+            }
+            None => {
+                let fraction = e.clamped_fraction(0.0);
+                (fraction, 0.0, 1.0, 0, f64::NAN, 0, 0)
+            }
         };
         let elapsed_us = e.started.elapsed().as_micros() as u64;
-        // The published fraction is the running max of the raw gnm
-        // estimate: refinements may revise it down, progress bars may not.
-        let fraction = e.clamped_fraction(snap.fraction());
-        let hi = if hi.is_finite() { hi.max(fraction) } else { hi };
         // The paper's motivating use case, estimated time remaining from
         // the gnm fraction, smoothed so refinement noise does not whipsaw
         // the number. `null` before meaningful progress and once terminal.
-        let running = state == QueryState::Running && !done;
         let eta_us = e
             .eta
             .lock()
-            .update(elapsed_us, fraction, running)
+            .update(elapsed_us, fraction, view.running)
             .map_or_else(|| "null".to_string(), |v| v.to_string());
-        let health = e.health.as_ref().map_or_else(
+        let health = e.exec.as_ref().and_then(|x| x.health.as_ref()).map_or_else(
             || "null".to_string(),
             |h| format!("\"{}\"", h.state().name()),
         );
+        // Service-managed entries carry their tenant and attempt count;
+        // session-owned JSON is unchanged.
+        let tenancy = match &e.tenant {
+            Some(t) => format!("\"tenant\":\"{}\",\"attempt\":{},", escape(t), e.attempt),
+            None => String::new(),
+        };
         format!(
-            "{{\"id\":{id},\"label\":\"{}\",\"estimator\":\"{}\",\
+            "{{\"id\":{id},\"label\":\"{}\",\"estimator\":\"{}\",{tenancy}\
              \"elapsed_us\":{elapsed_us},\"eta_us\":{eta_us},\
              \"fraction\":{},\"lo\":{},\"hi\":{},\
-             \"current\":{},\"total\":{},\"pipelines\":{},\
-             \"pipelines_finished\":{},\"state\":\"{}\",\"failure\":{},\
-             \"health\":{health},\"done\":{done},\"rows\":{}}}",
+             \"current\":{current},\"total\":{},\"pipelines\":{pipes},\
+             \"pipelines_finished\":{pipes_done},\"state\":\"{}\",\"failure\":{},\
+             \"health\":{health},\"done\":{},\"rows\":{}}}",
             escape(&e.label),
             escape(&e.estimator),
             num(fraction),
             num(lo),
             num(hi),
-            snap.current(),
-            num(snap.total()),
-            pipelines.len(),
-            finished_pipelines,
-            state.name(),
-            match state {
-                QueryState::Failed(reason) => format!("\"{reason}\""),
-                _ => "null".to_string(),
-            },
-            e.phases
-                .rows()
-                .map_or("null".to_string(), |r| r.to_string()),
+            num(total),
+            view.state,
+            view.failure
+                .as_ref()
+                .map_or("null".to_string(), |f| format!("\"{}\"", escape(f))),
+            view.done,
+            view.rows.map_or("null".to_string(), |r| r.to_string()),
         )
     }
 
     fn detail_json(id: u64, e: &QueryEntry) -> String {
         let summary = Self::summary_json(id, e);
-        let ops: Vec<String> = e
-            .tracker
-            .registry()
-            .iter()
-            .enumerate()
-            .map(|(i, (name, m))| {
-                let (lo, hi) = m
-                    .estimated_bounds()
-                    .map_or(("null".to_string(), "null".to_string()), |(lo, hi)| {
-                        (num(lo), num(hi))
-                    });
-                format!(
-                    "{{\"name\":\"{}\",\"k\":{},\"driver\":{},\"n\":{},\
-                     \"lo\":{lo},\"hi\":{hi},\"finished\":{},\"phase\":{},\
-                     \"wall_us\":{},\"workers\":{}}}",
-                    escape(name),
-                    m.emitted(),
-                    m.driver_consumed(),
-                    num(m.estimated_total()),
-                    m.is_finished(),
-                    e.phases
-                        .phase(i)
-                        .map_or("null".to_string(), |p| format!("\"{}\"", p.name())),
-                    m.wall_us().map_or("null".to_string(), |w| w.to_string()),
-                    m.workers().map_or("null".to_string(), |w| w.to_string()),
-                )
-            })
-            .collect();
+        let ops: Vec<String> = match &e.exec {
+            None => Vec::new(),
+            Some(exec) => exec
+                .tracker
+                .registry()
+                .iter()
+                .enumerate()
+                .map(|(i, (name, m))| {
+                    let (lo, hi) = m
+                        .estimated_bounds()
+                        .map_or(("null".to_string(), "null".to_string()), |(lo, hi)| {
+                            (num(lo), num(hi))
+                        });
+                    format!(
+                        "{{\"name\":\"{}\",\"k\":{},\"driver\":{},\"n\":{},\
+                         \"lo\":{lo},\"hi\":{hi},\"finished\":{},\"phase\":{},\
+                         \"wall_us\":{},\"workers\":{}}}",
+                        escape(name),
+                        m.emitted(),
+                        m.driver_consumed(),
+                        num(m.estimated_total()),
+                        m.is_finished(),
+                        exec.phases
+                            .phase(i)
+                            .map_or("null".to_string(), |p| format!("\"{}\"", p.name())),
+                        m.wall_us().map_or("null".to_string(), |w| w.to_string()),
+                        m.workers().map_or("null".to_string(), |w| w.to_string()),
+                    )
+                })
+                .collect(),
+        };
         debug_assert!(summary.ends_with('}'));
         format!(
             "{},\"ops\":[{}]}}",
@@ -443,15 +676,9 @@ impl QueryDirectory {
     pub fn stream_snapshot(&self, id: u64) -> Option<(String, bool, bool)> {
         let entries = self.entries.lock();
         entries.get(&id).map(|e| {
-            let state = e.phases.state();
-            let terminal = match state {
-                QueryState::Failed(_) => true,
-                QueryState::Done => true,
-                QueryState::Running => e.tracker.snapshot().is_complete(),
-            };
             (
                 Self::summary_json(id, e),
-                terminal,
+                e.view().terminal,
                 e.terminal_emitted.load(Ordering::Relaxed),
             )
         })
@@ -551,6 +778,8 @@ mod tests {
         assert!(all.contains("\"elapsed_us\":"), "{all}");
         assert!(all.contains("\"eta_us\":"), "{all}");
         assert!(!all.contains("\"eta_us\":null"), "{all}");
+        // session-owned queries carry no tenancy fields
+        assert!(!all.contains("\"tenant\""), "{all}");
         let detail = dir.render_query(q.id()).unwrap();
         assert!(detail.contains("\"ops\":[{\"name\":\"scan\""), "{detail}");
         assert!(detail.contains("\"k\":50"), "{detail}");
@@ -643,5 +872,93 @@ mod tests {
     fn unknown_id_renders_none() {
         let dir = QueryDirectory::new(None);
         assert!(dir.render_query(404).is_none());
+    }
+
+    #[test]
+    fn managed_entries_walk_the_service_lifecycle() {
+        let dir = Arc::new(QueryDirectory::new(None));
+        let id = dir.allocate_id(1);
+        let q = dir.register_managed(id, "svc query", "gnm", "acme");
+        let all = dir.render_all();
+        assert!(all.contains("\"state\":\"queued\""), "{all}");
+        assert!(all.contains("\"tenant\":\"acme\""), "{all}");
+        assert!(all.contains("\"attempt\":0"), "{all}");
+        assert!(all.contains("\"fraction\":0"), "{all}");
+        assert!(all.contains("\"eta_us\":null"), "{all}");
+
+        assert!(dir.set_managed_state(id, ManagedState::Running { attempt: 1 }));
+        let (t, reg) = tracker();
+        assert!(dir.attach_execution(id, t, Arc::new(PhaseSink::new()), None));
+        for _ in 0..40 {
+            reg.get(0).unwrap().record_emitted();
+        }
+        let detail = dir.render_query(id).unwrap();
+        assert!(detail.contains("\"state\":\"running\""), "{detail}");
+        assert!(detail.contains("\"attempt\":1"), "{detail}");
+        assert!(detail.contains("\"fraction\":0.4"), "{detail}");
+        assert!(detail.contains("\"ops\":[{\"name\":\"scan\""), "{detail}");
+
+        assert!(dir.set_managed_state(
+            id,
+            ManagedState::Retrying {
+                kind: "injected".to_string(),
+                attempt: 1,
+            }
+        ));
+        let all = dir.render_all();
+        assert!(all.contains("\"state\":\"retrying\""), "{all}");
+        assert!(all.contains("\"failure\":\"injected\""), "{all}");
+        assert!(all.contains("\"done\":false"), "{all}");
+
+        assert!(dir.set_managed_state(
+            id,
+            ManagedState::Terminal {
+                done: true,
+                failure: None,
+                rows: Some(123),
+            }
+        ));
+        let detail = dir.render_query(id).unwrap();
+        assert!(detail.contains("\"state\":\"done\""), "{detail}");
+        assert!(detail.contains("\"done\":true"), "{detail}");
+        assert!(detail.contains("\"rows\":123"), "{detail}");
+        drop(q);
+        assert!(!dir.set_managed_state(id, ManagedState::Queued));
+        assert!(!dir.attach_execution(id, tracker().0, Arc::new(PhaseSink::new()), None));
+    }
+
+    #[test]
+    fn allocate_id_respects_floor_and_explicit_registrations() {
+        let dir = Arc::new(QueryDirectory::new(None));
+        let a = dir.allocate_id(10);
+        assert!(a >= 10);
+        let _q = dir.register_managed(50, "replayed", "gnm", "t");
+        let b = dir.allocate_id(1);
+        assert!(b > 50, "{b}");
+        let (t, _) = tracker();
+        let s = dir.register("session", "once", t, Arc::new(PhaseSink::new()), None);
+        assert!(s.id() > b, "session ids share the namespace: {}", s.id());
+    }
+
+    #[test]
+    fn managed_terminal_is_not_derived_from_trace_state() {
+        // A retryable abort publishes QueryAborted into the phase sink;
+        // the entry must stay non-terminal until the service says so.
+        let dir = Arc::new(QueryDirectory::new(None));
+        let id = dir.allocate_id(1);
+        let _q = dir.register_managed(id, "flaky", "gnm", "t");
+        dir.set_managed_state(id, ManagedState::Running { attempt: 1 });
+        let (t, _reg) = tracker();
+        let sink = Arc::new(PhaseSink::new());
+        dir.attach_execution(id, t, Arc::clone(&sink), None);
+        sink.publish(&ev(TraceEventKind::QueryAborted {
+            reason: AbortKind::Injected,
+            rows: 0,
+        }));
+        let (_, terminal, emitted) = dir.stream_snapshot(id).unwrap();
+        assert!(!terminal, "trace abort must not leak a managed terminal");
+        assert!(!emitted);
+        let all = dir.render_all();
+        assert!(all.contains("\"state\":\"running\""), "{all}");
     }
 }

@@ -1,22 +1,29 @@
 //! Minimal HTTP/1.1 plumbing for the monitor server: just enough to parse
-//! a `GET` request line and write a well-formed response over a
-//! `std::net::TcpStream`. No external crates, no chunked encoding, one
-//! request per connection (`Connection: close`).
+//! `GET`/`POST` requests (with small bodies) and write well-formed
+//! responses over a `std::net::TcpStream`. No external crates, no chunked
+//! encoding, one request per connection (`Connection: close`). Errors are
+//! structured JSON bodies (`{"error","detail"}`) so clients never have to
+//! scrape prose.
 
 use std::io::{Read, Write};
 
 /// Cap on the request head (request line + headers) we are willing to read.
 const MAX_HEAD_BYTES: usize = 8 * 1024;
 
-/// A parsed request line.
+/// Cap on a request body (`POST /submit` payloads — small JSON documents).
+pub const MAX_BODY_BYTES: usize = 256 * 1024;
+
+/// A parsed request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
-    /// HTTP method, uppercase as received (`GET`, `HEAD`, ...).
+    /// HTTP method, uppercase as received (`GET`, `HEAD`, `POST`, ...).
     pub method: String,
     /// Request target path, without query string.
     pub path: String,
     /// Raw query string (without the `?`); empty when the target had none.
     pub query: String,
+    /// Request body (empty unless the client sent `Content-Length`).
+    pub body: String,
 }
 
 impl Request {
@@ -26,6 +33,17 @@ impl Request {
             method: "GET".to_string(),
             path: path.into(),
             query: String::new(),
+            body: String::new(),
+        }
+    }
+
+    /// A `POST` carrying `body` (tests and direct routing).
+    pub fn post(path: impl Into<String>, body: impl Into<String>) -> Request {
+        Request {
+            method: "POST".to_string(),
+            path: path.into(),
+            query: String::new(),
+            body: body.into(),
         }
     }
 
@@ -43,7 +61,7 @@ impl Request {
 
 /// Parse the head of an HTTP request from `text` (everything up to the
 /// blank line). Returns `None` for anything that is not a plausible
-/// HTTP/1.x request line.
+/// HTTP/1.x request line. The body, if any, is read separately.
 pub fn parse_request(text: &str) -> Option<Request> {
     let line = text.lines().next()?;
     let mut parts = line.split_whitespace();
@@ -66,26 +84,61 @@ pub fn parse_request(text: &str) -> Option<Request> {
         method: method.to_string(),
         path: path.to_string(),
         query: query.to_string(),
+        body: String::new(),
     })
 }
 
-/// Read a request head from `stream` (until `\r\n\r\n`, EOF, or the size
-/// cap) and parse it.
-pub fn read_request(stream: &mut impl Read) -> Option<Request> {
-    let mut head = Vec::new();
-    let mut buf = [0u8; 512];
-    loop {
-        let n = match stream.read(&mut buf) {
+/// `Content-Length` from a request head, if present and parseable.
+fn content_length(head: &str) -> Option<usize> {
+    head.lines()
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.trim().eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse().ok())
+}
+
+/// Why reading a request failed — the server maps these to status codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadError {
+    /// Unparseable head, IO error, or the head exceeded its cap.
+    Malformed,
+    /// The declared body exceeds [`MAX_BODY_BYTES`].
+    BodyTooLarge,
+}
+
+/// Read a full request (head + `Content-Length` body) from `stream`.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, ReadError> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 512];
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        if buf.len() >= MAX_HEAD_BYTES {
+            return Err(ReadError::Malformed);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(ReadError::Malformed),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return Err(ReadError::Malformed),
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut req = parse_request(&head).ok_or(ReadError::Malformed)?;
+    let want = content_length(&head).unwrap_or(0);
+    if want > MAX_BODY_BYTES {
+        return Err(ReadError::BodyTooLarge);
+    }
+    let mut body = buf[head_end..].to_vec();
+    while body.len() < want {
+        match stream.read(&mut chunk) {
             Ok(0) => break,
-            Ok(n) => n,
-            Err(_) => return None,
-        };
-        head.extend_from_slice(&buf[..n]);
-        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= MAX_HEAD_BYTES {
-            break;
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(_) => return Err(ReadError::Malformed),
         }
     }
-    parse_request(&String::from_utf8_lossy(&head))
+    body.truncate(want);
+    req.body = String::from_utf8_lossy(&body).into_owned();
+    Ok(req)
 }
 
 /// A response ready to serialize.
@@ -97,6 +150,8 @@ pub struct Response {
     pub content_type: &'static str,
     /// Response body.
     pub body: String,
+    /// `Retry-After` header in seconds (shed/drain responses).
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -106,33 +161,60 @@ impl Response {
             status: 200,
             content_type,
             body: body.into(),
+            retry_after: None,
         }
     }
 
-    /// 404 with a plain-text message.
-    pub fn not_found(msg: &str) -> Self {
+    /// A structured JSON error: `{"error": <short>, "detail": <long>}`.
+    pub fn error(status: u16, error: &str, detail: &str) -> Self {
         Response {
-            status: 404,
-            content_type: "text/plain; charset=utf-8",
-            body: format!("404 not found: {msg}\n"),
+            status,
+            content_type: "application/json",
+            body: format!(
+                "{{\"error\":\"{}\",\"detail\":\"{}\"}}",
+                json_escape(error),
+                json_escape(detail)
+            ),
+            retry_after: None,
         }
     }
 
-    /// 405 for non-GET methods.
+    /// 400 with a structured body.
+    pub fn bad_request(detail: &str) -> Self {
+        Response::error(400, "bad request", detail)
+    }
+
+    /// 404 with a structured body.
+    pub fn not_found(detail: &str) -> Self {
+        Response::error(404, "not found", detail)
+    }
+
+    /// 405 for unsupported methods.
     pub fn method_not_allowed() -> Self {
-        Response {
-            status: 405,
-            content_type: "text/plain; charset=utf-8",
-            body: "405 method not allowed (monitor endpoints are GET-only)\n".to_string(),
-        }
+        Response::error(
+            405,
+            "method not allowed",
+            "monitor endpoints accept GET/HEAD; the service accepts POST /submit and POST /progress/{id}/cancel",
+        )
+    }
+
+    /// Attach a `Retry-After` header (429/503 responses).
+    pub fn with_retry_after(mut self, seconds: u64) -> Self {
+        self.retry_after = Some(seconds);
+        self
     }
 
     fn reason(&self) -> &'static str {
         match self.status {
             200 => "OK",
+            202 => "Accepted",
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
             _ => "Error",
         }
     }
@@ -141,12 +223,16 @@ impl Response {
     pub fn write_to(&self, stream: &mut impl Write, head_only: bool) -> std::io::Result<()> {
         write!(
             stream,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
             self.status,
             self.reason(),
             self.content_type,
             self.body.len()
         )?;
+        if let Some(secs) = self.retry_after {
+            write!(stream, "Retry-After: {secs}\r\n")?;
+        }
+        write!(stream, "Connection: close\r\n\r\n")?;
         if !head_only {
             stream.write_all(self.body.as_bytes())?;
         }
@@ -171,6 +257,99 @@ pub fn write_sse_head(stream: &mut impl Write) -> std::io::Result<()> {
 pub fn write_sse_frame(stream: &mut impl Write, event: &str, data: &str) -> std::io::Result<()> {
     write!(stream, "event: {event}\ndata: {data}\n\n")?;
     stream.flush()
+}
+
+/// JSON string escaping for error bodies and submit-payload echoes.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            '/' => out.push('/'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            'u' => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if hex.len() != 4 {
+                    return None;
+                }
+                out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Extract string field `key` from a flat JSON object, handling escaped
+/// quotes inside the value (submit bodies carry raw SQL). Returns `None`
+/// when the field is absent or not a string.
+pub fn body_str_field(body: &str, key: &str) -> Option<String> {
+    let key_pos = find_key(body, key)?;
+    let rest = body[key_pos..].trim_start();
+    let inner = rest.strip_prefix('"')?;
+    let bytes = inner.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return json_unescape(&inner[..i]),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Extract non-negative integer field `key` from a flat JSON object.
+pub fn body_u64_field(body: &str, key: &str) -> Option<u64> {
+    let key_pos = find_key(body, key)?;
+    let rest = body[key_pos..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Position just past `"key":`, skipping matches inside string values by
+/// requiring the key to sit at a structural boundary (after `{` or `,`).
+fn find_key(body: &str, key: &str) -> Option<usize> {
+    let needle = format!("\"{key}\"");
+    let mut from = 0;
+    while let Some(rel) = body[from..].find(&needle) {
+        let at = from + rel;
+        let before = body[..at].trim_end().chars().last();
+        let after = body[at + needle.len()..].trim_start();
+        if matches!(before, Some('{') | Some(',')) {
+            if let Some(rest) = after.strip_prefix(':') {
+                return Some(body.len() - rest.len());
+            }
+        }
+        from = at + needle.len();
+    }
+    None
 }
 
 #[cfg(test)]
@@ -228,6 +407,38 @@ mod tests {
     }
 
     #[test]
+    fn errors_are_structured_json() {
+        let mut out = Vec::new();
+        Response::not_found("no query with id 7")
+            .write_to(&mut out, false)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"), "{text}");
+        assert!(text.contains("Content-Type: application/json"), "{text}");
+        assert!(
+            text.ends_with("{\"error\":\"not found\",\"detail\":\"no query with id 7\"}"),
+            "{text}"
+        );
+        let r = Response::error(400, "bad request", "limit must be an integer, got \"x\"");
+        assert!(r.body.contains("got \\\"x\\\""), "{}", r.body);
+    }
+
+    #[test]
+    fn retry_after_header_is_emitted() {
+        let mut out = Vec::new();
+        Response::error(429, "rejected", "tenant cap")
+            .with_retry_after(3)
+            .write_to(&mut out, false)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Retry-After: 3\r\n"), "{text}");
+    }
+
+    #[test]
     fn sse_head_and_frames_are_well_formed() {
         let mut out = Vec::new();
         write_sse_head(&mut out).unwrap();
@@ -263,5 +474,46 @@ mod tests {
         let mut stream = Chunked(vec![b"\r\n\r\n".to_vec(), b"GET / HTTP/1.1".to_vec()]);
         let r = read_request(&mut stream).unwrap();
         assert_eq!(r.path, "/");
+        assert_eq!(r.body, "");
+    }
+
+    #[test]
+    fn read_request_collects_post_bodies() {
+        let body = "{\"sql\":\"select 1\"}";
+        let raw = format!(
+            "POST /submit HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let mut stream = raw.as_bytes();
+        let r = read_request(&mut stream).unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, body);
+
+        let huge = format!(
+            "POST /submit HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let mut stream = huge.as_bytes();
+        assert_eq!(read_request(&mut stream), Err(ReadError::BodyTooLarge));
+    }
+
+    #[test]
+    fn body_fields_handle_escapes_and_embedded_keys() {
+        let body = "{\"tenant\":\"acme\",\"sql\":\"select \\\"x\\\" from t where s='\\\"sql\\\": 1'\",\"deadline_ms\":2500}";
+        assert_eq!(body_str_field(body, "tenant").unwrap(), "acme");
+        assert_eq!(
+            body_str_field(body, "sql").unwrap(),
+            "select \"x\" from t where s='\"sql\": 1'"
+        );
+        assert_eq!(body_u64_field(body, "deadline_ms"), Some(2500));
+        assert_eq!(body_str_field(body, "label"), None);
+        assert_eq!(body_u64_field(body, "sql"), None);
+        // a key-looking token inside a string value is not a field
+        let tricky = "{\"sql\":\"x \\\"label\\\": y\"}";
+        assert_eq!(body_str_field(tricky, "label"), None);
+        // whitespace-tolerant
+        let spaced = "{ \"sql\" : \"select 1\" , \"tenant\" : \"t\" }";
+        assert_eq!(body_str_field(spaced, "sql").unwrap(), "select 1");
+        assert_eq!(body_str_field(spaced, "tenant").unwrap(), "t");
     }
 }

@@ -37,8 +37,14 @@ pub mod eta;
 pub mod http;
 pub mod hub;
 pub mod server;
+pub mod service;
 
-pub use directory::{MonitoredQuery, PhaseSink, QueryDirectory, QueryState};
+// The submit/queue/dispatch service this crate fronts (`POST /submit`);
+// re-exported so monitor users need only one dependency.
+pub use qprog_service;
+
+pub use directory::{ManagedState, MonitoredQuery, PhaseSink, QueryDirectory, QueryState};
 pub use eta::EtaSmoother;
 pub use hub::{StreamHub, StreamNext, StreamSubscriber};
-pub use server::MonitorServer;
+pub use server::{MonitorServer, ServerConfig};
+pub use service::DirectoryObserver;

@@ -10,18 +10,16 @@ use std::time::Duration;
 use qprog_exec::sync::Mutex;
 use qprog_metrics::Registry;
 use qprog_obs::Corpus;
+use qprog_service::{CancelOutcome, QueryService, SubmitError, SubmitRequest};
 use qprog_types::{QError, QResult};
 
 use crate::dashboard::DASHBOARD_HTML;
 use crate::directory::QueryDirectory;
-use crate::http::{read_request, write_sse_frame, write_sse_head, Request, Response};
+use crate::http::{
+    body_str_field, body_u64_field, read_request, write_sse_frame, write_sse_head, ReadError,
+    Request, Response,
+};
 use crate::hub::{StreamHub, StreamNext, StreamSubscriber, DEFAULT_QUEUE_CAP};
-
-/// Per-connection socket timeout: the monitor must never hold a thread
-/// hostage to a stalled client. For SSE connections this doubles as the
-/// slow-client guard — a receiver that blocks writes for this long is
-/// disconnected.
-const IO_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Cadence of the broadcast tick that samples every registered query and
 /// fans progress/health/terminal frames out to stream subscribers.
@@ -30,6 +28,42 @@ const TICK: Duration = Duration::from_millis(25);
 /// How long an SSE writer waits for a frame before emitting a keepalive
 /// comment (which also detects silently-dead clients).
 const STREAM_POLL: Duration = Duration::from_millis(250);
+
+/// Terminal states a corpus run can be archived under (`/history?state=`).
+const HISTORY_STATES: &[&str] = &[
+    "finished",
+    "cancelled",
+    "deadline",
+    "budget",
+    "panic",
+    "injected",
+    "error",
+    "unknown",
+];
+
+/// Tunable robustness bounds for the HTTP front end.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Per-connection socket read/write timeout: the monitor must never
+    /// hold a thread hostage to a stalled client. For SSE connections
+    /// this doubles as the slow-client guard — a receiver that blocks
+    /// writes for this long is disconnected.
+    pub io_timeout: Duration,
+    /// Upper bound on concurrently-served connections. Connections past
+    /// the bound are answered `503` + `Retry-After` and dropped, so a
+    /// connection flood degrades into fast rejections instead of
+    /// unbounded threads.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            io_timeout: Duration::from_secs(5),
+            max_connections: 256,
+        }
+    }
+}
 
 /// A live progress monitor server.
 ///
@@ -53,6 +87,18 @@ const STREAM_POLL: Duration = Duration::from_millis(250);
 /// - `GET /history/{run}` — one run's metadata + scorecard,
 /// - `GET /history/{run}/trace` — the run's raw trace JSONL.
 ///
+/// With a query service attached ([`set_service`](Self::set_service), or
+/// `ServiceRuntime` session-side), the monitor doubles as the service's
+/// front door:
+///
+/// - `POST /submit` — accept `{"sql","tenant"[,"label","deadline_ms"]}`,
+///   answer `202 {"id":N,...}` immediately (or a typed `400`/`429`/`503`),
+/// - `POST /progress/{id}/cancel` — cancel a queued or running submission,
+/// - `GET /service` — admission/queue/retry statistics.
+///
+/// Errors are structured JSON bodies (`{"error","detail"}`) with accurate
+/// status codes; shed responses carry `Retry-After`.
+///
 /// Streamed frames are encoded once per broadcast tick and shared across
 /// subscribers, so N watchers cost O(1) encodes per tick, not O(N).
 ///
@@ -60,12 +106,16 @@ const STREAM_POLL: Duration = Duration::from_millis(250);
 /// accept loop and joins every thread the server spawned.
 pub struct MonitorServer {
     addr: SocketAddr,
+    config: ServerConfig,
     directory: Arc<QueryDirectory>,
     metrics: Option<Arc<Registry>>,
     hub: Arc<StreamHub>,
     /// Attached after start (the session opens its corpus at build time,
     /// which may follow the server), hence the mutex.
     corpus: Mutex<Option<Arc<Corpus>>>,
+    /// Attached after start, like the corpus: the service needs the
+    /// directory (for its status observer), which needs the server.
+    service: Mutex<Option<Arc<QueryService>>>,
     stop: Arc<AtomicBool>,
     accept_thread: Mutex<Option<JoinHandle<()>>>,
     tick_thread: Mutex<Option<JoinHandle<()>>>,
@@ -73,10 +123,19 @@ pub struct MonitorServer {
 }
 
 impl MonitorServer {
-    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start serving. With a
-    /// metrics registry attached, `/metrics` exposes it and the query
-    /// directory maintains the `qprog_queries_live` gauge.
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start serving with default
+    /// bounds. With a metrics registry attached, `/metrics` exposes it and
+    /// the query directory maintains the `qprog_queries_live` gauge.
     pub fn start(addr: impl ToSocketAddrs, metrics: Option<Arc<Registry>>) -> QResult<Arc<Self>> {
+        Self::start_with(addr, metrics, ServerConfig::default())
+    }
+
+    /// [`start`](Self::start) with explicit robustness bounds.
+    pub fn start_with(
+        addr: impl ToSocketAddrs,
+        metrics: Option<Arc<Registry>>,
+        config: ServerConfig,
+    ) -> QResult<Arc<Self>> {
         let listener = TcpListener::bind(addr).map_err(|e| QError::plan(format!("bind: {e}")))?;
         let addr = listener
             .local_addr()
@@ -86,10 +145,12 @@ impl MonitorServer {
         directory.set_hub(Arc::clone(&hub));
         let server = Arc::new(MonitorServer {
             addr,
+            config,
             directory,
             metrics,
             hub,
             corpus: Mutex::new(None),
+            service: Mutex::new(None),
             stop: Arc::new(AtomicBool::new(false)),
             accept_thread: Mutex::new(None),
             tick_thread: Mutex::new(None),
@@ -158,12 +219,23 @@ impl MonitorServer {
         self.corpus.lock().clone()
     }
 
+    /// Attach (or replace) the query service behind `POST /submit`,
+    /// `POST /progress/{id}/cancel`, and `GET /service`.
+    pub fn set_service(&self, service: Arc<QueryService>) {
+        *self.service.lock() = Some(service);
+    }
+
+    /// The attached query service, if any.
+    pub fn service(&self) -> Option<Arc<QueryService>> {
+        self.service.lock().clone()
+    }
+
     fn accept_loop(self: &Arc<Self>, listener: TcpListener) {
         for stream in listener.incoming() {
             if self.stop.load(Ordering::Acquire) {
                 break;
             }
-            let stream = match stream {
+            let mut stream = match stream {
                 Ok(s) => s,
                 Err(_) => continue,
             };
@@ -172,8 +244,23 @@ impl MonitorServer {
             if qprog_fault::eval("monitor/accept").is_err() {
                 continue;
             }
-            // Reap finished connection threads so the vec stays bounded.
-            self.connections.lock().retain(|h| !h.is_finished());
+            // Reap finished connection threads so the vec stays bounded,
+            // then shed connections past the cap with a fast typed 503
+            // (bounded write timeout: an unresponsive flooder must not
+            // stall the accept loop either).
+            let live = {
+                let mut conns = self.connections.lock();
+                conns.retain(|h| !h.is_finished());
+                conns.len()
+            };
+            if live >= self.config.max_connections {
+                let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                let _ =
+                    Response::error(503, "overloaded", "connection limit reached; retry shortly")
+                        .with_retry_after(1)
+                        .write_to(&mut stream, false);
+                continue;
+            }
             let server = Arc::clone(self);
             let handle = std::thread::Builder::new()
                 .name("qprog-monitor-conn".to_string())
@@ -191,15 +278,27 @@ impl MonitorServer {
     }
 
     fn handle_connection(&self, mut stream: TcpStream) {
-        let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
-        let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+        let _ = stream.set_read_timeout(Some(self.config.io_timeout));
+        let _ = stream.set_write_timeout(Some(self.config.io_timeout));
         // Fault-injection site: simulate request-read failures (client gone
         // mid-request, interrupted socket) — the connection just drops.
         if qprog_fault::eval("monitor/read").is_err() {
             return;
         }
-        let Some(request) = read_request(&mut stream) else {
-            return;
+        let request = match read_request(&mut stream) {
+            Ok(r) => r,
+            Err(ReadError::BodyTooLarge) => {
+                let _ = Response::error(
+                    413,
+                    "payload too large",
+                    "request body exceeds the 256 KiB limit",
+                )
+                .write_to(&mut stream, false);
+                return;
+            }
+            // Garbage (or a socket that died mid-request) gets no reply;
+            // there may be nothing HTTP on the other end to read it.
+            Err(ReadError::Malformed) => return,
         };
         // Streaming endpoints keep the connection open and write frames as
         // they arrive; everything else is a buffered one-shot response.
@@ -221,6 +320,8 @@ impl MonitorServer {
         let head_only = request.method == "HEAD";
         let response = if request.method == "GET" || head_only {
             self.route(&request)
+        } else if request.method == "POST" {
+            self.route_post(&request)
         } else {
             Response::method_not_allowed()
         };
@@ -251,8 +352,7 @@ impl MonitorServer {
         let Some((summary, terminal, already_emitted)) = self.directory.stream_snapshot(id) else {
             self.hub.unsubscribe(&sub);
             let _ = Response::not_found(
-                "no such query (finished queries \
-                                         unregister when their handle drops)",
+                "no such query (finished queries unregister when their handle drops)",
             )
             .write_to(&mut stream, false);
             return;
@@ -304,7 +404,8 @@ impl MonitorServer {
         }
     }
 
-    /// Dispatch one parsed request (separated from IO for testability).
+    /// Dispatch one parsed GET/HEAD request (separated from IO for
+    /// testability).
     pub fn route(&self, request: &Request) -> Response {
         match request.path.as_str() {
             "/" => Response::ok("text/html; charset=utf-8", DASHBOARD_HTML),
@@ -316,6 +417,10 @@ impl MonitorServer {
                 "application/json; charset=utf-8",
                 self.directory.render_all(),
             ),
+            "/service" => match self.service() {
+                Some(s) => Response::ok("application/json; charset=utf-8", s.stats_json()),
+                None => Response::not_found("no query service attached"),
+            },
             "/history" => self.serve_history(request),
             path => match path.strip_prefix("/history/") {
                 Some(rest) => self.serve_history_run(rest),
@@ -324,24 +429,126 @@ impl MonitorServer {
                         Some(id) => match self.directory.render_query(id) {
                             Some(json) => Response::ok("application/json; charset=utf-8", json),
                             None => Response::not_found(
-                                "no such query (finished queries \
-                                                         unregister when their handle drops)",
+                                "no such query (finished queries unregister when their \
+                                 handle drops)",
                             ),
                         },
-                        None => Response::not_found("query id must be an integer"),
+                        None => Response::bad_request("query id must be an integer"),
                     },
                     None => Response::not_found(
-                        "try /, /metrics, /progress, /progress/{id}, or /history",
+                        "try /, /metrics, /progress, /progress/{id}, /history, or /service",
                     ),
                 },
             },
         }
     }
 
+    /// Dispatch one parsed POST request.
+    pub fn route_post(&self, request: &Request) -> Response {
+        if request.path == "/submit" {
+            return self.serve_submit(request);
+        }
+        if let Some(id) = request
+            .path
+            .strip_prefix("/progress/")
+            .and_then(|rest| rest.strip_suffix("/cancel"))
+        {
+            return match id.parse::<u64>() {
+                Ok(id) => self.serve_cancel(id),
+                Err(_) => Response::bad_request("query id must be an integer"),
+            };
+        }
+        Response::method_not_allowed()
+    }
+
+    /// `POST /submit`: hand the body to the attached query service and
+    /// answer immediately — `202` with the query id on acceptance, or the
+    /// typed rejection (`400` invalid, `429` shed + `Retry-After`, `503`
+    /// draining, `500` journal failure).
+    fn serve_submit(&self, request: &Request) -> Response {
+        let Some(service) = self.service() else {
+            return Response::not_found("no query service attached");
+        };
+        let Some(sql) = body_str_field(&request.body, "sql") else {
+            return Response::bad_request("body must be a JSON object with a \"sql\" string field");
+        };
+        let Some(tenant) = body_str_field(&request.body, "tenant") else {
+            return Response::bad_request(
+                "body must be a JSON object with a \"tenant\" string field",
+            );
+        };
+        let req = SubmitRequest {
+            sql,
+            tenant,
+            label: body_str_field(&request.body, "label"),
+            deadline: body_u64_field(&request.body, "deadline_ms").map(Duration::from_millis),
+        };
+        match service.submit(req) {
+            Ok(ticket) => Response {
+                status: 202,
+                content_type: "application/json; charset=utf-8",
+                body: format!(
+                    "{{\"id\":{},\"state\":\"queued\",\"queue_depth\":{}}}",
+                    ticket.id, ticket.queue_depth
+                ),
+                retry_after: None,
+            },
+            Err(SubmitError::Invalid(detail)) => Response::bad_request(&detail),
+            Err(SubmitError::Rejected {
+                reason,
+                detail,
+                retry_after,
+            }) => Response::error(429, reason.label(), &detail)
+                .with_retry_after(retry_after.as_secs().max(1)),
+            Err(SubmitError::ShuttingDown) => {
+                Response::error(503, "shutting down", "service is draining; retry later")
+                    .with_retry_after(5)
+            }
+            Err(SubmitError::Internal(detail)) => Response::error(500, "internal", &detail),
+        }
+    }
+
+    /// `POST /progress/{id}/cancel`.
+    fn serve_cancel(&self, id: u64) -> Response {
+        let Some(service) = self.service() else {
+            return Response::not_found("no query service attached");
+        };
+        let state = match service.cancel(id) {
+            CancelOutcome::CancelledQueued => "cancelled",
+            CancelOutcome::SignalledRunning => "cancelling",
+            CancelOutcome::AlreadyTerminal => "terminal",
+            CancelOutcome::Unknown => {
+                return Response::not_found("no such submission (evicted or never accepted)");
+            }
+        };
+        Response::ok(
+            "application/json; charset=utf-8",
+            format!("{{\"id\":{id},\"state\":\"{state}\"}}"),
+        )
+    }
+
     /// `GET /history`: the corpus run list, newest last, as an array of
     /// index records (each already carries its scorecard). Filters:
     /// `?workload=`, `?estimator=`, `?state=`, `?limit=N` (newest N).
+    /// Malformed filter values are a `400`, not a silently-ignored default.
     fn serve_history(&self, request: &Request) -> Response {
+        let limit = match request.param("limit") {
+            None => None,
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) => Some(n),
+                Err(_) => {
+                    return Response::bad_request("limit must be a non-negative integer");
+                }
+            },
+        };
+        if let Some(s) = request.param("state") {
+            if !HISTORY_STATES.contains(&s) {
+                return Response::bad_request(
+                    "state must be one of finished, cancelled, deadline, budget, panic, \
+                     injected, error, unknown",
+                );
+            }
+        }
         let Some(corpus) = self.corpus() else {
             return Response::not_found("no trace corpus attached");
         };
@@ -358,7 +565,7 @@ impl MonitorServer {
         if let Some(s) = request.param("state") {
             runs.retain(|r| r.state == s);
         }
-        if let Some(n) = request.param("limit").and_then(|v| v.parse::<usize>().ok()) {
+        if let Some(n) = limit {
             if runs.len() > n {
                 runs.drain(..runs.len() - n);
             }
@@ -383,7 +590,7 @@ impl MonitorServer {
             None => (rest, false),
         };
         let Ok(id) = id.parse::<u64>() else {
-            return Response::not_found("run id must be an integer");
+            return Response::bad_request("run id must be an integer");
         };
         if want_trace {
             match corpus.trace_jsonl(id) {
@@ -444,15 +651,33 @@ impl std::fmt::Debug for MonitorServer {
 mod tests {
     use super::*;
     use crate::directory::PhaseSink;
+    use crate::service::DirectoryObserver;
+    use qprog_exec::governor::CancellationToken;
     use qprog_exec::metrics::MetricsRegistry;
     use qprog_plan::pipeline::PipelineSet;
     use qprog_plan::ProgressTracker;
+    use qprog_service::{JobExecutor, JobSpec, ServiceConfig};
     use std::io::{Read, Write};
+    use std::path::{Path, PathBuf};
 
     /// One GET over a fresh TcpStream; returns the whole raw response.
     fn get(addr: SocketAddr, path: &str) -> String {
         let mut stream = TcpStream::connect(addr).unwrap();
         write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    /// One POST with a body; returns the whole raw response.
+    fn post(addr: SocketAddr, path: &str, body: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
         let mut out = String::new();
         stream.read_to_string(&mut out).unwrap();
         out
@@ -484,6 +709,41 @@ mod tests {
             }
         }
         out
+    }
+
+    /// A trivial executor for service-over-HTTP tests: every job succeeds
+    /// instantly with one row.
+    struct InstantExec;
+    impl JobExecutor for InstantExec {
+        fn execute(
+            &self,
+            _job: &JobSpec,
+            _cancel: CancellationToken,
+            _deadline: Option<Duration>,
+        ) -> Result<u64, qprog_types::QError> {
+            Ok(1)
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "qprog-monitor-svc-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn attach_service(
+        server: &Arc<MonitorServer>,
+        dir: &Path,
+        cfg: ServiceConfig,
+    ) -> Arc<QueryService> {
+        let observer = DirectoryObserver::new(Arc::clone(server.directory()), "gnm");
+        let service = QueryService::open(dir, cfg, Arc::new(InstantExec), observer, None).unwrap();
+        server.set_service(Arc::clone(&service));
+        service
     }
 
     #[test]
@@ -573,7 +833,7 @@ mod tests {
     }
 
     #[test]
-    fn serves_dashboard_progress_and_404() {
+    fn serves_dashboard_progress_and_structured_errors() {
         let server = MonitorServer::start("127.0.0.1:0", None).unwrap();
         let addr = server.addr();
 
@@ -586,11 +846,20 @@ mod tests {
         assert!(progress.contains("application/json"), "{progress}");
         assert!(progress.ends_with("{\"queries\":[]}"), "{progress}");
 
-        assert!(get(addr, "/progress/99").starts_with("HTTP/1.1 404"));
-        assert!(get(addr, "/progress/zzz").starts_with("HTTP/1.1 404"));
+        // Errors are structured JSON with accurate status codes.
+        let missing = get(addr, "/progress/99");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        assert!(missing.contains("{\"error\":\"not found\""), "{missing}");
+        let bad_id = get(addr, "/progress/zzz");
+        assert!(bad_id.starts_with("HTTP/1.1 400"), "{bad_id}");
+        assert!(
+            bad_id.contains("\"detail\":\"query id must be an integer\""),
+            "{bad_id}"
+        );
         assert!(get(addr, "/nope").starts_with("HTTP/1.1 404"));
-        // no registry attached
+        // no registry / service attached
         assert!(get(addr, "/metrics").starts_with("HTTP/1.1 404"));
+        assert!(get(addr, "/service").starts_with("HTTP/1.1 404"));
 
         server.shutdown();
     }
@@ -670,9 +939,26 @@ mod tests {
         assert!(trace.contains("\"event\":\"query_finished\""), "{trace}");
 
         assert!(get(addr, "/history/99").starts_with("HTTP/1.1 404"));
-        assert!(get(addr, "/history/zzz").starts_with("HTTP/1.1 404"));
+        assert!(get(addr, "/history/zzz").starts_with("HTTP/1.1 400"));
         server.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn history_params_are_validated_not_silently_defaulted() {
+        let server = MonitorServer::start("127.0.0.1:0", None).unwrap();
+        let addr = server.addr();
+        // Validation runs before the corpus check: a malformed request is
+        // a client error regardless of server configuration.
+        let bad_limit = get(addr, "/history?limit=banana");
+        assert!(bad_limit.starts_with("HTTP/1.1 400"), "{bad_limit}");
+        assert!(bad_limit.contains("non-negative integer"), "{bad_limit}");
+        let bad_state = get(addr, "/history?state=exploded");
+        assert!(bad_state.starts_with("HTTP/1.1 400"), "{bad_state}");
+        assert!(bad_state.contains("state must be one of"), "{bad_state}");
+        // Valid states pass validation (then 404: no corpus attached).
+        assert!(get(addr, "/history?state=finished").starts_with("HTTP/1.1 404"));
+        server.shutdown();
     }
 
     #[test]
@@ -683,6 +969,140 @@ mod tests {
         let mut out = String::new();
         stream.read_to_string(&mut out).unwrap();
         assert!(out.starts_with("HTTP/1.1 405"), "{out}");
+        assert!(out.contains("{\"error\":\"method not allowed\""), "{out}");
+    }
+
+    #[test]
+    fn submit_over_http_runs_to_a_visible_terminal() {
+        let dir = temp_dir("submit");
+        let server = MonitorServer::start("127.0.0.1:0", None).unwrap();
+        let addr = server.addr();
+        // Without a service: the submit route is a structured 404.
+        let none = post(addr, "/submit", "{\"sql\":\"select 1\",\"tenant\":\"t\"}");
+        assert!(none.starts_with("HTTP/1.1 404"), "{none}");
+        let service = attach_service(&server, &dir, ServiceConfig::default());
+
+        let accepted = post(
+            addr,
+            "/submit",
+            "{\"sql\":\"select 1\",\"tenant\":\"acme\"}",
+        );
+        assert!(accepted.starts_with("HTTP/1.1 202 Accepted"), "{accepted}");
+        let body = accepted.split("\r\n\r\n").nth(1).unwrap();
+        let id = body_u64_field(body, "id").expect("ticket carries the id");
+        assert!(body.contains("\"state\":\"queued\""), "{body}");
+
+        // The submission becomes visible under /progress/{id} and reaches
+        // a done terminal there.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let detail = get(addr, &format!("/progress/{id}"));
+            if detail.contains("\"state\":\"done\"") {
+                assert!(detail.contains("\"tenant\":\"acme\""), "{detail}");
+                assert!(detail.contains("\"rows\":1"), "{detail}");
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "submission never finished: {detail}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let stats = get(addr, "/service");
+        assert!(stats.contains("\"admitted\":1"), "{stats}");
+        service.shutdown();
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_submissions_get_structured_400s() {
+        let dir = temp_dir("invalid");
+        let server = MonitorServer::start("127.0.0.1:0", None).unwrap();
+        let addr = server.addr();
+        let service = attach_service(&server, &dir, ServiceConfig::default());
+        for (body, hint) in [
+            ("", "sql"),
+            ("{\"tenant\":\"t\"}", "sql"),
+            ("{\"sql\":\"select 1\"}", "tenant"),
+            ("{\"sql\":\"\",\"tenant\":\"t\"}", "sql"),
+            ("{\"sql\":\"select 1\",\"tenant\":\"\"}", "tenant"),
+        ] {
+            let out = post(addr, "/submit", body);
+            assert!(out.starts_with("HTTP/1.1 400"), "{body} -> {out}");
+            assert!(out.contains("{\"error\":"), "{body} -> {out}");
+            assert!(out.contains(hint), "{body} -> {out}");
+        }
+        service.shutdown();
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shed_submissions_get_429_with_retry_after() {
+        let dir = temp_dir("shed");
+        let server = MonitorServer::start("127.0.0.1:0", None).unwrap();
+        let addr = server.addr();
+        let cfg = ServiceConfig {
+            admission: qprog_service::AdmissionConfig {
+                max_queue_depth: 8,
+                max_tenant_inflight: 1,
+                retry_after: Duration::from_secs(2),
+            },
+            workers: 0, // nothing drains the queue
+            ..ServiceConfig::default()
+        };
+        let service = attach_service(&server, &dir, cfg);
+        let first = post(addr, "/submit", "{\"sql\":\"select 1\",\"tenant\":\"a\"}");
+        assert!(first.starts_with("HTTP/1.1 202"), "{first}");
+        let shed = post(addr, "/submit", "{\"sql\":\"select 1\",\"tenant\":\"a\"}");
+        assert!(shed.starts_with("HTTP/1.1 429"), "{shed}");
+        assert!(shed.contains("Retry-After: 2"), "{shed}");
+        assert!(shed.contains("{\"error\":\"tenant_cap\""), "{shed}");
+        service.shutdown();
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancel_route_cancels_queued_submissions() {
+        let dir = temp_dir("cancel");
+        let server = MonitorServer::start("127.0.0.1:0", None).unwrap();
+        let addr = server.addr();
+        let cfg = ServiceConfig {
+            workers: 0, // keep it queued
+            ..ServiceConfig::default()
+        };
+        let service = attach_service(&server, &dir, cfg);
+        let accepted = post(addr, "/submit", "{\"sql\":\"select 1\",\"tenant\":\"t\"}");
+        let body = accepted.split("\r\n\r\n").nth(1).unwrap();
+        let id = body_u64_field(body, "id").unwrap();
+        let cancelled = post(addr, &format!("/progress/{id}/cancel"), "");
+        assert!(cancelled.starts_with("HTTP/1.1 200"), "{cancelled}");
+        assert!(cancelled.contains("\"state\":\"cancelled\""), "{cancelled}");
+        let again = post(addr, &format!("/progress/{id}/cancel"), "");
+        assert!(again.contains("\"state\":\"terminal\""), "{again}");
+        assert!(post(addr, "/progress/999999/cancel", "").starts_with("HTTP/1.1 404"));
+        assert!(post(addr, "/progress/zzz/cancel", "").starts_with("HTTP/1.1 400"));
+        service.shutdown();
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_with_413() {
+        let server = MonitorServer::start("127.0.0.1:0", None).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write!(
+            stream,
+            "POST /submit HTTP/1.1\r\nHost: t\r\nContent-Length: 999999999\r\n\r\n"
+        )
+        .unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 413"), "{out}");
+        assert!(out.contains("{\"error\":\"payload too large\""), "{out}");
+        server.shutdown();
     }
 
     /// Write raw (possibly invalid) bytes, then read whatever comes back.
@@ -711,6 +1131,7 @@ mod tests {
             b"GET /progress HTTP/1.1\r\nHeader-without-colon\r\n\r\n",
             b"GET /%zz%%% HTTP/1.1\r\n\r\n", // junk path, parses fine
             b"GET / HTTP/9.9\r\n\r\n",       // absurd version
+            b"POST /submit HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
         ];
         for case in cases {
             // Never panics, never hangs; response may be empty or an error.
@@ -728,18 +1149,52 @@ mod tests {
 
     #[test]
     fn slow_clients_cannot_hold_connection_threads_hostage() {
-        let server = MonitorServer::start("127.0.0.1:0", None).unwrap();
+        // Tight bounds: 300ms socket timeout, at most 2 live connections.
+        let server = MonitorServer::start_with(
+            "127.0.0.1:0",
+            None,
+            ServerConfig {
+                io_timeout: Duration::from_millis(300),
+                max_connections: 2,
+            },
+        )
+        .unwrap();
         let addr = server.addr();
-        // A slowloris-style client: opens the connection, trickles half a
-        // request, then stalls. The read timeout must reclaim the thread.
-        let stalled = TcpStream::connect(addr).unwrap();
-        {
-            let mut s = &stalled;
-            let _ = s.write_all(b"GET /progress HT");
+        // Slowloris-style clients: open connections, trickle half a
+        // request, then stall — filling the connection budget.
+        let stalled: Vec<TcpStream> = (0..2)
+            .map(|_| {
+                let s = TcpStream::connect(addr).unwrap();
+                {
+                    let mut w = &s;
+                    let _ = w.write_all(b"GET /progress HT");
+                }
+                s
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(50));
+        // With the budget exhausted, the next connection is shed fast with
+        // a typed 503 + Retry-After instead of queueing behind the flood.
+        // (`raw` instead of `get`: a shed connection may be reset before
+        // the client finishes reading.)
+        let shed = raw(addr, b"GET /progress HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(shed.starts_with("HTTP/1.1 503"), "{shed}");
+        assert!(shed.contains("Retry-After: 1"), "{shed}");
+        assert!(shed.contains("{\"error\":\"overloaded\""), "{shed}");
+        // The read timeout reclaims the stalled threads; the server then
+        // recovers and serves normally again.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let out = raw(addr, b"GET /progress HTTP/1.1\r\nHost: t\r\n\r\n");
+            if out.starts_with("HTTP/1.1 200") {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "server never recovered from slowloris flood: {out}"
+            );
+            std::thread::sleep(Duration::from_millis(100));
         }
-        // Meanwhile the server keeps answering other clients immediately.
-        let ok = get(addr, "/progress");
-        assert!(ok.starts_with("HTTP/1.1 200"), "{ok}");
         drop(stalled);
         server.shutdown();
     }

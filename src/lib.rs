@@ -58,16 +58,20 @@ pub use qprog_sql as sql;
 pub use qprog_storage as storage;
 pub use qprog_types as types;
 
+pub mod service;
 mod session;
 pub mod workloads;
 
 pub use qprog_fault as fault;
+pub use qprog_service as svc;
+pub use service::ServiceRuntime;
 pub use session::{
     Observability, ProgressWatcher, QueryHandle, RunOptions, Session, SessionBuilder,
 };
 
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
+    pub use crate::service::ServiceRuntime;
     pub use crate::session::{
         Observability, ProgressWatcher, QueryHandle, RunOptions, Session, SessionBuilder,
     };
@@ -86,6 +90,10 @@ pub mod prelude {
     };
     pub use qprog_plan::builder::PlanBuilder;
     pub use qprog_plan::physical::PhysicalOptions;
+    pub use qprog_service::{
+        AdmissionConfig, CancelOutcome, JobState, JobStatus, QueryService, RetryPolicy,
+        ServiceConfig, SubmitError, SubmitRequest, Ticket,
+    };
     pub use qprog_storage::{Catalog, Table};
     pub use qprog_types::{DataType, ExecError, Field, Key, QError, QResult, Row, Schema, Value};
 }

@@ -306,6 +306,18 @@ impl Session {
         self.compile(plan, sql)
     }
 
+    /// Compile a SQL query that *adopts* an existing monitor entry instead
+    /// of registering a fresh one. Used by the query service: the
+    /// submission was registered (as `queued`) at accept time under `id`,
+    /// and each dispatch attempt attaches its live tracker/phases/health
+    /// to that entry, so progress stays under one id across retries. The
+    /// returned handle does not own the monitor registration (the service
+    /// bridge does), so dropping it never emits a premature terminal.
+    pub fn query_adopting(&self, sql: &str, id: u64) -> QResult<QueryHandle> {
+        let plan = qprog_sql::plan_sql(&self.builder, sql)?;
+        self.compile_as(plan, sql, Some(id))
+    }
+
     /// Compile a programmatically built logical plan.
     pub fn query_plan(&self, plan: LogicalPlan) -> QResult<QueryHandle> {
         self.compile(plan, "<plan>")
@@ -317,6 +329,15 @@ impl Session {
     }
 
     fn compile(&self, plan: LogicalPlan, label: &str) -> QResult<QueryHandle> {
+        self.compile_as(plan, label, None)
+    }
+
+    fn compile_as(
+        &self,
+        plan: LogicalPlan,
+        label: &str,
+        adopt: Option<u64>,
+    ) -> QResult<QueryHandle> {
         // Per-query observer sinks. Events carry operator indices that are
         // only meaningful within one query, so the aggregating sinks are
         // per-query even though the registry/monitor they feed are shared.
@@ -391,13 +412,27 @@ impl Session {
             cs.set_op_names(op_names());
         }
         let monitored = match (&self.monitor, &phase_sink) {
-            (Some(server), Some(phases)) => Some(server.directory().register(
-                label,
-                self.options.mode.label(),
-                compiled.tracker(),
-                Arc::clone(phases),
-                health_analyzer.clone(),
-            )),
+            (Some(server), Some(phases)) => match adopt {
+                // Service-managed entry: attach this attempt's execution
+                // state to the pre-registered id; ownership stays with the
+                // service's status observer.
+                Some(id) => {
+                    server.directory().attach_execution(
+                        id,
+                        compiled.tracker(),
+                        Arc::clone(phases),
+                        health_analyzer.clone(),
+                    );
+                    None
+                }
+                None => Some(server.directory().register(
+                    label,
+                    self.options.mode.label(),
+                    compiled.tracker(),
+                    Arc::clone(phases),
+                    health_analyzer.clone(),
+                )),
+            },
             _ => None,
         };
         Ok(QueryHandle {

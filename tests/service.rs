@@ -1,0 +1,550 @@
+//! End-to-end tests of the submit/queue/dispatch service behind the
+//! monitor's HTTP front door, plus the chaos + crash-recovery gates.
+//!
+//! The fault-*injection* tests require `--features failpoints`:
+//!
+//! ```text
+//! cargo test --test service --features failpoints
+//! ```
+//!
+//! Chaos gate: every injected fault — at submit, journal append, dispatch,
+//! or retry — must yield a *typed terminal state* visible over
+//! `/progress/{id}` and SSE, with no hung submissions. Crash gate: a
+//! simulated crash (abrupt shutdown + torn journal tail) followed by a
+//! reopen must re-dispatch all pending work exactly once, with the torn
+//! line reported as a diagnostic.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use qprog::prelude::*;
+use qprog::svc::AdmissionConfig;
+use qprog::ServiceRuntime;
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.register(qprog::datagen::customer_table(
+        "customer", 20_000, 1.0, 200, 3,
+    ))
+    .unwrap();
+    c.register(qprog::datagen::nation_table("nation", 200))
+        .unwrap();
+    c
+}
+
+const JOIN_SQL: &str =
+    "SELECT count(*) FROM customer JOIN nation ON customer.nationkey = nation.nationkey";
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "qprog-service-it-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Build a monitored session (fresh server on an OS-assigned port).
+fn monitored_session() -> Session {
+    SessionBuilder::new(catalog())
+        .observability(Observability::new().serve_on("127.0.0.1:0"))
+        .build()
+        .unwrap()
+}
+
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut out = String::new();
+    let _ = stream.read_to_string(&mut out);
+    out
+}
+
+fn get(addr: SocketAddr, path: &str) -> String {
+    http(addr, "GET", path, "")
+}
+
+fn submit(addr: SocketAddr, tenant: &str, sql: &str) -> (u16, String) {
+    let body = format!(
+        "{{\"sql\":\"{}\",\"tenant\":\"{tenant}\"}}",
+        sql.replace('"', "\\\"")
+    );
+    let out = http(addr, "POST", "/submit", &body);
+    let status: u16 = out
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = out.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+    (status, body)
+}
+
+fn field_u64(body: &str, key: &str) -> Option<u64> {
+    let at = body.find(&format!("\"{key}\":"))?;
+    let rest = &body[at + key.len() + 3..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Poll `/progress/{id}` until `pred` matches (or fail after `timeout`).
+fn await_progress(
+    addr: SocketAddr,
+    id: u64,
+    timeout: Duration,
+    pred: impl Fn(&str) -> bool,
+) -> String {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let detail = get(addr, &format!("/progress/{id}"));
+        if pred(&detail) {
+            return detail;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "progress condition never met for query {id}: {detail}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// The failpoint registry is process-global; every test holds the scenario
+/// lock so faults cannot bleed across tests (no-op without the feature).
+fn scenario() -> qprog::fault::FailScenario {
+    qprog::fault::FailScenario::setup()
+}
+
+#[test]
+fn submitted_query_runs_to_done_visible_over_http_and_sse() {
+    let _scenario = scenario();
+    let dir = temp_dir("done");
+    let session = monitored_session();
+    let addr = session.monitor().unwrap().addr();
+    let runtime = ServiceRuntime::start(session, &dir, ServiceConfig::default()).unwrap();
+
+    let (status, body) = submit(addr, "acme", JOIN_SQL);
+    assert_eq!(status, 202, "{body}");
+    let id = field_u64(&body, "id").expect("ticket id");
+
+    let detail = await_progress(addr, id, Duration::from_secs(10), |d| {
+        d.contains("\"state\":\"done\"")
+    });
+    assert!(detail.contains("\"tenant\":\"acme\""), "{detail}");
+    assert!(detail.contains("\"rows\":1"), "{detail}");
+    assert!(detail.contains("\"done\":true"), "{detail}");
+    // Per-operator detail attached by the adopted execution.
+    assert!(detail.contains("\"ops\":["), "{detail}");
+
+    // A late SSE subscriber still sees a terminal frame (synthesized from
+    // the directory when the broadcast predates the subscription).
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "GET /progress/{id}/stream HTTP/1.1\r\nHost: t\r\n\r\n"
+    )
+    .unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut out = String::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => out.push_str(&String::from_utf8_lossy(&buf[..n])),
+        }
+    }
+    assert!(out.contains("event: terminal\n"), "{out}");
+    assert!(out.contains("\"done\":true"), "{out}");
+
+    let stats = get(addr, "/service");
+    assert!(stats.contains("\"finished\":1"), "{stats}");
+    runtime.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_sql_is_rejected_at_submit_time_with_400() {
+    let _scenario = scenario();
+    let dir = temp_dir("badsql");
+    let session = monitored_session();
+    let addr = session.monitor().unwrap().addr();
+    let runtime = ServiceRuntime::start(session, &dir, ServiceConfig::default()).unwrap();
+    let (status, body) = submit(addr, "t", "SELECT * FROM no_such_table");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("{\"error\":"), "{body}");
+    // Nothing was admitted; no worker burned a dispatch on it.
+    assert!(get(addr, "/service").contains("\"admitted\":0"));
+    runtime.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn abusive_tenant_is_shed_while_polite_tenant_is_served() {
+    let _scenario = scenario();
+    let dir = temp_dir("fair");
+    let session = monitored_session();
+    let addr = session.monitor().unwrap().addr();
+    let cfg = ServiceConfig {
+        admission: AdmissionConfig {
+            max_queue_depth: 64,
+            max_tenant_inflight: 4,
+            retry_after: Duration::from_secs(1),
+        },
+        workers: 0, // hold everything queued so caps are observable
+        ..ServiceConfig::default()
+    };
+    let runtime = ServiceRuntime::start(session, &dir, cfg).unwrap();
+
+    // The abusive tenant floods; past its in-flight cap it gets typed 429s.
+    let mut flood_accepted = 0;
+    let mut flood_shed = 0;
+    for _ in 0..12 {
+        let (status, body) = submit(addr, "flood", "SELECT * FROM nation");
+        match status {
+            202 => flood_accepted += 1,
+            429 => {
+                assert!(body.contains("tenant_cap"), "{body}");
+                flood_shed += 1;
+            }
+            other => panic!("unexpected status {other}: {body}"),
+        }
+    }
+    assert_eq!(flood_accepted, 4, "cap bounds the abusive tenant");
+    assert_eq!(flood_shed, 8);
+
+    // The polite tenant is unaffected by the flood.
+    let (status, _) = submit(addr, "polite", "SELECT * FROM nation");
+    assert_eq!(status, 202);
+
+    let stats = get(addr, "/service");
+    assert!(stats.contains("\"tenant\":\"polite\""), "{stats}");
+    runtime.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancel_over_http_reaches_a_cancelled_terminal() {
+    let _scenario = scenario();
+    let dir = temp_dir("cancel");
+    let session = monitored_session();
+    let addr = session.monitor().unwrap().addr();
+    let cfg = ServiceConfig {
+        workers: 0, // keep it queued: cancellation must not need a worker
+        ..ServiceConfig::default()
+    };
+    let runtime = ServiceRuntime::start(session, &dir, cfg).unwrap();
+    let (status, body) = submit(addr, "t", JOIN_SQL);
+    assert_eq!(status, 202, "{body}");
+    let id = field_u64(&body, "id").unwrap();
+
+    let cancelled = http(addr, "POST", &format!("/progress/{id}/cancel"), "");
+    assert!(cancelled.contains("\"state\":\"cancelled\""), "{cancelled}");
+    let detail = await_progress(addr, id, Duration::from_secs(5), |d| {
+        d.contains("\"state\":\"failed\"")
+    });
+    assert!(detail.contains("\"failure\":\"cancelled\""), "{detail}");
+    assert_eq!(
+        runtime.service().status(id).unwrap().state,
+        JobState::Failed
+    );
+    runtime.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn graceful_drain_flushes_every_terminal_and_stops_admission() {
+    let _scenario = scenario();
+    let dir = temp_dir("drain");
+    let session = monitored_session();
+    let addr = session.monitor().unwrap().addr();
+    let runtime = ServiceRuntime::start(
+        session,
+        &dir,
+        ServiceConfig {
+            workers: 2,
+            drain_timeout: Duration::from_secs(10),
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let mut ids = Vec::new();
+    for _ in 0..6 {
+        let (status, body) = submit(addr, "t", JOIN_SQL);
+        assert_eq!(status, 202, "{body}");
+        ids.push(field_u64(&body, "id").unwrap());
+    }
+    runtime.drain();
+    // After drain every accepted submission is terminal — none hung.
+    let stats = runtime.service().stats();
+    assert_eq!(stats.finished + stats.failed, 6, "{stats:?}");
+    for id in ids {
+        let s = runtime.service().status(id).unwrap();
+        assert!(
+            matches!(s.state, JobState::Finished | JobState::Failed),
+            "query {id} not terminal after drain: {s:?}"
+        );
+    }
+    // Admission is closed: new submissions bounce with a typed 503.
+    let (status, body) = submit(addr, "t", JOIN_SQL);
+    assert_eq!(status, 503, "{body}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_recovery_redispatches_pending_work_exactly_once() {
+    let _scenario = scenario();
+    let dir = temp_dir("crash");
+    let addr_a;
+    // Phase 1: accept work with no workers (nothing dispatches), then shut
+    // down abruptly — the crash-adjacent path: journal intact, no
+    // terminals.
+    {
+        let session = monitored_session();
+        addr_a = session.monitor().unwrap().addr();
+        let runtime = ServiceRuntime::start(
+            session,
+            &dir,
+            ServiceConfig {
+                workers: 0,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        for _ in 0..5 {
+            let (status, _) = submit(addr_a, "t", "SELECT * FROM nation");
+            assert_eq!(status, 202);
+        }
+        assert_eq!(runtime.service().stats().queue_depth, 5);
+        drop(runtime); // abrupt shutdown: pending stays journaled
+    }
+    // Simulate a torn final append (process died mid-write).
+    let journal = dir.join(qprog::svc::JOURNAL_FILE);
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&journal)
+            .unwrap();
+        f.write_all(b"{\"op\":\"submit\",\"id\":99,\"tena").unwrap();
+    }
+    // Phase 2: reopen with workers; every pending entry re-dispatches
+    // exactly once and the torn tail is a diagnostic, not an error.
+    {
+        let session = monitored_session();
+        let addr = session.monitor().unwrap().addr();
+        let runtime = ServiceRuntime::start(session, &dir, ServiceConfig::default()).unwrap();
+        assert!(
+            runtime
+                .service()
+                .recovery_diagnostics()
+                .iter()
+                .any(|d| d.contains("torn")),
+            "{:?}",
+            runtime.service().recovery_diagnostics()
+        );
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while runtime.service().stats().finished < 5 {
+            assert!(
+                Instant::now() < deadline,
+                "recovered work never finished: {:?}",
+                runtime.service().stats()
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let stats = runtime.service().stats();
+        assert_eq!(stats.finished, 5, "{stats:?}");
+        assert_eq!(stats.dispatched, 5, "exactly once: {stats:?}");
+        assert_eq!(stats.failed, 0, "{stats:?}");
+        // Recovered ids are visible over HTTP like any submission.
+        let listed = get(addr, "/progress");
+        assert!(listed.contains("\"tenant\":\"t\""), "{listed}");
+        runtime.drain();
+    }
+    // Phase 3: a third open finds no pending work — nothing runs twice.
+    {
+        let session = monitored_session();
+        let runtime = ServiceRuntime::start(session, &dir, ServiceConfig::default()).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        let stats = runtime.service().stats();
+        assert_eq!(
+            stats.dispatched, 0,
+            "re-dispatch after clean drain: {stats:?}"
+        );
+        runtime.drain();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[cfg(feature = "failpoints")]
+mod chaos {
+    use super::*;
+    use qprog::fault;
+
+    #[test]
+    fn submit_fault_is_a_typed_500_and_the_service_keeps_serving() {
+        let dir = temp_dir("fp-submit");
+        let session = monitored_session();
+        let addr = session.monitor().unwrap().addr();
+        let _scenario = fault::FailScenario::setup();
+        let runtime = ServiceRuntime::start(session, &dir, ServiceConfig::default()).unwrap();
+        fault::configure("service/submit", "1*error(chaos: submit torn)").unwrap();
+        let (status, body) = submit(addr, "t", "SELECT * FROM nation");
+        assert_eq!(status, 500, "{body}");
+        assert!(body.contains("{\"error\":\"internal\""), "{body}");
+        // The fault was one-shot: the service recovers immediately.
+        let (status, body) = submit(addr, "t", "SELECT * FROM nation");
+        assert_eq!(status, 202, "{body}");
+        let id = field_u64(&body, "id").unwrap();
+        await_progress(addr, id, Duration::from_secs(10), |d| {
+            d.contains("\"state\":\"done\"")
+        });
+        runtime.drain();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_fault_rejects_the_submission_without_accepting_it() {
+        let dir = temp_dir("fp-journal");
+        let session = monitored_session();
+        let addr = session.monitor().unwrap().addr();
+        let _scenario = fault::FailScenario::setup();
+        let runtime = ServiceRuntime::start(session, &dir, ServiceConfig::default()).unwrap();
+        fault::configure("service/journal/append", "1*error(chaos: disk full)").unwrap();
+        let (status, body) = submit(addr, "t", "SELECT * FROM nation");
+        assert_eq!(status, 500, "{body}");
+        // Not accepted: nothing to recover, nothing hung.
+        assert_eq!(runtime.service().stats().admitted, 0);
+        // And durable work still flows afterwards.
+        let (status, _) = submit(addr, "t", "SELECT * FROM nation");
+        assert_eq!(status, 202);
+        runtime.drain();
+        assert_eq!(runtime.service().stats().finished, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dispatch_fault_retries_to_success_under_one_query_id() {
+        let dir = temp_dir("fp-dispatch");
+        let session = monitored_session();
+        let addr = session.monitor().unwrap().addr();
+        let _scenario = fault::FailScenario::setup();
+        let cfg = ServiceConfig {
+            retry: RetryPolicy {
+                base: Duration::from_millis(10),
+                cap: Duration::from_millis(50),
+                ..RetryPolicy::default()
+            },
+            ..ServiceConfig::default()
+        };
+        let runtime = ServiceRuntime::start(session, &dir, cfg).unwrap();
+        fault::configure("service/dispatch", "1*error(chaos: dispatch glitch)").unwrap();
+        let (status, body) = submit(addr, "t", "SELECT * FROM nation");
+        assert_eq!(status, 202, "{body}");
+        let id = field_u64(&body, "id").unwrap();
+        // The injected fault is transient → retried → done, same id.
+        let detail = await_progress(addr, id, Duration::from_secs(10), |d| {
+            d.contains("\"state\":\"done\"")
+        });
+        assert!(detail.contains("\"attempt\":2"), "{detail}");
+        let stats = runtime.service().stats();
+        assert!(stats.retries >= 1, "{stats:?}");
+        assert_eq!(stats.finished, 1, "{stats:?}");
+        runtime.drain();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retry_fault_abandons_into_a_typed_terminal_visible_over_sse() {
+        let dir = temp_dir("fp-retry");
+        let session = monitored_session();
+        let addr = session.monitor().unwrap().addr();
+        let _scenario = fault::FailScenario::setup();
+        let runtime = ServiceRuntime::start(session, &dir, ServiceConfig::default()).unwrap();
+        // Dispatch always faults; the retry machinery itself faults once →
+        // the submission must still end in a typed terminal, not a hang.
+        fault::configure("service/dispatch", "error(chaos: dispatch down)").unwrap();
+        fault::configure("service/retry", "1*error(chaos: retry broker down)").unwrap();
+        let (status, body) = submit(addr, "t", "SELECT * FROM nation");
+        assert_eq!(status, 202, "{body}");
+        let id = field_u64(&body, "id").unwrap();
+        let detail = await_progress(addr, id, Duration::from_secs(10), |d| {
+            d.contains("\"state\":\"failed\"")
+        });
+        assert!(detail.contains("\"failure\":\"injected\""), "{detail}");
+        let status = runtime.service().status(id).unwrap();
+        assert!(
+            status
+                .detail
+                .as_deref()
+                .unwrap_or("")
+                .contains("retry abandoned"),
+            "{status:?}"
+        );
+        // SSE subscribers learn the ending too.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "GET /progress/{id}/stream HTTP/1.1\r\nHost: t\r\n\r\n"
+        )
+        .unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut out = String::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => out.push_str(&String::from_utf8_lossy(&buf[..n])),
+            }
+        }
+        assert!(out.contains("event: terminal\n"), "{out}");
+        assert!(out.contains("\"failure\":\"injected\""), "{out}");
+        runtime.drain();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn engine_level_fault_retries_and_recovers() {
+        let dir = temp_dir("fp-engine");
+        let session = monitored_session();
+        let addr = session.monitor().unwrap().addr();
+        let _scenario = fault::FailScenario::setup();
+        let cfg = ServiceConfig {
+            retry: RetryPolicy {
+                base: Duration::from_millis(10),
+                cap: Duration::from_millis(50),
+                ..RetryPolicy::default()
+            },
+            ..ServiceConfig::default()
+        };
+        let runtime = ServiceRuntime::start(session, &dir, cfg).unwrap();
+        // The fault fires inside the engine (scan getnext), not the
+        // service: the run aborts as injected, the service retries, and
+        // the second attempt succeeds.
+        fault::configure("exec/scan/next", "1*error(chaos: page gone)").unwrap();
+        let (status, body) = submit(addr, "t", "SELECT * FROM nation");
+        assert_eq!(status, 202, "{body}");
+        let id = field_u64(&body, "id").unwrap();
+        let detail = await_progress(addr, id, Duration::from_secs(10), |d| {
+            d.contains("\"state\":\"done\"")
+        });
+        assert!(detail.contains("\"rows\":200"), "{detail}");
+        assert!(runtime.service().stats().retries >= 1);
+        runtime.drain();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
