@@ -27,6 +27,7 @@ pub mod metrics;
 pub mod ops;
 pub mod parallel;
 pub mod runtime;
+pub mod span;
 pub mod sync;
 pub mod trace;
 

@@ -444,6 +444,22 @@ pub enum TraceEventKind {
         baseline: f64,
         threshold: f64,
     },
+    /// A causal lifecycle span opened. `span` is unique within the emitting
+    /// stream, `parent` names the enclosing span
+    /// ([`NO_PARENT`](crate::span::NO_PARENT) for the root), and `arg`
+    /// qualifies the kind (see [`SpanKind`](crate::span::SpanKind)).
+    /// Emitted by the query service's lifecycle instrumentation — never by
+    /// execution operators, whose span detail is derived from the events
+    /// they already publish — so the traced hot path gains no new atomics.
+    SpanStart {
+        span: u32,
+        parent: u32,
+        kind: crate::span::SpanKind,
+        arg: u32,
+    },
+    /// The span opened by the matching [`SpanStart`](Self::SpanStart)
+    /// closed; its duration is `at_us(end) - at_us(start)`.
+    SpanEnd { span: u32 },
 }
 
 /// A timestamped, globally ordered trace event.

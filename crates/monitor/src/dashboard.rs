@@ -53,6 +53,22 @@ pub const DASHBOARD_HTML: &str = r#"<!doctype html>
   th, td { text-align: right; padding: .15rem .6rem; border-bottom: 1px solid #eee; }
   th:first-child, td:first-child { text-align: left; }
   a { color: #2f6fb4; }
+  .wf-link { font-size: 11.5px; }
+  .waterfall { margin-top: .5rem; font-size: 11.5px;
+               font-variant-numeric: tabular-nums; }
+  .wf-row { display: flex; align-items: center; gap: .5rem; margin: 1px 0; }
+  .wf-name { flex: 0 0 15rem; text-align: right; color: #555;
+             overflow: hidden; white-space: nowrap; }
+  .wf-track { flex: 1; position: relative; height: 10px; background: #f2f2f2;
+              border-radius: 3px; }
+  .wf-dur { flex: 0 0 5rem; color: #777; }
+  .wf-span { position: absolute; top: 0; bottom: 0; border-radius: 3px;
+             min-width: 1px; background: #2f6fb4; }
+  .wf-lifecycle { background: #8a6fc9; }
+  .wf-pipeline { background: #d9941f; }
+  .wf-operator { background: #2f6fb4; }
+  .wf-phase { background: #58a0d8; }
+  .wf-worker { background: #5aa56a; }
 </style>
 </head>
 <body>
@@ -97,7 +113,44 @@ function ops(detail) {
 
 let queries = new Map();  // id -> latest summary (streamed or polled)
 let details = new Map();  // id -> per-operator detail (reconcile pass)
+let traces = new Map();   // id -> Chrome trace JSON (waterfall tab)
+let waterfall = new Set();// query ids with the waterfall tab open
 let streaming = false;
+
+// Waterfall tab: toggle per query; span trees come from GET /trace/{id}
+// (Chrome trace-event JSON — the same document Perfetto loads).
+async function toggleWaterfall(id) {
+  if (waterfall.has(id)) { waterfall.delete(id); render(); return; }
+  try {
+    const res = await fetch(`/trace/${id}`);
+    if (!res.ok) return;
+    traces.set(id, await res.json());
+    waterfall.add(id);
+    render();
+  } catch (e) { /* no service attached / query evicted */ }
+}
+
+function waterfallView(id) {
+  if (!waterfall.has(id)) return "";
+  const t = traces.get(id);
+  if (!t || !t.traceEvents) return "";
+  const names = new Map();  // tid -> track name (thread_name metadata)
+  const spans = [];
+  for (const e of t.traceEvents) {
+    if (e.ph === "M" && e.name === "thread_name") names.set(e.tid, e.args.name);
+    if (e.ph === "X") spans.push(e);
+  }
+  if (!spans.length) return "";
+  const t0 = Math.min(...spans.map(s => s.ts));
+  const total = Math.max(1, Math.max(...spans.map(s => s.ts + s.dur)) - t0);
+  const rows = spans.map(s => `<div class="wf-row">
+    <span class="wf-name" title="${s.name}">${names.get(s.tid) ?? s.tid} &middot; ${s.name}</span>
+    <div class="wf-track"><div class="wf-span wf-${s.cat}"
+      style="left:${100 * (s.ts - t0) / total}%;width:${100 * s.dur / total}%"></div></div>
+    <span class="wf-dur">${(s.dur / 1e3).toFixed(2)} ms</span>
+  </div>`).join("");
+  return `<div class="waterfall">${rows}</div>`;
+}
 
 function render() {
   const root = document.getElementById("queries");
@@ -126,8 +179,13 @@ function render() {
       ${q.state === "queued" ? `<span class="muted">&middot; queued</span>` : ""}
       ${q.state === "retrying" ? `<span class="retrying-note">&middot; retrying (${
         q.failure})</span>` : ""}
+      ${q.tenant == null ? "" : `<span class="wf-link">&middot;
+        <a href='javascript:void(0)' onclick="toggleWaterfall(${q.id})">${
+          waterfall.has(q.id) ? "hide waterfall" : "waterfall"}</a> &middot;
+        <a href="/trace/${q.id}">trace</a></span>`}
       </div>
     ${ops(details.get(q.id))}
+    ${waterfallView(q.id)}
   </div>`).join("");
 }
 
@@ -311,6 +369,21 @@ mod tests {
         assert!(DASHBOARD_HTML.contains(r#"q.state === "queued""#));
         assert!(DASHBOARD_HTML.contains(r#"q.state === "retrying""#));
         assert!(DASHBOARD_HTML.contains("q.tenant"));
+    }
+
+    #[test]
+    fn dashboard_renders_the_span_waterfall_tab() {
+        assert!(DASHBOARD_HTML.contains("toggleWaterfall"));
+        assert!(DASHBOARD_HTML.contains("fetch(`/trace/${id}`)"));
+        assert!(DASHBOARD_HTML.contains("t.traceEvents"));
+        // Complete spans render as positioned bars; metadata events name
+        // the tracks.
+        assert!(DASHBOARD_HTML.contains(r#"e.ph === "X""#));
+        assert!(DASHBOARD_HTML.contains(r#"e.ph === "M""#));
+        assert!(DASHBOARD_HTML.contains("wf-span"));
+        assert!(DASHBOARD_HTML.contains(".wf-lifecycle"));
+        assert!(DASHBOARD_HTML.contains(".wf-worker"));
+        assert!(DASHBOARD_HTML.contains("waterfallView(q.id)"));
     }
 
     #[test]

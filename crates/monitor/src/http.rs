@@ -24,6 +24,10 @@ pub struct Request {
     pub query: String,
     /// Request body (empty unless the client sent `Content-Length`).
     pub body: String,
+    /// Parsed `Last-Event-ID` header, when the client sent one on an SSE
+    /// reconnect (non-numeric values are ignored — the monitor only ever
+    /// issues numeric frame ids).
+    pub last_event_id: Option<u64>,
 }
 
 impl Request {
@@ -34,6 +38,7 @@ impl Request {
             path: path.into(),
             query: String::new(),
             body: String::new(),
+            last_event_id: None,
         }
     }
 
@@ -44,6 +49,7 @@ impl Request {
             path: path.into(),
             query: String::new(),
             body: body.into(),
+            last_event_id: None,
         }
     }
 
@@ -85,15 +91,21 @@ pub fn parse_request(text: &str) -> Option<Request> {
         path: path.to_string(),
         query: query.to_string(),
         body: String::new(),
+        last_event_id: header_value(text, "last-event-id").and_then(|v| v.parse().ok()),
     })
+}
+
+/// The (trimmed) value of header `name` in a request head, if present.
+fn header_value<'a>(head: &'a str, name: &str) -> Option<&'a str> {
+    head.lines()
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.trim().eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.trim())
 }
 
 /// `Content-Length` from a request head, if present and parseable.
 fn content_length(head: &str) -> Option<usize> {
-    head.lines()
-        .filter_map(|l| l.split_once(':'))
-        .find(|(k, _)| k.trim().eq_ignore_ascii_case("content-length"))
-        .and_then(|(_, v)| v.trim().parse().ok())
+    header_value(head, "content-length").and_then(|v| v.parse().ok())
 }
 
 /// Why reading a request failed — the server maps these to status codes.
@@ -259,6 +271,19 @@ pub fn write_sse_frame(stream: &mut impl Write, event: &str, data: &str) -> std:
     stream.flush()
 }
 
+/// [`write_sse_frame`] with an explicit `id:` line, so the client's
+/// `Last-Event-ID` tracking advances (used for snapshot-resync frames,
+/// which stamp the hub's current frame id).
+pub fn write_sse_frame_with_id(
+    stream: &mut impl Write,
+    id: u64,
+    event: &str,
+    data: &str,
+) -> std::io::Result<()> {
+    write!(stream, "id: {id}\nevent: {event}\ndata: {data}\n\n")?;
+    stream.flush()
+}
+
 /// JSON string escaping for error bodies and submit-payload echoes.
 pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -373,6 +398,29 @@ mod tests {
         assert_eq!(r.param("state"), Some("finished"));
         assert_eq!(r.param("estimator"), None);
         assert_eq!(Request::get("/history").param("workload"), None);
+    }
+
+    #[test]
+    fn last_event_id_header_is_parsed_case_insensitively() {
+        let r = parse_request("GET /events HTTP/1.1\r\nLast-Event-ID: 42\r\n\r\n").unwrap();
+        assert_eq!(r.last_event_id, Some(42));
+        let r = parse_request("GET /events HTTP/1.1\r\nlast-event-id:  7 \r\n\r\n").unwrap();
+        assert_eq!(r.last_event_id, Some(7));
+        // Absent or non-numeric: ignored, not an error.
+        let r = parse_request("GET /events HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.last_event_id, None);
+        let r = parse_request("GET /events HTTP/1.1\r\nLast-Event-ID: abc\r\n\r\n").unwrap();
+        assert_eq!(r.last_event_id, None);
+    }
+
+    #[test]
+    fn sse_frames_can_carry_ids() {
+        let mut out = Vec::new();
+        write_sse_frame_with_id(&mut out, 9, "snapshot", "{\"queries\":[]}").unwrap();
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            "id: 9\nevent: snapshot\ndata: {\"queries\":[]}\n\n"
+        );
     }
 
     #[test]

@@ -18,6 +18,13 @@
 //! closed (drain-then-deliver semantics) right after its terminal frame is
 //! queued.
 //!
+//! Reconnect support: every published frame carries a monotonically
+//! increasing `id:` line, and the hub keeps the last [`REPLAY_RING_CAP`]
+//! frames in a replay ring. A client reconnecting with `Last-Event-ID`
+//! gets the frames it missed ([`frames_since`](StreamHub::frames_since))
+//! when the ring still covers the gap, and a full snapshot resync when it
+//! does not.
+//!
 //! Self-observability: the hub counts delivered/dropped frames and
 //! evictions, and maintains the `qprog_stream_subscribers` gauge plus
 //! `qprog_stream_events_{delivered,dropped}_total` and
@@ -34,6 +41,10 @@ use qprog_metrics::{Counter, Gauge, Registry};
 /// cadence this is multiple seconds of buffered progress — a reader that
 /// falls further behind is not keeping up.
 pub const DEFAULT_QUEUE_CAP: usize = 256;
+
+/// How many recently-published frames the hub retains for
+/// `Last-Event-ID` reconnect replay.
+pub const REPLAY_RING_CAP: usize = 512;
 
 /// What [`StreamSubscriber::next`] yielded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -117,6 +128,11 @@ impl StreamSubscriber {
 pub struct StreamHub {
     subscribers: Mutex<Vec<Arc<StreamSubscriber>>>,
     next_id: AtomicU64,
+    /// Frame ids issued so far (ids start at 1; 0 = none issued).
+    frame_seq: AtomicU64,
+    /// The last [`REPLAY_RING_CAP`] published frames, oldest first, for
+    /// `Last-Event-ID` reconnect replay.
+    replay: Mutex<VecDeque<(u64, Arc<String>)>>,
     delivered: AtomicU64,
     dropped: AtomicU64,
     evicted: AtomicU64,
@@ -143,6 +159,8 @@ impl StreamHub {
         StreamHub {
             subscribers: Mutex::new(Vec::new()),
             next_id: AtomicU64::new(1),
+            frame_seq: AtomicU64::new(0),
+            replay: Mutex::new(VecDeque::with_capacity(REPLAY_RING_CAP)),
             delivered: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
@@ -229,19 +247,63 @@ impl StreamHub {
             .any(|s| s.filter.is_none_or(|f| f == query_id))
     }
 
-    /// Encode and fan one frame out. The frame is encoded once; every
+    /// The id of the most recently published frame (0 = none yet).
+    pub fn last_frame_id(&self) -> u64 {
+        self.frame_seq.load(Ordering::Acquire)
+    }
+
+    /// Frames published after `last_id`, for `Last-Event-ID` reconnects.
+    ///
+    /// - `Some(frames)` — the ring still covers everything after
+    ///   `last_id`; replaying `frames` (possibly empty) makes the client
+    ///   whole.
+    /// - `None` — the gap is older than the ring (or `last_id` was never
+    ///   issued); the caller must fall back to a full snapshot resync.
+    pub fn frames_since(&self, last_id: u64) -> Option<Vec<Arc<String>>> {
+        let newest = self.last_frame_id();
+        if last_id > newest {
+            // The client claims frames we never issued (e.g. a server
+            // restart reset the sequence): resync.
+            return None;
+        }
+        if last_id == newest {
+            return Some(Vec::new());
+        }
+        let ring = self.replay.lock().unwrap_or_else(|p| p.into_inner());
+        match ring.front() {
+            // Continuity: the ring's oldest entry must be no newer than
+            // the first missed frame, or frames were already evicted.
+            Some(&(oldest, _)) if oldest <= last_id + 1 => Some(
+                ring.iter()
+                    .filter(|(id, _)| *id > last_id)
+                    .map(|(_, f)| Arc::clone(f))
+                    .collect(),
+            ),
+            _ => None,
+        }
+    }
+
+    /// Encode and fan one frame out. The frame is encoded once (with a
+    /// fresh monotonic `id:` line) and recorded in the replay ring; every
     /// matching subscriber gets an `Arc` clone. `terminal` frames bypass
     /// the queue bound and close per-query subscribers after delivery.
     pub fn publish(&self, query_id: u64, event: &str, data: &str, terminal: bool) {
+        let id = self.frame_seq.fetch_add(1, Ordering::AcqRel) + 1;
+        let frame = Arc::new(format!("id: {id}\nevent: {event}\ndata: {data}\n\n"));
+        {
+            let mut ring = self.replay.lock().unwrap_or_else(|p| p.into_inner());
+            if ring.len() >= REPLAY_RING_CAP {
+                ring.pop_front();
+            }
+            ring.push_back((id, Arc::clone(&frame)));
+        }
         let subs = self.subs();
         let matching = subs
             .iter()
             .filter(|s| s.filter.is_none_or(|f| f == query_id));
-        let mut frame: Option<Arc<String>> = None;
         let mut any_closed = false;
         for sub in matching {
-            let frame =
-                frame.get_or_insert_with(|| Arc::new(format!("event: {event}\ndata: {data}\n\n")));
+            let frame = &frame;
             let mut st = sub.lock();
             if st.closed {
                 any_closed = true;
@@ -358,11 +420,11 @@ mod tests {
         hub.publish(2, "progress", "{\"id\":2}", false);
         assert_eq!(
             frame_text(firehose.next(T)),
-            "event: progress\ndata: {\"id\":1}\n\n"
+            "id: 1\nevent: progress\ndata: {\"id\":1}\n\n"
         );
         assert_eq!(
             frame_text(firehose.next(T)),
-            "event: progress\ndata: {\"id\":2}\n\n"
+            "id: 2\nevent: progress\ndata: {\"id\":2}\n\n"
         );
         assert!(frame_text(q1.next(T)).contains("\"id\":1"));
         assert_eq!(q1.next(Duration::from_millis(1)), StreamNext::Timeout);
@@ -393,7 +455,8 @@ mod tests {
             }
         }
         assert_eq!(got.len(), 5, "{got:?}");
-        assert!(got[4].starts_with("event: terminal\n"), "{got:?}");
+        assert!(got[4].contains("\nevent: terminal\n"), "{got:?}");
+        assert!(got[4].starts_with("id: "), "{got:?}");
         // Drain-then-close: the subscriber is gone from the fan-out list.
         assert_eq!(hub.subscriber_count(), 0);
     }
@@ -418,6 +481,43 @@ mod tests {
         for _ in 0..6 {
             assert!(matches!(fast.next(T), StreamNext::Frame(_)));
         }
+    }
+
+    #[test]
+    fn replay_ring_serves_missed_frames_by_last_event_id() {
+        let hub = StreamHub::new(None);
+        // Keep one firehose subscriber so frames keep flowing while the
+        // "reconnecting" client is away.
+        let _live = hub.subscribe(None, 64);
+        for i in 0..5 {
+            hub.publish(1, "progress", &format!("{{\"n\":{i}}}"), false);
+        }
+        assert_eq!(hub.last_frame_id(), 5);
+        // Saw everything: nothing to replay.
+        assert_eq!(hub.frames_since(5).unwrap().len(), 0);
+        // Missed the last two: exactly those come back, in order.
+        let missed = hub.frames_since(3).unwrap();
+        assert_eq!(missed.len(), 2);
+        assert!(missed[0].starts_with("id: 4\n"), "{missed:?}");
+        assert!(missed[1].starts_with("id: 5\n"), "{missed:?}");
+        // A never-issued id (stale client from a previous server life)
+        // forces a snapshot resync.
+        assert!(hub.frames_since(99).is_none());
+    }
+
+    #[test]
+    fn replay_gaps_older_than_the_ring_force_a_resync() {
+        let hub = StreamHub::new(None);
+        let _live = hub.subscribe(None, 4);
+        for i in 0..(REPLAY_RING_CAP as u64 + 10) {
+            hub.publish(1, "progress", &format!("{{\"n\":{i}}}"), false);
+        }
+        // The oldest retained frame is id 11; a client at id 5 has an
+        // unrecoverable gap.
+        assert!(hub.frames_since(5).is_none());
+        // But a client within the ring window still replays.
+        let tail = hub.frames_since(REPLAY_RING_CAP as u64 + 8).unwrap();
+        assert_eq!(tail.len(), 2);
     }
 
     #[test]

@@ -16,8 +16,8 @@ use qprog_types::{QError, QResult};
 use crate::dashboard::DASHBOARD_HTML;
 use crate::directory::QueryDirectory;
 use crate::http::{
-    body_str_field, body_u64_field, read_request, write_sse_frame, write_sse_head, ReadError,
-    Request, Response,
+    body_str_field, body_u64_field, read_request, write_sse_frame, write_sse_frame_with_id,
+    write_sse_head, ReadError, Request, Response,
 };
 use crate::hub::{StreamHub, StreamNext, StreamSubscriber, DEFAULT_QUEUE_CAP};
 
@@ -107,6 +107,8 @@ impl Default for ServerConfig {
 pub struct MonitorServer {
     addr: SocketAddr,
     config: ServerConfig,
+    /// Server start instant, for `/healthz` uptime reporting.
+    started: std::time::Instant,
     directory: Arc<QueryDirectory>,
     metrics: Option<Arc<Registry>>,
     hub: Arc<StreamHub>,
@@ -146,6 +148,7 @@ impl MonitorServer {
         let server = Arc::new(MonitorServer {
             addr,
             config,
+            started: std::time::Instant::now(),
             directory,
             metrics,
             hub,
@@ -304,7 +307,7 @@ impl MonitorServer {
         // they arrive; everything else is a buffered one-shot response.
         if request.method == "GET" {
             if request.path == "/events" {
-                self.serve_events(stream);
+                self.serve_events(stream, &request);
                 return;
             }
             if let Some(id) = request
@@ -328,14 +331,44 @@ impl MonitorServer {
         let _ = response.write_to(&mut stream, head_only);
     }
 
-    /// `GET /events`: subscribe to the firehose, send the current state of
-    /// every query as an opening `snapshot` frame, then pump frames until
-    /// the client leaves or the server stops.
-    fn serve_events(&self, mut stream: TcpStream) {
+    /// `GET /events`: subscribe to the firehose, open the stream, then
+    /// pump frames until the client leaves or the server stops.
+    ///
+    /// A fresh connect opens with a `snapshot` frame of every query's
+    /// current state, stamped with the hub's latest frame id so the
+    /// client's `Last-Event-ID` tracking starts live. A reconnect carrying
+    /// `Last-Event-ID` instead replays exactly the frames it missed when
+    /// the hub's replay ring still covers the gap; when the gap is too old
+    /// (or the id was never issued) it degrades to the snapshot resync.
+    /// The subscription is taken *before* the replay cut, so a frame
+    /// published in between is at worst duplicated (frames are
+    /// snapshot-like upserts), never lost.
+    fn serve_events(&self, mut stream: TcpStream, request: &Request) {
+        use std::io::Write;
         let sub = self.hub.subscribe(None, DEFAULT_QUEUE_CAP);
-        if write_sse_head(&mut stream).is_err()
-            || write_sse_frame(&mut stream, "snapshot", &self.directory.render_all()).is_err()
-        {
+        if write_sse_head(&mut stream).is_err() {
+            self.hub.unsubscribe(&sub);
+            return;
+        }
+        let replayed = request
+            .last_event_id
+            .and_then(|id| self.hub.frames_since(id));
+        let opened = match replayed {
+            Some(frames) => frames.iter().all(|f| {
+                stream
+                    .write_all(f.as_bytes())
+                    .and_then(|()| stream.flush())
+                    .is_ok()
+            }),
+            None => write_sse_frame_with_id(
+                &mut stream,
+                self.hub.last_frame_id(),
+                "snapshot",
+                &self.directory.render_all(),
+            )
+            .is_ok(),
+        };
+        if !opened {
             self.hub.unsubscribe(&sub);
             return;
         }
@@ -421,25 +454,81 @@ impl MonitorServer {
                 Some(s) => Response::ok("application/json; charset=utf-8", s.stats_json()),
                 None => Response::not_found("no query service attached"),
             },
+            "/healthz" => self.serve_healthz(),
             "/history" => self.serve_history(request),
             path => match path.strip_prefix("/history/") {
                 Some(rest) => self.serve_history_run(rest),
-                None => match path.strip_prefix("/progress/") {
-                    Some(id) => match id.parse::<u64>().ok() {
-                        Some(id) => match self.directory.render_query(id) {
-                            Some(json) => Response::ok("application/json; charset=utf-8", json),
-                            None => Response::not_found(
-                                "no such query (finished queries unregister when their \
-                                 handle drops)",
-                            ),
+                None => match path.strip_prefix("/trace/") {
+                    Some(id) => self.serve_trace(id),
+                    None => match path.strip_prefix("/progress/") {
+                        Some(id) => match id.parse::<u64>().ok() {
+                            Some(id) => match self.directory.render_query(id) {
+                                Some(json) => Response::ok("application/json; charset=utf-8", json),
+                                None => Response::not_found(
+                                    "no such query (finished queries unregister when their \
+                                     handle drops)",
+                                ),
+                            },
+                            None => Response::bad_request("query id must be an integer"),
                         },
-                        None => Response::bad_request("query id must be an integer"),
+                        None => Response::not_found(
+                            "try /, /metrics, /progress, /progress/{id}, /history, /service, \
+                             /trace/{id}, or /healthz",
+                        ),
                     },
-                    None => Response::not_found(
-                        "try /, /metrics, /progress, /progress/{id}, /history, or /service",
-                    ),
                 },
             },
+        }
+    }
+
+    /// `GET /healthz`: liveness/readiness probe. `200` while the server
+    /// is up and (if a service is attached) admitting; `503` once the
+    /// service is draining or the server is stopping, so load balancers
+    /// rotate traffic away before shutdown completes.
+    fn serve_healthz(&self) -> Response {
+        let (queue_depth, draining) = match self.service() {
+            Some(s) => (s.stats().queue_depth, !s.is_admitting()),
+            None => (0, false),
+        };
+        let stopping = self.stop.load(Ordering::Acquire);
+        let unhealthy = draining || stopping;
+        let body = format!(
+            "{{\"status\":\"{}\",\"version\":\"{}\",\"uptime_s\":{},\"queue_depth\":{},\
+             \"draining\":{}}}",
+            if unhealthy { "draining" } else { "ok" },
+            env!("CARGO_PKG_VERSION"),
+            self.started.elapsed().as_secs(),
+            queue_depth,
+            unhealthy,
+        );
+        if unhealthy {
+            Response {
+                status: 503,
+                content_type: "application/json; charset=utf-8",
+                body,
+                retry_after: Some(5),
+            }
+        } else {
+            Response::ok("application/json; charset=utf-8", body)
+        }
+    }
+
+    /// `GET /trace/{id}`: one submission's causal span tree as Chrome
+    /// trace-event JSON — load it in Perfetto / `chrome://tracing`, or
+    /// feed it to the dashboard's waterfall view.
+    fn serve_trace(&self, rest: &str) -> Response {
+        let Ok(id) = rest.parse::<u64>() else {
+            return Response::bad_request("query id must be an integer");
+        };
+        let Some(service) = self.service() else {
+            return Response::not_found("no query service attached");
+        };
+        match service.span_events(id) {
+            Some(events) => {
+                let tree = qprog_obs::SpanTree::from_events(&events, &[]);
+                Response::ok("application/json; charset=utf-8", tree.to_chrome_json(id))
+            }
+            None => Response::not_found("no such submission (evicted or never accepted)"),
         }
     }
 
@@ -1087,6 +1176,164 @@ mod tests {
         service.shutdown();
         server.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn healthz_reports_ok_then_draining() {
+        let dir = temp_dir("healthz");
+        let server = MonitorServer::start("127.0.0.1:0", None).unwrap();
+        let addr = server.addr();
+        // Healthy even with no service attached (pure monitor deployments).
+        let ok = get(addr, "/healthz");
+        assert!(ok.starts_with("HTTP/1.1 200"), "{ok}");
+        assert!(ok.contains("\"status\":\"ok\""), "{ok}");
+        assert!(ok.contains("\"version\":\""), "{ok}");
+        assert!(ok.contains("\"uptime_s\":"), "{ok}");
+        assert!(ok.contains("\"queue_depth\":0"), "{ok}");
+        assert!(ok.contains("\"draining\":false"), "{ok}");
+        let service = attach_service(&server, &dir, ServiceConfig::default());
+        assert!(get(addr, "/healthz").starts_with("HTTP/1.1 200"));
+        // A draining service flips the probe to 503 so load balancers
+        // rotate away before shutdown completes.
+        service.shutdown();
+        let drained = get(addr, "/healthz");
+        assert!(drained.starts_with("HTTP/1.1 503"), "{drained}");
+        assert!(drained.contains("\"status\":\"draining\""), "{drained}");
+        assert!(drained.contains("\"draining\":true"), "{drained}");
+        assert!(drained.contains("Retry-After: 5"), "{drained}");
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_route_serves_chrome_trace_json() {
+        let dir = temp_dir("trace");
+        let server = MonitorServer::start("127.0.0.1:0", None).unwrap();
+        let addr = server.addr();
+        assert!(
+            get(addr, "/trace/1").starts_with("HTTP/1.1 404"),
+            "no service yet"
+        );
+        assert!(get(addr, "/trace/zzz").starts_with("HTTP/1.1 400"));
+        let service = attach_service(&server, &dir, ServiceConfig::default());
+        let accepted = post(addr, "/submit", "{\"sql\":\"select 1\",\"tenant\":\"t\"}");
+        let body = accepted.split("\r\n\r\n").nth(1).unwrap();
+        let id = body_u64_field(body, "id").unwrap();
+        // Poll until the lifecycle completes and the span tree includes
+        // the terminal finalize phase.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let trace = loop {
+            let t = get(addr, &format!("/trace/{id}"));
+            if t.contains("finalize") {
+                break t;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "span tree never completed: {t}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        assert!(trace.starts_with("HTTP/1.1 200"), "{trace}");
+        assert!(trace.contains("\"traceEvents\":["), "{trace}");
+        assert!(trace.contains("\"ph\":\"X\""), "{trace}");
+        assert!(trace.contains("queue_wait"), "{trace}");
+        assert!(trace.contains("\"pid\":"), "{trace}");
+        assert!(get(addr, "/trace/424242").starts_with("HTTP/1.1 404"));
+        service.shutdown();
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn events_reconnect_replays_missed_frames_or_resyncs() {
+        let server = MonitorServer::start("127.0.0.1:0", None).unwrap();
+        let addr = server.addr();
+        let (t, reg) = tracker();
+        let _q = server
+            .directory()
+            .register("recon", "once", t, Arc::new(PhaseSink::new()), None);
+        // Publish a few frames through the hub directly (deterministic ids).
+        for i in 0..4 {
+            server
+                .hub()
+                .publish(1, "progress", &format!("{{\"n\":{i}}}"), false);
+        }
+        drop(reg);
+        // Reconnect claiming id 2: frames 3 and 4 replay, no snapshot.
+        let shutdown_later = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(300));
+                server.shutdown();
+            })
+        };
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "GET /events HTTP/1.1\r\nHost: t\r\nLast-Event-ID: 2\r\n\r\n"
+        )
+        .unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut out = String::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => out.push_str(&String::from_utf8_lossy(&buf[..n])),
+            }
+        }
+        assert!(
+            out.contains("id: 3\nevent: progress\ndata: {\"n\":2}\n\n"),
+            "{out}"
+        );
+        assert!(
+            out.contains("id: 4\nevent: progress\ndata: {\"n\":3}\n\n"),
+            "{out}"
+        );
+        assert!(
+            !out.contains("event: snapshot"),
+            "replay must not resync: {out}"
+        );
+        shutdown_later.join().unwrap();
+    }
+
+    #[test]
+    fn events_reconnect_with_stale_id_falls_back_to_snapshot() {
+        let server = MonitorServer::start("127.0.0.1:0", None).unwrap();
+        let addr = server.addr();
+        let shutdown_later = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(300));
+                server.shutdown();
+            })
+        };
+        // Id 99 was never issued (e.g. the server restarted): the stream
+        // must open with a full snapshot resync instead of a replay.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "GET /events HTTP/1.1\r\nHost: t\r\nLast-Event-ID: 99\r\n\r\n"
+        )
+        .unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut out = String::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => out.push_str(&String::from_utf8_lossy(&buf[..n])),
+            }
+        }
+        assert!(
+            out.contains("event: snapshot\ndata: {\"queries\":["),
+            "{out}"
+        );
+        shutdown_later.join().unwrap();
     }
 
     #[test]

@@ -37,6 +37,12 @@
 //!   [`qprog_metrics::Registry`]: fleet-wide tuple counts, phase activity,
 //!   refinement rates, and cross-query q-error histograms per estimator,
 //!   exposable in Prometheus text format.
+//! - [`spans`] — causal span trees ([`SpanTree`](spans::SpanTree))
+//!   assembled from a query's events: typed service-lifecycle spans
+//!   (submit → queue-wait → dispatch attempts → finalize) merged with
+//!   operator/phase/worker/pipeline intervals derived from the standard
+//!   execution events, exportable as Chrome trace-event JSON for
+//!   Perfetto / `chrome://tracing`.
 //! - [`corpus`] — a persistent, size-capped trace corpus: every traced
 //!   run's JSONL segment plus an indexed scorecard archived at terminal
 //!   time ([`CorpusSink`](corpus::CorpusSink)), with rolling median/MAD
@@ -54,6 +60,7 @@ pub mod metrics_sink;
 pub mod replay;
 pub mod scoring;
 pub mod sinks;
+pub mod spans;
 pub mod timeline;
 
 pub use corpus::{
@@ -65,4 +72,5 @@ pub use metrics_sink::MetricsSink;
 pub use replay::ReplayedTrace;
 pub use scoring::{score_events, score_log, ProgressScore, QErrorSummary};
 pub use sinks::{JsonlSink, RingSink, StderrSink, ValidatorSink};
+pub use spans::{LifecycleTotals, SpanNode, SpanTree, Track};
 pub use timeline::{ProgressLog, RecorderHandle, TimelinePoint, TimelineRecorder};

@@ -227,6 +227,9 @@ impl TraceSink for MetricsSink {
             TraceEventKind::HealthTransition { .. } => None,
             // And regressions only exist when a corpus is attached.
             TraceEventKind::RegressionDetected { .. } => None,
+            // Lifecycle spans only exist for service-managed queries; the
+            // service aggregates its own SLO metrics from them.
+            TraceEventKind::SpanStart { .. } | TraceEventKind::SpanEnd { .. } => None,
         };
         if let Some(event_idx) = event_idx {
             self.events[event_idx].inc();

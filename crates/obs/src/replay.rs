@@ -20,12 +20,13 @@
 
 use std::sync::Arc;
 
+use qprog_exec::span::{SpanKind, NO_PARENT};
 use qprog_exec::trace::{
     AbortKind, DegradeReason, EstimateSource, HealthReason, HealthState, Phase, RegressionKind,
     TraceEvent, TraceEventKind, TraceSink,
 };
 
-use crate::json::raw_field;
+use crate::json::{raw_field, unescape};
 
 /// A parsed trace: the event stream plus whatever operator names the JSONL
 /// carried.
@@ -61,7 +62,7 @@ impl ReplayedTrace {
                             trace.op_names.resize(idx + 1, String::new());
                         }
                         if trace.op_names[idx].is_empty() {
-                            trace.op_names[idx] = name.to_string();
+                            trace.op_names[idx] = unescape(name);
                         }
                     }
                     trace.events.push(event);
@@ -106,7 +107,9 @@ fn op_index(kind: &TraceEventKind) -> Option<u32> {
         | TraceEventKind::QueryAborted { .. }
         | TraceEventKind::ProgressSampled { .. }
         | TraceEventKind::HealthTransition { .. }
-        | TraceEventKind::RegressionDetected { .. } => None,
+        | TraceEventKind::RegressionDetected { .. }
+        | TraceEventKind::SpanStart { .. }
+        | TraceEventKind::SpanEnd { .. } => None,
     }
 }
 
@@ -238,6 +241,25 @@ pub fn parse_event(line: &str) -> Result<TraceEvent, String> {
                 threshold: parse_f64(line, "threshold")?,
             }
         }
+        "span_start" => {
+            let raw = field(line, "kind")?;
+            TraceEventKind::SpanStart {
+                span: parse_u32(line, "span")?,
+                // Roots encode no parent field at all.
+                parent: match raw_field(line, "parent") {
+                    Some(p) => p
+                        .parse::<u32>()
+                        .map_err(|e| format!("field \"parent\": {e}"))?,
+                    None => NO_PARENT,
+                },
+                kind: SpanKind::from_name(raw)
+                    .ok_or_else(|| format!("unknown span kind \"{raw}\""))?,
+                arg: parse_u32(line, "arg")?,
+            }
+        }
+        "span_end" => TraceEventKind::SpanEnd {
+            span: parse_u32(line, "span")?,
+        },
         other => return Err(format!("unknown event kind \"{other}\"")),
     };
     Ok(TraceEvent { seq, at_us, kind })
@@ -387,6 +409,19 @@ mod tests {
                 baseline: f64::NAN,
                 threshold: f64::NAN,
             },
+            TraceEventKind::SpanStart {
+                span: 0,
+                parent: NO_PARENT,
+                kind: SpanKind::Query,
+                arg: 0,
+            },
+            TraceEventKind::SpanStart {
+                span: 3,
+                parent: 0,
+                kind: SpanKind::Dispatch,
+                arg: 2,
+            },
+            TraceEventKind::SpanEnd { span: 3 },
         ];
         let names: Vec<String> = (0..6).map(|i| format!("op{i}")).collect();
         for (i, kind) in kinds.into_iter().enumerate() {
@@ -425,6 +460,56 @@ not json at all\n\
         assert_eq!(trace.errors.len(), 2);
         assert_eq!(trace.errors[0].0, 3);
         assert_eq!(trace.errors[1].0, 4);
+    }
+
+    #[test]
+    fn every_span_kind_round_trips() {
+        use qprog_exec::span::SpanKind::*;
+        for (i, kind) in [
+            Query,
+            Submit,
+            JournalAppend,
+            QueueWait,
+            BackoffPark,
+            Dispatch,
+            Finalize,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let event = TraceEvent {
+                seq: i as u64,
+                at_us: 10 * i as u64,
+                kind: TraceEventKind::SpanStart {
+                    span: i as u32 + 1,
+                    parent: if kind == Query { NO_PARENT } else { 0 },
+                    kind,
+                    arg: i as u32,
+                },
+            };
+            let line = event_to_json(&event, &[]);
+            let back = parse_event(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, event, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn op_names_with_escapes_parse_back_to_original_text() {
+        // Control characters and non-ASCII in an operator name must survive
+        // the encode → parse round trip byte-identically.
+        let name = "scan \"α→β\"\t\\x\u{1}\n日本語";
+        let event = TraceEvent {
+            seq: 0,
+            at_us: 0,
+            kind: TraceEventKind::OperatorFinished { op: 0, emitted: 1 },
+        };
+        let jsonl = event_to_json(&event, &[name.to_string()]);
+        let trace = ReplayedTrace::parse(&jsonl);
+        assert!(trace.errors.is_empty(), "{:?}", trace.errors);
+        assert_eq!(trace.events.len(), 1);
+        assert_eq!(trace.op_names, vec![name.to_string()]);
+        // Re-encoding with the recovered names reproduces the exact bytes.
+        assert_eq!(event_to_json(&event, &trace.op_names), jsonl);
     }
 
     #[test]

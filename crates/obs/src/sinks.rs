@@ -422,13 +422,21 @@ impl TraceSink for ValidatorSink {
                     ));
                 }
             }
+            TraceEventKind::SpanStart { span, parent, .. } => {
+                // A span cannot be its own ancestor; deeper tree invariants
+                // (nesting, tiling) are checked at assembly time.
+                if span == parent {
+                    s.violations.push(format!("span {span} is its own parent"));
+                }
+            }
             TraceEventKind::PipelineStarted { .. }
             | TraceEventKind::PipelineFinished { .. }
             | TraceEventKind::QueryFinished { .. }
             | TraceEventKind::QueryAborted { .. }
             | TraceEventKind::EstimatorDegraded { .. }
             | TraceEventKind::OperatorWallTime { .. }
-            | TraceEventKind::WorkerWallTime { .. } => {}
+            | TraceEventKind::WorkerWallTime { .. }
+            | TraceEventKind::SpanEnd { .. } => {}
         }
     }
 }

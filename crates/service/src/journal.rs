@@ -181,9 +181,11 @@ impl Journal {
     }
 
     /// Record a terminal outcome for `id` (`finished` or a failure kind).
-    pub fn append_terminal(&self, id: u64, state: &str) -> io::Result<()> {
+    /// `wall_us` is the submit→terminal wall time on the job's span clock;
+    /// the reconciliation tests assert it equals the summed span durations.
+    pub fn append_terminal(&self, id: u64, state: &str, wall_us: u64) -> io::Result<()> {
         let line = format!(
-            "{{\"op\":\"terminal\",\"id\":{id},\"state\":\"{}\"}}\n",
+            "{{\"op\":\"terminal\",\"id\":{id},\"state\":\"{}\",\"wall_us\":{wall_us}}}\n",
             escape(state)
         );
         let mut inner = self.inner.lock();
@@ -374,7 +376,7 @@ mod tests {
             j.append_submit(&entry(2, "select \"q\" from t where a='x'"))
                 .unwrap();
             j.append_submit(&entry(3, "line1\nline2\t\\end")).unwrap();
-            j.append_terminal(1, "finished").unwrap();
+            j.append_terminal(1, "finished", 1234).unwrap();
         }
         let (_, replay) = Journal::open(&dir).unwrap();
         assert!(replay.diagnostics.is_empty(), "{:?}", replay.diagnostics);
@@ -440,7 +442,7 @@ mod tests {
         for id in 1..=20 {
             j.append_submit(&entry(id, "select 1")).unwrap();
             if id <= 18 {
-                j.append_terminal(id, "finished").unwrap();
+                j.append_terminal(id, "finished", id * 10).unwrap();
             }
         }
         assert_eq!(j.terminal_count(), 18);
@@ -448,7 +450,7 @@ mod tests {
         j.compact(&live).unwrap();
         assert_eq!(j.terminal_count(), 0);
         // post-compaction appends land after the rewritten records
-        j.append_terminal(19, "finished").unwrap();
+        j.append_terminal(19, "finished", 42).unwrap();
         let (_, replay) = Journal::open(&dir).unwrap();
         assert_eq!(replay.pending, vec![entry(20, "select 1")]);
         let _ = fs::remove_dir_all(&dir);

@@ -32,6 +32,7 @@
 pub mod journal;
 pub mod queue;
 pub mod service;
+pub mod spans;
 
 pub use journal::{Journal, PendingEntry, Replay, JOURNAL_FILE};
 pub use queue::{AdmissionConfig, JobSpec, RejectReason};
@@ -40,3 +41,4 @@ pub use service::{
     RetryPolicy, ServiceConfig, ServiceStats, StatusObserver, SubmitError, SubmitRequest, Ticket,
     MAX_SQL_BYTES,
 };
+pub use spans::{SpanLog, SpanTotals};

@@ -17,6 +17,7 @@
 //! counted; the journal guarantees that anything accepted but not terminal
 //! at crash time is re-dispatched exactly once on reopen.
 
+use std::collections::VecDeque;
 use std::io;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -25,14 +26,20 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use qprog_exec::governor::CancellationToken;
+use qprog_exec::span::SpanKind;
 use qprog_exec::sync::Mutex;
-use qprog_metrics::{Counter, Gauge, Registry};
+use qprog_exec::trace::TraceEvent;
+use qprog_metrics::{Counter, Gauge, Histogram, Registry};
 use qprog_types::{ExecError, QError};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::journal::{escape, Journal, PendingEntry};
 use crate::queue::{AdmissionConfig, JobSpec, Pop, ReadyQueue, RejectReason};
+use crate::spans::{SpanLog, SpanTotals};
+
+/// Recent dispatch timestamps retained for the shed-time estimate.
+const DRAIN_RATE_WINDOW: usize = 64;
 
 /// Largest workload text accepted at submit time.
 pub const MAX_SQL_BYTES: usize = 64 * 1024;
@@ -385,6 +392,9 @@ struct SvcMetrics {
     registry: Arc<Registry>,
     queue_depth: Arc<Gauge>,
     retries: Arc<Counter>,
+    /// Shared bucket bounds for the per-tenant SLO histograms: 100µs to
+    /// ~26s in ×4 steps, fixed so every tenant series is comparable.
+    slo_buckets: Vec<f64>,
 }
 
 impl SvcMetrics {
@@ -399,6 +409,7 @@ impl SvcMetrics {
             registry,
             queue_depth,
             retries,
+            slo_buckets: Histogram::exponential_buckets(100.0, 4.0, 10),
         }
     }
 
@@ -421,6 +432,55 @@ impl SvcMetrics {
             )
             .set(value);
     }
+
+    /// Record one completed submission's lifecycle attribution.
+    fn slo(&self, tenant: &str, t: &SpanTotals) {
+        self.registry
+            .histogram(
+                "qprog_queue_wait_us",
+                "Queued + retry-parked time per completed submission (µs)",
+                &[("tenant", tenant)],
+                &self.slo_buckets,
+            )
+            .observe((t.queue_wait_us + t.backoff_us) as f64);
+        self.registry
+            .histogram(
+                "qprog_exec_us",
+                "Execution time across all dispatch attempts per completed submission (µs)",
+                &[("tenant", tenant)],
+                &self.slo_buckets,
+            )
+            .observe(t.exec_us as f64);
+        self.registry
+            .counter(
+                "qprog_dispatch_attempts_total",
+                "Dispatch attempts across completed submissions",
+                &[("tenant", tenant)],
+            )
+            .add(u64::from(t.attempts));
+    }
+
+    fn deadline_miss(&self, tenant: &str, location: &str) {
+        self.registry
+            .counter(
+                "qprog_deadline_miss_total",
+                "Deadline misses, by where the budget ran out",
+                &[("tenant", tenant), ("where", location)],
+            )
+            .inc();
+    }
+}
+
+/// Per-tenant lifecycle aggregates across completed submissions, surfaced
+/// in [`QueryService::stats_json`] for `GET /service`.
+#[derive(Debug, Clone, Copy, Default)]
+struct TenantSlo {
+    completed: u64,
+    queue_wait_us: u64,
+    exec_us: u64,
+    attempts: u64,
+    deadline_miss_queue: u64,
+    deadline_miss_exec: u64,
 }
 
 struct JobRecord {
@@ -430,12 +490,20 @@ struct JobRecord {
     rows: Option<u64>,
     failure: Option<&'static str>,
     detail: Option<String>,
+    /// Lifecycle span log; appended only under the state lock.
+    spans: SpanLog,
+    /// Scheduled end of the current backoff park, on the span log's
+    /// clock. Present exactly while the job's open span is a
+    /// `backoff_park`, so the re-dispatch pop can split park from
+    /// queue-wait at the scheduled ready time.
+    backoff_ready_us: Option<u64>,
 }
 
 #[derive(Default)]
 struct SvcState {
     jobs: std::collections::BTreeMap<u64, JobRecord>,
     tenant_inflight: std::collections::BTreeMap<String, usize>,
+    tenant_slo: std::collections::BTreeMap<String, TenantSlo>,
     cancels: std::collections::BTreeMap<u64, CancellationToken>,
     terminal_order: std::collections::VecDeque<u64>,
 }
@@ -457,6 +525,9 @@ pub struct QueryService {
     metrics: Option<SvcMetrics>,
     diagnostics: Vec<String>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Recent worker-pop timestamps (bounded to [`DRAIN_RATE_WINDOW`]);
+    /// the shed path derives `Retry-After` from the observed drain rate.
+    dispatch_times: Mutex<VecDeque<Instant>>,
 }
 
 impl QueryService {
@@ -486,6 +557,7 @@ impl QueryService {
             metrics: metrics.map(SvcMetrics::new),
             diagnostics: replay.diagnostics,
             workers: Mutex::new(Vec::new()),
+            dispatch_times: Mutex::new(VecDeque::with_capacity(DRAIN_RATE_WINDOW)),
         });
         for e in replay.pending {
             let spec = JobSpec {
@@ -529,6 +601,9 @@ impl QueryService {
     /// Accept a submission: validate, admit, journal, queue. Returns the
     /// query id immediately — progress is observed via the monitor.
     pub fn submit(&self, req: SubmitRequest) -> Result<Ticket, SubmitError> {
+        // Lifecycle span epoch: every later span (and the journal's wall
+        // time) is measured from this instant.
+        let accepted_at = Instant::now();
         self.counters.submitted.fetch_add(1, Ordering::Relaxed);
         if let Err(e) = qprog_fault::eval("service/submit") {
             self.count_submission("error");
@@ -583,22 +658,27 @@ impl QueryService {
             sql: req.sql.clone(),
             deadline,
         };
+        let mut spans = SpanLog::new(accepted_at);
+        spans.push_at(0, SpanKind::Query, 0);
+        spans.push_at(0, SpanKind::Submit, 0);
+        spans.push(SpanKind::JournalAppend, 0);
         if let Err(e) = self.journal.append_submit(&entry) {
             drop(state);
             self.count_submission("error");
             self.counters.journal_errors.fetch_add(1, Ordering::Relaxed);
             return Err(SubmitError::Internal(format!("journal append failed: {e}")));
         }
+        spans.pop();
         let spec = JobSpec {
             id,
             tenant: req.tenant,
             label,
             sql: req.sql,
             deadline,
-            submitted: Instant::now(),
+            submitted: accepted_at,
             attempt: 0,
         };
-        Self::enqueue_locked(self, &mut state, spec);
+        Self::enqueue_locked(self, &mut state, spec, spans);
         drop(state);
         self.counters.admitted.fetch_add(1, Ordering::Relaxed);
         self.count_submission("admitted");
@@ -630,19 +710,56 @@ impl QueryService {
         SubmitError::Rejected {
             reason,
             detail,
-            retry_after: self.cfg.admission.retry_after,
+            retry_after: self.suggested_retry_after(),
         }
     }
 
-    /// Enqueue a fresh or replayed spec (record + observer + queue).
+    /// Client back-off suggested on shed: the predicted time for the
+    /// current backlog to drain at the observed dispatch rate, clamped to
+    /// [1, 60] seconds. Falls back to the configured constant until enough
+    /// dispatches have been observed to measure a rate.
+    fn suggested_retry_after(&self) -> Duration {
+        let depth = self.queue.depth().max(1);
+        let times = self.dispatch_times.lock();
+        if times.len() >= 2 {
+            let window = times
+                .back()
+                .expect("len checked")
+                .duration_since(*times.front().expect("len checked"))
+                .as_secs_f64();
+            if window > 1e-6 {
+                let rate = (times.len() - 1) as f64 / window;
+                let secs = (depth as f64 / rate).ceil() as u64;
+                return Duration::from_secs(secs.clamp(1, 60));
+            }
+            // All observed dispatches landed within a microsecond: the
+            // queue drains effectively instantly.
+            return Duration::from_secs(1);
+        }
+        self.cfg.admission.retry_after
+    }
+
+    /// Enqueue a replayed spec (record + observer + queue). The submit
+    /// side happened in a previous incarnation, so its span is zero-width:
+    /// the recovered lifecycle re-enters at the queue.
     fn enqueue(&self, spec: JobSpec) {
+        let mut spans = SpanLog::new(spec.submitted);
+        spans.push_at(0, SpanKind::Query, 0);
+        spans.push_at(0, SpanKind::Submit, 0);
         let mut state = self.state.lock();
-        Self::enqueue_locked(self, &mut state, spec);
+        Self::enqueue_locked(self, &mut state, spec, spans);
         drop(state);
         self.refresh_depth();
     }
 
-    fn enqueue_locked(&self, state: &mut SvcState, spec: JobSpec) {
+    fn enqueue_locked(&self, state: &mut SvcState, spec: JobSpec, mut spans: SpanLog) {
+        // The submit phase ends here and queue wait begins, at the same
+        // stamp — the tiling that makes span sums reconcile with wall time.
+        let now = spans.now_us();
+        while spans.depth() > 1 {
+            spans.pop_at(now);
+        }
+        spans.push_at(now, SpanKind::QueueWait, spec.attempt);
         *state
             .tenant_inflight
             .entry(spec.tenant.clone())
@@ -659,6 +776,8 @@ impl QueryService {
                 rows: None,
                 failure: None,
                 detail: None,
+                spans,
+                backoff_ready_us: None,
             },
         );
         self.observer.on_queued(&spec);
@@ -738,6 +857,23 @@ impl QueryService {
         }
     }
 
+    /// The lifecycle span events recorded for a tracked (non-evicted)
+    /// submission, timestamped in microseconds from its submit instant.
+    /// Feed them to `qprog_obs::spans::SpanTree` for tree assembly and
+    /// Chrome trace-event export (`GET /trace/{id}` does exactly that).
+    pub fn span_events(&self, id: u64) -> Option<Vec<TraceEvent>> {
+        self.state
+            .lock()
+            .jobs
+            .get(&id)
+            .map(|r| r.spans.events().to_vec())
+    }
+
+    /// Summed lifecycle durations for a tracked submission.
+    pub fn span_totals(&self, id: u64) -> Option<SpanTotals> {
+        self.state.lock().jobs.get(&id).map(|r| r.spans.totals())
+    }
+
     /// Current in-system submissions for `tenant`.
     pub fn tenant_inflight(&self, tenant: &str) -> usize {
         self.state
@@ -758,10 +894,28 @@ impl QueryService {
         let s = self.stats();
         let tenants: Vec<String> = {
             let state = self.state.lock();
-            state
-                .tenant_inflight
-                .iter()
-                .map(|(t, n)| format!("{{\"tenant\":\"{}\",\"inflight\":{n}}}", escape(t)))
+            let mut names: std::collections::BTreeSet<&String> =
+                state.tenant_inflight.keys().collect();
+            names.extend(state.tenant_slo.keys());
+            names
+                .into_iter()
+                .map(|t| {
+                    let inflight = state.tenant_inflight.get(t).copied().unwrap_or(0);
+                    let slo = state.tenant_slo.get(t).copied().unwrap_or_default();
+                    format!(
+                        "{{\"tenant\":\"{}\",\"inflight\":{inflight},\
+                         \"completed\":{},\"queue_wait_us\":{},\"exec_us\":{},\
+                         \"attempts\":{},\"deadline_miss_queue\":{},\
+                         \"deadline_miss_exec\":{}}}",
+                        escape(t),
+                        slo.completed,
+                        slo.queue_wait_us,
+                        slo.exec_us,
+                        slo.attempts,
+                        slo.deadline_miss_queue,
+                        slo.deadline_miss_exec
+                    )
+                })
                 .collect()
         };
         format!(
@@ -852,6 +1006,15 @@ impl QueryService {
 
     fn run_job(&self, job: JobSpec) {
         self.refresh_depth();
+        {
+            // Every pop drains the queue — including deadline-expired jobs —
+            // so each one is a sample for the Retry-After drain-rate model.
+            let mut times = self.dispatch_times.lock();
+            times.push_back(Instant::now());
+            if times.len() > DRAIN_RATE_WINDOW {
+                times.pop_front();
+            }
+        }
         // Deadline budget spent waiting counts: a submission that expired
         // in the queue terminates without ever reaching the engine.
         let remaining = match job.deadline {
@@ -885,6 +1048,17 @@ impl QueryService {
             if let Some(r) = state.jobs.get_mut(&job.id) {
                 r.state = JobState::Running;
                 r.attempts = job.attempt + 1;
+                let now = r.spans.now_us();
+                if let Some(ready) = r.backoff_ready_us.take() {
+                    // The park ended at its scheduled ready time; the
+                    // stretch from ready to this pop is queue wait for the
+                    // retry attempt.
+                    let ready = ready.min(now);
+                    r.spans.pop_at(ready);
+                    r.spans.push_at(ready, SpanKind::QueueWait, job.attempt);
+                }
+                r.spans.pop_at(now);
+                r.spans.push_at(now, SpanKind::Dispatch, job.attempt);
             }
             state.cancels.insert(job.id, token.clone());
         }
@@ -927,6 +1101,13 @@ impl QueryService {
                 let mut state = self.state.lock();
                 if let Some(r) = state.jobs.get_mut(&job.id) {
                     r.state = JobState::Retrying;
+                    // Close the dispatch attempt (or the still-open queue
+                    // wait, when dispatch itself failpointed) and open the
+                    // backoff park, recording its scheduled end.
+                    let now = r.spans.now_us();
+                    r.spans.pop_at(now);
+                    r.spans.push_at(now, SpanKind::BackoffPark, attempts_done);
+                    r.backoff_ready_us = Some(now + backoff.as_micros() as u64);
                 }
             }
             self.observer.on_retrying(&job, kind, backoff);
@@ -951,13 +1132,20 @@ impl QueryService {
     }
 
     fn finish_locked(&self, state: &mut SvcState, job: &JobSpec, outcome: JobOutcome) {
-        if let Err(e) = self.journal.append_terminal(job.id, outcome.label()) {
-            // Completion is still reported; after a crash the job may be
-            // re-dispatched (at-least-once on journal IO failure).
-            self.counters.journal_errors.fetch_add(1, Ordering::Relaxed);
-            let _ = e;
-        }
+        // Close the span tree first: open children end where terminal
+        // processing begins, the finalize span covers the record
+        // bookkeeping, and the root's end is the single wall-time stamp
+        // the journal records — so summed child durations reconcile with
+        // the journal's wall time exactly.
+        let mut wall_us = job.submitted.elapsed().as_micros() as u64;
+        let mut totals = SpanTotals::default();
+        let mut was_running = false;
         if let Some(r) = state.jobs.get_mut(&job.id) {
+            was_running = r.state == JobState::Running;
+            r.backoff_ready_us = None;
+            let t0 = r.spans.now_us();
+            r.spans.close_children(t0);
+            r.spans.push_at(t0, SpanKind::Finalize, 0);
             match &outcome {
                 JobOutcome::Finished { rows } => {
                     r.state = JobState::Finished;
@@ -969,11 +1157,52 @@ impl QueryService {
                     r.detail = Some(detail.clone());
                 }
             }
+            let t_term = r.spans.now_us();
+            r.spans.close_all(t_term);
+            wall_us = t_term;
+            totals = r.spans.totals();
+        }
+        if let Err(e) = self
+            .journal
+            .append_terminal(job.id, outcome.label(), wall_us)
+        {
+            // Completion is still reported; after a crash the job may be
+            // re-dispatched (at-least-once on journal IO failure).
+            self.counters.journal_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = e;
         }
         match &outcome {
             JobOutcome::Finished { .. } => self.counters.finished.fetch_add(1, Ordering::Relaxed),
             JobOutcome::Failed { .. } => self.counters.failed.fetch_add(1, Ordering::Relaxed),
         };
+        let deadline_missed = matches!(
+            &outcome,
+            JobOutcome::Failed {
+                kind: "deadline",
+                ..
+            }
+        );
+        let miss_location = if was_running { "exec" } else { "queue" };
+        {
+            let slo = state.tenant_slo.entry(job.tenant.clone()).or_default();
+            slo.completed += 1;
+            slo.queue_wait_us += totals.queue_wait_us + totals.backoff_us;
+            slo.exec_us += totals.exec_us;
+            slo.attempts += u64::from(totals.attempts);
+            if deadline_missed {
+                if was_running {
+                    slo.deadline_miss_exec += 1;
+                } else {
+                    slo.deadline_miss_queue += 1;
+                }
+            }
+        }
+        if let Some(m) = &self.metrics {
+            m.slo(&job.tenant, &totals);
+            if deadline_missed {
+                m.deadline_miss(&job.tenant, miss_location);
+            }
+        }
         if let Some(n) = state.tenant_inflight.get_mut(&job.tenant) {
             *n = n.saturating_sub(1);
             let left = *n;

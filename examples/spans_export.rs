@@ -1,0 +1,122 @@
+//! Offline Perfetto export: span trees from a live Q8 run and from
+//! archived corpus segments.
+//!
+//! Two paths, both ending in Chrome trace-event JSON you can load in
+//! [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`:
+//!
+//! 1. **Live run** — executes TPC-H Q8 with the trace bus attached,
+//!    assembles the span tree from the ring events, and writes
+//!    `results/spans_q8.json`.
+//! 2. **Corpus segments** — if a trace corpus exists (the scorecard
+//!    bench's by default, or a directory passed as the first argument),
+//!    replays each archived run's JSONL segment through `obs::replay`
+//!    and writes one `results/spans_run{N}.json` per run.
+//!
+//! ```text
+//! cargo run --release --example spans_export [-- path/to/corpus]
+//! ```
+
+use std::sync::Arc;
+
+use qprog::obs::{Corpus, ReplayedTrace, SpanTree};
+use qprog::prelude::*;
+use qprog::workloads::q8_plan;
+use qprog_datagen::{TpchConfig, TpchGenerator};
+
+fn main() -> QResult<()> {
+    std::fs::create_dir_all("results").map_err(|e| QError::plan(e.to_string()))?;
+
+    // -- 1. live Q8 run ------------------------------------------------
+    eprintln!("generating TPC-H-lite (scale 0.02, Zipf z=2 foreign keys)...");
+    let catalog = TpchGenerator::new(TpchConfig {
+        scale: 0.02,
+        skew: 2.0,
+        seed: 8,
+    })
+    .catalog()?;
+
+    // Learn operator names from an untraced compile (registration order
+    // is deterministic), then run traced with a ring sink.
+    let probe_session = Session::new(catalog.clone());
+    let probe = probe_session.query_plan(q8_plan(probe_session.builder())?)?;
+    let op_names: Vec<String> = probe
+        .registry()
+        .iter()
+        .map(|(n, _)| n.to_string())
+        .collect();
+
+    let ring = Arc::new(RingSink::with_capacity(1 << 14));
+    let bus = EventBus::builder().sink(Arc::clone(&ring) as _).build();
+    let session = SessionBuilder::new(catalog)
+        .observability(Observability::new().with_trace(bus))
+        .build()?;
+    let mut query = session.query_plan(q8_plan(session.builder())?)?;
+    let rows = query.collect()?;
+
+    let events = ring.drain();
+    let tree = SpanTree::from_events(&events, &op_names);
+    let violations = tree.nesting_violations();
+    if !violations.is_empty() {
+        eprintln!("WARNING: span tree not strictly nested:");
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+    }
+    let t = tree.lifecycle_totals();
+    let path = "results/spans_q8.json";
+    std::fs::write(path, tree.to_chrome_json(8)).map_err(|e| QError::plan(e.to_string()))?;
+    println!(
+        "live Q8: {} rows, {} trace events, {} us wall -> {path}",
+        rows.len(),
+        events.len(),
+        t.total_us
+    );
+
+    // -- 2. archived corpus segments ------------------------------------
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/scorecard_corpus".to_string());
+    let corpus = match Corpus::open(&dir) {
+        Ok(c) => c,
+        Err(e) => {
+            println!("no corpus at {dir} ({e}); skipping segment export");
+            println!("(run `cargo bench --bench progress_scorecard` to create one)");
+            return Ok(());
+        }
+    };
+    let runs = corpus.runs();
+    if runs.is_empty() {
+        println!("corpus at {dir} holds no runs; skipping segment export");
+        return Ok(());
+    }
+    for r in &runs {
+        let jsonl = match corpus.trace_jsonl(r.run) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("run {}: segment unreadable ({e})", r.run);
+                continue;
+            }
+        };
+        let trace = ReplayedTrace::parse(&jsonl);
+        if !trace.errors.is_empty() {
+            eprintln!(
+                "run {}: {} unparseable lines, exporting the rest",
+                r.run,
+                trace.errors.len()
+            );
+        }
+        let tree = SpanTree::from_events(&trace.events, &trace.op_names);
+        let path = format!("results/spans_run{}.json", r.run);
+        std::fs::write(&path, tree.to_chrome_json(r.run))
+            .map_err(|e| QError::plan(e.to_string()))?;
+        println!(
+            "run {} ({} / {}): {} events -> {path}",
+            r.run,
+            r.workload,
+            r.estimator,
+            trace.events.len()
+        );
+    }
+    println!("load any of these in https://ui.perfetto.dev or chrome://tracing");
+    Ok(())
+}

@@ -258,13 +258,24 @@ fn sse_stream_delivers_well_formed_frames_and_always_a_terminal() {
     assert!(!head.contains("Content-Length"), "{head}");
 
     // Framing: every chunk is either an SSE comment (keepalive) or an
-    // `event:` line plus a single-line JSON `data:` payload.
+    // optional monotone `id:` line, an `event:` line, and a single-line
+    // JSON `data:` payload. (Hub-broadcast frames always carry ids for
+    // `Last-Event-ID` reconnects; per-connection opening frames may not.)
     let mut kinds = Vec::new();
+    let mut last_id = 0u64;
     for frame in body.split("\n\n").filter(|f| !f.is_empty()) {
         if frame.starts_with(':') {
             continue; // keepalive comment
         }
-        let mut lines = frame.lines();
+        let mut lines = frame.lines().peekable();
+        if lines.peek().is_some_and(|l| l.starts_with("id: ")) {
+            let id_line = lines.next().unwrap();
+            let id: u64 = id_line["id: ".len()..]
+                .parse()
+                .unwrap_or_else(|_| panic!("bad id line: {frame:?}"));
+            assert!(id > last_id, "frame ids not monotone: {body:?}");
+            last_id = id;
+        }
         let event = lines.next().unwrap_or_default();
         let data = lines.next().unwrap_or_default();
         assert!(event.starts_with("event: "), "bad frame: {frame:?}");
@@ -273,6 +284,7 @@ fn sse_stream_delivers_well_formed_frames_and_always_a_terminal() {
         assert_eq!(lines.next(), None, "multi-line data: {frame:?}");
         kinds.push(event["event: ".len()..].to_string());
     }
+    assert!(last_id > 0, "no broadcast frame carried an id: {body:?}");
     // First frame is the initial snapshot; the last is always terminal.
     assert!(!kinds.is_empty(), "no frames in {body:?}");
     assert_eq!(
@@ -302,6 +314,114 @@ fn sse_stream_delivers_well_formed_frames_and_always_a_terminal() {
     assert!(metrics.contains("qprog_stream_subscribers 0"), "{metrics}");
 
     drop(handle);
+    server.shutdown();
+}
+
+/// Open a streaming GET with an extra request header and read frames for
+/// a bounded window (the firehose never closes on its own).
+fn stream_get_with_header(
+    addr: SocketAddr,
+    path: &str,
+    header: &str,
+    window: std::time::Duration,
+) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to monitor");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: smoke\r\n{header}\r\n\r\n"
+    )
+    .unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_millis(200)))
+        .unwrap();
+    let deadline = std::time::Instant::now() + window;
+    let mut out = String::new();
+    let mut buf = [0u8; 4096];
+    while std::time::Instant::now() < deadline {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => out.push_str(&String::from_utf8_lossy(&buf[..n])),
+            Err(_) => {} // read-timeout tick; re-check the window
+        }
+    }
+    out
+}
+
+#[test]
+fn sse_events_reconnect_replays_or_resyncs_by_last_event_id() {
+    let session = SessionBuilder::new(catalog())
+        .observability(Observability::new().serve_on("127.0.0.1:0"))
+        .build()
+        .unwrap();
+    let server = Arc::clone(session.monitor().unwrap());
+    let addr = server.addr();
+    let hub = server.hub();
+
+    // Seed the replay ring with deterministic frames (no live queries, so
+    // the broadcast tick publishes nothing of its own).
+    for i in 0..5 {
+        hub.publish(900, "progress", &format!("{{\"n\":{i}}}"), false);
+    }
+    let last = hub.last_frame_id();
+    assert!(last >= 5, "expected seeded frames, got id {last}");
+
+    // Reconnect having seen all but the last two frames: exactly those
+    // replay (in order, ids intact) and no snapshot resync happens.
+    let out = stream_get_with_header(
+        addr,
+        "/events",
+        &format!("Last-Event-ID: {}", last - 2),
+        std::time::Duration::from_millis(700),
+    );
+    assert!(
+        out.contains(&format!(
+            "id: {}\nevent: progress\ndata: {{\"n\":3}}\n\n",
+            last - 1
+        )),
+        "{out}"
+    );
+    assert!(
+        out.contains(&format!(
+            "id: {last}\nevent: progress\ndata: {{\"n\":4}}\n\n"
+        )),
+        "{out}"
+    );
+    assert!(
+        !out.contains("event: snapshot"),
+        "replay must not resync: {out}"
+    );
+
+    // An id the hub never issued (stale client from a previous server
+    // life): full snapshot resync, stamped with the current frame id so
+    // the client's Last-Event-ID re-anchors to the present.
+    let out = stream_get_with_header(
+        addr,
+        "/events",
+        "Last-Event-ID: 999999",
+        std::time::Duration::from_millis(700),
+    );
+    assert!(
+        out.contains(&format!(
+            "id: {last}\nevent: snapshot\ndata: {{\"queries\":["
+        )),
+        "{out}"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn healthz_answers_over_http() {
+    let session = SessionBuilder::new(catalog())
+        .observability(Observability::new().serve_on("127.0.0.1:0"))
+        .build()
+        .unwrap();
+    let server = Arc::clone(session.monitor().unwrap());
+    let (head, body) = get(server.addr(), "/healthz");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    assert!(body.contains("\"version\":\""), "{body}");
+    assert!(body.contains("\"queue_depth\":"), "{body}");
     server.shutdown();
 }
 
@@ -335,7 +455,7 @@ fn sse_slow_subscribers_drop_stale_frames_and_are_evicted() {
     loop {
         match full.next(std::time::Duration::from_millis(100)) {
             qprog::monitor::StreamNext::Frame(f) => {
-                saw_terminal |= f.starts_with("event: terminal\n");
+                saw_terminal |= f.contains("event: terminal\n");
             }
             qprog::monitor::StreamNext::Closed => break,
             qprog::monitor::StreamNext::Timeout => panic!("stream should close"),

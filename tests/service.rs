@@ -176,6 +176,72 @@ fn submitted_query_runs_to_done_visible_over_http_and_sse() {
 }
 
 #[test]
+fn span_tree_is_gapless_and_reconciles_with_the_journal_wall_time() {
+    let _scenario = scenario();
+    let dir = temp_dir("spans");
+    let session = monitored_session();
+    let addr = session.monitor().unwrap().addr();
+    let runtime = ServiceRuntime::start(session, &dir, ServiceConfig::default()).unwrap();
+
+    let (status, body) = submit(addr, "acme", JOIN_SQL);
+    assert_eq!(status, 202, "{body}");
+    let id = field_u64(&body, "id").expect("ticket id");
+    await_progress(addr, id, Duration::from_secs(10), |d| {
+        d.contains("\"state\":\"done\"")
+    });
+
+    // Gapless tiling: the lifecycle phases sum exactly to the root span.
+    let totals = runtime.service().span_totals(id).expect("span totals");
+    assert_eq!(totals.attempts, 1, "{totals:?}");
+    assert!(totals.exec_us > 0, "{totals:?}");
+    let phases = totals.submit_us
+        + totals.queue_wait_us
+        + totals.backoff_us
+        + totals.exec_us
+        + totals.finalize_us;
+    assert_eq!(phases, totals.total_us, "gap in the span tree: {totals:?}");
+
+    // The assembled tree nests strictly and agrees with the raw totals.
+    let events = runtime.service().span_events(id).expect("span events");
+    let tree = qprog::obs::SpanTree::from_events(&events, &[]);
+    let violations = tree.nesting_violations();
+    assert!(violations.is_empty(), "{violations:?}");
+    let lt = tree.lifecycle_totals();
+    assert_eq!(lt.total_us, totals.total_us);
+    assert_eq!(lt.queue_wait_us, totals.queue_wait_us);
+    assert_eq!(lt.exec_us, totals.exec_us);
+    assert_eq!(lt.attempts, 1);
+
+    // The journal's terminal record and the span tree describe the same
+    // wall time (within 1%; in fact the clocks are shared, so exactly).
+    let journal = std::fs::read_to_string(dir.join(qprog::svc::JOURNAL_FILE)).unwrap();
+    let wall = journal
+        .lines()
+        .filter(|l| l.contains("\"op\":\"terminal\"") && l.contains(&format!("\"id\":{id},")))
+        .filter_map(|l| field_u64(l, "wall_us"))
+        .next_back()
+        .expect("terminal journal record with wall_us");
+    let diff = wall.abs_diff(totals.total_us) as f64;
+    assert!(
+        diff <= 0.01 * (wall.max(1) as f64),
+        "journal wall {wall}us vs span total {}us",
+        totals.total_us
+    );
+
+    // Per-tenant SLO aggregates surface in /service stats.
+    let stats = get(addr, "/service");
+    assert!(stats.contains("\"tenant\":\"acme\""), "{stats}");
+    assert!(stats.contains("\"queue_wait_us\":"), "{stats}");
+    assert!(stats.contains("\"exec_us\":"), "{stats}");
+    assert!(stats.contains("\"deadline_miss_queue\":0"), "{stats}");
+    assert!(stats.contains("\"deadline_miss_exec\":0"), "{stats}");
+    assert!(stats.contains("\"completed\":1"), "{stats}");
+
+    runtime.drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn bad_sql_is_rejected_at_submit_time_with_400() {
     let _scenario = scenario();
     let dir = temp_dir("badsql");
@@ -513,6 +579,72 @@ mod chaos {
         }
         assert!(out.contains("event: terminal\n"), "{out}");
         assert!(out.contains("\"failure\":\"injected\""), "{out}");
+        runtime.drain();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retried_chaos_run_spans_attribute_backoff_and_still_reconcile() {
+        let dir = temp_dir("fp-spans");
+        let session = monitored_session();
+        let addr = session.monitor().unwrap().addr();
+        let _scenario = fault::FailScenario::setup();
+        let cfg = ServiceConfig {
+            retry: RetryPolicy {
+                base: Duration::from_millis(20),
+                cap: Duration::from_millis(80),
+                ..RetryPolicy::default()
+            },
+            ..ServiceConfig::default()
+        };
+        let runtime = ServiceRuntime::start(session, &dir, cfg).unwrap();
+        // Fault inside the engine so attempt 1 genuinely executes (and is
+        // counted) before the retry park and the successful attempt 2.
+        fault::configure("exec/scan/next", "1*error(chaos: page gone)").unwrap();
+        let (status, body) = submit(addr, "t", "SELECT * FROM nation");
+        assert_eq!(status, 202, "{body}");
+        let id = field_u64(&body, "id").unwrap();
+        await_progress(addr, id, Duration::from_secs(10), |d| {
+            d.contains("\"state\":\"done\"")
+        });
+
+        let totals = runtime.service().span_totals(id).expect("span totals");
+        assert_eq!(totals.attempts, 2, "{totals:?}");
+        assert!(totals.backoff_us > 0, "retry park unattributed: {totals:?}");
+        assert!(totals.exec_us > 0, "{totals:?}");
+        let phases = totals.submit_us
+            + totals.queue_wait_us
+            + totals.backoff_us
+            + totals.exec_us
+            + totals.finalize_us;
+        assert_eq!(phases, totals.total_us, "gap in retried tree: {totals:?}");
+
+        let events = runtime.service().span_events(id).unwrap();
+        let tree = qprog::obs::SpanTree::from_events(&events, &[]);
+        assert!(
+            tree.nesting_violations().is_empty(),
+            "{:?}",
+            tree.nesting_violations()
+        );
+        assert_eq!(tree.lifecycle_totals().attempts, 2);
+
+        let journal = std::fs::read_to_string(dir.join(qprog::svc::JOURNAL_FILE)).unwrap();
+        let wall = journal
+            .lines()
+            .filter(|l| l.contains("\"op\":\"terminal\"") && l.contains(&format!("\"id\":{id},")))
+            .filter_map(|l| field_u64(l, "wall_us"))
+            .next_back()
+            .expect("terminal journal record");
+        let diff = wall.abs_diff(totals.total_us) as f64;
+        assert!(
+            diff <= 0.01 * (wall.max(1) as f64),
+            "journal wall {wall}us vs span total {}us",
+            totals.total_us
+        );
+
+        // Attempt-count attribution reaches the tenant SLO stats.
+        let stats = get(addr, "/service");
+        assert!(stats.contains("\"attempts\":2"), "{stats}");
         runtime.drain();
         let _ = std::fs::remove_dir_all(&dir);
     }
