@@ -60,7 +60,7 @@ fn ablate_join_update(rows: usize, domain: usize) {
                     let t = probe_hist.total() as f64;
                     let cross: u128 = probe_hist
                         .iter()
-                        .map(|(key, c)| (build_hist.count(key) * c) as u128)
+                        .map(|(key, c)| (build_hist.count(&key) * c) as u128)
                         .sum();
                     estimate = cross as f64 / t * probe.len() as f64;
                 }

@@ -17,27 +17,29 @@ struct Run {
 
 fn run_pipeline(probe: &Table, b0: &Table, b1: &Table) -> Run {
     let n = probe.num_rows() as u64;
+    let b0_rows: Vec<qprog_types::Row> = b0.iter().collect();
+    let b1_rows: Vec<qprog_types::Row> = b1.iter().collect();
     let exact = |est: &mut PipelineEstimator| {
         for row in probe.iter() {
-            est.observe_probe(row).expect("probe");
+            est.observe_probe(&row).expect("probe");
         }
         (est.estimate(0), est.estimate(1))
     };
     // truth pass
     let mut est = PipelineEstimator::same_attribute(2, 1, 1, n).expect("spec");
-    est.feed_build(1, b1.iter()).expect("build");
-    est.feed_build(0, b0.iter()).expect("build");
+    est.feed_build(1, b1_rows.iter()).expect("build");
+    est.feed_build(0, b0_rows.iter()).expect("build");
     let (truth_lower, truth_upper) = exact(&mut est);
 
     // measured pass with checkpoints
     let mut est = PipelineEstimator::same_attribute(2, 1, 1, n).expect("spec");
-    est.feed_build(1, b1.iter()).expect("build");
-    est.feed_build(0, b0.iter()).expect("build");
+    est.feed_build(1, b1_rows.iter()).expect("build");
+    est.feed_build(0, b0_rows.iter()).expect("build");
     let mut lower = Vec::new();
     let mut upper = Vec::new();
     let mut next_cp = 0;
     for (i, row) in probe.iter().enumerate() {
-        est.observe_probe(row).expect("probe");
+        est.observe_probe(&row).expect("probe");
         let frac = (i + 1) as f64 / n as f64;
         while next_cp < CHECKPOINTS.len() && frac >= CHECKPOINTS[next_cp] {
             lower.push(ratio(est.estimate(0), truth_lower));

@@ -22,16 +22,18 @@ const CHECKPOINTS: [f64; 8] = [0.01, 0.02, 0.05, 0.10, 0.25, 0.50, 0.75, 1.0];
 /// upper-join ratio-error per checkpoint plus the exact cardinalities.
 fn run_case(specs: Vec<JoinSpec>, probe: &Table, b0: &Table, b1: &Table) -> (Vec<f64>, f64, f64) {
     let n = probe.num_rows() as u64;
+    let b0_rows: Vec<qprog_types::Row> = b0.iter().collect();
+    let b1_rows: Vec<qprog_types::Row> = b1.iter().collect();
     let full = |est: &mut PipelineEstimator| {
         for row in probe.iter() {
-            est.observe_probe(row).expect("probe");
+            est.observe_probe(&row).expect("probe");
         }
         (est.estimate(0), est.estimate(1))
     };
     let fresh = || {
         let mut est = PipelineEstimator::new(specs.clone(), n).expect("specs");
-        est.feed_build(1, b1.iter()).expect("build upper");
-        est.feed_build(0, b0.iter()).expect("build lower");
+        est.feed_build(1, b1_rows.iter()).expect("build upper");
+        est.feed_build(0, b0_rows.iter()).expect("build lower");
         est
     };
     let mut est = fresh();
@@ -41,7 +43,7 @@ fn run_case(specs: Vec<JoinSpec>, probe: &Table, b0: &Table, b1: &Table) -> (Vec
     let mut ratios = Vec::new();
     let mut next_cp = 0;
     for (i, row) in probe.iter().enumerate() {
-        est.observe_probe(row).expect("probe");
+        est.observe_probe(&row).expect("probe");
         let frac = (i + 1) as f64 / n as f64;
         while next_cp < CHECKPOINTS.len() && frac >= CHECKPOINTS[next_cp] {
             ratios.push(if truth_upper == 0.0 {

@@ -200,6 +200,84 @@ fn quality(
     )
 }
 
+/// Batch-vs-tuple throughput for one workload: the untraced `off`
+/// configuration timed in strict tuple-at-a-time mode (`batch_rows = 1`)
+/// against the vectorized default, interleaved minimum-of-runs.
+struct BatchSpeedup {
+    workload: &'static str,
+    tuples: u64,
+    batch_rows: usize,
+    tuple_time: Duration,
+    batch_time: Duration,
+}
+
+impl BatchSpeedup {
+    fn rows_per_s(tuples: u64, t: Duration) -> f64 {
+        let s = t.as_secs_f64();
+        if s == 0.0 {
+            0.0
+        } else {
+            tuples as f64 / s
+        }
+    }
+
+    fn tuple_rows_per_s(&self) -> f64 {
+        Self::rows_per_s(self.tuples, self.tuple_time)
+    }
+
+    fn batch_rows_per_s(&self) -> f64 {
+        Self::rows_per_s(self.tuples, self.batch_time)
+    }
+
+    fn speedup(&self) -> f64 {
+        let b = self.batch_time.as_secs_f64();
+        if b == 0.0 {
+            0.0
+        } else {
+            self.tuple_time.as_secs_f64() / b
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"workload\":\"{}\",\"tuples\":{},\"batch_rows\":{},\
+             \"tuple_rows_per_s\":{:.0},\"batch_rows_per_s\":{:.0},\
+             \"speedup\":{:.2}}}",
+            self.workload,
+            self.tuples,
+            self.batch_rows,
+            self.tuple_rows_per_s(),
+            self.batch_rows_per_s(),
+            self.speedup(),
+        )
+    }
+}
+
+fn measure_batch_speedup(w: &Workload, runs: usize) -> BatchSpeedup {
+    let tuple_opts = PhysicalOptions {
+        batch_rows: 1,
+        ..opts(EstimationMode::Once)
+    };
+    let batch_opts = opts(EstimationMode::Once);
+    let tuples = drain(compile(&w.plan, &batch_opts).expect("compile"));
+    let closures: Vec<Box<dyn FnMut() + '_>> = vec![
+        Box::new(|| {
+            drain(compile(&w.plan, &tuple_opts).expect("compile"));
+        }),
+        Box::new(|| {
+            drain(compile(&w.plan, &batch_opts).expect("compile"));
+        }),
+    ];
+    let times = interleaved_min_times(runs, closures);
+    BatchSpeedup {
+        workload: w.name,
+        tuples,
+        batch_rows: batch_opts.batch_rows,
+        tuple_time: times[0],
+        batch_time: times[1],
+    }
+}
+
 /// One row of the scorecard matrix.
 struct Entry {
     workload: &'static str,
@@ -337,6 +415,36 @@ fn main() {
         &rows,
     );
 
+    // Batch-vs-tuple throughput: the vectorized engine against strict
+    // per-row mode, per workload, on the untraced fast path.
+    println!("\nmeasuring batch speedup (tuple mode vs batch_rows default)...");
+    let speedups: Vec<BatchSpeedup> = workloads
+        .iter()
+        .map(|w| measure_batch_speedup(w, runs))
+        .collect();
+    let speedup_rows: Vec<Vec<String>> = speedups
+        .iter()
+        .map(|s| {
+            vec![
+                s.workload.to_string(),
+                s.batch_rows.to_string(),
+                format!("{:.0}k/s", s.tuple_rows_per_s() / 1e3),
+                format!("{:.0}k/s", s.batch_rows_per_s() / 1e3),
+                format!("{:.2}x", s.speedup()),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "workload",
+            "batch_rows",
+            "tuple rows/s",
+            "batch rows/s",
+            "speedup",
+        ],
+        &speedup_rows,
+    );
+
     // Aggregate trace overhead across the whole matrix: total best-of-runs
     // traced time vs total untraced time.
     let total = |i: usize| {
@@ -362,11 +470,17 @@ fn main() {
         trace_total * 1e3,
     );
 
+    let min_speedup = speedups
+        .iter()
+        .map(BatchSpeedup::speedup)
+        .fold(f64::INFINITY, f64::min);
     let json = format!(
         "{{\n  \"bench\": \"progress_scorecard\",\n  \"scale\": \"{}\",\n  \
          \"runs\": {runs},\n  \"configs\": [{}],\n  \"entries\": [\n    {}\n  ],\n  \
+         \"batch\": [\n    {}\n  ],\n  \
          \"aggregate\": {{\"trace_overhead_pct\": {aggregate_overhead:.2}, \
-         \"worst_mean_abs_err\": {worst_mean_err:.4}}}\n}}\n",
+         \"worst_mean_abs_err\": {worst_mean_err:.4}, \
+         \"min_batch_speedup\": {min_speedup:.2}}}\n}}\n",
         if scale.full { "full" } else { "quick" },
         CONFIGS
             .iter()
@@ -376,6 +490,11 @@ fn main() {
         entries
             .iter()
             .map(Entry::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n    "),
+        speedups
+            .iter()
+            .map(BatchSpeedup::to_json)
             .collect::<Vec<_>>()
             .join(",\n    "),
     );
@@ -425,5 +544,16 @@ fn main() {
             std::process::exit(1);
         }
         println!("overhead gate: {aggregate_overhead:.2}% <= {bound:.2}% — ok");
+    }
+
+    // Optional CI gate on the vectorization win: every workload's batch
+    // throughput must be at least `bound`× its tuple-at-a-time throughput.
+    if let Ok(bound) = std::env::var("QPROG_BATCH_MIN_SPEEDUP") {
+        let bound: f64 = bound.parse().expect("QPROG_BATCH_MIN_SPEEDUP");
+        if min_speedup < bound {
+            eprintln!("FAIL: batch speedup {min_speedup:.2}x below bound {bound:.2}x");
+            std::process::exit(1);
+        }
+        println!("batch speedup gate: {min_speedup:.2}x >= {bound:.2}x — ok");
     }
 }

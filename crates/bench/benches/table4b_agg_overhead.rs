@@ -15,7 +15,7 @@ use qprog_core::interval::AdaptiveInterval;
 use qprog_datagen::{TpchConfig, TpchGenerator};
 use qprog_exec::metrics::OpMetrics;
 use qprog_exec::ops::agg::{AggEstimation, AggFunc, AggSpec, HashAggregate};
-use qprog_exec::ops::{Operator, TableScan};
+use qprog_exec::ops::TableScan;
 use qprog_storage::Table;
 use qprog_types::{DataType, Field, Schema};
 
@@ -58,11 +58,9 @@ fn run_group_by(orders: &Arc<Table>, tracker: Option<DistinctTracker>, io_us: u6
     if let Some(t) = tracker {
         agg = agg.with_tracker(t);
     }
-    let mut n = 0;
-    while agg.next().expect("agg").is_some() {
-        n += 1;
-    }
-    n
+    qprog_exec::runtime::collect(&mut agg, 1)
+        .expect("agg")
+        .len()
 }
 
 fn main() {

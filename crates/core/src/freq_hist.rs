@@ -18,6 +18,37 @@ use qprog_types::Key;
 
 use crate::fx::FxHashMap;
 
+/// Upper bound on dense-lane slots (8 bytes each, ≤ 8 MiB): integer key
+/// spans wider than this fall back to the hash lane.
+const DENSE_MAX_SLOTS: usize = 1 << 20;
+
+/// Count storage: a contiguous array when the keys are integers in a
+/// bounded span (the common case for synthetic and surrogate keys, and the
+/// layout that makes the per-probe-tuple `N_i` lookup an array read instead
+/// of a hash probe), falling back to a hash map for strings, composites,
+/// and wide integer spans.
+#[derive(Debug, Clone)]
+enum CountLane {
+    /// `slots[(k - lo) as usize]` is the count of `Key::Int(k)`.
+    Dense {
+        lo: i64,
+        slots: Vec<u64>,
+        /// Number of non-zero slots.
+        distinct: usize,
+    },
+    Map(FxHashMap<Key, u64>),
+}
+
+impl Default for CountLane {
+    fn default() -> Self {
+        CountLane::Dense {
+            lo: 0,
+            slots: Vec::new(),
+            distinct: 0,
+        }
+    }
+}
+
 /// An exact frequency histogram over [`Key`]s with incrementally maintained
 /// summary aggregates.
 ///
@@ -38,7 +69,7 @@ use crate::fx::FxHashMap;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct FreqHist {
-    counts: FxHashMap<Key, u64>,
+    counts: CountLane,
     total: u64,
     /// `f_j`: number of distinct values with frequency exactly `j`.
     /// The number of *distinct frequencies* is `O(√t)`, so this stays tiny.
@@ -58,11 +89,109 @@ impl FreqHist {
         FreqHist::default()
     }
 
-    /// An empty histogram with capacity preallocated for `n` distinct keys.
+    /// An empty histogram expecting around `n` distinct keys (sizing hint
+    /// for the fallback hash lane).
     pub fn with_capacity(n: usize) -> Self {
-        FreqHist {
-            counts: FxHashMap::with_capacity_and_hasher(n, Default::default()),
-            ..FreqHist::default()
+        let _ = n; // dense lane sizes itself from the observed key span
+        FreqHist::default()
+    }
+
+    /// Convert the dense lane to the hash lane (non-integer key observed,
+    /// or the integer span outgrew [`DENSE_MAX_SLOTS`]). Counts and every
+    /// derived aggregate are unchanged.
+    fn spill_to_map(&mut self) {
+        if let CountLane::Dense {
+            lo,
+            slots,
+            distinct,
+        } = &self.counts
+        {
+            let mut map: FxHashMap<Key, u64> =
+                FxHashMap::with_capacity_and_hasher(*distinct, Default::default());
+            for (i, &c) in slots.iter().enumerate() {
+                if c > 0 {
+                    map.insert(Key::Int(lo + i as i64), c);
+                }
+            }
+            self.counts = CountLane::Map(map);
+        }
+    }
+
+    /// Add `n` (≥ 1) to `key`'s count, returning the count before. Handles
+    /// lane selection, dense growth, and spill.
+    fn bump(&mut self, key: &Key, n: u64) -> u64 {
+        loop {
+            match &mut self.counts {
+                CountLane::Dense {
+                    lo,
+                    slots,
+                    distinct,
+                } => {
+                    let Key::Int(k) = *key else {
+                        // Bool/Str/Composite keys use the hash lane.
+                        self.spill_to_map();
+                        continue;
+                    };
+                    if slots.is_empty() {
+                        *lo = k;
+                        slots.push(n);
+                        *distinct = 1;
+                        return 0;
+                    }
+                    if k >= *lo && ((k - *lo) as u64) < slots.len() as u64 {
+                        let slot = &mut slots[(k - *lo) as usize];
+                        let before = *slot;
+                        if before == 0 {
+                            *distinct += 1;
+                        }
+                        *slot += n;
+                        return before;
+                    }
+                    // Out of range: grow (with ~25% slack on the extended
+                    // side, capped by the dense budget) or spill.
+                    let hi = *lo as i128 + slots.len() as i128 - 1;
+                    let span = (hi.max(k as i128) - (*lo as i128).min(k as i128) + 1) as u128;
+                    if span > DENSE_MAX_SLOTS as u128 {
+                        self.spill_to_map();
+                        continue;
+                    }
+                    if (k as i128) > hi {
+                        let want = (k as i128 - *lo as i128 + 1) as usize;
+                        let slack = (want / 4).min(DENSE_MAX_SLOTS - want);
+                        // Keep slack within i64 range above `lo`.
+                        let room = (i64::MAX as i128 - *lo as i128 + 1 - want as i128)
+                            .clamp(0, usize::MAX as i128)
+                            as usize;
+                        slots.resize(want + slack.min(room), 0);
+                    } else {
+                        let need = (*lo as i128 - k as i128) as usize;
+                        let want = need + slots.len();
+                        let slack = (want / 4)
+                            .min(DENSE_MAX_SLOTS - want.min(DENSE_MAX_SLOTS))
+                            .min((k as i128 - i64::MIN as i128) as u128 as usize);
+                        let front = need + slack;
+                        let mut grown = vec![0u64; front + slots.len()];
+                        grown[front..].copy_from_slice(slots);
+                        *slots = grown;
+                        *lo -= front as i64;
+                    }
+                    // Re-enter the in-range path.
+                }
+                CountLane::Map(map) => {
+                    let slot = match map.entry(key.clone()) {
+                        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            if let Key::Str(s) = key {
+                                self.key_payload_bytes += s.len();
+                            }
+                            v.insert(0)
+                        }
+                    };
+                    let before = *slot;
+                    *slot += n;
+                    return before;
+                }
+            }
         }
     }
 
@@ -70,33 +199,7 @@ impl FreqHist {
     /// observation (0 for a first occurrence) — exactly the `N_i` transition
     /// the GEE update (Algorithm 2) needs.
     pub fn observe(&mut self, key: &Key) -> u64 {
-        let entry = self.counts.entry(key.clone());
-        let slot = match entry {
-            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-            std::collections::hash_map::Entry::Vacant(v) => {
-                if let Key::Str(s) = key {
-                    self.key_payload_bytes += s.len();
-                }
-                v.insert(0)
-            }
-        };
-        let before = *slot;
-        *slot += 1;
-        self.total += 1;
-        self.sum_sq += 2 * before as u128 + 1; // (c+1)² − c² = 2c+1
-        if before > 0 {
-            let f = self
-                .count_of_counts
-                .get_mut(&before)
-                .expect("count-of-counts must contain the old frequency");
-            *f -= 1;
-            if *f == 0 {
-                self.count_of_counts.remove(&before);
-            }
-        }
-        *self.count_of_counts.entry(before + 1).or_insert(0) += 1;
-        self.max_freq = self.max_freq.max(before + 1);
-        before
+        self.observe_n(key, 1)
     }
 
     /// Record `n` occurrences of `key` at once (used when folding derived
@@ -106,19 +209,8 @@ impl FreqHist {
         if n == 0 {
             return self.count(key);
         }
-        let entry = self.counts.entry(key.clone());
-        let slot = match entry {
-            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-            std::collections::hash_map::Entry::Vacant(v) => {
-                if let Key::Str(s) = key {
-                    self.key_payload_bytes += s.len();
-                }
-                v.insert(0)
-            }
-        };
-        let before = *slot;
+        let before = self.bump(key, n);
         let after = before + n;
-        *slot = after;
         self.total += n;
         self.sum_sq += (after as u128) * (after as u128) - (before as u128) * (before as u128);
         if before > 0 {
@@ -138,7 +230,15 @@ impl FreqHist {
 
     /// Current count `N_i` for `key` (0 if never seen).
     pub fn count(&self, key: &Key) -> u64 {
-        self.counts.get(key).copied().unwrap_or(0)
+        match &self.counts {
+            CountLane::Dense { lo, slots, .. } => match key {
+                Key::Int(k) if *k >= *lo && ((*k - *lo) as u64) < slots.len() as u64 => {
+                    slots[(*k - *lo) as usize]
+                }
+                _ => 0,
+            },
+            CountLane::Map(map) => map.get(key).copied().unwrap_or(0),
+        }
     }
 
     /// Total observations `t`.
@@ -148,7 +248,10 @@ impl FreqHist {
 
     /// Number of distinct values `d`.
     pub fn distinct(&self) -> u64 {
-        self.counts.len() as u64
+        match &self.counts {
+            CountLane::Dense { distinct, .. } => *distinct as u64,
+            CountLane::Map(map) => map.len() as u64,
+        }
     }
 
     /// `f_1`: the number of singleton values.
@@ -177,7 +280,7 @@ impl FreqHist {
     /// Maintained from `t`, `d` and `Σ N_i²`, i.e. O(1) to read — §4.2's
     /// requirement for the online estimator chooser.
     pub fn gamma_squared(&self) -> f64 {
-        let d = self.counts.len() as f64;
+        let d = self.distinct() as f64;
         if d == 0.0 || self.total == 0 {
             return 0.0;
         }
@@ -186,9 +289,26 @@ impl FreqHist {
         (var / (mean * mean)).max(0.0)
     }
 
-    /// Iterate over `(key, count)` pairs (unspecified order).
-    pub fn iter(&self) -> impl Iterator<Item = (&Key, u64)> + '_ {
-        self.counts.iter().map(|(k, &c)| (k, c))
+    /// Iterate over `(key, count)` pairs (unspecified order). Keys are
+    /// yielded by value: the dense lane materializes them from slot indices.
+    pub fn iter(&self) -> impl Iterator<Item = (Key, u64)> + '_ {
+        let (dense, map) = match &self.counts {
+            CountLane::Dense { lo, slots, .. } => (Some((*lo, slots)), None),
+            CountLane::Map(m) => (None, Some(m)),
+        };
+        dense
+            .into_iter()
+            .flat_map(|(lo, slots)| {
+                slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(move |(i, &c)| (Key::Int(lo + i as i64), c))
+            })
+            .chain(
+                map.into_iter()
+                    .flat_map(|m| m.iter().map(|(k, &c)| (k.clone(), c))),
+            )
     }
 
     /// Fold another histogram into this one: every aggregate (`t`, `d`,
@@ -199,24 +319,37 @@ impl FreqHist {
     /// into a histogram identical to the serial build.
     pub fn merge(&mut self, other: &FreqHist) {
         for (key, n) in other.iter() {
-            self.observe_n(key, n);
+            self.observe_n(&key, n);
         }
     }
 
-    /// Bytes of live data: one `(Key, u64)` entry per distinct value plus
-    /// string payloads — the "Mem. Used" column of the paper's Table 2.
+    /// Bytes of live data — the "Mem. Used" column of the paper's Table 2.
+    /// Hash lane: one `(Key, u64)` entry per distinct value plus string
+    /// payloads. Dense lane: one `u64` slot per key in the covered span.
     pub fn memory_used(&self) -> usize {
-        let entry = std::mem::size_of::<Key>() + std::mem::size_of::<u64>();
-        std::mem::size_of::<Self>() + self.counts.len() * entry + self.key_payload_bytes
+        let body = match &self.counts {
+            CountLane::Dense { slots, .. } => slots.len() * std::mem::size_of::<u64>(),
+            CountLane::Map(map) => {
+                let entry = std::mem::size_of::<Key>() + std::mem::size_of::<u64>();
+                map.len() * entry
+            }
+        };
+        std::mem::size_of::<Self>() + body + self.key_payload_bytes
     }
 
-    /// Bytes reserved by the backing hash table (capacity, not length) —
+    /// Bytes reserved by the backing storage (capacity, not length) —
     /// the "Mem. Alloc." column of the paper's Table 2.
     pub fn memory_allocated(&self) -> usize {
-        // std HashMap stores (Key, u64) pairs plus one control byte per slot,
-        // sized to capacity.
-        let slot = std::mem::size_of::<(Key, u64)>() + 1;
-        std::mem::size_of::<Self>() + self.counts.capacity() * slot + self.key_payload_bytes
+        let body = match &self.counts {
+            CountLane::Dense { slots, .. } => slots.capacity() * std::mem::size_of::<u64>(),
+            CountLane::Map(map) => {
+                // Hash table slots hold (Key, u64) pairs plus one control
+                // byte each, sized to capacity.
+                let slot = std::mem::size_of::<(Key, u64)>() + 1;
+                map.capacity() * slot
+            }
+        };
+        std::mem::size_of::<Self>() + body + self.key_payload_bytes
     }
 }
 
@@ -356,7 +489,7 @@ mod tests {
             };
             assert_eq!(sorted(&merged), sorted(&serial));
             for (k, c) in serial.iter() {
-                assert_eq!(merged.count(k), c);
+                assert_eq!(merged.count(&k), c);
             }
         }
     }
@@ -410,5 +543,114 @@ mod tests {
         let h: FreqHist = keys.iter().collect();
         assert_eq!(h.total(), 3);
         assert_eq!(h.distinct(), 2);
+    }
+
+    /// The dense lane must be observationally identical to the hash lane.
+    fn assert_same(a: &FreqHist, b: &FreqHist, keys: &[Key]) {
+        assert_eq!(a.total(), b.total());
+        assert_eq!(a.distinct(), b.distinct());
+        assert_eq!(a.max_frequency(), b.max_frequency());
+        assert_eq!(a.sum_squared_counts(), b.sum_squared_counts());
+        assert_eq!(a.singletons(), b.singletons());
+        let sorted = |h: &FreqHist| {
+            let mut v: Vec<_> = h.frequency_classes().collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sorted(a), sorted(b));
+        for k in keys {
+            assert_eq!(a.count(k), b.count(k));
+        }
+        let pairs = |h: &FreqHist| {
+            let mut v: Vec<_> = h.iter().map(|(k, c)| (format!("{k:?}"), c)).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(pairs(a), pairs(b));
+    }
+
+    #[test]
+    fn dense_lane_front_extension_and_negative_keys() {
+        let seq = [10i64, 500, -3, 10, -3, 0, -100, 499, -3];
+        let mut dense = FreqHist::new();
+        let mut map = FreqHist::new();
+        map.observe(&Key::from("force-map-lane"));
+        let mut befores = Vec::new();
+        for &v in &seq {
+            befores.push((dense.observe(&Key::Int(v)), map.observe(&Key::Int(v))));
+        }
+        for (d, m) in befores {
+            assert_eq!(d, m);
+        }
+        assert_eq!(dense.total(), seq.len() as u64);
+        assert_eq!(dense.count(&Key::Int(-3)), 3);
+        assert_eq!(dense.count(&Key::Int(12345)), 0);
+        assert_eq!(dense.distinct(), 6);
+    }
+
+    #[test]
+    fn dense_lane_spills_on_wide_span() {
+        let mut h = FreqHist::new();
+        h.observe(&Key::Int(0));
+        h.observe(&Key::Int(0));
+        // Span of 10M slots exceeds the dense budget → hash lane.
+        assert_eq!(h.observe(&Key::Int(10_000_000)), 0);
+        assert_eq!(h.count(&Key::Int(0)), 2);
+        assert_eq!(h.count(&Key::Int(10_000_000)), 1);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.distinct(), 2);
+        assert_eq!(h.sum_squared_counts(), 5);
+        // Extreme spans must not overflow the growth arithmetic.
+        h.observe(&Key::Int(i64::MIN));
+        h.observe(&Key::Int(i64::MAX));
+        assert_eq!(h.distinct(), 4);
+    }
+
+    #[test]
+    fn dense_lane_spills_on_mixed_key_types() {
+        let mut h = FreqHist::new();
+        h.observe(&Key::Int(7));
+        h.observe(&Key::Int(7));
+        h.observe(&Key::from("abc"));
+        assert_eq!(h.observe(&Key::Int(7)), 2);
+        assert_eq!(h.count(&Key::from("abc")), 1);
+        assert_eq!(h.distinct(), 2);
+        let mut pairs: Vec<_> = h.iter().map(|(k, c)| (format!("{k:?}"), c)).collect();
+        pairs.sort();
+        assert_eq!(
+            pairs,
+            vec![
+                (format!("{:?}", Key::Int(7)), 3),
+                (format!("{:?}", Key::from("abc")), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn dense_lane_matches_map_lane_under_random_workload() {
+        // Deterministic LCG over a moderate span with duplicates.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut keys = Vec::new();
+        for _ in 0..2000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            keys.push(Key::Int(((state >> 33) % 700) as i64 - 350));
+        }
+        let mut dense = FreqHist::new();
+        let mut map = FreqHist::new();
+        map.observe(&Key::from("force-map-lane"));
+        for k in &keys {
+            dense.observe(k);
+            map.observe_n(k, 1);
+        }
+        // Remove the lane-forcing sentinel's contribution before comparing.
+        let mut map_clean = FreqHist::new();
+        for (k, c) in map.iter() {
+            if !matches!(k, Key::Str(_)) {
+                map_clean.observe_n(&k, c);
+            }
+        }
+        assert_same(&dense, &map_clean, &keys);
     }
 }

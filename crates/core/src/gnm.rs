@@ -100,12 +100,29 @@ impl PipelineProgress {
 #[derive(Debug, Clone)]
 pub struct ProgressSnapshot {
     pipelines: Vec<PipelineProgress>,
+    /// Monotonicity floor: the highest fraction previously reported for
+    /// this query. A concurrent sampler can catch `C(Q)` and `T(Q)` between
+    /// a batch's counter advance and its estimate publication (they live in
+    /// separate atomics), momentarily lowering the raw ratio; the floor
+    /// keeps the *reported* fraction non-decreasing. Zero (the default)
+    /// leaves the raw ratio untouched.
+    floor: f64,
 }
 
 impl ProgressSnapshot {
     /// Assemble a snapshot from per-pipeline summaries.
     pub fn new(pipelines: Vec<PipelineProgress>) -> Self {
-        ProgressSnapshot { pipelines }
+        ProgressSnapshot {
+            pipelines,
+            floor: 0.0,
+        }
+    }
+
+    /// Attach a monotonicity floor: [`fraction`](Self::fraction) reports at
+    /// least this value (clamped to `[0, 1]`).
+    pub fn with_floor(mut self, floor: f64) -> Self {
+        self.floor = floor.clamp(0.0, 1.0);
+        self
     }
 
     /// The per-pipeline summaries.
@@ -123,9 +140,15 @@ impl ProgressSnapshot {
         self.pipelines.iter().map(|p| p.total()).sum()
     }
 
-    /// gnm progress `C(Q)/T(Q)`, clamped to `[0, 1]`. An empty snapshot
-    /// reports 0.
+    /// gnm progress `C(Q)/T(Q)`, clamped to `[0, 1]` and to the
+    /// monotonicity floor (if one was attached). An empty snapshot with no
+    /// floor reports 0.
     pub fn fraction(&self) -> f64 {
+        self.raw_fraction().max(self.floor)
+    }
+
+    /// The unclamped-by-floor ratio `C(Q)/T(Q)` in `[0, 1]`.
+    pub fn raw_fraction(&self) -> f64 {
         let total = self.total();
         if total <= 0.0 {
             return 0.0;
@@ -175,6 +198,19 @@ mod tests {
         let snap = ProgressSnapshot::new(vec![]);
         assert_eq!(snap.fraction(), 0.0);
         assert!(!snap.is_complete());
+    }
+
+    #[test]
+    fn floor_clamps_fraction_from_below_only() {
+        let snap = ProgressSnapshot::new(vec![PipelineProgress::running(0, 25, 100.0)]);
+        assert_eq!(snap.fraction(), 0.25);
+        let floored = snap.clone().with_floor(0.4);
+        assert_eq!(floored.fraction(), 0.4);
+        assert_eq!(floored.raw_fraction(), 0.25);
+        // a floor below the raw ratio changes nothing, and the floor never
+        // pushes past 1.0
+        assert_eq!(snap.clone().with_floor(0.1).fraction(), 0.25);
+        assert_eq!(snap.with_floor(7.0).fraction(), 1.0);
     }
 
     #[test]

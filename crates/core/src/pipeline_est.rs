@@ -32,7 +32,7 @@
 //! the driving stream `C`), join `n−1` is the top. Builds must be fed in
 //! execution order, i.e. top-down (`n−1`, `n−2`, …, `0`).
 
-use qprog_types::{QError, QResult, Row};
+use qprog_types::{Key, QError, QResult, Row};
 
 use crate::confidence::{ConfidenceInterval, RunningMoments};
 use crate::freq_hist::FreqHist;
@@ -117,6 +117,14 @@ pub struct PipelineEstimator {
     /// Per-join multiplicative factor lists, fixed at probe start:
     /// `(join supplying the histogram, probe column for the lookup)`.
     factors: Vec<Vec<(usize, usize)>>,
+    /// Distinct factor pairs across all lists; each is looked up once per
+    /// probe tuple (factor lists overlap heavily in deep pipelines, so the
+    /// naive per-join lookup is quadratic in the chain length).
+    uniq_factors: Vec<(usize, usize)>,
+    /// `factor_idx[u][k]`: position in `uniq_factors` of `factors[u][k]`.
+    factor_idx: Vec<Vec<usize>>,
+    /// Per-tuple scratch of `uniq_factors` histogram counts.
+    counts: Vec<u64>,
     probe_size: u64,
     t: u64,
     phase: Phase,
@@ -168,6 +176,9 @@ impl PipelineEstimator {
             states,
             pending: Vec::new(),
             factors: Vec::new(),
+            uniq_factors: Vec::new(),
+            factor_idx: Vec::new(),
+            counts: Vec::new(),
             probe_size,
             t: 0,
             phase: Phase::AwaitBuild(n - 1),
@@ -228,6 +239,17 @@ impl PipelineEstimator {
 
     /// Feed one build tuple of the current build relation.
     pub fn build_tuple(&mut self, join: usize, row: &Row) -> QResult<()> {
+        self.build_tuple_with(join, |col| row.key(col))
+    }
+
+    /// [`build_tuple`](Self::build_tuple) with the tuple supplied as a
+    /// column-keyed extractor, so vectorized callers feed directly from a
+    /// column batch without materializing a [`Row`].
+    pub fn build_tuple_with(
+        &mut self,
+        join: usize,
+        key_of: impl Fn(usize) -> QResult<Key>,
+    ) -> QResult<()> {
         qprog_fault::fail_point!("core/pipeline/build_tuple");
         if self.phase != Phase::Building(join) {
             return Err(QError::estimation(format!(
@@ -235,13 +257,13 @@ impl PipelineEstimator {
                 self.phase
             )));
         }
-        let build_key = row.key(self.specs[join].build_attr_col)?;
+        let build_key = key_of(self.specs[join].build_attr_col)?;
         // Translate pending upper histograms (Case 2 fold).
         for (u, new_hist) in &mut self.pending {
             let AttrSource::Build { col, .. } = self.states[*u].source else {
                 unreachable!("pending entries are Build-sourced by construction");
             };
-            let carried = row.key(col)?;
+            let carried = key_of(col)?;
             if build_key.is_null() || carried.is_null() {
                 continue;
             }
@@ -325,6 +347,25 @@ impl PipelineEstimator {
                     .collect()
             })
             .collect();
+        // Dedup the factor pairs so each (histogram, column) is looked up
+        // once per probe tuple no matter how many joins it feeds.
+        let mut uniq: Vec<(usize, usize)> = Vec::new();
+        self.factor_idx = self
+            .factors
+            .iter()
+            .map(|list| {
+                list.iter()
+                    .map(|&pair| {
+                        uniq.iter().position(|&q| q == pair).unwrap_or_else(|| {
+                            uniq.push(pair);
+                            uniq.len() - 1
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        self.counts = vec![0; uniq.len()];
+        self.uniq_factors = uniq;
         Ok(())
     }
 
@@ -337,6 +378,13 @@ impl PipelineEstimator {
     /// estimate. This is the per-tuple hot path of the framework — it does
     /// not allocate.
     pub fn observe_probe(&mut self, row: &Row) -> QResult<()> {
+        self.observe_probe_with(|col| row.key(col))
+    }
+
+    /// [`observe_probe`](Self::observe_probe) with the tuple supplied as a
+    /// column-keyed extractor, so vectorized callers feed directly from a
+    /// column batch without materializing a [`Row`].
+    pub fn observe_probe_with(&mut self, key_of: impl Fn(usize) -> QResult<Key>) -> QResult<()> {
         qprog_fault::fail_point!("core/pipeline/observe_probe");
         if self.phase != Phase::Probing {
             return Err(QError::estimation(format!(
@@ -345,17 +393,21 @@ impl PipelineEstimator {
             )));
         }
         self.t += 1;
+        // Histogram count of every distinct factor pair, once per tuple.
+        for i in 0..self.uniq_factors.len() {
+            let (w, col) = self.uniq_factors[i];
+            let key = key_of(col)?;
+            self.counts[i] = if key.is_null() {
+                0
+            } else {
+                self.states[w].hist.count(&key)
+            };
+        }
         let n = self.specs.len();
         for u in 0..n {
             let mut contribution: u128 = 1;
-            for &(w, col) in &self.factors[u] {
-                let key = row.key(col)?;
-                let c = if key.is_null() {
-                    0
-                } else {
-                    self.states[w].hist.count(&key)
-                };
-                contribution = contribution.saturating_mul(c as u128);
+            for &i in &self.factor_idx[u] {
+                contribution = contribution.saturating_mul(self.counts[i] as u128);
                 if contribution == 0 {
                     break;
                 }

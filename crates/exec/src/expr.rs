@@ -2,7 +2,41 @@
 
 use std::fmt;
 
-use qprog_types::{DataType, QError, QResult, Row, Schema, Value};
+use qprog_types::{DataType, QError, QResult, Row, RowBatch, Schema, Value};
+
+/// Column access abstraction so one evaluator serves both owned [`Row`]s
+/// and rows of a column-major [`RowBatch`] (the vectorized operators
+/// evaluate in place, without materializing rows).
+trait Cols {
+    fn col_value(&self, i: usize) -> QResult<&Value>;
+}
+
+impl Cols for Row {
+    #[inline]
+    fn col_value(&self, i: usize) -> QResult<&Value> {
+        self.get(i)
+    }
+}
+
+/// One row of a batch, viewed as a column accessor.
+struct BatchRow<'a> {
+    batch: &'a RowBatch,
+    row: usize,
+}
+
+impl Cols for BatchRow<'_> {
+    #[inline]
+    fn col_value(&self, i: usize) -> QResult<&Value> {
+        if i < self.batch.arity() {
+            Ok(self.batch.value(self.row, i))
+        } else {
+            Err(QError::internal(format!(
+                "column {i} out of bounds for arity {}",
+                self.batch.arity()
+            )))
+        }
+    }
+}
 
 /// Binary operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,10 +128,20 @@ impl Expr {
 
     /// Evaluate against a row.
     pub fn eval(&self, row: &Row) -> QResult<Value> {
+        self.eval_cols(row)
+    }
+
+    /// Evaluate against row `row` of a column-major batch (no row
+    /// materialization).
+    pub fn eval_at(&self, batch: &RowBatch, row: usize) -> QResult<Value> {
+        self.eval_cols(&BatchRow { batch, row })
+    }
+
+    fn eval_cols<C: Cols>(&self, cols: &C) -> QResult<Value> {
         match self {
-            Expr::Column(i) => row.get(*i).cloned(),
+            Expr::Column(i) => cols.col_value(*i).cloned(),
             Expr::Literal(v) => Ok(v.clone()),
-            Expr::Not(e) => match e.eval(row)? {
+            Expr::Not(e) => match e.eval_cols(cols)? {
                 Value::Null => Ok(Value::Null),
                 Value::Bool(b) => Ok(Value::Bool(!b)),
                 other => Err(QError::type_err(format!(
@@ -106,18 +150,18 @@ impl Expr {
                 ))),
             },
             Expr::IsNull { expr, negate } => {
-                let isnull = expr.eval(row)?.is_null();
+                let isnull = expr.eval_cols(cols)?.is_null();
                 Ok(Value::Bool(isnull != *negate))
             }
             Expr::Binary { op, left, right } => {
-                let l = left.eval(row)?;
+                let l = left.eval_cols(cols)?;
                 // Short-circuit three-valued AND/OR.
                 match op {
-                    BinOp::And => return eval_and(&l, || right.eval(row)),
-                    BinOp::Or => return eval_or(&l, || right.eval(row)),
+                    BinOp::And => return eval_and(&l, || right.eval_cols(cols)),
+                    BinOp::Or => return eval_or(&l, || right.eval_cols(cols)),
                     _ => {}
                 }
-                let r = right.eval(row)?;
+                let r = right.eval_cols(cols)?;
                 eval_scalar_binary(*op, &l, &r)
             }
         }
@@ -125,14 +169,13 @@ impl Expr {
 
     /// Evaluate as a WHERE-clause predicate: NULL is treated as false.
     pub fn eval_predicate(&self, row: &Row) -> QResult<bool> {
-        match self.eval(row)? {
-            Value::Bool(b) => Ok(b),
-            Value::Null => Ok(false),
-            other => Err(QError::type_err(format!(
-                "predicate must be BOOLEAN, got {}",
-                other.data_type()
-            ))),
-        }
+        predicate_truth(self.eval(row)?)
+    }
+
+    /// [`eval_predicate`](Self::eval_predicate) against row `row` of a
+    /// batch.
+    pub fn eval_predicate_at(&self, batch: &RowBatch, row: usize) -> QResult<bool> {
+        predicate_truth(self.eval_at(batch, row)?)
     }
 
     /// Static result type against an input schema (for planning).
@@ -177,6 +220,17 @@ impl Expr {
                 right.collect_columns(out);
             }
         }
+    }
+}
+
+fn predicate_truth(v: Value) -> QResult<bool> {
+    match v {
+        Value::Bool(b) => Ok(b),
+        Value::Null => Ok(false),
+        other => Err(QError::type_err(format!(
+            "predicate must be BOOLEAN, got {}",
+            other.data_type()
+        ))),
     }
 }
 
@@ -418,5 +472,21 @@ mod tests {
     fn predicate_rejects_non_boolean() {
         let e = Expr::binary(BinOp::Add, Expr::col(0), Expr::lit(1i64));
         assert!(e.eval_predicate(&r()).is_err());
+    }
+
+    #[test]
+    fn batch_eval_matches_row_eval() {
+        let mut b = RowBatch::with_capacity(4, 2);
+        b.push_row(r());
+        b.push_row(row![3i64, 0.5, "xyz", false]);
+        let e = Expr::binary(BinOp::Gt, Expr::col(0), Expr::lit(5i64));
+        for i in 0..b.len() {
+            assert_eq!(e.eval_at(&b, i).unwrap(), e.eval(&b.row(i)).unwrap());
+            assert_eq!(
+                e.eval_predicate_at(&b, i).unwrap(),
+                e.eval_predicate(&b.row(i)).unwrap()
+            );
+        }
+        assert!(Expr::col(9).eval_at(&b, 0).is_err());
     }
 }

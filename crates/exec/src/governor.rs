@@ -210,10 +210,14 @@ pub fn guarded<R>(f: impl FnOnce() -> QResult<R>) -> QResult<R> {
     }
 }
 
-/// Run a single `next()` inside a panic boundary (for Volcano-style
-/// stepping, where there is no loop to wrap — see [`guarded`] for drains).
-pub fn guarded_next(op: &mut dyn crate::ops::Operator) -> QResult<Option<qprog_types::Row>> {
-    guarded(|| op.next())
+/// Run a single `next_batch()` inside a panic boundary (for stepping
+/// drivers that refill one batch at a time, where there is no loop to wrap
+/// — see [`guarded`] for drains).
+pub fn guarded_next_batch(
+    op: &mut dyn crate::ops::Operator,
+    out: &mut qprog_types::RowBatch,
+) -> QResult<qprog_types::BatchStatus> {
+    guarded(|| op.next_batch(out))
 }
 
 #[cfg(test)]

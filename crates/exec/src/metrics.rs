@@ -225,6 +225,22 @@ impl OpMetrics {
         }
     }
 
+    /// Record `n` emitted tuples at once — the batch-boundary form of
+    /// [`record_emitted`](Self::record_emitted). One atomic add per batch;
+    /// [`TraceHandle::tick`] already handles multi-unit advances (it stamps
+    /// whenever the counter crosses a stride boundary), so wall-span
+    /// attribution is unchanged.
+    #[inline]
+    pub fn record_emitted_n(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let prev = self.emitted.fetch_add(n, Ordering::Relaxed);
+        if let Some(t) = &self.trace {
+            t.tick(prev, n);
+        }
+    }
+
     /// Cooperative lifecycle checkpoint: charge `units` tuples of work to
     /// the query's [`Governor`], failing fast on cancellation, deadline
     /// expiry, or a row-budget breach. A single branch when no governor is
@@ -582,6 +598,27 @@ mod tests {
         let free = OpMetrics::with_initial_estimate(0.0);
         free.checkpoint(1).unwrap();
         assert!(free.governor().is_none());
+    }
+
+    #[test]
+    fn wall_span_is_stamped_by_multi_unit_advances() {
+        // Batch execution advances counters by whole batches (e.g. 1024 ≫
+        // the 64-unit stamp stride); the wall span must still be anchored
+        // by the first unit and extended across every boundary crossing.
+        let bus = crate::trace::EventBus::builder().build();
+        let m = OpMetrics::with_initial_estimate_traced(0.0, Arc::clone(&bus), 0);
+        assert_eq!(m.wall_us(), None);
+        m.record_emitted_n(1024);
+        assert!(m.wall_us().is_some(), "first batch must stamp the span");
+        m.record_emitted_n(1024);
+        assert!(m.wall_us().is_some());
+        // Sub-stride advances past the first unit also keep a valid span.
+        let m2 = OpMetrics::with_initial_estimate_traced(0.0, bus, 1);
+        m2.record_driver(3);
+        assert!(
+            m2.wall_us().is_some(),
+            "first units stamp even below stride"
+        );
     }
 
     #[test]

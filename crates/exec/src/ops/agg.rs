@@ -8,12 +8,14 @@
 //! [`HashJoin::with_agg_pushdown`](crate::ops::hash_join::HashJoin::with_agg_pushdown))
 //! and this operator merely publishes the shared tracker's estimates.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::sync::Mutex;
 use qprog_core::distinct::DistinctTracker;
-use qprog_types::{CompositeKey, DataType, QError, QResult, Row, SchemaRef, Value};
+use qprog_core::fx::FxHashMap;
+use qprog_types::{
+    BatchStatus, CompositeKey, DataType, Key, QError, QResult, Row, RowBatch, SchemaRef, Value,
+};
 
 use crate::metrics::OpMetrics;
 use crate::ops::sort::{compare_rows, SortKey};
@@ -102,6 +104,12 @@ impl Acc {
             Some(c) => Some(row.get(c)?),
             None => None,
         };
+        self.update_value(func, value)
+    }
+
+    /// Core accumulator step over an already-fetched value (the batch path
+    /// reads column-major storage directly, without materializing rows).
+    fn update_value(&mut self, func: AggFunc, value: Option<&Value>) -> QResult<()> {
         match (self, func) {
             (Acc::Count(n), AggFunc::CountStar) => *n += 1,
             (Acc::Count(n), AggFunc::Count) => {
@@ -294,7 +302,7 @@ impl HashAggregate {
         self
     }
 
-    fn consume(&mut self) -> QResult<Vec<Row>> {
+    fn consume(&mut self, batch_cap: usize) -> QResult<Vec<Row>> {
         self.metrics.trace_phase(Phase::Init, Phase::Accumulate);
         let input_schema = self.input.schema();
         let input_types: Vec<Option<DataType>> = self
@@ -305,34 +313,78 @@ impl HashAggregate {
                     .and_then(|c| input_schema.field(c).ok().map(|f| f.data_type))
             })
             .collect();
-        let mut groups: HashMap<CompositeKey, (Row, Vec<Acc>)> = HashMap::new();
-        let mut consumed: u64 = 0;
-        while let Some(row) = self.input.next()? {
-            self.metrics.checkpoint(1)?;
-            qprog_fault::fail_point!("exec/agg/accumulate");
-            consumed += 1;
-            self.metrics.record_driver(1);
-            let key = row.composite_key(&self.group_cols)?;
-            if let Some(tracker) = &mut self.tracker {
-                tracker.observe(&key.0[0]);
-                self.metrics.set_estimated_total(tracker.estimate());
-            } else if let AggEstimation::Pushdown(shared) = &self.estimation {
-                self.metrics.set_estimated_total(shared.lock().estimate());
+        for spec in &self.aggs {
+            if let Some(c) = spec.col {
+                if c >= input_schema.arity() {
+                    return Err(QError::internal(format!(
+                        "aggregate column {c} out of bounds for arity {}",
+                        input_schema.arity()
+                    )));
+                }
             }
-            let entry = groups.entry(key).or_insert_with(|| {
-                let group_vals = row
-                    .project(&self.group_cols)
-                    .expect("group columns validated by composite_key");
-                let accs = self
-                    .aggs
-                    .iter()
-                    .zip(&input_types)
-                    .map(|(a, t)| Acc::new(a.func, *t))
-                    .collect();
-                (group_vals, accs)
-            });
-            for (i, spec) in self.aggs.iter().enumerate() {
-                entry.1[i].update(spec.func, &row, spec.col)?;
+        }
+        let mut groups: FxHashMap<CompositeKey, (Row, Vec<Acc>)> = FxHashMap::default();
+        // Reused per-row key scratch: hits resolve through a borrowed
+        // `&[Key]` lookup (see `CompositeKey: Borrow<[Key]>`), so only the
+        // first row of each group allocates a boxed key.
+        let mut key_buf: Vec<Key> = Vec::with_capacity(self.group_cols.len());
+        let mut scratch = RowBatch::with_capacity(input_schema.arity(), batch_cap);
+        loop {
+            let status = self.input.next_batch(&mut scratch)?;
+            let n = scratch.len();
+            if n > 0 {
+                self.metrics.checkpoint(n as u64)?;
+                qprog_fault::fail_point!("exec/agg/accumulate");
+                self.metrics.record_driver(n as u64);
+            }
+            for r in 0..n {
+                key_buf.clear();
+                for &c in &self.group_cols {
+                    key_buf.push(scratch.key(r, c)?);
+                }
+                if let Some(tracker) = &mut self.tracker {
+                    tracker.observe(&key_buf[0]);
+                }
+                if let Some((_, accs)) = groups.get_mut(key_buf.as_slice()) {
+                    for (i, spec) in self.aggs.iter().enumerate() {
+                        let value = spec.col.map(|c| scratch.value(r, c));
+                        accs[i].update_value(spec.func, value)?;
+                    }
+                } else {
+                    let group_vals = Row::new(
+                        self.group_cols
+                            .iter()
+                            .map(|&c| scratch.value(r, c).clone())
+                            .collect(),
+                    );
+                    let mut accs: Vec<Acc> = self
+                        .aggs
+                        .iter()
+                        .zip(&input_types)
+                        .map(|(a, t)| Acc::new(a.func, *t))
+                        .collect();
+                    for (i, spec) in self.aggs.iter().enumerate() {
+                        let value = spec.col.map(|c| scratch.value(r, c));
+                        accs[i].update_value(spec.func, value)?;
+                    }
+                    let key = CompositeKey(key_buf.as_slice().into());
+                    groups.insert(key, (group_vals, accs));
+                }
+            }
+            // Estimates are published once per batch, after K_i has been
+            // advanced for the whole batch: a concurrent fraction sample
+            // never sees N_i rise while K_i is stalled mid-batch (the
+            // monotonicity contract). At batch_rows = 1 this is the exact
+            // per-row publish sequence of the serial engine.
+            if n > 0 {
+                if let Some(tracker) = &self.tracker {
+                    self.metrics.set_estimated_total(tracker.estimate());
+                } else if let AggEstimation::Pushdown(shared) = &self.estimation {
+                    self.metrics.set_estimated_total(shared.lock().estimate());
+                }
+            }
+            if status.is_exhausted() {
+                break;
             }
         }
         // Global aggregation over an empty input still yields one row.
@@ -345,7 +397,6 @@ impl HashAggregate {
                 .collect();
             groups.insert(CompositeKey(Box::new([])), (Row::default(), accs));
         }
-        let _ = consumed;
         // The consume phase has enumerated the groups: exact cardinality.
         self.metrics.set_estimated_total(groups.len() as f64);
 
@@ -378,27 +429,33 @@ impl Operator for HashAggregate {
         Arc::clone(&self.schema)
     }
 
-    fn next(&mut self) -> QResult<Option<Row>> {
+    fn next_batch(&mut self, out: &mut RowBatch) -> QResult<BatchStatus> {
+        out.clear();
         loop {
             match &mut self.state {
                 AState::Consuming => {
-                    let rows = self.consume()?;
+                    let rows = self.consume(out.capacity())?;
                     self.metrics.trace_phase(Phase::Accumulate, Phase::Emit);
                     self.state = AState::Emitting {
                         rows: rows.into_iter(),
                     };
                 }
-                AState::Emitting { rows } => match rows.next() {
-                    Some(r) => {
-                        self.metrics.record_emitted();
-                        return Ok(Some(r));
+                AState::Emitting { rows } => {
+                    while !out.is_full() {
+                        match rows.next() {
+                            Some(r) => out.push_row(r),
+                            None => {
+                                self.metrics.record_emitted_n(out.len() as u64);
+                                self.metrics.mark_finished();
+                                self.state = AState::Done;
+                                return Ok(BatchStatus::Exhausted);
+                            }
+                        }
                     }
-                    None => {
-                        self.metrics.mark_finished();
-                        self.state = AState::Done;
-                    }
-                },
-                AState::Done => return Ok(None),
+                    self.metrics.record_emitted_n(out.len() as u64);
+                    return Ok(BatchStatus::HasMore);
+                }
+                AState::Done => return Ok(BatchStatus::Exhausted),
             }
         }
     }

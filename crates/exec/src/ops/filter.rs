@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use qprog_core::dne::DneEstimator;
-use qprog_types::{QResult, Row, SchemaRef};
+use qprog_types::{BatchStatus, QResult, RowBatch, SchemaRef};
 
 use crate::expr::Expr;
 use crate::metrics::OpMetrics;
@@ -20,6 +20,9 @@ pub struct Filter {
     metrics: Arc<OpMetrics>,
     /// dne refinement over (input consumed, output emitted).
     dne: Option<DneEstimator>,
+    /// Reused input batch; bounded by the output's remaining room so a
+    /// fully-selective batch can never overflow `out`.
+    scratch: Option<RowBatch>,
     done: bool,
 }
 
@@ -31,6 +34,7 @@ impl Filter {
             predicate,
             metrics,
             dne: None,
+            scratch: None,
             done: false,
         }
     }
@@ -48,33 +52,48 @@ impl Operator for Filter {
         self.input.schema()
     }
 
-    fn next(&mut self) -> QResult<Option<Row>> {
+    fn next_batch(&mut self, out: &mut RowBatch) -> QResult<BatchStatus> {
+        out.clear();
         if self.done {
-            return Ok(None);
+            return Ok(BatchStatus::Exhausted);
+        }
+        if self.scratch.is_none() {
+            let arity = self.input.schema().arity();
+            self.scratch = Some(RowBatch::with_capacity(arity, out.capacity()));
         }
         loop {
-            match self.input.next()? {
-                None => {
-                    self.done = true;
-                    self.metrics.mark_finished();
-                    return Ok(None);
+            let scratch = self.scratch.as_mut().expect("scratch just ensured");
+            scratch.clear();
+            scratch.set_capacity(out.remaining());
+            let status = self.input.next_batch(scratch)?;
+            let n = scratch.len();
+            let mut matched = 0u64;
+            for r in 0..n {
+                if let Some(dne) = &mut self.dne {
+                    dne.observe_driver(1);
                 }
-                Some(row) => {
+                if self.predicate.eval_predicate_at(scratch, r)? {
+                    out.push_from(scratch, r);
+                    matched += 1;
                     if let Some(dne) = &mut self.dne {
-                        dne.observe_driver(1);
-                    }
-                    self.metrics.record_driver(1);
-                    if self.predicate.eval_predicate(&row)? {
-                        self.metrics.record_emitted();
-                        if let Some(dne) = &mut self.dne {
-                            dne.observe_output(1);
-                            self.metrics.set_estimated_total(dne.estimate());
-                        }
-                        return Ok(Some(row));
-                    } else if let Some(dne) = &self.dne {
-                        self.metrics.set_estimated_total(dne.estimate());
+                        dne.observe_output(1);
                     }
                 }
+            }
+            if n > 0 {
+                self.metrics.record_driver(n as u64);
+                self.metrics.record_emitted_n(matched);
+                if let Some(dne) = &self.dne {
+                    self.metrics.set_estimated_total(dne.estimate());
+                }
+            }
+            if status.is_exhausted() {
+                self.done = true;
+                self.metrics.mark_finished();
+                return Ok(BatchStatus::Exhausted);
+            }
+            if out.is_full() {
+                return Ok(BatchStatus::HasMore);
             }
         }
     }
@@ -118,9 +137,11 @@ mod tests {
         let m = OpMetrics::with_initial_estimate(123.0);
         let mut f = Filter::new(scan(&vals), pred, Arc::clone(&m)).with_dne(1000, 123.0);
         // consume 100 rows of output (first 100 input rows all match)
+        let mut src = crate::ops::RowSource::new(&mut f);
         for _ in 0..100 {
-            f.next().unwrap().unwrap();
+            src.next_row().unwrap().unwrap();
         }
+        drop(src);
         // driver has consumed 100, output 100 → dne extrapolates 1000
         assert!((m.estimated_total() - 1000.0).abs() < 1e-6);
         let rest = drain(&mut f);
@@ -133,8 +154,9 @@ mod tests {
         let m = OpMetrics::with_initial_estimate(0.0);
         let pred = Expr::lit(true);
         let mut f = Filter::new(scan(&[]), pred, m);
-        assert!(f.next().unwrap().is_none());
-        assert!(f.next().unwrap().is_none());
+        let mut src = crate::ops::RowSource::new(&mut f);
+        assert!(src.next_row().unwrap().is_none());
+        assert!(src.next_row().unwrap().is_none());
     }
 
     #[test]
@@ -142,6 +164,25 @@ mod tests {
         let m = OpMetrics::with_initial_estimate(0.0);
         let pred = Expr::col(0); // BIGINT, not BOOLEAN
         let mut f = Filter::new(scan(&[1]), pred, m);
-        assert!(f.next().is_err());
+        assert!(crate::ops::RowSource::new(&mut f).next_row().is_err());
+    }
+
+    #[test]
+    fn wide_batches_match_strict_mode() {
+        let pred = Expr::binary(BinOp::Lt, Expr::col(0), Expr::lit(500i64));
+        let vals: Vec<i64> = (0..1000).rev().collect();
+        let strict = {
+            let m = OpMetrics::with_initial_estimate(0.0);
+            let mut f = Filter::new(scan(&vals), pred.clone(), Arc::clone(&m)).with_dne(1000, 0.0);
+            let rows = drain(&mut f);
+            (col_i64(&rows, 0), m.estimated_total())
+        };
+        let wide = {
+            let m = OpMetrics::with_initial_estimate(0.0);
+            let mut f = Filter::new(scan(&vals), pred, Arc::clone(&m)).with_dne(1000, 0.0);
+            let rows = crate::ops::test_util::drain_batched(&mut f, 64);
+            (col_i64(&rows, 0), m.estimated_total())
+        };
+        assert_eq!(strict, wide);
     }
 }

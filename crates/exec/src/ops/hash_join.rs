@@ -14,12 +14,21 @@
 //!    emerges clustered by key — the reordering that makes the `dne`/`byte`
 //!    baselines (which watch this phase) fluctuate under skew (Fig. 4).
 //!
+//! All three phases are columnar: partitions are [`RowBatch`] accumulators
+//! filled by selection-vector gathers, the per-partition tables map keys to
+//! build-row indices, and an inner join emits whole batches of
+//! `(build, probe)` pairs with one column-wise gather. Estimation, governor
+//! checkpoints, and metrics are accounted **per batch** — the `K_i` deltas
+//! of a batch are summed and applied at its boundary, so published
+//! fractions and converged estimates are identical to the per-tuple
+//! engine, which a capacity-1 batch reproduces exactly.
+//!
 //! In a pipeline of hash joins, all joins share a
 //! [`PipelineHandle`]; each feeds its build tuples to the shared
 //! [`PipelineEstimator`] and the lowest join drives probe observation
-//! (Algorithm 1 push-down, §4.1.4).
+//! (Algorithm 1 push-down, §4.1.4), locking the shared state once per
+//! batch.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -29,9 +38,10 @@ use qprog_core::byte::ByteEstimator;
 use qprog_core::distinct::DistinctTracker;
 use qprog_core::dne::DneEstimator;
 use qprog_core::freq_hist::FreqHist;
+use qprog_core::fx::FxHashMap;
 use qprog_core::join_est::{JoinKind, OnceJoinEstimator, ProbeFragment};
 use qprog_core::pipeline_est::PipelineEstimator;
-use qprog_types::{Key, QError, QResult, Row, SchemaRef};
+use qprog_types::{BatchStatus, Key, QError, QResult, Row, RowBatch, SchemaRef};
 
 use crate::metrics::OpMetrics;
 use crate::ops::{partition_of, BoxedOp, Operator, PUBLISH_EVERY};
@@ -99,10 +109,12 @@ enum JState {
     /// Joining partition `part`; `probe_pos` indexes its probe rows.
     Joining {
         part: usize,
-        table: HashMap<Key, Vec<usize>>,
+        /// Build-row indices (into the partition's batch) per key.
+        table: FxHashMap<Key, Vec<u32>>,
         probe_pos: usize,
-        /// Pending matches: (build row indices, probe row) with cursor.
-        pending: Option<(Vec<usize>, Row, usize)>,
+        /// Partially emitted match group: (probe row index, cursor into
+        /// its match list) — resumes when the output batch filled mid-group.
+        pending: Option<(usize, usize)>,
     },
     Done,
 }
@@ -127,8 +139,11 @@ pub struct HashJoin {
     /// Degree of parallelism for the build/probe drains (1 = the serial
     /// engine, byte-for-byte).
     threads: usize,
-    build_parts: Vec<Vec<Row>>,
-    probe_parts: Vec<Vec<Row>>,
+    /// Columnar partition accumulators, filled by gathers.
+    build_parts: Vec<RowBatch>,
+    probe_parts: Vec<RowBatch>,
+    /// Reused `(build row, probe row)` gather list for inner-join output.
+    pair_buf: Vec<(u32, u32)>,
     once: Option<OnceJoinEstimator>,
     dne: Option<DneEstimator>,
     byte: Option<ByteEstimator>,
@@ -165,6 +180,7 @@ impl HashJoin {
             threads: 1,
             build_parts: Vec::new(),
             probe_parts: Vec::new(),
+            pair_buf: Vec::new(),
             once: None,
             dne: None,
             byte: None,
@@ -248,7 +264,7 @@ impl HashJoin {
     }
 
     /// Run the build and probe-partitioning phases.
-    fn preprocess(&mut self) -> QResult<()> {
+    fn preprocess(&mut self, batch_cap: usize) -> QResult<()> {
         let mut build = self
             .build
             .take()
@@ -257,9 +273,15 @@ impl HashJoin {
             .probe
             .take()
             .ok_or_else(|| QError::internal("hash join probe input consumed twice"))?;
+        let build_arity = build.schema().arity();
+        let probe_arity = probe.schema().arity();
 
-        self.build_parts = (0..self.num_partitions).map(|_| Vec::new()).collect();
-        self.probe_parts = (0..self.num_partitions).map(|_| Vec::new()).collect();
+        self.build_parts = (0..self.num_partitions)
+            .map(|_| RowBatch::accumulator(build_arity))
+            .collect();
+        self.probe_parts = (0..self.num_partitions)
+            .map(|_| RowBatch::accumulator(probe_arity))
+            .collect();
 
         // ---- Build phase ----
         self.metrics.trace_phase(Phase::Init, Phase::Build);
@@ -281,7 +303,8 @@ impl HashJoin {
             None
         };
         if let Some(subs) = split_build {
-            build_hist = self.drain_build_parallel(subs, build_hist.is_some(), &mut worker_busy)?;
+            build_hist =
+                self.drain_build_parallel(subs, build_hist.is_some(), batch_cap, &mut worker_busy)?;
             // The soft histogram budget is checked on the *merged* histogram:
             // workers accumulate disjoint fragments, so the serial path's
             // mid-build degradation point has no parallel equivalent, but
@@ -297,34 +320,65 @@ impl HashJoin {
                 }
             }
         } else {
-            while let Some(row) = build.next()? {
-                self.metrics.checkpoint(1)?;
-                qprog_fault::fail_point!("exec/hash_build/insert");
-                let key = row.key(self.build_key)?;
-                if key.is_null() {
-                    continue; // NULL keys never equi-join
+            let mut scratch = RowBatch::with_capacity(build_arity, batch_cap);
+            let mut sel: Vec<Vec<usize>> = (0..self.num_partitions).map(|_| Vec::new()).collect();
+            loop {
+                let status = build.next_batch(&mut scratch)?;
+                let n = scratch.len();
+                if n > 0 {
+                    self.metrics.checkpoint(n as u64)?;
+                    qprog_fault::fail_point!("exec/hash_build/insert");
                 }
-                if let Some(h) = &mut build_hist {
-                    h.observe(&key);
-                    // Soft histogram-memory budget: degrade the estimator one
-                    // rung (exact frequency histogram → dne baseline) instead
-                    // of aborting the query (ladder documented in DESIGN.md §5).
-                    if self.metrics.hist_budget_exceeded(h.memory_allocated()) {
-                        build_hist = None;
-                        self.estimation = JoinEstimation::Dne {
-                            optimizer_estimate: self.metrics.estimated_total(),
-                        };
-                        self.metrics.trace_degraded(DegradeReason::HistogramMemory);
-                    }
+                for s in &mut sel {
+                    s.clear();
                 }
                 if let JoinEstimation::Pipeline {
                     handle, join_index, ..
                 } = &self.estimation
                 {
-                    handle.lock().estimator.build_tuple(*join_index, &row)?;
+                    // One shared-state lock per batch; the estimator sees
+                    // rows in scan order, exactly as per-tuple execution.
+                    let mut shared = handle.lock();
+                    for r in 0..n {
+                        let key = scratch.key(r, self.build_key)?;
+                        if key.is_null() {
+                            continue; // NULL keys never equi-join
+                        }
+                        shared
+                            .estimator
+                            .build_tuple_with(*join_index, |col| scratch.key(r, col))?;
+                        sel[partition_of(&key, self.num_partitions)].push(r);
+                    }
+                } else {
+                    for r in 0..n {
+                        let key = scratch.key(r, self.build_key)?;
+                        if key.is_null() {
+                            continue; // NULL keys never equi-join
+                        }
+                        if let Some(h) = &mut build_hist {
+                            h.observe(&key);
+                            // Soft histogram-memory budget: degrade the estimator one
+                            // rung (exact frequency histogram → dne baseline) instead
+                            // of aborting the query (ladder documented in DESIGN.md §5).
+                            if self.metrics.hist_budget_exceeded(h.memory_allocated()) {
+                                build_hist = None;
+                                self.estimation = JoinEstimation::Dne {
+                                    optimizer_estimate: self.metrics.estimated_total(),
+                                };
+                                self.metrics.trace_degraded(DegradeReason::HistogramMemory);
+                            }
+                        }
+                        sel[partition_of(&key, self.num_partitions)].push(r);
+                    }
                 }
-                let p = partition_of(&key, self.num_partitions);
-                self.build_parts[p].push(row);
+                for (p, s) in sel.iter().enumerate() {
+                    if !s.is_empty() {
+                        self.build_parts[p].gather_from(&scratch, s);
+                    }
+                }
+                if status.is_exhausted() {
+                    break;
+                }
             }
         }
         if let JoinEstimation::Pipeline {
@@ -343,9 +397,6 @@ impl HashJoin {
 
         // ---- Probe partitioning phase ----
         self.metrics.trace_phase(Phase::Build, Phase::Probe);
-        // Estimates are published (and the push-down tracker's input size
-        // refreshed) in batches: per-tuple publication is measurable
-        // overhead for a monitor that polls far less often anyway.
         let mut probe_rows: u64 = 0;
         let split_probe = if width > 1 {
             probe.try_split(width)
@@ -353,48 +404,81 @@ impl HashJoin {
             None
         };
         if let Some(subs) = split_probe {
-            probe_rows = self.drain_probe_parallel(subs, &mut worker_busy)?;
+            probe_rows = self.drain_probe_parallel(subs, batch_cap, &mut worker_busy)?;
         } else {
-            while let Some(row) = probe.next()? {
-                self.metrics.checkpoint(1)?;
-                qprog_fault::fail_point!("exec/hash_probe/observe");
-                probe_rows += 1;
-                let publish = probe_rows.is_multiple_of(PUBLISH_EVERY);
-                let key = row.key(self.probe_key)?;
-                if let Some(once) = &mut self.once {
-                    let mult = once.observe_probe(&key);
-                    if publish {
+            let keep_nulls = matches!(self.kind, JoinKind::LeftOuter | JoinKind::Anti);
+            let mut scratch = RowBatch::with_capacity(probe_arity, batch_cap);
+            let mut sel: Vec<Vec<usize>> = (0..self.num_partitions).map(|_| Vec::new()).collect();
+            // Per-batch (key, multiplicity) staging for the push-down
+            // tracker, applied under one lock per batch.
+            let mut agg_buf: Vec<(Key, u64)> = Vec::new();
+            loop {
+                let status = probe.next_batch(&mut scratch)?;
+                let n = scratch.len();
+                if n > 0 {
+                    self.metrics.checkpoint(n as u64)?;
+                    qprog_fault::fail_point!("exec/hash_probe/observe");
+                }
+                for s in &mut sel {
+                    s.clear();
+                }
+                for r in 0..n {
+                    probe_rows += 1;
+                    let key = scratch.key(r, self.probe_key)?;
+                    if let Some(once) = &mut self.once {
+                        let mult = once.observe_probe(&key);
+                        if mult > 0 && self.agg_pushdown.is_some() {
+                            agg_buf.push((key.clone(), mult));
+                        }
+                    }
+                    if key.is_null() {
+                        if keep_nulls {
+                            self.null_probe_rows.push(scratch.row(r));
+                        }
+                        continue;
+                    }
+                    sel[partition_of(&key, self.num_partitions)].push(r);
+                }
+                // Algorithm-1 push-down: the lowest join feeds the shared
+                // estimator under one lock per batch, in scan order.
+                if n > 0 {
+                    if let JoinEstimation::Pipeline {
+                        handle,
+                        lowest: true,
+                        ..
+                    } = &self.estimation
+                    {
+                        let mut shared = handle.lock();
+                        for r in 0..n {
+                            shared
+                                .estimator
+                                .observe_probe_with(|col| scratch.key(r, col))?;
+                        }
+                        shared.publish();
+                    }
+                    // Batch-boundary estimate publication — the per-tuple
+                    // cadence of the paper when `batch_rows = 1`.
+                    if let Some(once) = &mut self.once {
                         self.metrics.set_estimated_total(once.estimate());
                         let ci = once.confidence_interval(CI_Z);
                         self.metrics.set_estimated_bounds(ci.lo, ci.hi);
-                    }
-                    if let Some(tracker) = &self.agg_pushdown {
-                        let mut t = tracker.lock();
-                        if mult > 0 {
-                            t.observe_n(&key, mult);
-                        }
-                        if publish {
+                        if let Some(tracker) = &self.agg_pushdown {
+                            let mut t = tracker.lock();
+                            for (key, mult) in agg_buf.drain(..) {
+                                t.observe_n(&key, mult);
+                            }
                             t.set_input_size(once.estimate().round() as u64);
                         }
                     }
                 }
-                if let JoinEstimation::Pipeline { handle, lowest, .. } = &self.estimation {
-                    if *lowest {
-                        let mut shared = handle.lock();
-                        shared.estimator.observe_probe(&row)?;
-                        if publish {
-                            shared.publish();
-                        }
+                for (p, s) in sel.iter().enumerate() {
+                    if !s.is_empty() {
+                        self.probe_parts[p].gather_from(&scratch, s);
                     }
                 }
-                if key.is_null() {
-                    if matches!(self.kind, JoinKind::LeftOuter | JoinKind::Anti) {
-                        self.null_probe_rows.push(row);
-                    }
-                    continue;
+                if status.is_exhausted() {
+                    break;
                 }
-                let p = partition_of(&key, self.num_partitions);
-                self.probe_parts[p].push(row);
             }
         }
         // Per-worker wall-time attribution (build + probe busy combined);
@@ -443,25 +527,21 @@ impl HashJoin {
         }
 
         self.metrics.trace_phase(Phase::Probe, Phase::PartitionJoin);
-        self.state = JState::Joining {
-            part: 0,
-            table: HashMap::new(),
-            probe_pos: 0,
-            pending: None,
-        };
         self.load_partition(0)?;
         Ok(())
     }
 
     /// Drain pre-split build chunks across worker threads. Each worker
-    /// hash-partitions its chunk and accumulates a local [`FreqHist`]
-    /// fragment; fragments are merged **in worker order**, which — because
-    /// chunks are contiguous slices of the scan order — reproduces the
-    /// serial partition contents and histogram state exactly.
+    /// hash-partitions its chunk into columnar accumulators and builds a
+    /// local [`FreqHist`] fragment; fragments are merged **in worker
+    /// order**, which — because chunks are contiguous slices of the scan
+    /// order — reproduces the serial partition contents and histogram state
+    /// exactly.
     fn drain_build_parallel(
         &mut self,
         subs: Vec<BoxedOp>,
         want_hist: bool,
+        batch_cap: usize,
         worker_busy: &mut Vec<Duration>,
     ) -> QResult<Option<FreqHist>> {
         let build_key = self.build_key;
@@ -470,25 +550,47 @@ impl HashJoin {
             .into_iter()
             .map(|mut op| {
                 let metrics = Arc::clone(&self.metrics);
-                move |_w: usize| -> QResult<(Vec<Vec<Row>>, Option<FreqHist>)> {
-                    let mut parts: Vec<Vec<Row>> =
-                        (0..num_partitions).map(|_| Vec::new()).collect();
+                move |_w: usize| -> QResult<(Vec<RowBatch>, Option<FreqHist>)> {
+                    let arity = op.schema().arity();
+                    let mut parts: Vec<RowBatch> = (0..num_partitions)
+                        .map(|_| RowBatch::accumulator(arity))
+                        .collect();
                     let mut hist = if want_hist {
                         Some(FreqHist::new())
                     } else {
                         None
                     };
-                    while let Some(row) = op.next()? {
-                        metrics.checkpoint(1)?;
-                        qprog_fault::fail_point!("exec/hash_build/insert");
-                        let key = row.key(build_key)?;
-                        if key.is_null() {
-                            continue; // NULL keys never equi-join
+                    let mut sel: Vec<Vec<usize>> =
+                        (0..num_partitions).map(|_| Vec::new()).collect();
+                    let mut scratch = RowBatch::with_capacity(arity, batch_cap);
+                    loop {
+                        let status = op.next_batch(&mut scratch)?;
+                        let n = scratch.len();
+                        if n > 0 {
+                            metrics.checkpoint(n as u64)?;
+                            qprog_fault::fail_point!("exec/hash_build/insert");
                         }
-                        if let Some(h) = &mut hist {
-                            h.observe(&key);
+                        for s in &mut sel {
+                            s.clear();
                         }
-                        parts[partition_of(&key, num_partitions)].push(row);
+                        for r in 0..n {
+                            let key = scratch.key(r, build_key)?;
+                            if key.is_null() {
+                                continue; // NULL keys never equi-join
+                            }
+                            if let Some(h) = &mut hist {
+                                h.observe(&key);
+                            }
+                            sel[partition_of(&key, num_partitions)].push(r);
+                        }
+                        for (p, s) in sel.iter().enumerate() {
+                            if !s.is_empty() {
+                                parts[p].gather_from(&scratch, s);
+                            }
+                        }
+                        if status.is_exhausted() {
+                            break;
+                        }
                     }
                     Ok((parts, hist))
                 }
@@ -505,9 +607,9 @@ impl HashJoin {
                 worker_busy.resize(w + 1, Duration::ZERO);
             }
             worker_busy[w] += out.busy;
-            let (parts, hist) = out.value;
-            for (p, rows) in parts.into_iter().enumerate() {
-                self.build_parts[p].extend(rows);
+            let (mut parts, hist) = out.value;
+            for (p, batch) in parts.iter_mut().enumerate() {
+                self.build_parts[p].append_batch(batch);
             }
             if let (Some(m), Some(h)) = (&mut merged, hist) {
                 m.merge(&h);
@@ -528,10 +630,11 @@ impl HashJoin {
     fn drain_probe_parallel(
         &mut self,
         subs: Vec<BoxedOp>,
+        batch_cap: usize,
         worker_busy: &mut Vec<Duration>,
     ) -> QResult<u64> {
         struct ProbeChunk {
-            parts: Vec<Vec<Row>>,
+            parts: Vec<RowBatch>,
             nulls: Vec<Row>,
             rows: u64,
             frag: ProbeFragment,
@@ -555,44 +658,67 @@ impl HashJoin {
                 let metrics = Arc::clone(&self.metrics);
                 let (seen, matched) = (&seen, &matched);
                 move |_w: usize| -> QResult<ProbeChunk> {
+                    let arity = op.schema().arity();
                     let mut chunk = ProbeChunk {
-                        parts: (0..num_partitions).map(|_| Vec::new()).collect(),
+                        parts: (0..num_partitions)
+                            .map(|_| RowBatch::accumulator(arity))
+                            .collect(),
                         nulls: Vec::new(),
                         rows: 0,
                         frag: ProbeFragment::new(),
                         agg: Vec::new(),
                     };
+                    let mut sel: Vec<Vec<usize>> =
+                        (0..num_partitions).map(|_| Vec::new()).collect();
                     let (mut flushed_t, mut flushed_sum) = (0u64, 0u128);
-                    while let Some(row) = op.next()? {
-                        metrics.checkpoint(1)?;
-                        qprog_fault::fail_point!("exec/hash_probe/observe");
-                        chunk.rows += 1;
-                        let key = row.key(probe_key)?;
-                        if let Some(h) = hist {
-                            let mult = chunk.frag.observe(h, kind, &key);
-                            if want_agg && mult > 0 {
-                                chunk.agg.push((key.clone(), mult));
-                            }
-                            if chunk.rows.is_multiple_of(PUBLISH_EVERY) {
-                                let dt = chunk.frag.seen() - flushed_t;
-                                let ds = (chunk.frag.matched() - flushed_sum) as u64;
-                                flushed_t = chunk.frag.seen();
-                                flushed_sum = chunk.frag.matched();
-                                let t = seen.fetch_add(dt, Ordering::Relaxed) + dt;
-                                let s = matched.fetch_add(ds, Ordering::Relaxed) + ds;
-                                if t > 0 {
-                                    let est = s as f64 / t as f64 * hint.max(t) as f64;
-                                    metrics.set_estimated_total(est);
+                    let mut scratch = RowBatch::with_capacity(arity, batch_cap);
+                    loop {
+                        let status = op.next_batch(&mut scratch)?;
+                        let n = scratch.len();
+                        if n > 0 {
+                            metrics.checkpoint(n as u64)?;
+                            qprog_fault::fail_point!("exec/hash_probe/observe");
+                        }
+                        for s in &mut sel {
+                            s.clear();
+                        }
+                        for r in 0..n {
+                            chunk.rows += 1;
+                            let key = scratch.key(r, probe_key)?;
+                            if let Some(h) = hist {
+                                let mult = chunk.frag.observe(h, kind, &key);
+                                if want_agg && mult > 0 {
+                                    chunk.agg.push((key.clone(), mult));
+                                }
+                                if chunk.rows.is_multiple_of(PUBLISH_EVERY) {
+                                    let dt = chunk.frag.seen() - flushed_t;
+                                    let ds = (chunk.frag.matched() - flushed_sum) as u64;
+                                    flushed_t = chunk.frag.seen();
+                                    flushed_sum = chunk.frag.matched();
+                                    let t = seen.fetch_add(dt, Ordering::Relaxed) + dt;
+                                    let s = matched.fetch_add(ds, Ordering::Relaxed) + ds;
+                                    if t > 0 {
+                                        let est = s as f64 / t as f64 * hint.max(t) as f64;
+                                        metrics.set_estimated_total(est);
+                                    }
                                 }
                             }
-                        }
-                        if key.is_null() {
-                            if keep_nulls {
-                                chunk.nulls.push(row);
+                            if key.is_null() {
+                                if keep_nulls {
+                                    chunk.nulls.push(scratch.row(r));
+                                }
+                                continue;
                             }
-                            continue;
+                            sel[partition_of(&key, num_partitions)].push(r);
                         }
-                        chunk.parts[partition_of(&key, num_partitions)].push(row);
+                        for (p, s) in sel.iter().enumerate() {
+                            if !s.is_empty() {
+                                chunk.parts[p].gather_from(&scratch, s);
+                            }
+                        }
+                        if status.is_exhausted() {
+                            break;
+                        }
                     }
                     Ok(chunk)
                 }
@@ -605,10 +731,10 @@ impl HashJoin {
                 worker_busy.resize(w + 1, Duration::ZERO);
             }
             worker_busy[w] += out.busy;
-            let chunk = out.value;
+            let mut chunk = out.value;
             probe_rows += chunk.rows;
-            for (p, rows) in chunk.parts.into_iter().enumerate() {
-                self.probe_parts[p].extend(rows);
+            for (p, batch) in chunk.parts.iter_mut().enumerate() {
+                self.probe_parts[p].append_batch(batch);
             }
             self.null_probe_rows.extend(chunk.nulls);
             if let Some(once) = &mut self.once {
@@ -626,10 +752,11 @@ impl HashJoin {
 
     /// Build the in-memory hash table for partition `part`.
     fn load_partition(&mut self, part: usize) -> QResult<()> {
-        let mut table: HashMap<Key, Vec<usize>> = HashMap::new();
-        for (i, row) in self.build_parts[part].iter().enumerate() {
-            let key = row.key(self.build_key)?;
-            table.entry(key).or_default().push(i);
+        let bpart = &self.build_parts[part];
+        let mut table: FxHashMap<Key, Vec<u32>> = FxHashMap::default();
+        for i in 0..bpart.len() {
+            let key = bpart.key(i, self.build_key)?;
+            table.entry(key).or_default().push(i as u32);
         }
         self.state = JState::Joining {
             part,
@@ -641,37 +768,50 @@ impl HashJoin {
     }
 }
 
-/// Baseline bookkeeping for one probe row consumed in the join pass.
-/// Free function so it can run while `self.state` is mutably borrowed.
-fn observe_join_driver(
+/// Apply one output batch's accumulated bookkeeping: `drv` probe rows
+/// consumed and `emit` rows emitted since the last flush. Governor
+/// checkpoints, gnm counters, and baseline estimators all advance by the
+/// summed deltas; with capacity-1 batches this runs once per tuple, the
+/// legacy cadence. Free function so it can run while the join state is
+/// mutably borrowed.
+fn flush_join_batch(
+    metrics: &OpMetrics,
     dne: &mut Option<DneEstimator>,
     byte: &mut Option<ByteEstimator>,
-    metrics: &OpMetrics,
-) {
+    drv: &mut u64,
+    emit: &mut u64,
+) -> QResult<()> {
+    if *drv == 0 && *emit == 0 {
+        return Ok(());
+    }
+    if *drv > 0 {
+        metrics.checkpoint(*drv)?;
+        metrics.record_driver(*drv);
+        if let Some(dne) = dne {
+            dne.observe_driver(*drv);
+        }
+        if let Some(byte) = byte {
+            byte.observe_input_rows(*drv);
+        }
+    }
+    if *emit > 0 {
+        metrics.record_emitted_n(*emit);
+        if let Some(dne) = dne {
+            dne.observe_output(*emit);
+        }
+        if let Some(byte) = byte {
+            byte.observe_output_rows(*emit);
+        }
+    }
     if let Some(dne) = dne {
-        dne.observe_driver(1);
         metrics.set_estimated_total(dne.estimate());
     }
     if let Some(byte) = byte {
-        byte.observe_input_rows(1);
         metrics.set_estimated_total(byte.estimate());
     }
-}
-
-/// Baseline bookkeeping for one output row emitted in the join pass.
-fn observe_join_output(
-    dne: &mut Option<DneEstimator>,
-    byte: &mut Option<ByteEstimator>,
-    metrics: &OpMetrics,
-) {
-    if let Some(dne) = dne {
-        dne.observe_output(1);
-        metrics.set_estimated_total(dne.estimate());
-    }
-    if let Some(byte) = byte {
-        byte.observe_output_rows(1);
-        metrics.set_estimated_total(byte.estimate());
-    }
+    *drv = 0;
+    *emit = 0;
+    Ok(())
 }
 
 impl Operator for HashJoin {
@@ -679,77 +819,177 @@ impl Operator for HashJoin {
         Arc::clone(&self.schema)
     }
 
-    fn next(&mut self) -> QResult<Option<Row>> {
+    fn next_batch(&mut self, out: &mut RowBatch) -> QResult<BatchStatus> {
+        out.clear();
         if matches!(self.state, JState::Init) {
-            self.preprocess()?;
+            self.preprocess(out.capacity())?;
         }
+        let mut drv = 0u64;
+        let mut emit = 0u64;
         loop {
             match &mut self.state {
                 JState::Init => unreachable!("preprocessed above"),
-                JState::Done => return Ok(None),
+                JState::Done => return Ok(BatchStatus::Exhausted),
                 JState::Joining {
                     part,
                     table,
                     probe_pos,
                     pending,
                 } => {
-                    // Emit from the pending match group first (Inner /
-                    // matched LeftOuter emit one row per build match).
-                    if let Some((matches, probe_row, cursor)) = pending {
-                        if *cursor < matches.len() {
-                            let build_row = &self.build_parts[*part][matches[*cursor]];
-                            let out = build_row.concat(probe_row);
-                            *cursor += 1;
-                            self.metrics.record_emitted();
-                            observe_join_output(&mut self.dne, &mut self.byte, &self.metrics);
-                            return Ok(Some(out));
-                        }
-                        *pending = None;
-                    }
-                    // Advance within the current partition's probe rows.
-                    if let Some(probe_row) = self.probe_parts[*part].get(*probe_pos) {
-                        self.metrics.checkpoint(1)?;
-                        let probe_row = probe_row.clone();
-                        *probe_pos += 1;
-                        self.metrics.record_driver(1);
-                        let key = probe_row.key(self.probe_key)?;
-                        let matches = table.get(&key).cloned().unwrap_or_default();
-                        observe_join_driver(&mut self.dne, &mut self.byte, &self.metrics);
-                        let emit_single = match (self.kind, matches.is_empty()) {
-                            (JoinKind::Inner | JoinKind::LeftOuter, false) => {
-                                *pending = Some((matches, probe_row, 0));
-                                None
+                    let part_idx = *part;
+                    let bpart = &self.build_parts[part_idx];
+                    let ppart = &self.probe_parts[part_idx];
+                    // Governor granularity: at most one output batch worth
+                    // of probe rows is consumed between flushes, even when
+                    // nothing matches.
+                    let chunk = out.capacity().max(1);
+                    match self.kind {
+                        JoinKind::Inner => {
+                            // Vectorized fast path: collect (build, probe)
+                            // index pairs, then emit them with one
+                            // column-wise gather.
+                            self.pair_buf.clear();
+                            let room = out.remaining();
+                            if let Some((pidx, cur)) = pending.take() {
+                                let key = ppart.key(pidx, self.probe_key)?;
+                                let matches = table.get(&key).map_or(&[][..], Vec::as_slice);
+                                let take = (matches.len() - cur).min(room);
+                                self.pair_buf.extend(
+                                    matches[cur..cur + take].iter().map(|&b| (b, pidx as u32)),
+                                );
+                                if cur + take < matches.len() {
+                                    *pending = Some((pidx, cur + take));
+                                }
                             }
-                            (JoinKind::LeftOuter, true) => Some(self.null_pad.concat(&probe_row)),
-                            (JoinKind::Semi, false) | (JoinKind::Anti, true) => Some(probe_row),
-                            _ => None,
-                        };
-                        if let Some(out) = emit_single {
-                            self.metrics.record_emitted();
-                            observe_join_output(&mut self.dne, &mut self.byte, &self.metrics);
-                            return Ok(Some(out));
+                            let mut scanned = 0usize;
+                            while self.pair_buf.len() < room
+                                && scanned < chunk
+                                && *probe_pos < ppart.len()
+                            {
+                                let pidx = *probe_pos;
+                                *probe_pos += 1;
+                                drv += 1;
+                                scanned += 1;
+                                let key = ppart.key(pidx, self.probe_key)?;
+                                if let Some(matches) = table.get(&key) {
+                                    let take = matches.len().min(room - self.pair_buf.len());
+                                    self.pair_buf
+                                        .extend(matches[..take].iter().map(|&b| (b, pidx as u32)));
+                                    if take < matches.len() {
+                                        *pending = Some((pidx, take));
+                                    }
+                                }
+                            }
+                            out.gather_concat_from(bpart, ppart, &self.pair_buf);
+                            emit += self.pair_buf.len() as u64;
                         }
-                        continue;
+                        _ => {
+                            // LeftOuter / Semi / Anti: misses interleave
+                            // with matches in probe order, row-wise.
+                            if let Some((pidx, cur)) = pending.take() {
+                                let key = ppart.key(pidx, self.probe_key)?;
+                                let matches = table.get(&key).map_or(&[][..], Vec::as_slice);
+                                let mut c = cur;
+                                while c < matches.len() && !out.is_full() {
+                                    out.gather_concat_from(
+                                        bpart,
+                                        ppart,
+                                        &[(matches[c], pidx as u32)],
+                                    );
+                                    emit += 1;
+                                    c += 1;
+                                }
+                                if c < matches.len() {
+                                    *pending = Some((pidx, c));
+                                }
+                            }
+                            let mut scanned = 0usize;
+                            while !out.is_full() && scanned < chunk && *probe_pos < ppart.len() {
+                                let pidx = *probe_pos;
+                                *probe_pos += 1;
+                                drv += 1;
+                                scanned += 1;
+                                let key = ppart.key(pidx, self.probe_key)?;
+                                match (self.kind, table.get(&key)) {
+                                    (JoinKind::LeftOuter, Some(matches)) => {
+                                        let mut c = 0;
+                                        while c < matches.len() && !out.is_full() {
+                                            out.gather_concat_from(
+                                                bpart,
+                                                ppart,
+                                                &[(matches[c], pidx as u32)],
+                                            );
+                                            emit += 1;
+                                            c += 1;
+                                        }
+                                        if c < matches.len() {
+                                            *pending = Some((pidx, c));
+                                        }
+                                    }
+                                    (JoinKind::LeftOuter, None) => {
+                                        out.push_concat_row_from(
+                                            self.null_pad.values(),
+                                            ppart,
+                                            pidx,
+                                        );
+                                        emit += 1;
+                                    }
+                                    (JoinKind::Semi, Some(_)) | (JoinKind::Anti, None) => {
+                                        out.push_from(ppart, pidx);
+                                        emit += 1;
+                                    }
+                                    _ => {}
+                                }
+                            }
+                        }
+                    }
+                    let more_here = *probe_pos < ppart.len() || pending.is_some();
+                    flush_join_batch(
+                        &self.metrics,
+                        &mut self.dne,
+                        &mut self.byte,
+                        &mut drv,
+                        &mut emit,
+                    )?;
+                    if out.is_full() {
+                        return Ok(BatchStatus::HasMore);
+                    }
+                    if more_here {
+                        continue; // chunk boundary; same partition
                     }
                     // Partition exhausted: move to the next.
-                    let next_part = *part + 1;
+                    let next_part = part_idx + 1;
                     if next_part < self.num_partitions {
                         self.load_partition(next_part)?;
-                    } else if let Some(row) = self.null_probe_rows.pop() {
-                        // NULL-key probe rows never match: LeftOuter pads
-                        // them, Anti passes them through.
-                        let out = match self.kind {
-                            JoinKind::LeftOuter => self.null_pad.concat(&row),
-                            _ => row,
-                        };
-                        self.metrics.record_emitted();
-                        observe_join_output(&mut self.dne, &mut self.byte, &self.metrics);
-                        return Ok(Some(out));
-                    } else {
-                        self.state = JState::Done;
-                        self.metrics.mark_finished();
-                        return Ok(None);
+                        continue;
                     }
+                    // NULL-key probe rows never match: LeftOuter pads
+                    // them, Anti passes them through.
+                    while !out.is_full() {
+                        let Some(row) = self.null_probe_rows.pop() else {
+                            break;
+                        };
+                        match self.kind {
+                            JoinKind::LeftOuter => {
+                                out.push_concat(self.null_pad.values(), row.values())
+                            }
+                            _ => out.push_row(row),
+                        }
+                        emit += 1;
+                    }
+                    flush_join_batch(
+                        &self.metrics,
+                        &mut self.dne,
+                        &mut self.byte,
+                        &mut drv,
+                        &mut emit,
+                    )?;
+                    if out.is_full() {
+                        return Ok(BatchStatus::HasMore);
+                    }
+                    self.state = JState::Done;
+                    self.metrics.mark_finished();
+                    return Ok(BatchStatus::Exhausted);
                 }
             }
         }
@@ -840,8 +1080,11 @@ mod tests {
         );
         // Pull exactly one output row: preprocessing (build + probe
         // partitioning) has completed, so the estimate must already be exact.
-        let first = j.next().unwrap();
-        assert!(first.is_some());
+        {
+            let mut src = crate::ops::RowSource::new(&mut j);
+            let first = src.next_row().unwrap();
+            assert!(first.is_some());
+        }
         assert_eq!(m.estimated_total(), truth);
         let rest = drain(&mut j);
         assert_eq!(rest.len() + 1, truth as usize);
@@ -885,7 +1128,8 @@ mod tests {
             Arc::clone(&m),
         );
         let mut estimates = Vec::new();
-        while let Some(_row) = j.next().unwrap() {
+        let mut src = crate::ops::RowSource::new(&mut j);
+        while let Some(_row) = src.next_row().unwrap() {
             estimates.push(m.estimated_total());
         }
         let truth = exact_join(&r, &s) as f64;
@@ -1188,7 +1432,10 @@ mod tests {
             JoinEstimation::Once { probe_size_hint: 2 },
             Arc::clone(&m),
         );
-        assert!(j.next().unwrap().is_none());
+        assert!(crate::ops::RowSource::new(&mut j)
+            .next_row()
+            .unwrap()
+            .is_none());
         assert_eq!(m.estimated_total(), 0.0);
         let m2 = OpMetrics::with_initial_estimate(0.0);
         let mut j = HashJoin::new(
@@ -1199,6 +1446,74 @@ mod tests {
             JoinEstimation::Off,
             m2,
         );
-        assert!(j.next().unwrap().is_none());
+        assert!(crate::ops::RowSource::new(&mut j)
+            .next_row()
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn wide_batches_match_strict_mode() {
+        let r: Vec<i64> = (0..700)
+            .map(|i| if i % 3 == 0 { 7 } else { i % 90 })
+            .collect();
+        let s: Vec<i64> = (0..1100).map(|i| i % 130).collect();
+        let run = |cap: usize| {
+            let m = OpMetrics::with_initial_estimate(0.0);
+            let mut j = HashJoin::new(
+                scan1("r", &r),
+                scan1("s", &s),
+                0,
+                0,
+                JoinEstimation::Once {
+                    probe_size_hint: s.len() as u64,
+                },
+                Arc::clone(&m),
+            );
+            let rows: Vec<String> = crate::ops::test_util::drain_batched(&mut j, cap)
+                .iter()
+                .map(|row| row.to_string())
+                .collect();
+            (rows, m.estimated_total())
+        };
+        assert_eq!(run(1), run(1024));
+    }
+
+    #[test]
+    fn wide_batches_match_strict_mode_all_kinds() {
+        let r: Vec<i64> = (0..300)
+            .map(|i| if i % 4 == 0 { 9 } else { i % 40 })
+            .collect();
+        let s: Vec<i64> = (0..500).map(|i| i % 55).collect();
+        for kind in [
+            JoinKind::Inner,
+            JoinKind::LeftOuter,
+            JoinKind::Semi,
+            JoinKind::Anti,
+        ] {
+            let run = |cap: usize| {
+                let m = OpMetrics::with_initial_estimate(0.0);
+                let mut j = HashJoin::new(
+                    scan1("r", &r),
+                    scan1("s", &s),
+                    0,
+                    0,
+                    JoinEstimation::Once {
+                        probe_size_hint: s.len() as u64,
+                    },
+                    Arc::clone(&m),
+                )
+                .with_join_kind(kind);
+                let rows: Vec<String> = crate::ops::test_util::drain_batched(&mut j, cap)
+                    .iter()
+                    .map(|row| row.to_string())
+                    .collect();
+                (rows, m.estimated_total(), m.emitted(), m.driver_consumed())
+            };
+            let strict = run(1);
+            for cap in [7usize, 64, 1024] {
+                assert_eq!(run(cap), strict, "{kind:?} cap={cap}");
+            }
+        }
     }
 }

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use qprog_types::{QResult, Row, SchemaRef};
+use qprog_types::{BatchStatus, QResult, RowBatch, SchemaRef};
 
 use crate::metrics::OpMetrics;
 use crate::ops::{BoxedOp, Operator};
@@ -13,6 +13,9 @@ pub struct Limit {
     limit: usize,
     emitted: usize,
     metrics: Arc<OpMetrics>,
+    /// Reused input batch, shrunk to the remaining quota before every pull
+    /// so the input is never over-driven past the limit.
+    scratch: Option<RowBatch>,
     done: bool,
 }
 
@@ -24,6 +27,7 @@ impl Limit {
             limit,
             emitted: 0,
             metrics,
+            scratch: None,
             done: false,
         }
     }
@@ -34,24 +38,38 @@ impl Operator for Limit {
         self.input.schema()
     }
 
-    fn next(&mut self) -> QResult<Option<Row>> {
+    fn next_batch(&mut self, out: &mut RowBatch) -> QResult<BatchStatus> {
+        out.clear();
         if self.done || self.emitted >= self.limit {
             if !self.done {
                 self.done = true;
                 self.metrics.mark_finished();
             }
-            return Ok(None);
+            return Ok(BatchStatus::Exhausted);
         }
-        match self.input.next()? {
-            Some(row) => {
-                self.emitted += 1;
-                self.metrics.record_emitted();
-                Ok(Some(row))
+        if self.scratch.is_none() {
+            let arity = self.input.schema().arity();
+            self.scratch = Some(RowBatch::with_capacity(arity, out.capacity()));
+        }
+        loop {
+            let quota = (self.limit - self.emitted).min(out.remaining());
+            let scratch = self.scratch.as_mut().expect("scratch just ensured");
+            scratch.clear();
+            scratch.set_capacity(quota);
+            let status = self.input.next_batch(scratch)?;
+            let n = scratch.len();
+            for r in 0..n {
+                out.push_from(scratch, r);
             }
-            None => {
+            self.emitted += n;
+            self.metrics.record_emitted_n(n as u64);
+            if status.is_exhausted() {
                 self.done = true;
                 self.metrics.mark_finished();
-                Ok(None)
+                return Ok(BatchStatus::Exhausted);
+            }
+            if out.is_full() || self.emitted >= self.limit {
+                return Ok(BatchStatus::HasMore);
             }
         }
     }
@@ -79,7 +97,10 @@ mod tests {
         assert_eq!(drain(&mut l).len(), 3);
         assert_eq!(m.emitted(), 3);
         assert!(m.is_finished());
-        assert!(l.next().unwrap().is_none());
+        assert!(crate::ops::RowSource::new(&mut l)
+            .next_row()
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -93,7 +114,27 @@ mod tests {
     fn zero_limit() {
         let m = OpMetrics::with_initial_estimate(0.0);
         let mut l = Limit::new(scan(&[1, 2]), 0, Arc::clone(&m));
-        assert!(l.next().unwrap().is_none());
+        assert!(crate::ops::RowSource::new(&mut l)
+            .next_row()
+            .unwrap()
+            .is_none());
         assert!(m.is_finished());
+    }
+
+    #[test]
+    fn wide_batches_never_over_pull_input() {
+        let vals: Vec<i64> = (0..1000).collect();
+        let t = int_table("t", "a", &vals).into_shared();
+        let sm = OpMetrics::with_initial_estimate(0.0);
+        let scan = Box::new(TableScan::new(t, Arc::clone(&sm)));
+        let m = OpMetrics::with_initial_estimate(0.0);
+        let mut l = Limit::new(scan, 10, m);
+        let rows = crate::ops::test_util::drain_batched(&mut l, 1024);
+        assert_eq!(rows.len(), 10);
+        assert_eq!(
+            sm.emitted(),
+            10,
+            "limit must not drive its input past the quota"
+        );
     }
 }

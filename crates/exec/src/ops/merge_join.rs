@@ -15,7 +15,7 @@ use qprog_core::byte::ByteEstimator;
 use qprog_core::dne::DneEstimator;
 use qprog_core::freq_hist::FreqHist;
 use qprog_core::join_est::OnceJoinEstimator;
-use qprog_types::{QError, QResult, Row, SchemaRef};
+use qprog_types::{BatchStatus, QError, QResult, Row, RowBatch, SchemaRef};
 
 use crate::metrics::OpMetrics;
 use crate::ops::hash_join::PipelineHandle;
@@ -107,7 +107,7 @@ impl MergeJoin {
     }
 
     /// Sort phases for both inputs, with estimation interleaved.
-    fn preprocess(&mut self) -> QResult<()> {
+    fn preprocess(&mut self, batch_cap: usize) -> QResult<()> {
         let mut left = self
             .left
             .take()
@@ -129,22 +129,33 @@ impl MergeJoin {
         {
             handle.lock().estimator.begin_build(*join_index)?;
         }
-        while let Some(row) = left.next()? {
-            self.metrics.checkpoint(1)?;
-            let key = row.key(self.left_key)?;
-            if key.is_null() {
-                continue;
+        let mut scratch = RowBatch::with_capacity(left.schema().arity(), batch_cap);
+        loop {
+            let status = left.next_batch(&mut scratch)?;
+            let n = scratch.len();
+            if n > 0 {
+                self.metrics.checkpoint(n as u64)?;
             }
-            if let Some(h) = &mut hist {
-                h.observe(&key);
+            for r in 0..n {
+                let key = scratch.key(r, self.left_key)?;
+                if key.is_null() {
+                    continue;
+                }
+                if let Some(h) = &mut hist {
+                    h.observe(&key);
+                }
+                let row = scratch.row(r);
+                if let MergeJoinEstimation::Pipeline {
+                    handle, join_index, ..
+                } = &self.estimation
+                {
+                    handle.lock().estimator.build_tuple(*join_index, &row)?;
+                }
+                self.left_rows.push(row);
             }
-            if let MergeJoinEstimation::Pipeline {
-                handle, join_index, ..
-            } = &self.estimation
-            {
-                handle.lock().estimator.build_tuple(*join_index, &row)?;
+            if status.is_exhausted() {
+                break;
             }
-            self.left_rows.push(row);
         }
         if let MergeJoinEstimation::Pipeline {
             handle, join_index, ..
@@ -166,22 +177,32 @@ impl MergeJoin {
         // are published in batches — per-tuple publication is measurable
         // overhead for a monitor that polls far less often anyway.
         let mut right_count: u64 = 0;
-        while let Some(row) = right.next()? {
-            self.metrics.checkpoint(1)?;
-            right_count += 1;
-            let key = row.key(self.right_key)?;
-            if let Some(once) = &mut self.once {
-                once.observe_probe(&key);
-                if right_count.is_multiple_of(PUBLISH_EVERY) {
-                    self.metrics.set_estimated_total(once.estimate());
-                    let ci = once.confidence_interval(2.576);
-                    self.metrics.set_estimated_bounds(ci.lo, ci.hi);
+        let mut scratch = RowBatch::with_capacity(right.schema().arity(), batch_cap);
+        loop {
+            let status = right.next_batch(&mut scratch)?;
+            let n = scratch.len();
+            if n > 0 {
+                self.metrics.checkpoint(n as u64)?;
+            }
+            for r in 0..n {
+                right_count += 1;
+                let key = scratch.key(r, self.right_key)?;
+                if let Some(once) = &mut self.once {
+                    once.observe_probe(&key);
+                    if right_count.is_multiple_of(PUBLISH_EVERY) {
+                        self.metrics.set_estimated_total(once.estimate());
+                        let ci = once.confidence_interval(2.576);
+                        self.metrics.set_estimated_bounds(ci.lo, ci.hi);
+                    }
                 }
+                if key.is_null() {
+                    continue;
+                }
+                self.right_rows.push(scratch.row(r));
             }
-            if key.is_null() {
-                continue;
+            if status.is_exhausted() {
+                break;
             }
-            self.right_rows.push(row);
         }
         let rk = self.right_key;
         self.right_rows.sort_by(|a, b| key_cmp(a, b, rk, rk));
@@ -276,14 +297,15 @@ impl Operator for MergeJoin {
         Arc::clone(&self.schema)
     }
 
-    fn next(&mut self) -> QResult<Option<Row>> {
+    fn next_batch(&mut self, out: &mut RowBatch) -> QResult<BatchStatus> {
+        out.clear();
         if matches!(self.state, MState::Init) {
-            self.preprocess()?;
+            self.preprocess(out.capacity())?;
         }
         loop {
             // Split borrows: copy indices out of the state.
             let (mut li, mut ri, group) = match &mut self.state {
-                MState::Done => return Ok(None),
+                MState::Done => return Ok(BatchStatus::Exhausted),
                 MState::Merging { li, ri, group } => (*li, *ri, group.take()),
                 MState::Init => unreachable!("preprocessed above"),
             };
@@ -294,7 +316,7 @@ impl Operator for MergeJoin {
                 if cursor < lr.len() * width {
                     let l = lr.start + cursor / width;
                     let r = rr.start + cursor % width;
-                    let out = self.left_rows[l].concat(&self.right_rows[r]);
+                    out.push_concat(self.left_rows[l].values(), self.right_rows[r].values());
                     self.state = MState::Merging {
                         li,
                         ri,
@@ -302,7 +324,10 @@ impl Operator for MergeJoin {
                     };
                     self.metrics.record_emitted();
                     self.observe_output();
-                    return Ok(Some(out));
+                    if out.is_full() {
+                        return Ok(BatchStatus::HasMore);
+                    }
+                    continue;
                 }
                 // group exhausted: advance past both runs
                 li = lr.end;
@@ -324,7 +349,7 @@ impl Operator for MergeJoin {
                 self.observe_right_consumed(remaining);
                 self.state = MState::Done;
                 self.metrics.mark_finished();
-                return Ok(None);
+                return Ok(BatchStatus::Exhausted);
             }
             match key_cmp(
                 &self.left_rows[li],
@@ -441,8 +466,11 @@ mod tests {
             },
             Arc::clone(&m),
         );
-        let first = j.next().unwrap();
-        assert!(first.is_some());
+        {
+            let mut src = crate::ops::RowSource::new(&mut j);
+            let first = src.next_row().unwrap();
+            assert!(first.is_some());
+        }
         assert_eq!(m.estimated_total(), truth);
         assert_eq!(drain(&mut j).len() + 1, truth as usize);
     }
@@ -478,7 +506,10 @@ mod tests {
             MergeJoinEstimation::Off,
             m,
         );
-        assert!(j.next().unwrap().is_none());
+        assert!(crate::ops::RowSource::new(&mut j)
+            .next_row()
+            .unwrap()
+            .is_none());
         let m = OpMetrics::with_initial_estimate(0.0);
         let mut j = MergeJoin::new(
             scan1("r", &[1]),
@@ -488,7 +519,10 @@ mod tests {
             MergeJoinEstimation::Once { probe_size_hint: 0 },
             Arc::clone(&m),
         );
-        assert!(j.next().unwrap().is_none());
+        assert!(crate::ops::RowSource::new(&mut j)
+            .next_row()
+            .unwrap()
+            .is_none());
         assert_eq!(m.estimated_total(), 0.0);
     }
 

@@ -11,10 +11,9 @@ pub mod scan;
 pub mod sort;
 pub mod sort_agg;
 
-use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
-use qprog_types::{Key, QResult, Row, SchemaRef};
+use qprog_types::{BatchStatus, Key, QResult, Row, RowBatch, SchemaRef};
 
 pub use agg::{AggFunc, AggSpec, HashAggregate};
 pub use filter::Filter;
@@ -27,14 +26,28 @@ pub use scan::TableScan;
 pub use sort::Sort;
 pub use sort_agg::SortAggregate;
 
-/// The Volcano iterator interface. One [`next`](Operator::next) call per
-/// output tuple — the `getnext()` event counted by the gnm progress model.
+/// The vectorized pull interface. One [`next_batch`](Operator::next_batch)
+/// call refills the caller's [`RowBatch`] with up to `out.capacity()` rows;
+/// every row appended is a `getnext()` event of the gnm progress model, and
+/// each operator sums its `K_i` deltas per batch — exact, because the model
+/// counts events, not call boundaries.
+///
+/// Contract:
+/// - `next_batch` **clears** `out` before producing (callers never see
+///   stale rows, operators never append to a predecessor's output).
+/// - [`BatchStatus::Exhausted`] may accompany final rows; the caller
+///   consumes `out` and then stops. Operators are *fused*: further calls
+///   after exhaustion return an empty `Exhausted` with no side effects.
+/// - With `out.capacity() == 1` (the strict legacy-equivalent mode) an
+///   operator performs exactly the per-tuple bookkeeping the
+///   tuple-at-a-time engine performed, in the same order, so traces are
+///   byte-identical.
 pub trait Operator: Send {
     /// Output schema.
     fn schema(&self) -> SchemaRef;
 
-    /// Produce the next output row, or `None` when exhausted.
-    fn next(&mut self) -> QResult<Option<Row>>;
+    /// Clear `out` and refill it with up to `out.capacity()` output rows.
+    fn next_batch(&mut self, out: &mut RowBatch) -> QResult<BatchStatus>;
 
     /// Operator name for plan display and metrics registration.
     fn name(&self) -> &str;
@@ -46,11 +59,11 @@ pub trait Operator: Send {
     /// partition-parallel hash join relies on for byte-identical results at
     /// any thread count.
     ///
-    /// On `Some`, this operator is retired (its `next` returns `None`
-    /// without touching metrics) and the sub-operators share its metrics
-    /// handle; the last sub-operator to exhaust marks it finished. Only
-    /// partitionable leaves (table scans) support splitting; the default
-    /// declines.
+    /// On `Some`, this operator is retired (its `next_batch` reports
+    /// `Exhausted` without touching metrics) and the sub-operators share
+    /// its metrics handle; the last sub-operator to exhaust marks it
+    /// finished. Only partitionable leaves (table scans) support splitting;
+    /// the default declines.
     fn try_split(&mut self, ways: usize) -> Option<Vec<BoxedOp>> {
         let _ = ways;
         None
@@ -60,6 +73,51 @@ pub trait Operator: Send {
 /// Boxed operator, the unit of plan composition.
 pub type BoxedOp = Box<dyn Operator>;
 
+/// Row-at-a-time adapter over a batch [`Operator`] — the Volcano `next()`
+/// the pre-vectorized engine exposed, for tests, examples, and stepping
+/// monitors that want single-row granularity.
+///
+/// Internally reuses one capacity-1 batch, so each `next_row()` performs the
+/// strict-mode per-tuple bookkeeping and no per-call allocation.
+pub struct RowSource<'a> {
+    op: &'a mut dyn Operator,
+    buf: RowBatch,
+    /// Rows of `buf` already handed out (buf holds ≤1 row, but a defensive
+    /// cursor keeps this correct even if an operator over-fills).
+    pos: usize,
+    exhausted: bool,
+}
+
+impl<'a> RowSource<'a> {
+    /// Wrap `op` for row-at-a-time consumption.
+    pub fn new(op: &'a mut dyn Operator) -> Self {
+        let arity = op.schema().arity();
+        RowSource {
+            op,
+            buf: RowBatch::with_capacity(arity, 1),
+            pos: 0,
+            exhausted: false,
+        }
+    }
+
+    /// Produce the next output row, or `None` when exhausted.
+    pub fn next_row(&mut self) -> QResult<Option<Row>> {
+        loop {
+            if self.pos < self.buf.len() {
+                let row = self.buf.row(self.pos);
+                self.pos += 1;
+                return Ok(Some(row));
+            }
+            if self.exhausted {
+                return Ok(None);
+            }
+            let status = self.op.next_batch(&mut self.buf)?;
+            self.pos = 0;
+            self.exhausted = status.is_exhausted();
+        }
+    }
+}
+
 /// How many tuples pass between refreshed estimate publications during
 /// tight preprocessing loops. Monitors poll at millisecond granularity;
 /// publishing every tuple is pure overhead.
@@ -67,10 +125,11 @@ pub const PUBLISH_EVERY: u64 = 256;
 
 /// Stable partition hash for grace-join partitioning (independent of the
 /// hash used inside per-partition join tables, so partitioning skew does not
-/// correlate with bucket collisions).
+/// correlate with bucket collisions). Runs once per build *and* probe tuple,
+/// so it uses the framework's Fx-style hasher rather than SipHash.
 pub(crate) fn partition_of(key: &Key, partitions: usize) -> usize {
-    let mut h = DefaultHasher::new();
-    // Fixed tag decorrelates this from HashMap's SipHash usage.
+    let mut h = qprog_core::fx::FxHasher::default();
+    // Fixed tag decorrelates this from the join tables' Fx usage.
     0x9E37_79B9_7F4A_7C15_u64.hash(&mut h);
     key.hash(&mut h);
     (h.finish() % partitions as u64) as usize
@@ -106,13 +165,29 @@ pub(crate) mod test_util {
         t
     }
 
-    /// Drain an operator into a vector.
+    /// Drain an operator into a vector through capacity-1 batches (the
+    /// strict mode), so stepping with [`RowSource`] and draining compose
+    /// with identical per-tuple bookkeeping.
     pub fn drain(op: &mut dyn Operator) -> Vec<Row> {
+        let mut src = RowSource::new(op);
         let mut out = Vec::new();
-        while let Some(r) = op.next().unwrap() {
+        while let Some(r) = src.next_row().unwrap() {
             out.push(r);
         }
         out
+    }
+
+    /// Drain an operator through batches of `cap` rows.
+    pub fn drain_batched(op: &mut dyn Operator, cap: usize) -> Vec<Row> {
+        let mut batch = qprog_types::RowBatch::with_capacity(op.schema().arity(), cap);
+        let mut out = Vec::new();
+        loop {
+            let status = op.next_batch(&mut batch).unwrap();
+            batch.append_rows_to(&mut out);
+            if status.is_exhausted() {
+                return out;
+            }
+        }
     }
 
     /// Extract column `c` of every row as i64.

@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use qprog_core::dne::DneEstimator;
-use qprog_types::{QError, QResult, Row, SchemaRef};
+use qprog_types::{BatchStatus, QError, QResult, Row, RowBatch, SchemaRef};
 
 use crate::expr::Expr;
 use crate::metrics::OpMetrics;
@@ -36,6 +36,15 @@ pub struct NestedLoopsJoin {
     /// Outer row currently being matched against the inner rows.
     current_outer: Option<Row>,
     inner_pos: usize,
+    /// Buffered outer rows not yet promoted to `current_outer`. Driver
+    /// accounting happens at promotion time, so batching the pull changes
+    /// nothing observable.
+    outer_buf: Option<RowBatch>,
+    outer_pos: usize,
+    outer_done: bool,
+    /// The output batch filled up just as an inner scan completed: the next
+    /// outer row (and its driver accounting) must wait for the next call.
+    advance_pending: bool,
     started: bool,
     done: bool,
 }
@@ -59,6 +68,10 @@ impl NestedLoopsJoin {
             inner_rows: Vec::new(),
             current_outer: None,
             inner_pos: 0,
+            outer_buf: None,
+            outer_pos: 0,
+            outer_done: false,
+            advance_pending: false,
             started: false,
             done: false,
         }
@@ -88,16 +101,33 @@ impl NestedLoopsJoin {
         }
     }
 
-    fn advance_outer(&mut self) -> QResult<Option<Row>> {
-        let next = self.outer.next()?;
-        if next.is_some() {
-            self.metrics.record_driver(1);
-            if let Some(dne) = &mut self.dne {
-                dne.observe_driver(1);
-                self.metrics.set_estimated_total(dne.estimate());
+    fn advance_outer(&mut self, batch_cap: usize) -> QResult<Option<Row>> {
+        if self.outer_buf.is_none() {
+            let arity = self.outer.schema().arity();
+            self.outer_buf = Some(RowBatch::with_capacity(arity, batch_cap));
+        }
+        loop {
+            let buf = self.outer_buf.as_mut().expect("outer buffer just ensured");
+            if self.outer_pos < buf.len() {
+                let row = buf.row(self.outer_pos);
+                self.outer_pos += 1;
+                self.metrics.record_driver(1);
+                if let Some(dne) = &mut self.dne {
+                    dne.observe_driver(1);
+                    self.metrics.set_estimated_total(dne.estimate());
+                }
+                return Ok(Some(row));
+            }
+            if self.outer_done {
+                return Ok(None);
+            }
+            buf.clear();
+            self.outer_pos = 0;
+            let status = self.outer.next_batch(buf)?;
+            if status.is_exhausted() {
+                self.outer_done = true;
             }
         }
-        Ok(next)
     }
 }
 
@@ -106,9 +136,10 @@ impl Operator for NestedLoopsJoin {
         Arc::clone(&self.schema)
     }
 
-    fn next(&mut self) -> QResult<Option<Row>> {
+    fn next_batch(&mut self, out: &mut RowBatch) -> QResult<BatchStatus> {
+        out.clear();
         if self.done {
-            return Ok(None);
+            return Ok(BatchStatus::Exhausted);
         }
         if !self.started {
             self.started = true;
@@ -116,34 +147,52 @@ impl Operator for NestedLoopsJoin {
                 .inner
                 .take()
                 .ok_or_else(|| QError::internal("nested-loops inner input consumed twice"))?;
-            while let Some(r) = inner.next()? {
-                self.metrics.checkpoint(1)?;
-                self.inner_rows.push(r);
+            let mut scratch = RowBatch::with_capacity(inner.schema().arity(), out.capacity());
+            loop {
+                let status = inner.next_batch(&mut scratch)?;
+                let n = scratch.len();
+                if n > 0 {
+                    self.metrics.checkpoint(n as u64)?;
+                    scratch.append_rows_to(&mut self.inner_rows);
+                }
+                if status.is_exhausted() {
+                    break;
+                }
             }
-            self.current_outer = self.advance_outer()?;
+            self.current_outer = self.advance_outer(out.capacity())?;
+        }
+        if self.advance_pending {
+            self.advance_pending = false;
+            self.current_outer = self.advance_outer(out.capacity())?;
         }
         loop {
             let Some(outer) = self.current_outer.take() else {
                 self.done = true;
                 self.metrics.mark_finished();
-                return Ok(None);
+                return Ok(BatchStatus::Exhausted);
             };
             while self.inner_pos < self.inner_rows.len() {
+                if out.is_full() {
+                    self.current_outer = Some(outer);
+                    return Ok(BatchStatus::HasMore);
+                }
                 let i = self.inner_pos;
                 self.inner_pos += 1;
                 if self.matches(&outer, &self.inner_rows[i])? {
-                    let out = outer.concat(&self.inner_rows[i]);
-                    self.current_outer = Some(outer);
+                    out.push_concat(outer.values(), self.inner_rows[i].values());
                     self.metrics.record_emitted();
                     if let Some(dne) = &mut self.dne {
                         dne.observe_output(1);
                         self.metrics.set_estimated_total(dne.estimate());
                     }
-                    return Ok(Some(out));
                 }
             }
             self.inner_pos = 0;
-            self.current_outer = self.advance_outer()?;
+            if out.is_full() {
+                self.advance_pending = true;
+                return Ok(BatchStatus::HasMore);
+            }
+            self.current_outer = self.advance_outer(out.capacity())?;
         }
     }
 
@@ -219,8 +268,9 @@ mod tests {
             Arc::clone(&m),
         )
         .with_dne(100, 5.0);
+        let mut src = crate::ops::RowSource::new(&mut j);
         let mut seen = 0;
-        while let Some(_row) = j.next().unwrap() {
+        while let Some(_row) = src.next_row().unwrap() {
             seen += 1;
             if seen == 50 {
                 let e = m.estimated_total();
@@ -256,6 +306,25 @@ mod tests {
         let m = OpMetrics::with_initial_estimate(0.0);
         let mut j =
             NestedLoopsJoin::new(scan1("r", &[1, 2]), scan1("s", &[]), NlCondition::Cross, m);
-        assert!(j.next().unwrap().is_none());
+        assert!(crate::ops::RowSource::new(&mut j)
+            .next_row()
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn wide_batches_match_strict_mode() {
+        let r: Vec<i64> = (0..200).collect();
+        let s: Vec<i64> = (0..200).rev().collect();
+        let run = |cap: usize| {
+            let m = OpMetrics::with_initial_estimate(0.0);
+            let mut j =
+                NestedLoopsJoin::new(scan1("r", &r), scan1("s", &s), NlCondition::Equi(0, 0), m);
+            crate::ops::test_util::drain_batched(&mut j, cap)
+                .iter()
+                .map(|row| row.to_string())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(64));
     }
 }

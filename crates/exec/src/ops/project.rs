@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use qprog_types::{QResult, Row, SchemaRef};
+use qprog_types::{BatchStatus, QResult, Row, RowBatch, SchemaRef};
 
 use crate::expr::Expr;
 use crate::metrics::OpMetrics;
@@ -17,6 +17,8 @@ pub struct Project {
     exprs: Vec<Expr>,
     schema: SchemaRef,
     metrics: Arc<OpMetrics>,
+    /// Reused input batch.
+    scratch: Option<RowBatch>,
     done: bool,
 }
 
@@ -33,6 +35,7 @@ impl Project {
             exprs,
             schema,
             metrics,
+            scratch: None,
             done: false,
         }
     }
@@ -43,23 +46,37 @@ impl Operator for Project {
         Arc::clone(&self.schema)
     }
 
-    fn next(&mut self) -> QResult<Option<Row>> {
+    fn next_batch(&mut self, out: &mut RowBatch) -> QResult<BatchStatus> {
+        out.clear();
         if self.done {
-            return Ok(None);
+            return Ok(BatchStatus::Exhausted);
         }
-        match self.input.next()? {
-            None => {
+        if self.scratch.is_none() {
+            let arity = self.input.schema().arity();
+            self.scratch = Some(RowBatch::with_capacity(arity, out.capacity()));
+        }
+        loop {
+            let scratch = self.scratch.as_mut().expect("scratch just ensured");
+            scratch.clear();
+            scratch.set_capacity(out.remaining());
+            let status = self.input.next_batch(scratch)?;
+            let n = scratch.len();
+            let mut vals = Vec::with_capacity(self.exprs.len());
+            for r in 0..n {
+                for e in &self.exprs {
+                    vals.push(e.eval_at(scratch, r)?);
+                }
+                out.push_row(Row::new(std::mem::take(&mut vals)));
+                vals = Vec::with_capacity(self.exprs.len());
+            }
+            self.metrics.record_emitted_n(n as u64);
+            if status.is_exhausted() {
                 self.done = true;
                 self.metrics.mark_finished();
-                Ok(None)
+                return Ok(BatchStatus::Exhausted);
             }
-            Some(row) => {
-                let mut out = Vec::with_capacity(self.exprs.len());
-                for e in &self.exprs {
-                    out.push(e.eval(&row)?);
-                }
-                self.metrics.record_emitted();
-                Ok(Some(Row::new(out)))
+            if out.is_full() {
+                return Ok(BatchStatus::HasMore);
             }
         }
     }
@@ -73,12 +90,11 @@ impl Operator for Project {
 mod tests {
     use super::*;
     use crate::expr::BinOp;
-    use crate::ops::test_util::{col_i64, drain, int_table};
+    use crate::ops::test_util::{col_i64, drain, drain_batched, int_table};
     use crate::ops::TableScan;
     use qprog_types::{DataType, Field, Schema};
 
-    #[test]
-    fn evaluates_expressions_per_row() {
+    fn double_projection() -> (Project, Arc<OpMetrics>) {
         let t = int_table("t", "a", &[1, 2, 3]).into_shared();
         let scan = Box::new(TableScan::new(t, OpMetrics::with_initial_estimate(0.0)));
         let schema = Schema::new(vec![
@@ -87,7 +103,7 @@ mod tests {
         ])
         .into_ref();
         let m = OpMetrics::with_initial_estimate(0.0);
-        let mut p = Project::new(
+        let p = Project::new(
             scan,
             vec![
                 Expr::col(0),
@@ -96,11 +112,24 @@ mod tests {
             schema,
             Arc::clone(&m),
         );
+        (p, m)
+    }
+
+    #[test]
+    fn evaluates_expressions_per_row() {
+        let (mut p, m) = double_projection();
         let rows = drain(&mut p);
         assert_eq!(col_i64(&rows, 0), vec![1, 2, 3]);
         assert_eq!(col_i64(&rows, 1), vec![2, 4, 6]);
         assert_eq!(m.emitted(), 3);
         assert!(m.is_finished());
         assert_eq!(p.schema().arity(), 2);
+    }
+
+    #[test]
+    fn wide_batches_match_strict_mode() {
+        let (mut strict, _) = double_projection();
+        let (mut wide, _) = double_projection();
+        assert_eq!(drain(&mut strict), drain_batched(&mut wide, 1024));
     }
 }

@@ -4,7 +4,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use qprog_storage::{ScanOrder, Table};
-use qprog_types::{QResult, Row, SchemaRef};
+use qprog_types::{BatchStatus, QResult, RowBatch, SchemaRef};
 
 use crate::metrics::OpMetrics;
 use crate::ops::{BoxedOp, Operator};
@@ -84,9 +84,10 @@ impl Operator for TableScan {
         Arc::clone(self.table.schema())
     }
 
-    fn next(&mut self) -> QResult<Option<Row>> {
+    fn next_batch(&mut self, out: &mut RowBatch) -> QResult<BatchStatus> {
+        out.clear();
         if self.done {
-            return Ok(None);
+            return Ok(BatchStatus::Exhausted);
         }
         loop {
             let Some(&block_id) = self.order.blocks().get(self.block_idx) else {
@@ -102,7 +103,7 @@ impl Operator for TableScan {
                     }
                     None => self.metrics.mark_finished(),
                 }
-                return Ok(None);
+                return Ok(BatchStatus::Exhausted);
             };
             let block = self.table.block(block_id)?;
             if self.row_offset == 0 && !self.io_cost.is_zero() && !block.is_empty() {
@@ -111,15 +112,23 @@ impl Operator for TableScan {
                 // way concurrent disk reads would, independent of core count.
                 std::thread::sleep(self.io_cost);
             }
-            if let Some(row) = block.row(self.row_offset) {
-                self.metrics.checkpoint(1)?;
-                qprog_fault::fail_point!("exec/scan/next");
-                self.row_offset += 1;
-                self.metrics.record_emitted();
-                return Ok(Some(row.clone()));
+            let avail = block.len().saturating_sub(self.row_offset);
+            if avail == 0 {
+                self.block_idx += 1;
+                self.row_offset = 0;
+                continue;
             }
-            self.block_idx += 1;
-            self.row_offset = 0;
+            // Copy a contiguous column-slice chunk straight out of the
+            // block; checkpoint/failpoint/metrics amortize to the chunk.
+            let take = avail.min(out.remaining());
+            self.metrics.checkpoint(take as u64)?;
+            qprog_fault::fail_point!("exec/scan/next");
+            out.extend_from_cols(block.cols(), self.row_offset..self.row_offset + take);
+            self.row_offset += take;
+            self.metrics.record_emitted_n(take as u64);
+            if out.is_full() {
+                return Ok(BatchStatus::HasMore);
+            }
         }
     }
 
@@ -158,8 +167,8 @@ impl Operator for TableScan {
                 }) as BoxedOp
             })
             .collect();
-        // Retire the original: its next() now returns None without touching
-        // the (shared) metrics.
+        // Retire the original: its next_batch() now reports Exhausted
+        // without touching the (shared) metrics.
         self.done = true;
         Some(subs)
     }
@@ -191,7 +200,10 @@ mod tests {
         assert_eq!(m.emitted(), 1000);
         assert!(m.is_finished());
         // idempotent end
-        assert!(s.next().unwrap().is_none());
+        assert!(crate::ops::RowSource::new(&mut s)
+            .next_row()
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -234,7 +246,10 @@ mod tests {
         let subs = whole.try_split(4).expect("fresh scan splits");
         assert_eq!(subs.len(), 4);
         // The original is retired without touching metrics.
-        assert!(whole.next().unwrap().is_none());
+        assert!(crate::ops::RowSource::new(&mut whole)
+            .next_row()
+            .unwrap()
+            .is_none());
         assert!(!m2.is_finished());
         let mut got = Vec::new();
         for mut sub in subs {
@@ -264,7 +279,7 @@ mod tests {
         let t = int_table("t", "a", &vals).into_shared();
         let m = OpMetrics::with_initial_estimate(0.0);
         let mut started = TableScan::new(Arc::clone(&t), Arc::clone(&m));
-        started.next().unwrap();
+        crate::ops::RowSource::new(&mut started).next_row().unwrap();
         assert!(started.try_split(2).is_none());
         let mut fresh = TableScan::new(t, m);
         assert!(fresh.try_split(1).is_none());

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use qprog_types::{QResult, Row, SchemaRef};
+use qprog_types::{BatchStatus, QResult, Row, RowBatch, SchemaRef};
 
 use crate::metrics::OpMetrics;
 use crate::ops::{BoxedOp, Operator};
@@ -80,17 +80,27 @@ impl Operator for Sort {
         self.input.schema()
     }
 
-    fn next(&mut self) -> QResult<Option<Row>> {
+    fn next_batch(&mut self, out: &mut RowBatch) -> QResult<BatchStatus> {
+        out.clear();
         loop {
             match &mut self.state {
                 State::Consuming => {
                     self.metrics.trace_phase(Phase::Init, Phase::SortInput);
                     let mut rows = Vec::new();
-                    while let Some(r) = self.input.next()? {
-                        self.metrics.checkpoint(1)?;
-                        qprog_fault::fail_point!("exec/sort/consume");
-                        self.metrics.record_driver(1);
-                        rows.push(r);
+                    let mut scratch =
+                        RowBatch::with_capacity(self.input.schema().arity(), out.capacity());
+                    loop {
+                        let status = self.input.next_batch(&mut scratch)?;
+                        let n = scratch.len();
+                        if n > 0 {
+                            self.metrics.checkpoint(n as u64)?;
+                            qprog_fault::fail_point!("exec/sort/consume");
+                            self.metrics.record_driver(n as u64);
+                            scratch.append_rows_to(&mut rows);
+                        }
+                        if status.is_exhausted() {
+                            break;
+                        }
                     }
                     rows.sort_by(|a, b| compare_rows(a, b, &self.keys));
                     self.metrics.trace_phase(Phase::SortInput, Phase::Emit);
@@ -98,17 +108,22 @@ impl Operator for Sort {
                         rows: rows.into_iter(),
                     };
                 }
-                State::Emitting { rows } => match rows.next() {
-                    Some(r) => {
-                        self.metrics.record_emitted();
-                        return Ok(Some(r));
+                State::Emitting { rows } => {
+                    while !out.is_full() {
+                        match rows.next() {
+                            Some(r) => out.push_row(r),
+                            None => {
+                                self.metrics.record_emitted_n(out.len() as u64);
+                                self.metrics.mark_finished();
+                                self.state = State::Done;
+                                return Ok(BatchStatus::Exhausted);
+                            }
+                        }
                     }
-                    None => {
-                        self.metrics.mark_finished();
-                        self.state = State::Done;
-                    }
-                },
-                State::Done => return Ok(None),
+                    self.metrics.record_emitted_n(out.len() as u64);
+                    return Ok(BatchStatus::HasMore);
+                }
+                State::Done => return Ok(BatchStatus::Exhausted),
             }
         }
     }
@@ -167,7 +182,8 @@ mod tests {
     fn empty_input() {
         let m = OpMetrics::with_initial_estimate(0.0);
         let mut s = Sort::by_column(scan1(&[]), 0, m);
-        assert!(s.next().unwrap().is_none());
-        assert!(s.next().unwrap().is_none());
+        let mut src = crate::ops::RowSource::new(&mut s);
+        assert!(src.next_row().unwrap().is_none());
+        assert!(src.next_row().unwrap().is_none());
     }
 }

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use qprog_core::distinct::DistinctTracker;
-use qprog_types::{DataType, QResult, Row, SchemaRef};
+use qprog_types::{BatchStatus, DataType, QResult, Row, RowBatch, SchemaRef};
 
 use crate::metrics::OpMetrics;
 use crate::ops::agg::{AggEstimation, AggSpec};
@@ -67,7 +67,7 @@ impl SortAggregate {
         }
     }
 
-    fn consume(&mut self) -> QResult<Vec<Row>> {
+    fn consume(&mut self, batch_cap: usize) -> QResult<Vec<Row>> {
         use crate::ops::agg::accumulate_sorted_groups;
 
         let input_schema = self.input.schema();
@@ -83,16 +83,33 @@ impl SortAggregate {
         // Sort phase: consume the whole input, estimating as we go.
         self.metrics.trace_phase(Phase::Init, Phase::Accumulate);
         let mut rows: Vec<Row> = Vec::new();
-        while let Some(row) = self.input.next()? {
-            self.metrics.checkpoint(1)?;
-            self.metrics.record_driver(1);
-            if let Some(tracker) = &mut self.tracker {
-                tracker.observe(&row.key(self.group_cols[0])?);
-                self.metrics.set_estimated_total(tracker.estimate());
-            } else if let AggEstimation::Pushdown(shared) = &self.estimation {
-                self.metrics.set_estimated_total(shared.lock().estimate());
+        let mut scratch = RowBatch::with_capacity(input_schema.arity(), batch_cap);
+        loop {
+            let status = self.input.next_batch(&mut scratch)?;
+            let n = scratch.len();
+            if n > 0 {
+                self.metrics.checkpoint(n as u64)?;
+                self.metrics.record_driver(n as u64);
             }
-            rows.push(row);
+            for r in 0..n {
+                if let Some(tracker) = &mut self.tracker {
+                    tracker.observe(&scratch.key(r, self.group_cols[0])?);
+                }
+            }
+            // Published once per batch, after K_i advanced — keeps sampled
+            // fractions monotone (and is the exact serial sequence at
+            // batch_rows = 1).
+            if n > 0 {
+                if let Some(tracker) = &self.tracker {
+                    self.metrics.set_estimated_total(tracker.estimate());
+                } else if let AggEstimation::Pushdown(shared) = &self.estimation {
+                    self.metrics.set_estimated_total(shared.lock().estimate());
+                }
+            }
+            scratch.append_rows_to(&mut rows);
+            if status.is_exhausted() {
+                break;
+            }
         }
         let sort_keys: Vec<SortKey> = self
             .group_cols
@@ -121,27 +138,33 @@ impl Operator for SortAggregate {
         Arc::clone(&self.schema)
     }
 
-    fn next(&mut self) -> QResult<Option<Row>> {
+    fn next_batch(&mut self, out: &mut RowBatch) -> QResult<BatchStatus> {
+        out.clear();
         loop {
             match &mut self.state {
                 SState::Consuming => {
-                    let rows = self.consume()?;
+                    let rows = self.consume(out.capacity())?;
                     self.metrics.trace_phase(Phase::Accumulate, Phase::Emit);
                     self.state = SState::Emitting {
                         rows: rows.into_iter(),
                     };
                 }
-                SState::Emitting { rows } => match rows.next() {
-                    Some(r) => {
-                        self.metrics.record_emitted();
-                        return Ok(Some(r));
+                SState::Emitting { rows } => {
+                    while !out.is_full() {
+                        match rows.next() {
+                            Some(r) => out.push_row(r),
+                            None => {
+                                self.metrics.record_emitted_n(out.len() as u64);
+                                self.metrics.mark_finished();
+                                self.state = SState::Done;
+                                return Ok(BatchStatus::Exhausted);
+                            }
+                        }
                     }
-                    None => {
-                        self.metrics.mark_finished();
-                        self.state = SState::Done;
-                    }
-                },
-                SState::Done => return Ok(None),
+                    self.metrics.record_emitted_n(out.len() as u64);
+                    return Ok(BatchStatus::HasMore);
+                }
+                SState::Done => return Ok(BatchStatus::Exhausted),
             }
         }
     }
@@ -236,14 +259,15 @@ mod tests {
     #[test]
     fn empty_input_global_aggregation() {
         let m = OpMetrics::with_initial_estimate(0.0);
-        let mut agg = SortAggregate::new(
-            scan2(&[]),
-            vec![],
-            specs(),
-            out_schema(),
-            AggEstimation::Off,
-            m,
-        );
+        // Global aggregation (no group columns): output is the agg results
+        // alone, so the schema must not carry a group field.
+        let schema = Schema::new(vec![
+            Field::new("cnt", DataType::Int64).with_nullable(true),
+            Field::new("sum", DataType::Int64).with_nullable(true),
+        ])
+        .into_ref();
+        let mut agg =
+            SortAggregate::new(scan2(&[]), vec![], specs(), schema, AggEstimation::Off, m);
         let rows = drain(&mut agg);
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].get(0).unwrap().as_i64().unwrap(), 0);

@@ -56,6 +56,14 @@ pub struct PhysicalOptions {
     /// default). Any value keeps results and converged estimates identical
     /// to the serial engine.
     pub threads: usize,
+    /// Row-batch capacity for vectorized execution (the `QPROG_BATCH_ROWS`
+    /// env var overrides the default of
+    /// [`qprog_types::DEFAULT_BATCH_ROWS`]). `1` is strict equivalence
+    /// mode: the engine degenerates to tuple-at-a-time pulls and reproduces
+    /// the serial per-row trace byte-for-byte. Any value keeps results,
+    /// converged estimates, and published progress fractions identical —
+    /// only the granularity of checkpoints and metric updates changes.
+    pub batch_rows: usize,
 }
 
 impl Default for PhysicalOptions {
@@ -73,6 +81,11 @@ impl Default for PhysicalOptions {
                 .ok()
                 .and_then(|v| v.parse::<usize>().ok())
                 .unwrap_or(1)
+                .max(1),
+            batch_rows: std::env::var("QPROG_BATCH_ROWS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(qprog_types::DEFAULT_BATCH_ROWS)
                 .max(1),
         }
     }
@@ -119,6 +132,14 @@ pub struct CompiledQuery {
     rows_emitted: u64,
     finished_published: bool,
     aborted_published: bool,
+    /// Root batch capacity for [`collect`](Self::collect)/
+    /// [`run_with`](Self::run_with) (from `PhysicalOptions::batch_rows`).
+    batch_rows: usize,
+    /// Single-row buffer for [`step`](Self::step) (Volcano stepping stays
+    /// tuple-granular regardless of `batch_rows`).
+    step_buf: Option<qprog_types::RowBatch>,
+    step_pos: usize,
+    step_exhausted: bool,
 }
 
 impl CompiledQuery {
@@ -189,6 +210,20 @@ impl CompiledQuery {
         }
     }
 
+    /// The root batch capacity rows are pulled at.
+    pub fn batch_rows(&self) -> usize {
+        self.batch_rows
+    }
+
+    /// Override the root batch capacity for subsequent
+    /// [`collect`](Self::collect)/[`run_with`](Self::run_with) calls
+    /// (clamped to ≥ 1; `1` is strict per-row equivalence mode). Operators
+    /// size their internal scratch batches from the capacity of the batch
+    /// they are handed, so the override applies to the whole plan.
+    pub fn set_batch_rows(&mut self, n: usize) {
+        self.batch_rows = n.max(1);
+    }
+
     /// The query's lifecycle governor (attached at compile time).
     pub fn governor(&self) -> Option<&Arc<Governor>> {
         self.registry.governor()
@@ -227,7 +262,7 @@ impl CompiledQuery {
     /// fault, or organic error — the terminal `QueryAborted` event is
     /// published and the error propagates.
     pub fn collect(&mut self) -> QResult<Vec<Row>> {
-        let rows = match qprog_exec::runtime::collect(self.root.as_mut()) {
+        let rows = match qprog_exec::runtime::collect(self.root.as_mut(), self.batch_rows) {
             Ok(rows) => rows,
             Err(e) => {
                 self.publish_query_aborted(&e);
@@ -251,7 +286,7 @@ impl CompiledQuery {
         mut observer: impl FnMut(&qprog_core::gnm::ProgressSnapshot),
     ) -> QResult<Vec<Row>> {
         let tracker = self.tracker();
-        let rows = match run_with_observer(self.root.as_mut(), every_n, |_| {
+        let rows = match run_with_observer(self.root.as_mut(), every_n, self.batch_rows, |_| {
             observer(&tracker.snapshot());
         }) {
             Ok(rows) => rows,
@@ -268,23 +303,39 @@ impl CompiledQuery {
     }
 
     /// Pull a single output row (Volcano-style stepping, for monitors that
-    /// want finer control than [`run_with`](Self::run_with)).
+    /// want finer control than [`run_with`](Self::run_with)). Stepping
+    /// always pulls through a single-row batch, so it is tuple-granular
+    /// regardless of the configured `batch_rows`.
     pub fn step(&mut self) -> QResult<Option<Row>> {
-        let row = match qprog_exec::governor::guarded_next(self.root.as_mut()) {
-            Ok(row) => row,
-            Err(e) => {
-                self.publish_query_aborted(&e);
-                return Err(e);
+        if self.step_buf.is_none() {
+            let arity = self.root.schema().arity();
+            self.step_buf = Some(qprog_types::RowBatch::with_capacity(arity, 1));
+        }
+        loop {
+            let buf = self.step_buf.as_mut().expect("step buffer just ensured");
+            if self.step_pos < buf.len() {
+                let row = buf.row(self.step_pos);
+                self.step_pos += 1;
+                self.rows_emitted += 1;
+                return Ok(Some(row));
             }
-        };
-        match &row {
-            Some(_) => self.rows_emitted += 1,
-            None => {
+            if self.step_exhausted {
                 self.registry.finish_all();
                 self.publish_query_finished();
+                return Ok(None);
+            }
+            self.step_pos = 0;
+            let status = match qprog_exec::governor::guarded_next_batch(self.root.as_mut(), buf) {
+                Ok(status) => status,
+                Err(e) => {
+                    self.publish_query_aborted(&e);
+                    return Err(e);
+                }
+            };
+            if status.is_exhausted() {
+                self.step_exhausted = true;
             }
         }
-        Ok(row)
     }
 }
 
@@ -335,6 +386,10 @@ pub fn compile_traced(
         rows_emitted: 0,
         finished_published: false,
         aborted_published: false,
+        batch_rows: opts.batch_rows.max(1),
+        step_buf: None,
+        step_pos: 0,
+        step_exhausted: false,
     })
 }
 

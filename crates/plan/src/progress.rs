@@ -23,6 +23,13 @@ pub struct ProgressTracker {
     initial_estimates: Vec<f64>,
     /// Direct input operators (registry indices), per registry index.
     op_inputs: Vec<Vec<usize>>,
+    /// Highest fraction any snapshot of this query has reported, as f64
+    /// bits (non-negative floats order identically as u64 bits). Shared
+    /// across clones so every watcher sees one monotone series: batch
+    /// execution advances `K_i` and publishes `N_i` in separate atomic
+    /// writes, and a sampler landing between them would otherwise see the
+    /// ratio dip.
+    high_water: std::sync::Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl ProgressTracker {
@@ -36,6 +43,7 @@ impl ProgressTracker {
             pipelines,
             initial_estimates: Vec::new(),
             op_inputs: vec![Vec::new(); n],
+            high_water: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
         }
     }
 
@@ -133,7 +141,15 @@ impl ProgressTracker {
                 p
             })
             .collect();
-        ProgressSnapshot::new(pipelines)
+        let snap = ProgressSnapshot::new(pipelines);
+        // Monotone clamp: remember the highest fraction ever reported and
+        // never report below it. Non-negative f64 bit patterns compare
+        // identically as integers, so fetch_max on the bits suffices.
+        let bits = snap.raw_fraction().to_bits();
+        let prev = self
+            .high_water
+            .fetch_max(bits, std::sync::atomic::Ordering::AcqRel);
+        snap.with_floor(f64::from_bits(prev.max(bits)))
     }
 
     /// Convenience: the gnm progress fraction right now.
@@ -212,6 +228,40 @@ mod tests {
         b.mark_finished();
         assert!(tracker.snapshot().is_complete());
         assert_eq!(tracker.fraction(), 1.0);
+    }
+
+    #[test]
+    fn snapshot_fraction_never_regresses_when_estimates_rise() {
+        // Batch execution publishes K_i and N_i in separate atomic writes;
+        // a sampler between them must not see the fraction dip.
+        let mut reg = MetricsRegistry::new();
+        let scan = reg.register("scan", 1000.0);
+        let agg = reg.register("hash_agg", 50.0);
+        let mut pipes = PipelineSet::new();
+        let p0 = pipes.new_pipeline();
+        let p1 = pipes.new_pipeline();
+        pipes.assign(p0, 0);
+        pipes.assign(p1, 1);
+        let tracker = ProgressTracker::new(reg, pipes);
+        scan.set_estimated_total(1000.0);
+        for _ in 0..500 {
+            scan.record_emitted();
+        }
+        agg.record_driver(500);
+        let before = tracker.snapshot().fraction();
+        // the group estimate rises with no counter advance: raw ratio drops
+        agg.set_estimated_total(120.0);
+        let after = tracker.snapshot().fraction();
+        assert!(
+            tracker.snapshot().raw_fraction() < before,
+            "premise: the raw ratio did dip"
+        );
+        assert!(
+            after >= before,
+            "clamped fraction regressed: {after} < {before}"
+        );
+        // clones share the high-water mark
+        assert!(tracker.clone().snapshot().fraction() >= before);
     }
 
     #[test]

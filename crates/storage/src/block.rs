@@ -1,10 +1,15 @@
-//! Fixed-capacity row blocks.
+//! Fixed-capacity columnar blocks.
 //!
 //! Tables are stored as a sequence of blocks so that scans can implement the
 //! paper's *block-level random sampling*: the sampled unit is a block, not a
 //! row, mirroring how a disk-resident system would sample pages.
+//!
+//! Blocks are column-major — one `Vec<Value>` per column — so the
+//! vectorized scan copies contiguous column slices straight into a
+//! [`RowBatch`](qprog_types::RowBatch) without materializing intermediate
+//! rows.
 
-use qprog_types::Row;
+use qprog_types::{Row, Value};
 
 /// Number of rows per block.
 ///
@@ -13,50 +18,71 @@ use qprog_types::Row;
 /// per-block bookkeeping is negligible.
 pub const BLOCK_CAPACITY: usize = 256;
 
-/// A block of at most [`BLOCK_CAPACITY`] rows.
+/// A columnar block of at most [`BLOCK_CAPACITY`] rows.
 #[derive(Debug, Clone, Default)]
 pub struct Block {
-    rows: Vec<Row>,
+    /// Column-major storage: `cols[c][r]` is row `r`'s value in column `c`.
+    cols: Vec<Vec<Value>>,
+    len: usize,
 }
 
 impl Block {
-    /// An empty block with preallocated capacity.
-    pub fn new() -> Self {
+    /// An empty block of `arity` columns with preallocated capacity.
+    pub fn new(arity: usize) -> Self {
         Block {
-            rows: Vec::with_capacity(BLOCK_CAPACITY),
+            cols: (0..arity)
+                .map(|_| Vec::with_capacity(BLOCK_CAPACITY))
+                .collect(),
+            len: 0,
         }
     }
 
     /// Number of rows currently stored.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.len
     }
 
     /// True iff the block holds no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len == 0
     }
 
     /// True iff the block cannot accept more rows.
     pub fn is_full(&self) -> bool {
-        self.rows.len() >= BLOCK_CAPACITY
+        self.len >= BLOCK_CAPACITY
     }
 
     /// Append a row. Panics if the block is full — the table layer checks
     /// `is_full` before pushing, so a panic indicates a bug there.
     pub fn push(&mut self, row: Row) {
         assert!(!self.is_full(), "push into full block");
-        self.rows.push(row);
+        debug_assert_eq!(row.arity(), self.cols.len());
+        for (col, v) in self.cols.iter_mut().zip(row.into_values()) {
+            col.push(v);
+        }
+        self.len += 1;
     }
 
-    /// Borrow the rows.
-    pub fn rows(&self) -> &[Row] {
-        &self.rows
+    /// Borrow the column-major storage (`arity` vectors of `len` values
+    /// each) — the zero-copy surface the vectorized scan reads through
+    /// [`RowBatch::extend_from_cols`](qprog_types::RowBatch::extend_from_cols).
+    pub fn cols(&self) -> &[Vec<Value>] {
+        &self.cols
     }
 
-    /// Borrow one row by offset within the block.
-    pub fn row(&self, offset: usize) -> Option<&Row> {
-        self.rows.get(offset)
+    /// Borrow one column's values.
+    pub fn col(&self, c: usize) -> &[Value] {
+        &self.cols[c]
+    }
+
+    /// Materialize one row by offset within the block.
+    pub fn row(&self, offset: usize) -> Option<Row> {
+        if offset >= self.len {
+            return None;
+        }
+        Some(Row::new(
+            self.cols.iter().map(|c| c[offset].clone()).collect(),
+        ))
     }
 }
 
@@ -67,18 +93,20 @@ mod tests {
 
     #[test]
     fn push_and_read() {
-        let mut b = Block::new();
+        let mut b = Block::new(1);
         assert!(b.is_empty());
         b.push(row![1i64]);
         b.push(row![2i64]);
         assert_eq!(b.len(), 2);
         assert_eq!(b.row(1).unwrap().get(0).unwrap().as_i64().unwrap(), 2);
         assert!(b.row(2).is_none());
+        assert_eq!(b.col(0).len(), 2);
+        assert_eq!(b.cols().len(), 1);
     }
 
     #[test]
     fn fills_to_capacity() {
-        let mut b = Block::new();
+        let mut b = Block::new(1);
         for i in 0..BLOCK_CAPACITY {
             assert!(!b.is_full());
             b.push(row![i as i64]);
@@ -90,7 +118,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "full block")]
     fn push_past_capacity_panics() {
-        let mut b = Block::new();
+        let mut b = Block::new(1);
         for i in 0..=BLOCK_CAPACITY {
             b.push(row![i as i64]);
         }

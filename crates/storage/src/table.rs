@@ -92,7 +92,7 @@ impl Table {
             }
         }
         if self.blocks.last().is_none_or(Block::is_full) {
-            self.blocks.push(Block::new());
+            self.blocks.push(Block::new(self.schema.arity()));
         }
         self.blocks
             .last_mut()
@@ -110,14 +110,18 @@ impl Table {
         Ok(())
     }
 
-    /// Iterate over all rows in storage order.
-    pub fn iter(&self) -> impl Iterator<Item = &Row> + '_ {
-        self.blocks.iter().flat_map(|b| b.rows().iter())
+    /// Iterate over all rows in storage order, materializing each from the
+    /// columnar blocks (for tests, stats, and examples; scans read columns
+    /// directly via [`Block::cols`]).
+    pub fn iter(&self) -> impl Iterator<Item = Row> + '_ {
+        self.blocks
+            .iter()
+            .flat_map(|b| (0..b.len()).map(|r| b.row(r).expect("in-bounds row")))
     }
 
-    /// Borrow a row by global index (for tests and examples; scans use
+    /// Materialize a row by global index (for tests and examples; scans use
     /// block-ordered iteration).
-    pub fn row(&self, idx: usize) -> Option<&Row> {
+    pub fn row(&self, idx: usize) -> Option<Row> {
         let block = idx / BLOCK_CAPACITY;
         let offset = idx % BLOCK_CAPACITY;
         self.blocks.get(block).and_then(|b| b.row(offset))

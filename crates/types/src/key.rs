@@ -130,9 +130,16 @@ impl CompositeKey {
 
 impl Hash for CompositeKey {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        for k in self.0.iter() {
-            k.hash(state);
-        }
+        // Must match `<[Key] as Hash>` exactly: hash tables keyed by
+        // `CompositeKey` rely on `Borrow<[Key]>` lookups with a borrowed
+        // slice to avoid allocating a boxed key per probe.
+        self.0.hash(state);
+    }
+}
+
+impl std::borrow::Borrow<[Key]> for CompositeKey {
+    fn borrow(&self) -> &[Key] {
+        &self.0
     }
 }
 

@@ -8,12 +8,14 @@
 //! It deliberately has no dependencies: everything above it (storage,
 //! execution, planning, the estimation framework) builds on these types.
 
+pub mod batch;
 pub mod error;
 pub mod key;
 pub mod row;
 pub mod schema;
 pub mod value;
 
+pub use batch::{BatchStatus, RowBatch, DEFAULT_BATCH_ROWS};
 pub use error::{ExecError, QError, QResult};
 pub use key::{CompositeKey, Key};
 pub use row::Row;

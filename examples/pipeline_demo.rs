@@ -37,7 +37,8 @@ fn main() -> QResult<()> {
 
     // Builds are fed top-down, exactly like the execution engine does.
     for (j, table) in [(2usize, &b2), (1, &b1), (0, &b0)] {
-        est.feed_build(j, table.iter())?;
+        let rows: Vec<_> = table.iter().collect();
+        est.feed_build(j, rows.iter())?;
     }
 
     println!(
@@ -46,7 +47,7 @@ fn main() -> QResult<()> {
     );
     let mut next = rows / 100; // 1%
     for (i, row) in probe.iter().enumerate() {
-        est.observe_probe(row)?;
+        est.observe_probe(&row)?;
         if i + 1 == next {
             let e = est.estimates();
             println!(

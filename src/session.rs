@@ -169,6 +169,16 @@ impl SessionBuilder {
         self
     }
 
+    /// Set the vectorized batch capacity for queries compiled by this
+    /// session (clamped to ≥ 1). `1` is strict per-row equivalence mode;
+    /// the default is [`PhysicalOptions::batch_rows`] (env
+    /// `QPROG_BATCH_ROWS`, normally 1024). Shorthand for mutating
+    /// [`options`](Self::options).
+    pub fn batch_rows(mut self, n: usize) -> Self {
+        self.options.batch_rows = n.max(1);
+        self
+    }
+
     /// Configure the observability layers.
     pub fn observability(mut self, observability: Observability) -> Self {
         self.observability = observability;
@@ -469,6 +479,7 @@ pub struct RunOptions<'a> {
     cadence: u64,
     deadline: Option<Duration>,
     cancel: Option<CancellationToken>,
+    batch_rows: Option<usize>,
 }
 
 /// A boxed progress-observer callback, as carried by [`RunOptions`].
@@ -481,6 +492,7 @@ impl Default for RunOptions<'_> {
             cadence: 256,
             deadline: None,
             cancel: None,
+            batch_rows: None,
         }
     }
 }
@@ -520,6 +532,16 @@ impl<'a> RunOptions<'a> {
         self.cancel = Some(token);
         self
     }
+
+    /// Override the vectorized batch capacity for this run (clamped to
+    /// ≥ 1). `1` is strict per-row equivalence mode, reproducing the
+    /// serial engine's trace byte-for-byte; the default comes from the
+    /// session's [`PhysicalOptions::batch_rows`] (env `QPROG_BATCH_ROWS`,
+    /// normally 1024).
+    pub fn batch_rows(mut self, n: usize) -> Self {
+        self.batch_rows = Some(n.max(1));
+        self
+    }
 }
 
 impl std::fmt::Debug for RunOptions<'_> {
@@ -529,6 +551,7 @@ impl std::fmt::Debug for RunOptions<'_> {
             .field("cadence", &self.cadence)
             .field("deadline", &self.deadline)
             .field("cancel", &self.cancel.is_some())
+            .field("batch_rows", &self.batch_rows)
             .finish()
     }
 }
@@ -580,6 +603,9 @@ impl QueryHandle {
     /// token, in any combination. `RunOptions::new()` is plain
     /// [`collect`](Self::collect).
     pub fn run(&mut self, options: RunOptions<'_>) -> QResult<Vec<Row>> {
+        if let Some(n) = options.batch_rows {
+            self.compiled.set_batch_rows(n);
+        }
         if let Some(after) = options.deadline {
             self.set_deadline(after);
         }
@@ -871,7 +897,10 @@ mod tests {
         watcher.stop();
         let fractions = fractions.lock().unwrap();
         assert!(fractions.iter().all(|f| (0.0..=1.0).contains(f)));
-        assert!(fractions.windows(2).all(|w| w[0] <= w[1]), "monotone");
+        assert!(
+            fractions.windows(2).all(|w| w[0] <= w[1]),
+            "monotone: {fractions:?}"
+        );
     }
 
     #[test]
@@ -1049,6 +1078,42 @@ mod tests {
             .unwrap();
         assert_eq!(rows.len(), 1);
         assert!(samples >= 1, "observer fires at least at completion");
+    }
+
+    #[test]
+    fn batch_rows_override_preserves_results() {
+        // Session-level and run-level batch capacities agree with strict
+        // per-row mode on the result multiset.
+        let strict = {
+            let session = Session::new(catalog()).with_options(PhysicalOptions {
+                batch_rows: 1,
+                ..PhysicalOptions::default()
+            });
+            let mut h = session
+                .query("SELECT nationkey, count(*) FROM customer GROUP BY nationkey")
+                .unwrap();
+            h.collect().unwrap()
+        };
+        let session_wide = {
+            let session = SessionBuilder::new(catalog())
+                .batch_rows(512)
+                .build()
+                .unwrap();
+            let mut h = session
+                .query("SELECT nationkey, count(*) FROM customer GROUP BY nationkey")
+                .unwrap();
+            assert_eq!(h.compiled().batch_rows(), 512);
+            h.collect().unwrap()
+        };
+        let per_run = {
+            let session = Session::new(catalog());
+            let mut h = session
+                .query("SELECT nationkey, count(*) FROM customer GROUP BY nationkey")
+                .unwrap();
+            h.run(RunOptions::new().batch_rows(7)).unwrap()
+        };
+        assert_eq!(strict, session_wide);
+        assert_eq!(strict, per_run);
     }
 
     #[test]

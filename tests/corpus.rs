@@ -341,7 +341,12 @@ mod failpoints {
             .unwrap(),
         );
         let registry = Arc::new(Registry::new());
+        // Strict tuple mode: failpoints fire per batch boundary, and this
+        // test's 2%-of-5000-checkpoints sleep budget assumes per-row
+        // checkpoints (at the default batch_rows the scan has only ~5
+        // boundaries, so the failpoint would almost never fire).
         let session = SessionBuilder::new(catalog())
+            .batch_rows(1)
             .observability(
                 Observability::new()
                     .with_metrics(Arc::clone(&registry))

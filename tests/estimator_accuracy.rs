@@ -173,7 +173,7 @@ fn chooser_picks_the_better_estimator_per_skew() {
 fn agg_pushdown_tracker_is_exact_after_probe_pass() {
     use qprog_exec::metrics::OpMetrics;
     use qprog_exec::ops::hash_join::{HashJoin, JoinEstimation};
-    use qprog_exec::ops::{BoxedOp, Operator, TableScan};
+    use qprog_exec::ops::{BoxedOp, RowSource, TableScan};
     use qprog_exec::sync::Mutex;
 
     let r = qprog::datagen::customer_table("r", 5_000, 1.0, 400, 1).into_shared();
@@ -214,7 +214,7 @@ fn agg_pushdown_tracker_is_exact_after_probe_pass() {
     )
     .with_agg_pushdown(Arc::clone(&tracker));
     // pull one row: preprocessing has completed
-    assert!(join.next().unwrap().is_some());
+    assert!(RowSource::new(&mut join).next_row().unwrap().is_some());
     assert_eq!(tracker.lock().groups_seen(), expected_groups);
     assert_eq!(tracker.lock().estimate(), expected_groups as f64);
 }
